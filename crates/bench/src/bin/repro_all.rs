@@ -1,0 +1,35 @@
+//! Runs every experiment binary's logic in sequence — the one-shot
+//! reproduction of all tables and figures. `EXPERIMENTS.md` is the
+//! curated transcript of this program.
+//!
+//! ```text
+//! cargo run --release -p fractanet-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exes = [
+        "exp_fig1_deadlock",
+        "exp_fig2_hypercube",
+        "exp_fig3_clusters",
+        "exp_table1_fractahedron",
+        "exp_sec31_mesh",
+        "exp_table2_compare",
+        "exp_sim_loadlatency",
+        "exp_servernet_faults",
+        "exp_generalized",
+    ];
+    // Re-exec sibling binaries from the same target directory so one
+    // command reproduces everything.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("target dir");
+    for exe in exes {
+        let path = dir.join(exe);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{exe} failed");
+    }
+    println!("\nall experiments reproduced.");
+}

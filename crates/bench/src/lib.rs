@@ -1,0 +1,67 @@
+//! # fractanet-bench
+//!
+//! Experiment harness: one binary per table/figure of the paper (see
+//! `src/bin/`), plus Criterion benches over the library's
+//! computational kernels (`benches/`). `repro_all` runs every
+//! experiment in sequence and is what `EXPERIMENTS.md` is generated
+//! from.
+//!
+//! Every binary prints a human-readable table; set `FRACTANET_JSON=1`
+//! to additionally emit one JSON object per result row on stderr for
+//! downstream tooling.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Emits a JSON-lines record on stderr when `FRACTANET_JSON=1`.
+pub fn emit_json<T: Serialize>(experiment: &str, row: &T) {
+    if std::env::var("FRACTANET_JSON").as_deref() == Ok("1") {
+        #[derive(Serialize)]
+        struct Record<'a, T> {
+            experiment: &'a str,
+            #[serde(flatten)]
+            row: &'a T,
+        }
+        if let Ok(s) = serde_json::to_string(&Record { experiment, row }) {
+            eprintln!("{s}");
+        }
+    }
+}
+
+/// Prints a section header in the style every experiment shares.
+pub fn header(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Formats `value (paper: expected)` with a match marker.
+pub fn versus(value: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
+    let v = value.to_string();
+    let p = paper.to_string();
+    if v == p {
+        format!("{v} (paper: {p} ✓)")
+    } else {
+        format!("{v} (paper: {p})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versus_marks_matches() {
+        assert!(versus(48, 48).contains('✓'));
+        assert!(!versus(47, 48).contains('✓'));
+    }
+
+    #[test]
+    fn emit_json_respects_env() {
+        // Not set in tests: must be a no-op (and not panic).
+        #[derive(Serialize)]
+        struct Row {
+            x: u32,
+        }
+        emit_json("test", &Row { x: 1 });
+    }
+}

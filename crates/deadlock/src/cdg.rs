@@ -1,0 +1,170 @@
+//! Channel dependency graphs.
+//!
+//! A vertex per unidirectional channel; an edge `c₁ → c₂` whenever some
+//! route acquires `c₂` while still holding `c₁` (consecutive channels
+//! of a wormhole path). "Deadlocks can occur when a set of packets
+//! cannot make further progress because of a circular dependency in
+//! which each packet must wait for another to proceed before acquiring
+//! access to an output link" — a cycle here is exactly that circular
+//! dependency, made static.
+
+use fractanet_graph::{AdjList, ChannelId, Network};
+use fractanet_route::RouteSet;
+
+/// The channel dependency graph of a routed network.
+#[derive(Clone, Debug)]
+pub struct ChannelDependencyGraph {
+    graph: AdjList,
+    /// Which (src,dst) pair contributed each dependency — kept sparse:
+    /// one witness pair per distinct edge, for diagnostics.
+    witnesses: Vec<(u32, u32, usize, usize)>,
+}
+
+impl ChannelDependencyGraph {
+    /// Builds the CDG from every path of `routes`. Duplicate
+    /// dependencies (contributed by many pairs) are collapsed.
+    pub fn from_routes(net: &Network, routes: &RouteSet) -> Self {
+        let n = net.channel_count();
+        let mut graph = AdjList::new(n);
+        let mut seen = std::collections::HashSet::new();
+        let mut witnesses = Vec::new();
+        for (s, d, path) in routes.pairs() {
+            for w in path.windows(2) {
+                let (a, b) = (w[0].0, w[1].0);
+                if seen.insert((a, b)) {
+                    graph.add_edge(a, b);
+                    witnesses.push((a, b, s, d));
+                }
+            }
+        }
+        ChannelDependencyGraph { graph, witnesses }
+    }
+
+    /// Whether the network is deadlock-free under this routing
+    /// (Dally & Seitz: CDG acyclic).
+    pub fn is_deadlock_free(&self) -> bool {
+        self.graph.is_acyclic()
+    }
+
+    /// One dependency cycle as channels, or `None` when deadlock-free.
+    pub fn find_cycle(&self) -> Option<Vec<ChannelId>> {
+        self.graph.find_cycle().map(|vs| vs.into_iter().map(ChannelId).collect())
+    }
+
+    /// Number of distinct dependencies.
+    pub fn dependency_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The underlying directed graph (vertices are
+    /// `ChannelId::index()`).
+    pub fn graph(&self) -> &AdjList {
+        &self.graph
+    }
+
+    /// A witness route pair `(src, dst)` whose path contains the
+    /// dependency `a → b`, if that dependency exists.
+    pub fn witness(&self, a: ChannelId, b: ChannelId) -> Option<(usize, usize)> {
+        self.witnesses
+            .iter()
+            .find(|&&(x, y, _, _)| x == a.0 && y == b.0)
+            .map(|&(_, _, s, d)| (s, d))
+    }
+
+    /// Pretty-prints a cycle as `router --(link)--> router` steps for
+    /// experiment output.
+    pub fn describe_cycle(&self, net: &Network) -> Option<String> {
+        let cyc = self.find_cycle()?;
+        let mut out = String::from("channel-dependency cycle:\n");
+        for (i, &ch) in cyc.iter().enumerate() {
+            let s = net.channel_src(ch);
+            let d = net.channel_dst(ch);
+            let next = cyc[(i + 1) % cyc.len()];
+            let wit = self
+                .witness(ch, next)
+                .map(|(a, b)| format!("  [held by a {a}->{b} packet]"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  {} --{:?}--> {}{}\n",
+                net.label(s),
+                ch.link(),
+                net.label(d),
+                wit
+            ));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_route::ringroute::{ring_clockwise_routes, ring_shortest_routes};
+    use fractanet_route::{dor, RouteSet};
+    use fractanet_topo::{Mesh2D, Ring, Topology};
+
+    #[test]
+    fn fig1_clockwise_ring_has_cycle() {
+        // Figure 1: four wrap-around routes in a 4-router loop.
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs =
+            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(r.net(), &rs);
+        assert!(!cdg.is_deadlock_free());
+        let cyc = cdg.find_cycle().unwrap();
+        // The minimal cycle is the four clockwise inter-router channels.
+        assert_eq!(cyc.len(), 4);
+        let desc = cdg.describe_cycle(r.net()).unwrap();
+        assert!(desc.contains("R0"), "diagnostic should name routers: {desc}");
+    }
+
+    #[test]
+    fn shortest_ring_still_cyclic_at_4() {
+        // Minimal ring routing keeps both 2-hop wrap routes, which is
+        // enough to close the loop.
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_shortest_routes(&r)).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(r.net(), &rs);
+        assert!(!cdg.is_deadlock_free());
+    }
+
+    #[test]
+    fn mesh_dor_is_acyclic() {
+        // The Fig 1 escape: the same four routers as a 2x2 mesh with
+        // dimension-order routing ("routes A and C would be allowed,
+        // but routes B and D would be disallowed").
+        let m = Mesh2D::new(2, 2, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_xy_routes(&m)).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(m.net(), &rs);
+        assert!(cdg.is_deadlock_free());
+        assert!(cdg.find_cycle().is_none());
+        assert!(cdg.describe_cycle(m.net()).is_none());
+    }
+
+    #[test]
+    fn witnesses_identify_contributing_pairs() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs =
+            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(r.net(), &rs);
+        let cyc = cdg.find_cycle().unwrap();
+        let (s, d) = cdg.witness(cyc[0], cyc[1]).unwrap();
+        // The witness pair's path must actually contain the two
+        // channels consecutively.
+        let p = rs.path(s, d);
+        let pos = p.iter().position(|&c| c == cyc[0]).unwrap();
+        assert_eq!(p[pos + 1], cyc[1]);
+    }
+
+    #[test]
+    fn dependency_count_collapses_duplicates() {
+        let m = Mesh2D::new(3, 1, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_xy_routes(&m)).unwrap();
+        let cdg = ChannelDependencyGraph::from_routes(m.net(), &rs);
+        // 1x3 mesh with 1 node/router: dependencies are few and unique.
+        // attach->R0R1, R0R1->R1R2, R1R2->attach, and mirrored; plus
+        // middle-node turns.
+        assert!(cdg.dependency_count() <= m.net().channel_count() * 2);
+        assert!(cdg.is_deadlock_free());
+    }
+}

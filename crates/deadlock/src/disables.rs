@@ -1,0 +1,302 @@
+//! Path-disable synthesis — the Figure 2 technique, automated.
+//!
+//! "Figure 2 shows a 3-dimensional hypercube with certain paths
+//! disallowed in order to break cycles. By designating specific paths
+//! to be disabled, the routing algorithm is less restrictive than
+//! dimension-order routing."
+//!
+//! A *disable* here is a forbidden turn: an ordered pair of channels
+//! `(in, out)` that no route may take consecutively — exactly what the
+//! ServerNet router's path-disable registers enforce in hardware
+//! ("path disable logic that can be set to enforce the elimination of
+//! the loops, even if the routing table is corrupted by a fault",
+//! §2.4). Synthesis iterates: route every pair by shortest allowed
+//! path, build the channel dependency graph, and when a cycle remains,
+//! disable one turn on it (preferring a turn whose removal keeps every
+//! pair routable), until the CDG is acyclic.
+
+use crate::cdg::ChannelDependencyGraph;
+use fractanet_graph::{ChannelId, Network, NodeId};
+use fractanet_route::RouteSet;
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// A set of forbidden channel→channel turns.
+#[derive(Clone, Debug, Default)]
+pub struct DisableSet {
+    forbidden: HashSet<(u32, u32)>,
+}
+
+impl DisableSet {
+    /// The empty set: all turns allowed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forbids taking `out` immediately after `in_`.
+    pub fn insert(&mut self, in_: ChannelId, out: ChannelId) {
+        self.forbidden.insert((in_.0, out.0));
+    }
+
+    /// Whether the turn is forbidden.
+    pub fn contains(&self, in_: ChannelId, out: ChannelId) -> bool {
+        self.forbidden.contains(&(in_.0, out.0))
+    }
+
+    /// Number of disabled turns.
+    pub fn len(&self) -> usize {
+        self.forbidden.len()
+    }
+
+    /// Whether no turn is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.forbidden.is_empty()
+    }
+
+    /// Iterates the disabled turns.
+    pub fn iter(&self) -> impl Iterator<Item = (ChannelId, ChannelId)> + '_ {
+        self.forbidden.iter().map(|&(a, b)| (ChannelId(a), ChannelId(b)))
+    }
+}
+
+/// Errors from [`synthesize_disables`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// Some end-node pair has no allowed path (before any disable was
+    /// added — a disconnected network).
+    Unroutable {
+        /// Source address.
+        src: usize,
+        /// Destination address.
+        dst: usize,
+    },
+    /// Every candidate turn on a remaining cycle would disconnect some
+    /// pair, or the iteration cap was reached.
+    DidNotConverge {
+        /// Disables accumulated before giving up.
+        disables: usize,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Unroutable { src, dst } => {
+                write!(f, "no allowed path from {src} to {dst}")
+            }
+            SynthesisError::DidNotConverge { disables } => {
+                write!(f, "disable synthesis did not converge ({disables} turns disabled)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Shortest allowed path from `ends[src]` to `ends[dst]` under a
+/// disable set: BFS in channel space (states are channels; U-turns are
+/// always forbidden). Returns `None` when no allowed path exists.
+pub fn route_one(
+    net: &Network,
+    ends: &[NodeId],
+    disables: &DisableSet,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<ChannelId>> {
+    if src == dst {
+        return Some(Vec::new());
+    }
+    let target = ends[dst];
+    let &(inject, _) = net.channels_from(ends[src]).first()?;
+    let nch = net.channel_count();
+    let mut prev: Vec<Option<ChannelId>> = vec![None; nch];
+    let mut seen = vec![false; nch];
+    seen[inject.index()] = true;
+    let mut q = VecDeque::from([inject]);
+    while let Some(ch) = q.pop_front() {
+        let here = net.channel_dst(ch);
+        if here == target {
+            // Rebuild.
+            let mut path = vec![ch];
+            let mut cur = ch;
+            while let Some(p) = prev[cur.index()] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if !net.is_router(here) {
+            continue; // arrived at a foreign end node: dead end
+        }
+        for &(out, _) in net.channels_from(here) {
+            if out == ch.reverse() || disables.contains(ch, out) || seen[out.index()] {
+                continue;
+            }
+            seen[out.index()] = true;
+            prev[out.index()] = Some(ch);
+            q.push_back(out);
+        }
+    }
+    None
+}
+
+/// Routes every pair under a disable set; `Err((src, dst))` names the
+/// first unroutable pair.
+pub fn route_all(
+    net: &Network,
+    ends: &[NodeId],
+    disables: &DisableSet,
+) -> Result<RouteSet, (usize, usize)> {
+    let n = ends.len();
+    let mut failed = None;
+    let rs = RouteSet::from_pairs(n, |s, d| match route_one(net, ends, disables, s, d) {
+        Some(p) => p,
+        None => {
+            failed.get_or_insert((s, d));
+            Vec::new()
+        }
+    });
+    match failed {
+        Some(pair) => Err(pair),
+        None => Ok(rs),
+    }
+}
+
+/// Iteratively disables turns until the channel dependency graph is
+/// acyclic. Returns the disable set and the final (deadlock-free)
+/// routes.
+pub fn synthesize_disables(
+    net: &Network,
+    ends: &[NodeId],
+    max_iterations: usize,
+) -> Result<(DisableSet, RouteSet), SynthesisError> {
+    let mut disables = DisableSet::new();
+    let mut routes = route_all(net, ends, &disables)
+        .map_err(|(src, dst)| SynthesisError::Unroutable { src, dst })?;
+
+    for _ in 0..max_iterations {
+        let cdg = ChannelDependencyGraph::from_routes(net, &routes);
+        let Some(cycle) = cdg.find_cycle() else {
+            return Ok((disables, routes));
+        };
+        // Try each turn on the cycle; keep the first that stays
+        // routable.
+        let mut advanced = false;
+        for i in 0..cycle.len() {
+            let a = cycle[i];
+            let b = cycle[(i + 1) % cycle.len()];
+            let mut candidate = disables.clone();
+            candidate.insert(a, b);
+            if let Ok(rs) = route_all(net, ends, &candidate) {
+                disables = candidate;
+                routes = rs;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Err(SynthesisError::DidNotConverge { disables: disables.len() });
+        }
+    }
+    Err(SynthesisError::DidNotConverge { disables: disables.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_deadlock_free;
+    use fractanet_topo::{Hypercube, Ring, Topology};
+
+    #[test]
+    fn unrestricted_routing_is_minimal() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let rs = route_all(h.net(), h.end_nodes(), &DisableSet::new()).unwrap();
+        for (s, d, p) in rs.pairs() {
+            let hamming = (h.corner_of_addr(s) ^ h.corner_of_addr(d)).count_ones() as usize;
+            assert_eq!(p.len() - 1, hamming + 1, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn synthesis_breaks_hypercube_cycles() {
+        // The Fig 2 experiment: a 3-cube routed greedily deadlocks;
+        // after synthesis the CDG is acyclic and everything still
+        // routes.
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let before = route_all(h.net(), h.end_nodes(), &DisableSet::new()).unwrap();
+        // (Greedy shortest-path routing on a cube is not guaranteed
+        // cyclic, but with build-order tie-breaks it is.)
+        let had_cycle = verify_deadlock_free(h.net(), &before).is_err();
+        let (disables, routes) = synthesize_disables(h.net(), h.end_nodes(), 200).unwrap();
+        assert!(verify_deadlock_free(h.net(), &routes).is_ok());
+        if had_cycle {
+            assert!(!disables.is_empty(), "breaking cycles requires disables");
+        }
+        // Still fully routable (route_all succeeded inside synthesis).
+        for (s, d, p) in routes.pairs() {
+            assert_eq!(h.net().channel_dst(*p.last().unwrap()), h.end_nodes()[d], "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn synthesis_fixes_rings() {
+        // Greedy tie-breaks happen to route the 4-ring acyclically, so
+        // sweep several sizes: whatever the starting point, synthesis
+        // must end deadlock-free, and disables appear exactly when the
+        // unrestricted CDG had a cycle.
+        for n in 4..=7usize {
+            let r = Ring::new(n, 1, 6).unwrap();
+            let before = route_all(r.net(), r.end_nodes(), &DisableSet::new()).unwrap();
+            let had_cycle = verify_deadlock_free(r.net(), &before).is_err();
+            let (disables, routes) = synthesize_disables(r.net(), r.end_nodes(), 100).unwrap();
+            assert!(verify_deadlock_free(r.net(), &routes).is_ok(), "ring {n}");
+            assert_eq!(!disables.is_empty(), had_cycle, "ring {n}");
+        }
+    }
+
+    #[test]
+    fn disable_set_basics() {
+        let mut d = DisableSet::new();
+        assert!(d.is_empty());
+        d.insert(ChannelId(0), ChannelId(2));
+        d.insert(ChannelId(0), ChannelId(2));
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(ChannelId(0), ChannelId(2)));
+        assert!(!d.contains(ChannelId(2), ChannelId(0)));
+        assert_eq!(d.iter().count(), 1);
+    }
+
+    #[test]
+    fn route_one_respects_disables() {
+        // Disable the only turn of a 2-router path: the pair becomes
+        // unroutable.
+        use fractanet_graph::{LinkClass, Network, PortId};
+        let mut net = Network::new();
+        let r0 = net.add_router("r0", 6);
+        let r1 = net.add_router("r1", 6);
+        net.connect(r0, PortId(0), r1, PortId(0), LinkClass::Local).unwrap();
+        let n0 = net.add_end_node("n0");
+        let n1 = net.add_end_node("n1");
+        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach).unwrap();
+        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach).unwrap();
+        let ends = vec![n0, n1];
+
+        let free = route_one(&net, &ends, &DisableSet::new(), 0, 1).unwrap();
+        assert_eq!(free.len(), 3);
+        let mut d = DisableSet::new();
+        d.insert(free[0], free[1]);
+        assert!(route_one(&net, &ends, &d, 0, 1).is_none());
+    }
+
+    #[test]
+    fn u_turns_never_taken() {
+        let h = Hypercube::new(2, 1, 6).unwrap();
+        let rs = route_all(h.net(), h.end_nodes(), &DisableSet::new()).unwrap();
+        for (_, _, p) in rs.pairs() {
+            for w in p.windows(2) {
+                assert_ne!(w[1], w[0].reverse(), "route took a U-turn");
+            }
+        }
+    }
+}

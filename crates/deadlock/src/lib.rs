@@ -1,0 +1,25 @@
+//! # fractanet-deadlock
+//!
+//! Deadlock analysis after Dally & Seitz (the paper's reference \[6\]):
+//! a deterministic wormhole-routed network is deadlock-free **iff** its
+//! channel dependency graph is acyclic. This crate builds that graph
+//! from a topology plus a traced [`RouteSet`], verifies acyclicity,
+//! explains violations in terms of the Fig 1 blocked-packet picture,
+//! synthesizes path disables that break cycles (the Fig 2 technique),
+//! and provides the wait-for-graph detector the flit simulator uses to
+//! recognize a deadlock that actually happened.
+//!
+//! [`RouteSet`]: fractanet_route::RouteSet
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cdg;
+pub mod disables;
+pub mod verify;
+pub mod waitgraph;
+
+pub use cdg::ChannelDependencyGraph;
+pub use disables::{synthesize_disables, DisableSet, SynthesisError};
+pub use verify::{verify_deadlock_free, DeadlockReport};
+pub use waitgraph::WaitGraph;

@@ -1,0 +1,90 @@
+//! Runtime wait-for-graph deadlock detection.
+//!
+//! The CDG of [`crate::cdg`] is the *static* analysis: a cycle there
+//! means deadlock is possible. The flit simulator needs the *dynamic*
+//! counterpart: given which packet currently holds each channel and
+//! which channel it is stalled waiting for, is there an actual circular
+//! wait right now? That is a cycle in the wait-for graph over channels.
+
+use fractanet_graph::{AdjList, ChannelId};
+
+/// A wait-for graph over a network's channels, rebuilt each time the
+/// simulator suspects a stall.
+#[derive(Clone, Debug)]
+pub struct WaitGraph {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl WaitGraph {
+    /// Creates an empty wait-for graph over `n_channels` channels.
+    pub fn new(n_channels: usize) -> Self {
+        WaitGraph { n: n_channels, edges: Vec::new() }
+    }
+
+    /// Records that the packet holding `held` is stalled waiting to
+    /// acquire `wanted`.
+    pub fn add_wait(&mut self, held: ChannelId, wanted: ChannelId) {
+        self.edges.push((held.0, wanted.0));
+    }
+
+    /// Number of recorded waits.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no waits were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// A circular wait, if one exists: the smoking gun of an actual
+    /// wormhole deadlock (Fig 1's "the head of each packet is blocked
+    /// by the tail of another").
+    pub fn find_deadlock(&self) -> Option<Vec<ChannelId>> {
+        let mut g = AdjList::new(self.n);
+        for &(a, b) in &self.edges {
+            g.add_edge(a, b);
+        }
+        g.find_cycle().map(|vs| vs.into_iter().map(ChannelId).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_waits_no_deadlock() {
+        assert!(WaitGraph::new(8).find_deadlock().is_none());
+    }
+
+    #[test]
+    fn chain_is_not_deadlock() {
+        let mut w = WaitGraph::new(8);
+        w.add_wait(ChannelId(0), ChannelId(2));
+        w.add_wait(ChannelId(2), ChannelId(4));
+        assert_eq!(w.len(), 2);
+        assert!(w.find_deadlock().is_none());
+    }
+
+    #[test]
+    fn circular_wait_detected() {
+        // The Fig 1 situation: four packets each hold one ring channel
+        // and wait for the next.
+        let mut w = WaitGraph::new(8);
+        w.add_wait(ChannelId(0), ChannelId(2));
+        w.add_wait(ChannelId(2), ChannelId(4));
+        w.add_wait(ChannelId(4), ChannelId(6));
+        w.add_wait(ChannelId(6), ChannelId(0));
+        let cyc = w.find_deadlock().unwrap();
+        assert_eq!(cyc.len(), 4);
+    }
+
+    #[test]
+    fn self_wait_is_deadlock() {
+        let mut w = WaitGraph::new(4);
+        w.add_wait(ChannelId(1), ChannelId(1));
+        assert_eq!(w.find_deadlock().unwrap(), vec![ChannelId(1)]);
+    }
+}

@@ -1,0 +1,19 @@
+//! The `fractanet` command-line tool: analyze, render, simulate and
+//! plan ServerNet-style topologies from the shell. See
+//! `fractanet help` or [`fractanet::cli`] for the grammar.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fractanet::cli::parse(&args).and_then(fractanet::cli::run) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

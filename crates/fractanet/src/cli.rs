@@ -1,0 +1,444 @@
+//! Command-line interface plumbing for the `fractanet` binary.
+//!
+//! Kept as a library module so the parsing and command logic are unit
+//! tested; `src/bin/fractanet.rs` is a thin shell around [`run`].
+//!
+//! ```text
+//! fractanet analyze fat-fractahedron:2
+//! fractanet analyze mesh:6x6 fattree:64:4:2 fat-fractahedron:2
+//! fractanet dot fat-fractahedron:1 --routers-only
+//! fractanet simulate fat-fractahedron:2 --load 0.3 --cycles 10000
+//! fractanet plan --cpus 1024 --bisection 16
+//! ```
+
+use crate::sizing::{plan, Requirement};
+use crate::System;
+use fractanet_graph::viz;
+use fractanet_sim::{DstPattern, SimConfig, Workload};
+use std::fmt;
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Analyze one or more topologies.
+    Analyze(Vec<TopoSpec>),
+    /// Emit Graphviz for a topology.
+    Dot {
+        /// What to render.
+        spec: TopoSpec,
+        /// Hide end nodes.
+        routers_only: bool,
+    },
+    /// Simulate uniform traffic on a topology.
+    Simulate {
+        /// What to simulate.
+        spec: TopoSpec,
+        /// Offered load in flits/node/cycle.
+        load: f64,
+        /// Cycle budget.
+        cycles: u64,
+    },
+    /// Plan a fractahedral installation.
+    Plan {
+        /// Required CPUs.
+        cpus: usize,
+        /// Required bisection links.
+        bisection: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// A topology specifier, e.g. `fat-fractahedron:2` or `mesh:6x6`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopoSpec(pub String);
+
+/// CLI errors, with a message suitable for stderr.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fractanet — fractahedral topologies & deadlock-free ServerNet routing
+
+USAGE:
+  fractanet analyze <topology>...       hops/contention/bisection/deadlock report
+  fractanet dot <topology> [--routers-only]
+                                        Graphviz on stdout
+  fractanet simulate <topology> [--load <f>] [--cycles <n>]
+                                        uniform-traffic wormhole simulation
+  fractanet plan --cpus <n> [--bisection <links>]
+                                        fractahedral capacity planning
+  fractanet help
+
+TOPOLOGIES:
+  fat-fractahedron:<levels>             e.g. fat-fractahedron:2  (the paper's Fig 7 at 2)
+  thin-fractahedron:<levels>[:fanout]   e.g. thin-fractahedron:3:fanout (1024 CPUs)
+  mesh:<cols>x<rows>                    e.g. mesh:6x6            (§3.1)
+  fattree:<nodes>:<down>:<up>           e.g. fattree:64:4:2      (Fig 6)
+  hypercube:<dim>                       e.g. hypercube:3         (Fig 2; dim <= 5 on 6 ports)
+  ring:<n>                              e.g. ring:4              (Fig 1 — deadlock-prone!)
+  tetrahedron                           (Fig 4)
+  cluster:<m>                           e.g. cluster:3           (Fig 3)
+  bintree:<depth>:<nodes-per-leaf>      e.g. bintree:3:2
+";
+
+impl TopoSpec {
+    /// Builds the system this spec describes.
+    pub fn build(&self) -> Result<System, CliError> {
+        let parts: Vec<&str> = self.0.split(':').collect();
+        let bad = || CliError(format!("bad topology spec '{}'\n\n{USAGE}", self.0));
+        let int = |s: &str| s.parse::<usize>().map_err(|_| bad());
+        match parts[0] {
+            "fat-fractahedron" if parts.len() == 2 => {
+                let n = int(parts[1])?;
+                if !(1..=4).contains(&n) {
+                    return Err(CliError("levels must be 1..=4".into()));
+                }
+                Ok(System::fat_fractahedron(n))
+            }
+            "thin-fractahedron" if parts.len() == 2 || parts.len() == 3 => {
+                let n = int(parts[1])?;
+                if !(1..=4).contains(&n) {
+                    return Err(CliError("levels must be 1..=4".into()));
+                }
+                let fanout = parts.get(2) == Some(&"fanout");
+                if parts.len() == 3 && !fanout {
+                    return Err(bad());
+                }
+                Ok(System::thin_fractahedron(n, fanout))
+            }
+            "mesh" if parts.len() == 2 => {
+                let dims: Vec<&str> = parts[1].split('x').collect();
+                if dims.len() != 2 {
+                    return Err(bad());
+                }
+                Ok(System::mesh(int(dims[0])?, int(dims[1])?))
+            }
+            "fattree" if parts.len() == 4 => {
+                Ok(System::fat_tree(int(parts[1])?, int(parts[2])?, int(parts[3])?))
+            }
+            "hypercube" if parts.len() == 2 => {
+                let d = int(parts[1])? as u32;
+                if !(1..=5).contains(&d) {
+                    return Err(CliError("hypercube dim must be 1..=5 on 6-port routers".into()));
+                }
+                Ok(System::hypercube(d, 6))
+            }
+            "ring" if parts.len() == 2 => Ok(System::ring(int(parts[1])?)),
+            "tetrahedron" if parts.len() == 1 => Ok(System::tetrahedron()),
+            "cluster" if parts.len() == 2 => {
+                let m = int(parts[1])?;
+                if !(1..=6).contains(&m) {
+                    return Err(CliError("cluster size must be 1..=6 on 6-port routers".into()));
+                }
+                Ok(System::cluster(m))
+            }
+            "bintree" if parts.len() == 3 => {
+                Ok(System::binary_tree(int(parts[1])? as u32, int(parts[2])?))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// Parses argv (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("analyze") => {
+            let specs: Vec<TopoSpec> = it.map(|a| TopoSpec(a.clone())).collect();
+            if specs.is_empty() {
+                return Err(CliError(format!("analyze needs a topology\n\n{USAGE}")));
+            }
+            Ok(Command::Analyze(specs))
+        }
+        Some("dot") => {
+            let mut spec = None;
+            let mut routers_only = false;
+            for a in it {
+                match a.as_str() {
+                    "--routers-only" => routers_only = true,
+                    other if spec.is_none() => spec = Some(TopoSpec(other.to_string())),
+                    other => return Err(CliError(format!("unexpected argument '{other}'"))),
+                }
+            }
+            let spec = spec.ok_or_else(|| CliError(format!("dot needs a topology\n\n{USAGE}")))?;
+            Ok(Command::Dot { spec, routers_only })
+        }
+        Some("simulate") => {
+            let mut spec = None;
+            let mut load = 0.2f64;
+            let mut cycles = 20_000u64;
+            let mut it = it.peekable();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--load" => {
+                        load = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError("--load needs a number".into()))?;
+                    }
+                    "--cycles" => {
+                        cycles = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError("--cycles needs an integer".into()))?;
+                    }
+                    other if spec.is_none() => spec = Some(TopoSpec(other.to_string())),
+                    other => return Err(CliError(format!("unexpected argument '{other}'"))),
+                }
+            }
+            let spec =
+                spec.ok_or_else(|| CliError(format!("simulate needs a topology\n\n{USAGE}")))?;
+            if !(0.0..=1.0).contains(&load) {
+                return Err(CliError("--load must be within 0..=1 flits/node/cycle".into()));
+            }
+            Ok(Command::Simulate { spec, load, cycles })
+        }
+        Some("plan") => {
+            let mut cpus = None;
+            let mut bisection = 1u64;
+            let mut it = it.peekable();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--cpus" => {
+                        cpus = it.next().and_then(|v| v.parse().ok());
+                        if cpus.is_none() {
+                            return Err(CliError("--cpus needs an integer".into()));
+                        }
+                    }
+                    "--bisection" => {
+                        bisection = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError("--bisection needs an integer".into()))?;
+                    }
+                    other => return Err(CliError(format!("unexpected argument '{other}'"))),
+                }
+            }
+            let cpus = cpus.ok_or_else(|| CliError(format!("plan needs --cpus\n\n{USAGE}")))?;
+            Ok(Command::Plan { cpus, bisection })
+        }
+        Some(other) => Err(CliError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+/// Executes a command, writing human output to the returned string.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Analyze(specs) => {
+            for spec in specs {
+                let sys = spec.build()?;
+                out.push_str(&format!("{}\n", sys.analyze()));
+            }
+        }
+        Command::Dot { spec, routers_only } => {
+            let sys = spec.build()?;
+            let dot = if routers_only {
+                viz::routers_only_dot(sys.net(), &sys.name())
+            } else {
+                viz::to_dot(
+                    sys.net(),
+                    &viz::DotOptions { name: sys.name(), ..viz::DotOptions::default() },
+                )
+            };
+            out.push_str(&dot);
+        }
+        Command::Simulate { spec, load, cycles } => {
+            let sys = spec.build()?;
+            let report = sys.analyze();
+            let cfg = SimConfig {
+                packet_flits: 16,
+                max_cycles: cycles,
+                stall_threshold: (cycles / 4).max(100),
+                warmup_cycles: cycles / 10,
+                ..SimConfig::default()
+            };
+            let res = sys.simulate(
+                Workload::Bernoulli {
+                    injection_rate: load,
+                    pattern: DstPattern::Uniform,
+                    until_cycle: cycles * 3 / 4,
+                },
+                cfg,
+            );
+            out.push_str(&format!("{report}\n"));
+            out.push_str(&format!(
+                "simulated {} cycles at load {load}: {}/{} packets delivered, \
+                 avg latency {:.1} cy, p95 {} cy, throughput {:.3} flits/node/cy\n",
+                res.cycles, res.delivered, res.generated, res.avg_latency, res.p95_latency,
+                res.throughput
+            ));
+            match res.deadlock {
+                Some(dl) => out.push_str(&format!(
+                    "DEADLOCK at cycle {} ({} packets stuck, {}-channel circular wait)\n",
+                    dl.cycle,
+                    dl.stuck_packets,
+                    dl.cycle_channels.len()
+                )),
+                None => out.push_str("no deadlock\n"),
+            }
+        }
+        Command::Plan { cpus, bisection } => {
+            let options = plan(Requirement { cpus, min_bisection_links: bisection, fanout: true });
+            if options.is_empty() {
+                out.push_str("no fractahedral configuration satisfies the requirement\n");
+            }
+            for o in options {
+                out.push_str(&format!(
+                    "{:?} N{}: {} CPUs, {} routers ({} tetra + {} fan-out), {} cables, \
+                     max delay {} hops, bisection {} links\n",
+                    o.variant,
+                    o.levels,
+                    o.capacity,
+                    o.total_routers(),
+                    o.tetra_routers,
+                    o.fanout_routers,
+                    o.cables,
+                    o.max_delay,
+                    o.bisection
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_analyze() {
+        let cmd = parse(&argv("analyze fat-fractahedron:2 mesh:6x6")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze(vec![
+                TopoSpec("fat-fractahedron:2".into()),
+                TopoSpec("mesh:6x6".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_simulate_flags() {
+        let cmd = parse(&argv("simulate ring:4 --load 0.5 --cycles 1000")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate { spec: TopoSpec("ring:4".into()), load: 0.5, cycles: 1000 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("analyze")).is_err());
+        assert!(parse(&argv("simulate mesh:3x3 --load abc")).is_err());
+        assert!(parse(&argv("plan")).is_err());
+        assert!(parse(&argv("simulate mesh:3x3 --load 1.5")).is_err());
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        for s in ["help", "--help", "-h", ""] {
+            assert_eq!(parse(&argv(s)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn specs_build_every_topology() {
+        for s in [
+            "fat-fractahedron:1",
+            "thin-fractahedron:2",
+            "thin-fractahedron:1:fanout",
+            "mesh:3x3",
+            "fattree:16:4:2",
+            "hypercube:3",
+            "ring:5",
+            "tetrahedron",
+            "cluster:3",
+            "bintree:3:2",
+        ] {
+            assert!(TopoSpec(s.into()).build().is_ok(), "{s}");
+        }
+    }
+
+    #[test]
+    fn specs_reject_malformed() {
+        for s in [
+            "fat-fractahedron",
+            "fat-fractahedron:9",
+            "mesh:6",
+            "mesh:ax3",
+            "fattree:64:4",
+            "hypercube:6",
+            "cluster:7",
+            "thin-fractahedron:1:bogus",
+            "nonsense:1",
+        ] {
+            assert!(TopoSpec(s.into()).build().is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn run_analyze_produces_report_lines() {
+        let out =
+            run(Command::Analyze(vec![TopoSpec("tetrahedron".into())])).unwrap();
+        assert!(out.contains("4 routers"));
+        assert!(out.contains("deadlock-free"));
+    }
+
+    #[test]
+    fn run_dot_produces_graphviz() {
+        let out = run(Command::Dot {
+            spec: TopoSpec("cluster:2".into()),
+            routers_only: true,
+        })
+        .unwrap();
+        assert!(out.starts_with("graph"));
+        assert!(out.contains(" -- "));
+    }
+
+    #[test]
+    fn run_simulate_reports_deadlock_on_ring() {
+        let out = run(Command::Simulate {
+            spec: TopoSpec("ring:4".into()),
+            load: 0.4,
+            cycles: 4_000,
+        })
+        .unwrap();
+        // Minimal ring routing is deadlock-prone; at this load the Fig 1
+        // pattern eventually forms.
+        assert!(out.contains("CAN DEADLOCK"), "{out}");
+    }
+
+    #[test]
+    fn run_plan_lists_options() {
+        let out = run(Command::Plan { cpus: 128, bisection: 1 }).unwrap();
+        assert!(out.contains("Thin N2"));
+        assert!(out.contains("Fat N2"));
+        let none = run(Command::Plan { cpus: 128, bisection: 100_000 }).unwrap();
+        assert!(none.contains("no fractahedral configuration"));
+    }
+
+    #[test]
+    fn run_help_prints_usage() {
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+}

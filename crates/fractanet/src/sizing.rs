@@ -1,0 +1,244 @@
+//! Capacity planning for fractahedral systems.
+//!
+//! The paper's closing pitch: "The topology scales to any number of
+//! nodes, and allows for tradeoffs between cost and performance." This
+//! module turns that into an API: given a CPU count and a bandwidth
+//! floor, enumerate the thin/fat configurations that satisfy it, with
+//! closed-form hardware counts (validated against constructed networks
+//! in the tests, so the formulas cannot drift from the builders).
+//!
+//! Closed forms for an `N`-level 2-3-1 fractahedron:
+//!
+//! | quantity | thin | fat |
+//! |----------|------|-----|
+//! | CPUs (with fan-out) | 2·8^N | 2·8^N |
+//! | tetrahedron routers | 4·(8^N − 1)/7 | Σₖ 8^(N−k)·4^k |
+//! | worst-case delay    | 4N − 2 (+2 with fan-out) | 3N − 1 (+2) |
+//! | bisection           | 4 links | 4^N links |
+
+use fractanet_topo::Variant;
+
+/// What the installation needs.
+#[derive(Clone, Copy, Debug)]
+pub struct Requirement {
+    /// CPUs (or end nodes when `fanout` is false).
+    pub cpus: usize,
+    /// Minimum acceptable bisection bandwidth, in links.
+    pub min_bisection_links: u64,
+    /// Whether CPUs attach in pairs through fan-out routers.
+    pub fanout: bool,
+}
+
+/// One feasible configuration with its hardware bill.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanOption {
+    /// Thin or fat recursion.
+    pub variant: Variant,
+    /// Levels `N`.
+    pub levels: usize,
+    /// End-node capacity of the configuration.
+    pub capacity: usize,
+    /// Tetrahedron routers (excluding fan-out routers).
+    pub tetra_routers: usize,
+    /// Fan-out routers (0 without fan-out).
+    pub fanout_routers: usize,
+    /// Cables of all classes.
+    pub cables: usize,
+    /// Worst-case router hops between CPUs.
+    pub max_delay: usize,
+    /// Bisection bandwidth in links.
+    pub bisection: u64,
+}
+
+impl PlanOption {
+    /// All routers.
+    pub fn total_routers(&self) -> usize {
+        self.tetra_routers + self.fanout_routers
+    }
+}
+
+/// End-node capacity of an `N`-level fractahedron.
+pub fn capacity(levels: usize, fanout: bool) -> usize {
+    let attach_points = 8usize.pow(levels as u32);
+    if fanout {
+        2 * attach_points
+    } else {
+        attach_points
+    }
+}
+
+/// Closed-form hardware bill for one configuration.
+pub fn bill(variant: Variant, levels: usize, fanout: bool) -> PlanOption {
+    let n = levels as u32;
+    let tetra_routers = match variant {
+        Variant::Thin => 4 * (8usize.pow(n) - 1) / 7,
+        Variant::Fat => (1..=levels).map(|k| 8usize.pow(n - k as u32) * 4usize.pow(k as u32)).sum(),
+    };
+    let attach_points = 8usize.pow(n);
+    let fanout_routers = if fanout { attach_points } else { 0 };
+
+    // Cables: intra-tetra (6 per tetrahedron), inter-level, attach.
+    let tetra_count: usize = match variant {
+        Variant::Thin => (8usize.pow(n) - 1) / 7,
+        Variant::Fat => {
+            (1..=levels).map(|k| 8usize.pow(n - k as u32) * 4usize.pow(k as u32 - 1)).sum()
+        }
+    };
+    let intra = 6 * tetra_count;
+    // Inter-level: thin = one per child stack; fat = every child up
+    // port: level k has 8^(N-k) stacks, each with 8 children
+    // contributing (thin: 1) / (fat: 4^k) cables... fat child (level
+    // k-1 subtree) has 4^(k-1) up links; 8 children per stack.
+    let inter: usize = match variant {
+        Variant::Thin => (2..=levels).map(|k| 8usize.pow(n - k as u32) * 8).sum(),
+        Variant::Fat => {
+            (2..=levels).map(|k| 8usize.pow(n - k as u32) * 8 * 4usize.pow(k as u32 - 1)).sum()
+        }
+    };
+    let attach = capacity(levels, fanout) + if fanout { attach_points } else { 0 };
+
+    let mut max_delay = match variant {
+        Variant::Thin => 4 * levels - 2,
+        Variant::Fat => 3 * levels - 1,
+    };
+    if fanout {
+        max_delay += 2;
+    }
+    PlanOption {
+        variant,
+        levels,
+        capacity: capacity(levels, fanout),
+        tetra_routers,
+        fanout_routers,
+        cables: intra + inter + attach,
+        max_delay,
+        bisection: match variant {
+            Variant::Thin => 4,
+            Variant::Fat => 4u64.pow(n),
+        },
+    }
+}
+
+/// Enumerates configurations (N = 1..=6, thin and fat) that meet the
+/// requirement, cheapest (fewest routers) first.
+///
+/// ```
+/// use fractanet::sizing::{plan, Requirement};
+/// use fractanet::topo::Variant;
+///
+/// // 128 CPUs with modest bandwidth: thin wins on router count.
+/// let options = plan(Requirement { cpus: 128, min_bisection_links: 1, fanout: true });
+/// assert_eq!(options[0].variant, Variant::Thin);
+/// // Demand more bisection and only fat qualifies.
+/// let options = plan(Requirement { cpus: 128, min_bisection_links: 10, fanout: true });
+/// assert!(options.iter().all(|o| o.variant == Variant::Fat));
+/// ```
+pub fn plan(req: Requirement) -> Vec<PlanOption> {
+    let mut options = Vec::new();
+    for levels in 1..=6usize {
+        if capacity(levels, req.fanout) < req.cpus {
+            continue;
+        }
+        for variant in [Variant::Thin, Variant::Fat] {
+            let opt = bill(variant, levels, req.fanout);
+            if opt.bisection >= req.min_bisection_links {
+                options.push(opt);
+            }
+        }
+        // Larger N only adds hardware; one size class is enough.
+        break;
+    }
+    options.sort_by_key(PlanOption::total_routers);
+    options
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_metrics::CostSummary;
+    use fractanet_topo::{Fractahedron, Topology};
+
+    /// The closed forms must agree with the constructed networks.
+    #[test]
+    fn bill_matches_built_networks() {
+        for levels in 1..=3usize {
+            for variant in [Variant::Thin, Variant::Fat] {
+                for fanout in [false, true] {
+                    if levels == 3 && fanout {
+                        continue; // keep test runtime low
+                    }
+                    let opt = bill(variant, levels, fanout);
+                    let f = Fractahedron::new(levels, variant, fanout).unwrap();
+                    let cost = CostSummary::of(f.net());
+                    assert_eq!(opt.capacity, f.end_nodes().len(), "{variant:?} N{levels}");
+                    assert_eq!(
+                        opt.total_routers(),
+                        cost.routers,
+                        "{variant:?} N{levels} fanout={fanout}"
+                    );
+                    assert_eq!(
+                        opt.cables,
+                        cost.total_links(),
+                        "{variant:?} N{levels} fanout={fanout}"
+                    );
+                    assert_eq!(
+                        opt.max_delay as u32,
+                        fractanet_graph::bfs::max_router_hops(f.net()).unwrap(),
+                        "{variant:?} N{levels} fanout={fanout}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_64_node_bills() {
+        let fat = bill(Variant::Fat, 2, false);
+        assert_eq!(fat.tetra_routers, 48);
+        let thin = bill(Variant::Thin, 2, false);
+        assert_eq!(thin.tetra_routers, 36);
+    }
+
+    #[test]
+    fn plan_prefers_thin_when_bandwidth_allows() {
+        let opts = plan(Requirement { cpus: 64, min_bisection_links: 1, fanout: false });
+        assert_eq!(opts.len(), 2);
+        assert_eq!(opts[0].variant, Variant::Thin, "thin is cheaper");
+        assert!(opts[0].total_routers() < opts[1].total_routers());
+    }
+
+    #[test]
+    fn plan_filters_by_bisection() {
+        let opts = plan(Requirement { cpus: 64, min_bisection_links: 8, fanout: false });
+        assert_eq!(opts.len(), 1);
+        assert_eq!(opts[0].variant, Variant::Fat);
+        assert_eq!(opts[0].bisection, 16);
+    }
+
+    #[test]
+    fn plan_scales_to_1024_cpus() {
+        let opts = plan(Requirement { cpus: 1024, min_bisection_links: 1, fanout: true });
+        assert!(!opts.is_empty());
+        assert_eq!(opts[0].levels, 3);
+        assert_eq!(opts[0].capacity, 1024);
+        // Thin 1024-CPU: 292 tetra + 512 fanout routers, max delay 12.
+        let thin = opts.iter().find(|o| o.variant == Variant::Thin).unwrap();
+        assert_eq!(thin.tetra_routers, 292);
+        assert_eq!(thin.fanout_routers, 512);
+        assert_eq!(thin.max_delay, 12);
+    }
+
+    #[test]
+    fn unsatisfiable_returns_empty() {
+        let opts = plan(Requirement { cpus: 64, min_bisection_links: 1000, fanout: false });
+        assert!(opts.is_empty());
+    }
+
+    #[test]
+    fn capacity_table() {
+        assert_eq!(capacity(1, true), 16);
+        assert_eq!(capacity(2, true), 128);
+        assert_eq!(capacity(3, true), 1024);
+        assert_eq!(capacity(2, false), 64);
+    }
+}

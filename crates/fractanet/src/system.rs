@@ -1,0 +1,328 @@
+//! The high-level `System` API: topology + routing + analysis in one
+//! object, so downstream users can reproduce a Table 2 row in five
+//! lines.
+
+use fractanet_deadlock::verify_deadlock_free;
+use fractanet_graph::{LinkClass, Network, NodeId};
+use fractanet_metrics::{bisection_estimate, max_link_contention, CostSummary, HopStats};
+use fractanet_route::fattree::{fattree_routes, UpPolicy};
+use fractanet_route::fractal::fractal_routes;
+use fractanet_route::ringroute::ring_shortest_routes;
+use fractanet_route::treeroute::bintree_routes;
+use fractanet_route::{direct, dor, RouteSet, Routes};
+use fractanet_sim::{Engine, SimConfig, SimResult, Workload};
+use fractanet_topo::{
+    BinaryTree, FatTree, Fractahedron, FullyConnectedCluster, Hypercube, Mesh2D, Ring, Topology,
+    Variant,
+};
+
+/// A topology paired with its canonical routing.
+enum Built {
+    Mesh(Mesh2D),
+    Ring(Ring),
+    Hypercube(Hypercube),
+    FatTree(FatTree),
+    Fractahedron(Fractahedron),
+    Cluster(FullyConnectedCluster),
+    BinaryTree(BinaryTree),
+}
+
+impl Built {
+    fn topo(&self) -> &dyn Topology {
+        match self {
+            Built::Mesh(t) => t,
+            Built::Ring(t) => t,
+            Built::Hypercube(t) => t,
+            Built::FatTree(t) => t,
+            Built::Fractahedron(t) => t,
+            Built::Cluster(t) => t,
+            Built::BinaryTree(t) => t,
+        }
+    }
+
+    fn routes(&self) -> Routes {
+        match self {
+            Built::Mesh(t) => dor::mesh_xy_routes(t),
+            Built::Ring(t) => ring_shortest_routes(t),
+            Built::Hypercube(t) => dor::ecube_routes(t),
+            Built::FatTree(t) => fattree_routes(t, UpPolicy::ByLeafRouter),
+            Built::Fractahedron(t) => fractal_routes(t),
+            Built::Cluster(t) => direct::cluster_routes(t),
+            Built::BinaryTree(t) => bintree_routes(t),
+        }
+    }
+}
+
+/// Everything the paper's comparison tables need, for one system.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Human-readable topology name.
+    pub name: String,
+    /// End nodes.
+    pub nodes: usize,
+    /// Routers (Table 2's cost row).
+    pub routers: usize,
+    /// Cables of all classes.
+    pub links: usize,
+    /// Mean router hops over all pairs (Table 2).
+    pub avg_hops: f64,
+    /// Worst-case router hops (Table 1's "maximum delays").
+    pub max_hops: usize,
+    /// Whole-network maximum link contention (`k` of `k:1`).
+    pub worst_contention: usize,
+    /// Maximum contention restricted to intra-stage (Local) links —
+    /// the population §3.4 quotes for the fractahedron.
+    pub local_contention: usize,
+    /// Weakest balanced cut found, in cables.
+    pub bisection_links: u64,
+    /// Dally–Seitz verdict for the canonical routing.
+    pub deadlock_free: bool,
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {} routers, {} links | hops avg {:.2} max {} | \
+             contention {}:1 (local {}:1) | bisection {} links | {}",
+            self.name,
+            self.nodes,
+            self.routers,
+            self.links,
+            self.avg_hops,
+            self.max_hops,
+            self.worst_contention,
+            self.local_contention,
+            self.bisection_links,
+            if self.deadlock_free { "deadlock-free" } else { "CAN DEADLOCK" }
+        )
+    }
+}
+
+/// A topology with its canonical deadlock-aware routing, ready for
+/// analysis and simulation.
+pub struct System {
+    built: Built,
+    routes: Routes,
+    routeset: RouteSet,
+}
+
+impl System {
+    fn new(built: Built) -> Self {
+        let routes = built.routes();
+        let topo = built.topo();
+        let routeset = RouteSet::from_table(topo.net(), topo.end_nodes(), &routes)
+            .expect("canonical routing must cover all pairs");
+        System { built, routes, routeset }
+    }
+
+    /// N-level fat fractahedron with direct-attached nodes
+    /// (`System::fat_fractahedron(2)` is the paper's Fig 7 network).
+    pub fn fat_fractahedron(levels: usize) -> Self {
+        Self::new(Built::Fractahedron(
+            Fractahedron::new(levels, Variant::Fat, false).expect("valid configuration"),
+        ))
+    }
+
+    /// N-level thin fractahedron; `fanout` adds the CPU-pair router
+    /// level (Table 1's 2·8^N node scaling).
+    pub fn thin_fractahedron(levels: usize, fanout: bool) -> Self {
+        Self::new(Built::Fractahedron(
+            Fractahedron::new(levels, Variant::Thin, fanout).expect("valid configuration"),
+        ))
+    }
+
+    /// The Fig 4 tetrahedron (4 routers, 12 nodes).
+    pub fn tetrahedron() -> Self {
+        Self::new(Built::Cluster(FullyConnectedCluster::tetrahedron()))
+    }
+
+    /// A fully-connected cluster of `m` 6-port routers (Fig 3).
+    pub fn cluster(m: usize) -> Self {
+        Self::new(Built::Cluster(FullyConnectedCluster::new(m, 6).expect("m <= 6")))
+    }
+
+    /// `cols × rows` mesh with 2 nodes per 6-port router and X-then-Y
+    /// dimension-order routing (§3.1).
+    pub fn mesh(cols: usize, rows: usize) -> Self {
+        Self::new(Built::Mesh(Mesh2D::new(cols, rows, 2, 6).expect("valid mesh")))
+    }
+
+    /// `(down, up)` fat tree over `nodes` end nodes with the Fig 6
+    /// leaf-router partitioning (§3.3).
+    pub fn fat_tree(nodes: usize, down: usize, up: usize) -> Self {
+        Self::new(Built::FatTree(FatTree::new(nodes, down, up, 6).expect("valid fat tree")))
+    }
+
+    /// `dim`-cube with one node per corner and e-cube routing (§3.2).
+    /// Needs `dim + 1` ports, so 6-port routers cap out at `dim = 5`.
+    pub fn hypercube(dim: u32, router_ports: u8) -> Self {
+        Self::new(Built::Hypercube(Hypercube::new(dim, 1, router_ports).expect("valid cube")))
+    }
+
+    /// Ring of `n` routers, one node each, minimal routing (§2; note
+    /// this routing is *not* deadlock-free for `n ≥ 4` — the Fig 1
+    /// lesson).
+    pub fn ring(n: usize) -> Self {
+        Self::new(Built::Ring(Ring::new(n, 1, 6).expect("valid ring")))
+    }
+
+    /// Complete binary tree of `depth` router levels (§2 background).
+    pub fn binary_tree(depth: u32, nodes_per_leaf: usize) -> Self {
+        Self::new(Built::BinaryTree(BinaryTree::new(depth, nodes_per_leaf, 6).expect("valid tree")))
+    }
+
+    /// The underlying network.
+    pub fn net(&self) -> &Network {
+        self.built.topo().net()
+    }
+
+    /// End nodes in address order.
+    pub fn end_nodes(&self) -> &[NodeId] {
+        self.built.topo().end_nodes()
+    }
+
+    /// The destination-indexed routing tables.
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// All traced pair paths.
+    pub fn route_set(&self) -> &RouteSet {
+        &self.routeset
+    }
+
+    /// Topology name.
+    pub fn name(&self) -> String {
+        self.built.topo().name()
+    }
+
+    /// Hardware inventory.
+    pub fn cost(&self) -> CostSummary {
+        CostSummary::of(self.net())
+    }
+
+    /// Runs the full analytical battery (hops, contention, bisection,
+    /// deadlock freedom). `O(pairs × path length)` plus a handful of
+    /// max-flows — instant at the paper's 64-node scale.
+    pub fn analyze(&self) -> AnalysisReport {
+        let net = self.net();
+        let hops = HopStats::routed(&self.routeset).expect("≥ 2 nodes");
+        let cont = max_link_contention(net, &self.routeset);
+        let local = cont.worst_in_class(net, LinkClass::Local).map(|(k, _)| k).unwrap_or(0);
+        let bis = bisection_estimate(net, self.end_nodes(), 4);
+        let deadlock_free = verify_deadlock_free(net, &self.routeset).is_ok();
+        AnalysisReport {
+            name: self.name(),
+            nodes: self.end_nodes().len(),
+            routers: net.router_count(),
+            links: net.link_count(),
+            avg_hops: hops.avg,
+            max_hops: hops.max,
+            worst_contention: cont.worst,
+            local_contention: local,
+            bisection_links: bis.links,
+            deadlock_free,
+        }
+    }
+
+    /// Simulates a workload on this system.
+    pub fn simulate(&self, workload: Workload, cfg: SimConfig) -> SimResult {
+        Engine::new(self.net(), &self.routeset, cfg).run(workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_sim::DstPattern;
+
+    #[test]
+    fn paper_fat_64_headline_numbers() {
+        let report = System::fat_fractahedron(2).analyze();
+        assert_eq!(report.nodes, 64);
+        assert_eq!(report.routers, 48);
+        assert!((report.avg_hops - 271.0 / 63.0).abs() < 1e-9);
+        assert_eq!(report.max_hops, 5);
+        assert_eq!(report.local_contention, 4);
+        assert_eq!(report.worst_contention, 8);
+        assert_eq!(report.bisection_links, 16);
+        assert!(report.deadlock_free);
+    }
+
+    #[test]
+    fn paper_fat_tree_headline_numbers() {
+        let report = System::fat_tree(64, 4, 2).analyze();
+        assert_eq!(report.routers, 28);
+        assert!((report.avg_hops - 279.0 / 63.0).abs() < 1e-9);
+        assert_eq!(report.worst_contention, 12);
+        assert!(report.deadlock_free);
+    }
+
+    #[test]
+    fn mesh_headline_numbers() {
+        let report = System::mesh(6, 6).analyze();
+        assert_eq!(report.max_hops, 11);
+        assert_eq!(report.worst_contention, 10);
+        assert!(report.deadlock_free);
+    }
+
+    #[test]
+    fn ring_is_flagged_deadlock_prone() {
+        let report = System::ring(4).analyze();
+        assert!(!report.deadlock_free, "Fig 1: ring routing loops");
+    }
+
+    #[test]
+    fn tetrahedron_and_clusters() {
+        let report = System::tetrahedron().analyze();
+        assert_eq!(report.nodes, 12);
+        assert_eq!(report.routers, 4);
+        assert_eq!(report.worst_contention, 3);
+        assert!(report.deadlock_free);
+        assert_eq!(System::cluster(2).analyze().worst_contention, 5);
+    }
+
+    #[test]
+    fn simulation_through_the_facade() {
+        let sys = System::fat_fractahedron(1);
+        let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(5_000);
+        let res = sys.simulate(
+            Workload::Bernoulli {
+                injection_rate: 0.1,
+                pattern: DstPattern::Uniform,
+                until_cycle: 2_000,
+            },
+            cfg,
+        );
+        assert!(res.deadlock.is_none());
+        assert!(res.delivered > 0);
+    }
+
+    #[test]
+    fn thin_vs_fat_tradeoff_visible() {
+        let thin = System::thin_fractahedron(2, false).analyze();
+        let fat = System::fat_fractahedron(2).analyze();
+        assert!(thin.routers < fat.routers);
+        assert!(thin.bisection_links < fat.bisection_links);
+        assert!(thin.max_hops > fat.max_hops);
+    }
+
+    #[test]
+    fn report_display_is_complete() {
+        let s = System::fat_fractahedron(2).analyze().to_string();
+        assert!(s.contains("48 routers"));
+        assert!(s.contains("deadlock-free"));
+        assert!(s.contains("4.30"));
+        let r = System::ring(4).analyze().to_string();
+        assert!(r.contains("CAN DEADLOCK"));
+    }
+
+    #[test]
+    fn hypercube_and_tree_build() {
+        assert!(System::hypercube(3, 6).analyze().deadlock_free);
+        let t = System::binary_tree(3, 2).analyze();
+        assert!(t.deadlock_free);
+        assert_eq!(t.bisection_links, 1);
+    }
+}

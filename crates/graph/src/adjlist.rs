@@ -1,0 +1,320 @@
+//! A plain directed graph with the cycle-analysis algorithms the
+//! deadlock theory needs.
+//!
+//! Dally & Seitz's theorem (the paper's reference \[6\]) reduces
+//! deadlock freedom of a wormhole-routed network to **acyclicity of the
+//! channel dependency graph** — a derived directed graph whose vertices
+//! are the network's unidirectional channels. [`AdjList`] is that
+//! derived graph's representation: dense `u32` vertices, edge lists,
+//! Tarjan strongly-connected components, topological sort, and cycle
+//! extraction for diagnostics.
+
+/// A directed graph over vertices `0..n` with adjacency lists.
+#[derive(Clone, Debug, Default)]
+pub struct AdjList {
+    edges: Vec<Vec<u32>>,
+}
+
+/// Result of a strongly-connected-component decomposition.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// `comp[v]` = component index of vertex `v`. Components are
+    /// numbered in **reverse topological order** (a Tarjan property:
+    /// every edge goes from a higher-numbered component to a lower or
+    /// equal one).
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccResult {
+    /// Vertices grouped by component.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut g = vec![Vec::new(); self.count];
+        for (v, &c) in self.comp.iter().enumerate() {
+            g[c as usize].push(v as u32);
+        }
+        g
+    }
+}
+
+impl AdjList {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        AdjList { edges: vec![Vec::new(); n] }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds the directed edge `u → v`. Duplicate edges are kept (they
+    /// do not change any of the analyses here).
+    #[inline]
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.edges[u as usize].push(v);
+    }
+
+    /// Successors of `u`.
+    #[inline]
+    pub fn succ(&self, u: u32) -> &[u32] {
+        &self.edges[u as usize]
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Tarjan's strongly-connected components (iterative, so channel
+    /// graphs of large fractahedrons do not overflow the stack).
+    pub fn scc(&self) -> SccResult {
+        let n = self.len();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp = vec![0u32; n];
+        let mut next_index = 0u32;
+        let mut count = 0usize;
+
+        // Explicit DFS frame: (vertex, next child offset).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root as usize] = next_index;
+            low[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+                if *child < self.edges[v as usize].len() {
+                    let w = self.edges[v as usize][*child];
+                    *child += 1;
+                    if index[w as usize] == UNVISITED {
+                        index[w as usize] = next_index;
+                        low[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&mut (parent, _)) = frames.last_mut() {
+                        low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = count as u32;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                    }
+                }
+            }
+        }
+        SccResult { comp, count }
+    }
+
+    /// Whether the graph has no directed cycle. (True iff every SCC is a
+    /// single vertex without a self-edge.)
+    pub fn is_acyclic(&self) -> bool {
+        let scc = self.scc();
+        if scc.count != self.len() {
+            return false;
+        }
+        // All SCCs trivial; self-loops remain possible.
+        (0..self.len() as u32).all(|v| !self.succ(v).contains(&v))
+    }
+
+    /// One directed cycle, as a vertex sequence `v0 → v1 → … → v0`, or
+    /// `None` if the graph is acyclic. Used for human-readable deadlock
+    /// diagnostics. (Iterative three-colour DFS; a back edge closes the
+    /// cycle along the current DFS path.)
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.len();
+        let mut color = vec![Color::White; n];
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for root in 0..n as u32 {
+            if color[root as usize] != Color::White {
+                continue;
+            }
+            color[root as usize] = Color::Grey;
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+                if *child < self.edges[v as usize].len() {
+                    let w = self.edges[v as usize][*child];
+                    *child += 1;
+                    match color[w as usize] {
+                        Color::White => {
+                            color[w as usize] = Color::Grey;
+                            frames.push((w, 0));
+                        }
+                        Color::Grey => {
+                            // Back edge v → w: the cycle is the DFS path
+                            // from w down to v.
+                            let start = frames
+                                .iter()
+                                .position(|&(u, _)| u == w)
+                                .expect("grey vertex must be on the DFS path");
+                            return Some(frames[start..].iter().map(|&(u, _)| u).collect());
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[v as usize] = Color::Black;
+                    frames.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Topological order of the vertices, or `None` if the graph has a
+    /// cycle (Kahn's algorithm).
+    pub fn topo_sort(&self) -> Option<Vec<u32>> {
+        let n = self.len();
+        let mut indeg = vec![0u32; n];
+        for u in 0..n {
+            for &v in &self.edges[u] {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mut queue: Vec<u32> =
+            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &w in &self.edges[v as usize] {
+                indeg[w as usize] -= 1;
+                if indeg[w as usize] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> AdjList {
+        let mut g = AdjList::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        assert!(AdjList::new(0).is_acyclic());
+        assert!(AdjList::new(5).is_acyclic());
+    }
+
+    #[test]
+    fn chain_is_acyclic_with_topo_order() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert!(g.is_acyclic());
+        let order = g.topo_sort().unwrap();
+        let pos = |v: u32| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(0) < pos(1) && pos(1) < pos(2) && pos(2) < pos(3));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn four_cycle_detected() {
+        // The Fig 1 deadlock shape: four channels in a ring.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(!g.is_acyclic());
+        assert!(g.topo_sort().is_none());
+        let cyc = g.find_cycle().unwrap();
+        assert_eq!(cyc.len(), 4);
+        // Each consecutive pair (and the wrap-around) is an edge.
+        for i in 0..cyc.len() {
+            let u = cyc[i];
+            let v = cyc[(i + 1) % cyc.len()];
+            assert!(g.succ(u).contains(&v), "{u}->{v} not an edge");
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(2, &[(1, 1)]);
+        assert!(!g.is_acyclic());
+        assert_eq!(g.find_cycle().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn scc_decomposition_counts() {
+        // Two 2-cycles joined by a bridge, plus an isolated vertex.
+        let g = graph(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = g.scc();
+        assert_eq!(scc.count, 3);
+        assert_eq!(scc.comp[0], scc.comp[1]);
+        assert_eq!(scc.comp[2], scc.comp[3]);
+        assert_ne!(scc.comp[0], scc.comp[2]);
+        let groups = scc.groups();
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn scc_reverse_topological_numbering() {
+        // Edges go from higher-numbered components to lower.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scc = g.scc();
+        for u in 0..4u32 {
+            for &v in g.succ(u) {
+                assert!(scc.comp[u as usize] >= scc.comp[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_harmless() {
+        let g = graph(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert!(g.is_acyclic());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn large_path_does_not_overflow_stack() {
+        // 200k-vertex path exercises the iterative Tarjan.
+        let n = 200_000;
+        let mut g = AdjList::new(n);
+        for v in 0..(n as u32 - 1) {
+            g.add_edge(v, v + 1);
+        }
+        assert!(g.is_acyclic());
+        assert_eq!(g.scc().count, n);
+    }
+}

@@ -1,0 +1,224 @@
+//! Breadth-first distances over a [`Network`].
+//!
+//! The paper measures latency in **router hops** ("a 16-CPU system may
+//! be constructed with a maximum delay between CPUs of four router
+//! hops"): the number of routers a packet traverses between two end
+//! nodes. For end-node pairs that is `(vertices on the path) − 2`, so
+//! we expose both raw vertex distances and the router-hop convention.
+
+use crate::ids::NodeId;
+use crate::network::Network;
+use std::collections::VecDeque;
+
+/// Distance (in traversed cables) from `src` to every vertex;
+/// `u32::MAX` marks unreachable vertices.
+pub fn distances(net: &Network, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; net.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &(_, w) in net.channels_from(v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path from `src` to `dst` as a vertex sequence (inclusive of
+/// both ends), or `None` if unreachable. Ties are broken by adjacency
+/// order, which in this workspace is deterministic build order.
+pub fn shortest_path(net: &Network, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; net.node_count()];
+    let mut seen = vec![false; net.node_count()];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &(_, w) in net.channels_from(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                prev[w.index()] = Some(v);
+                if w == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = prev[cur.index()] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Number of routers on the shortest path between two **end nodes**
+/// (the paper's "router hops"), or `None` if unreachable.
+///
+/// For end nodes cabled to the same router this is 1; Figure 1's
+/// corner-to-corner 6×6-mesh transfer is 11.
+pub fn router_hops(net: &Network, src: NodeId, dst: NodeId) -> Option<u32> {
+    let path = shortest_path(net, src, dst)?;
+    Some(path.iter().filter(|&&v| net.is_router(v)).count() as u32)
+}
+
+/// Whether every vertex can reach every other (the network is
+/// connected; cables are duplex so directed connectivity equals
+/// undirected).
+pub fn is_connected(net: &Network) -> bool {
+    let n = net.node_count();
+    if n == 0 {
+        return true;
+    }
+    let d = distances(net, NodeId(0));
+    d.iter().all(|&x| x != u32::MAX)
+}
+
+/// Maximum over all end-node pairs of the shortest-path router hops:
+/// the paper's "maximum delay". `None` for networks with fewer than two
+/// end nodes or with unreachable pairs.
+pub fn max_router_hops(net: &Network) -> Option<u32> {
+    let ends: Vec<NodeId> = net.end_nodes().collect();
+    if ends.len() < 2 {
+        return None;
+    }
+    let mut best = 0u32;
+    for &s in &ends {
+        let dist = distances(net, s);
+        // Hops via distance: path vertices = dist + 1, routers = dist − 1
+        // for end-to-end paths (both endpoints are end nodes).
+        for &t in &ends {
+            if t == s {
+                continue;
+            }
+            let d = dist[t.index()];
+            if d == u32::MAX {
+                return None;
+            }
+            best = best.max(d - 1);
+        }
+    }
+    Some(best)
+}
+
+/// Mean over all ordered end-node pairs of the shortest-path router
+/// hops (the paper's "average hops", Table 2).
+pub fn avg_router_hops(net: &Network) -> Option<f64> {
+    let ends: Vec<NodeId> = net.end_nodes().collect();
+    if ends.len() < 2 {
+        return None;
+    }
+    let mut total = 0u64;
+    let mut pairs = 0u64;
+    for &s in &ends {
+        let dist = distances(net, s);
+        for &t in &ends {
+            if t == s {
+                continue;
+            }
+            let d = dist[t.index()];
+            if d == u32::MAX {
+                return None;
+            }
+            total += u64::from(d - 1);
+            pairs += 1;
+        }
+    }
+    Some(total as f64 / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LinkClass;
+
+    /// A path of `n` routers with one end node on each extreme router.
+    fn router_path(n: usize) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let routers: Vec<NodeId> = (0..n).map(|i| net.add_router(format!("r{i}"), 6)).collect();
+        for w in routers.windows(2) {
+            net.connect_any(w[0], w[1], LinkClass::Local).unwrap();
+        }
+        let a = net.add_end_node("a");
+        let b = net.add_end_node("b");
+        net.connect_any(routers[0], a, LinkClass::Attach).unwrap();
+        net.connect_any(routers[n - 1], b, LinkClass::Attach).unwrap();
+        (net, a, b)
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let (net, a, b) = router_path(4);
+        let d = distances(&net, a);
+        assert_eq!(d[b.index()], 5); // a -r0-r1-r2-r3- b
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let (net, a, b) = router_path(3);
+        let p = shortest_path(&net, a, b).unwrap();
+        assert_eq!(p.first(), Some(&a));
+        assert_eq!(p.last(), Some(&b));
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn router_hops_counts_routers_only() {
+        let (net, a, b) = router_path(3);
+        assert_eq!(router_hops(&net, a, b), Some(3));
+    }
+
+    #[test]
+    fn same_router_pair_is_one_hop() {
+        let mut net = Network::new();
+        let r = net.add_router("r", 6);
+        let a = net.add_end_node("a");
+        let b = net.add_end_node("b");
+        net.connect_any(r, a, LinkClass::Attach).unwrap();
+        net.connect_any(r, b, LinkClass::Attach).unwrap();
+        assert_eq!(router_hops(&net, a, b), Some(1));
+        assert_eq!(max_router_hops(&net), Some(1));
+        assert_eq!(avg_router_hops(&net), Some(1.0));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut net = Network::new();
+        net.add_router("r0", 6);
+        net.add_router("r1", 6);
+        assert!(!is_connected(&net));
+        let d = distances(&net, NodeId(0));
+        assert_eq!(d[1], u32::MAX);
+        assert!(shortest_path(&net, NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn connected_detected() {
+        let (net, _, _) = router_path(5);
+        assert!(is_connected(&net));
+    }
+
+    #[test]
+    fn max_and_avg_hops_on_path() {
+        let (net, _, _) = router_path(4);
+        assert_eq!(max_router_hops(&net), Some(4));
+        assert_eq!(avg_router_hops(&net), Some(4.0));
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let (net, a, _) = router_path(2);
+        assert_eq!(shortest_path(&net, a, a), Some(vec![a]));
+    }
+}

@@ -1,0 +1,96 @@
+//! Union-find (disjoint sets), used for connectivity accounting in
+//! topology builders and fault-injection experiments (how many
+//! partitions does a failed fabric split into?).
+
+/// Disjoint-set forest with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct DisjointSets {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of distinct sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut d = DisjointSets::new(4);
+        assert_eq!(d.set_count(), 4);
+        assert!(!d.connected(0, 1));
+        assert_eq!(d.set_size(2), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut d = DisjointSets::new(5);
+        assert!(d.union(0, 1));
+        assert!(d.union(1, 2));
+        assert!(!d.union(0, 2), "already merged");
+        assert_eq!(d.set_count(), 3);
+        assert!(d.connected(0, 2));
+        assert!(!d.connected(0, 3));
+        assert_eq!(d.set_size(1), 3);
+    }
+
+    #[test]
+    fn full_merge() {
+        let mut d = DisjointSets::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.set_count(), 1);
+        assert!(d.connected(0, 99));
+        assert_eq!(d.set_size(50), 100);
+    }
+}

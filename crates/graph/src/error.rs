@@ -1,0 +1,69 @@
+//! Error type for network construction.
+
+use crate::ids::{NodeId, PortId};
+use std::fmt;
+
+/// Errors raised while building or mutating a [`crate::Network`].
+///
+/// Construction is fallible on purpose: the paper's core constraint is
+/// the fixed port budget of the router ASIC ("The first generation of
+/// ServerNet is implemented with 6-port routers"), and topology builders
+/// must not silently exceed it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A port index was at or beyond the router's port count.
+    PortOutOfRange {
+        /// The router whose port was addressed.
+        node: NodeId,
+        /// The offending port index.
+        port: PortId,
+        /// How many ports the router actually has.
+        capacity: u8,
+    },
+    /// Two cables were attached to the same port of the same router.
+    PortInUse {
+        /// The router whose port was double-booked.
+        node: NodeId,
+        /// The port already carrying a cable.
+        port: PortId,
+    },
+    /// A cable's two ends were attached to the same vertex.
+    SelfLoop {
+        /// The vertex in question.
+        node: NodeId,
+    },
+    /// An end node (CPU / I/O adapter), which has exactly one implicit
+    /// port per fabric, was connected more than once.
+    EndNodeInUse {
+        /// The end node already attached to a cable.
+        node: NodeId,
+    },
+    /// A [`NodeId`] did not exist in the network.
+    NoSuchNode {
+        /// The missing id.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::PortOutOfRange { node, port, capacity } => write!(
+                f,
+                "port {port:?} out of range on {node} (router has {capacity} ports)"
+            ),
+            GraphError::PortInUse { node, port } => {
+                write!(f, "port {port:?} on {node} already carries a cable")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "cannot cable {node} to itself")
+            }
+            GraphError::EndNodeInUse { node } => {
+                write!(f, "end node {node} is already attached to a router")
+            }
+            GraphError::NoSuchNode { node } => write!(f, "no such node: {node}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,194 @@
+//! Strongly-typed identifiers for vertices, ports, cables and channels.
+//!
+//! ServerNet cables are full duplex: one physical cable carries two
+//! unidirectional byte-serial links (the paper, §1: "Full duplex
+//! operation is provided by pairing two unidirectional links in a
+//! cable"). Deadlock analysis (channel-dependency graphs) operates on
+//! the *unidirectional* channels, while cost and bisection accounting
+//! operate on cables. We therefore keep two identifier types:
+//! [`LinkId`] for the duplex cable and [`ChannelId`] for one direction
+//! of it.
+
+use std::fmt;
+
+/// Index of a vertex in a [`crate::Network`]: either a router or an end
+/// node (CPU or I/O adapter).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Index of a port on a specific router (0-based; a 6-port ServerNet
+/// router has ports 0..6).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u8);
+
+/// Index of a full-duplex cable in a [`crate::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Direction of travel over a cable, relative to the order in which its
+/// endpoints were given to [`crate::Network::connect`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Direction {
+    /// From the first endpoint (`a`) toward the second (`b`).
+    Forward,
+    /// From the second endpoint (`b`) toward the first (`a`).
+    Reverse,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// One unidirectional channel: a (cable, direction) pair, packed so that
+/// channels can index dense arrays.
+///
+/// The packing is `cable * 2 + direction`, so a network with `L` cables
+/// has channels `0..2L`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// Builds the channel for travelling over `link` in `dir`.
+    #[inline]
+    pub fn new(link: LinkId, dir: Direction) -> Self {
+        let bit = match dir {
+            Direction::Forward => 0,
+            Direction::Reverse => 1,
+        };
+        ChannelId(link.0 * 2 + bit)
+    }
+
+    /// The cable this channel belongs to.
+    #[inline]
+    pub fn link(self) -> LinkId {
+        LinkId(self.0 / 2)
+    }
+
+    /// The direction of travel over [`Self::link`].
+    #[inline]
+    pub fn direction(self) -> Direction {
+        if self.0 & 1 == 0 {
+            Direction::Forward
+        } else {
+            Direction::Reverse
+        }
+    }
+
+    /// The channel going the other way over the same cable.
+    #[inline]
+    pub fn reverse(self) -> Self {
+        ChannelId(self.0 ^ 1)
+    }
+
+    /// Dense index usable for channel-keyed arrays (`0..2 * links`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// Dense index usable for node-keyed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Dense index usable for link-keyed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// Dense index usable for port-keyed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Debug for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}({:?}/{:?})", self.0, self.link(), self.direction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_packing_roundtrip() {
+        for raw in 0..64u32 {
+            let link = LinkId(raw);
+            for dir in [Direction::Forward, Direction::Reverse] {
+                let ch = ChannelId::new(link, dir);
+                assert_eq!(ch.link(), link);
+                assert_eq!(ch.direction(), dir);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_reverse_is_involution() {
+        let ch = ChannelId::new(LinkId(7), Direction::Forward);
+        assert_eq!(ch.reverse().reverse(), ch);
+        assert_eq!(ch.reverse().link(), ch.link());
+        assert_ne!(ch.reverse().direction(), ch.direction());
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Reverse);
+        assert_eq!(Direction::Reverse.flip(), Direction::Forward);
+    }
+
+    #[test]
+    fn dense_indices_are_contiguous() {
+        // Channels of links 0..3 must cover indices 0..6 exactly once.
+        let mut seen = [false; 6];
+        for l in 0..3u32 {
+            for dir in [Direction::Forward, Direction::Reverse] {
+                let idx = ChannelId::new(LinkId(l), dir).index();
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

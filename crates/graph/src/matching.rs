@@ -1,0 +1,196 @@
+//! Hopcroft–Karp maximum bipartite matching, used for the paper's
+//! **maximum link contention** metric.
+//!
+//! §3.1 defines worst-case contention operationally: a set of
+//! *simultaneous transfers* — pairwise-distinct sources and
+//! pairwise-distinct destinations — all forced through one link
+//! ("simultaneous transfers from A1-F6, A2-E6, A3-D6, A4-C6, and
+//! A5-B6 … a total of ten transfers may simultaneously try to share the
+//! A6 links"). Given the set of (source, destination) pairs whose fixed
+//! route crosses a link, the largest such transfer set is exactly a
+//! maximum matching between sources and destinations.
+
+use std::collections::VecDeque;
+
+/// A bipartite graph between `left` vertices `0..nl` and `right`
+/// vertices `0..nr`.
+#[derive(Clone, Debug)]
+pub struct Bipartite {
+    nl: usize,
+    nr: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl Bipartite {
+    /// Creates an empty bipartite graph with `nl` left and `nr` right
+    /// vertices.
+    pub fn new(nl: usize, nr: usize) -> Self {
+        Bipartite { nl, nr, adj: vec![Vec::new(); nl] }
+    }
+
+    /// Adds the edge `left l` — `right r`.
+    pub fn add_edge(&mut self, l: u32, r: u32) {
+        debug_assert!((l as usize) < self.nl && (r as usize) < self.nr);
+        self.adj[l as usize].push(r);
+    }
+
+    /// Size of a maximum matching (Hopcroft–Karp, O(E√V)).
+    pub fn max_matching(&self) -> usize {
+        self.max_matching_pairs().len()
+    }
+
+    /// A maximum matching as `(left, right)` pairs.
+    pub fn max_matching_pairs(&self) -> Vec<(u32, u32)> {
+        const NIL: u32 = u32::MAX;
+        let mut match_l = vec![NIL; self.nl];
+        let mut match_r = vec![NIL; self.nr];
+        let mut dist = vec![0u32; self.nl];
+
+        loop {
+            // BFS from all free left vertices.
+            let mut queue = VecDeque::new();
+            let mut found_augmenting_layer = false;
+            for l in 0..self.nl {
+                if match_l[l] == NIL {
+                    dist[l] = 0;
+                    queue.push_back(l as u32);
+                } else {
+                    dist[l] = u32::MAX;
+                }
+            }
+            let mut free_dist = u32::MAX;
+            while let Some(l) = queue.pop_front() {
+                if dist[l as usize] >= free_dist {
+                    continue;
+                }
+                for &r in &self.adj[l as usize] {
+                    let next = match_r[r as usize];
+                    if next == NIL {
+                        // Found a free right vertex at this layer.
+                        free_dist = free_dist.min(dist[l as usize] + 1);
+                        found_augmenting_layer = true;
+                    } else if dist[next as usize] == u32::MAX {
+                        dist[next as usize] = dist[l as usize] + 1;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            if !found_augmenting_layer {
+                break;
+            }
+            // DFS phase: vertex-disjoint augmenting paths along layers.
+            for l in 0..self.nl as u32 {
+                if match_l[l as usize] == NIL {
+                    self.try_augment(l, &mut match_l, &mut match_r, &mut dist);
+                }
+            }
+        }
+
+        (0..self.nl as u32)
+            .filter(|&l| match_l[l as usize] != NIL)
+            .map(|l| (l, match_l[l as usize]))
+            .collect()
+    }
+
+    fn try_augment(&self, l: u32, match_l: &mut [u32], match_r: &mut [u32], dist: &mut [u32]) -> bool {
+        const NIL: u32 = u32::MAX;
+        for &r in &self.adj[l as usize] {
+            let next = match_r[r as usize];
+            if next == NIL
+                || (dist[next as usize] == dist[l as usize] + 1
+                    && self.try_augment(next, match_l, match_r, dist))
+            {
+                match_l[l as usize] = r;
+                match_r[r as usize] = l;
+                return true;
+            }
+        }
+        dist[l as usize] = u32::MAX;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bip(nl: usize, nr: usize, edges: &[(u32, u32)]) -> Bipartite {
+        let mut b = Bipartite::new(nl, nr);
+        for &(l, r) in edges {
+            b.add_edge(l, r);
+        }
+        b
+    }
+
+    #[test]
+    fn empty_graph_matches_zero() {
+        assert_eq!(bip(3, 3, &[]).max_matching(), 0);
+    }
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let edges: Vec<_> = (0..5).map(|i| (i, i)).collect();
+        assert_eq!(bip(5, 5, &edges).max_matching(), 5);
+    }
+
+    #[test]
+    fn star_matches_one() {
+        // One source to many destinations: only one simultaneous
+        // transfer (sources must be distinct).
+        let edges: Vec<_> = (0..6).map(|r| (0, r)).collect();
+        assert_eq!(bip(1, 6, &edges).max_matching(), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_matches_min_side() {
+        let mut edges = Vec::new();
+        for l in 0..3 {
+            for r in 0..7 {
+                edges.push((l, r));
+            }
+        }
+        assert_eq!(bip(3, 7, &edges).max_matching(), 3);
+        // Transposed.
+        let t: Vec<_> = edges.iter().map(|&(l, r)| (r, l)).collect();
+        assert_eq!(bip(7, 3, &t).max_matching(), 3);
+    }
+
+    #[test]
+    fn augmenting_path_required() {
+        // l0-r0, l0-r1, l1-r0: greedy l0→r0 blocks l1 unless augmented.
+        let b = bip(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        assert_eq!(b.max_matching(), 2);
+    }
+
+    #[test]
+    fn matching_pairs_are_consistent() {
+        let b = bip(4, 4, &[(0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)]);
+        let pairs = b.max_matching_pairs();
+        assert_eq!(pairs.len(), 4);
+        let mut ls: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        let mut rs: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        ls.sort_unstable();
+        rs.sort_unstable();
+        ls.dedup();
+        rs.dedup();
+        assert_eq!(ls.len(), 4, "left vertices must be distinct");
+        assert_eq!(rs.len(), 4, "right vertices must be distinct");
+        for &(l, r) in &pairs {
+            assert!(b.adj[l as usize].contains(&r));
+        }
+    }
+
+    #[test]
+    fn paper_mesh_corner_example() {
+        // §3.1: sources = 12 nodes of column A, destinations = 10 nodes
+        // of row 6 columns B..F; every source may pair with every
+        // destination → matching = 10 ("a total of ten transfers").
+        let mut b = Bipartite::new(12, 10);
+        for l in 0..12 {
+            for r in 0..10 {
+                b.add_edge(l, r);
+            }
+        }
+        assert_eq!(b.max_matching(), 10);
+    }
+}

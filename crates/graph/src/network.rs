@@ -1,0 +1,522 @@
+//! The port-aware network representation.
+//!
+//! A [`Network`] models a ServerNet-style fabric: **routers** with a
+//! fixed number of ports (6 on the first-generation ServerNet ASIC),
+//! **end nodes** (CPUs and I/O adapters), and full-duplex **cables**
+//! attached to specific ports. Ports are a hard budget — attaching a
+//! cable to a port that is out of range or already occupied is an error,
+//! because the paper's entire §3 comparison is about what can be built
+//! "given a specific router whose design has been driven by technology
+//! constraints".
+
+use crate::error::GraphError;
+use crate::ids::{ChannelId, Direction, LinkId, NodeId, PortId};
+
+/// What a vertex is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A packet switch (ServerNet router ASIC) with `ports` ports.
+    Router {
+        /// Number of ports on the ASIC (6 for first-generation ServerNet).
+        ports: u8,
+    },
+    /// An end node: a CPU or peripheral adapter. End nodes have `ports`
+    /// network attachments (1 for a single fabric; 2 for the dual-ported
+    /// nodes used by paired fabrics).
+    EndNode {
+        /// Number of network attachments.
+        ports: u8,
+    },
+}
+
+impl NodeKind {
+    /// Port budget of this vertex.
+    #[inline]
+    pub fn ports(&self) -> u8 {
+        match *self {
+            NodeKind::Router { ports } | NodeKind::EndNode { ports } => ports,
+        }
+    }
+
+    /// Whether this vertex is a router.
+    #[inline]
+    pub fn is_router(&self) -> bool {
+        matches!(self, NodeKind::Router { .. })
+    }
+}
+
+/// Per-vertex record.
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// Router or end node, with its port budget.
+    pub kind: NodeKind,
+    /// Human-readable name used by experiment printouts and tests
+    /// (e.g. `"L1T3.R2"` for router 2 of level-1 tetrahedron 3).
+    pub label: String,
+}
+
+/// Role of a cable inside the topology that created it.
+///
+/// The paper's metrics distinguish link populations: Fig 3 quotes
+/// contention on "the inter-router links", and the fractahedral
+/// constructions distinguish intra-tetrahedron links from inter-level
+/// links. Builders tag each cable so the metrics crate can slice
+/// per-class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Router ↔ end node attachment.
+    Attach,
+    /// Router ↔ router within one stage / cluster / tetrahedron.
+    Local,
+    /// Router ↔ router crossing from level `k` up to level `k + 1`
+    /// (levels as in the paper's fractahedron and fat-tree figures,
+    /// counting the lowest router stage as level 1).
+    Level(u8),
+}
+
+/// Per-cable record. `a` and `b` are the two attachment points; the
+/// [`Direction::Forward`] channel travels `a → b`.
+#[derive(Clone, Debug)]
+pub struct LinkInfo {
+    /// First endpoint.
+    pub a: (NodeId, PortId),
+    /// Second endpoint.
+    pub b: (NodeId, PortId),
+    /// Topological role of the cable.
+    pub class: LinkClass,
+}
+
+/// A port-aware undirected multigraph of routers, end nodes and
+/// full-duplex cables. See the [module docs](self).
+///
+/// ```
+/// use fractanet_graph::{LinkClass, Network, PortId};
+///
+/// let mut net = Network::new();
+/// let a = net.add_router("a", 6);
+/// let b = net.add_router("b", 6);
+/// let cpu = net.add_end_node("cpu0");
+/// net.connect(a, PortId(0), b, PortId(0), LinkClass::Local).unwrap();
+/// net.connect_any(a, cpu, LinkClass::Attach).unwrap();
+/// assert_eq!(net.router_count(), 2);
+/// assert_eq!(net.free_ports(a), 4);
+/// // Port 0 is taken on both routers now:
+/// assert!(net.connect(a, PortId(0), b, PortId(1), LinkClass::Local).is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    nodes: Vec<NodeInfo>,
+    links: Vec<LinkInfo>,
+    /// `ports[v][p]` = the cable occupying port `p` of vertex `v`.
+    ports: Vec<Vec<Option<LinkId>>>,
+    /// Outgoing channels per vertex: `(channel, far end)`.
+    adj: Vec<Vec<(ChannelId, NodeId)>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a router with `ports` ports. Returns its id.
+    pub fn add_router(&mut self, label: impl Into<String>, ports: u8) -> NodeId {
+        self.push_node(NodeInfo { kind: NodeKind::Router { ports }, label: label.into() })
+    }
+
+    /// Adds a single-ported end node (CPU or I/O adapter). Returns its id.
+    pub fn add_end_node(&mut self, label: impl Into<String>) -> NodeId {
+        self.add_end_node_with_ports(label, 1)
+    }
+
+    /// Adds an end node with `ports` network attachments (2 for the
+    /// dual-ported nodes of a paired fabric).
+    pub fn add_end_node_with_ports(&mut self, label: impl Into<String>, ports: u8) -> NodeId {
+        self.push_node(NodeInfo { kind: NodeKind::EndNode { ports }, label: label.into() })
+    }
+
+    fn push_node(&mut self, info: NodeInfo) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.ports.push(vec![None; info.kind.ports() as usize]);
+        self.adj.push(Vec::new());
+        self.nodes.push(info);
+        id
+    }
+
+    /// Cables port `pa` of `a` to port `pb` of `b`. Fails if either port
+    /// is out of range or occupied, or if `a == b`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        class: LinkClass,
+    ) -> Result<LinkId, GraphError> {
+        self.check_port_free(a, pa)?;
+        self.check_port_free(b, pb)?;
+        if a == b {
+            return Err(GraphError::SelfLoop { node: a });
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkInfo { a: (a, pa), b: (b, pb), class });
+        self.ports[a.index()][pa.index()] = Some(id);
+        self.ports[b.index()][pb.index()] = Some(id);
+        self.adj[a.index()].push((ChannelId::new(id, Direction::Forward), b));
+        self.adj[b.index()].push((ChannelId::new(id, Direction::Reverse), a));
+        Ok(id)
+    }
+
+    /// Cables `a` to `b` using the lowest-numbered free port on each
+    /// side. Fails if either vertex has no free port.
+    pub fn connect_any(&mut self, a: NodeId, b: NodeId, class: LinkClass) -> Result<LinkId, GraphError> {
+        let pa = self.first_free_port(a)?;
+        let pb = self.first_free_port(b)?;
+        self.connect(a, pa, b, pb, class)
+    }
+
+    fn check_port_free(&self, node: NodeId, port: PortId) -> Result<(), GraphError> {
+        let info = self.node_checked(node)?;
+        let cap = info.kind.ports();
+        if port.0 >= cap {
+            return Err(GraphError::PortOutOfRange { node, port, capacity: cap });
+        }
+        if self.ports[node.index()][port.index()].is_some() {
+            if info.kind.is_router() {
+                return Err(GraphError::PortInUse { node, port });
+            }
+            return Err(GraphError::EndNodeInUse { node });
+        }
+        Ok(())
+    }
+
+    fn node_checked(&self, node: NodeId) -> Result<&NodeInfo, GraphError> {
+        self.nodes.get(node.index()).ok_or(GraphError::NoSuchNode { node })
+    }
+
+    /// Lowest-numbered free port of `node`, or an error if all ports are
+    /// occupied.
+    pub fn first_free_port(&self, node: NodeId) -> Result<PortId, GraphError> {
+        let info = self.node_checked(node)?;
+        for p in 0..info.kind.ports() {
+            if self.ports[node.index()][p as usize].is_none() {
+                return Ok(PortId(p));
+            }
+        }
+        // Reuse PortInUse/EndNodeInUse shapes for "no free port".
+        if info.kind.is_router() {
+            Err(GraphError::PortInUse { node, port: PortId(info.kind.ports().saturating_sub(1)) })
+        } else {
+            Err(GraphError::EndNodeInUse { node })
+        }
+    }
+
+    /// Number of vertices (routers + end nodes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of full-duplex cables.
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of unidirectional channels (`2 × link_count`).
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.links.len() * 2
+    }
+
+    /// All vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Ids of all routers.
+    pub fn routers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.kind(n).is_router())
+    }
+
+    /// Ids of all end nodes.
+    pub fn end_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| !self.kind(n).is_router())
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.routers().count()
+    }
+
+    /// Number of end nodes.
+    pub fn end_node_count(&self) -> usize {
+        self.end_nodes().count()
+    }
+
+    /// The kind of `node`. Panics if out of range.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> &NodeKind {
+        &self.nodes[node.index()].kind
+    }
+
+    /// The label of `node`. Panics if out of range.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].label
+    }
+
+    /// Whether `node` is a router.
+    #[inline]
+    pub fn is_router(&self, node: NodeId) -> bool {
+        self.kind(node).is_router()
+    }
+
+    /// The cable record for `link`. Panics if out of range.
+    #[inline]
+    pub fn link(&self, link: LinkId) -> &LinkInfo {
+        &self.links[link.index()]
+    }
+
+    /// All cable ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// All unidirectional channel ids.
+    pub fn channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channel_count() as u32).map(ChannelId)
+    }
+
+    /// Vertex a channel leaves from.
+    #[inline]
+    pub fn channel_src(&self, ch: ChannelId) -> NodeId {
+        let l = self.link(ch.link());
+        match ch.direction() {
+            Direction::Forward => l.a.0,
+            Direction::Reverse => l.b.0,
+        }
+    }
+
+    /// Vertex a channel arrives at.
+    #[inline]
+    pub fn channel_dst(&self, ch: ChannelId) -> NodeId {
+        let l = self.link(ch.link());
+        match ch.direction() {
+            Direction::Forward => l.b.0,
+            Direction::Reverse => l.a.0,
+        }
+    }
+
+    /// The output port a channel leaves through (on
+    /// [`Self::channel_src`]).
+    #[inline]
+    pub fn channel_src_port(&self, ch: ChannelId) -> PortId {
+        let l = self.link(ch.link());
+        match ch.direction() {
+            Direction::Forward => l.a.1,
+            Direction::Reverse => l.b.1,
+        }
+    }
+
+    /// The input port a channel arrives on (on [`Self::channel_dst`]).
+    #[inline]
+    pub fn channel_dst_port(&self, ch: ChannelId) -> PortId {
+        let l = self.link(ch.link());
+        match ch.direction() {
+            Direction::Forward => l.b.1,
+            Direction::Reverse => l.a.1,
+        }
+    }
+
+    /// Outgoing channels of `node` as `(channel, far end)` pairs, in
+    /// attachment order.
+    #[inline]
+    pub fn channels_from(&self, node: NodeId) -> &[(ChannelId, NodeId)] {
+        &self.adj[node.index()]
+    }
+
+    /// Neighbours of `node` (one entry per cable; may repeat for
+    /// parallel cables).
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[node.index()].iter().map(|&(_, n)| n)
+    }
+
+    /// Number of cables attached to `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Number of unoccupied ports on `node`.
+    pub fn free_ports(&self, node: NodeId) -> usize {
+        self.ports[node.index()].iter().filter(|s| s.is_none()).count()
+    }
+
+    /// The cable occupying `port` of `node`, if any.
+    pub fn link_at(&self, node: NodeId, port: PortId) -> Option<LinkId> {
+        self.ports[node.index()].get(port.index()).copied().flatten()
+    }
+
+    /// The outgoing channel of `node` through `port`, if a cable is
+    /// attached there.
+    pub fn channel_out(&self, node: NodeId, port: PortId) -> Option<ChannelId> {
+        let link = self.link_at(node, port)?;
+        let info = self.link(link);
+        let dir = if info.a == (node, port) { Direction::Forward } else { Direction::Reverse };
+        Some(ChannelId::new(link, dir))
+    }
+
+    /// First channel from `a` directly to `b`, if the two are cabled.
+    pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
+        self.adj[a.index()].iter().find(|&&(_, n)| n == b).map(|&(ch, _)| ch)
+    }
+
+    /// Checks internal invariants; used by property tests. Returns a
+    /// description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, l) in self.links.iter().enumerate() {
+            let id = LinkId(i as u32);
+            for &(n, p) in [&l.a, &l.b] {
+                if n.index() >= self.nodes.len() {
+                    return Err(format!("{id:?}: endpoint {n} out of range"));
+                }
+                if self.ports[n.index()].get(p.index()) != Some(&Some(id)) {
+                    return Err(format!("{id:?}: port table disagrees at {n}/{p:?}"));
+                }
+            }
+            if l.a.0 == l.b.0 {
+                return Err(format!("{id:?}: self loop at {}", l.a.0));
+            }
+        }
+        for v in self.nodes() {
+            let occupied = self.ports[v.index()].iter().filter(|s| s.is_some()).count();
+            if occupied != self.degree(v) {
+                return Err(format!("{v}: degree {} != occupied ports {occupied}", self.degree(v)));
+            }
+            for &(ch, far) in self.channels_from(v) {
+                if self.channel_src(ch) != v || self.channel_dst(ch) != far {
+                    return Err(format!("{v}: adjacency entry {ch:?} inconsistent"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_routers() -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_router("a", 6);
+        let b = net.add_router("b", 6);
+        (net, a, b)
+    }
+
+    #[test]
+    fn connect_assigns_ports_and_channels() {
+        let (mut net, a, b) = two_routers();
+        let l = net.connect(a, PortId(2), b, PortId(5), LinkClass::Local).unwrap();
+        assert_eq!(net.link_count(), 1);
+        assert_eq!(net.channel_count(), 2);
+        let fwd = ChannelId::new(l, Direction::Forward);
+        assert_eq!(net.channel_src(fwd), a);
+        assert_eq!(net.channel_dst(fwd), b);
+        assert_eq!(net.channel_src(fwd.reverse()), b);
+        assert_eq!(net.channel_src_port(fwd), PortId(2));
+        assert_eq!(net.channel_dst_port(fwd), PortId(5));
+        assert_eq!(net.link_at(a, PortId(2)), Some(l));
+        assert_eq!(net.free_ports(a), 5);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn port_reuse_rejected() {
+        let (mut net, a, b) = two_routers();
+        net.connect(a, PortId(0), b, PortId(0), LinkClass::Local).unwrap();
+        let err = net.connect(a, PortId(0), b, PortId(1), LinkClass::Local).unwrap_err();
+        assert_eq!(err, GraphError::PortInUse { node: a, port: PortId(0) });
+    }
+
+    #[test]
+    fn port_out_of_range_rejected() {
+        let (mut net, a, b) = two_routers();
+        let err = net.connect(a, PortId(6), b, PortId(0), LinkClass::Local).unwrap_err();
+        assert_eq!(err, GraphError::PortOutOfRange { node: a, port: PortId(6), capacity: 6 });
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let (mut net, a, _) = two_routers();
+        let err = net.connect(a, PortId(0), a, PortId(1), LinkClass::Local).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: a });
+    }
+
+    #[test]
+    fn end_node_single_attachment() {
+        let mut net = Network::new();
+        let r = net.add_router("r", 6);
+        let n = net.add_end_node("cpu0");
+        net.connect_any(r, n, LinkClass::Attach).unwrap();
+        let err = net.connect_any(r, n, LinkClass::Attach).unwrap_err();
+        assert_eq!(err, GraphError::EndNodeInUse { node: n });
+    }
+
+    #[test]
+    fn dual_ported_end_node_allows_two_fabrics() {
+        let mut net = Network::new();
+        let rx = net.add_router("x", 6);
+        let ry = net.add_router("y", 6);
+        let n = net.add_end_node_with_ports("cpu0", 2);
+        net.connect_any(rx, n, LinkClass::Attach).unwrap();
+        net.connect_any(ry, n, LinkClass::Attach).unwrap();
+        assert_eq!(net.degree(n), 2);
+    }
+
+    #[test]
+    fn connect_any_fills_ports_in_order() {
+        let (mut net, a, b) = two_routers();
+        for i in 0..6u8 {
+            let l = net.connect_any(a, b, LinkClass::Local).unwrap();
+            assert_eq!(net.link(l).a.1, PortId(i));
+        }
+        assert!(net.connect_any(a, b, LinkClass::Local).is_err());
+        assert_eq!(net.degree(a), 6);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn channel_between_finds_direct_cable() {
+        let (mut net, a, b) = two_routers();
+        assert!(net.channel_between(a, b).is_none());
+        net.connect_any(a, b, LinkClass::Local).unwrap();
+        let ch = net.channel_between(a, b).unwrap();
+        assert_eq!(net.channel_src(ch), a);
+        assert_eq!(net.channel_dst(ch), b);
+    }
+
+    #[test]
+    fn channel_out_matches_port() {
+        let (mut net, a, b) = two_routers();
+        net.connect(a, PortId(3), b, PortId(1), LinkClass::Local).unwrap();
+        let ch = net.channel_out(a, PortId(3)).unwrap();
+        assert_eq!(net.channel_dst(ch), b);
+        assert!(net.channel_out(a, PortId(0)).is_none());
+        // From b's side the same cable is the Reverse channel.
+        let chb = net.channel_out(b, PortId(1)).unwrap();
+        assert_eq!(chb, ch.reverse());
+    }
+
+    #[test]
+    fn router_and_end_node_counts() {
+        let mut net = Network::new();
+        net.add_router("r0", 6);
+        net.add_router("r1", 4);
+        net.add_end_node("n0");
+        assert_eq!(net.router_count(), 2);
+        assert_eq!(net.end_node_count(), 1);
+        assert_eq!(net.node_count(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Graphviz export for visual inspection of topologies.
+//!
+//! The paper's figures are hand-drawn network diagrams; `to_dot` lets
+//! any constructed [`Network`] be rendered the same way
+//! (`dot -Tsvg out.dot`). Routers are boxes, end nodes are ellipses,
+//! link classes are colored: attach = gray, intra-stage = black,
+//! inter-level = blue with the level annotated.
+
+use crate::network::{LinkClass, Network};
+use std::fmt::Write;
+
+/// Options for [`to_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Include end nodes (hide them to see router structure only).
+    pub show_end_nodes: bool,
+    /// Annotate links with their ids.
+    pub show_link_ids: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { name: "fractanet".into(), show_end_nodes: true, show_link_ids: false }
+    }
+}
+
+/// Renders the network as a Graphviz `graph` document.
+pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", opts.name);
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for v in net.nodes() {
+        let is_router = net.is_router(v);
+        if !is_router && !opts.show_end_nodes {
+            continue;
+        }
+        let shape = if is_router { "box" } else { "ellipse" };
+        let style = if is_router { "filled" } else { "solid" };
+        let fill = if is_router { "lightyellow" } else { "white" };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={shape}, style={style}, fillcolor={fill}];",
+            v.index(),
+            net.label(v)
+        );
+    }
+    for l in net.links() {
+        let info = net.link(l);
+        if !opts.show_end_nodes
+            && (!net.is_router(info.a.0) || !net.is_router(info.b.0))
+        {
+            continue;
+        }
+        let (color, extra) = match info.class {
+            LinkClass::Attach => ("gray60", String::new()),
+            LinkClass::Local => ("black", String::new()),
+            LinkClass::Level(k) => ("blue", format!(", label=\"L{k}\"")),
+        };
+        let id = if opts.show_link_ids { format!(", xlabel=\"{}\"", l.index()) } else { String::new() };
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [color={color}{extra}{id}];",
+            info.a.0.index(),
+            info.b.0.index()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Shorthand with default options.
+pub fn to_dot_default(net: &Network) -> String {
+    to_dot(net, &DotOptions::default())
+}
+
+/// Renders only the router fabric (end nodes hidden).
+pub fn routers_only_dot(net: &Network, name: &str) -> String {
+    to_dot(net, &DotOptions { name: name.into(), show_end_nodes: false, show_link_ids: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::PortId;
+
+    fn sample() -> Network {
+        let mut net = Network::new();
+        let a = net.add_router("A", 6);
+        let b = net.add_router("B", 6);
+        net.connect(a, PortId(0), b, PortId(0), LinkClass::Local).unwrap();
+        net.connect(a, PortId(5), b, PortId(5), LinkClass::Level(1)).unwrap();
+        let e = net.add_end_node("cpu");
+        net.connect(a, PortId(1), e, PortId(0), LinkClass::Attach).unwrap();
+        net
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let net = sample();
+        let dot = to_dot_default(&net);
+        assert!(dot.starts_with("graph \"fractanet\" {"));
+        assert!(dot.contains("label=\"A\""));
+        assert!(dot.contains("label=\"cpu\""));
+        assert!(dot.contains("n0 -- n1 [color=black]"));
+        assert!(dot.contains("color=blue, label=\"L1\""));
+        assert!(dot.contains("color=gray60"));
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per vertex, one edge line per cable.
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn routers_only_hides_end_nodes() {
+        let net = sample();
+        let dot = routers_only_dot(&net, "fabric");
+        assert!(!dot.contains("cpu"));
+        assert!(!dot.contains("gray60"));
+        assert_eq!(dot.matches(" -- ").count(), 2);
+    }
+
+    #[test]
+    fn link_ids_optional() {
+        let net = sample();
+        let opts = DotOptions { show_link_ids: true, ..DotOptions::default() };
+        let dot = to_dot(&net, &opts);
+        assert!(dot.contains("xlabel=\"0\""));
+    }
+}

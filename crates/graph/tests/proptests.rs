@@ -1,0 +1,237 @@
+//! Property-based tests for the graph substrate.
+
+use fractanet_graph::adjlist::AdjList;
+use fractanet_graph::flow::FlowNetwork;
+use fractanet_graph::matching::Bipartite;
+use fractanet_graph::network::{LinkClass, Network};
+use fractanet_graph::{bfs, DisjointSets, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random list of candidate cables over `n` routers.
+fn cable_lists(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n as u32, 0..n as u32), 0..40)
+}
+
+proptest! {
+    /// Whatever sequence of connect_any calls succeeds, the network's
+    /// internal invariants hold and every attachment is symmetric.
+    #[test]
+    fn network_invariants_hold(pairs in cable_lists(8)) {
+        let mut net = Network::new();
+        let routers: Vec<NodeId> = (0..8).map(|i| net.add_router(format!("r{i}"), 6)).collect();
+        for (a, b) in pairs {
+            // Ignore failures (port exhaustion, self loops): the point is
+            // that successes never corrupt state.
+            let _ = net.connect_any(routers[a as usize], routers[b as usize], LinkClass::Local);
+        }
+        prop_assert!(net.validate().is_ok());
+        // Degrees match channel lists, and total degree = 2 * links.
+        let total: usize = net.nodes().map(|v| net.degree(v)).sum();
+        prop_assert_eq!(total, 2 * net.link_count());
+    }
+
+    /// BFS distance obeys the triangle inequality over edges and is
+    /// symmetric on duplex networks.
+    #[test]
+    fn bfs_symmetric_and_tight(pairs in cable_lists(8)) {
+        let mut net = Network::new();
+        let routers: Vec<NodeId> = (0..8).map(|i| net.add_router(format!("r{i}"), 7)).collect();
+        for (a, b) in pairs {
+            let _ = net.connect_any(routers[a as usize], routers[b as usize], LinkClass::Local);
+        }
+        for &s in &routers {
+            let ds = bfs::distances(&net, s);
+            for &t in &routers {
+                let dt = bfs::distances(&net, t);
+                prop_assert_eq!(ds[t.index()], dt[s.index()], "asymmetric distance");
+            }
+            // Edge relaxation: d(w) <= d(v) + 1 for every cable v-w.
+            for v in net.nodes() {
+                if ds[v.index()] == u32::MAX { continue; }
+                for &(_, w) in net.channels_from(v) {
+                    prop_assert!(ds[w.index()] <= ds[v.index()] + 1);
+                }
+            }
+        }
+    }
+
+    /// shortest_path length always equals the BFS distance.
+    #[test]
+    fn shortest_path_matches_distance(pairs in cable_lists(8)) {
+        let mut net = Network::new();
+        let routers: Vec<NodeId> = (0..8).map(|i| net.add_router(format!("r{i}"), 7)).collect();
+        for (a, b) in pairs {
+            let _ = net.connect_any(routers[a as usize], routers[b as usize], LinkClass::Local);
+        }
+        let d0 = bfs::distances(&net, routers[0]);
+        for &t in &routers {
+            match bfs::shortest_path(&net, routers[0], t) {
+                Some(p) => {
+                    prop_assert_eq!(p.len() as u32 - 1, d0[t.index()]);
+                    // Consecutive vertices must actually be cabled.
+                    for w in p.windows(2) {
+                        prop_assert!(net.channel_between(w[0], w[1]).is_some());
+                    }
+                }
+                None => prop_assert_eq!(d0[t.index()], u32::MAX),
+            }
+        }
+    }
+
+    /// A DAG built by only adding edges low→high is always acyclic;
+    /// adding any back edge creates a cycle that find_cycle exposes.
+    #[test]
+    fn dag_acyclic_back_edge_cyclic(
+        n in 2usize..30,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 1..60),
+    ) {
+        let mut g = AdjList::new(n);
+        let mut added = false;
+        for (a, b) in &edges {
+            let (a, b) = (a % n as u32, b % n as u32);
+            if a < b {
+                g.add_edge(a, b);
+                added = true;
+            }
+        }
+        prop_assert!(g.is_acyclic());
+        prop_assert!(g.topo_sort().is_some());
+        prop_assert!(g.find_cycle().is_none());
+        if added {
+            // Close a cycle with one high→low edge along an existing edge.
+            let (a, b) = edges
+                .iter()
+                .map(|&(a, b)| (a % n as u32, b % n as u32))
+                .find(|&(a, b)| a < b)
+                .unwrap();
+            g.add_edge(b, a);
+            prop_assert!(!g.is_acyclic());
+            let cyc = g.find_cycle().unwrap();
+            for i in 0..cyc.len() {
+                let u = cyc[i];
+                let v = cyc[(i + 1) % cyc.len()];
+                prop_assert!(g.succ(u).contains(&v));
+            }
+        }
+    }
+
+    /// SCC component numbering is reverse-topological: every edge goes
+    /// from a component numbered >= its target's.
+    #[test]
+    fn scc_reverse_topo_numbering(
+        n in 1usize..25,
+        edges in prop::collection::vec((0u32..25, 0u32..25), 0..80),
+    ) {
+        let mut g = AdjList::new(n);
+        for (a, b) in edges {
+            g.add_edge(a % n as u32, b % n as u32);
+        }
+        let scc = g.scc();
+        prop_assert!(scc.count <= n);
+        for u in 0..n as u32 {
+            for &v in g.succ(u) {
+                prop_assert!(scc.comp[u as usize] >= scc.comp[v as usize]);
+            }
+        }
+    }
+
+    /// Max-flow is monotone in capacity and bounded by both the source's
+    /// out-capacity and the sink's in-capacity.
+    #[test]
+    fn flow_bounds(
+        edges in prop::collection::vec((0u32..6, 0u32..6, 1u64..10), 1..25),
+    ) {
+        let mut f = FlowNetwork::new(6);
+        let mut out0 = 0u64;
+        let mut in5 = 0u64;
+        for &(a, b, c) in &edges {
+            if a == b { continue; }
+            f.add_edge(a, b, c);
+            if a == 0 { out0 += c; }
+            if b == 5 { in5 += c; }
+        }
+        let base = f.clone().max_flow(0, 5);
+        prop_assert!(base <= out0 && base <= in5);
+        // Double every capacity: flow cannot decrease, at most doubles.
+        let mut f2 = FlowNetwork::new(6);
+        for &(a, b, c) in &edges {
+            if a == b { continue; }
+            f2.add_edge(a, b, 2 * c);
+        }
+        let doubled = f2.max_flow(0, 5);
+        prop_assert!(doubled >= base);
+        prop_assert!(doubled <= 2 * base);
+    }
+
+    /// Matching size never exceeds min(left-degree support, right side)
+    /// and equals the greedy+augment result computed by brute force on
+    /// small instances.
+    #[test]
+    fn matching_bounds_and_validity(
+        edges in prop::collection::vec((0u32..6, 0u32..6), 0..30),
+    ) {
+        let mut b = Bipartite::new(6, 6);
+        for &(l, r) in &edges {
+            b.add_edge(l, r);
+        }
+        let pairs = b.max_matching_pairs();
+        let m = pairs.len();
+        prop_assert!(m <= 6);
+        // Distinctness on both sides.
+        let mut ls: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+        ls.sort_unstable(); ls.dedup();
+        let mut rs: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        rs.sort_unstable(); rs.dedup();
+        prop_assert_eq!(ls.len(), m);
+        prop_assert_eq!(rs.len(), m);
+        // Compare against exhaustive maximum over right-permutations
+        // (6! = 720, cheap).
+        let mut adj = [[false; 6]; 6];
+        for &(l, r) in &edges {
+            adj[l as usize][r as usize] = true;
+        }
+        let mut best = 0usize;
+        let mut perm: Vec<usize> = (0..6).collect();
+        // Heap's algorithm over permutations.
+        fn heaps(perm: &mut Vec<usize>, k: usize, adj: &[[bool; 6]; 6], best: &mut usize) {
+            if k == 1 {
+                let score = perm.iter().enumerate().filter(|&(l, &r)| adj[l][r]).count();
+                *best = (*best).max(score);
+                return;
+            }
+            for i in 0..k {
+                heaps(perm, k - 1, adj, best);
+                if k.is_multiple_of(2) {
+                    perm.swap(i, k - 1);
+                } else {
+                    perm.swap(0, k - 1);
+                }
+            }
+        }
+        heaps(&mut perm, 6, &adj, &mut best);
+        prop_assert_eq!(m, best);
+    }
+
+    /// DSU set count decreases by exactly the number of merging unions.
+    #[test]
+    fn dsu_count_invariant(ops in prop::collection::vec((0u32..20, 0u32..20), 0..60)) {
+        let mut d = DisjointSets::new(20);
+        let mut merges = 0;
+        for (a, b) in ops {
+            if d.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(d.set_count(), 20 - merges);
+        // Sizes sum to n.
+        let mut reps = std::collections::HashSet::new();
+        let mut total = 0;
+        for x in 0..20 {
+            let r = d.find(x);
+            if reps.insert(r) {
+                total += d.set_size(x);
+            }
+        }
+        prop_assert_eq!(total, 20);
+    }
+}

@@ -1,0 +1,184 @@
+//! Bisection bandwidth as a min-cut (§2, Table 1).
+//!
+//! "Bandwidth in MPP systems is often measured in terms of bisection
+//! bandwidth, the total traffic that can flow between halves of the
+//! system when cut at its weakest point."
+//!
+//! We count **cables** crossing the cut (each cable carries one link of
+//! bandwidth per direction, so duplex counting cancels out). The exact
+//! min cut between two fixed node halves comes from max-flow; the
+//! *bisection* minimizes over balanced halves, which is NP-hard in
+//! general, so [`bisection_estimate`] evaluates a set of candidate
+//! partitions (address-contiguous, interleaved, and random balanced
+//! samples) and reports the weakest — an upper bound that is exact on
+//! all of the paper's structured topologies, whose weakest cut is the
+//! address-contiguous one.
+
+use fractanet_graph::flow::FlowNetwork;
+use fractanet_graph::{Network, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a bisection search.
+#[derive(Clone, Debug)]
+pub struct BisectionReport {
+    /// Cables crossing the weakest cut found.
+    pub links: u64,
+    /// Name of the partition achieving it.
+    pub partition: String,
+    /// All candidate results, `(partition name, links)`.
+    pub candidates: Vec<(String, u64)>,
+}
+
+/// Exact minimum number of cables whose removal separates node set `a`
+/// from node set `b` (unit capacity per cable, via max-flow).
+pub fn min_cut_links(net: &Network, a: &[NodeId], b: &[NodeId]) -> u64 {
+    let mut f = FlowNetwork::new(net.node_count());
+    for l in net.links() {
+        let info = net.link(l);
+        f.add_duplex(info.a.0 .0, info.b.0 .0, 1);
+    }
+    let srcs: Vec<u32> = a.iter().map(|n| n.0).collect();
+    let snks: Vec<u32> = b.iter().map(|n| n.0).collect();
+    f.max_flow_multi(&srcs, &snks)
+}
+
+/// Min-cut between the halves of one end-node bipartition.
+fn cut_of_partition(net: &Network, ends: &[NodeId], half_a: &[usize]) -> u64 {
+    let in_a: std::collections::HashSet<usize> = half_a.iter().copied().collect();
+    let a: Vec<NodeId> = half_a.iter().map(|&i| ends[i]).collect();
+    let b: Vec<NodeId> =
+        (0..ends.len()).filter(|i| !in_a.contains(i)).map(|i| ends[i]).collect();
+    min_cut_links(net, &a, &b)
+}
+
+/// Searches candidate balanced partitions for the weakest cut.
+/// `random_trials` additional shuffled halves are evaluated with a
+/// fixed-seed RNG so results are reproducible.
+pub fn bisection_estimate(net: &Network, ends: &[NodeId], random_trials: usize) -> BisectionReport {
+    assert!(ends.len() >= 2, "bisection needs at least two end nodes");
+    let n = ends.len();
+    let half = n / 2;
+    let mut candidates: Vec<(String, Vec<usize>)> = Vec::new();
+    candidates.push(("contiguous".into(), (0..half).collect()));
+    candidates.push(("interleaved".into(), (0..n).step_by(2).take(half).collect()));
+    // Blocked variants exercise mid-size structure (quarters 0+2 vs
+    // 1+3).
+    if n >= 8 {
+        let q = n / 4;
+        let mut blocked: Vec<usize> = (0..q).collect();
+        blocked.extend(2 * q..3 * q);
+        blocked.truncate(half);
+        candidates.push(("alternate-quarters".into(), blocked));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0005_e4e7);
+    for t in 0..random_trials {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(half);
+        candidates.push((format!("random-{t}"), idx));
+    }
+
+    let mut results = Vec::with_capacity(candidates.len());
+    let mut best: Option<(u64, String)> = None;
+    for (name, half_a) in candidates {
+        let links = cut_of_partition(net, ends, &half_a);
+        if best.as_ref().is_none_or(|(b, _)| links < *b) {
+            best = Some((links, name.clone()));
+        }
+        results.push((name, links));
+    }
+    let (links, partition) = best.expect("at least one candidate");
+    BisectionReport { links, partition, candidates: results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_topo::{
+        BinaryTree, FatTree, Fractahedron, FullyConnectedCluster, Mesh2D, Ring, Topology, Variant,
+    };
+
+    #[test]
+    fn ring_bisection_is_two() {
+        let r = Ring::new(8, 1, 6).unwrap();
+        let rep = bisection_estimate(r.net(), r.end_nodes(), 4);
+        assert_eq!(rep.links, 2);
+    }
+
+    #[test]
+    fn binary_tree_bisection_is_one() {
+        // §3.3: "their bisection bandwidth is determined by the
+        // bandwidth through the router at the root node."
+        let t = BinaryTree::new(3, 2, 6).unwrap();
+        let rep = bisection_estimate(t.net(), t.end_nodes(), 4);
+        assert_eq!(rep.links, 1);
+    }
+
+    #[test]
+    fn mesh_bisection_is_column_cut() {
+        // 4x4 mesh: cutting between columns severs 4 links.
+        let m = Mesh2D::new(4, 4, 1, 6).unwrap();
+        // Column-contiguous ordering of ends is row-major, so the
+        // contiguous half = bottom two rows: cut = 4 vertical links.
+        let rep = bisection_estimate(m.net(), m.end_nodes(), 8);
+        assert_eq!(rep.links, 4);
+    }
+
+    #[test]
+    fn tetrahedron_bisection_is_four() {
+        // Cutting a tetrahedron 2+2 severs 4 of its 6 edges.
+        let c = FullyConnectedCluster::tetrahedron();
+        let rep = bisection_estimate(c.net(), c.end_nodes(), 8);
+        assert_eq!(rep.links, 4);
+    }
+
+    #[test]
+    fn thin_fractahedron_bisection_is_always_four() {
+        // Table 1: "Bisection BW ... 4 links" for every thin N.
+        for n in 1..=3usize {
+            let f = Fractahedron::new(n, Variant::Thin, false).unwrap();
+            let rep = bisection_estimate(f.net(), f.end_nodes(), 4);
+            assert_eq!(rep.links, 4, "thin N={n}");
+        }
+    }
+
+    #[test]
+    fn fat_fractahedron_bisection_grows() {
+        // The recursive construction yields 4^N (Table 1's "4N" is an
+        // OCR artifact of 4^N; N=1 matches thin's 4).
+        for n in 1..=2usize {
+            let f = Fractahedron::new(n, Variant::Fat, false).unwrap();
+            let rep = bisection_estimate(f.net(), f.end_nodes(), 4);
+            assert_eq!(rep.links, 4u64.pow(n as u32), "fat N={n}");
+        }
+    }
+
+    #[test]
+    fn fat_tree_4_2_bisection() {
+        // The 28-router 4-2 fat tree: each 16-node group has 4 links
+        // into the top level; a half = 2 groups = 8 links.
+        let ft = FatTree::paper_4_2_64();
+        let rep = bisection_estimate(ft.net(), ft.end_nodes(), 4);
+        assert_eq!(rep.links, 8);
+    }
+
+    #[test]
+    fn min_cut_between_explicit_sets() {
+        let r = Ring::new(6, 1, 6).unwrap();
+        let ends = r.end_nodes();
+        // One node vs the rest: its attach link is the bottleneck.
+        let cut = min_cut_links(r.net(), &[ends[0]], &ends[1..]);
+        assert_eq!(cut, 1);
+    }
+
+    #[test]
+    fn candidates_are_recorded() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rep = bisection_estimate(r.net(), r.end_nodes(), 3);
+        assert!(rep.candidates.len() >= 4);
+        assert!(rep.candidates.iter().any(|(n, _)| n == &rep.partition));
+        // The reported value is the minimum of all candidates.
+        assert_eq!(rep.links, rep.candidates.iter().map(|&(_, l)| l).min().unwrap());
+    }
+}

@@ -1,0 +1,122 @@
+//! Cost accounting: Table 2's "Routers" row, Fig 3's "Ports" column,
+//! and §3.4's router-count comparison ("The cost of the contention
+//! reduction is an increase in the number of routers from 28 to 48").
+
+use fractanet_graph::{LinkClass, Network};
+
+/// Hardware inventory of a network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostSummary {
+    /// Packet switches.
+    pub routers: usize,
+    /// End nodes (CPUs / I/O adapters).
+    pub end_nodes: usize,
+    /// Cables by class: (attach, local, inter-level).
+    pub attach_links: usize,
+    /// Router↔router cables within a stage.
+    pub local_links: usize,
+    /// Router↔router cables between levels.
+    pub level_links: usize,
+    /// Router ports carrying a cable.
+    pub ports_used: usize,
+    /// Router ports total.
+    pub ports_total: usize,
+}
+
+impl CostSummary {
+    /// Tallies a network.
+    pub fn of(net: &Network) -> Self {
+        let mut attach = 0;
+        let mut local = 0;
+        let mut level = 0;
+        for l in net.links() {
+            match net.link(l).class {
+                LinkClass::Attach => attach += 1,
+                LinkClass::Local => local += 1,
+                LinkClass::Level(_) => level += 1,
+            }
+        }
+        let mut ports_used = 0;
+        let mut ports_total = 0;
+        for r in net.routers() {
+            ports_total += net.kind(r).ports() as usize;
+            ports_used += net.degree(r);
+        }
+        CostSummary {
+            routers: net.router_count(),
+            end_nodes: net.end_node_count(),
+            attach_links: attach,
+            local_links: local,
+            level_links: level,
+            ports_used,
+            ports_total,
+        }
+    }
+
+    /// All cables.
+    pub fn total_links(&self) -> usize {
+        self.attach_links + self.local_links + self.level_links
+    }
+
+    /// Fraction of router ports carrying a cable.
+    pub fn port_occupancy(&self) -> f64 {
+        if self.ports_total == 0 {
+            0.0
+        } else {
+            self.ports_used as f64 / self.ports_total as f64
+        }
+    }
+
+    /// A simple relative cost: routers plus cables weighted by
+    /// `cable_cost` (routers normalized to 1.0). The paper trades
+    /// routers for contention; this makes the trade scannable.
+    pub fn relative_cost(&self, cable_cost: f64) -> f64 {
+        self.routers as f64 + cable_cost * self.total_links() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_topo::{FatTree, Fractahedron, Topology};
+
+    #[test]
+    fn table2_router_counts() {
+        // "an increase in the number of routers from 28 to 48."
+        let ft = CostSummary::of(FatTree::paper_4_2_64().net());
+        let ff = CostSummary::of(Fractahedron::paper_fat_64().net());
+        assert_eq!(ft.routers, 28);
+        assert_eq!(ff.routers, 48);
+        assert_eq!(ft.end_nodes, 64);
+        assert_eq!(ff.end_nodes, 64);
+    }
+
+    #[test]
+    fn fractahedron_link_classes() {
+        let f = Fractahedron::paper_fat_64();
+        let c = CostSummary::of(f.net());
+        assert_eq!(c.attach_links, 64);
+        // 8 level-1 tetras x 6 edges + 4 level-2 layers x 6 edges.
+        assert_eq!(c.local_links, 8 * 6 + 4 * 6);
+        // 8 tetras x 4 up links.
+        assert_eq!(c.level_links, 32);
+        assert_eq!(c.total_links(), 64 + 72 + 32);
+    }
+
+    #[test]
+    fn port_occupancy_bounds() {
+        let f = Fractahedron::paper_fat_64();
+        let c = CostSummary::of(f.net());
+        assert!(c.port_occupancy() > 0.5 && c.port_occupancy() <= 1.0);
+        // Degrees: level-1 routers use all 6 ports; level-2 use 2 down
+        // + 3 intra + 0 up (top level reserved) = 5.
+        assert_eq!(c.ports_used, 32 * 6 + 16 * 5);
+    }
+
+    #[test]
+    fn relative_cost_monotone_in_cable_weight() {
+        let c = CostSummary::of(Fractahedron::paper_fat_64().net());
+        assert!(c.relative_cost(0.2) < c.relative_cost(0.5));
+        assert_eq!(c.relative_cost(0.0), c.routers as f64);
+    }
+}

@@ -1,0 +1,70 @@
+//! Routing for fully-connected router clusters (Fig 3/4).
+//!
+//! Every router pair is directly cabled, so the route is: cross at most
+//! one inter-router link, then deliver. "Routing within this assembly
+//! routes packets based on exactly two bits of the destination node
+//! identifier" — here the two bits are the destination's router index
+//! within the cluster.
+
+use crate::table::Routes;
+use fractanet_graph::PortId;
+use fractanet_topo::{FullyConnectedCluster, Topology};
+
+/// Builds destination tables for a cluster.
+pub fn cluster_routes(c: &FullyConnectedCluster) -> Routes {
+    let m = c.router_count();
+    let npr = c.nodes_per_router();
+    Routes::from_fn(c.net(), c.end_nodes().len(), |router, dst| {
+        let i = (0..m).find(|&i| c.router(i) == router)?;
+        let j = c.router_of_addr(dst);
+        if i == j {
+            // Attach port: node ports start after the m-1 cluster ports.
+            Some(PortId((m - 1 + dst % npr) as u8))
+        } else {
+            // Clique port convention: peer j sits on port j-1 when
+            // j > i, else port j.
+            Some(PortId(if j > i { j - 1 } else { j } as u8))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RouteSet;
+    use fractanet_topo::{FullyConnectedCluster, Topology};
+
+    #[test]
+    fn tetrahedron_routes_are_minimal() {
+        let t = FullyConnectedCluster::tetrahedron();
+        let routes = cluster_routes(&t);
+        let rs = RouteSet::from_table(t.net(), t.end_nodes(), &routes).unwrap();
+        // Same-router pairs: 1 hop; cross-router: 2 hops. Never more.
+        for (s, d, p) in rs.pairs() {
+            let same = t.router_of_addr(s) == t.router_of_addr(d);
+            assert_eq!(p.len() - 1, if same { 1 } else { 2 }, "{s}->{d}");
+        }
+        assert_eq!(rs.max_router_hops(), 2);
+    }
+
+    #[test]
+    fn all_cluster_sizes_route() {
+        for m in 1..=6usize {
+            let c = FullyConnectedCluster::new(m, 6).unwrap();
+            let routes = cluster_routes(&c);
+            let rs = RouteSet::from_table(c.net(), c.end_nodes(), &routes).unwrap();
+            assert!(rs.max_router_hops() <= 2, "m = {m}");
+            assert!(rs.check_simple().is_ok());
+        }
+    }
+
+    #[test]
+    fn two_router_cluster_crosses_single_link() {
+        let c = FullyConnectedCluster::new(2, 6).unwrap();
+        let routes = cluster_routes(&c);
+        let rs = RouteSet::from_table(c.net(), c.end_nodes(), &routes).unwrap();
+        // Addresses 0..5 on router 0, 5..10 on router 1.
+        let p = rs.path(0, 9);
+        assert_eq!(p.len(), 3);
+    }
+}

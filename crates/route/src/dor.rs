@@ -1,0 +1,146 @@
+//! Dimension-order routing for meshes and hypercubes (§2, §3.1–3.2).
+//!
+//! "With dimension-order routing, packets are routed first in one
+//! direction, say the X direction, then the Y direction." Routing all
+//! X hops before any Y hop removes every turn that could close a
+//! channel-dependency cycle, so mesh DOR is deadlock-free; the e-cube
+//! analogue (correct the lowest differing address bit first) is the
+//! hypercube equivalent.
+
+use crate::table::Routes;
+use fractanet_graph::PortId;
+use fractanet_topo::mesh::{PORT_EAST, PORT_NODE0, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use fractanet_topo::{Hypercube, Mesh2D, Topology};
+
+/// X-then-Y dimension-order tables for a mesh.
+pub fn mesh_xy_routes(m: &Mesh2D) -> Routes {
+    Routes::from_fn(m.net(), m.end_nodes().len(), |router, dst| {
+        let (x, y) = m.coords_of(router)?;
+        let (dx, dy, k) = m.end_coords(dst);
+        Some(if x < dx {
+            PORT_EAST
+        } else if x > dx {
+            PORT_WEST
+        } else if y < dy {
+            PORT_NORTH
+        } else if y > dy {
+            PORT_SOUTH
+        } else {
+            PortId(PORT_NODE0.0 + k as u8)
+        })
+    })
+}
+
+/// Y-then-X dimension-order tables — the paper's Figure 1 labelling
+/// routes rows first; provided for the ablation comparing the two
+/// hotspot corners.
+pub fn mesh_yx_routes(m: &Mesh2D) -> Routes {
+    Routes::from_fn(m.net(), m.end_nodes().len(), |router, dst| {
+        let (x, y) = m.coords_of(router)?;
+        let (dx, dy, k) = m.end_coords(dst);
+        Some(if y < dy {
+            PORT_NORTH
+        } else if y > dy {
+            PORT_SOUTH
+        } else if x < dx {
+            PORT_EAST
+        } else if x > dx {
+            PORT_WEST
+        } else {
+            PortId(PORT_NODE0.0 + k as u8)
+        })
+    })
+}
+
+/// E-cube tables for a hypercube: correct the lowest differing
+/// dimension first (port `i` is the dimension-`i` link).
+pub fn ecube_routes(h: &Hypercube) -> Routes {
+    let dim = h.dim();
+    let npr = h.nodes_per_router();
+    Routes::from_fn(h.net(), h.end_nodes().len(), |router, dst| {
+        let v = h.label_of(router)?;
+        let dv = h.corner_of_addr(dst);
+        let diff = v ^ dv;
+        Some(if diff == 0 {
+            PortId(dim as u8 + (dst % npr) as u8)
+        } else {
+            PortId(diff.trailing_zeros() as u8)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RouteSet;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn mesh_xy_is_minimal() {
+        let m = Mesh2D::new(4, 4, 2, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_xy_routes(&m)).unwrap();
+        for (s, d, p) in rs.pairs() {
+            let bfsh = bfs::router_hops(m.net(), m.end_nodes()[s], m.end_nodes()[d]).unwrap();
+            assert_eq!(p.len() as u32 - 1, bfsh, "{s}->{d} not minimal");
+        }
+    }
+
+    #[test]
+    fn mesh_xy_goes_x_first() {
+        let m = Mesh2D::new(4, 4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_xy_routes(&m)).unwrap();
+        // Route (0,0) -> (3,3): the intermediate routers must be
+        // (1,0), (2,0), (3,0), (3,1), (3,2).
+        let p = rs.path(0, 15);
+        let routers: Vec<_> =
+            p.iter().skip(1).map(|&c| m.coords_of(m.net().channel_src(c)).unwrap()).collect();
+        assert_eq!(routers, vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn mesh_yx_goes_y_first() {
+        let m = Mesh2D::new(4, 4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_yx_routes(&m)).unwrap();
+        let p = rs.path(0, 15);
+        let routers: Vec<_> =
+            p.iter().skip(1).map(|&c| m.coords_of(m.net().channel_src(c)).unwrap()).collect();
+        assert_eq!(routers, vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (2, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn paper_6x6_max_routed_hops_is_11() {
+        let m = Mesh2D::new(6, 6, 2, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_xy_routes(&m)).unwrap();
+        assert_eq!(rs.max_router_hops(), 11);
+    }
+
+    #[test]
+    fn ecube_corrects_lowest_bit_first() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let rs = RouteSet::from_table(h.net(), h.end_nodes(), &ecube_routes(&h)).unwrap();
+        // 000 -> 111 passes 001 then 011.
+        let p = rs.path(0, 7);
+        let labels: Vec<_> =
+            p.iter().skip(1).map(|&c| h.label_of(h.net().channel_src(c)).unwrap()).collect();
+        assert_eq!(labels, vec![0b000, 0b001, 0b011, 0b111]);
+    }
+
+    #[test]
+    fn ecube_is_minimal() {
+        let h = Hypercube::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(h.net(), h.end_nodes(), &ecube_routes(&h)).unwrap();
+        for (s, d, p) in rs.pairs() {
+            let hamming = (h.corner_of_addr(s) ^ h.corner_of_addr(d)).count_ones() as usize;
+            assert_eq!(p.len() - 1, hamming + 1, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn ecube_multiple_nodes_per_corner() {
+        let h = Hypercube::new(3, 3, 6).unwrap();
+        let rs = RouteSet::from_table(h.net(), h.end_nodes(), &ecube_routes(&h)).unwrap();
+        assert!(rs.check_simple().is_ok());
+        // Same-corner neighbours are one hop apart.
+        assert_eq!(rs.router_hops(0, 1), 1);
+    }
+}

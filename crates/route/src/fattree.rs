@@ -1,0 +1,134 @@
+//! Fat-tree routing with static up-link partitioning (Fig 6, §3.3).
+//!
+//! "To maintain in-order delivery, there must be a fixed path between
+//! each pair of nodes. Figure 6 shows one arbitrary partitioning of the
+//! outbound traffic … This partitioning gives even link utilization in
+//! the case of uniform traffic, but can have very bad contention in
+//! some situations."
+//!
+//! Ascent works one base-`up` digit per level: the policy maps each
+//! destination address to a *target top replica* `T(dst)`; the level-k
+//! up-port choice is digit `k` of `T(dst)` (most significant first),
+//! which by the fat-tree wiring rule lands the packet on top replica
+//! `T(dst)` exactly. Descent is forced (one down port per child).
+//! Because the choice depends only on the destination, the tables are
+//! ServerNet-expressible and every pair has a fixed path.
+
+use crate::table::Routes;
+use fractanet_graph::PortId;
+use fractanet_topo::{FatTree, Topology};
+
+/// How destinations are spread over the replicated up links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpPolicy {
+    /// `T(dst) = (dst / down) mod up^(L-1)` — partition by destination
+    /// leaf router, the Fig 6 labelling (link "EIM" serves the same
+    /// router position across groups).
+    ByLeafRouter,
+    /// `T(dst) = dst mod up^(L-1)` — partition by low address bits.
+    ByNodeModulo,
+    /// `T(dst) = (dst / down^(L-1)) mod up^(L-1)` — partition by
+    /// top-level group; §3.3's observation that *any* static partition
+    /// still concentrates 12 transfers on one link applies here too.
+    ByGroup,
+}
+
+impl UpPolicy {
+    /// Target top replica for a destination.
+    pub fn top_replica(self, ft: &FatTree, dst: usize) -> usize {
+        let levels = ft.levels();
+        let replicas = ft.up().pow(levels as u32 - 1);
+        match self {
+            UpPolicy::ByLeafRouter => (dst / ft.down()) % replicas,
+            UpPolicy::ByNodeModulo => dst % replicas,
+            UpPolicy::ByGroup => (dst / ft.down().pow(levels as u32 - 1)) % replicas,
+        }
+    }
+}
+
+/// Builds destination tables for a fat tree under `policy`.
+pub fn fattree_routes(ft: &FatTree, policy: UpPolicy) -> Routes {
+    let down = ft.down();
+    let up = ft.up();
+    let levels = ft.levels();
+    Routes::from_fn(ft.net(), ft.end_nodes().len(), |router, dst| {
+        let (k, v, _r) = ft.locate(router)?;
+        if ft.in_subtree(k, v, dst) {
+            // Descend: pick the child sub-span containing dst.
+            let child = (dst / down.pow(k as u32 - 1)) % down;
+            Some(PortId(child as u8))
+        } else {
+            // Ascend by the policy digit for this level.
+            let target = policy.top_replica(ft, dst);
+            let digit = (target / up.pow((levels - 1 - k) as u32)) % up;
+            Some(PortId((down + digit) as u8))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RouteSet;
+    use fractanet_graph::bfs;
+
+    fn routed(ft: &FatTree, policy: UpPolicy) -> RouteSet {
+        RouteSet::from_table(ft.net(), ft.end_nodes(), &fattree_routes(ft, policy)).unwrap()
+    }
+
+    #[test]
+    fn paper_4_2_routes_minimal_all_policies() {
+        let ft = FatTree::paper_4_2_64();
+        for policy in [UpPolicy::ByLeafRouter, UpPolicy::ByNodeModulo, UpPolicy::ByGroup] {
+            let rs = routed(&ft, policy);
+            for (s, d, p) in rs.pairs() {
+                let want = bfs::router_hops(ft.net(), ft.end_nodes()[s], ft.end_nodes()[d])
+                    .unwrap() as usize;
+                assert_eq!(p.len() - 1, want, "{policy:?} {s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_4_2_average_hops_is_4_4() {
+        let rs = routed(&FatTree::paper_4_2_64(), UpPolicy::ByLeafRouter);
+        assert!((rs.avg_router_hops() - 279.0 / 63.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_3_3_average_hops_is_5_9() {
+        let rs = routed(&FatTree::paper_3_3_64(), UpPolicy::ByLeafRouter);
+        assert!((rs.avg_router_hops() - 5.9).abs() < 0.1, "avg = {}", rs.avg_router_hops());
+    }
+
+    #[test]
+    fn ascent_reaches_policy_top_replica() {
+        let ft = FatTree::paper_4_2_64();
+        let policy = UpPolicy::ByLeafRouter;
+        let rs = routed(&ft, policy);
+        // Source 0, destination 63: route crosses the top level; the
+        // top router on the path must be the policy's replica.
+        let p = rs.path(0, 63);
+        let top = ft.router(3, 0, policy.top_replica(&ft, 63));
+        assert!(
+            p.iter().any(|&c| ft.net().channel_dst(c) == top),
+            "path does not pass the policy top replica"
+        );
+    }
+
+    #[test]
+    fn policies_differ_in_replica_choice() {
+        let ft = FatTree::paper_4_2_64();
+        assert_eq!(UpPolicy::ByLeafRouter.top_replica(&ft, 63), (63 / 4) % 4);
+        assert_eq!(UpPolicy::ByNodeModulo.top_replica(&ft, 63), 63 % 4);
+        assert_eq!(UpPolicy::ByGroup.top_replica(&ft, 63), 3);
+    }
+
+    #[test]
+    fn three_three_tables_complete() {
+        let ft = FatTree::paper_3_3_64();
+        let rs = routed(&ft, UpPolicy::ByGroup);
+        assert!(rs.check_simple().is_ok());
+        assert_eq!(rs.len(), 64);
+    }
+}

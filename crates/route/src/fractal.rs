@@ -1,0 +1,213 @@
+//! Depth-first fractahedral routing — the paper's §2.3–2.4 algorithm
+//! and its deadlock-avoidance core.
+//!
+//! "Routing in multilayer networks is done depth-first by examining
+//! address bits from high-order to low order. At any level, if there is
+//! no match in the address bits above those controlling that level's
+//! tetrahedron, then the packet is sent to the next higher level. …
+//! packets always go straight up the tree without taking any
+//! inter-tetrahedral links. Those links are used only on the way down."
+//!
+//! Concretely, at a router of level `k` (stack `s`, corner `cr`), for a
+//! destination whose level-1 tetrahedron is `t`:
+//!
+//! * if `t` is **outside** this stack's subtree → ascend. Fat: the
+//!   router's own up port, always ("the routing algorithm always takes
+//!   a local inter-level link rather than going through a neighboring
+//!   inter-level link" — §2.4's loop-elimination rule). Thin: move to
+//!   corner 0 (the tetrahedron's single up connection) first if needed.
+//! * if inside and `k = 1` → deliver: move to the destination corner if
+//!   needed, then out the attach port.
+//! * if inside and `k > 1` → descend: the child digit `c` of the
+//!   destination address selects stack corner `⌊c/2⌋`, down port
+//!   `c mod 2`; move within the (current layer's) tetrahedron to that
+//!   corner if needed.
+//!
+//! Intra-tetrahedron hops happen at most once per tetrahedron and never
+//! chain (the clique is fully connected), which is why the
+//! channel-dependency graph stays acyclic even though the fat
+//! fractahedron is full of physical loops — verified in
+//! `fractanet-deadlock`.
+
+use crate::table::Routes;
+use fractanet_graph::PortId;
+use fractanet_topo::fractahedron::PORT_UP;
+use fractanet_topo::{Fractahedron, Topology, Variant};
+
+/// Builds destination tables for a fractahedron (tetrahedron routers
+/// and, when present, fan-out routers).
+pub fn fractal_routes(f: &Fractahedron) -> Routes {
+    let n_addr = f.end_nodes().len();
+    // Fan-out router -> attach index, precomputed (dense by NodeId).
+    let mut fanout_attach: Vec<Option<usize>> = vec![None; f.net().node_count()];
+    for a in 0.. {
+        match f.fanout_router(a) {
+            Some(r) => fanout_attach[r.index()] = Some(a),
+            None => break,
+        }
+    }
+    Routes::from_fn(f.net(), n_addr, |router, dst| {
+        let t = f.tetra_of_addr(dst);
+        if let Some(pos) = f.pos_of(router) {
+            let (k, s, cr) = (pos.level, pos.stack, pos.corner);
+            if f.stack_of_tetra(t, k) != s {
+                // Ascend.
+                return Some(match f.variant() {
+                    Variant::Fat => PORT_UP,
+                    Variant::Thin => {
+                        if cr == 0 {
+                            PORT_UP
+                        } else {
+                            Fractahedron::intra_port(cr, 0)
+                        }
+                    }
+                });
+            }
+            if k == 1 {
+                // Deliver within this tetrahedron.
+                let c_d = f.corner_of_addr(dst);
+                return Some(if cr == c_d {
+                    PortId(f.port_of_addr(dst) as u8)
+                } else {
+                    Fractahedron::intra_port(cr, c_d)
+                });
+            }
+            // Descend one level.
+            let c = f.child_digit(t, k);
+            let corner = c / 2;
+            Some(if cr == corner {
+                PortId((c % 2) as u8)
+            } else {
+                Fractahedron::intra_port(cr, corner)
+            })
+        } else {
+            // Fan-out router: deliver locally or climb to the
+            // tetrahedron level.
+            let attach = fanout_attach[router.index()]?;
+            Some(if f.attach_of_addr(dst) == attach {
+                PortId((dst % 2) as u8)
+            } else {
+                PORT_UP
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RouteSet;
+    use fractanet_graph::bfs;
+
+    fn routed(f: &Fractahedron) -> RouteSet {
+        RouteSet::from_table(f.net(), f.end_nodes(), &fractal_routes(f)).unwrap()
+    }
+
+    #[test]
+    fn single_tetrahedron_two_bit_routing() {
+        // "routes packets based on exactly two bits of the destination
+        // node identifier": corner bits.
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = routed(&f);
+        assert_eq!(rs.max_router_hops(), 2);
+        assert_eq!(rs.router_hops(0, 1), 1); // same router
+        assert_eq!(rs.router_hops(0, 7), 2); // corner 0 -> corner 3
+    }
+
+    #[test]
+    fn fat_64_routes_are_minimal() {
+        let f = Fractahedron::paper_fat_64();
+        let rs = routed(&f);
+        for (s, d, p) in rs.pairs() {
+            let want =
+                bfs::router_hops(f.net(), f.end_nodes()[s], f.end_nodes()[d]).unwrap() as usize;
+            assert_eq!(p.len() - 1, want, "{s}->{d}");
+        }
+        assert!((rs.avg_router_hops() - 271.0 / 63.0).abs() < 1e-9, "Table 2: 4.3 average");
+        assert_eq!(rs.max_router_hops(), 5, "Table 1: 3N-1");
+    }
+
+    #[test]
+    fn thin_64_routes_match_delay_formula() {
+        let f = Fractahedron::new(2, Variant::Thin, false).unwrap();
+        let rs = routed(&f);
+        assert_eq!(rs.max_router_hops(), 6, "Table 1: 4N-2");
+        for (s, d, p) in rs.pairs() {
+            let want =
+                bfs::router_hops(f.net(), f.end_nodes()[s], f.end_nodes()[d]).unwrap() as usize;
+            assert_eq!(p.len() - 1, want, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn fat_ascends_by_local_up_links_only() {
+        // §2.4: on the way up a packet must never take an
+        // intra-tetrahedron link.
+        let f = Fractahedron::paper_fat_64();
+        let rs = routed(&f);
+        for (s, d, p) in rs.pairs() {
+            // The hop sequence must be up* (lateral|down)*: in the fat
+            // variant the ascent is pure up links; the first lateral or
+            // down hop ends it for good.
+            let mut ascent_over = false;
+            for &ch in &p[1..p.len() - 1] {
+                let src_level = f.pos_of(f.net().channel_src(ch)).unwrap().level;
+                let dst_level = f.pos_of(f.net().channel_dst(ch)).unwrap().level;
+                if dst_level > src_level {
+                    assert!(!ascent_over, "{s}->{d}: ascended after turning down");
+                } else {
+                    ascent_over = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thin_three_levels_route_everywhere() {
+        let f = Fractahedron::new(3, Variant::Thin, false).unwrap();
+        let rs = routed(&f);
+        assert_eq!(rs.len(), 512);
+        assert_eq!(rs.max_router_hops(), 10, "4N-2 for N=3");
+        assert!(rs.check_simple().is_ok());
+    }
+
+    #[test]
+    fn fanout_routing_delivers() {
+        let f = Fractahedron::new(1, Variant::Fat, true).unwrap();
+        let rs = routed(&f);
+        assert_eq!(rs.len(), 16);
+        // Same fan-out router: CPU -> fanout -> CPU = 1 router hop.
+        assert_eq!(rs.router_hops(0, 1), 1);
+        // §2.2: 16-CPU system, max four router hops.
+        assert_eq!(rs.max_router_hops(), 4);
+    }
+
+    #[test]
+    fn fanout_1024_spot_routes() {
+        let f = Fractahedron::paper_thin_1024();
+        let routes = fractal_routes(&f);
+        // Spot-check a handful of pairs rather than tracing all 1024².
+        for (s, d) in [(0usize, 1023usize), (124, 1023), (5, 4), (512, 17), (1000, 3)] {
+            let p = routes.trace(f.net(), f.end_nodes(), s, d).unwrap();
+            assert_eq!(f.net().channel_dst(*p.last().unwrap()), f.end_nodes()[d]);
+            let want =
+                bfs::router_hops(f.net(), f.end_nodes()[s], f.end_nodes()[d]).unwrap() as usize;
+            assert_eq!(p.len() - 1, want, "{s}->{d} not minimal");
+        }
+    }
+
+    #[test]
+    fn fat_three_levels_max_delay() {
+        let f = Fractahedron::new(3, Variant::Fat, false).unwrap();
+        let routes = fractal_routes(&f);
+        // Worst-case-ish pair: different top-level children, far
+        // corners.
+        let p = routes.trace(f.net(), f.end_nodes(), 511, 0).unwrap();
+        assert!(p.len() - 1 <= 8, "3N-1 = 8 for N=3, got {}", p.len() - 1);
+        // Sampled pairs all deliver.
+        for (s, d) in [(0usize, 511usize), (8, 250), (100, 400), (77, 78)] {
+            let p = routes.trace(f.net(), f.end_nodes(), s, d).unwrap();
+            assert_eq!(f.net().channel_dst(*p.last().unwrap()), f.end_nodes()[d]);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Depth-first routing for generalized cluster fractahedrons — the
+//! same §2.3 algorithm, parameterized over the cluster shape (§4:
+//! "the concepts easily generalize to other fully connected groups of
+//! N-port routers").
+//!
+//! With `u > 1` up ports per router, the fat ascent spreads packets
+//! over the up ports by destination (`q = dst mod u`), preserving the
+//! fixed-path / in-order property while using all replicated layers.
+
+use crate::table::Routes;
+use fractanet_graph::PortId;
+use fractanet_topo::{GenFractahedron, Topology};
+
+/// Builds destination tables for a generalized fractahedron.
+pub fn genfracta_routes(g: &GenFractahedron) -> Routes {
+    let shape = g.shape();
+    Routes::from_fn(g.net(), g.end_nodes().len(), |router, dst| {
+        let pos = g.pos_of(router)?;
+        let (k, s, cr) = (pos.level, pos.stack, pos.corner);
+        let t = g.cluster_of_addr(dst);
+        if g.stack_of_cluster(t, k) != s {
+            // Ascend.
+            return Some(if g.is_fat() {
+                shape.up_port(dst % shape.up)
+            } else if cr == 0 {
+                shape.up_port(0)
+            } else {
+                shape.intra_port(cr, 0)
+            });
+        }
+        if k == 1 {
+            let c_d = g.corner_of_addr(dst);
+            return Some(if cr == c_d {
+                PortId(g.port_of_addr(dst) as u8)
+            } else {
+                shape.intra_port(cr, c_d)
+            });
+        }
+        let c = g.child_digit(t, k);
+        let jc = c / shape.down;
+        Some(if cr == jc { PortId((c % shape.down) as u8) } else { shape.intra_port(cr, jc) })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RouteSet;
+    use fractanet_graph::bfs;
+    use fractanet_topo::ClusterShape;
+
+    fn routed(g: &GenFractahedron) -> RouteSet {
+        RouteSet::from_table(g.net(), g.end_nodes(), &genfracta_routes(g)).unwrap()
+    }
+
+    #[test]
+    fn paper_shape_routes_match_bfs() {
+        let g = GenFractahedron::new(ClusterShape::PAPER, 2, true).unwrap();
+        let rs = routed(&g);
+        for (s, d, p) in rs.pairs() {
+            let want =
+                bfs::router_hops(g.net(), g.end_nodes()[s], g.end_nodes()[d]).unwrap() as usize;
+            assert_eq!(p.len() - 1, want, "{s}->{d}");
+        }
+        assert!((rs.avg_router_hops() - 271.0 / 63.0).abs() < 1e-9, "Table 2's 4.3 reproduced");
+    }
+
+    #[test]
+    fn triangle_shape_routes_minimal() {
+        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        for fat in [true, false] {
+            let g = GenFractahedron::new(shape, 2, fat).unwrap();
+            let rs = routed(&g);
+            for (s, d, p) in rs.pairs() {
+                let want = bfs::router_hops(g.net(), g.end_nodes()[s], g.end_nodes()[d])
+                    .unwrap() as usize;
+                assert_eq!(p.len() - 1, want, "fat={fat} {s}->{d}");
+            }
+            assert!(rs.check_simple().is_ok());
+        }
+    }
+
+    #[test]
+    fn eight_port_shape_routes_and_delivers() {
+        let shape = ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 };
+        let g = GenFractahedron::new(shape, 2, true).unwrap();
+        let rs = routed(&g);
+        assert_eq!(rs.len(), 144);
+        assert_eq!(rs.max_router_hops(), 5, "3N-1 generalizes");
+        for (s, d, p) in rs.pairs().take(500) {
+            assert_eq!(g.net().channel_dst(*p.last().unwrap()), g.end_nodes()[d], "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn fat_ascent_spreads_over_up_ports() {
+        // With u = 2, destinations of different parity take different
+        // up ports from the same router.
+        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let g = GenFractahedron::new(shape, 2, true).unwrap();
+        let routes = genfracta_routes(&g);
+        let r = g.router(1, 0, 0, 0);
+        // Destinations outside cluster 0: e.g. 12 (even) and 13 (odd).
+        let even = routes.get(r, 12).unwrap();
+        let odd = routes.get(r, 13).unwrap();
+        assert_ne!(even, odd);
+        assert_eq!(even, shape.up_port(0));
+        assert_eq!(odd, shape.up_port(1));
+    }
+
+    #[test]
+    fn generalized_routing_is_deadlock_free() {
+        use fractanet_deadlock_check::acyclic;
+        for (shape, fat) in [
+            (ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 }, true),
+            (ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 }, false),
+            (ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 }, true),
+        ] {
+            let g = GenFractahedron::new(shape, 2, fat).unwrap();
+            let rs = routed(&g);
+            assert!(acyclic(g.net(), &rs), "{shape:?} fat={fat}");
+        }
+    }
+
+    /// Minimal local CDG check to avoid a dependency cycle with
+    /// `fractanet-deadlock` (which depends on this crate).
+    mod fractanet_deadlock_check {
+        use fractanet_graph::{AdjList, Network};
+
+        pub fn acyclic(net: &Network, rs: &crate::table::RouteSet) -> bool {
+            let mut g = AdjList::new(net.channel_count());
+            for (_, _, p) in rs.pairs() {
+                for w in p.windows(2) {
+                    g.add_edge(w[0].0, w[1].0);
+                }
+            }
+            g.is_acyclic()
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # fractanet-route
+//!
+//! Routing for the `fractanet` workspace, in the ServerNet style: every
+//! router holds a **destination-indexed table** mapping a destination
+//! node ID to one output port ("these matches are actually done by
+//! looking up entries in the routing table inside each router", §2.3).
+//! Table routing is deterministic, so every node pair has a **fixed
+//! path** — the property the paper needs for in-order delivery ("To
+//! maintain in-order delivery, there must be a fixed path between each
+//! pair of nodes", §3.3).
+//!
+//! * [`table::Routes`] — the per-router table representation plus route
+//!   tracing.
+//! * [`table::RouteSet`] — all traced source→destination paths, the
+//!   input to contention analysis, channel-dependency graphs and the
+//!   simulator. Built from tables or (for inherently source-dependent
+//!   schemes like up*/down*) from per-pair generators.
+//! * Generators, one per topology family:
+//!   [`direct`] (fully-connected clusters, Fig 3/4),
+//!   [`dor`] (dimension-order mesh §3.1 and e-cube hypercube §3.2),
+//!   [`ringroute`] (shortest / all-clockwise ring routing for the Fig 1
+//!   deadlock demonstration),
+//!   [`treeroute`] (binary tree / star, plus generic up*/down*),
+//!   [`fattree`] (static up-link partitioning policies, Fig 6),
+//!   [`fractal`] (the paper's depth-first fractahedral routing, §2.3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod direct;
+pub mod dor;
+pub mod fattree;
+pub mod fractal;
+pub mod genfracta;
+pub mod ringroute;
+pub mod table;
+pub mod treeroute;
+
+pub use table::{RouteError, RouteSet, Routes};

@@ -1,0 +1,86 @@
+//! Ring routing — the Fig 1 deadlock demonstration.
+//!
+//! Two table variants:
+//!
+//! * [`ring_clockwise_routes`] — every packet travels clockwise. On a
+//!   4-ring this is exactly Figure 1: four simultaneous two-hop
+//!   transfers close a channel-dependency cycle and wormhole routing
+//!   deadlocks.
+//! * [`ring_shortest_routes`] — minimal routing, clockwise on ties.
+//!   Still cyclic for rings of ≥ 4 routers (the paper's point that
+//!   "this deadlock situation can occur in any network with loops in
+//!   the connection graph"), but cheaper on average.
+//!
+//! The deadlock-free alternative for the Fig 1 shape is to treat the
+//! 4-ring as a 2×2 mesh and use dimension-order routing
+//! ([`crate::dor::mesh_xy_routes`]): "With this rule applied in Figure
+//! 1, routes A and C would be allowed, but routes B and D would be
+//! disallowed, thus preventing the deadlock situation."
+
+use crate::table::Routes;
+use fractanet_graph::PortId;
+use fractanet_topo::ring::{PORT_CCW, PORT_CW, PORT_NODE0};
+use fractanet_topo::{Ring, Topology};
+
+fn router_index(r: &Ring, router: fractanet_graph::NodeId) -> Option<usize> {
+    (0..r.len()).find(|&i| r.router(i) == router)
+}
+
+/// All-clockwise tables.
+pub fn ring_clockwise_routes(r: &Ring) -> Routes {
+    let npr = r.nodes_per_router();
+    Routes::from_fn(r.net(), r.end_nodes().len(), |router, dst| {
+        let i = router_index(r, router)?;
+        let j = r.router_of_addr(dst);
+        Some(if i == j { PortId(PORT_NODE0.0 + (dst % npr) as u8) } else { PORT_CW })
+    })
+}
+
+/// Minimal tables, clockwise on ties.
+pub fn ring_shortest_routes(r: &Ring) -> Routes {
+    let n = r.len();
+    let npr = r.nodes_per_router();
+    Routes::from_fn(r.net(), r.end_nodes().len(), |router, dst| {
+        let i = router_index(r, router)?;
+        let j = r.router_of_addr(dst);
+        if i == j {
+            return Some(PortId(PORT_NODE0.0 + (dst % npr) as u8));
+        }
+        let cw = (j + n - i) % n;
+        Some(if cw <= n - cw { PORT_CW } else { PORT_CCW })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RouteSet;
+
+    #[test]
+    fn clockwise_goes_the_long_way() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs =
+            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        // 1 -> 0 takes 3 inter-router hops clockwise.
+        assert_eq!(rs.router_hops(1, 0), 4);
+        assert_eq!(rs.router_hops(0, 1), 2);
+    }
+
+    #[test]
+    fn shortest_picks_the_near_side() {
+        let r = Ring::new(6, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_shortest_routes(&r)).unwrap();
+        assert_eq!(rs.router_hops(0, 1), 2);
+        assert_eq!(rs.router_hops(0, 5), 2);
+        assert_eq!(rs.router_hops(0, 3), 4); // tie: clockwise
+        assert!(rs.check_simple().is_ok());
+    }
+
+    #[test]
+    fn multiple_nodes_per_router() {
+        let r = Ring::new(4, 2, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_shortest_routes(&r)).unwrap();
+        assert_eq!(rs.router_hops(0, 1), 1); // same router
+        assert_eq!(rs.router_hops(0, 3), 2);
+    }
+}

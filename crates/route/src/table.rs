@@ -1,0 +1,377 @@
+//! Destination-indexed routing tables and traced route sets.
+
+use fractanet_graph::{ChannelId, Network, NodeId, PortId};
+use std::fmt;
+
+/// Errors raised while tracing routes through tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteError {
+    /// A router had no table entry for the destination.
+    MissingEntry {
+        /// Router whose table lacks the entry.
+        router: NodeId,
+        /// Destination address.
+        dst: usize,
+    },
+    /// A table entry pointed at a port with no cable attached.
+    DeadPort {
+        /// Router with the dangling entry.
+        router: NodeId,
+        /// The vacant port.
+        port: PortId,
+        /// Destination address.
+        dst: usize,
+    },
+    /// The route revisited a router (tables contain a forwarding loop).
+    ForwardingLoop {
+        /// Source address of the looping route.
+        src: usize,
+        /// Destination address.
+        dst: usize,
+    },
+    /// A route was delivered to the wrong end node.
+    Misdelivered {
+        /// Source address.
+        src: usize,
+        /// Destination address.
+        dst: usize,
+        /// Where the packet actually arrived.
+        arrived: NodeId,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::MissingEntry { router, dst } => {
+                write!(f, "router {router} has no table entry for destination {dst}")
+            }
+            RouteError::DeadPort { router, port, dst } => {
+                write!(f, "router {router} routes destination {dst} to vacant port {port:?}")
+            }
+            RouteError::ForwardingLoop { src, dst } => {
+                write!(f, "forwarding loop on route {src} -> {dst}")
+            }
+            RouteError::Misdelivered { src, dst, arrived } => {
+                write!(f, "route {src} -> {dst} delivered to {arrived}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Per-router destination-indexed routing tables — the ServerNet
+/// model. `table[router][dst]` is the output port for packets addressed
+/// to end node `dst`; on the destination's own attach router the entry
+/// is the attach port itself.
+#[derive(Clone, Debug)]
+pub struct Routes {
+    /// Indexed by `NodeId::index()`; end-node rows stay empty.
+    table: Vec<Vec<Option<PortId>>>,
+    n_addr: usize,
+}
+
+impl Routes {
+    /// Creates empty tables for a network routing `n_addr`
+    /// destinations.
+    pub fn new(net: &Network, n_addr: usize) -> Self {
+        let table = net
+            .nodes()
+            .map(|n| if net.is_router(n) { vec![None; n_addr] } else { Vec::new() })
+            .collect();
+        Routes { table, n_addr }
+    }
+
+    /// Fills every router's table from a port-choice function.
+    /// `f(router, dst)` returns `None` to leave the entry empty
+    /// (destinations the router should never see).
+    pub fn from_fn(
+        net: &Network,
+        n_addr: usize,
+        mut f: impl FnMut(NodeId, usize) -> Option<PortId>,
+    ) -> Self {
+        let mut routes = Self::new(net, n_addr);
+        for r in net.routers() {
+            for dst in 0..n_addr {
+                routes.table[r.index()][dst] = f(r, dst);
+            }
+        }
+        routes
+    }
+
+    /// Number of destination addresses.
+    pub fn n_addr(&self) -> usize {
+        self.n_addr
+    }
+
+    /// Sets one table entry.
+    pub fn set(&mut self, router: NodeId, dst: usize, port: PortId) {
+        self.table[router.index()][dst] = Some(port);
+    }
+
+    /// Clears one table entry (used by fault-injection experiments).
+    pub fn clear(&mut self, router: NodeId, dst: usize) {
+        self.table[router.index()][dst] = None;
+    }
+
+    /// Reads one table entry.
+    pub fn get(&self, router: NodeId, dst: usize) -> Option<PortId> {
+        self.table[router.index()].get(dst).copied().flatten()
+    }
+
+    /// Traces the route from end node `ends[src]` to `ends[dst]`.
+    /// Returns the traversed channels, attach hops included. The empty
+    /// path is returned for `src == dst`.
+    pub fn trace(
+        &self,
+        net: &Network,
+        ends: &[NodeId],
+        src: usize,
+        dst: usize,
+    ) -> Result<Vec<ChannelId>, RouteError> {
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        let target = ends[dst];
+        let mut path = Vec::new();
+        // Injection: the end node's first (for dual-ported nodes: only
+        // the primary) attachment.
+        let &(inject, mut cur) = net
+            .channels_from(ends[src])
+            .first()
+            .expect("end node must be attached");
+        path.push(inject);
+        let mut visited = vec![false; net.node_count()];
+        loop {
+            if cur == target {
+                return Ok(path);
+            }
+            if visited[cur.index()] {
+                return Err(RouteError::ForwardingLoop { src, dst });
+            }
+            visited[cur.index()] = true;
+            let port = self
+                .get(cur, dst)
+                .ok_or(RouteError::MissingEntry { router: cur, dst })?;
+            let ch = net
+                .channel_out(cur, port)
+                .ok_or(RouteError::DeadPort { router: cur, port, dst })?;
+            path.push(ch);
+            let next = net.channel_dst(ch);
+            if !net.is_router(next) && next != target {
+                return Err(RouteError::Misdelivered { src, dst, arrived: next });
+            }
+            cur = next;
+        }
+    }
+}
+
+/// Every source→destination path of a network, traced and frozen.
+///
+/// This is the object the analyses consume: worst-case link contention
+/// scans it per channel, the channel-dependency graph is built from its
+/// consecutive channel pairs, and the simulator replays it.
+#[derive(Clone, Debug)]
+pub struct RouteSet {
+    /// `paths[src][dst]`; empty vector on the diagonal.
+    paths: Vec<Vec<Vec<ChannelId>>>,
+}
+
+impl RouteSet {
+    /// Traces all pairs through routing tables.
+    pub fn from_table(net: &Network, ends: &[NodeId], routes: &Routes) -> Result<Self, RouteError> {
+        let n = ends.len();
+        let mut paths = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for d in 0..n {
+                row.push(routes.trace(net, ends, s, d)?);
+            }
+            paths.push(row);
+        }
+        Ok(RouteSet { paths })
+    }
+
+    /// Builds a route set from a per-pair path generator (for schemes
+    /// that are not destination-table-expressible, e.g. up*/down*).
+    /// `f(src, dst)` must return the channel sequence from `ends[src]`
+    /// to `ends[dst]`.
+    pub fn from_pairs(
+        n: usize,
+        mut f: impl FnMut(usize, usize) -> Vec<ChannelId>,
+    ) -> Self {
+        let mut paths = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for d in 0..n {
+                row.push(if s == d { Vec::new() } else { f(s, d) });
+            }
+            paths.push(row);
+        }
+        RouteSet { paths }
+    }
+
+    /// Number of end nodes.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether there are no end nodes.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The channel sequence for `src → dst` (empty on the diagonal).
+    pub fn path(&self, src: usize, dst: usize) -> &[ChannelId] {
+        &self.paths[src][dst]
+    }
+
+    /// Iterates over all ordered pairs with their paths
+    /// (diagonal excluded).
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, &[ChannelId])> + '_ {
+        let n = self.len();
+        (0..n).flat_map(move |s| {
+            (0..n)
+                .filter(move |&d| d != s)
+                .map(move |d| (s, d, self.paths[s][d].as_slice()))
+        })
+    }
+
+    /// Router hops of a route (channels minus the injection channel).
+    pub fn router_hops(&self, src: usize, dst: usize) -> usize {
+        self.paths[src][dst].len().saturating_sub(1)
+    }
+
+    /// Mean router hops over all ordered pairs — the routed counterpart
+    /// of the topological average; equal for minimal routings.
+    pub fn avg_router_hops(&self) -> f64 {
+        let n = self.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let total: usize = self.pairs().map(|(_, _, p)| p.len() - 1).sum();
+        total as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Maximum router hops over all ordered pairs.
+    pub fn max_router_hops(&self) -> usize {
+        self.pairs().map(|(_, _, p)| p.len().saturating_sub(1)).max().unwrap_or(0)
+    }
+
+    /// Checks the fixed-path in-order-delivery property at the route
+    /// level: tracing is deterministic by construction, so this
+    /// verifies the paths are *simple* (no repeated channel), which the
+    /// tracer guarantees for table routes but per-pair generators might
+    /// violate.
+    pub fn check_simple(&self) -> Result<(), (usize, usize)> {
+        for (s, d, p) in self.pairs() {
+            let mut seen: Vec<ChannelId> = p.to_vec();
+            seen.sort_unstable();
+            let before = seen.len();
+            seen.dedup();
+            if seen.len() != before {
+                return Err((s, d));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::{LinkClass, Network};
+
+    /// Two routers, one end node each: n0 - r0 - r1 - n1.
+    fn dumbbell() -> (Network, Vec<NodeId>, NodeId, NodeId) {
+        let mut net = Network::new();
+        let r0 = net.add_router("r0", 6);
+        let r1 = net.add_router("r1", 6);
+        net.connect(r0, PortId(0), r1, PortId(0), LinkClass::Local).unwrap();
+        let n0 = net.add_end_node("n0");
+        let n1 = net.add_end_node("n1");
+        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach).unwrap();
+        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach).unwrap();
+        (net, vec![n0, n1], r0, r1)
+    }
+
+    #[test]
+    fn trace_follows_tables() {
+        let (net, ends, r0, r1) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        routes.set(r0, 1, PortId(0));
+        routes.set(r1, 1, PortId(1));
+        routes.set(r1, 0, PortId(0));
+        routes.set(r0, 0, PortId(1));
+        let p = routes.trace(&net, &ends, 0, 1).unwrap();
+        assert_eq!(p.len(), 3); // attach, inter-router, attach
+        assert_eq!(net.channel_src(p[0]), ends[0]);
+        assert_eq!(net.channel_dst(p[2]), ends[1]);
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let (net, ends, r0, _) = dumbbell();
+        let routes = Routes::new(&net, 2);
+        let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
+        assert_eq!(err, RouteError::MissingEntry { router: r0, dst: 1 });
+    }
+
+    #[test]
+    fn dead_port_reported() {
+        let (net, ends, r0, _) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        routes.set(r0, 1, PortId(5));
+        let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
+        assert_eq!(err, RouteError::DeadPort { router: r0, port: PortId(5), dst: 1 });
+    }
+
+    #[test]
+    fn forwarding_loop_detected() {
+        let (net, ends, r0, r1) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        // r0 and r1 bounce destination 1 between each other.
+        routes.set(r0, 1, PortId(0));
+        routes.set(r1, 1, PortId(0));
+        let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
+        assert_eq!(err, RouteError::ForwardingLoop { src: 0, dst: 1 });
+    }
+
+    #[test]
+    fn misdelivery_detected() {
+        let (net, ends, r0, _) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        // r0 sends destination-1 packets into its own end node n0.
+        routes.set(r0, 1, PortId(1));
+        let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
+        assert_eq!(err, RouteError::Misdelivered { src: 0, dst: 1, arrived: ends[0] });
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let (net, ends, _, _) = dumbbell();
+        let routes = Routes::new(&net, 2);
+        assert!(routes.trace(&net, &ends, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn route_set_statistics() {
+        let (net, ends, r0, r1) = dumbbell();
+        let routes = Routes::from_fn(&net, 2, |r, dst| {
+            Some(match (r, dst) {
+                (x, 0) if x == r0 => PortId(1),
+                (x, 1) if x == r0 => PortId(0),
+                (x, 0) if x == r1 => PortId(0),
+                _ => PortId(1),
+            })
+        });
+        let rs = RouteSet::from_table(&net, &ends, &routes).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.router_hops(0, 1), 2);
+        assert_eq!(rs.avg_router_hops(), 2.0);
+        assert_eq!(rs.max_router_hops(), 2);
+        assert!(rs.check_simple().is_ok());
+        assert_eq!(rs.pairs().count(), 2);
+    }
+}

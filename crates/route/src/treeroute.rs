@@ -1,0 +1,254 @@
+//! Tree routing and generic up*/down* routing.
+//!
+//! "Trees are deadlock-free" (§3.3): routes climb toward the common
+//! ancestor and descend, so channel dependencies follow the tree's
+//! partial order and can never cycle.
+//!
+//! [`updown_routeset`] generalizes the idea to *arbitrary* networks
+//! (the Autonet discipline): orient every channel up or down with
+//! respect to a BFS spanning tree, and restrict legal paths to
+//! `up* down*`. This is the cleanest model of the paper's Fig 2
+//! "breaking deadlocks in a hypercube by disabling paths": the disabled
+//! arrows are exactly the down→up turns, it is provably deadlock-free,
+//! and — as the paper complains — it concentrates traffic near the
+//! root, giving "uneven link utilization under uniform load". Up*/down*
+//! choices depend on the source, so this generator produces a
+//! [`RouteSet`] directly instead of destination tables.
+
+use crate::table::{RouteSet, Routes};
+use fractanet_graph::{bfs, ChannelId, Network, NodeId, PortId};
+use fractanet_topo::{BinaryTree, Star, Topology};
+use std::collections::VecDeque;
+
+/// Destination tables for a [`Star`]: the hub delivers directly.
+pub fn star_routes(s: &Star) -> Routes {
+    Routes::from_fn(s.net(), s.end_nodes().len(), |_, dst| Some(PortId(dst as u8)))
+}
+
+/// Destination tables for a [`BinaryTree`]: descend when the
+/// destination leaf is in this router's subtree, else climb.
+pub fn bintree_routes(t: &BinaryTree) -> Routes {
+    let count = t.routers().len();
+    let first_leaf = count / 2;
+    let npl = t.nodes_per_leaf();
+    let heap_of = |router: NodeId| t.routers().iter().position(|&r| r == router);
+    let in_subtree = |i: usize, mut j: usize| {
+        while j > i {
+            j = (j - 1) / 2;
+        }
+        j == i
+    };
+    Routes::from_fn(t.net(), t.end_nodes().len(), |router, dst| {
+        let i = heap_of(router)?;
+        let leaf = first_leaf + dst / npl;
+        if i == leaf {
+            return Some(PortId(1 + (dst % npl) as u8));
+        }
+        if !in_subtree(i, leaf) {
+            return Some(PortId(0)); // up
+        }
+        Some(if in_subtree(2 * i + 1, leaf) { PortId(1) } else { PortId(2) })
+    })
+}
+
+/// Channel orientation for up*/down* routing.
+#[derive(Clone, Debug)]
+pub struct UpDownOrientation {
+    up: Vec<bool>, // indexed by ChannelId
+}
+
+impl UpDownOrientation {
+    /// Orients every channel with respect to BFS levels from `root`:
+    /// a channel is **up** if it decreases the BFS level, with node id
+    /// as the tie-break (so orientation is a total order and acyclic).
+    pub fn new(net: &Network, root: NodeId) -> Self {
+        let level = bfs::distances(net, root);
+        let mut up = vec![false; net.channel_count()];
+        for ch in net.channels() {
+            let s = net.channel_src(ch);
+            let d = net.channel_dst(ch);
+            let (ls, ld) = (level[s.index()], level[d.index()]);
+            up[ch.index()] = ld < ls || (ld == ls && d.index() < s.index());
+        }
+        UpDownOrientation { up }
+    }
+
+    /// Whether `ch` is an up channel.
+    pub fn is_up(&self, ch: ChannelId) -> bool {
+        self.up[ch.index()]
+    }
+}
+
+/// Builds the full up*/down* route set for all end-node pairs:
+/// the shortest path of shape `up* down*`, meeting at the lowest-id
+/// turn router on ties (deterministic, hence in-order-safe).
+///
+/// Panics if some pair has no legal path (cannot happen when the
+/// network is connected: the spanning tree itself is always legal).
+pub fn updown_routeset(net: &Network, ends: &[NodeId], root: NodeId) -> RouteSet {
+    let orient = UpDownOrientation::new(net, root);
+    RouteSet::from_pairs(ends.len(), |s, d| {
+        updown_path(net, &orient, ends[s], ends[d]).expect("connected network has up*/down* path")
+    })
+}
+
+/// Shortest `up* down*` path between two end nodes, attach channels
+/// included.
+pub fn updown_path(
+    net: &Network,
+    orient: &UpDownOrientation,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<ChannelId>> {
+    let &(inject, src_router) = net.channels_from(src).first()?;
+    let &(eject_rev, dst_router) = net.channels_from(dst).first()?;
+    let eject = eject_rev.reverse();
+    if src_router == dst_router {
+        return Some(vec![inject, eject]);
+    }
+
+    const UNSEEN: u32 = u32::MAX;
+    // Up-phase BFS from src_router over up channels (routers only).
+    let mut dist_up = vec![UNSEEN; net.node_count()];
+    let mut prev_up: Vec<Option<ChannelId>> = vec![None; net.node_count()];
+    dist_up[src_router.index()] = 0;
+    let mut q = VecDeque::from([src_router]);
+    while let Some(v) = q.pop_front() {
+        for &(ch, w) in net.channels_from(v) {
+            if net.is_router(w) && orient.is_up(ch) && dist_up[w.index()] == UNSEEN {
+                dist_up[w.index()] = dist_up[v.index()] + 1;
+                prev_up[w.index()] = Some(ch);
+                q.push_back(w);
+            }
+        }
+    }
+    // Down-phase reverse BFS from dst_router over down channels.
+    let mut dist_dn = vec![UNSEEN; net.node_count()];
+    let mut next_dn: Vec<Option<ChannelId>> = vec![None; net.node_count()];
+    dist_dn[dst_router.index()] = 0;
+    let mut q = VecDeque::from([dst_router]);
+    while let Some(v) = q.pop_front() {
+        for &(out, w) in net.channels_from(v) {
+            let incoming = out.reverse(); // w -> v
+            if net.is_router(w) && !orient.is_up(incoming) && dist_dn[w.index()] == UNSEEN {
+                dist_dn[w.index()] = dist_dn[v.index()] + 1;
+                next_dn[w.index()] = Some(incoming);
+                q.push_back(w);
+            }
+        }
+    }
+    // Meet at the router minimizing total length; lowest index breaks
+    // ties deterministically.
+    let mut best: Option<(u32, usize)> = None;
+    for v in net.nodes() {
+        let (u, dn) = (dist_up[v.index()], dist_dn[v.index()]);
+        if u != UNSEEN && dn != UNSEEN {
+            let key = (u + dn, v.index());
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+    }
+    let (_, meet) = best?;
+    // Reconstruct: up segment backwards from meet, then down segment
+    // forwards.
+    let mut path = vec![inject];
+    let mut seg = Vec::new();
+    let mut cur = NodeId(meet as u32);
+    while cur != src_router {
+        let ch = prev_up[cur.index()].expect("up-phase predecessor");
+        seg.push(ch);
+        cur = net.channel_src(ch);
+    }
+    seg.reverse();
+    path.extend(seg);
+    let mut cur = NodeId(meet as u32);
+    while cur != dst_router {
+        let ch = next_dn[cur.index()].expect("down-phase successor");
+        path.push(ch);
+        cur = net.channel_dst(ch);
+    }
+    path.push(eject);
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_topo::{Hypercube, Ring};
+
+    #[test]
+    fn star_routes_one_hop() {
+        let s = Star::new(5, 6).unwrap();
+        let routes = star_routes(&s);
+        let rs = RouteSet::from_table(s.net(), s.end_nodes(), &routes).unwrap();
+        assert_eq!(rs.max_router_hops(), 1);
+    }
+
+    #[test]
+    fn bintree_routes_minimal() {
+        let t = BinaryTree::new(3, 2, 6).unwrap();
+        let routes = bintree_routes(&t);
+        let rs = RouteSet::from_table(t.net(), t.end_nodes(), &routes).unwrap();
+        for (s, d, p) in rs.pairs() {
+            let want =
+                bfs::router_hops(t.net(), t.end_nodes()[s], t.end_nodes()[d]).unwrap() as usize;
+            assert_eq!(p.len() - 1, want, "{s}->{d}");
+        }
+    }
+
+    #[test]
+    fn bintree_crossing_pairs_pass_root() {
+        let t = BinaryTree::new(3, 1, 6).unwrap();
+        let routes = bintree_routes(&t);
+        let rs = RouteSet::from_table(t.net(), t.end_nodes(), &routes).unwrap();
+        // Leftmost to rightmost leaf: 5 router hops in a 3-level tree.
+        assert_eq!(rs.router_hops(0, 3), 5);
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let o = UpDownOrientation::new(h.net(), h.router(0));
+        for ch in h.net().channels() {
+            assert_ne!(o.is_up(ch), o.is_up(ch.reverse()), "{ch:?}");
+        }
+    }
+
+    #[test]
+    fn updown_paths_are_legal() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let o = UpDownOrientation::new(h.net(), h.router(0));
+        let rs = updown_routeset(h.net(), h.end_nodes(), h.router(0));
+        for (s, d, p) in rs.pairs() {
+            // Interior channels (between routers) must be up* then down*.
+            let interior = &p[1..p.len() - 1];
+            let mut descending = false;
+            for &ch in interior {
+                if o.is_up(ch) {
+                    assert!(!descending, "{s}->{d} turned back up");
+                } else {
+                    descending = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updown_delivers_everywhere_on_a_ring() {
+        let r = Ring::new(5, 1, 6).unwrap();
+        let rs = updown_routeset(r.net(), r.end_nodes(), r.router(0));
+        for (s, d, p) in rs.pairs() {
+            assert_eq!(r.net().channel_dst(*p.last().unwrap()), r.end_nodes()[d], "{s}->{d}");
+            assert_eq!(r.net().channel_src(p[0]), r.end_nodes()[s]);
+        }
+        assert!(rs.check_simple().is_ok());
+    }
+
+    #[test]
+    fn updown_same_router_shortcut() {
+        let h = Hypercube::new(2, 2, 6).unwrap();
+        let rs = updown_routeset(h.net(), h.end_nodes(), h.router(0));
+        assert_eq!(rs.router_hops(0, 1), 1);
+    }
+}

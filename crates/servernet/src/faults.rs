@@ -1,0 +1,282 @@
+//! Fault injection and reflexive-path checking.
+//!
+//! The paper's reliability argument needs two facts modeled: a path is
+//! only *usable* if its reverse is too ("that path may be unusable due
+//! to the inability to send acknowledgments back from B to A", §2),
+//! and a single fabric with faults may partition, which is what the
+//! dual fabric exists to mask.
+
+use fractanet_graph::{LinkId, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use std::collections::{HashSet, VecDeque};
+
+/// A set of failed components in one fabric.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSet {
+    dead_links: HashSet<LinkId>,
+    dead_routers: HashSet<NodeId>,
+}
+
+impl FaultSet {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fails a cable (both directions — a cut cable loses its
+    /// acknowledgment path too).
+    pub fn kill_link(&mut self, link: LinkId) {
+        self.dead_links.insert(link);
+    }
+
+    /// Fails a router (all its ports).
+    pub fn kill_router(&mut self, router: NodeId) {
+        self.dead_routers.insert(router);
+    }
+
+    /// Whether the cable works.
+    pub fn link_ok(&self, link: LinkId) -> bool {
+        !self.dead_links.contains(&link)
+    }
+
+    /// Whether the router works.
+    pub fn router_ok(&self, node: NodeId) -> bool {
+        !self.dead_routers.contains(&node)
+    }
+
+    /// Number of failed components.
+    pub fn len(&self) -> usize {
+        self.dead_links.len() + self.dead_routers.len()
+    }
+
+    /// Whether nothing has failed.
+    pub fn is_empty(&self) -> bool {
+        self.dead_links.is_empty() && self.dead_routers.is_empty()
+    }
+
+    /// A random fault set of `links` cables and `routers` routers
+    /// drawn from `net` (end nodes are never failed — the paper's
+    /// fabric faults are network-side).
+    pub fn random(net: &Network, links: usize, routers: usize, rng: &mut StdRng) -> Self {
+        let mut f = FaultSet::none();
+        let mut all_links: Vec<LinkId> = net.links().collect();
+        all_links.shuffle(rng);
+        for l in all_links.into_iter().take(links) {
+            f.kill_link(l);
+        }
+        let mut all_routers: Vec<NodeId> = net.routers().collect();
+        all_routers.shuffle(rng);
+        for r in all_routers.into_iter().take(routers) {
+            f.kill_router(r);
+        }
+        f
+    }
+}
+
+/// BFS reachability that avoids dead links and routers.
+pub fn reachable(net: &Network, faults: &FaultSet, src: NodeId, dst: NodeId) -> bool {
+    if src == dst {
+        return true;
+    }
+    if !faults.router_ok(src) || !faults.router_ok(dst) {
+        return false;
+    }
+    let mut seen = vec![false; net.node_count()];
+    seen[src.index()] = true;
+    let mut q = VecDeque::from([src]);
+    while let Some(v) = q.pop_front() {
+        for &(ch, w) in net.channels_from(v) {
+            if !faults.link_ok(ch.link()) || !faults.router_ok(w) || seen[w.index()] {
+                continue;
+            }
+            if w == dst {
+                return true;
+            }
+            // Only routers forward; a foreign end node is a dead end.
+            if net.is_router(w) {
+                seen[w.index()] = true;
+                q.push_back(w);
+            }
+        }
+    }
+    false
+}
+
+/// Whether a *transfer* can complete between two end nodes: cables are
+/// duplex, so topological reachability is symmetric, and one check
+/// covers the data path and its acknowledgments.
+pub fn transfer_ok(net: &Network, faults: &FaultSet, a: NodeId, b: NodeId) -> bool {
+    reachable(net, faults, a, b)
+}
+
+/// Fraction of unordered pairs whose **fixed table route** (in either
+/// direction) survives the faults — the service level of a ServerNet
+/// fabric *before* anyone reprograms routing tables. Always ≤ the
+/// topological [`surviving_pair_fraction`]: a pair whose fixed path
+/// crosses a dead cable is out of service even though a detour exists,
+/// which is precisely why the paper pairs fabrics instead of relying
+/// on re-routing.
+pub fn routed_surviving_fraction(
+    net: &Network,
+    routes: &fractanet_route::RouteSet,
+    faults: &FaultSet,
+) -> f64 {
+    let n = routes.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let path_ok = |path: &[fractanet_graph::ChannelId]| {
+        path.iter().all(|&ch| {
+            faults.link_ok(ch.link())
+                && faults.router_ok(net.channel_src(ch))
+                && faults.router_ok(net.channel_dst(ch))
+        })
+    };
+    let mut ok = 0usize;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if path_ok(routes.path(a, b)) && path_ok(routes.path(b, a)) {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Fraction of ordered end-node pairs that can still complete
+/// transfers under `faults`.
+pub fn surviving_pair_fraction(net: &Network, faults: &FaultSet, ends: &[NodeId]) -> f64 {
+    let n = ends.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut ok = 0usize;
+    for (i, &a) in ends.iter().enumerate() {
+        for &b in ends.iter().skip(i + 1) {
+            if transfer_ok(net, faults, a, b) {
+                ok += 1;
+            }
+        }
+    }
+    ok as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_topo::{Fractahedron, Ring, Topology, Variant};
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_everything_reachable() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        assert_eq!(surviving_pair_fraction(f.net(), &FaultSet::none(), f.end_nodes()), 1.0);
+    }
+
+    #[test]
+    fn ring_survives_one_cut_not_two() {
+        let r = Ring::new(6, 1, 6).unwrap();
+        let ends = r.end_nodes();
+        let ring_links: Vec<_> = (0..6)
+            .map(|i| r.net().channel_between(r.router(i), r.router((i + 1) % 6)).unwrap().link())
+            .collect();
+        let mut one = FaultSet::none();
+        one.kill_link(ring_links[0]);
+        assert_eq!(surviving_pair_fraction(r.net(), &one, ends), 1.0, "a ring tolerates one cut");
+        let mut two = one.clone();
+        two.kill_link(ring_links[3]);
+        let frac = surviving_pair_fraction(r.net(), &two, ends);
+        assert!(frac < 1.0, "two cuts partition a ring");
+        // 3 + 3 split: 9 of 15 pairs cross the cut, 6 survive.
+        assert!((frac - 6.0 / 15.0).abs() < 1e-9, "frac = {frac}");
+    }
+
+    #[test]
+    fn dead_attach_isolates_node() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let ends = r.end_nodes();
+        let attach = r.net().channels_from(ends[0])[0].0.link();
+        let mut f = FaultSet::none();
+        f.kill_link(attach);
+        assert!(!transfer_ok(r.net(), &f, ends[0], ends[1]));
+        assert!(transfer_ok(r.net(), &f, ends[1], ends[2]));
+    }
+
+    #[test]
+    fn dead_router_kills_its_nodes() {
+        let fr = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let mut f = FaultSet::none();
+        f.kill_router(fr.router(1, 0, 0, 0));
+        let ends = fr.end_nodes();
+        // Nodes 0,1 hang off corner 0.
+        assert!(!transfer_ok(fr.net(), &f, ends[0], ends[2]));
+        // The rest of the tetrahedron still communicates (clique).
+        assert!(transfer_ok(fr.net(), &f, ends[2], ends[7]));
+    }
+
+    #[test]
+    fn tetrahedron_tolerates_any_single_inter_router_cut() {
+        let fr = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        for l in fr.net().links() {
+            if fr.net().link(l).class != fractanet_graph::LinkClass::Local {
+                continue;
+            }
+            let mut f = FaultSet::none();
+            f.kill_link(l);
+            assert_eq!(
+                surviving_pair_fraction(fr.net(), &f, fr.end_nodes()),
+                1.0,
+                "clique redundancy masks {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn static_tables_lose_more_pairs_than_the_topology() {
+        use fractanet_route::fractal::fractal_routes;
+        use fractanet_route::RouteSet;
+        let fr = Fractahedron::paper_fat_64();
+        let routes = fractal_routes(&fr);
+        let rs = RouteSet::from_table(fr.net(), fr.end_nodes(), &routes).unwrap();
+        // Kill one intra-tetrahedron link at level 2: the clique is
+        // redundant (topology survives), but fixed routes through the
+        // diagonal die until tables are reprogrammed.
+        let victim = fr
+            .net()
+            .channel_between(fr.router(2, 0, 0, 0), fr.router(2, 0, 0, 3))
+            .unwrap()
+            .link();
+        let mut faults = FaultSet::none();
+        faults.kill_link(victim);
+        let topo = surviving_pair_fraction(fr.net(), &faults, fr.end_nodes());
+        let routed = super::routed_surviving_fraction(fr.net(), &rs, &faults);
+        assert_eq!(topo, 1.0, "the clique masks a single diagonal cut");
+        assert!(routed < 1.0, "fixed tables cannot exploit the redundancy");
+        assert!(routed > 0.9, "only routes crossing the diagonal die: {routed}");
+    }
+
+    #[test]
+    fn routed_fraction_is_one_without_faults() {
+        use fractanet_route::fractal::fractal_routes;
+        use fractanet_route::RouteSet;
+        let fr = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let routes = fractal_routes(&fr);
+        let rs = RouteSet::from_table(fr.net(), fr.end_nodes(), &routes).unwrap();
+        assert_eq!(super::routed_surviving_fraction(fr.net(), &rs, &FaultSet::none()), 1.0);
+    }
+
+    #[test]
+    fn random_faults_are_reproducible() {
+        let fr = Fractahedron::paper_fat_64();
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let f1 = FaultSet::random(fr.net(), 3, 2, &mut r1);
+        let f2 = FaultSet::random(fr.net(), 3, 2, &mut r2);
+        assert_eq!(f1.len(), 5);
+        assert_eq!(
+            surviving_pair_fraction(fr.net(), &f1, fr.end_nodes()),
+            surviving_pair_fraction(fr.net(), &f2, fr.end_nodes())
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! The physical link model.
+//!
+//! "The first implementation of ServerNet … has byte-serial
+//! point-to-point 50 MB/sec links. Full duplex operation is provided
+//! by pairing two unidirectional links in a cable that can reach up to
+//! 30 meters" (§1).
+
+/// Physical parameters of one ServerNet cable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Per-direction bandwidth in bytes per second.
+    pub bytes_per_second: u64,
+    /// Cable length in meters.
+    pub length_m: f64,
+}
+
+/// Signal propagation speed in copper, m/s (~0.66 c).
+const PROPAGATION_M_PER_S: f64 = 2.0e8;
+
+impl LinkSpec {
+    /// Maximum cable length the first-generation spec allows.
+    pub const MAX_LENGTH_M: f64 = 30.0;
+
+    /// The first-generation 50 MB/s ServerNet link at a given length.
+    /// Panics beyond the 30 m cable limit.
+    pub fn first_generation(length_m: f64) -> Self {
+        assert!(
+            (0.0..=Self::MAX_LENGTH_M).contains(&length_m),
+            "ServerNet cables reach up to 30 meters"
+        );
+        LinkSpec { bytes_per_second: 50_000_000, length_m }
+    }
+
+    /// Seconds to clock `bytes` onto the wire (serialization delay).
+    pub fn serialization_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bytes_per_second as f64
+    }
+
+    /// One-way propagation delay in seconds.
+    pub fn propagation_s(&self) -> f64 {
+        self.length_m / PROPAGATION_M_PER_S
+    }
+
+    /// Total one-way transfer time for a packet of `bytes`.
+    pub fn transfer_s(&self, bytes: u64) -> f64 {
+        self.serialization_s(bytes) + self.propagation_s()
+    }
+
+    /// Byte times per simulator cycle if one cycle clocks one byte —
+    /// lets experiments convert simulated cycles into wall time.
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / self.bytes_per_second as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_generation_bandwidth() {
+        let l = LinkSpec::first_generation(10.0);
+        assert_eq!(l.bytes_per_second, 50_000_000);
+        // 64 bytes at 50 MB/s = 1.28 microseconds.
+        assert!((l.serialization_s(64) - 1.28e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_scales_with_length() {
+        let short = LinkSpec::first_generation(3.0);
+        let long = LinkSpec::first_generation(30.0);
+        assert!((long.propagation_s() / short.propagation_s() - 10.0).abs() < 1e-9);
+        // 30 m at 2e8 m/s = 150 ns.
+        assert!((long.propagation_s() - 150e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_combines_both_terms() {
+        let l = LinkSpec::first_generation(30.0);
+        assert!(l.transfer_s(64) > l.serialization_s(64));
+        assert!(l.transfer_s(64) > l.propagation_s());
+        assert!((l.transfer_s(64) - l.serialization_s(64) - l.propagation_s()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "30 meters")]
+    fn cable_limit_enforced() {
+        let _ = LinkSpec::first_generation(31.0);
+    }
+
+    #[test]
+    fn cycle_time_is_byte_time() {
+        let l = LinkSpec::first_generation(1.0);
+        assert!((l.cycle_s() - 20e-9).abs() < 1e-15); // 20 ns per byte
+    }
+}

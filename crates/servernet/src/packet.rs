@@ -1,0 +1,243 @@
+//! ServerNet packet format.
+//!
+//! A lightweight header + ≤ 64-byte payload + checksum. The protocol
+//! is deliberately minimal: "the lightweight protocol implemented over
+//! these networks cannot tolerate out of order delivery of packets"
+//! (§2) — there is no sequence number to reorder by, which is *why*
+//! the paper insists on a fixed path per node pair. Interrupt packets
+//! must not pass data packets ("The interrupt packet cannot be allowed
+//! to pass the data on the way to the CPU", §3.3), so the kind is part
+//! of the wire format.
+
+/// Transaction kinds carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransactionKind {
+    /// DMA read request.
+    ReadRequest,
+    /// Read response carrying data.
+    ReadResponse,
+    /// DMA write carrying data.
+    Write,
+    /// Positive acknowledgment.
+    Ack,
+    /// Negative acknowledgment (CRC error, disabled turn, …).
+    Nack,
+    /// I/O completion interrupt (must stay ordered behind its data).
+    Interrupt,
+}
+
+impl TransactionKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            TransactionKind::ReadRequest => 0,
+            TransactionKind::ReadResponse => 1,
+            TransactionKind::Write => 2,
+            TransactionKind::Ack => 3,
+            TransactionKind::Nack => 4,
+            TransactionKind::Interrupt => 5,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => TransactionKind::ReadRequest,
+            1 => TransactionKind::ReadResponse,
+            2 => TransactionKind::Write,
+            3 => TransactionKind::Ack,
+            4 => TransactionKind::Nack,
+            5 => TransactionKind::Interrupt,
+            _ => return None,
+        })
+    }
+}
+
+/// Decode failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer bytes than the fixed header + checksum.
+    Truncated,
+    /// Unknown transaction kind byte.
+    BadKind(u8),
+    /// Payload length field exceeds the 64-byte maximum or the buffer.
+    BadLength(usize),
+    /// Checksum mismatch (link error).
+    BadChecksum {
+        /// Checksum carried on the wire.
+        wire: u8,
+        /// Checksum computed from the received bytes.
+        computed: u8,
+    },
+}
+
+/// Maximum payload bytes per packet.
+pub const MAX_PAYLOAD: usize = 64;
+/// Header bytes: dst(2) src(2) kind(1) len(1).
+const HEADER: usize = 6;
+
+/// One ServerNet packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet {
+    /// Destination node ID.
+    pub dst: u16,
+    /// Source node ID.
+    pub src: u16,
+    /// Transaction kind.
+    pub kind: TransactionKind,
+    /// Payload (≤ [`MAX_PAYLOAD`]).
+    pub payload: Vec<u8>,
+}
+
+fn checksum(bytes: &[u8]) -> u8 {
+    // Simple rotating XOR — stands in for the hardware CRC.
+    bytes.iter().fold(0u8, |acc, &b| acc.rotate_left(1) ^ b)
+}
+
+impl Packet {
+    /// Builds a packet; panics if the payload exceeds [`MAX_PAYLOAD`]
+    /// (callers segment larger transfers).
+    pub fn new(dst: u16, src: u16, kind: TransactionKind, payload: Vec<u8>) -> Self {
+        assert!(payload.len() <= MAX_PAYLOAD, "segment transfers above 64 bytes");
+        Packet { dst, src, kind, payload }
+    }
+
+    /// Serializes to wire bytes (header, payload, checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER + self.payload.len() + 1);
+        out.extend_from_slice(&self.dst.to_be_bytes());
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.push(self.kind.to_wire());
+        out.push(self.payload.len() as u8);
+        out.extend_from_slice(&self.payload);
+        out.push(checksum(&out));
+        out
+    }
+
+    /// Strict decode: any malformation is an error (the hardware
+    /// drops and NACKs rather than guessing).
+    pub fn decode(bytes: &[u8]) -> Result<Self, PacketError> {
+        if bytes.len() < HEADER + 1 {
+            return Err(PacketError::Truncated);
+        }
+        let (body, check) = bytes.split_at(bytes.len() - 1);
+        let computed = checksum(body);
+        if computed != check[0] {
+            return Err(PacketError::BadChecksum { wire: check[0], computed });
+        }
+        let dst = u16::from_be_bytes([body[0], body[1]]);
+        let src = u16::from_be_bytes([body[2], body[3]]);
+        let kind = TransactionKind::from_wire(body[4]).ok_or(PacketError::BadKind(body[4]))?;
+        let len = body[5] as usize;
+        if len > MAX_PAYLOAD || body.len() != HEADER + len {
+            return Err(PacketError::BadLength(len));
+        }
+        Ok(Packet { dst, src, kind, payload: body[HEADER..].to_vec() })
+    }
+
+    /// Wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        HEADER + self.payload.len() + 1
+    }
+
+    /// Number of byte-flits this packet occupies in the simulator.
+    pub fn flits(&self) -> u32 {
+        self.wire_len() as u32
+    }
+}
+
+/// Splits a bulk transfer into maximal packets plus the trailing
+/// interrupt, in the order the fabric must deliver them.
+pub fn segment_transfer(dst: u16, src: u16, data: &[u8]) -> Vec<Packet> {
+    let mut out: Vec<Packet> = data
+        .chunks(MAX_PAYLOAD)
+        .map(|c| Packet::new(dst, src, TransactionKind::Write, c.to_vec()))
+        .collect();
+    out.push(Packet::new(dst, src, TransactionKind::Interrupt, Vec::new()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            TransactionKind::ReadRequest,
+            TransactionKind::ReadResponse,
+            TransactionKind::Write,
+            TransactionKind::Ack,
+            TransactionKind::Nack,
+            TransactionKind::Interrupt,
+        ] {
+            let p = Packet::new(513, 7, kind, vec![1, 2, 3]);
+            assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn empty_and_max_payloads() {
+        let empty = Packet::new(1, 2, TransactionKind::Ack, vec![]);
+        assert_eq!(Packet::decode(&empty.encode()).unwrap(), empty);
+        let max = Packet::new(1, 2, TransactionKind::Write, vec![0xAB; MAX_PAYLOAD]);
+        assert_eq!(Packet::decode(&max.encode()).unwrap(), max);
+        assert_eq!(max.wire_len(), 6 + 64 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment")]
+    fn oversize_payload_panics() {
+        let _ = Packet::new(1, 2, TransactionKind::Write, vec![0; MAX_PAYLOAD + 1]);
+    }
+
+    #[test]
+    fn bit_flip_caught() {
+        let p = Packet::new(300, 4, TransactionKind::Write, vec![9; 16]);
+        let mut wire = p.encode();
+        wire[8] ^= 0x40;
+        match Packet::decode(&wire) {
+            Err(PacketError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_caught() {
+        let p = Packet::new(1, 2, TransactionKind::Ack, vec![]);
+        let wire = p.encode();
+        assert_eq!(Packet::decode(&wire[..3]), Err(PacketError::Truncated));
+    }
+
+    #[test]
+    fn bad_kind_caught() {
+        let p = Packet::new(1, 2, TransactionKind::Ack, vec![]);
+        let mut wire = p.encode();
+        wire[4] = 9;
+        // Fix the checksum so the kind check is reached.
+        let c = super::checksum(&wire[..wire.len() - 1]);
+        let n = wire.len();
+        wire[n - 1] = c;
+        assert_eq!(Packet::decode(&wire), Err(PacketError::BadKind(9)));
+    }
+
+    #[test]
+    fn length_mismatch_caught() {
+        let p = Packet::new(1, 2, TransactionKind::Write, vec![5; 8]);
+        let mut wire = p.encode();
+        wire[5] = 7; // lie about the length
+        let n = wire.len();
+        let c = super::checksum(&wire[..n - 1]);
+        wire[n - 1] = c;
+        assert_eq!(Packet::decode(&wire), Err(PacketError::BadLength(7)));
+    }
+
+    #[test]
+    fn segmentation_orders_interrupt_last() {
+        // §3.3: the interrupt must follow the data.
+        let pkts = segment_transfer(9, 1, &[0u8; 150]);
+        assert_eq!(pkts.len(), 4); // 64 + 64 + 22 + interrupt
+        assert_eq!(pkts[0].payload.len(), 64);
+        assert_eq!(pkts[2].payload.len(), 22);
+        assert_eq!(pkts[3].kind, TransactionKind::Interrupt);
+        assert!(pkts[..3].iter().all(|p| p.kind == TransactionKind::Write));
+    }
+}

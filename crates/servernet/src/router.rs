@@ -1,0 +1,175 @@
+//! The ServerNet router ASIC model.
+//!
+//! "Complex networks can be constructed using 6-port router ASICs …
+//! that contain input FIFO buffers and a non-blocking crossbar switch"
+//! (§1). Routing is a table lookup ("these matches are actually done
+//! by looking up entries in the routing table inside each router"),
+//! and a separate bank of **path-disable registers** constrains which
+//! input→output turns the crossbar will honor, as the §2.4 safety net
+//! against corrupted tables.
+
+use fractanet_graph::PortId;
+
+/// Why a forward request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ForwardError {
+    /// The routing table has no entry for the destination.
+    NoTableEntry {
+        /// The destination that missed.
+        dest: u32,
+    },
+    /// The table named an output, but the (input, output) turn is
+    /// disabled; the packet is dropped and flagged for maintenance
+    /// rather than allowed to close a dependency loop.
+    TurnDisabled {
+        /// Arriving port.
+        input: PortId,
+        /// Output the (possibly corrupted) table requested.
+        output: PortId,
+    },
+    /// The table named the port the packet arrived on (a forwarding
+    /// U-turn, always illegal in ServerNet).
+    UTurn {
+        /// The offending port.
+        port: PortId,
+    },
+}
+
+/// One 6-port (or `ports`-port) router ASIC.
+#[derive(Clone, Debug)]
+pub struct RouterAsic {
+    ports: u8,
+    /// `table[dest]` = output port.
+    table: Vec<Option<PortId>>,
+    /// `disabled[input][output]`.
+    disabled: Vec<Vec<bool>>,
+}
+
+impl RouterAsic {
+    /// A router with `ports` ports and room for `dest_space`
+    /// destination IDs ("This prevents sparse usage of the node
+    /// address space").
+    pub fn new(ports: u8, dest_space: usize) -> Self {
+        RouterAsic {
+            ports,
+            table: vec![None; dest_space],
+            disabled: vec![vec![false; ports as usize]; ports as usize],
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> u8 {
+        self.ports
+    }
+
+    /// Programs one routing-table entry.
+    pub fn program(&mut self, dest: u32, output: PortId) {
+        assert!(output.0 < self.ports, "output port out of range");
+        self.table[dest as usize] = Some(output);
+    }
+
+    /// Reads a table entry (for diagnostics).
+    pub fn table_entry(&self, dest: u32) -> Option<PortId> {
+        self.table.get(dest as usize).copied().flatten()
+    }
+
+    /// Sets a path-disable: packets arriving on `input` may never
+    /// leave through `output`.
+    pub fn disable_turn(&mut self, input: PortId, output: PortId) {
+        self.disabled[input.index()][output.index()] = true;
+    }
+
+    /// Whether the turn is disabled.
+    pub fn is_disabled(&self, input: PortId, output: PortId) -> bool {
+        self.disabled[input.index()][output.index()]
+    }
+
+    /// Corrupts a table entry (fault injection): points `dest` at an
+    /// arbitrary port without any validity check.
+    pub fn corrupt(&mut self, dest: u32, bogus: PortId) {
+        self.table[dest as usize] = Some(bogus);
+    }
+
+    /// The crossbar decision: which output does a packet for `dest`
+    /// arriving on `input` take?
+    pub fn forward(&self, input: PortId, dest: u32) -> Result<PortId, ForwardError> {
+        let output = self
+            .table
+            .get(dest as usize)
+            .copied()
+            .flatten()
+            .ok_or(ForwardError::NoTableEntry { dest })?;
+        if output == input {
+            return Err(ForwardError::UTurn { port: output });
+        }
+        if self.is_disabled(input, output) {
+            return Err(ForwardError::TurnDisabled { input, output });
+        }
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asic() -> RouterAsic {
+        let mut r = RouterAsic::new(6, 8);
+        for d in 0..8u32 {
+            r.program(d, PortId((d % 6) as u8));
+        }
+        r
+    }
+
+    #[test]
+    fn forwards_by_table() {
+        let r = asic();
+        assert_eq!(r.forward(PortId(5), 3), Ok(PortId(3)));
+        assert_eq!(r.table_entry(3), Some(PortId(3)));
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let r = RouterAsic::new(6, 4);
+        assert_eq!(r.forward(PortId(0), 2), Err(ForwardError::NoTableEntry { dest: 2 }));
+    }
+
+    #[test]
+    fn u_turn_rejected() {
+        let r = asic();
+        // Destination 3 maps to port 3; arriving on port 3 is a U-turn.
+        assert_eq!(r.forward(PortId(3), 3), Err(ForwardError::UTurn { port: PortId(3) }));
+    }
+
+    #[test]
+    fn disabled_turn_rejected_even_with_corrupt_table() {
+        // §2.4: "path disable logic that can be set to enforce the
+        // elimination of the loops, even if the routing table is
+        // corrupted by a fault."
+        let mut r = asic();
+        r.disable_turn(PortId(1), PortId(4));
+        r.corrupt(2, PortId(4)); // table now sends dest 2 out port 4
+        assert_eq!(
+            r.forward(PortId(1), 2),
+            Err(ForwardError::TurnDisabled { input: PortId(1), output: PortId(4) })
+        );
+        // From other inputs the (corrupt) route is still taken — the
+        // disable is per-turn, not per-output.
+        assert_eq!(r.forward(PortId(0), 2), Ok(PortId(4)));
+    }
+
+    #[test]
+    fn disables_are_directional() {
+        let mut r = asic();
+        r.disable_turn(PortId(1), PortId(2));
+        assert!(r.is_disabled(PortId(1), PortId(2)));
+        assert!(!r.is_disabled(PortId(2), PortId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn program_checks_port_range() {
+        let mut r = RouterAsic::new(6, 4);
+        r.program(0, PortId(6));
+    }
+}

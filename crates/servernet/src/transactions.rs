@@ -1,0 +1,271 @@
+//! The transaction layer: DMA reads and writes with acknowledgments.
+//!
+//! ServerNet transfers are acknowledged, which is why §2 worries about
+//! *reflexive* usability: "There may be nothing wrong with any of the
+//! hardware along the path from A to B, but that path may be unusable
+//! due to the inability to send acknowledgments back from B to A."
+//! With destination-indexed tables the B→A route generally uses
+//! *different* links than A→B (each ascends from its own corner), so a
+//! single fault can break a transaction in one direction only — this
+//! module makes that failure mode explicit and testable.
+
+use crate::faults::FaultSet;
+use crate::link::LinkSpec;
+use crate::packet::{segment_transfer, Packet, TransactionKind, MAX_PAYLOAD};
+use fractanet_graph::{ChannelId, Network};
+use fractanet_route::RouteSet;
+use std::fmt;
+
+/// A requested transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transaction {
+    /// Read `bytes` from `from` into `to` (request travels to → from,
+    /// data travels back).
+    Read {
+        /// Requesting node.
+        to: usize,
+        /// Node holding the data.
+        from: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// Write `bytes` from `from` to `to`, acknowledged.
+    Write {
+        /// Sending node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+}
+
+/// Why a transaction could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// The data-bearing direction is down.
+    DataPathDown {
+        /// First dead channel encountered.
+        at: ChannelId,
+    },
+    /// The data path is healthy but the acknowledgment direction is
+    /// not — the paper's non-reflexive failure.
+    AckPathDown {
+        /// First dead channel encountered on the return route.
+        at: ChannelId,
+    },
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::DataPathDown { at } => write!(f, "data path down at {at:?}"),
+            TxError::AckPathDown { at } => {
+                write!(f, "acknowledgment path down at {at:?} (data path is healthy)")
+            }
+        }
+    }
+}
+
+/// Result of a completed transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxOutcome {
+    /// Data packets plus the trailing interrupt.
+    pub data_packets: usize,
+    /// Acknowledgments returned.
+    pub ack_packets: usize,
+    /// Estimated wall-clock round trip on first-generation links.
+    pub round_trip_s: f64,
+}
+
+/// First dead channel on a path, if any.
+fn first_fault(net: &Network, faults: &FaultSet, path: &[ChannelId]) -> Option<ChannelId> {
+    path.iter().copied().find(|&ch| {
+        !faults.link_ok(ch.link())
+            || !faults.router_ok(net.channel_src(ch))
+            || !faults.router_ok(net.channel_dst(ch))
+    })
+}
+
+/// One-way pipelined wormhole transfer time for `bytes` over `hops`
+/// routers: serialization of the whole payload plus one
+/// cycle-and-propagation per hop for the head.
+fn one_way_s(link: &LinkSpec, hops: usize, bytes: usize) -> f64 {
+    link.serialization_s(bytes as u64) + hops as f64 * (link.cycle_s() + link.propagation_s())
+}
+
+/// Executes (checks and times) a transaction over fixed table routes.
+/// Packets are segmented per the wire format; each data packet is
+/// acknowledged.
+pub fn execute(
+    net: &Network,
+    routes: &RouteSet,
+    faults: &FaultSet,
+    link: &LinkSpec,
+    tx: Transaction,
+) -> Result<TxOutcome, TxError> {
+    let (data_src, data_dst, bytes, request_first) = match tx {
+        Transaction::Read { to, from, bytes } => (from, to, bytes, true),
+        Transaction::Write { from, to, bytes } => (from, to, bytes, false),
+    };
+    let data_path = routes.path(data_src, data_dst);
+    let ack_path = routes.path(data_dst, data_src);
+    if let Some(at) = first_fault(net, faults, data_path) {
+        return Err(TxError::DataPathDown { at });
+    }
+    if let Some(at) = first_fault(net, faults, ack_path) {
+        return Err(TxError::AckPathDown { at });
+    }
+
+    let packets = segment_transfer(data_dst as u16, data_src as u16, &vec![0u8; bytes]);
+    let data_hops = data_path.len().saturating_sub(1);
+    let ack_hops = ack_path.len().saturating_sub(1);
+    let ack = Packet::new(data_src as u16, data_dst as u16, TransactionKind::Ack, Vec::new());
+
+    let mut t = 0.0;
+    if request_first {
+        // Read request: a header-only packet travels the ack path
+        // first.
+        let req =
+            Packet::new(data_src as u16, data_dst as u16, TransactionKind::ReadRequest, Vec::new());
+        t += one_way_s(link, ack_hops, req.wire_len());
+    }
+    for p in &packets {
+        t += one_way_s(link, data_hops, p.wire_len());
+    }
+    // Acks pipeline behind the data; the last one bounds completion.
+    t += one_way_s(link, ack_hops, ack.wire_len());
+
+    Ok(TxOutcome { data_packets: packets.len(), ack_packets: packets.len(), round_trip_s: t })
+}
+
+/// How many payload packets a transfer needs (excluding the
+/// interrupt).
+pub fn packets_for(bytes: usize) -> usize {
+    bytes.div_ceil(MAX_PAYLOAD).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_route::fractal::fractal_routes;
+    use fractanet_topo::{Fractahedron, Topology, Variant};
+
+    fn setup() -> (Fractahedron, RouteSet) {
+        let f = Fractahedron::new(2, Variant::Fat, false).unwrap();
+        let routes = fractal_routes(&f);
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &routes).unwrap();
+        (f, rs)
+    }
+
+    #[test]
+    fn healthy_write_completes() {
+        let (f, rs) = setup();
+        let link = LinkSpec::first_generation(10.0);
+        let out = execute(
+            f.net(),
+            &rs,
+            &FaultSet::none(),
+            &link,
+            Transaction::Write { from: 3, to: 60, bytes: 200 },
+        )
+        .unwrap();
+        assert_eq!(out.data_packets, 5); // 64+64+64+8 writes + interrupt
+        assert_eq!(out.ack_packets, 5);
+        assert!(out.round_trip_s > 0.0 && out.round_trip_s < 1e-3);
+    }
+
+    #[test]
+    fn read_costs_an_extra_request_leg() {
+        let (f, rs) = setup();
+        let link = LinkSpec::first_generation(10.0);
+        let faults = FaultSet::none();
+        let w = execute(f.net(), &rs, &faults, &link, Transaction::Write {
+            from: 3,
+            to: 60,
+            bytes: 64,
+        })
+        .unwrap();
+        let r = execute(f.net(), &rs, &faults, &link, Transaction::Read {
+            to: 3,
+            from: 60,
+            bytes: 64,
+        })
+        .unwrap();
+        assert!(r.round_trip_s > w.round_trip_s, "{} vs {}", r.round_trip_s, w.round_trip_s);
+    }
+
+    #[test]
+    fn forward_fault_reported_as_data_path() {
+        let (f, rs) = setup();
+        let link = LinkSpec::first_generation(10.0);
+        let mut faults = FaultSet::none();
+        // Kill the first hop of 3 -> 60.
+        let ch = rs.path(3, 60)[0];
+        faults.kill_link(ch.link());
+        let err = execute(f.net(), &rs, &faults, &link, Transaction::Write {
+            from: 3,
+            to: 60,
+            bytes: 8,
+        })
+        .unwrap_err();
+        assert!(matches!(err, TxError::DataPathDown { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_reflexive_fault_breaks_only_the_ack() {
+        // The paper's §2 scenario: the A->B hardware is fine, but B->A
+        // uses different links (each direction ascends from its own
+        // corner), and a fault there kills the transaction anyway.
+        let (f, rs) = setup();
+        let link = LinkSpec::first_generation(10.0);
+        let fwd: Vec<_> = rs.path(3, 60).to_vec();
+        let rev: Vec<_> = rs.path(60, 3).to_vec();
+        // Find a reverse-only cable.
+        let rev_only = rev
+            .iter()
+            .map(|c| c.link())
+            .find(|l| !fwd.iter().any(|c| c.link() == *l))
+            .expect("fractahedral reverse routes use different links");
+        let mut faults = FaultSet::none();
+        faults.kill_link(rev_only);
+        let err = execute(f.net(), &rs, &faults, &link, Transaction::Write {
+            from: 3,
+            to: 60,
+            bytes: 8,
+        })
+        .unwrap_err();
+        assert!(matches!(err, TxError::AckPathDown { .. }), "{err}");
+        // The data direction alone would have been fine.
+        assert!(first_fault(f.net(), &faults, &fwd).is_none());
+    }
+
+    #[test]
+    fn packet_count_helper() {
+        assert_eq!(packets_for(0), 1);
+        assert_eq!(packets_for(64), 1);
+        assert_eq!(packets_for(65), 2);
+        assert_eq!(packets_for(200), 4);
+    }
+
+    #[test]
+    fn longer_paths_take_longer() {
+        let (f, rs) = setup();
+        let link = LinkSpec::first_generation(10.0);
+        let faults = FaultSet::none();
+        // Same-router pair (1 hop) vs cross-hierarchy pair (5 hops).
+        let near = execute(f.net(), &rs, &faults, &link, Transaction::Write {
+            from: 0,
+            to: 1,
+            bytes: 64,
+        })
+        .unwrap();
+        let far = execute(f.net(), &rs, &faults, &link, Transaction::Write {
+            from: 0,
+            to: 63,
+            bytes: 64,
+        })
+        .unwrap();
+        assert!(far.round_trip_s > near.round_trip_s);
+    }
+}

@@ -1,0 +1,94 @@
+//! Simulator configuration.
+
+/// Tunables for one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Input-FIFO depth per channel, in flits (the ServerNet router's
+    /// per-port input buffer).
+    pub buffer_depth: u8,
+    /// Flits per packet (a 64-byte ServerNet packet at one byte per
+    /// flit cycle ≈ 16–64 flits; 16 keeps tests fast).
+    pub packet_flits: u32,
+    /// Hard stop, in cycles.
+    pub max_cycles: u64,
+    /// Consecutive all-idle cycles (with traffic in flight) before the
+    /// wait-for graph is consulted for a deadlock verdict.
+    pub stall_threshold: u64,
+    /// Cycles of warm-up excluded from latency statistics.
+    pub warmup_cycles: u64,
+    /// RNG seed (simulations are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            buffer_depth: 4,
+            packet_flits: 16,
+            max_cycles: 50_000,
+            stall_threshold: 1_000,
+            warmup_cycles: 0,
+            seed: 0xF2AC7A,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Builder-style buffer depth.
+    pub fn with_buffer_depth(mut self, depth: u8) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Builder-style packet length.
+    pub fn with_packet_flits(mut self, flits: u32) -> Self {
+        self.packet_flits = flits;
+        self
+    }
+
+    /// Builder-style cycle limit.
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Builder-style warm-up window.
+    pub fn with_warmup(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.buffer_depth >= 1);
+        assert!(c.packet_flits >= 2, "need at least head + tail");
+        assert!(c.stall_threshold < c.max_cycles);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::default()
+            .with_buffer_depth(8)
+            .with_packet_flits(32)
+            .with_max_cycles(1_000)
+            .with_warmup(100)
+            .with_seed(7);
+        assert_eq!(c.buffer_depth, 8);
+        assert_eq!(c.packet_flits, 32);
+        assert_eq!(c.max_cycles, 1_000);
+        assert_eq!(c.warmup_cycles, 100);
+        assert_eq!(c.seed, 7);
+    }
+}

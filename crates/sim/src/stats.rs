@@ -1,0 +1,112 @@
+//! Simulation results.
+
+use fractanet_graph::ChannelId;
+
+/// Evidence of a wormhole deadlock observed at runtime.
+#[derive(Clone, Debug)]
+pub struct DeadlockEvent {
+    /// Cycle at which the verdict was reached.
+    pub cycle: u64,
+    /// The circular wait (channels), when one was found; a stall with
+    /// no cycle (should not happen under this flow control) is
+    /// reported with an empty vector.
+    pub cycle_channels: Vec<ChannelId>,
+    /// Packets still in flight at the verdict.
+    pub stuck_packets: usize,
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Cycles actually simulated.
+    pub cycles: u64,
+    /// Packets created by the workload.
+    pub generated: usize,
+    /// Packets fully delivered.
+    pub delivered: usize,
+    /// Mean end-to-end packet latency in cycles (creation → tail
+    /// ejected), over measured (post-warm-up) deliveries.
+    pub avg_latency: f64,
+    /// Mean network latency (head injected → tail ejected).
+    pub avg_network_latency: f64,
+    /// 95th-percentile end-to-end latency.
+    pub p95_latency: u64,
+    /// Worst observed end-to-end latency.
+    pub max_latency: u64,
+    /// Delivered flits per node per cycle (accepted throughput).
+    pub throughput: f64,
+    /// Busy cycles per channel, indexed by `ChannelId::index()`.
+    pub channel_busy: Vec<u64>,
+    /// The deadlock verdict, if the run deadlocked.
+    pub deadlock: Option<DeadlockEvent>,
+}
+
+impl SimResult {
+    /// Fraction of generated packets delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Whether the run completed without deadlock and delivered
+    /// everything it generated.
+    pub fn is_clean(&self) -> bool {
+        self.deadlock.is_none() && self.delivered == self.generated
+    }
+
+    /// Peak channel utilization (busy fraction of the busiest channel).
+    pub fn peak_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let max = self.channel_busy.iter().copied().max().unwrap_or(0);
+        max as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> SimResult {
+        SimResult {
+            cycles: 100,
+            generated: 10,
+            delivered: 10,
+            avg_latency: 25.0,
+            avg_network_latency: 20.0,
+            p95_latency: 40,
+            max_latency: 50,
+            throughput: 0.2,
+            channel_busy: vec![10, 50, 0],
+            deadlock: None,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let r = blank();
+        assert_eq!(r.delivery_ratio(), 1.0);
+        assert!(r.is_clean());
+        assert_eq!(r.peak_utilization(), 0.5);
+    }
+
+    #[test]
+    fn deadlock_marks_unclean() {
+        let mut r = blank();
+        r.deadlock =
+            Some(DeadlockEvent { cycle: 42, cycle_channels: vec![ChannelId(0)], stuck_packets: 4 });
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn zero_generated_ratio_is_one() {
+        let mut r = blank();
+        r.generated = 0;
+        r.delivered = 0;
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+}

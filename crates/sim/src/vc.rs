@@ -1,0 +1,674 @@
+//! Virtual-channel wormhole simulation — the Dally & Seitz alternative
+//! the paper weighs and rejects (§2): "They propose adding virtual
+//! channels to routers, then breaking loops by allowing some messages
+//! to pass other packets. This solution requires multiple packet
+//! buffers at each router stage, and severely complicates the router
+//! design."
+//!
+//! This module makes that trade-off measurable: each physical channel
+//! is split into `V` virtual channels, each with its **own** input
+//! FIFO (the buffer cost the paper objects to), and the physical link
+//! still moves at most one flit per cycle (VCs share the wire). The
+//! classic dateline discipline on a ring — packets switch from VC 0 to
+//! VC 1 when they cross a designated link — breaks the Fig 1 cycle
+//! without changing the topology, at the price of doubled buffering.
+
+use crate::config::SimConfig;
+use crate::stats::{DeadlockEvent, SimResult};
+use crate::traffic::Workload;
+use fractanet_graph::{AdjList, ChannelId, Network};
+use fractanet_topo::ring::{PORT_CW, PORT_NODE0};
+use fractanet_topo::{Ring, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// One hop of a virtual-channel route: a physical channel plus the
+/// virtual channel to ride on it.
+pub type VcHop = (ChannelId, u8);
+
+/// All-pairs virtual-channel routes.
+#[derive(Clone, Debug)]
+pub struct VcRouteSet {
+    paths: Vec<Vec<Vec<VcHop>>>,
+    vcs: u8,
+}
+
+impl VcRouteSet {
+    /// Builds from a per-pair generator.
+    pub fn from_pairs(n: usize, vcs: u8, mut f: impl FnMut(usize, usize) -> Vec<VcHop>) -> Self {
+        assert!(vcs >= 1);
+        let mut paths = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for d in 0..n {
+                row.push(if s == d { Vec::new() } else { f(s, d) });
+            }
+            paths.push(row);
+        }
+        VcRouteSet { paths, vcs }
+    }
+
+    /// Number of end nodes.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether there are no end nodes.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Virtual channels per physical channel.
+    pub fn vcs(&self) -> u8 {
+        self.vcs
+    }
+
+    /// The hop sequence for a pair.
+    pub fn path(&self, src: usize, dst: usize) -> &[VcHop] {
+        &self.paths[src][dst]
+    }
+
+    /// Dally & Seitz on the extended graph: deadlock-free iff the
+    /// dependency graph over *(channel, vc)* vertices is acyclic.
+    pub fn is_deadlock_free(&self, net: &Network) -> bool {
+        let v = self.vcs as usize;
+        let mut g = AdjList::new(net.channel_count() * v);
+        for row in &self.paths {
+            for p in row {
+                for w in p.windows(2) {
+                    let a = w[0].0.index() * v + w[0].1 as usize;
+                    let b = w[1].0.index() * v + w[1].1 as usize;
+                    g.add_edge(a as u32, b as u32);
+                }
+            }
+        }
+        g.is_acyclic()
+    }
+}
+
+/// Clockwise ring routes on `vcs` virtual channels with the dateline
+/// discipline: packets ride VC 0 until they traverse the wrap link
+/// (router n−1 → 0), from which point they ride VC 1. With `vcs = 1`
+/// this degenerates to the deadlocking Fig 1 routing.
+pub fn dateline_ring_routes(ring: &Ring, vcs: u8) -> VcRouteSet {
+    assert!((1..=2).contains(&vcs), "the dateline scheme uses up to 2 VCs");
+    let n = ring.len();
+    let npr = ring.nodes_per_router();
+    let net = ring.net();
+    VcRouteSet::from_pairs(ring.end_nodes().len(), vcs, |s, d| {
+        let rs = ring.router_of_addr(s);
+        let rd = ring.router_of_addr(d);
+        let mut hops: Vec<VcHop> = Vec::new();
+        // Injection.
+        let inject = net.channels_from(ring.end_nodes()[s])[0].0;
+        hops.push((inject, 0));
+        let mut cur = rs;
+        let mut vc = 0u8;
+        while cur != rd {
+            let ch = net.channel_out(ring.router(cur), PORT_CW).expect("ring CW port");
+            // Crossing the dateline (the wrap link out of router n-1)
+            // promotes the packet to VC 1 when available.
+            if cur == n - 1 && vcs > 1 {
+                vc = 1;
+            }
+            hops.push((ch, vc));
+            cur = (cur + 1) % n;
+        }
+        let eject = net
+            .channel_out(
+                ring.router(rd),
+                fractanet_graph::PortId(PORT_NODE0.0 + (d % npr) as u8),
+            )
+            .expect("attach port");
+        hops.push((eject, vc));
+        hops
+    })
+}
+
+/// Minimal X-then-Y torus routing on `vcs` virtual channels with a
+/// per-dimension dateline: a packet rides VC 0 within a dimension
+/// until it traverses that dimension's wrap cable (between coordinate
+/// `size−1` and `0`, in either direction), then VC 1; entering the Y
+/// dimension resets to VC 0 (dimension order already breaks X↔Y
+/// cycles). With `vcs = 1` the wrap routes close dependency cycles.
+pub fn dateline_torus_routes(t: &fractanet_topo::Torus2D, vcs: u8) -> VcRouteSet {
+    use fractanet_topo::mesh::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+    assert!((1..=2).contains(&vcs), "the dateline scheme uses up to 2 VCs");
+    let (cols, rows) = (t.cols(), t.rows());
+    let net = t.net();
+    VcRouteSet::from_pairs(t.end_nodes().len(), vcs, |s, d| {
+        let (sx, sy, _) = t.end_coords(s);
+        let (dx, dy, _) = t.end_coords(d);
+        let mut hops: Vec<VcHop> = Vec::new();
+        let inject = net.channels_from(t.end_nodes()[s])[0].0;
+        hops.push((inject, 0));
+        // X dimension, minimal direction (ties go east).
+        let east = (dx + cols - sx) % cols;
+        let west = (sx + cols - dx) % cols;
+        let (steps, port, wrap_from) =
+            if east <= west { (east, PORT_EAST, cols - 1) } else { (west, PORT_WEST, 0) };
+        let mut x = sx;
+        let mut vc = 0u8;
+        for _ in 0..steps {
+            let ch = net.channel_out(t.router_at(x, sy), port).expect("torus X port");
+            if x == wrap_from && vcs > 1 {
+                vc = 1;
+            }
+            hops.push((ch, vc));
+            x = if port == PORT_EAST { (x + 1) % cols } else { (x + cols - 1) % cols };
+        }
+        // Y dimension.
+        let north = (dy + rows - sy) % rows;
+        let south = (sy + rows - dy) % rows;
+        let (steps, port, wrap_from) =
+            if north <= south { (north, PORT_NORTH, rows - 1) } else { (south, PORT_SOUTH, 0) };
+        let mut y = sy;
+        vc = 0;
+        for _ in 0..steps {
+            let ch = net.channel_out(t.router_at(dx, y), port).expect("torus Y port");
+            if y == wrap_from && vcs > 1 {
+                vc = 1;
+            }
+            hops.push((ch, vc));
+            y = if port == PORT_NORTH { (y + 1) % rows } else { (y + rows - 1) % rows };
+        }
+        let &(eject_rev, _) = net.channels_from(t.end_nodes()[d]).first().expect("attached");
+        hops.push((eject_rev.reverse(), vc));
+        hops
+    })
+}
+
+const NO_PKT: u32 = u32::MAX;
+
+#[derive(Clone)]
+struct VChanState {
+    owner: u32,
+    entered: u32,
+    occ: u8,
+    route_pos: u32,
+}
+
+impl VChanState {
+    fn free() -> Self {
+        VChanState { owner: NO_PKT, entered: 0, occ: 0, route_pos: 0 }
+    }
+    fn front(&self) -> u32 {
+        self.entered - self.occ as u32
+    }
+}
+
+struct VPacket {
+    src: u32,
+    dst: u32,
+    len: u32,
+    created: u64,
+    injected: u64,
+    sent: u32,
+}
+
+/// The virtual-channel wormhole engine. Physical links carry one flit
+/// per cycle regardless of VC count; each VC has its own `buffer_depth`
+/// FIFO.
+pub struct VcEngine<'a> {
+    routes: &'a VcRouteSet,
+    cfg: SimConfig,
+    vcs: usize,
+    nch: usize,
+    chans: Vec<VChanState>, // indexed by vid = ch * vcs + vc
+    packets: Vec<VPacket>,
+    queues: Vec<VecDeque<u32>>,
+    rr: Vec<u32>, // per physical channel
+    busy: Vec<u64>,
+    in_flight: usize,
+    delivered: usize,
+    delivered_flits: u64,
+    latencies: Vec<u64>,
+    rng: StdRng,
+}
+
+impl<'a> VcEngine<'a> {
+    /// Creates the engine.
+    pub fn new(net: &'a Network, routes: &'a VcRouteSet, cfg: SimConfig) -> Self {
+        let vcs = routes.vcs() as usize;
+        let nch = net.channel_count();
+        VcEngine {
+            routes,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            vcs,
+            nch,
+            chans: vec![VChanState::free(); nch * vcs],
+            packets: Vec::new(),
+            queues: vec![VecDeque::new(); routes.len()],
+            rr: vec![0; nch],
+            busy: vec![0; nch],
+            in_flight: 0,
+            delivered: 0,
+            delivered_flits: 0,
+            latencies: Vec::new(),
+        }
+    }
+
+    /// Total input-buffer slots across the network — the hardware cost
+    /// axis of the virtual-channel trade-off.
+    pub fn total_buffer_slots(&self) -> usize {
+        self.nch * self.vcs * self.cfg.buffer_depth as usize
+    }
+
+    fn vid(&self, hop: VcHop) -> usize {
+        hop.0.index() * self.vcs + hop.1 as usize
+    }
+
+    /// Runs the workload; the semantics mirror
+    /// [`crate::engine::Engine::run`].
+    pub fn run(mut self, mut workload: Workload) -> SimResult {
+        let n = self.routes.len();
+        let mut idle = 0u64;
+        let mut cycle = 0u64;
+        let mut generated = 0usize;
+        let mut deadlock = None;
+
+        while cycle < self.cfg.max_cycles {
+            for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
+                let id = self.packets.len() as u32;
+                self.packets.push(VPacket {
+                    src: s as u32,
+                    dst: d as u32,
+                    len: self.cfg.packet_flits,
+                    created: cycle,
+                    injected: u64::MAX,
+                    sent: 0,
+                });
+                self.queues[s].push_back(id);
+                generated += 1;
+            }
+            let moves = self.step(cycle);
+            let drained = self.in_flight == 0 && self.queues.iter().all(VecDeque::is_empty);
+            if workload.finished(cycle) && drained {
+                cycle += 1;
+                break;
+            }
+            if moves == 0 && !drained {
+                idle += 1;
+                if idle >= self.cfg.stall_threshold {
+                    deadlock = Some(self.diagnose(cycle));
+                    cycle += 1;
+                    break;
+                }
+            } else {
+                idle = 0;
+            }
+            cycle += 1;
+        }
+
+        let mut lats = self.latencies.clone();
+        lats.sort_unstable();
+        let avg = if lats.is_empty() {
+            0.0
+        } else {
+            lats.iter().sum::<u64>() as f64 / lats.len() as f64
+        };
+        SimResult {
+            cycles: cycle,
+            generated,
+            delivered: self.delivered,
+            avg_latency: avg,
+            avg_network_latency: avg,
+            p95_latency: lats
+                .get((lats.len().saturating_mul(95) / 100).min(lats.len().saturating_sub(1)))
+                .copied()
+                .unwrap_or(0),
+            max_latency: lats.last().copied().unwrap_or(0),
+            throughput: self.delivered_flits as f64 / cycle.max(1) as f64 / n.max(1) as f64,
+            channel_busy: self.busy,
+            deadlock,
+        }
+    }
+
+    fn step(&mut self, cycle: u64) -> usize {
+        let b = self.cfg.buffer_depth;
+        // Candidate moves keyed by target *physical* channel; one flit
+        // per wire per cycle.
+        #[derive(Clone, Copy)]
+        enum Cand {
+            Transfer { from_vid: u32, to_vid: u32, alloc: bool },
+            Inject { src: u32, to_vid: u32, alloc: bool },
+        }
+        let mut ejects: Vec<u32> = Vec::new();
+        let mut cands: Vec<(u32, Cand)> = Vec::new(); // (physical target, cand)
+
+        for vid in 0..self.chans.len() as u32 {
+            let st = &self.chans[vid as usize];
+            if st.occ == 0 {
+                continue;
+            }
+            let p = &self.packets[st.owner as usize];
+            let path = self.routes.path(p.src as usize, p.dst as usize);
+            if st.route_pos as usize == path.len() - 1 {
+                ejects.push(vid);
+                continue;
+            }
+            let next = path[st.route_pos as usize + 1];
+            let next_vid = self.vid(next) as u32;
+            let nst = &self.chans[next_vid as usize];
+            if st.front() == 0 {
+                if nst.owner == NO_PKT && nst.occ < b {
+                    cands.push((
+                        next.0.index() as u32,
+                        Cand::Transfer { from_vid: vid, to_vid: next_vid, alloc: true },
+                    ));
+                }
+            } else if nst.occ < b {
+                cands.push((
+                    next.0.index() as u32,
+                    Cand::Transfer { from_vid: vid, to_vid: next_vid, alloc: false },
+                ));
+            }
+        }
+        for s in 0..self.queues.len() {
+            let Some(&pid) = self.queues[s].front() else { continue };
+            let p = &self.packets[pid as usize];
+            let first = self.routes.path(p.src as usize, p.dst as usize)[0];
+            let vid = self.vid(first) as u32;
+            let st = &self.chans[vid as usize];
+            let alloc = p.sent == 0;
+            let ok = if alloc { st.owner == NO_PKT && st.occ < b } else { st.occ < b };
+            if ok {
+                cands.push((
+                    first.0.index() as u32,
+                    Cand::Inject { src: s as u32, to_vid: vid, alloc },
+                ));
+            }
+        }
+
+        // One grant per physical channel, round-robin over target vids.
+        cands.sort_unstable_by_key(|&(phys, c)| {
+            let key = match c {
+                Cand::Transfer { from_vid, .. } => from_vid,
+                Cand::Inject { src, .. } => u32::MAX / 2 + src,
+            };
+            (phys, key)
+        });
+        let mut moves = 0usize;
+        let mut i = 0;
+        let mut grants: Vec<Cand> = Vec::new();
+        while i < cands.len() {
+            let phys = cands[i].0;
+            let mut j = i;
+            while j < cands.len() && cands[j].0 == phys {
+                j += 1;
+            }
+            let group = &cands[i..j];
+            let last = self.rr[phys as usize];
+            let pick = group
+                .iter()
+                .find(|&&(_, c)| key_of(c) > last)
+                .or(group.first())
+                .copied()
+                .expect("non-empty group");
+            self.rr[phys as usize] = key_of(pick.1);
+            grants.push(pick.1);
+            i = j;
+        }
+        fn key_of(c: Cand) -> u32 {
+            match c {
+                Cand::Transfer { from_vid, .. } => from_vid,
+                Cand::Inject { src, .. } => u32::MAX / 2 + src,
+            }
+        }
+
+        // Ejections (per physical channel, at most one — group them).
+        let mut ejected_phys: Vec<bool> = vec![false; self.nch];
+        for vid in ejects {
+            let phys = vid as usize / self.vcs;
+            if ejected_phys[phys] {
+                continue;
+            }
+            ejected_phys[phys] = true;
+            moves += 1;
+            let (owner, flit) = {
+                let st = &mut self.chans[vid as usize];
+                let f = st.front();
+                st.occ -= 1;
+                (st.owner, f)
+            };
+            self.delivered_flits += 1;
+            let done = flit == self.packets[owner as usize].len - 1;
+            if done {
+                self.chans[vid as usize].owner = NO_PKT;
+                self.in_flight -= 1;
+                self.delivered += 1;
+                let p = &self.packets[owner as usize];
+                if p.created >= self.cfg.warmup_cycles {
+                    self.latencies.push(cycle + 1 - p.created);
+                }
+            }
+        }
+
+        for g in grants {
+            moves += 1;
+            match g {
+                Cand::Transfer { from_vid, to_vid, alloc } => {
+                    let (owner, flit, pos) = {
+                        let st = &mut self.chans[from_vid as usize];
+                        let f = st.front();
+                        st.occ -= 1;
+                        (st.owner, f, st.route_pos)
+                    };
+                    if flit == self.packets[owner as usize].len - 1 {
+                        self.chans[from_vid as usize].owner = NO_PKT;
+                    }
+                    let nst = &mut self.chans[to_vid as usize];
+                    if alloc {
+                        nst.owner = owner;
+                        nst.entered = 0;
+                        nst.route_pos = pos + 1;
+                    }
+                    nst.entered += 1;
+                    nst.occ += 1;
+                    self.busy[to_vid as usize / self.vcs] += 1;
+                }
+                Cand::Inject { src, to_vid, alloc } => {
+                    let pid = *self.queues[src as usize].front().expect("validated");
+                    let (sent_after, len) = {
+                        let p = &mut self.packets[pid as usize];
+                        p.sent += 1;
+                        if p.sent == 1 {
+                            p.injected = cycle;
+                            self.in_flight += 1;
+                        }
+                        (p.sent, p.len)
+                    };
+                    let st = &mut self.chans[to_vid as usize];
+                    if alloc {
+                        st.owner = pid;
+                        st.entered = 0;
+                        st.route_pos = 0;
+                    }
+                    st.entered += 1;
+                    st.occ += 1;
+                    self.busy[to_vid as usize / self.vcs] += 1;
+                    if sent_after == len {
+                        self.queues[src as usize].pop_front();
+                    }
+                }
+            }
+        }
+        moves
+    }
+
+    fn diagnose(&self, cycle: u64) -> DeadlockEvent {
+        let mut g = AdjList::new(self.chans.len());
+        for (vid, st) in self.chans.iter().enumerate() {
+            if st.occ == 0 || st.owner == NO_PKT {
+                continue;
+            }
+            let p = &self.packets[st.owner as usize];
+            let path = self.routes.path(p.src as usize, p.dst as usize);
+            if (st.route_pos as usize) < path.len() - 1 {
+                let next = path[st.route_pos as usize + 1];
+                g.add_edge(vid as u32, self.vid(next) as u32);
+            }
+        }
+        let cycle_channels = g
+            .find_cycle()
+            .map(|vs| vs.into_iter().map(|vid| ChannelId(vid / self.vcs as u32)).collect())
+            .unwrap_or_default();
+        DeadlockEvent { cycle, cycle_channels, stuck_packets: self.in_flight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1_cfg() -> SimConfig {
+        SimConfig {
+            packet_flits: 32,
+            buffer_depth: 2,
+            max_cycles: 20_000,
+            stall_threshold: 300,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_vc_ring_still_deadlocks() {
+        let ring = Ring::new(4, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 1);
+        assert!(!routes.is_deadlock_free(ring.net()), "1 VC keeps the Fig 1 cycle");
+        let res = VcEngine::new(ring.net(), &routes, fig1_cfg()).run(Workload::fig1_ring(4));
+        assert!(res.deadlock.is_some());
+    }
+
+    #[test]
+    fn two_vc_dateline_breaks_the_cycle() {
+        let ring = Ring::new(4, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        assert!(routes.is_deadlock_free(ring.net()), "dateline CDG must be acyclic");
+        let res = VcEngine::new(ring.net(), &routes, fig1_cfg()).run(Workload::fig1_ring(4));
+        assert!(res.deadlock.is_none(), "{:?}", res.deadlock);
+        assert_eq!(res.delivered, 4);
+    }
+
+    #[test]
+    fn buffer_cost_doubles_with_two_vcs() {
+        // The paper's objection, quantified.
+        let ring = Ring::new(4, 1, 6).unwrap();
+        let one = dateline_ring_routes(&ring, 1);
+        let two = dateline_ring_routes(&ring, 2);
+        let e1 = VcEngine::new(ring.net(), &one, fig1_cfg());
+        let e2 = VcEngine::new(ring.net(), &two, fig1_cfg());
+        assert_eq!(e2.total_buffer_slots(), 2 * e1.total_buffer_slots());
+    }
+
+    #[test]
+    fn larger_ring_all_to_all_completes_with_vcs() {
+        let ring = Ring::new(6, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        assert!(routes.is_deadlock_free(ring.net()));
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 100_000,
+            stall_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::all_to_all_burst(6));
+        assert!(res.deadlock.is_none());
+        assert_eq!(res.delivered, 30);
+    }
+
+    #[test]
+    fn vc_engine_is_deterministic() {
+        let ring = Ring::new(5, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let mk = || {
+            let cfg = SimConfig {
+                packet_flits: 6,
+                max_cycles: 4_000,
+                stall_threshold: 2_000,
+                ..SimConfig::default()
+            };
+            VcEngine::new(ring.net(), &routes, cfg).run(Workload::Bernoulli {
+                injection_rate: 0.2,
+                pattern: crate::traffic::DstPattern::Uniform,
+                until_cycle: 2_000,
+            })
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.avg_latency, b.avg_latency);
+    }
+
+    #[test]
+    fn torus_one_vc_is_cyclic_two_vcs_acyclic() {
+        let t = fractanet_topo::Torus2D::new(4, 4, 1, 6).unwrap();
+        let one = dateline_torus_routes(&t, 1);
+        assert!(!one.is_deadlock_free(t.net()), "wrap routes must close a cycle on 1 VC");
+        let two = dateline_torus_routes(&t, 2);
+        assert!(two.is_deadlock_free(t.net()), "the dateline must break every cycle");
+    }
+
+    #[test]
+    fn torus_routes_are_minimal_and_deliver() {
+        use fractanet_graph::bfs;
+        let t = fractanet_topo::Torus2D::new(4, 3, 1, 6).unwrap();
+        let routes = dateline_torus_routes(&t, 2);
+        for s in 0..12usize {
+            for d in 0..12usize {
+                if s == d {
+                    continue;
+                }
+                let p = routes.path(s, d);
+                assert_eq!(
+                    t.net().channel_dst(p.last().unwrap().0),
+                    t.end_nodes()[d],
+                    "{s}->{d}"
+                );
+                let want = bfs::router_hops(t.net(), t.end_nodes()[s], t.end_nodes()[d])
+                    .unwrap() as usize;
+                assert_eq!(p.len() - 1, want, "{s}->{d} not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_all_to_all_completes_on_two_vcs() {
+        let t = fractanet_topo::Torus2D::new(3, 3, 1, 6).unwrap();
+        let routes = dateline_torus_routes(&t, 2);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 100_000,
+            stall_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let res = VcEngine::new(t.net(), &routes, cfg).run(Workload::all_to_all_burst(9));
+        assert!(res.deadlock.is_none(), "{:?}", res.deadlock);
+        assert_eq!(res.delivered, 72);
+    }
+
+    #[test]
+    fn dateline_routes_are_clockwise_and_switch_once() {
+        let ring = Ring::new(5, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        for s in 0..5usize {
+            for d in 0..5usize {
+                if s == d {
+                    continue;
+                }
+                let p = routes.path(s, d);
+                // VC sequence must be non-decreasing (switch at most
+                // once, at the dateline).
+                for w in p.windows(2) {
+                    assert!(w[1].1 >= w[0].1, "{s}->{d}");
+                }
+                // Wrap routes end on VC 1; non-wrap routes stay on 0.
+                let wraps = d < s;
+                assert_eq!(p.last().unwrap().1, u8::from(wraps), "{s}->{d}");
+            }
+        }
+    }
+}

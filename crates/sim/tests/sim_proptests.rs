@@ -1,0 +1,129 @@
+//! Property tests for the wormhole engines: conservation laws and
+//! timing bounds must hold for arbitrary workloads.
+
+use fractanet_route::fractal::fractal_routes;
+use fractanet_route::RouteSet;
+use fractanet_sim::vc::{dateline_ring_routes, VcEngine};
+use fractanet_sim::{Engine, SimConfig, Workload};
+use fractanet_topo::{Fractahedron, Ring, Topology, Variant};
+use proptest::prelude::*;
+
+fn tetra() -> (Fractahedron, RouteSet) {
+    let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+    let routes = fractal_routes(&f);
+    let rs = RouteSet::from_table(f.net(), f.end_nodes(), &routes).unwrap();
+    (f, rs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary scripted workloads on a deadlock-free system deliver
+    /// everything, conserve flits exactly, and respect the zero-load
+    /// latency floor.
+    #[test]
+    fn scripted_workloads_conserve_flits(
+        pkts in prop::collection::vec((0u64..50, 0usize..8, 0usize..8), 1..25),
+        flits in 2u32..12,
+    ) {
+        let (f, rs) = tetra();
+        let script: Vec<(u64, usize, usize)> =
+            pkts.into_iter().filter(|&(_, s, d)| s != d).collect();
+        let n_pkts = script.len();
+        let expected_flits: u64 = script
+            .iter()
+            .map(|&(_, s, d)| flits as u64 * rs.path(s, d).len() as u64)
+            .sum();
+        let floors: Vec<u64> = script
+            .iter()
+            .map(|&(_, s, d)| rs.path(s, d).len() as u64 + flits as u64)
+            .collect();
+        let cfg = SimConfig {
+            packet_flits: flits,
+            buffer_depth: 2,
+            max_cycles: 200_000,
+            stall_threshold: 5_000,
+            ..SimConfig::default()
+        };
+        let res = Engine::new(f.net(), &rs, cfg).run(Workload::Scripted(script));
+        prop_assert!(res.is_clean(), "{:?}", res.deadlock);
+        prop_assert_eq!(res.delivered, n_pkts);
+        prop_assert_eq!(res.channel_busy.iter().sum::<u64>(), expected_flits);
+        if let Some(&floor) = floors.iter().min() {
+            // The fastest packet cannot beat pipeline physics.
+            prop_assert!(res.avg_latency >= floor as f64 || n_pkts == 0);
+        }
+    }
+
+    /// The engine is a function of (routes, config, workload): same
+    /// seed, same everything.
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..10_000, rate in 0.05f64..0.5) {
+        let (f, rs) = tetra();
+        let mk = || {
+            let cfg = SimConfig {
+                packet_flits: 6,
+                max_cycles: 3_000,
+                stall_threshold: 1_500,
+                seed,
+                ..SimConfig::default()
+            };
+            Engine::new(f.net(), &rs, cfg).run(Workload::Bernoulli {
+                injection_rate: rate,
+                pattern: fractanet_sim::DstPattern::Uniform,
+                until_cycle: 1_500,
+            })
+        };
+        let (a, b) = (mk(), mk());
+        prop_assert_eq!(a.generated, b.generated);
+        prop_assert_eq!(a.delivered, b.delivered);
+        prop_assert_eq!(a.channel_busy, b.channel_busy);
+        prop_assert_eq!(a.avg_latency, b.avg_latency);
+    }
+
+    /// The 2-VC dateline ring never deadlocks, whatever the scripted
+    /// burst looks like.
+    #[test]
+    fn vc_ring_never_deadlocks(
+        pkts in prop::collection::vec((0u64..30, 0usize..6, 0usize..6), 1..20),
+    ) {
+        let ring = Ring::new(6, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let script: Vec<(u64, usize, usize)> =
+            pkts.into_iter().filter(|&(_, s, d)| s != d).collect();
+        let n = script.len();
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 200_000,
+            stall_threshold: 5_000,
+            ..SimConfig::default()
+        };
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::Scripted(script));
+        prop_assert!(res.deadlock.is_none(), "{:?}", res.deadlock);
+        prop_assert_eq!(res.delivered, n);
+    }
+
+    /// Throughput never exceeds offered load (open-loop conservation)
+    /// and the simulator never invents packets.
+    #[test]
+    fn no_packet_creation_from_nothing(rate in 0.05f64..0.9, seed in 0u64..100) {
+        let (f, rs) = tetra();
+        let cfg = SimConfig {
+            packet_flits: 8,
+            max_cycles: 4_000,
+            stall_threshold: 2_000,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = Engine::new(f.net(), &rs, cfg).run(Workload::Bernoulli {
+            injection_rate: rate,
+            pattern: fractanet_sim::DstPattern::Uniform,
+            until_cycle: 2_000,
+        });
+        prop_assert!(res.delivered <= res.generated);
+        prop_assert!(res.deadlock.is_none());
+        // Generated packets bounded by nodes x generation cycles.
+        prop_assert!(res.generated <= 8 * 2_000);
+    }
+}

@@ -1,0 +1,230 @@
+//! Fully-connected router clusters — the paper's §2.1 building block
+//! ("The basic building blocks for the new topologies are
+//! fully-connected assemblies of routers", Fig 3) including the
+//! tetrahedron of Fig 4.
+//!
+//! With `m` routers of `p` ports, each router spends `m − 1` ports on
+//! inter-router links, leaving `p − m + 1` ports per router for end
+//! nodes. For 6-port routers this yields the Fig 3 series:
+//!
+//! | routers | node ports | max link contention |
+//! |---------|------------|---------------------|
+//! | 1       | 6          | — (no inter-router links) |
+//! | 2       | 10         | 5:1 |
+//! | 3       | 12         | 4:1 |
+//! | 4       | 12         | 3:1 |  ← the tetrahedron
+//! | 5       | 10         | 2:1 |
+//! | 6       | 6          | 1:1 |
+//!
+//! Port convention: on router `r`, port `q` (for `q < m − 1`) carries
+//! the link to router `q` if `q < r`, else to router `q + 1`; ports
+//! `m − 1 ..` attach end nodes.
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// A fully-connected assembly of `m` routers with all remaining ports
+/// populated by end nodes.
+#[derive(Clone, Debug)]
+pub struct FullyConnectedCluster {
+    net: Network,
+    m: usize,
+    router_ports: u8,
+    nodes_per_router: usize,
+    routers: Vec<NodeId>,
+    ends: Vec<NodeId>,
+}
+
+impl FullyConnectedCluster {
+    /// Builds the cluster with every spare port populated
+    /// (`nodes_per_router = ports − m + 1`).
+    pub fn new(m: usize, router_ports: u8) -> Result<Self, GraphError> {
+        let spare = router_ports as usize + 1 - m;
+        Self::with_nodes(m, router_ports, spare)
+    }
+
+    /// Builds the cluster with a chosen number of end nodes per router
+    /// (`≤ ports − m + 1`).
+    pub fn with_nodes(
+        m: usize,
+        router_ports: u8,
+        nodes_per_router: usize,
+    ) -> Result<Self, GraphError> {
+        assert!(m >= 1, "cluster needs at least one router");
+        assert!(
+            m - 1 + nodes_per_router <= router_ports as usize,
+            "{m}-router cluster leaves only {} node ports per router",
+            router_ports as usize + 1 - m
+        );
+        let mut net = Network::new();
+        let routers: Vec<NodeId> =
+            (0..m).map(|i| net.add_router(format!("R{i}"), router_ports)).collect();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                // Port on i for peer j is j-1 (peers i+1.. shift down by
+                // one); port on j for peer i is i.
+                net.connect(
+                    routers[i],
+                    PortId((j - 1) as u8),
+                    routers[j],
+                    PortId(i as u8),
+                    LinkClass::Local,
+                )?;
+            }
+        }
+        let mut ends = Vec::new();
+        for (i, &r) in routers.iter().enumerate() {
+            for k in 0..nodes_per_router {
+                let e = net.add_end_node(format!("N{i}.{k}"));
+                net.connect(r, PortId((m - 1 + k) as u8), e, PortId(0), LinkClass::Attach)?;
+                ends.push(e);
+            }
+        }
+        Ok(FullyConnectedCluster { net, m, router_ports, nodes_per_router, routers, ends })
+    }
+
+    /// The Fig 4 tetrahedron: 4 fully-connected 6-port routers with 12
+    /// end-node ports.
+    pub fn tetrahedron() -> Self {
+        Self::new(4, 6).expect("tetrahedron always fits 6-port routers")
+    }
+
+    /// Number of routers in the assembly.
+    pub fn router_count(&self) -> usize {
+        self.m
+    }
+
+    /// Router ports.
+    pub fn router_ports(&self) -> u8 {
+        self.router_ports
+    }
+
+    /// End nodes per router.
+    pub fn nodes_per_router(&self) -> usize {
+        self.nodes_per_router
+    }
+
+    /// Total end-node ports (the paper's Fig 3 "ports" column) —
+    /// available even if fewer nodes were populated.
+    pub fn total_node_ports(&self) -> usize {
+        self.m * (self.router_ports as usize + 1 - self.m)
+    }
+
+    /// The predicted maximum link contention for a fully-populated
+    /// cluster: all nodes on one router sending to the nodes of one
+    /// other router share a single inter-router link (Fig 3's
+    /// right-hand column). `None` for the single-router cluster, which
+    /// has no inter-router links.
+    pub fn predicted_contention(&self) -> Option<usize> {
+        (self.m >= 2).then_some(self.router_ports as usize + 1 - self.m)
+    }
+
+    /// Router `i`.
+    pub fn router(&self, i: usize) -> NodeId {
+        self.routers[i]
+    }
+
+    /// Router index of an end-node address.
+    pub fn router_of_addr(&self, addr: usize) -> usize {
+        addr / self.nodes_per_router
+    }
+}
+
+impl Topology for FullyConnectedCluster {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("clique {}x{}p", self.m, self.router_ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn fig3_port_series() {
+        // The Fig 3 table: node ports for m = 1..6 six-port routers.
+        let expect = [6, 10, 12, 12, 10, 6];
+        for (m, &ports) in (1..=6).zip(expect.iter()) {
+            let c = FullyConnectedCluster::new(m, 6).unwrap();
+            assert_eq!(c.total_node_ports(), ports, "m = {m}");
+            assert_eq!(c.end_nodes().len(), ports);
+            c.net().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fig3_contention_series() {
+        let expect = [None, Some(5), Some(4), Some(3), Some(2), Some(1)];
+        for (m, &pred) in (1..=6).zip(expect.iter()) {
+            let c = FullyConnectedCluster::new(m, 6).unwrap();
+            assert_eq!(c.predicted_contention(), pred, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn tetrahedron_shape() {
+        let t = FullyConnectedCluster::tetrahedron();
+        assert_eq!(t.router_count(), 4);
+        assert_eq!(t.end_nodes().len(), 12);
+        assert_eq!(t.nodes_per_router(), 3);
+        // 6 inter-router links (tetrahedron edges).
+        let inter = t
+            .net()
+            .links()
+            .filter(|&l| t.net().link(l).class == LinkClass::Local)
+            .count();
+        assert_eq!(inter, 6);
+        // Every router pair is directly cabled.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert!(t.net().channel_between(t.router(i), t.router(j)).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_end_pairs_within_two_router_hops() {
+        let t = FullyConnectedCluster::tetrahedron();
+        assert_eq!(bfs::max_router_hops(t.net()), Some(2));
+    }
+
+    #[test]
+    fn port_convention_is_consistent() {
+        let c = FullyConnectedCluster::new(4, 6).unwrap();
+        // Router 0 port 2 should reach router 3; router 3 port 0
+        // should reach router 0.
+        let ch = c.net().channel_out(c.router(0), PortId(2)).unwrap();
+        assert_eq!(c.net().channel_dst(ch), c.router(3));
+        let ch = c.net().channel_out(c.router(3), PortId(0)).unwrap();
+        assert_eq!(c.net().channel_dst(ch), c.router(0));
+    }
+
+    #[test]
+    fn partial_population() {
+        let c = FullyConnectedCluster::with_nodes(4, 6, 2).unwrap();
+        assert_eq!(c.end_nodes().len(), 8);
+        assert_eq!(c.total_node_ports(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "node ports per router")]
+    fn overcommit_rejected() {
+        let _ = FullyConnectedCluster::with_nodes(4, 6, 4);
+    }
+
+    #[test]
+    fn single_router_cluster() {
+        let c = FullyConnectedCluster::new(1, 6).unwrap();
+        assert_eq!(c.end_nodes().len(), 6);
+        assert_eq!(c.predicted_contention(), None);
+    }
+}

@@ -1,0 +1,319 @@
+//! Fat trees with a configurable down/up port split (Fig 6, §3.3).
+//!
+//! "With a 6-port router, the six ports can be partitioned into groups
+//! of 3-3 or 4-2. The 3-3 partitioning has no bandwidth reduction
+//! toward the root, but is more expensive than the 4-2 partitioning."
+//!
+//! The construction is the standard replicated-router fat tree: the
+//! logical tree has arity `down`; the *virtual* router at level `k` is
+//! realized by `up^(k-1)` physical routers ("replicas" — the paper's
+//! "to other layers" stacks in Fig 6). Virtual router `v` at level `k`
+//! serves leaf addresses `[v·down^k, (v+1)·down^k)`; only virtual
+//! routers whose range intersects the populated leaves are built, which
+//! reproduces the paper's router counts exactly:
+//!
+//! * 4-2 split, 64 nodes → levels 1..3 with 16 + 8 + 4 = **28 routers**
+//!   (Table 2);
+//! * 3-3 split, 64 nodes → levels 1..4 with 22 + 24 + 27 + 27 =
+//!   **100 routers** (§3.4: "a 3-3 fat tree would require 100
+//!   routers").
+//!
+//! Port convention on every router: ports `0..down` descend (to child
+//! replicas or end nodes at level 1), ports `down..down+up` ascend.
+//! Top-level up ports stay vacant — the paper reserves them "for future
+//! expansion".
+//!
+//! Wiring rule (the one that makes destination-indexed routing tables
+//! work): physical replica `r` of child virtual `c` connects its up
+//! port `q` to the parent's physical replica `r·up + q`, arriving at
+//! the parent's down port `c mod down`. Ascending with up-port choices
+//! `q₁ … q_{L-1}` therefore lands on top replica `q₁q₂…` read as a
+//! base-`up` numeral — so a destination-based routing policy can pick
+//! any top replica it likes, one digit per level.
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// A pruned `(down, up)` fat tree over `nodes` end nodes.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    net: Network,
+    down: usize,
+    up: usize,
+    levels: usize,
+    nodes: usize,
+    /// `routers[k - 1][virt][replica]`, level `k` in `1..=levels`.
+    routers: Vec<Vec<Vec<NodeId>>>,
+    ends: Vec<NodeId>,
+}
+
+impl FatTree {
+    /// Builds the fat tree. `router_ports ≥ down + up`; `levels` is
+    /// chosen as the smallest L with `down^L ≥ nodes`.
+    pub fn new(nodes: usize, down: usize, up: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!(nodes >= 2, "need at least two end nodes");
+        assert!(down >= 2 && up >= 1, "need down >= 2, up >= 1");
+        assert!(
+            down + up <= router_ports as usize,
+            "router needs {down} down + {up} up ports"
+        );
+        let mut levels = 1usize;
+        let mut capacity = down;
+        while capacity < nodes {
+            levels += 1;
+            capacity = capacity.saturating_mul(down);
+        }
+
+        let mut net = Network::new();
+        let mut routers: Vec<Vec<Vec<NodeId>>> = Vec::with_capacity(levels);
+        let mut replicas = 1usize;
+        let mut span = down; // leaves served by a level-k virtual router
+        for k in 1..=levels {
+            let virt_count = nodes.div_ceil(span);
+            let mut level = Vec::with_capacity(virt_count);
+            for v in 0..virt_count {
+                let mut phys = Vec::with_capacity(replicas);
+                for r in 0..replicas {
+                    phys.push(net.add_router(format!("L{k}V{v}R{r}"), router_ports));
+                }
+                level.push(phys);
+            }
+            routers.push(level);
+            replicas *= up;
+            span = span.saturating_mul(down);
+        }
+
+        // Up links: child virtual c at level k → parent virtual c/down
+        // at level k+1.
+        for k in 1..levels {
+            let child_level = &routers[k - 1];
+            for (c, child_phys) in child_level.iter().enumerate() {
+                let parent = c / down;
+                let parent_down_port = PortId((c % down) as u8);
+                for (r, &child_router) in child_phys.iter().enumerate() {
+                    for q in 0..up {
+                        let parent_replica = r * up + q;
+                        let parent_router = routers[k][parent][parent_replica];
+                        net.connect(
+                            child_router,
+                            PortId((down + q) as u8),
+                            parent_router,
+                            parent_down_port,
+                            LinkClass::Level(k as u8),
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // End nodes on level-1 down ports.
+        let mut ends = Vec::with_capacity(nodes);
+        for a in 0..nodes {
+            let v = a / down;
+            let port = PortId((a % down) as u8);
+            let e = net.add_end_node(format!("N{a}"));
+            net.connect(routers[0][v][0], port, e, PortId(0), LinkClass::Attach)?;
+            ends.push(e);
+        }
+
+        Ok(FatTree { net, down, up, levels, nodes, routers, ends })
+    }
+
+    /// The paper's 64-node 4-2 fat tree of Fig 6.
+    pub fn paper_4_2_64() -> Self {
+        Self::new(64, 4, 2, 6).expect("4-2/64 always fits 6-port routers")
+    }
+
+    /// The paper's §3.4 3-3 fat tree for 64 nodes.
+    pub fn paper_3_3_64() -> Self {
+        Self::new(64, 3, 3, 6).expect("3-3/64 always fits 6-port routers")
+    }
+
+    /// Down (descending) ports per router.
+    pub fn down(&self) -> usize {
+        self.down
+    }
+
+    /// Up (ascending) ports per router.
+    pub fn up(&self) -> usize {
+        self.up
+    }
+
+    /// Number of router levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Populated end nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Physical router for `(level, virtual index, replica)`;
+    /// `level ∈ 1..=levels`, `replica ∈ 0..up^(level-1)`.
+    pub fn router(&self, level: usize, virt: usize, replica: usize) -> NodeId {
+        self.routers[level - 1][virt][replica]
+    }
+
+    /// Number of virtual routers at `level`.
+    pub fn virtual_count(&self, level: usize) -> usize {
+        self.routers[level - 1].len()
+    }
+
+    /// Number of physical replicas per virtual router at `level`
+    /// (`up^(level-1)`).
+    pub fn replica_count(&self, level: usize) -> usize {
+        self.up.pow(level as u32 - 1)
+    }
+
+    /// Locates a physical router id: `(level, virtual, replica)`.
+    pub fn locate(&self, router: NodeId) -> Option<(usize, usize, usize)> {
+        for (k, level) in self.routers.iter().enumerate() {
+            for (v, phys) in level.iter().enumerate() {
+                if let Some(r) = phys.iter().position(|&x| x == router) {
+                    return Some((k + 1, v, r));
+                }
+            }
+        }
+        None
+    }
+
+    /// Leaf-address span of a level-`k` virtual router (`down^k`).
+    pub fn span(&self, level: usize) -> usize {
+        self.down.pow(level as u32)
+    }
+
+    /// Whether destination `addr` lies in the subtree of virtual router
+    /// `virt` at `level`.
+    pub fn in_subtree(&self, level: usize, virt: usize, addr: usize) -> bool {
+        addr / self.span(level) == virt
+    }
+}
+
+impl Topology for FatTree {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("fattree {}-{} n{}", self.down, self.up, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn paper_4_2_router_count_is_28() {
+        let ft = FatTree::paper_4_2_64();
+        assert_eq!(ft.levels(), 3);
+        assert_eq!(ft.net().router_count(), 28, "Table 2: 4-2 fat tree uses 28 routers");
+        assert_eq!(ft.end_nodes().len(), 64);
+        ft.net().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_3_3_router_count_is_100() {
+        let ft = FatTree::paper_3_3_64();
+        assert_eq!(ft.levels(), 4);
+        assert_eq!(ft.net().router_count(), 100, "§3.4: 3-3 fat tree requires 100 routers");
+        ft.net().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_4_2_average_hops() {
+        // Table 2: 4.4 average hops (exact value 279/63 ≈ 4.43).
+        let ft = FatTree::paper_4_2_64();
+        let avg = bfs::avg_router_hops(ft.net()).unwrap();
+        assert!((avg - 279.0 / 63.0).abs() < 1e-9, "avg = {avg}");
+        assert_eq!(bfs::max_router_hops(ft.net()), Some(5));
+    }
+
+    #[test]
+    fn paper_3_3_average_hops() {
+        // §3.4: "transfers would take an average of 5.9 router hops".
+        let ft = FatTree::paper_3_3_64();
+        let avg = bfs::avg_router_hops(ft.net()).unwrap();
+        assert!((avg - 5.9).abs() < 0.1, "avg = {avg}");
+    }
+
+    #[test]
+    fn replica_counts_grow_by_up() {
+        let ft = FatTree::paper_4_2_64();
+        assert_eq!(ft.replica_count(1), 1);
+        assert_eq!(ft.replica_count(2), 2);
+        assert_eq!(ft.replica_count(3), 4);
+        assert_eq!(ft.virtual_count(1), 16);
+        assert_eq!(ft.virtual_count(2), 4);
+        assert_eq!(ft.virtual_count(3), 1);
+    }
+
+    #[test]
+    fn wiring_rule_lands_on_predicted_replica() {
+        // Ascending with digits (q1, q2) reaches top replica q1*up+q2.
+        let ft = FatTree::paper_4_2_64();
+        for q1 in 0..2usize {
+            for q2 in 0..2usize {
+                let l1 = ft.router(1, 0, 0);
+                let ch1 = ft.net().channel_out(l1, PortId((4 + q1) as u8)).unwrap();
+                let l2 = ft.net().channel_dst(ch1);
+                assert_eq!(l2, ft.router(2, 0, q1));
+                let ch2 = ft.net().channel_out(l2, PortId((4 + q2) as u8)).unwrap();
+                let top = ft.net().channel_dst(ch2);
+                assert_eq!(top, ft.router(3, 0, q1 * 2 + q2));
+            }
+        }
+    }
+
+    #[test]
+    fn locate_roundtrip() {
+        let ft = FatTree::new(16, 4, 2, 6).unwrap();
+        for k in 1..=ft.levels() {
+            for v in 0..ft.virtual_count(k) {
+                for r in 0..ft.replica_count(k) {
+                    assert_eq!(ft.locate(ft.router(k, v, r)), Some((k, v, r)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_membership() {
+        let ft = FatTree::paper_4_2_64();
+        assert!(ft.in_subtree(1, 0, 3));
+        assert!(!ft.in_subtree(1, 0, 4));
+        assert!(ft.in_subtree(2, 3, 63));
+        assert!(ft.in_subtree(3, 0, 17));
+    }
+
+    #[test]
+    fn non_power_population_prunes() {
+        // 10 nodes on a 4-2 tree: L1 = ceil(10/4) = 3 virtuals,
+        // L2 = 1 virtual x 2 replicas.
+        let ft = FatTree::new(10, 4, 2, 6).unwrap();
+        assert_eq!(ft.levels(), 2);
+        assert_eq!(ft.net().router_count(), 3 + 2);
+        assert!(bfs::is_connected(ft.net()));
+    }
+
+    #[test]
+    fn two_level_tree_hops() {
+        let ft = FatTree::new(16, 4, 2, 6).unwrap();
+        // Same L1 router: 1 hop; cross: 3 hops.
+        let a = ft.end_nodes()[0];
+        let b = ft.end_nodes()[1];
+        let c = ft.end_nodes()[15];
+        assert_eq!(bfs::router_hops(ft.net(), a, b), Some(1));
+        assert_eq!(bfs::router_hops(ft.net(), a, c), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "up ports")]
+    fn port_overflow_rejected() {
+        let _ = FatTree::new(64, 4, 3, 6);
+    }
+}

@@ -1,0 +1,580 @@
+//! Fractahedral topologies — the paper's primary contribution
+//! (§2.2–2.4, Figs 4/5/7, Tables 1–2).
+//!
+//! A fractahedron is a self-similar recursion of **tetrahedra** (four
+//! fully-connected 6-port routers). Every router's six ports follow the
+//! paper's 2-3-1 partition:
+//!
+//! | ports | role |
+//! |-------|------|
+//! | 0, 1  | down — two end nodes / fan-out routers (level 1) or two lower-level tetrahedra (level ≥ 2) |
+//! | 2–4   | intra-tetrahedron links to the other three corners |
+//! | 5     | up — toward the next level |
+//!
+//! **Thin** fractahedron: each tetrahedron keeps a *single* connection
+//! to the next level (we use corner 0's up port; "there are unused
+//! ports at three of the four corners of each tetrahedron"). Every
+//! level is then a single tetrahedron per stack and the bisection
+//! bandwidth is fixed at 4 links.
+//!
+//! **Fat** fractahedron: all four up ports connect to *replicated
+//! layers* of the next level. Level `k` is a stack of `4^(k-1)`
+//! independent tetrahedron layers ("level 2 is conceptually four
+//! tetrahedral layers nested inside each other, but not connected to
+//! each other"). The cable discipline follows the paper's §2.3: child
+//! `c`'s up links all arrive at stack corner `⌊c/2⌋`, down port
+//! `c mod 2`, with child up endpoint (layer `j`, corner `l`) landing on
+//! parent layer `l · (child layers) + j`.
+//!
+//! With `N` levels the structure hosts `8^N` directly-attached end
+//! nodes, or `2·8^N` CPUs when the optional **fan-out** router level is
+//! added ("one additional router level connecting each pair of CPUs to
+//! the level 1 tetrahedron" — Table 1's "Maximum Nodes 2·8^N").
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// Down port 0.
+pub const PORT_DOWN0: PortId = PortId(0);
+/// Down port 1.
+pub const PORT_DOWN1: PortId = PortId(1);
+/// First intra-tetrahedron port.
+pub const PORT_INTRA0: PortId = PortId(2);
+/// The up port.
+pub const PORT_UP: PortId = PortId(5);
+
+/// Thin or fat recursion (§2.2 vs §2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// One up-link per tetrahedron; bisection fixed at 4 links.
+    Thin,
+    /// All four up ports used; level `k` replicated into `4^(k-1)`
+    /// layers.
+    Fat,
+}
+
+/// Position of a tetrahedron router inside a fractahedron.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouterPos {
+    /// Level, `1..=levels`.
+    pub level: usize,
+    /// Stack index within the level (`0..8^(levels-level)`).
+    pub stack: usize,
+    /// Layer within the stack (`0` for thin and for level 1).
+    pub layer: usize,
+    /// Tetrahedron corner, `0..4`.
+    pub corner: usize,
+}
+
+/// An `N`-level thin or fat fractahedron of 6-port routers.
+///
+/// ```
+/// use fractanet_topo::{Fractahedron, Topology, Variant};
+///
+/// // The paper's Fig 7 network: 64 nodes on 48 routers.
+/// let f = Fractahedron::new(2, Variant::Fat, false).unwrap();
+/// assert_eq!(f.end_nodes().len(), 64);
+/// assert_eq!(f.net().router_count(), 48);
+/// assert_eq!(f.layer_count(2), 4); // four independent level-2 layers
+/// ```
+#[derive(Clone, Debug)]
+pub struct Fractahedron {
+    net: Network,
+    levels: usize,
+    variant: Variant,
+    fanout: bool,
+    /// `routers[k - 1][stack][layer][corner]`.
+    routers: Vec<Vec<Vec<[NodeId; 4]>>>,
+    /// Fan-out routers by attach-point index (empty when `!fanout`).
+    fanouts: Vec<NodeId>,
+    ends: Vec<NodeId>,
+    /// Reverse map: `pos[node.index()]` for tetrahedron routers.
+    pos: Vec<Option<RouterPos>>,
+}
+
+impl Fractahedron {
+    /// Builds an `N`-level fractahedron. With `fanout`, every level-1
+    /// down port carries a fan-out router serving a pair of CPUs
+    /// (2·8^N end nodes); without, end nodes attach directly (8^N).
+    pub fn new(levels: usize, variant: Variant, fanout: bool) -> Result<Self, GraphError> {
+        assert!((1..=5).contains(&levels), "1 <= levels <= 5 (level 5 is already 32768 nodes)");
+        let mut net = Network::new();
+        let mut routers: Vec<Vec<Vec<[NodeId; 4]>>> = Vec::with_capacity(levels);
+
+        for k in 1..=levels {
+            let stacks = 8usize.pow((levels - k) as u32);
+            let layers = match (variant, k) {
+                (Variant::Thin, _) | (_, 1) => 1,
+                (Variant::Fat, _) => 4usize.pow(k as u32 - 1),
+            };
+            let mut level = Vec::with_capacity(stacks);
+            for s in 0..stacks {
+                let mut stack = Vec::with_capacity(layers);
+                for m in 0..layers {
+                    let mk_label = |c: usize| format!("L{k}S{s}Y{m}C{c}");
+                    let corners = [
+                        net.add_router(mk_label(0), 6),
+                        net.add_router(mk_label(1), 6),
+                        net.add_router(mk_label(2), 6),
+                        net.add_router(mk_label(3), 6),
+                    ];
+                    // Intra-tetrahedron clique: corner cr's port for
+                    // peer pc is 2 + (pc shifted past cr).
+                    for cr in 0..4usize {
+                        for pc in (cr + 1)..4 {
+                            net.connect(
+                                corners[cr],
+                                PortId((2 + pc - 1) as u8),
+                                corners[pc],
+                                PortId((2 + cr) as u8),
+                                LinkClass::Local,
+                            )?;
+                        }
+                    }
+                    stack.push(corners);
+                }
+                level.push(stack);
+            }
+            routers.push(level);
+        }
+
+        // Inter-level cables.
+        for k in 2..=levels {
+            let child_layers = match (variant, k - 1) {
+                (Variant::Thin, _) | (_, 1) => 1,
+                (Variant::Fat, _) => 4usize.pow((k - 2) as u32),
+            };
+            for s in 0..routers[k - 1].len() {
+                for c in 0..8usize {
+                    let child_stack = s * 8 + c;
+                    let parent_corner = c / 2;
+                    let parent_port = PortId((c % 2) as u8);
+                    match variant {
+                        Variant::Thin => {
+                            // Single cable: child corner 0 up → parent
+                            // layer 0.
+                            let child_r = routers[k - 2][child_stack][0][0];
+                            let parent_r = routers[k - 1][s][0][parent_corner];
+                            net.connect(child_r, PORT_UP, parent_r, parent_port, LinkClass::Level((k - 1) as u8))?;
+                        }
+                        Variant::Fat => {
+                            for l in 0..4usize {
+                                for j in 0..child_layers {
+                                    let child_r = routers[k - 2][child_stack][j][l];
+                                    let parent_layer = l * child_layers + j;
+                                    let parent_r = routers[k - 1][s][parent_layer][parent_corner];
+                                    net.connect(
+                                        child_r,
+                                        PORT_UP,
+                                        parent_r,
+                                        parent_port,
+                                        LinkClass::Level((k - 1) as u8),
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // End nodes (and optional fan-out routers) on level-1 down
+        // ports, in address order.
+        let tetra_count = 8usize.pow((levels - 1) as u32);
+        let mut ends = Vec::new();
+        let mut fanouts = Vec::new();
+        #[allow(clippy::needless_range_loop)] // t, corner, p are address digits
+        for t in 0..tetra_count {
+            for corner in 0..4usize {
+                let attach_router = routers[0][t][0][corner];
+                for p in 0..2usize {
+                    let port = PortId(p as u8);
+                    if fanout {
+                        let f = net.add_router(format!("F{t}.{corner}.{p}"), 6);
+                        net.connect(attach_router, port, f, PORT_UP, LinkClass::Level(0))?;
+                        fanouts.push(f);
+                        for cpu in 0..2usize {
+                            let e = net.add_end_node(format!("CPU{}", ends.len()));
+                            net.connect(f, PortId(cpu as u8), e, PortId(0), LinkClass::Attach)?;
+                            ends.push(e);
+                        }
+                    } else {
+                        let e = net.add_end_node(format!("N{}", ends.len()));
+                        net.connect(attach_router, port, e, PortId(0), LinkClass::Attach)?;
+                        ends.push(e);
+                    }
+                }
+            }
+        }
+
+        // Reverse position map.
+        let mut pos = vec![None; net.node_count()];
+        for (k0, level) in routers.iter().enumerate() {
+            for (s, stack) in level.iter().enumerate() {
+                for (m, layer) in stack.iter().enumerate() {
+                    for (cr, &r) in layer.iter().enumerate() {
+                        pos[r.index()] =
+                            Some(RouterPos { level: k0 + 1, stack: s, layer: m, corner: cr });
+                    }
+                }
+            }
+        }
+
+        Ok(Fractahedron { net, levels, variant, fanout, routers, fanouts, ends, pos })
+    }
+
+    /// The paper's 64-node fat fractahedron of Fig 7 / Table 2
+    /// (2 levels, direct attach, 48 routers).
+    pub fn paper_fat_64() -> Self {
+        Self::new(2, Variant::Fat, false).expect("paper configuration is valid")
+    }
+
+    /// The paper's 1024-CPU thin fractahedron (§2.2: 3 levels with the
+    /// fan-out level, maximum delay 12 router hops).
+    pub fn paper_thin_1024() -> Self {
+        Self::new(3, Variant::Thin, true).expect("paper configuration is valid")
+    }
+
+    /// Number of levels `N`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Thin or fat.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// Whether the fan-out CPU level is present.
+    pub fn has_fanout(&self) -> bool {
+        self.fanout
+    }
+
+    /// Number of stacks at `level` (`8^(levels-level)`).
+    pub fn stack_count(&self, level: usize) -> usize {
+        self.routers[level - 1].len()
+    }
+
+    /// Number of layers per stack at `level`.
+    pub fn layer_count(&self, level: usize) -> usize {
+        self.routers[level - 1][0].len()
+    }
+
+    /// Router at `(level, stack, layer, corner)`.
+    pub fn router(&self, level: usize, stack: usize, layer: usize, corner: usize) -> NodeId {
+        self.routers[level - 1][stack][layer][corner]
+    }
+
+    /// Position of a tetrahedron router (fan-out routers and end nodes
+    /// return `None`).
+    pub fn pos_of(&self, node: NodeId) -> Option<RouterPos> {
+        self.pos.get(node.index()).copied().flatten()
+    }
+
+    /// Fan-out router serving attach point `a` (only with fan-out).
+    pub fn fanout_router(&self, attach: usize) -> Option<NodeId> {
+        self.fanouts.get(attach).copied()
+    }
+
+    /// Number of end nodes per attach point (2 with fan-out, 1
+    /// without).
+    pub fn nodes_per_attach(&self) -> usize {
+        if self.fanout {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Attach-point index (`tetra·8 + corner·2 + port`) of an address.
+    pub fn attach_of_addr(&self, addr: usize) -> usize {
+        addr / self.nodes_per_attach()
+    }
+
+    /// Level-1 tetrahedron index of an address.
+    pub fn tetra_of_addr(&self, addr: usize) -> usize {
+        self.attach_of_addr(addr) / 8
+    }
+
+    /// Level-1 corner (0..4) of an address.
+    pub fn corner_of_addr(&self, addr: usize) -> usize {
+        (self.attach_of_addr(addr) / 2) % 4
+    }
+
+    /// Level-1 down port (0..2) of an address.
+    pub fn port_of_addr(&self, addr: usize) -> usize {
+        self.attach_of_addr(addr) % 2
+    }
+
+    /// Stack index containing level-1 tetrahedron `t` at `level`.
+    pub fn stack_of_tetra(&self, t: usize, level: usize) -> usize {
+        t / 8usize.pow((level - 1) as u32)
+    }
+
+    /// Child index (0..8) of the level-`level` stack on the path from
+    /// the root down to tetrahedron `t`; `level ≥ 2`.
+    pub fn child_digit(&self, t: usize, level: usize) -> usize {
+        (t / 8usize.pow((level - 2) as u32)) % 8
+    }
+
+    /// The intra-tetrahedron port on corner `from` that reaches corner
+    /// `to` (`from ≠ to`).
+    pub fn intra_port(from: usize, to: usize) -> PortId {
+        debug_assert!(from != to && from < 4 && to < 4);
+        let shifted = if to < from { to } else { to - 1 };
+        PortId((2 + shifted) as u8)
+    }
+
+    /// Total tetrahedron-router count (excludes fan-out routers).
+    pub fn tetra_router_count(&self) -> usize {
+        self.routers
+            .iter()
+            .map(|level| level.iter().map(|stack| stack.len() * 4).sum::<usize>())
+            .sum()
+    }
+}
+
+impl Topology for Fractahedron {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!(
+            "{:?}-fractahedron N{}{}",
+            self.variant,
+            self.levels,
+            if self.fanout { " +fanout" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn one_level_is_a_tetrahedron() {
+        for v in [Variant::Thin, Variant::Fat] {
+            let f = Fractahedron::new(1, v, false).unwrap();
+            assert_eq!(f.net().router_count(), 4);
+            assert_eq!(f.end_nodes().len(), 8);
+            assert_eq!(bfs::max_router_hops(f.net()), Some(2));
+            f.net().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_fat_64_router_count_is_48() {
+        let f = Fractahedron::paper_fat_64();
+        assert_eq!(f.end_nodes().len(), 64);
+        assert_eq!(f.net().router_count(), 48, "Table 2: fat fractahedron uses 48 routers");
+        assert_eq!(f.stack_count(1), 8);
+        assert_eq!(f.stack_count(2), 1);
+        assert_eq!(f.layer_count(2), 4);
+        f.net().validate().unwrap();
+    }
+
+    #[test]
+    fn fat_max_delay_is_3n_minus_1() {
+        for n in 1..=3usize {
+            let f = Fractahedron::new(n, Variant::Fat, false).unwrap();
+            assert_eq!(
+                bfs::max_router_hops(f.net()),
+                Some((3 * n - 1) as u32),
+                "Table 1: fat max delay 3N-1, N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn thin_max_delay_is_4n_minus_2() {
+        for n in 1..=3usize {
+            let f = Fractahedron::new(n, Variant::Thin, false).unwrap();
+            assert_eq!(
+                bfs::max_router_hops(f.net()),
+                Some((4 * n - 2) as u32),
+                "Table 1: thin max delay 4N-2, N = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fanout_16_cpu_system_has_max_delay_4() {
+        // §2.2: "a 16-CPU system may be constructed with a maximum
+        // delay between CPUs of four router hops".
+        let f = Fractahedron::new(1, Variant::Thin, true).unwrap();
+        assert_eq!(f.end_nodes().len(), 16);
+        assert_eq!(bfs::max_router_hops(f.net()), Some(4));
+    }
+
+    #[test]
+    fn thin_1024_cpu_max_delay_is_12() {
+        // §2.2: "When extended to 1024 CPUs through a thin
+        // fractahedron, the maximum delay is twelve."
+        let f = Fractahedron::paper_thin_1024();
+        assert_eq!(f.end_nodes().len(), 1024);
+        // A worst-case pair: the source needs an intra-tetrahedron hop
+        // toward the up corner at both level 1 and level 2, and the
+        // destination needs the far corner at every level on the way
+        // down. addr 124 = tetra 7 corner 3; addr 1023 = tetra 63
+        // corner 3.
+        let a = f.end_nodes()[124];
+        let b = f.end_nodes()[1023];
+        assert_eq!(bfs::router_hops(f.net(), a, b), Some(12));
+        // And no pair is worse (full sweep).
+        assert_eq!(bfs::max_router_hops(f.net()), Some(12));
+    }
+
+    #[test]
+    fn fat_64_average_hops_matches_table_2() {
+        // Table 2: 4.3 average (exact value 271/63 ≈ 4.302).
+        let f = Fractahedron::paper_fat_64();
+        let avg = bfs::avg_router_hops(f.net()).unwrap();
+        assert!((avg - 271.0 / 63.0).abs() < 1e-9, "avg = {avg}");
+    }
+
+    #[test]
+    fn node_counts_match_table_1() {
+        for n in 1..=3usize {
+            let thin = Fractahedron::new(n, Variant::Thin, true).unwrap();
+            assert_eq!(thin.end_nodes().len(), 2 * 8usize.pow(n as u32), "2*8^N CPUs");
+        }
+    }
+
+    #[test]
+    fn thin_router_count_formula() {
+        // 4 * (8^N - 1) / 7 tetrahedron routers.
+        for n in 1..=3usize {
+            let f = Fractahedron::new(n, Variant::Thin, false).unwrap();
+            let expect = 4 * (8usize.pow(n as u32) - 1) / 7;
+            assert_eq!(f.tetra_router_count(), expect);
+            assert_eq!(f.net().router_count(), expect);
+        }
+    }
+
+    #[test]
+    fn fat_router_count_formula() {
+        // Level k contributes 8^(N-k) * 4^k routers.
+        for n in 1..=3usize {
+            let f = Fractahedron::new(n, Variant::Fat, false).unwrap();
+            let expect: usize =
+                (1..=n).map(|k| 8usize.pow((n - k) as u32) * 4usize.pow(k as u32)).sum();
+            assert_eq!(f.net().router_count(), expect);
+        }
+    }
+
+    #[test]
+    fn intra_port_mapping() {
+        assert_eq!(Fractahedron::intra_port(0, 1), PortId(2));
+        assert_eq!(Fractahedron::intra_port(0, 3), PortId(4));
+        assert_eq!(Fractahedron::intra_port(3, 0), PortId(2));
+        assert_eq!(Fractahedron::intra_port(2, 1), PortId(3));
+        // Symmetric consistency with the builder: the port pair really
+        // connects the two corners.
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                if a == b {
+                    continue;
+                }
+                let ra = f.router(1, 0, 0, a);
+                let rb = f.router(1, 0, 0, b);
+                let ch = f.net().channel_out(ra, Fractahedron::intra_port(a, b)).unwrap();
+                assert_eq!(f.net().channel_dst(ch), rb, "corner {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_up_links_follow_cable_discipline() {
+        // Level-1 tetra t corner l's up port reaches level-2 layer l,
+        // stack corner t/2, down port t%2.
+        let f = Fractahedron::paper_fat_64();
+        for t in 0..8usize {
+            for l in 0..4usize {
+                let child = f.router(1, t, 0, l);
+                let ch = f.net().channel_out(child, PORT_UP).unwrap();
+                let parent = f.net().channel_dst(ch);
+                assert_eq!(parent, f.router(2, 0, l, t / 2));
+                assert_eq!(f.net().channel_dst_port(ch), PortId((t % 2) as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn thin_only_corner0_ascends() {
+        let f = Fractahedron::new(2, Variant::Thin, false).unwrap();
+        for t in 0..8usize {
+            assert!(f.net().channel_out(f.router(1, t, 0, 0), PORT_UP).is_some());
+            for c in 1..4usize {
+                assert!(f.net().channel_out(f.router(1, t, 0, c), PORT_UP).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn address_decomposition() {
+        let f = Fractahedron::paper_fat_64();
+        // addr = t*8 + corner*2 + port (direct attach).
+        assert_eq!(f.tetra_of_addr(0), 0);
+        assert_eq!(f.corner_of_addr(0), 0);
+        assert_eq!(f.port_of_addr(0), 0);
+        assert_eq!(f.tetra_of_addr(63), 7);
+        assert_eq!(f.corner_of_addr(63), 3);
+        assert_eq!(f.port_of_addr(63), 1);
+        assert_eq!(f.corner_of_addr(14), 3);
+        // Addresses attach where they claim to.
+        for (addr, &e) in f.end_nodes().iter().enumerate() {
+            let r = f.net().neighbors(e).next().unwrap();
+            let pos = f.pos_of(r).unwrap();
+            assert_eq!(pos.level, 1);
+            assert_eq!(pos.stack, f.tetra_of_addr(addr));
+            assert_eq!(pos.corner, f.corner_of_addr(addr));
+        }
+    }
+
+    #[test]
+    fn fanout_addressing() {
+        let f = Fractahedron::new(1, Variant::Fat, true).unwrap();
+        assert_eq!(f.nodes_per_attach(), 2);
+        assert_eq!(f.attach_of_addr(5), 2);
+        assert_eq!(f.corner_of_addr(5), 1);
+        // CPU 5 hangs off fan-out router 2.
+        let e = f.end_nodes()[5];
+        let fr = f.net().neighbors(e).next().unwrap();
+        assert_eq!(Some(fr), f.fanout_router(2));
+    }
+
+    #[test]
+    fn pos_of_covers_all_tetra_routers() {
+        let f = Fractahedron::new(2, Variant::Fat, false).unwrap();
+        let covered = f.net().routers().filter(|&r| f.pos_of(r).is_some()).count();
+        assert_eq!(covered, 48);
+        let p = f.pos_of(f.router(2, 0, 3, 2)).unwrap();
+        assert_eq!(p, RouterPos { level: 2, stack: 0, layer: 3, corner: 2 });
+    }
+
+    #[test]
+    fn connected_at_all_sizes() {
+        for n in 1..=3usize {
+            for v in [Variant::Thin, Variant::Fat] {
+                let f = Fractahedron::new(n, v, false).unwrap();
+                assert!(bfs::is_connected(f.net()), "{v:?} N{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn child_digit_and_stack() {
+        let f = Fractahedron::new(3, Variant::Thin, false).unwrap();
+        // Tetra 0o53 = 43: digit at level 2 is 3, at level 3 is 5.
+        assert_eq!(f.child_digit(43, 2), 3);
+        assert_eq!(f.child_digit(43, 3), 5);
+        assert_eq!(f.stack_of_tetra(43, 2), 5);
+        assert_eq!(f.stack_of_tetra(43, 3), 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Generalized fractahedrons — the paper's §4 extension: "The current
+//! focus is on tetrahedral ensembles of 6-port ServerNet routers, but
+//! the concepts easily generalize to other fully connected groups of
+//! N-port routers."
+//!
+//! A *cluster fractahedron* recurses over fully-connected clusters of
+//! `m` routers with `p` ports each, under the port partition
+//! `(down, intra, up) = (d, m − 1, u)` with `d + (m − 1) + u ≤ p`:
+//!
+//! * every cluster serves `m·d` children (end nodes at level 1);
+//! * **thin**: one up cable per cluster (router 0's first up port);
+//! * **fat**: all `m·u` up ports connect to replicated layers — level
+//!   `k` carries `(m·u)^(k-1)` layers, generalizing the tetrahedral
+//!   `4^(k-1)`.
+//!
+//! Wiring discipline (generalizing §2.3's cables): child `c`'s up
+//! endpoint `(layer j, corner l, up-port q)` lands on parent layer
+//! `(l·u + q)·L_child + j`, at parent cluster router `⌊c/d⌋`, down
+//! port `c mod d`. The paper's 2-3-1 fractahedron is exactly
+//! `(m, p, d, u) = (4, 6, 2, 1)`.
+//!
+//! Port convention per router: ports `0..d` down, `d..d+m-1` intra,
+//! `d+m-1..d+m-1+u` up.
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// Shape parameters of a generalized fractahedron.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterShape {
+    /// Routers per fully-connected cluster.
+    pub cluster: usize,
+    /// Ports per router.
+    pub ports: u8,
+    /// Down ports per router.
+    pub down: usize,
+    /// Up ports per router.
+    pub up: usize,
+}
+
+impl ClusterShape {
+    /// The paper's tetrahedral 2-3-1 shape on 6-port routers.
+    pub const PAPER: ClusterShape = ClusterShape { cluster: 4, ports: 6, down: 2, up: 1 };
+
+    /// Validates the port budget: `down + (m−1) + up ≤ ports`.
+    pub fn check(&self) {
+        assert!(self.cluster >= 2, "need at least two routers per cluster");
+        assert!(self.down >= 1 && self.up >= 1, "need down and up ports");
+        assert!(
+            self.down + self.cluster - 1 + self.up <= self.ports as usize,
+            "{}-router cluster on {}-port routers leaves only {} spare ports, \
+             but down {} + up {} requested",
+            self.cluster,
+            self.ports,
+            self.ports as usize + 1 - self.cluster,
+            self.down,
+            self.up
+        );
+    }
+
+    /// Children (or end nodes) per cluster: `m · d`.
+    pub fn fanout(&self) -> usize {
+        self.cluster * self.down
+    }
+
+    /// Fat layer-replication factor per level: `m · u`.
+    pub fn replication(&self) -> usize {
+        self.cluster * self.up
+    }
+
+    /// First intra port index.
+    fn intra0(&self) -> usize {
+        self.down
+    }
+
+    /// First up port index.
+    fn up0(&self) -> usize {
+        self.down + self.cluster - 1
+    }
+
+    /// Intra port on router `from` reaching router `to` of the same
+    /// cluster.
+    pub fn intra_port(&self, from: usize, to: usize) -> PortId {
+        debug_assert!(from != to && from < self.cluster && to < self.cluster);
+        let shifted = if to < from { to } else { to - 1 };
+        PortId((self.intra0() + shifted) as u8)
+    }
+
+    /// Up port `q` of a router.
+    pub fn up_port(&self, q: usize) -> PortId {
+        debug_assert!(q < self.up);
+        PortId((self.up0() + q) as u8)
+    }
+}
+
+/// Position of a router inside a generalized fractahedron.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenPos {
+    /// Level, `1..=levels`.
+    pub level: usize,
+    /// Cluster-stack index within the level.
+    pub stack: usize,
+    /// Layer within the stack (0 for thin / level 1).
+    pub layer: usize,
+    /// Router index within the cluster, `0..m`.
+    pub corner: usize,
+}
+
+/// An `N`-level generalized (thin or fat) cluster fractahedron.
+#[derive(Clone, Debug)]
+pub struct GenFractahedron {
+    net: Network,
+    shape: ClusterShape,
+    levels: usize,
+    fat: bool,
+    /// `routers[k-1][stack][layer][corner]`.
+    routers: Vec<Vec<Vec<Vec<NodeId>>>>,
+    ends: Vec<NodeId>,
+    pos: Vec<Option<GenPos>>,
+}
+
+impl GenFractahedron {
+    /// Builds the structure; `fat` selects full layer replication.
+    pub fn new(shape: ClusterShape, levels: usize, fat: bool) -> Result<Self, GraphError> {
+        shape.check();
+        assert!(levels >= 1, "need at least one level");
+        let fanout = shape.fanout();
+        let repl = shape.replication();
+        assert!(
+            fanout.pow(levels as u32 - 1) * repl.pow(levels as u32 - 1) < 1_000_000,
+            "configuration too large"
+        );
+        let m = shape.cluster;
+        let mut net = Network::new();
+        let mut routers: Vec<Vec<Vec<Vec<NodeId>>>> = Vec::with_capacity(levels);
+
+        for k in 1..=levels {
+            let stacks = fanout.pow((levels - k) as u32);
+            let layers = if fat && k > 1 { repl.pow(k as u32 - 1) } else { 1 };
+            let mut level = Vec::with_capacity(stacks);
+            for s in 0..stacks {
+                let mut stack = Vec::with_capacity(layers);
+                for y in 0..layers {
+                    let cluster: Vec<NodeId> = (0..m)
+                        .map(|c| net.add_router(format!("G{k}S{s}Y{y}C{c}"), shape.ports))
+                        .collect();
+                    for a in 0..m {
+                        for b in (a + 1)..m {
+                            net.connect(
+                                cluster[a],
+                                shape.intra_port(a, b),
+                                cluster[b],
+                                shape.intra_port(b, a),
+                                LinkClass::Local,
+                            )?;
+                        }
+                    }
+                    stack.push(cluster);
+                }
+                level.push(stack);
+            }
+            routers.push(level);
+        }
+
+        // Inter-level cables.
+        for k in 2..=levels {
+            let child_layers = if fat && k > 2 { repl.pow(k as u32 - 2) } else { 1 };
+            for s in 0..routers[k - 1].len() {
+                for c in 0..fanout {
+                    let child_stack = s * fanout + c;
+                    let parent_router = c / shape.down;
+                    let parent_port = PortId((c % shape.down) as u8);
+                    if fat {
+                        for l in 0..m {
+                            for q in 0..shape.up {
+                                for j in 0..child_layers {
+                                    let child = routers[k - 2][child_stack][j][l];
+                                    let parent_layer = (l * shape.up + q) * child_layers + j;
+                                    let parent =
+                                        routers[k - 1][s][parent_layer][parent_router];
+                                    net.connect(
+                                        child,
+                                        shape.up_port(q),
+                                        parent,
+                                        parent_port,
+                                        LinkClass::Level((k - 1) as u8),
+                                    )?;
+                                }
+                            }
+                        }
+                    } else {
+                        let child = routers[k - 2][child_stack][0][0];
+                        let parent = routers[k - 1][s][0][parent_router];
+                        net.connect(
+                            child,
+                            shape.up_port(0),
+                            parent,
+                            parent_port,
+                            LinkClass::Level((k - 1) as u8),
+                        )?;
+                    }
+                }
+            }
+        }
+
+        // End nodes in address order: addr = cluster·fanout + corner·d + port.
+        let base_clusters = fanout.pow((levels - 1) as u32);
+        let mut ends = Vec::with_capacity(base_clusters * fanout);
+        #[allow(clippy::needless_range_loop)] // t and corner are address digits
+        for t in 0..base_clusters {
+            for corner in 0..m {
+                for p in 0..shape.down {
+                    let e = net.add_end_node(format!("N{}", ends.len()));
+                    net.connect(
+                        routers[0][t][0][corner],
+                        PortId(p as u8),
+                        e,
+                        PortId(0),
+                        LinkClass::Attach,
+                    )?;
+                    ends.push(e);
+                }
+            }
+        }
+
+        let mut pos = vec![None; net.node_count()];
+        for (k0, level) in routers.iter().enumerate() {
+            for (s, stack) in level.iter().enumerate() {
+                for (y, layer) in stack.iter().enumerate() {
+                    for (c, &r) in layer.iter().enumerate() {
+                        pos[r.index()] =
+                            Some(GenPos { level: k0 + 1, stack: s, layer: y, corner: c });
+                    }
+                }
+            }
+        }
+
+        Ok(GenFractahedron { net, shape, levels, fat, routers, ends, pos })
+    }
+
+    /// Shape parameters.
+    pub fn shape(&self) -> ClusterShape {
+        self.shape
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Whether this is the fat (replicated-layer) variant.
+    pub fn is_fat(&self) -> bool {
+        self.fat
+    }
+
+    /// Router at `(level, stack, layer, corner)`.
+    pub fn router(&self, level: usize, stack: usize, layer: usize, corner: usize) -> NodeId {
+        self.routers[level - 1][stack][layer][corner]
+    }
+
+    /// Layers per stack at `level`.
+    pub fn layer_count(&self, level: usize) -> usize {
+        self.routers[level - 1][0].len()
+    }
+
+    /// Position of a router id.
+    pub fn pos_of(&self, node: NodeId) -> Option<GenPos> {
+        self.pos.get(node.index()).copied().flatten()
+    }
+
+    /// Level-1 cluster index of an address.
+    pub fn cluster_of_addr(&self, addr: usize) -> usize {
+        addr / self.shape.fanout()
+    }
+
+    /// Cluster-router (corner) index of an address.
+    pub fn corner_of_addr(&self, addr: usize) -> usize {
+        (addr % self.shape.fanout()) / self.shape.down
+    }
+
+    /// Attach-port index of an address.
+    pub fn port_of_addr(&self, addr: usize) -> usize {
+        addr % self.shape.down
+    }
+
+    /// Stack containing level-1 cluster `t` at `level`.
+    pub fn stack_of_cluster(&self, t: usize, level: usize) -> usize {
+        t / self.shape.fanout().pow((level - 1) as u32)
+    }
+
+    /// Child digit of cluster `t`'s path at `level ≥ 2`.
+    pub fn child_digit(&self, t: usize, level: usize) -> usize {
+        (t / self.shape.fanout().pow((level - 2) as u32)) % self.shape.fanout()
+    }
+}
+
+impl Topology for GenFractahedron {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!(
+            "{}-fractahedron m{} p{} d{} u{} N{}",
+            if self.fat { "fat" } else { "thin" },
+            self.shape.cluster,
+            self.shape.ports,
+            self.shape.down,
+            self.shape.up,
+            self.levels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fractahedron, Variant};
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn paper_shape_matches_specialized_builder() {
+        for (levels, fat) in [(1, true), (2, true), (2, false), (3, false)] {
+            let gen = GenFractahedron::new(ClusterShape::PAPER, levels, fat).unwrap();
+            let spec = Fractahedron::new(
+                levels,
+                if fat { Variant::Fat } else { Variant::Thin },
+                false,
+            )
+            .unwrap();
+            assert_eq!(gen.net().router_count(), spec.net().router_count(), "N={levels} fat={fat}");
+            assert_eq!(gen.end_nodes().len(), spec.end_nodes().len());
+            assert_eq!(gen.net().link_count(), spec.net().link_count());
+            assert_eq!(
+                bfs::max_router_hops(gen.net()),
+                bfs::max_router_hops(spec.net()),
+                "N={levels} fat={fat}"
+            );
+            assert_eq!(
+                bfs::avg_router_hops(gen.net()),
+                bfs::avg_router_hops(spec.net()),
+                "N={levels} fat={fat}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_port_shape_builds() {
+        // 8-port routers, 4-cluster, 3 down / 3 intra / 2 up: per the
+        // paper's §4, "other fully connected groups of N-port routers".
+        let shape = ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 };
+        let g = GenFractahedron::new(shape, 2, true).unwrap();
+        // Level 1: 12 clusters of 4 routers (fanout 12); level 2:
+        // replication 8 layers.
+        assert_eq!(g.end_nodes().len(), 12 * 12);
+        assert_eq!(g.layer_count(2), 8);
+        assert_eq!(g.net().router_count(), 12 * 4 + 8 * 4);
+        g.net().validate().unwrap();
+        assert!(bfs::is_connected(g.net()));
+    }
+
+    #[test]
+    fn triangle_cluster_shape() {
+        // 3 fully-connected 6-port routers: 2 intra, leaving 4 ports →
+        // 2 down + 2 up.
+        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let g = GenFractahedron::new(shape, 2, true).unwrap();
+        assert_eq!(shape.fanout(), 6);
+        assert_eq!(shape.replication(), 6);
+        assert_eq!(g.end_nodes().len(), 36);
+        assert_eq!(g.layer_count(2), 6);
+        assert!(bfs::is_connected(g.net()));
+    }
+
+    #[test]
+    fn fat_max_delay_generalizes_to_3n_minus_1() {
+        for shape in [
+            ClusterShape::PAPER,
+            ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 },
+            ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 },
+        ] {
+            for n in 1..=2usize {
+                let g = GenFractahedron::new(shape, n, true).unwrap();
+                assert_eq!(
+                    bfs::max_router_hops(g.net()),
+                    Some((3 * n - 1) as u32),
+                    "{shape:?} N={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thin_max_delay_generalizes_to_4n_minus_2() {
+        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        for n in 1..=3usize {
+            let g = GenFractahedron::new(shape, n, false).unwrap();
+            assert_eq!(bfs::max_router_hops(g.net()), Some((4 * n - 2) as u32), "N={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spare ports")]
+    fn port_overflow_rejected() {
+        let shape = ClusterShape { cluster: 4, ports: 6, down: 3, up: 1 };
+        let _ = GenFractahedron::new(shape, 2, true);
+    }
+
+    #[test]
+    fn address_decomposition() {
+        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let g = GenFractahedron::new(shape, 2, true).unwrap();
+        // addr 17 = cluster 2, corner (17 % 6) / 2 = 2, port 1.
+        assert_eq!(g.cluster_of_addr(17), 2);
+        assert_eq!(g.corner_of_addr(17), 2);
+        assert_eq!(g.port_of_addr(17), 1);
+        assert_eq!(g.stack_of_cluster(5, 2), 0);
+        assert_eq!(g.child_digit(5, 2), 5);
+        // Attachment agrees with the decomposition.
+        for (addr, &e) in g.end_nodes().iter().enumerate() {
+            let r = g.net().neighbors(e).next().unwrap();
+            let pos = g.pos_of(r).unwrap();
+            assert_eq!(pos.stack, g.cluster_of_addr(addr));
+            assert_eq!(pos.corner, g.corner_of_addr(addr));
+        }
+    }
+
+    #[test]
+    fn wiring_discipline_holds() {
+        // Child cluster c corner l up-port q lands on parent layer
+        // (l*u + q)*L_child + j at router c/d, port c%d.
+        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let g = GenFractahedron::new(shape, 2, true).unwrap();
+        for c in 0..shape.fanout() {
+            for l in 0..shape.cluster {
+                for q in 0..shape.up {
+                    let child = g.router(1, c, 0, l);
+                    let ch = g.net().channel_out(child, shape.up_port(q)).unwrap();
+                    let parent = g.net().channel_dst(ch);
+                    let want_layer = l * shape.up + q;
+                    assert_eq!(parent, g.router(2, 0, want_layer, c / shape.down));
+                    assert_eq!(g.net().channel_dst_port(ch), PortId((c % shape.down) as u8));
+                }
+            }
+        }
+    }
+}

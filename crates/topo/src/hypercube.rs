@@ -1,0 +1,268 @@
+//! Hypercube and cube-connected-cycles builders (Fig 2 / §3.2).
+//!
+//! "A 64-node (6-D) hypercube requires a 7-port router; six for the
+//! hypercube and one for the node connection. With 6-port routers, it
+//! would be necessary to use a lower dimension hypercube …"
+//!
+//! Port convention on a `d`-cube router: port `i` (0 ≤ i < d) is the
+//! dimension-`i` link (to the router whose label differs in bit `i`);
+//! ports `d..` attach end nodes.
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// A binary `dim`-cube of routers with `nodes_per_router` end nodes on
+/// each corner.
+#[derive(Clone, Debug)]
+pub struct Hypercube {
+    net: Network,
+    dim: u32,
+    nodes_per_router: usize,
+    routers: Vec<NodeId>,
+    ends: Vec<NodeId>,
+}
+
+impl Hypercube {
+    /// Builds the cube. Needs `dim + nodes_per_router` ports per
+    /// router — the §3.2 observation that a 6-cube with its node port
+    /// exceeds the 6-port ServerNet ASIC falls straight out of this
+    /// check.
+    pub fn new(dim: u32, nodes_per_router: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!((1..=20).contains(&dim), "dimension out of range");
+        assert!(
+            dim as usize + nodes_per_router <= router_ports as usize,
+            "a {dim}-cube router needs {dim} cube ports + {nodes_per_router} attach ports"
+        );
+        let n = 1usize << dim;
+        let mut net = Network::new();
+        let routers: Vec<NodeId> =
+            (0..n).map(|i| net.add_router(format!("R{i:0w$b}", w = dim as usize), router_ports)).collect();
+        for v in 0..n {
+            for bit in 0..dim {
+                let w = v ^ (1 << bit);
+                if w > v {
+                    net.connect(
+                        routers[v],
+                        PortId(bit as u8),
+                        routers[w],
+                        PortId(bit as u8),
+                        LinkClass::Local,
+                    )?;
+                }
+            }
+        }
+        let mut ends = Vec::new();
+        for (v, &r) in routers.iter().enumerate() {
+            for k in 0..nodes_per_router {
+                let e = net.add_end_node(format!("N{v}.{k}"));
+                net.connect(r, PortId(dim as u8 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                ends.push(e);
+            }
+        }
+        Ok(Hypercube { net, dim, nodes_per_router, routers, ends })
+    }
+
+    /// Cube dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// End nodes per corner.
+    pub fn nodes_per_router(&self) -> usize {
+        self.nodes_per_router
+    }
+
+    /// Router with binary label `v`.
+    pub fn router(&self, v: usize) -> NodeId {
+        self.routers[v]
+    }
+
+    /// All corner routers in label order.
+    pub fn routers(&self) -> &[NodeId] {
+        &self.routers
+    }
+
+    /// Binary label of a router id.
+    pub fn label_of(&self, r: NodeId) -> Option<usize> {
+        self.routers.iter().position(|&x| x == r)
+    }
+
+    /// Corner label of an end-node address.
+    pub fn corner_of_addr(&self, addr: usize) -> usize {
+        addr / self.nodes_per_router
+    }
+}
+
+impl Topology for Hypercube {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("{}-cube ({}/router)", self.dim, self.nodes_per_router)
+    }
+}
+
+/// Cube-connected cycles: each corner of a `dim`-cube is replaced by a
+/// ring of `dim` routers, one per dimension (§2 background list).
+///
+/// Router `(v, i)` (corner `v`, cycle position `i`) uses port 0 / 1 for
+/// the cycle (next / previous) and port 2 for its dimension-`i` cube
+/// link; port 3.. attach end nodes. Every router therefore needs only
+/// 3 + nodes ports regardless of dimension — the property CCCs exist
+/// to provide.
+#[derive(Clone, Debug)]
+pub struct CubeConnectedCycles {
+    net: Network,
+    dim: u32,
+    nodes_per_router: usize,
+    routers: Vec<NodeId>, // [corner * dim + pos]
+    ends: Vec<NodeId>,
+}
+
+impl CubeConnectedCycles {
+    /// Builds the CCC. Needs `dim ≥ 3` so cycle ports are distinct.
+    pub fn new(dim: u32, nodes_per_router: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!((3..=20).contains(&dim), "CCC needs 3 <= dim <= 20");
+        assert!(3 + nodes_per_router <= router_ports as usize);
+        let corners = 1usize << dim;
+        let d = dim as usize;
+        let mut net = Network::new();
+        let mut routers = Vec::with_capacity(corners * d);
+        for v in 0..corners {
+            for i in 0..d {
+                routers.push(net.add_router(format!("R{v:0w$b}.{i}", w = d), router_ports));
+            }
+        }
+        let at = |v: usize, i: usize| routers[v * d + i];
+        // Cycles.
+        for v in 0..corners {
+            for i in 0..d {
+                net.connect(at(v, i), PortId(0), at(v, (i + 1) % d), PortId(1), LinkClass::Local)?;
+            }
+        }
+        // Cube links on matching cycle positions.
+        for v in 0..corners {
+            for i in 0..d {
+                let w = v ^ (1 << i);
+                if w > v {
+                    net.connect(at(v, i), PortId(2), at(w, i), PortId(2), LinkClass::Local)?;
+                }
+            }
+        }
+        let mut ends = Vec::new();
+        for v in 0..corners {
+            for i in 0..d {
+                for k in 0..nodes_per_router {
+                    let e = net.add_end_node(format!("N{v}.{i}.{k}"));
+                    net.connect(at(v, i), PortId(3 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                    ends.push(e);
+                }
+            }
+        }
+        Ok(CubeConnectedCycles { net, dim, nodes_per_router, routers, ends })
+    }
+
+    /// Cube dimension (= cycle length).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Router at `(corner, cycle position)`.
+    pub fn router_at(&self, corner: usize, pos: usize) -> NodeId {
+        self.routers[corner * self.dim as usize + pos]
+    }
+}
+
+impl Topology for CubeConnectedCycles {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("ccc-{} ({}/router)", self.dim, self.nodes_per_router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn three_cube_structure() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        assert_eq!(h.net().router_count(), 8);
+        // A d-cube has d * 2^(d-1) links.
+        let inter = h
+            .net()
+            .links()
+            .filter(|&l| h.net().link(l).class == LinkClass::Local)
+            .count();
+        assert_eq!(inter, 12);
+        h.net().validate().unwrap();
+    }
+
+    #[test]
+    fn six_cube_needs_seven_ports() {
+        // §3.2's port-budget observation, verified by the builder.
+        assert!(std::panic::catch_unwind(|| Hypercube::new(6, 1, 6)).is_err());
+        let h = Hypercube::new(6, 1, 7).unwrap();
+        assert_eq!(h.net().router_count(), 64);
+        assert_eq!(h.end_nodes().len(), 64);
+    }
+
+    #[test]
+    fn cube_distance_is_hamming() {
+        let h = Hypercube::new(4, 1, 6).unwrap();
+        let d = bfs::distances(h.net(), h.router(0b0000));
+        for v in 0..16usize {
+            assert_eq!(d[h.router(v).index()], v.count_ones());
+        }
+    }
+
+    #[test]
+    fn cube_router_labels_roundtrip() {
+        let h = Hypercube::new(3, 2, 6).unwrap();
+        for v in 0..8 {
+            assert_eq!(h.label_of(h.router(v)), Some(v));
+        }
+        assert_eq!(h.corner_of_addr(5), 2);
+    }
+
+    #[test]
+    fn ccc_structure() {
+        let c = CubeConnectedCycles::new(3, 1, 6).unwrap();
+        // 8 corners x 3 routers.
+        assert_eq!(c.net().router_count(), 24);
+        // Links: cycles 8*3 + cube 12.
+        let inter = c
+            .net()
+            .links()
+            .filter(|&l| c.net().link(l).class == LinkClass::Local)
+            .count();
+        assert_eq!(inter, 24 + 12);
+        assert!(bfs::is_connected(c.net()));
+        c.net().validate().unwrap();
+    }
+
+    #[test]
+    fn ccc_degree_is_constant() {
+        // Every CCC router has exactly 3 inter-router cables no matter
+        // the dimension — the point of the construction.
+        let c = CubeConnectedCycles::new(4, 1, 6).unwrap();
+        for r in c.net().routers() {
+            let inter = c
+                .net()
+                .channels_from(r)
+                .iter()
+                .filter(|&&(ch, _)| c.net().link(ch.link()).class == LinkClass::Local)
+                .count();
+            assert_eq!(inter, 3);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Ring of routers — the shape of the paper's Figure 1 deadlock
+//! example: "Deadlock in a wormhole-routed network. The head of each
+//! packet is blocked by the tail of another packet. Circles are routers
+//! (packet switches)."
+//!
+//! Port convention: port 0 = clockwise (to router `i+1 mod n`),
+//! port 1 = counter-clockwise, ports 2.. = end nodes.
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// Clockwise port.
+pub const PORT_CW: PortId = PortId(0);
+/// Counter-clockwise port.
+pub const PORT_CCW: PortId = PortId(1);
+/// First attach port.
+pub const PORT_NODE0: PortId = PortId(2);
+
+/// A ring of `n` routers with `nodes_per_router` end nodes each.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    net: Network,
+    n: usize,
+    nodes_per_router: usize,
+    routers: Vec<NodeId>,
+    ends: Vec<NodeId>,
+}
+
+impl Ring {
+    /// Builds the ring. Needs `n ≥ 3` (a 2-ring would be parallel
+    /// cables) and 2 + `nodes_per_router` ports per router.
+    pub fn new(n: usize, nodes_per_router: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!(n >= 3, "ring needs at least 3 routers");
+        assert!(2 + nodes_per_router <= router_ports as usize);
+        let mut net = Network::new();
+        let routers: Vec<NodeId> =
+            (0..n).map(|i| net.add_router(format!("R{i}"), router_ports)).collect();
+        for i in 0..n {
+            net.connect(routers[i], PORT_CW, routers[(i + 1) % n], PORT_CCW, LinkClass::Local)?;
+        }
+        let mut ends = Vec::new();
+        for (i, &r) in routers.iter().enumerate() {
+            for k in 0..nodes_per_router {
+                let e = net.add_end_node(format!("N{i}.{k}"));
+                net.connect(r, PortId(PORT_NODE0.0 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                ends.push(e);
+            }
+        }
+        Ok(Ring { net, n, nodes_per_router, routers, ends })
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the ring is empty (never true; rings have ≥ 3 routers).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// End nodes per router.
+    pub fn nodes_per_router(&self) -> usize {
+        self.nodes_per_router
+    }
+
+    /// Router `i`.
+    pub fn router(&self, i: usize) -> NodeId {
+        self.routers[i]
+    }
+
+    /// Router index of an end-node address.
+    pub fn router_of_addr(&self, addr: usize) -> usize {
+        addr / self.nodes_per_router
+    }
+}
+
+impl Topology for Ring {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("ring {} ({}/router)", self.n, self.nodes_per_router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn fig1_four_router_loop() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        assert_eq!(r.net().router_count(), 4);
+        assert_eq!(r.net().link_count(), 4 + 4);
+        assert!(bfs::is_connected(r.net()));
+        r.net().validate().unwrap();
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let r = Ring::new(6, 1, 6).unwrap();
+        let d = bfs::distances(r.net(), r.router(0));
+        assert_eq!(d[r.router(3).index()], 3);
+        assert_eq!(d[r.router(5).index()], 1);
+    }
+
+    #[test]
+    fn addresses_map_to_routers() {
+        let r = Ring::new(4, 2, 6).unwrap();
+        assert_eq!(r.end_nodes().len(), 8);
+        assert_eq!(r.router_of_addr(0), 0);
+        assert_eq!(r.router_of_addr(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        let _ = Ring::new(2, 1, 6);
+    }
+}

@@ -1,0 +1,171 @@
+//! Shuffle-exchange network (§2 background list).
+//!
+//! Routers are labelled by `k`-bit strings. Each router has an
+//! **exchange** cable to the label differing in the low bit, a
+//! **shuffle-out** cable to `rol(v)` (left rotate) and a
+//! **shuffle-in** cable from `ror(v)`; the all-zeros and all-ones
+//! labels shuffle to themselves and omit those cables.
+//!
+//! Port convention: port 0 = exchange, port 1 = shuffle-out,
+//! port 2 = shuffle-in, ports 3.. = end nodes.
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// Exchange port.
+pub const PORT_EXCHANGE: PortId = PortId(0);
+/// Shuffle-out port (toward `rol(v)`).
+pub const PORT_SHUFFLE_OUT: PortId = PortId(1);
+/// Shuffle-in port (from `ror(v)`).
+pub const PORT_SHUFFLE_IN: PortId = PortId(2);
+/// First attach port.
+pub const PORT_NODE0: PortId = PortId(3);
+
+/// A `2^k`-router shuffle-exchange network.
+#[derive(Clone, Debug)]
+pub struct ShuffleExchange {
+    net: Network,
+    k: u32,
+    nodes_per_router: usize,
+    routers: Vec<NodeId>,
+    ends: Vec<NodeId>,
+}
+
+impl ShuffleExchange {
+    /// Builds the network over `2^k` routers.
+    pub fn new(k: u32, nodes_per_router: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!((2..=16).contains(&k), "need 2 <= k <= 16");
+        assert!(3 + nodes_per_router <= router_ports as usize);
+        let n = 1usize << k;
+        let rol = |v: usize| ((v << 1) | (v >> (k - 1))) & (n - 1);
+        let mut net = Network::new();
+        let routers: Vec<NodeId> =
+            (0..n).map(|v| net.add_router(format!("R{v:0w$b}", w = k as usize), router_ports)).collect();
+        // Exchange cables.
+        for v in 0..n {
+            let w = v ^ 1;
+            if v < w {
+                net.connect(routers[v], PORT_EXCHANGE, routers[w], PORT_EXCHANGE, LinkClass::Local)?;
+            }
+        }
+        // Shuffle cables: v.out -> rol(v).in, skipping fixed points.
+        for v in 0..n {
+            let w = rol(v);
+            if w != v {
+                net.connect(
+                    routers[v],
+                    PORT_SHUFFLE_OUT,
+                    routers[w],
+                    PORT_SHUFFLE_IN,
+                    LinkClass::Local,
+                )?;
+            }
+        }
+        let mut ends = Vec::new();
+        for (v, &r) in routers.iter().enumerate() {
+            for p in 0..nodes_per_router {
+                let e = net.add_end_node(format!("N{v}.{p}"));
+                net.connect(r, PortId(PORT_NODE0.0 + p as u8), e, PortId(0), LinkClass::Attach)?;
+                ends.push(e);
+            }
+        }
+        Ok(ShuffleExchange { net, k, nodes_per_router, routers, ends })
+    }
+
+    /// Label width `k` (network has `2^k` routers).
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Router with label `v`.
+    pub fn router(&self, v: usize) -> NodeId {
+        self.routers[v]
+    }
+
+    /// Router label of an address.
+    pub fn label_of_addr(&self, addr: usize) -> usize {
+        addr / self.nodes_per_router
+    }
+}
+
+impl Topology for ShuffleExchange {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("shuffle-exchange 2^{} ({}/router)", self.k, self.nodes_per_router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn structure_counts() {
+        let s = ShuffleExchange::new(3, 1, 6).unwrap();
+        assert_eq!(s.net().router_count(), 8);
+        // Exchange: 4 cables; shuffle: 8 - 2 fixed points = 6.
+        let inter = s
+            .net()
+            .links()
+            .filter(|&l| s.net().link(l).class == LinkClass::Local)
+            .count();
+        assert_eq!(inter, 4 + 6);
+        s.net().validate().unwrap();
+        assert!(bfs::is_connected(s.net()));
+    }
+
+    #[test]
+    fn constant_degree_regardless_of_size() {
+        // The selling point of shuffle-exchange: O(1) ports per router.
+        for k in [3u32, 5, 7] {
+            let s = ShuffleExchange::new(k, 1, 6).unwrap();
+            for r in s.net().routers() {
+                let inter = s
+                    .net()
+                    .channels_from(r)
+                    .iter()
+                    .filter(|&&(ch, _)| s.net().link(ch.link()).class == LinkClass::Local)
+                    .count();
+                assert!(inter <= 3, "k={k}: degree {inter}");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_logarithmic() {
+        // Shuffle-exchange routes any pair in O(k) steps (shuffle k
+        // times, exchanging as needed): diameter <= 2k.
+        let s = ShuffleExchange::new(4, 1, 6).unwrap();
+        let max = bfs::max_router_hops(s.net()).unwrap();
+        assert!(max <= 2 * 4 + 1, "diameter {max}");
+        assert!(max >= 4, "too small to be plausible: {max}");
+    }
+
+    #[test]
+    fn shuffle_ports_follow_rotation() {
+        let s = ShuffleExchange::new(3, 1, 6).unwrap();
+        // 011 shuffles to 110.
+        let ch = s.net().channel_out(s.router(0b011), PORT_SHUFFLE_OUT).unwrap();
+        assert_eq!(s.net().channel_dst(ch), s.router(0b110));
+        // Fixed points have no shuffle cables.
+        assert!(s.net().channel_out(s.router(0b000), PORT_SHUFFLE_OUT).is_none());
+        assert!(s.net().channel_out(s.router(0b111), PORT_SHUFFLE_OUT).is_none());
+    }
+
+    #[test]
+    fn updown_routes_work_on_shuffle_exchange() {
+        // Generic up*/down* makes it routable and deadlock-free.
+        use fractanet_route::treeroute::updown_routeset;
+        let s = ShuffleExchange::new(3, 1, 6).unwrap();
+        let rs = updown_routeset(s.net(), s.end_nodes(), s.router(0));
+        for (sa, d, p) in rs.pairs() {
+            assert_eq!(s.net().channel_dst(*p.last().unwrap()), s.end_nodes()[d], "{sa}->{d}");
+        }
+    }
+}

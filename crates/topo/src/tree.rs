@@ -1,0 +1,182 @@
+//! Star and binary-tree builders (§2 background).
+//!
+//! "Tree networks are free of routing loops, but their bisection
+//! bandwidth is determined by the bandwidth through the router at the
+//! root node."
+
+use crate::Topology;
+use fractanet_graph::{GraphError, LinkClass, Network, NodeId, PortId};
+
+/// A single router with every end node attached: the degenerate star.
+#[derive(Clone, Debug)]
+pub struct Star {
+    net: Network,
+    hub: NodeId,
+    ends: Vec<NodeId>,
+}
+
+impl Star {
+    /// Builds a star with `nodes` end nodes on a `router_ports`-port
+    /// hub.
+    pub fn new(nodes: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!(nodes <= router_ports as usize, "star hub has only {router_ports} ports");
+        let mut net = Network::new();
+        let hub = net.add_router("hub", router_ports);
+        let mut ends = Vec::new();
+        for k in 0..nodes {
+            let e = net.add_end_node(format!("N{k}"));
+            net.connect(hub, PortId(k as u8), e, PortId(0), LinkClass::Attach)?;
+            ends.push(e);
+        }
+        Ok(Star { net, hub, ends })
+    }
+
+    /// The hub router.
+    pub fn hub(&self) -> NodeId {
+        self.hub
+    }
+}
+
+impl Topology for Star {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("star {}", self.ends.len())
+    }
+}
+
+/// A complete binary tree of routers with end nodes on the leaves.
+///
+/// Port convention: port 0 = up (to parent), ports 1 and 2 = children,
+/// leaf routers use ports 1.. for end nodes.
+#[derive(Clone, Debug)]
+pub struct BinaryTree {
+    net: Network,
+    depth: u32,
+    nodes_per_leaf: usize,
+    /// Routers in heap order: router 0 is the root, children of `i` are
+    /// `2i + 1` and `2i + 2`.
+    routers: Vec<NodeId>,
+    ends: Vec<NodeId>,
+}
+
+impl BinaryTree {
+    /// Builds a tree with `depth` router levels (`depth ≥ 1`; a depth-1
+    /// tree is a single root). `2^(depth-1)` leaf routers carry
+    /// `nodes_per_leaf` end nodes each.
+    pub fn new(depth: u32, nodes_per_leaf: usize, router_ports: u8) -> Result<Self, GraphError> {
+        assert!((1..=16).contains(&depth));
+        assert!(nodes_per_leaf < router_ports as usize);
+        let count = (1usize << depth) - 1;
+        let mut net = Network::new();
+        let routers: Vec<NodeId> =
+            (0..count).map(|i| net.add_router(format!("T{i}"), router_ports)).collect();
+        for i in 0..count {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            if l < count {
+                net.connect(routers[i], PortId(1), routers[l], PortId(0), LinkClass::Local)?;
+            }
+            if r < count {
+                net.connect(routers[i], PortId(2), routers[r], PortId(0), LinkClass::Local)?;
+            }
+        }
+        let first_leaf = count / 2;
+        let mut ends = Vec::new();
+        for (li, &leaf) in routers.iter().enumerate().skip(first_leaf) {
+            for k in 0..nodes_per_leaf {
+                let e = net.add_end_node(format!("N{}.{k}", li - first_leaf));
+                net.connect(leaf, PortId(1 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                ends.push(e);
+            }
+        }
+        Ok(BinaryTree { net, depth, nodes_per_leaf, routers, ends })
+    }
+
+    /// Router levels.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The root router.
+    pub fn root(&self) -> NodeId {
+        self.routers[0]
+    }
+
+    /// Routers in heap order.
+    pub fn routers(&self) -> &[NodeId] {
+        &self.routers
+    }
+
+    /// End nodes per leaf router.
+    pub fn nodes_per_leaf(&self) -> usize {
+        self.nodes_per_leaf
+    }
+}
+
+impl Topology for BinaryTree {
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn end_nodes(&self) -> &[NodeId] {
+        &self.ends
+    }
+    fn name(&self) -> String {
+        format!("bintree d{} ({}/leaf)", self.depth, self.nodes_per_leaf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_graph::bfs;
+
+    #[test]
+    fn star_is_one_hop() {
+        let s = Star::new(6, 6).unwrap();
+        assert_eq!(s.end_nodes().len(), 6);
+        assert_eq!(bfs::max_router_hops(s.net()), Some(1));
+        s.net().validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "only 6 ports")]
+    fn star_overflow() {
+        let _ = Star::new(7, 6);
+    }
+
+    #[test]
+    fn tree_counts() {
+        let t = BinaryTree::new(3, 2, 6).unwrap();
+        assert_eq!(t.net().router_count(), 7);
+        assert_eq!(t.end_nodes().len(), 8);
+        assert!(bfs::is_connected(t.net()));
+        t.net().validate().unwrap();
+    }
+
+    #[test]
+    fn tree_max_hops_crosses_root() {
+        // Leaves in different halves route through the root:
+        // depth d gives 2d - 1 router hops.
+        let t = BinaryTree::new(4, 1, 6).unwrap();
+        assert_eq!(bfs::max_router_hops(t.net()), Some(7));
+    }
+
+    #[test]
+    fn tree_has_no_cycles() {
+        let t = BinaryTree::new(4, 1, 6).unwrap();
+        // Routers + attach = links + 1 for a tree.
+        assert_eq!(t.net().link_count() + 1, t.net().node_count());
+    }
+
+    #[test]
+    fn depth_one_tree_is_star() {
+        let t = BinaryTree::new(1, 4, 6).unwrap();
+        assert_eq!(t.net().router_count(), 1);
+        assert_eq!(t.end_nodes().len(), 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Scaling study: "The topology scales to any number of nodes, and
+//! allows for tradeoffs between cost and performance" (§4).
+//!
+//! Plans thin and fat fractahedral systems from 16 to 65536 CPUs using
+//! the closed-form hardware bills (validated against constructed
+//! networks in the library's tests), then builds the paper-scale
+//! configurations and measures them for real.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use fractanet::sizing::{bill, capacity, plan, Requirement};
+use fractanet::topo::Variant;
+use fractanet::System;
+
+fn main() {
+    println!("fractahedral scaling (with CPU-pair fan-out level)\n");
+    println!(
+        "{:<8} {:<3} {:<6} {:>9} {:>9} {:>8} {:>10} {:>10}",
+        "CPUs", "N", "kind", "routers", "cables", "delay", "bisection", "routers/CPU"
+    );
+    for levels in 1..=5usize {
+        let cpus = capacity(levels, true);
+        for variant in [Variant::Thin, Variant::Fat] {
+            let b = bill(variant, levels, true);
+            println!(
+                "{:<8} {:<3} {:<6} {:>9} {:>9} {:>8} {:>10} {:>10.2}",
+                cpus,
+                levels,
+                format!("{variant:?}"),
+                b.total_routers(),
+                b.cables,
+                b.max_delay,
+                b.bisection,
+                b.total_routers() as f64 / cpus as f64
+            );
+        }
+    }
+
+    println!("\nthe cost/performance dial: requirements pick the variant");
+    for (cpus, min_bis) in [(128usize, 1u64), (128, 10), (1024, 1), (1024, 30)] {
+        let opts = plan(Requirement { cpus, min_bisection_links: min_bis, fanout: true });
+        match opts.first() {
+            Some(best) => println!(
+                "  {cpus} CPUs, ≥{min_bis} bisection links → {:?} N{} ({} routers, {} cables)",
+                best.variant,
+                best.levels,
+                best.total_routers(),
+                best.cables
+            ),
+            None => println!("  {cpus} CPUs, ≥{min_bis} bisection links → no configuration"),
+        }
+    }
+
+    // Ground truth: build the 64-node systems and measure.
+    println!("\nclosed forms vs measured (64-node, direct attach):");
+    for (label, sys, variant) in [
+        ("thin", System::thin_fractahedron(2, false), Variant::Thin),
+        ("fat", System::fat_fractahedron(2), Variant::Fat),
+    ] {
+        let formula = bill(variant, 2, false);
+        let measured = sys.analyze();
+        println!(
+            "  {label}: routers {} = {} ✓, bisection {} = {} ✓, max delay {} = {} ✓",
+            formula.total_routers(),
+            measured.routers,
+            formula.bisection,
+            measured.bisection_links,
+            formula.max_delay,
+            measured.max_hops
+        );
+        assert_eq!(formula.total_routers(), measured.routers);
+        assert_eq!(formula.bisection, measured.bisection_links);
+        assert_eq!(formula.max_delay, measured.max_hops);
+    }
+}

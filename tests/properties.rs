@@ -1,0 +1,137 @@
+//! Workspace-level property tests: random configurations drawn from
+//! the topology grammar must uphold the library's core invariants.
+
+use fractanet::deadlock::verify_deadlock_free;
+use fractanet::graph::bfs;
+use fractanet::metrics::{bisection_estimate, max_link_contention};
+use fractanet::prelude::*;
+use fractanet::System;
+use proptest::prelude::*;
+
+/// A small grammar of valid system configurations.
+#[derive(Clone, Debug)]
+enum Config {
+    Mesh(usize, usize),
+    Cluster(usize),
+    Hypercube(u32),
+    FatTree(usize, usize, usize),
+    Fractahedron(usize, bool, bool), // levels, fat?, fanout?
+    BinaryTree(u32, usize),
+}
+
+impl Config {
+    fn build(&self) -> System {
+        match *self {
+            Config::Mesh(c, r) => System::mesh(c, r),
+            Config::Cluster(m) => System::cluster(m),
+            Config::Hypercube(d) => System::hypercube(d, 6),
+            Config::FatTree(n, d, u) => System::fat_tree(n, d, u),
+            Config::Fractahedron(l, true, _) => System::fat_fractahedron(l),
+            Config::Fractahedron(l, false, f) => System::thin_fractahedron(l, f),
+            Config::BinaryTree(d, n) => System::binary_tree(d, n),
+        }
+    }
+}
+
+fn configs() -> impl Strategy<Value = Config> {
+    prop_oneof![
+        (2usize..6, 2usize..6).prop_map(|(c, r)| Config::Mesh(c, r)),
+        (2usize..=6).prop_map(Config::Cluster),
+        (2u32..=5).prop_map(Config::Hypercube),
+        (6usize..40, 2usize..=4, 1usize..=2).prop_map(|(n, d, u)| Config::FatTree(n, d, u)),
+        (1usize..=2, any::<bool>(), any::<bool>())
+            .prop_map(|(l, fat, fan)| Config::Fractahedron(l, fat, fan)),
+        (2u32..=4, 1usize..=3).prop_map(|(d, n)| Config::BinaryTree(d, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every configuration builds a connected, valid network whose
+    /// canonical routing delivers every pair by a simple path.
+    #[test]
+    fn routing_always_delivers(cfg in configs()) {
+        let sys = cfg.build();
+        prop_assert!(sys.net().validate().is_ok());
+        prop_assert!(bfs::is_connected(sys.net()));
+        let rs = sys.route_set();
+        prop_assert!(rs.check_simple().is_ok());
+        for (s, d, p) in rs.pairs() {
+            prop_assert_eq!(
+                sys.net().channel_dst(*p.last().unwrap()),
+                sys.end_nodes()[d],
+                "{:?}: {}->{}", cfg, s, d
+            );
+            prop_assert_eq!(sys.net().channel_src(p[0]), sys.end_nodes()[s]);
+        }
+    }
+
+    /// Canonical routings are minimal: routed max/avg equal BFS.
+    #[test]
+    fn routings_are_minimal(cfg in configs()) {
+        let sys = cfg.build();
+        let routed = sys.route_set().avg_router_hops();
+        let topo = bfs::avg_router_hops(sys.net()).unwrap();
+        prop_assert!((routed - topo).abs() < 1e-9, "{:?}: {} vs {}", cfg, routed, topo);
+    }
+
+    /// Deadlock freedom holds for every canonical routing except the
+    /// ring (which the library intentionally ships cyclic as the Fig 1
+    /// exhibit — rings are excluded from the grammar).
+    #[test]
+    fn canonical_routings_deadlock_free(cfg in configs()) {
+        let sys = cfg.build();
+        prop_assert!(
+            verify_deadlock_free(sys.net(), sys.route_set()).is_ok(),
+            "{:?} has a dependency cycle", cfg
+        );
+    }
+
+    /// Contention is bounded: at least 1 on some channel (any route
+    /// uses links), at most nodes-1 (sources are distinct).
+    #[test]
+    fn contention_bounds(cfg in configs()) {
+        let sys = cfg.build();
+        let n = sys.end_nodes().len();
+        let rep = max_link_contention(sys.net(), sys.route_set());
+        prop_assert!(rep.worst >= 1);
+        prop_assert!(rep.worst < n, "{:?}: {} vs {}", cfg, rep.worst, n);
+    }
+
+    /// Bisection is at least 1 on a connected network and no more than
+    /// the cables leaving the smaller half's attach points.
+    #[test]
+    fn bisection_bounds(cfg in configs()) {
+        let sys = cfg.build();
+        let rep = bisection_estimate(sys.net(), sys.end_nodes(), 2);
+        let half = sys.end_nodes().len() / 2;
+        prop_assert!(rep.links >= 1);
+        prop_assert!(rep.links <= half as u64, "{:?}: cut {} > half {}", cfg, rep.links, half);
+    }
+
+    /// Short random simulations on random configs never deadlock and
+    /// deliver something.
+    #[test]
+    fn random_sims_stay_clean(cfg in configs(), seed in 0u64..1000) {
+        let sys = cfg.build();
+        let sim_cfg = SimConfig {
+            packet_flits: 6,
+            buffer_depth: 2,
+            max_cycles: 2_500,
+            stall_threshold: 1_200,
+            seed,
+            ..SimConfig::default()
+        };
+        let res = sys.simulate(
+            Workload::Bernoulli {
+                injection_rate: 0.2,
+                pattern: DstPattern::Uniform,
+                until_cycle: 1_000,
+            },
+            sim_cfg,
+        );
+        prop_assert!(res.deadlock.is_none(), "{:?} seed {}", cfg, seed);
+        prop_assert!(res.generated == 0 || res.delivered > 0);
+    }
+}
