@@ -25,8 +25,7 @@ fn bench_fig1(c: &mut Criterion) {
     };
     c.bench_function("fig1_ring_deadlock_sim", |b| {
         b.iter(|| {
-            let res =
-                Engine::new(ring.net(), &rs, cfg.clone()).run(Workload::fig1_ring(4));
+            let res = Engine::new(ring.net(), &rs, cfg.clone()).run(Workload::fig1_ring(4));
             assert!(res.deadlock.is_some());
         })
     });
@@ -95,7 +94,11 @@ fn bench_mesh(c: &mut Criterion) {
     let m = Mesh2D::new(6, 6, 2, 6).unwrap();
     let routes = fractanet::route::dor::mesh_xy_routes(&m);
     c.bench_function("sec31_mesh_trace_all_pairs", |b| {
-        b.iter(|| RouteSet::from_table(m.net(), m.end_nodes(), &routes).unwrap().len())
+        b.iter(|| {
+            RouteSet::from_table(m.net(), m.end_nodes(), &routes)
+                .unwrap()
+                .len()
+        })
     });
 }
 
@@ -111,12 +114,10 @@ fn bench_sim(c: &mut Criterion) {
     };
     c.bench_function("sim_2000_cycles_fat_64_load_0p3", |b| {
         b.iter_batched(
-            || {
-                Workload::Bernoulli {
-                    injection_rate: 0.3,
-                    pattern: DstPattern::Uniform,
-                    until_cycle: 2_000,
-                }
+            || Workload::Bernoulli {
+                injection_rate: 0.3,
+                pattern: DstPattern::Uniform,
+                until_cycle: 2_000,
             },
             |wl| {
                 let res = ff.simulate(wl, cfg.clone());
@@ -134,7 +135,12 @@ fn bench_extensions(c: &mut Criterion) {
     use fractanet::topo::{ClusterShape, Fractahedron, GenFractahedron};
 
     c.bench_function("ext_build_generalized_3_6_2_2", |b| {
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         b.iter(|| GenFractahedron::new(shape, 2, true).unwrap())
     });
 

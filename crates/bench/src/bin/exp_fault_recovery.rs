@@ -1,0 +1,202 @@
+//! Experiment E15 — robustness: live fault injection, source retry,
+//! certified self-healing and dual-fabric failover under load.
+//!
+//! Sweeps the number of inter-router links killed mid-run on the three
+//! 64-node-class systems (fat fractahedron, 4-2 fat tree, 6×6 mesh) at
+//! 0.2 offered load. The X fabric takes the faults, retries with
+//! exponential backoff, and installs certified (Dally & Seitz-verified)
+//! repaired tables; transfers it abandons fail over to the identical
+//! healthy Y fabric. The headline claim: one link killed mid-run on the
+//! fat fractahedron still completes ≥ 99% of transfers with zero
+//! deadlocks.
+
+use fractanet::prelude::*;
+use fractanet::System;
+use fractanet_bench::{emit_json, header};
+use fractanet_graph::LinkId;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    system: String,
+    faults: usize,
+    generated: usize,
+    delivered_x: usize,
+    delivered_y: usize,
+    delivery_fraction: f64,
+    retries: u64,
+    dropped_worms: u64,
+    failovers: usize,
+    unrecovered: usize,
+    repairs_installed: u64,
+    time_to_recover: Option<u64>,
+    heal_coverage: f64,
+    heal_verified: bool,
+    deadlocked: bool,
+}
+
+const FAULT_AT: u64 = 3_000;
+const GEN_UNTIL: u64 = 6_000;
+const MAX_CYCLES: u64 = 24_000;
+
+fn retry() -> RetryPolicy {
+    RetryPolicy {
+        ack_timeout: 32,
+        max_retries: 5,
+        backoff_base: 16,
+        jitter_seed: 0x5EED,
+    }
+}
+
+/// Deterministically picks `count` inter-router links, spread across
+/// the fabric.
+fn victims(sys: &System, count: usize) -> Vec<LinkId> {
+    let net = sys.net();
+    let pool: Vec<LinkId> = net
+        .links()
+        .filter(|&l| {
+            let info = net.link(l);
+            net.is_router(info.a.0) && net.is_router(info.b.0)
+        })
+        .collect();
+    assert!(count <= pool.len(), "not enough inter-router links");
+    if count == 0 {
+        return Vec::new();
+    }
+    let stride = pool.len() / count;
+    (0..count).map(|i| pool[i * stride]).collect()
+}
+
+fn run_one(name: &str, sys: &System, count: usize) -> Row {
+    let kills = victims(sys, count);
+
+    // Static view of the damage: what certified healing can reconnect.
+    let mut fault_set = FaultSet::none();
+    for &l in &kills {
+        fault_set.kill_link(l);
+    }
+    let healed = heal(sys.net(), sys.end_nodes(), &fault_set);
+    let (heal_coverage, heal_verified) = match &healed {
+        Ok(h) => (h.coverage(), true),
+        Err(_) => (0.0, false),
+    };
+
+    let cfg_x = SimConfig {
+        packet_flits: 16,
+        buffer_depth: 4,
+        max_cycles: MAX_CYCLES,
+        stall_threshold: 8_000,
+        retry: retry(),
+        ..SimConfig::default()
+    }
+    .with_faults(
+        kills
+            .iter()
+            .map(|&l| FaultEvent::kill_link(l, FAULT_AT))
+            .collect(),
+    );
+    let cfg_y = SimConfig {
+        packet_flits: 16,
+        buffer_depth: 4,
+        max_cycles: MAX_CYCLES,
+        stall_threshold: 8_000,
+        ..SimConfig::default()
+    };
+    let x = FabricSim {
+        net: sys.net(),
+        routes: sys.route_set(),
+        ends: sys.end_nodes(),
+        cfg: cfg_x,
+        heal: true,
+    };
+    // The Y fabric is an identical, healthy twin of X.
+    let y = FabricSim {
+        net: sys.net(),
+        routes: sys.route_set(),
+        ends: sys.end_nodes(),
+        cfg: cfg_y,
+        heal: false,
+    };
+    let workload = Workload::Bernoulli {
+        injection_rate: 0.2,
+        pattern: DstPattern::Uniform,
+        until_cycle: GEN_UNTIL,
+    };
+    let out = run_with_failover(x, y, workload);
+
+    Row {
+        system: name.into(),
+        faults: count,
+        generated: out.total_generated(),
+        delivered_x: out.x.delivered,
+        delivered_y: out.y.as_ref().map_or(0, |r| r.delivered),
+        delivery_fraction: out.delivery_ratio(),
+        retries: out.x.recovery.retries,
+        dropped_worms: out.x.recovery.dropped_worms,
+        failovers: out.failovers,
+        unrecovered: out.unrecovered.len(),
+        repairs_installed: out.x.recovery.repairs_installed,
+        time_to_recover: out.x.recovery.time_to_recover,
+        heal_coverage,
+        heal_verified,
+        deadlocked: out.x.deadlock.is_some() || out.y.iter().any(|r| r.deadlock.is_some()),
+    }
+}
+
+fn main() {
+    header(
+        "E15 / robustness",
+        "live link kills at 0.2 load: retry, self-healing, dual-fabric failover",
+    );
+    let systems = [
+        ("fat fractahedron", System::fat_fractahedron(2)),
+        ("4-2 fat tree", System::fat_tree(64, 4, 2)),
+        ("6x6 mesh", System::mesh(6, 6)),
+    ];
+    println!(
+        "  {:<18} {:>6} {:>9} {:>10} {:>8} {:>9} {:>8} {:>9} {:>9}",
+        "system",
+        "kills",
+        "delivery",
+        "retries",
+        "dropped",
+        "failover",
+        "repairs",
+        "coverage",
+        "recover"
+    );
+
+    for (name, sys) in &systems {
+        for count in [0usize, 1, 2, 4, 8] {
+            let row = run_one(name, sys, count);
+            assert!(!row.deadlocked, "{name} deadlocked with {count} faults");
+            assert!(row.heal_verified, "{name} healed tables must certify");
+            println!(
+                "  {:<18} {:>6} {:>8.2}% {:>10} {:>8} {:>9} {:>8} {:>8.1}% {:>9}",
+                name,
+                count,
+                100.0 * row.delivery_fraction,
+                row.retries,
+                row.dropped_worms,
+                row.failovers,
+                row.repairs_installed,
+                100.0 * row.heal_coverage,
+                row.time_to_recover.map_or("-".into(), |t| t.to_string()),
+            );
+            if *name == "fat fractahedron" && count == 1 {
+                // The issue's acceptance bar.
+                assert!(
+                    row.delivery_fraction >= 0.99,
+                    "single-fault fat fractahedron delivered only {:.4}",
+                    row.delivery_fraction
+                );
+            }
+            emit_json("fault_recovery", &row);
+        }
+    }
+    println!(
+        "\n  One mid-run link kill on the fat fractahedron still completes ≥ 99% of\n\
+         transfers: truncated worms are torn down, sources retry with backoff,\n\
+         certified repaired tables install, and stragglers fail over to Y."
+    );
+}

@@ -32,7 +32,10 @@ fn main() {
     let res = Engine::new(ring.net(), &cw, cfg.clone()).run(Workload::fig1_ring(4));
     match &res.deadlock {
         Some(dl) => {
-            println!("  clockwise ring, 4 simultaneous wrap transfers: DEADLOCK at cycle {}", dl.cycle);
+            println!(
+                "  clockwise ring, 4 simultaneous wrap transfers: DEADLOCK at cycle {}",
+                dl.cycle
+            );
             println!("  circular wait ({} channels):", dl.cycle_channels.len());
             for ch in &dl.cycle_channels {
                 println!(
@@ -56,8 +59,14 @@ fn main() {
         res2.cycles
     );
 
-    header("E1 / ablation", "deadlock onset vs buffer depth and packet length");
-    println!("{:<14} {:<14} {:<22}", "buffer depth", "packet flits", "outcome");
+    header(
+        "E1 / ablation",
+        "deadlock onset vs buffer depth and packet length",
+    );
+    println!(
+        "{:<14} {:<14} {:<22}",
+        "buffer depth", "packet flits", "outcome"
+    );
     for depth in [1u8, 2, 4, 8, 16] {
         for flits in [4u32, 8, 16, 64] {
             let cfg = SimConfig {
@@ -77,8 +86,12 @@ fn main() {
                 &Row {
                     buffer_depth: depth,
                     packet_flits: flits,
-                    outcome: if res.deadlock.is_some() { "deadlock" } else { "completed" }
-                        .to_string(),
+                    outcome: if res.deadlock.is_some() {
+                        "deadlock"
+                    } else {
+                        "completed"
+                    }
+                    .to_string(),
                     cycle: res.deadlock.as_ref().map(|d| d.cycle).unwrap_or(res.cycles),
                 },
             );

@@ -34,7 +34,11 @@ fn show(net: &fractanet::graph::Network, label: &str, rs: &RouteSet) -> Row {
     println!(
         "  {:<22} {:<14} load min {:>3} / max {:>3}   cv {:>6.3}   avg hops {:>5.2}",
         label,
-        if free { "deadlock-free" } else { "CAN DEADLOCK" },
+        if free {
+            "deadlock-free"
+        } else {
+            "CAN DEADLOCK"
+        },
         u.min,
         u.max,
         u.cv,
@@ -51,13 +55,22 @@ fn main() {
     let attempt = std::panic::catch_unwind(|| Hypercube::new(6, 1, 6));
     std::panic::set_hook(default_hook);
     match attempt {
-        Err(_) => println!("  Hypercube::new(6, 1, 6 ports) rejected: needs 6 cube ports + 1 node port ✓"),
+        Err(_) => {
+            println!("  Hypercube::new(6, 1, 6 ports) rejected: needs 6 cube ports + 1 node port ✓")
+        }
         Ok(_) => println!("  UNEXPECTED: 6-cube built on 6-port routers"),
     }
     let h7 = Hypercube::new(6, 1, 7).unwrap();
-    println!("  with 7-port routers: {} routers, {} nodes", h7.net().router_count(), h7.end_nodes().len());
+    println!(
+        "  with 7-port routers: {} routers, {} nodes",
+        h7.net().router_count(),
+        h7.end_nodes().len()
+    );
 
-    header("E2 / Fig 2", "3-cube route restriction styles (2 nodes per corner)");
+    header(
+        "E2 / Fig 2",
+        "3-cube route restriction styles (2 nodes per corner)",
+    );
     let h = Hypercube::new(3, 2, 6).unwrap();
 
     let ecube = RouteSet::from_table(h.net(), h.end_nodes(), &ecube_routes(&h)).unwrap();
@@ -68,7 +81,10 @@ fn main() {
 
     match synthesize_disables(h.net(), h.end_nodes(), 500) {
         Ok((disables, rs)) => {
-            println!("  synthesized {} turn disables (greedy order was already acyclic here):", disables.len());
+            println!(
+                "  synthesized {} turn disables (greedy order was already acyclic here):",
+                disables.len()
+            );
             show(h.net(), "synthesized disables", &rs);
         }
         Err(e) => println!("  synthesis failed: {e}"),

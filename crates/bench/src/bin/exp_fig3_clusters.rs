@@ -37,12 +37,22 @@ fn main() {
         }
         let sys = System::cluster(m);
         let rep = sys.analyze();
-        emit_json("fig3", &Row { routers: m, ports, contention: rep.worst_contention });
+        emit_json(
+            "fig3",
+            &Row {
+                routers: m,
+                ports,
+                contention: rep.worst_contention,
+            },
+        );
         println!(
             "{:<8} {:>11} {:>24} {:>26}",
             m,
             versus(ports, paper_ports[m - 1]),
-            versus(format!("{}:1", rep.worst_contention), format!("{}:1", paper_cont[m - 1])),
+            versus(
+                format!("{}:1", rep.worst_contention),
+                format!("{}:1", paper_cont[m - 1])
+            ),
             if rep.deadlock_free { "yes" } else { "NO" }
         );
     }

@@ -27,16 +27,50 @@ struct Row {
 }
 
 fn main() {
-    header("E14 / §4", "generalized cluster fractahedrons (two levels, fat)");
+    header(
+        "E14 / §4",
+        "generalized cluster fractahedrons (two levels, fat)",
+    );
     println!(
         "{:<22} {:>6} {:>8} {:>9} {:>9} {:>11} {:>10} {:>8}",
-        "cluster shape", "nodes", "routers", "avg hops", "max hops", "contention", "bisection", "dl-free"
+        "cluster shape",
+        "nodes",
+        "routers",
+        "avg hops",
+        "max hops",
+        "contention",
+        "bisection",
+        "dl-free"
     );
     let shapes = [
         ("4x6p 2-3-1 (paper)", ClusterShape::PAPER),
-        ("3x6p 2-2-2", ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 }),
-        ("4x8p 3-3-2", ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 }),
-        ("5x8p 2-4-2", ClusterShape { cluster: 5, ports: 8, down: 2, up: 2 }),
+        (
+            "3x6p 2-2-2",
+            ClusterShape {
+                cluster: 3,
+                ports: 6,
+                down: 2,
+                up: 2,
+            },
+        ),
+        (
+            "4x8p 3-3-2",
+            ClusterShape {
+                cluster: 4,
+                ports: 8,
+                down: 3,
+                up: 2,
+            },
+        ),
+        (
+            "5x8p 2-4-2",
+            ClusterShape {
+                cluster: 5,
+                ports: 8,
+                down: 2,
+                up: 2,
+            },
+        ),
     ];
     for (label, shape) in shapes {
         let g = GenFractahedron::new(shape, 2, true).unwrap();
@@ -75,7 +109,10 @@ fn main() {
          trade routers for fan-out; more up ports buy bisection."
     );
 
-    header("E14 / §2", "the rejected alternative: virtual channels on the Fig 1 ring");
+    header(
+        "E14 / §2",
+        "the rejected alternative: virtual channels on the Fig 1 ring",
+    );
     let ring = Ring::new(4, 1, 6).unwrap();
     let cfg = SimConfig {
         packet_flits: 32,
@@ -84,7 +121,10 @@ fn main() {
         stall_threshold: 300,
         ..SimConfig::default()
     };
-    println!("{:<8} {:>14} {:>14} {:>22}", "VCs", "buffer slots", "CDG verdict", "Fig 1 pattern");
+    println!(
+        "{:<8} {:>14} {:>14} {:>22}",
+        "VCs", "buffer slots", "CDG verdict", "Fig 1 pattern"
+    );
     for vcs in [1u8, 2] {
         let routes = dateline_ring_routes(&ring, vcs);
         let engine = VcEngine::new(ring.net(), &routes, cfg.clone());

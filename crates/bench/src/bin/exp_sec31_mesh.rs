@@ -20,8 +20,14 @@ struct Row {
 }
 
 fn main() {
-    header("E7 / §3.1", "2-D mesh scaling with 6-port routers (2 nodes per router)");
-    println!("{:<8} {:>8} {:>9} {:>22}", "mesh", "routers", "capacity", "max hops");
+    header(
+        "E7 / §3.1",
+        "2-D mesh scaling with 6-port routers (2 nodes per router)",
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>22}",
+        "mesh", "routers", "capacity", "max hops"
+    );
     for (target, paper_hops) in [(64usize, 11u32), (128, 15), (1024, 45)] {
         let m = Mesh2D::for_nodes(target).unwrap();
         let side = m.cols();
@@ -47,10 +53,16 @@ fn main() {
         );
     }
 
-    header("E7 / §3.1", "worst-case contention on the 6x6 mesh (dimension-order)");
+    header(
+        "E7 / §3.1",
+        "worst-case contention on the 6x6 mesh (dimension-order)",
+    );
     let sys = System::mesh(6, 6);
     let rep = max_link_contention(sys.net(), sys.route_set());
-    println!("  max link contention: {}", versus(format!("{}:1", rep.worst), "10:1"));
+    println!(
+        "  max link contention: {}",
+        versus(format!("{}:1", rep.worst), "10:1")
+    );
     let (_, witness) = contention_of_channel(sys.net(), sys.route_set(), rep.worst_channel);
     let ch = rep.worst_channel;
     println!(
@@ -63,11 +75,15 @@ fn main() {
     println!("    {}", list.join(", "));
     println!("  (the paper's A1-F6 ... A5-B6 turning at corner A6, times two nodes per router)");
 
-    header("E7 / ablation", "XY vs YX dimension order (mirrored hotspot, same worst case)");
+    header(
+        "E7 / ablation",
+        "XY vs YX dimension order (mirrored hotspot, same worst case)",
+    );
     let m = Mesh2D::new(6, 6, 2, 6).unwrap();
-    for (label, routes) in
-        [("X-then-Y", mesh_xy_routes(&m)), ("Y-then-X", mesh_yx_routes(&m))]
-    {
+    for (label, routes) in [
+        ("X-then-Y", mesh_xy_routes(&m)),
+        ("Y-then-X", mesh_yx_routes(&m)),
+    ] {
         let rs = RouteSet::from_table(m.net(), m.end_nodes(), &routes).unwrap();
         let rep = max_link_contention(m.net(), &rs);
         let ch = rep.worst_channel;

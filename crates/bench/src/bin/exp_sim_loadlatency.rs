@@ -28,11 +28,22 @@ fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
         warmup_cycles: 2_000,
         ..SimConfig::default()
     };
-    let pts = sweep_loads(sys.net(), sys.route_set(), &cfg, &DstPattern::Uniform, rates, 10_000);
+    let pts = sweep_loads(
+        sys.net(),
+        sys.route_set(),
+        &cfg,
+        &DstPattern::Uniform,
+        rates,
+        10_000,
+    );
     print!("  {name:<22}");
     let mut lat = Vec::new();
     for p in &pts {
-        assert!(p.result.deadlock.is_none(), "{name} deadlocked at {}", p.injection_rate);
+        assert!(
+            p.result.deadlock.is_none(),
+            "{name} deadlocked at {}",
+            p.injection_rate
+        );
         print!(" {:>8.1}", p.result.avg_latency);
         lat.push(p.result.avg_latency);
         emit_json(
@@ -54,7 +65,10 @@ fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
 }
 
 fn main() {
-    header("E12 / §4", "load-latency under uniform traffic (64-node systems)");
+    header(
+        "E12 / §4",
+        "load-latency under uniform traffic (64-node systems)",
+    );
     let rates = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
     print!("  {:<22}", "offered load (flits/node/cycle)");
     for r in rates {
@@ -78,7 +92,10 @@ fn main() {
         rates.len()
     );
 
-    header("E12 / adversarial", "sustained adversarial flows (avg latency, cycles)");
+    header(
+        "E12 / adversarial",
+        "sustained adversarial flows (avg latency, cycles)",
+    );
     // The paper's worst-case placements, replayed continuously.
     let adversarial_ft: Vec<usize> = {
         // 12 sources of group 3 onto the 12 destinations behind one

@@ -55,7 +55,10 @@ fn report(n: usize, variant: Variant) -> Row {
 }
 
 fn main() {
-    header("E5 / Table 1", "N-level 2-3-1 fractahedral parameters (direct attach)");
+    header(
+        "E5 / Table 1",
+        "N-level 2-3-1 fractahedral parameters (direct attach)",
+    );
     println!(
         "{:<3} {:<5} {:>6} {:>8} {:>22} {:>22} {:>9}",
         "N", "kind", "nodes", "routers", "max delay (hops)", "bisection (links)", "dl-free"
@@ -105,15 +108,22 @@ fn main() {
     }
 
     header("E6 / §2.4", "deadlock freedom of the fractahedral routing");
-    for (n, variant) in
-        [(1usize, Variant::Fat), (2, Variant::Fat), (2, Variant::Thin), (3, Variant::Fat)]
-    {
+    for (n, variant) in [
+        (1usize, Variant::Fat),
+        (2, Variant::Fat),
+        (2, Variant::Thin),
+        (3, Variant::Fat),
+    ] {
         let row = report(n, variant);
         println!(
             "  {:?} N={}: channel dependency graph {}",
             variant,
             n,
-            if row.deadlock_free { "acyclic — deadlock-free" } else { "HAS A CYCLE" }
+            if row.deadlock_free {
+                "acyclic — deadlock-free"
+            } else {
+                "HAS A CYCLE"
+            }
         );
     }
     println!(

@@ -69,7 +69,11 @@ fn main() {
     );
     println!("\n* the paper quotes 4 links for both; measured min-cut of the as-built");
     println!("  networks is larger (see EXPERIMENTS.md discussion).");
-    for (name, r) in [("fat tree 4-2", &a), ("fat fractahedron", &b), ("fat tree 3-3", &c)] {
+    for (name, r) in [
+        ("fat tree 4-2", &a),
+        ("fat fractahedron", &b),
+        ("fat tree 3-3", &c),
+    ] {
         emit_json(
             "table2",
             &Row {
@@ -83,7 +87,10 @@ fn main() {
         );
     }
 
-    header("E9 / §3.3", "the fat tree's 12:1 adversarial set (link \"HLP\")");
+    header(
+        "E9 / §3.3",
+        "the fat tree's 12:1 adversarial set (link \"HLP\")",
+    );
     let rep = max_link_contention(ft.net(), ft.route_set());
     let (k, witness) = contention_of_channel(ft.net(), ft.route_set(), rep.worst_channel);
     println!("  worst channel carries a {k}-transfer matching:");
@@ -91,7 +98,10 @@ fn main() {
     println!("    {}", pairs.join(", "));
     println!("  (the paper's example: nodes 52-63 sending to nodes 36-47)");
 
-    header("E10 / §3.4", "the fractahedron's 4:1 example: 6,7,14,15 -> 54,55,62,63");
+    header(
+        "E10 / §3.4",
+        "the fractahedron's 4:1 example: 6,7,14,15 -> 54,55,62,63",
+    );
     let pattern = [(6, 54), (7, 55), (14, 62), (15, 63)];
     let (worst, ch) = pattern_contention(ff.net(), ff.route_set(), &pattern);
     let src = ff.net().channel_src(ch);
@@ -104,11 +114,22 @@ fn main() {
     );
 
     header("E11 / ablation", "fat-tree up-link partitioning policies");
-    println!("{:<16} {:>22} {:>12}", "policy", "max contention", "avg hops");
-    for policy in [UpPolicy::ByLeafRouter, UpPolicy::ByNodeModulo, UpPolicy::ByGroup] {
+    println!(
+        "{:<16} {:>22} {:>12}",
+        "policy", "max contention", "avg hops"
+    );
+    for policy in [
+        UpPolicy::ByLeafRouter,
+        UpPolicy::ByNodeModulo,
+        UpPolicy::ByGroup,
+    ] {
         let ftopo = FatTree::paper_4_2_64();
-        let rs = RouteSet::from_table(ftopo.net(), ftopo.end_nodes(), &fattree_routes(&ftopo, policy))
-            .unwrap();
+        let rs = RouteSet::from_table(
+            ftopo.net(),
+            ftopo.end_nodes(),
+            &fattree_routes(&ftopo, policy),
+        )
+        .unwrap();
         let rep = max_link_contention(ftopo.net(), &rs);
         println!(
             "{:<16} {:>21}:1 {:>12.2}",

@@ -19,6 +19,7 @@ fn main() {
         "exp_sim_loadlatency",
         "exp_servernet_faults",
         "exp_generalized",
+        "exp_fault_recovery",
     ];
     // Re-exec sibling binaries from the same target directory so one
     // command reproduces everything.

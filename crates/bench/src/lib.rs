@@ -15,16 +15,15 @@
 use serde::Serialize;
 
 /// Emits a JSON-lines record on stderr when `FRACTANET_JSON=1`.
+///
+/// The row's fields are flattened next to an `experiment` tag, so each
+/// line reads `{"experiment":"...", <row fields>}`.
 pub fn emit_json<T: Serialize>(experiment: &str, row: &T) {
     if std::env::var("FRACTANET_JSON").as_deref() == Ok("1") {
-        #[derive(Serialize)]
-        struct Record<'a, T> {
-            experiment: &'a str,
-            #[serde(flatten)]
-            row: &'a T,
-        }
-        if let Ok(s) = serde_json::to_string(&Record { experiment, row }) {
-            eprintln!("{s}");
+        let tag = format!("\"experiment\":{}", experiment.json());
+        match row.json_fields() {
+            Some(fields) if !fields.is_empty() => eprintln!("{{{tag},{fields}}}"),
+            _ => eprintln!("{{{tag}}}"),
         }
     }
 }

@@ -48,7 +48,9 @@ impl ChannelDependencyGraph {
 
     /// One dependency cycle as channels, or `None` when deadlock-free.
     pub fn find_cycle(&self) -> Option<Vec<ChannelId>> {
-        self.graph.find_cycle().map(|vs| vs.into_iter().map(ChannelId).collect())
+        self.graph
+            .find_cycle()
+            .map(|vs| vs.into_iter().map(ChannelId).collect())
     }
 
     /// Number of distinct dependencies.
@@ -107,15 +109,17 @@ mod tests {
     fn fig1_clockwise_ring_has_cycle() {
         // Figure 1: four wrap-around routes in a 4-router loop.
         let r = Ring::new(4, 1, 6).unwrap();
-        let rs =
-            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
         let cdg = ChannelDependencyGraph::from_routes(r.net(), &rs);
         assert!(!cdg.is_deadlock_free());
         let cyc = cdg.find_cycle().unwrap();
         // The minimal cycle is the four clockwise inter-router channels.
         assert_eq!(cyc.len(), 4);
         let desc = cdg.describe_cycle(r.net()).unwrap();
-        assert!(desc.contains("R0"), "diagnostic should name routers: {desc}");
+        assert!(
+            desc.contains("R0"),
+            "diagnostic should name routers: {desc}"
+        );
     }
 
     #[test]
@@ -144,8 +148,7 @@ mod tests {
     #[test]
     fn witnesses_identify_contributing_pairs() {
         let r = Ring::new(4, 1, 6).unwrap();
-        let rs =
-            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
         let cdg = ChannelDependencyGraph::from_routes(r.net(), &rs);
         let cyc = cdg.find_cycle().unwrap();
         let (s, d) = cdg.witness(cyc[0], cyc[1]).unwrap();

@@ -55,7 +55,9 @@ impl DisableSet {
 
     /// Iterates the disabled turns.
     pub fn iter(&self) -> impl Iterator<Item = (ChannelId, ChannelId)> + '_ {
-        self.forbidden.iter().map(|&(a, b)| (ChannelId(a), ChannelId(b)))
+        self.forbidden
+            .iter()
+            .map(|&(a, b)| (ChannelId(a), ChannelId(b)))
     }
 }
 
@@ -85,7 +87,10 @@ impl fmt::Display for SynthesisError {
                 write!(f, "no allowed path from {src} to {dst}")
             }
             SynthesisError::DidNotConverge { disables } => {
-                write!(f, "disable synthesis did not converge ({disables} turns disabled)")
+                write!(
+                    f,
+                    "disable synthesis did not converge ({disables} turns disabled)"
+                )
             }
         }
     }
@@ -196,10 +201,14 @@ pub fn synthesize_disables(
             }
         }
         if !advanced {
-            return Err(SynthesisError::DidNotConverge { disables: disables.len() });
+            return Err(SynthesisError::DidNotConverge {
+                disables: disables.len(),
+            });
         }
     }
-    Err(SynthesisError::DidNotConverge { disables: disables.len() })
+    Err(SynthesisError::DidNotConverge {
+        disables: disables.len(),
+    })
 }
 
 #[cfg(test)]
@@ -235,7 +244,11 @@ mod tests {
         }
         // Still fully routable (route_all succeeded inside synthesis).
         for (s, d, p) in routes.pairs() {
-            assert_eq!(h.net().channel_dst(*p.last().unwrap()), h.end_nodes()[d], "{s}->{d}");
+            assert_eq!(
+                h.net().channel_dst(*p.last().unwrap()),
+                h.end_nodes()[d],
+                "{s}->{d}"
+            );
         }
     }
 
@@ -275,11 +288,14 @@ mod tests {
         let mut net = Network::new();
         let r0 = net.add_router("r0", 6);
         let r1 = net.add_router("r1", 6);
-        net.connect(r0, PortId(0), r1, PortId(0), LinkClass::Local).unwrap();
+        net.connect(r0, PortId(0), r1, PortId(0), LinkClass::Local)
+            .unwrap();
         let n0 = net.add_end_node("n0");
         let n1 = net.add_end_node("n1");
-        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach).unwrap();
-        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach).unwrap();
+        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach)
+            .unwrap();
+        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach)
+            .unwrap();
         let ends = vec![n0, n1];
 
         let free = route_one(&net, &ends, &DisableSet::new(), 0, 1).unwrap();

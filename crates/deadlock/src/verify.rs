@@ -53,8 +53,9 @@ pub fn verify_deadlock_free(
     match cdg.find_cycle() {
         None => Ok(cdg),
         Some(cycle) => {
-            let description =
-                cdg.describe_cycle(net).unwrap_or_else(|| "unnamed cycle".to_string());
+            let description = cdg
+                .describe_cycle(net)
+                .unwrap_or_else(|| "unnamed cycle".to_string());
             Err(Box::new(DeadlockReport {
                 cycle,
                 description,
@@ -119,7 +120,11 @@ mod tests {
             (FatTree::paper_3_3_64(), UpPolicy::ByLeafRouter),
         ] {
             let rs = table_set(&ft, &fattree_routes(&ft, policy));
-            assert!(verify_deadlock_free(ft.net(), &rs).is_ok(), "{} {policy:?}", ft.name());
+            assert!(
+                verify_deadlock_free(ft.net(), &rs).is_ok(),
+                "{} {policy:?}",
+                ft.name()
+            );
         }
     }
 

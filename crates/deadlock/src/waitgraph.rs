@@ -19,7 +19,10 @@ pub struct WaitGraph {
 impl WaitGraph {
     /// Creates an empty wait-for graph over `n_channels` channels.
     pub fn new(n_channels: usize) -> Self {
-        WaitGraph { n: n_channels, edges: Vec::new() }
+        WaitGraph {
+            n: n_channels,
+            edges: Vec::new(),
+        }
     }
 
     /// Records that the packet holding `held` is stalled waiting to
@@ -46,7 +49,8 @@ impl WaitGraph {
         for &(a, b) in &self.edges {
             g.add_edge(a, b);
         }
-        g.find_cycle().map(|vs| vs.into_iter().map(ChannelId).collect())
+        g.find_cycle()
+            .map(|vs| vs.into_iter().map(ChannelId).collect())
     }
 }
 

@@ -13,8 +13,8 @@
 
 use crate::sizing::{plan, Requirement};
 use crate::System;
-use fractanet_graph::viz;
-use fractanet_sim::{DstPattern, SimConfig, Workload};
+use fractanet_graph::{viz, LinkId, NodeId};
+use fractanet_sim::{DstPattern, FaultEvent, RetryPolicy, SimConfig, Workload};
 use std::fmt;
 
 /// A parsed command.
@@ -37,6 +37,8 @@ pub enum Command {
         load: f64,
         /// Cycle budget.
         cycles: u64,
+        /// Fault-injection and recovery options.
+        faults: FaultOpts,
     },
     /// Plan a fractahedral installation.
     Plan {
@@ -52,6 +54,97 @@ pub enum Command {
 /// A topology specifier, e.g. `fat-fractahedron:2` or `mesh:6x6`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopoSpec(pub String);
+
+/// Fault-injection and recovery options for `simulate`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultOpts {
+    /// Link indices to kill (`--kill-link`, repeatable).
+    pub kill_links: Vec<u32>,
+    /// Router ordinals (among routers, in node order) to kill
+    /// (`--kill-router`, repeatable).
+    pub kill_routers: Vec<u32>,
+    /// Cycle at which the faults strike (`--fault-at`).
+    pub fault_at: u64,
+    /// Cycle at which transient faults repair (`--repair-at`);
+    /// faults are permanent when absent.
+    pub repair_at: Option<u64>,
+    /// Cycles a source waits for the ACK before retrying
+    /// (`--ack-timeout`).
+    pub ack_timeout: u64,
+    /// Attempts before a transfer is abandoned to the failover layer
+    /// (`--max-retries`).
+    pub max_retries: u32,
+    /// Exponential backoff base in cycles (`--backoff-base`).
+    pub backoff_base: u64,
+    /// Seed for retry jitter (`--jitter-seed`).
+    pub jitter_seed: u64,
+    /// Regenerate + certify routing tables around permanent faults
+    /// (`--heal`).
+    pub heal: bool,
+}
+
+impl Default for FaultOpts {
+    fn default() -> Self {
+        let retry = RetryPolicy::default();
+        FaultOpts {
+            kill_links: Vec::new(),
+            kill_routers: Vec::new(),
+            fault_at: 0,
+            repair_at: None,
+            ack_timeout: retry.ack_timeout,
+            max_retries: retry.max_retries,
+            backoff_base: retry.backoff_base,
+            jitter_seed: retry.jitter_seed,
+            heal: false,
+        }
+    }
+}
+
+impl FaultOpts {
+    fn retry(&self) -> RetryPolicy {
+        RetryPolicy {
+            ack_timeout: self.ack_timeout,
+            max_retries: self.max_retries,
+            backoff_base: self.backoff_base,
+            jitter_seed: self.jitter_seed,
+        }
+    }
+
+    /// Resolves the kill lists against a concrete system into fault
+    /// events.
+    fn events(&self, sys: &System) -> Result<Vec<FaultEvent>, CliError> {
+        let net = sys.net();
+        let routers: Vec<NodeId> = net.nodes().filter(|&v| net.is_router(v)).collect();
+        let mut out = Vec::new();
+        for &l in &self.kill_links {
+            if l as usize >= net.link_count() {
+                return Err(CliError(format!(
+                    "--kill-link {l} out of range (network has {} links)",
+                    net.link_count()
+                )));
+            }
+            out.push(FaultEvent::kill_link(LinkId(l), self.fault_at));
+        }
+        for &r in &self.kill_routers {
+            let Some(&node) = routers.get(r as usize) else {
+                return Err(CliError(format!(
+                    "--kill-router {r} out of range (network has {} routers)",
+                    routers.len()
+                )));
+            };
+            out.push(FaultEvent::kill_router(node, self.fault_at));
+        }
+        if let Some(at) = self.repair_at {
+            if at <= self.fault_at {
+                return Err(CliError("--repair-at must be after --fault-at".into()));
+            }
+            for e in &mut out {
+                *e = e.transient(at);
+            }
+        }
+        Ok(out)
+    }
+}
 
 /// CLI errors, with a message suitable for stderr.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,7 +167,13 @@ USAGE:
   fractanet dot <topology> [--routers-only]
                                         Graphviz on stdout
   fractanet simulate <topology> [--load <f>] [--cycles <n>]
-                                        uniform-traffic wormhole simulation
+                     [--kill-link <id>]... [--kill-router <id>]...
+                     [--fault-at <cycle>] [--repair-at <cycle>] [--heal]
+                     [--ack-timeout <cy>] [--max-retries <n>]
+                     [--backoff-base <cy>] [--jitter-seed <s>]
+                                        uniform-traffic wormhole simulation with
+                                        optional live fault injection, source
+                                        retry and certified self-healing
   fractanet plan --cpus <n> [--bisection <links>]
                                         fractahedral capacity planning
   fractanet help
@@ -123,13 +222,17 @@ impl TopoSpec {
                 }
                 Ok(System::mesh(int(dims[0])?, int(dims[1])?))
             }
-            "fattree" if parts.len() == 4 => {
-                Ok(System::fat_tree(int(parts[1])?, int(parts[2])?, int(parts[3])?))
-            }
+            "fattree" if parts.len() == 4 => Ok(System::fat_tree(
+                int(parts[1])?,
+                int(parts[2])?,
+                int(parts[3])?,
+            )),
             "hypercube" if parts.len() == 2 => {
                 let d = int(parts[1])? as u32;
                 if !(1..=5).contains(&d) {
-                    return Err(CliError("hypercube dim must be 1..=5 on 6-port routers".into()));
+                    return Err(CliError(
+                        "hypercube dim must be 1..=5 on 6-port routers".into(),
+                    ));
                 }
                 Ok(System::hypercube(d, 6))
             }
@@ -138,7 +241,9 @@ impl TopoSpec {
             "cluster" if parts.len() == 2 => {
                 let m = int(parts[1])?;
                 if !(1..=6).contains(&m) {
-                    return Err(CliError("cluster size must be 1..=6 on 6-port routers".into()));
+                    return Err(CliError(
+                        "cluster size must be 1..=6 on 6-port routers".into(),
+                    ));
                 }
                 Ok(System::cluster(m))
             }
@@ -179,21 +284,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut spec = None;
             let mut load = 0.2f64;
             let mut cycles = 20_000u64;
+            let mut faults = FaultOpts::default();
             let mut it = it.peekable();
             while let Some(a) = it.next() {
+                macro_rules! val {
+                    ($flag:literal) => {
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError(concat!($flag, " needs a number").into()))?
+                    };
+                }
                 match a.as_str() {
-                    "--load" => {
-                        load = it
-                            .next()
-                            .and_then(|v| v.parse().ok())
-                            .ok_or_else(|| CliError("--load needs a number".into()))?;
-                    }
-                    "--cycles" => {
-                        cycles = it
-                            .next()
-                            .and_then(|v| v.parse().ok())
-                            .ok_or_else(|| CliError("--cycles needs an integer".into()))?;
-                    }
+                    "--load" => load = val!("--load"),
+                    "--cycles" => cycles = val!("--cycles"),
+                    "--kill-link" => faults.kill_links.push(val!("--kill-link")),
+                    "--kill-router" => faults.kill_routers.push(val!("--kill-router")),
+                    "--fault-at" => faults.fault_at = val!("--fault-at"),
+                    "--repair-at" => faults.repair_at = Some(val!("--repair-at")),
+                    "--ack-timeout" => faults.ack_timeout = val!("--ack-timeout"),
+                    "--max-retries" => faults.max_retries = val!("--max-retries"),
+                    "--backoff-base" => faults.backoff_base = val!("--backoff-base"),
+                    "--jitter-seed" => faults.jitter_seed = val!("--jitter-seed"),
+                    "--heal" => faults.heal = true,
                     other if spec.is_none() => spec = Some(TopoSpec(other.to_string())),
                     other => return Err(CliError(format!("unexpected argument '{other}'"))),
                 }
@@ -201,9 +313,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let spec =
                 spec.ok_or_else(|| CliError(format!("simulate needs a topology\n\n{USAGE}")))?;
             if !(0.0..=1.0).contains(&load) {
-                return Err(CliError("--load must be within 0..=1 flits/node/cycle".into()));
+                return Err(CliError(
+                    "--load must be within 0..=1 flits/node/cycle".into(),
+                ));
             }
-            Ok(Command::Simulate { spec, load, cycles })
+            Ok(Command::Simulate {
+                spec,
+                load,
+                cycles,
+                faults,
+            })
         }
         Some("plan") => {
             let mut cpus = None;
@@ -251,34 +370,52 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             } else {
                 viz::to_dot(
                     sys.net(),
-                    &viz::DotOptions { name: sys.name(), ..viz::DotOptions::default() },
+                    &viz::DotOptions {
+                        name: sys.name(),
+                        ..viz::DotOptions::default()
+                    },
                 )
             };
             out.push_str(&dot);
         }
-        Command::Simulate { spec, load, cycles } => {
+        Command::Simulate {
+            spec,
+            load,
+            cycles,
+            faults,
+        } => {
             let sys = spec.build()?;
             let report = sys.analyze();
+            let events = faults.events(&sys)?;
+            let injecting = !events.is_empty();
             let cfg = SimConfig {
                 packet_flits: 16,
                 max_cycles: cycles,
                 stall_threshold: (cycles / 4).max(100),
                 warmup_cycles: cycles / 10,
+                retry: faults.retry(),
                 ..SimConfig::default()
+            }
+            .with_faults(events);
+            let workload = Workload::Bernoulli {
+                injection_rate: load,
+                pattern: DstPattern::Uniform,
+                until_cycle: cycles * 3 / 4,
             };
-            let res = sys.simulate(
-                Workload::Bernoulli {
-                    injection_rate: load,
-                    pattern: DstPattern::Uniform,
-                    until_cycle: cycles * 3 / 4,
-                },
-                cfg,
-            );
+            let res = if faults.heal {
+                sys.simulate_healing(workload, cfg)
+            } else {
+                sys.simulate(workload, cfg)
+            };
             out.push_str(&format!("{report}\n"));
             out.push_str(&format!(
                 "simulated {} cycles at load {load}: {}/{} packets delivered, \
                  avg latency {:.1} cy, p95 {} cy, throughput {:.3} flits/node/cy\n",
-                res.cycles, res.delivered, res.generated, res.avg_latency, res.p95_latency,
+                res.cycles,
+                res.delivered,
+                res.generated,
+                res.avg_latency,
+                res.p95_latency,
                 res.throughput
             ));
             match res.deadlock {
@@ -290,9 +427,35 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 )),
                 None => out.push_str("no deadlock\n"),
             }
+            if injecting {
+                let r = &res.recovery;
+                out.push_str(&format!(
+                    "faults: {} applied, {} worms dropped, {} retries, {} abandoned, \
+                     {} repaired tables installed\n",
+                    r.faults_applied,
+                    r.dropped_worms,
+                    r.retries,
+                    r.abandoned.len(),
+                    r.repairs_installed
+                ));
+                match r.time_to_recover {
+                    Some(t) => out.push_str(&format!(
+                        "recovered in {t} cycles; post-fault delivery {:.1}%\n",
+                        100.0 * r.post_fault_delivery_ratio()
+                    )),
+                    None => out.push_str(&format!(
+                        "post-fault delivery {:.1}%\n",
+                        100.0 * r.post_fault_delivery_ratio()
+                    )),
+                }
+            }
         }
         Command::Plan { cpus, bisection } => {
-            let options = plan(Requirement { cpus, min_bisection_links: bisection, fanout: true });
+            let options = plan(Requirement {
+                cpus,
+                min_bisection_links: bisection,
+                fanout: true,
+            });
             if options.is_empty() {
                 out.push_str("no fractahedral configuration satisfies the requirement\n");
             }
@@ -341,8 +504,36 @@ mod tests {
         let cmd = parse(&argv("simulate ring:4 --load 0.5 --cycles 1000")).unwrap();
         assert_eq!(
             cmd,
-            Command::Simulate { spec: TopoSpec("ring:4".into()), load: 0.5, cycles: 1000 }
+            Command::Simulate {
+                spec: TopoSpec("ring:4".into()),
+                load: 0.5,
+                cycles: 1000,
+                faults: FaultOpts::default(),
+            }
         );
+    }
+
+    #[test]
+    fn parse_simulate_fault_flags() {
+        let cmd = parse(&argv(
+            "simulate fat-fractahedron:1 --kill-link 3 --kill-link 9 --kill-router 2 \
+             --fault-at 500 --repair-at 900 --heal --ack-timeout 32 --max-retries 6 \
+             --backoff-base 8 --jitter-seed 7",
+        ))
+        .unwrap();
+        let Command::Simulate { faults, .. } = cmd else {
+            panic!("not simulate: {cmd:?}")
+        };
+        assert_eq!(faults.kill_links, vec![3, 9]);
+        assert_eq!(faults.kill_routers, vec![2]);
+        assert_eq!(faults.fault_at, 500);
+        assert_eq!(faults.repair_at, Some(900));
+        assert!(faults.heal);
+        assert_eq!(faults.ack_timeout, 32);
+        assert_eq!(faults.max_retries, 6);
+        assert_eq!(faults.backoff_base, 8);
+        assert_eq!(faults.jitter_seed, 7);
+        assert!(parse(&argv("simulate ring:4 --kill-link nope")).is_err());
     }
 
     #[test]
@@ -398,8 +589,7 @@ mod tests {
 
     #[test]
     fn run_analyze_produces_report_lines() {
-        let out =
-            run(Command::Analyze(vec![TopoSpec("tetrahedron".into())])).unwrap();
+        let out = run(Command::Analyze(vec![TopoSpec("tetrahedron".into())])).unwrap();
         assert!(out.contains("4 routers"));
         assert!(out.contains("deadlock-free"));
     }
@@ -421,6 +611,7 @@ mod tests {
             spec: TopoSpec("ring:4".into()),
             load: 0.4,
             cycles: 4_000,
+            faults: FaultOpts::default(),
         })
         .unwrap();
         // Minimal ring routing is deadlock-prone; at this load the Fig 1
@@ -429,11 +620,57 @@ mod tests {
     }
 
     #[test]
+    fn run_simulate_with_fault_reports_recovery() {
+        let faults = FaultOpts {
+            kill_links: vec![0],
+            fault_at: 1_000,
+            heal: true,
+            ..FaultOpts::default()
+        };
+        let out = run(Command::Simulate {
+            spec: TopoSpec("fat-fractahedron:1".into()),
+            load: 0.1,
+            cycles: 6_000,
+            faults,
+        })
+        .unwrap();
+        assert!(out.contains("faults: 1 applied"), "{out}");
+        assert!(out.contains("post-fault delivery"), "{out}");
+    }
+
+    #[test]
+    fn run_simulate_rejects_out_of_range_components() {
+        for (links, routers) in [(vec![100_000], vec![]), (vec![], vec![100_000])] {
+            let faults = FaultOpts {
+                kill_links: links,
+                kill_routers: routers,
+                ..FaultOpts::default()
+            };
+            let err = run(Command::Simulate {
+                spec: TopoSpec("ring:4".into()),
+                load: 0.1,
+                cycles: 1_000,
+                faults,
+            })
+            .unwrap_err();
+            assert!(err.0.contains("out of range"), "{err}");
+        }
+    }
+
+    #[test]
     fn run_plan_lists_options() {
-        let out = run(Command::Plan { cpus: 128, bisection: 1 }).unwrap();
+        let out = run(Command::Plan {
+            cpus: 128,
+            bisection: 1,
+        })
+        .unwrap();
         assert!(out.contains("Thin N2"));
         assert!(out.contains("Fat N2"));
-        let none = run(Command::Plan { cpus: 128, bisection: 100_000 }).unwrap();
+        let none = run(Command::Plan {
+            cpus: 128,
+            bisection: 100_000,
+        })
+        .unwrap();
         assert!(none.contains("no fractahedral configuration"));
     }
 

@@ -50,9 +50,9 @@ pub use fractanet_servernet as servernet;
 pub use fractanet_sim as sim;
 pub use fractanet_topo as topo;
 
-mod system;
 pub mod cli;
 pub mod sizing;
+mod system;
 
 pub use system::{AnalysisReport, System};
 
@@ -63,7 +63,12 @@ pub mod prelude {
     pub use fractanet_graph::{ChannelId, LinkClass, Network, NodeId, PortId};
     pub use fractanet_metrics::{bisection_estimate, max_link_contention, HopStats};
     pub use fractanet_route::{RouteSet, Routes};
-    pub use fractanet_sim::{DstPattern, Engine, SimConfig, Workload};
+    pub use fractanet_servernet::{
+        heal, healing_repairer, run_with_failover, FabricSim, FailoverOutcome, FaultSet, HealReport,
+    };
+    pub use fractanet_sim::{
+        DstPattern, Engine, FaultEvent, FaultKind, RetryPolicy, SimConfig, Workload,
+    };
     pub use fractanet_topo::{
         FatTree, Fractahedron, FullyConnectedCluster, Hypercube, Mesh2D, Ring, Topology, Variant,
     };

@@ -72,7 +72,9 @@ pub fn bill(variant: Variant, levels: usize, fanout: bool) -> PlanOption {
     let n = levels as u32;
     let tetra_routers = match variant {
         Variant::Thin => 4 * (8usize.pow(n) - 1) / 7,
-        Variant::Fat => (1..=levels).map(|k| 8usize.pow(n - k as u32) * 4usize.pow(k as u32)).sum(),
+        Variant::Fat => (1..=levels)
+            .map(|k| 8usize.pow(n - k as u32) * 4usize.pow(k as u32))
+            .sum(),
     };
     let attach_points = 8usize.pow(n);
     let fanout_routers = if fanout { attach_points } else { 0 };
@@ -80,9 +82,9 @@ pub fn bill(variant: Variant, levels: usize, fanout: bool) -> PlanOption {
     // Cables: intra-tetra (6 per tetrahedron), inter-level, attach.
     let tetra_count: usize = match variant {
         Variant::Thin => (8usize.pow(n) - 1) / 7,
-        Variant::Fat => {
-            (1..=levels).map(|k| 8usize.pow(n - k as u32) * 4usize.pow(k as u32 - 1)).sum()
-        }
+        Variant::Fat => (1..=levels)
+            .map(|k| 8usize.pow(n - k as u32) * 4usize.pow(k as u32 - 1))
+            .sum(),
     };
     let intra = 6 * tetra_count;
     // Inter-level: thin = one per child stack; fat = every child up
@@ -91,9 +93,9 @@ pub fn bill(variant: Variant, levels: usize, fanout: bool) -> PlanOption {
     // k-1 subtree) has 4^(k-1) up links; 8 children per stack.
     let inter: usize = match variant {
         Variant::Thin => (2..=levels).map(|k| 8usize.pow(n - k as u32) * 8).sum(),
-        Variant::Fat => {
-            (2..=levels).map(|k| 8usize.pow(n - k as u32) * 8 * 4usize.pow(k as u32 - 1)).sum()
-        }
+        Variant::Fat => (2..=levels)
+            .map(|k| 8usize.pow(n - k as u32) * 8 * 4usize.pow(k as u32 - 1))
+            .sum(),
     };
     let attach = capacity(levels, fanout) + if fanout { attach_points } else { 0 };
 
@@ -201,7 +203,11 @@ mod tests {
 
     #[test]
     fn plan_prefers_thin_when_bandwidth_allows() {
-        let opts = plan(Requirement { cpus: 64, min_bisection_links: 1, fanout: false });
+        let opts = plan(Requirement {
+            cpus: 64,
+            min_bisection_links: 1,
+            fanout: false,
+        });
         assert_eq!(opts.len(), 2);
         assert_eq!(opts[0].variant, Variant::Thin, "thin is cheaper");
         assert!(opts[0].total_routers() < opts[1].total_routers());
@@ -209,7 +215,11 @@ mod tests {
 
     #[test]
     fn plan_filters_by_bisection() {
-        let opts = plan(Requirement { cpus: 64, min_bisection_links: 8, fanout: false });
+        let opts = plan(Requirement {
+            cpus: 64,
+            min_bisection_links: 8,
+            fanout: false,
+        });
         assert_eq!(opts.len(), 1);
         assert_eq!(opts[0].variant, Variant::Fat);
         assert_eq!(opts[0].bisection, 16);
@@ -217,7 +227,11 @@ mod tests {
 
     #[test]
     fn plan_scales_to_1024_cpus() {
-        let opts = plan(Requirement { cpus: 1024, min_bisection_links: 1, fanout: true });
+        let opts = plan(Requirement {
+            cpus: 1024,
+            min_bisection_links: 1,
+            fanout: true,
+        });
         assert!(!opts.is_empty());
         assert_eq!(opts[0].levels, 3);
         assert_eq!(opts[0].capacity, 1024);
@@ -230,7 +244,11 @@ mod tests {
 
     #[test]
     fn unsatisfiable_returns_empty() {
-        let opts = plan(Requirement { cpus: 64, min_bisection_links: 1000, fanout: false });
+        let opts = plan(Requirement {
+            cpus: 64,
+            min_bisection_links: 1000,
+            fanout: false,
+        });
         assert!(opts.is_empty());
     }
 

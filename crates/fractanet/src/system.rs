@@ -94,7 +94,11 @@ impl std::fmt::Display for AnalysisReport {
             self.worst_contention,
             self.local_contention,
             self.bisection_links,
-            if self.deadlock_free { "deadlock-free" } else { "CAN DEADLOCK" }
+            if self.deadlock_free {
+                "deadlock-free"
+            } else {
+                "CAN DEADLOCK"
+            }
         )
     }
 }
@@ -113,7 +117,11 @@ impl System {
         let topo = built.topo();
         let routeset = RouteSet::from_table(topo.net(), topo.end_nodes(), &routes)
             .expect("canonical routing must cover all pairs");
-        System { built, routes, routeset }
+        System {
+            built,
+            routes,
+            routeset,
+        }
     }
 
     /// N-level fat fractahedron with direct-attached nodes
@@ -139,25 +147,33 @@ impl System {
 
     /// A fully-connected cluster of `m` 6-port routers (Fig 3).
     pub fn cluster(m: usize) -> Self {
-        Self::new(Built::Cluster(FullyConnectedCluster::new(m, 6).expect("m <= 6")))
+        Self::new(Built::Cluster(
+            FullyConnectedCluster::new(m, 6).expect("m <= 6"),
+        ))
     }
 
     /// `cols × rows` mesh with 2 nodes per 6-port router and X-then-Y
     /// dimension-order routing (§3.1).
     pub fn mesh(cols: usize, rows: usize) -> Self {
-        Self::new(Built::Mesh(Mesh2D::new(cols, rows, 2, 6).expect("valid mesh")))
+        Self::new(Built::Mesh(
+            Mesh2D::new(cols, rows, 2, 6).expect("valid mesh"),
+        ))
     }
 
     /// `(down, up)` fat tree over `nodes` end nodes with the Fig 6
     /// leaf-router partitioning (§3.3).
     pub fn fat_tree(nodes: usize, down: usize, up: usize) -> Self {
-        Self::new(Built::FatTree(FatTree::new(nodes, down, up, 6).expect("valid fat tree")))
+        Self::new(Built::FatTree(
+            FatTree::new(nodes, down, up, 6).expect("valid fat tree"),
+        ))
     }
 
     /// `dim`-cube with one node per corner and e-cube routing (§3.2).
     /// Needs `dim + 1` ports, so 6-port routers cap out at `dim = 5`.
     pub fn hypercube(dim: u32, router_ports: u8) -> Self {
-        Self::new(Built::Hypercube(Hypercube::new(dim, 1, router_ports).expect("valid cube")))
+        Self::new(Built::Hypercube(
+            Hypercube::new(dim, 1, router_ports).expect("valid cube"),
+        ))
     }
 
     /// Ring of `n` routers, one node each, minimal routing (§2; note
@@ -169,7 +185,9 @@ impl System {
 
     /// Complete binary tree of `depth` router levels (§2 background).
     pub fn binary_tree(depth: u32, nodes_per_leaf: usize) -> Self {
-        Self::new(Built::BinaryTree(BinaryTree::new(depth, nodes_per_leaf, 6).expect("valid tree")))
+        Self::new(Built::BinaryTree(
+            BinaryTree::new(depth, nodes_per_leaf, 6).expect("valid tree"),
+        ))
     }
 
     /// The underlying network.
@@ -209,7 +227,10 @@ impl System {
         let net = self.net();
         let hops = HopStats::routed(&self.routeset).expect("≥ 2 nodes");
         let cont = max_link_contention(net, &self.routeset);
-        let local = cont.worst_in_class(net, LinkClass::Local).map(|(k, _)| k).unwrap_or(0);
+        let local = cont
+            .worst_in_class(net, LinkClass::Local)
+            .map(|(k, _)| k)
+            .unwrap_or(0);
         let bis = bisection_estimate(net, self.end_nodes(), 4);
         let deadlock_free = verify_deadlock_free(net, &self.routeset).is_ok();
         AnalysisReport {
@@ -229,6 +250,19 @@ impl System {
     /// Simulates a workload on this system.
     pub fn simulate(&self, workload: Workload, cfg: SimConfig) -> SimResult {
         Engine::new(self.net(), &self.routeset, cfg).run(workload)
+    }
+
+    /// Simulates a workload with certified self-healing enabled: on
+    /// each permanent fault in `cfg`'s schedule, routing tables are
+    /// regenerated around the dead components, verified deadlock-free
+    /// (Dally & Seitz), and installed mid-run.
+    pub fn simulate_healing(&self, workload: Workload, cfg: SimConfig) -> SimResult {
+        Engine::new(self.net(), &self.routeset, cfg)
+            .with_repairer(fractanet_servernet::healing_repairer(
+                self.net(),
+                self.end_nodes(),
+            ))
+            .run(workload)
     }
 }
 
@@ -286,7 +320,9 @@ mod tests {
     #[test]
     fn simulation_through_the_facade() {
         let sys = System::fat_fractahedron(1);
-        let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(5_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(8)
+            .with_max_cycles(5_000);
         let res = sys.simulate(
             Workload::Bernoulli {
                 injection_rate: 0.1,

@@ -41,7 +41,9 @@ impl SccResult {
 impl AdjList {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        AdjList { edges: vec![Vec::new(); n] }
+        AdjList {
+            edges: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.
@@ -207,8 +209,7 @@ impl AdjList {
                 indeg[v as usize] += 1;
             }
         }
-        let mut queue: Vec<u32> =
-            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop() {
             order.push(v);

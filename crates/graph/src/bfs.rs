@@ -153,7 +153,8 @@ mod tests {
         let a = net.add_end_node("a");
         let b = net.add_end_node("b");
         net.connect_any(routers[0], a, LinkClass::Attach).unwrap();
-        net.connect_any(routers[n - 1], b, LinkClass::Attach).unwrap();
+        net.connect_any(routers[n - 1], b, LinkClass::Attach)
+            .unwrap();
         (net, a, b)
     }
 

@@ -13,7 +13,11 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// `n` singleton sets `0..n`.
     pub fn new(n: usize) -> Self {
-        DisjointSets { parent: (0..n as u32).collect(), size: vec![1; n], sets: n }
+        DisjointSets {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
     }
 
     /// Representative of `x`'s set.

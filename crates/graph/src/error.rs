@@ -48,7 +48,11 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::PortOutOfRange { node, port, capacity } => write!(
+            GraphError::PortOutOfRange {
+                node,
+                port,
+                capacity,
+            } => write!(
                 f,
                 "port {port:?} out of range on {node} (router has {capacity} ports)"
             ),

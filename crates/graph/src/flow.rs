@@ -21,7 +21,12 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates an instance with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { n, to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+        FlowNetwork {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
     }
 
     /// Number of vertices.

@@ -25,7 +25,11 @@ impl Bipartite {
     /// Creates an empty bipartite graph with `nl` left and `nr` right
     /// vertices.
     pub fn new(nl: usize, nr: usize) -> Self {
-        Bipartite { nl, nr, adj: vec![Vec::new(); nl] }
+        Bipartite {
+            nl,
+            nr,
+            adj: vec![Vec::new(); nl],
+        }
     }
 
     /// Adds the edge `left l` — `right r`.
@@ -92,7 +96,13 @@ impl Bipartite {
             .collect()
     }
 
-    fn try_augment(&self, l: u32, match_l: &mut [u32], match_r: &mut [u32], dist: &mut [u32]) -> bool {
+    fn try_augment(
+        &self,
+        l: u32,
+        match_l: &mut [u32],
+        match_r: &mut [u32],
+        dist: &mut [u32],
+    ) -> bool {
         const NIL: u32 = u32::MAX;
         for &r in &self.adj[l as usize] {
             let next = match_r[r as usize];
@@ -164,7 +174,11 @@ mod tests {
 
     #[test]
     fn matching_pairs_are_consistent() {
-        let b = bip(4, 4, &[(0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)]);
+        let b = bip(
+            4,
+            4,
+            &[(0, 1), (1, 1), (1, 2), (2, 2), (2, 3), (3, 3), (3, 0)],
+        );
         let pairs = b.max_matching_pairs();
         assert_eq!(pairs.len(), 4);
         let mut ls: Vec<u32> = pairs.iter().map(|p| p.0).collect();

@@ -121,7 +121,10 @@ impl Network {
 
     /// Adds a router with `ports` ports. Returns its id.
     pub fn add_router(&mut self, label: impl Into<String>, ports: u8) -> NodeId {
-        self.push_node(NodeInfo { kind: NodeKind::Router { ports }, label: label.into() })
+        self.push_node(NodeInfo {
+            kind: NodeKind::Router { ports },
+            label: label.into(),
+        })
     }
 
     /// Adds a single-ported end node (CPU or I/O adapter). Returns its id.
@@ -132,7 +135,10 @@ impl Network {
     /// Adds an end node with `ports` network attachments (2 for the
     /// dual-ported nodes of a paired fabric).
     pub fn add_end_node_with_ports(&mut self, label: impl Into<String>, ports: u8) -> NodeId {
-        self.push_node(NodeInfo { kind: NodeKind::EndNode { ports }, label: label.into() })
+        self.push_node(NodeInfo {
+            kind: NodeKind::EndNode { ports },
+            label: label.into(),
+        })
     }
 
     fn push_node(&mut self, info: NodeInfo) -> NodeId {
@@ -159,7 +165,11 @@ impl Network {
             return Err(GraphError::SelfLoop { node: a });
         }
         let id = LinkId(self.links.len() as u32);
-        self.links.push(LinkInfo { a: (a, pa), b: (b, pb), class });
+        self.links.push(LinkInfo {
+            a: (a, pa),
+            b: (b, pb),
+            class,
+        });
         self.ports[a.index()][pa.index()] = Some(id);
         self.ports[b.index()][pb.index()] = Some(id);
         self.adj[a.index()].push((ChannelId::new(id, Direction::Forward), b));
@@ -169,7 +179,12 @@ impl Network {
 
     /// Cables `a` to `b` using the lowest-numbered free port on each
     /// side. Fails if either vertex has no free port.
-    pub fn connect_any(&mut self, a: NodeId, b: NodeId, class: LinkClass) -> Result<LinkId, GraphError> {
+    pub fn connect_any(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        class: LinkClass,
+    ) -> Result<LinkId, GraphError> {
         let pa = self.first_free_port(a)?;
         let pb = self.first_free_port(b)?;
         self.connect(a, pa, b, pb, class)
@@ -179,7 +194,11 @@ impl Network {
         let info = self.node_checked(node)?;
         let cap = info.kind.ports();
         if port.0 >= cap {
-            return Err(GraphError::PortOutOfRange { node, port, capacity: cap });
+            return Err(GraphError::PortOutOfRange {
+                node,
+                port,
+                capacity: cap,
+            });
         }
         if self.ports[node.index()][port.index()].is_some() {
             if info.kind.is_router() {
@@ -191,7 +210,9 @@ impl Network {
     }
 
     fn node_checked(&self, node: NodeId) -> Result<&NodeInfo, GraphError> {
-        self.nodes.get(node.index()).ok_or(GraphError::NoSuchNode { node })
+        self.nodes
+            .get(node.index())
+            .ok_or(GraphError::NoSuchNode { node })
     }
 
     /// Lowest-numbered free port of `node`, or an error if all ports are
@@ -205,7 +226,10 @@ impl Network {
         }
         // Reuse PortInUse/EndNodeInUse shapes for "no free port".
         if info.kind.is_router() {
-            Err(GraphError::PortInUse { node, port: PortId(info.kind.ports().saturating_sub(1)) })
+            Err(GraphError::PortInUse {
+                node,
+                port: PortId(info.kind.ports().saturating_sub(1)),
+            })
         } else {
             Err(GraphError::EndNodeInUse { node })
         }
@@ -350,12 +374,18 @@ impl Network {
 
     /// Number of unoccupied ports on `node`.
     pub fn free_ports(&self, node: NodeId) -> usize {
-        self.ports[node.index()].iter().filter(|s| s.is_none()).count()
+        self.ports[node.index()]
+            .iter()
+            .filter(|s| s.is_none())
+            .count()
     }
 
     /// The cable occupying `port` of `node`, if any.
     pub fn link_at(&self, node: NodeId, port: PortId) -> Option<LinkId> {
-        self.ports[node.index()].get(port.index()).copied().flatten()
+        self.ports[node.index()]
+            .get(port.index())
+            .copied()
+            .flatten()
     }
 
     /// The outgoing channel of `node` through `port`, if a cable is
@@ -363,13 +393,20 @@ impl Network {
     pub fn channel_out(&self, node: NodeId, port: PortId) -> Option<ChannelId> {
         let link = self.link_at(node, port)?;
         let info = self.link(link);
-        let dir = if info.a == (node, port) { Direction::Forward } else { Direction::Reverse };
+        let dir = if info.a == (node, port) {
+            Direction::Forward
+        } else {
+            Direction::Reverse
+        };
         Some(ChannelId::new(link, dir))
     }
 
     /// First channel from `a` directly to `b`, if the two are cabled.
     pub fn channel_between(&self, a: NodeId, b: NodeId) -> Option<ChannelId> {
-        self.adj[a.index()].iter().find(|&&(_, n)| n == b).map(|&(ch, _)| ch)
+        self.adj[a.index()]
+            .iter()
+            .find(|&&(_, n)| n == b)
+            .map(|&(ch, _)| ch)
     }
 
     /// Checks internal invariants; used by property tests. Returns a
@@ -392,7 +429,10 @@ impl Network {
         for v in self.nodes() {
             let occupied = self.ports[v.index()].iter().filter(|s| s.is_some()).count();
             if occupied != self.degree(v) {
-                return Err(format!("{v}: degree {} != occupied ports {occupied}", self.degree(v)));
+                return Err(format!(
+                    "{v}: degree {} != occupied ports {occupied}",
+                    self.degree(v)
+                ));
             }
             for &(ch, far) in self.channels_from(v) {
                 if self.channel_src(ch) != v || self.channel_dst(ch) != far {
@@ -418,7 +458,9 @@ mod tests {
     #[test]
     fn connect_assigns_ports_and_channels() {
         let (mut net, a, b) = two_routers();
-        let l = net.connect(a, PortId(2), b, PortId(5), LinkClass::Local).unwrap();
+        let l = net
+            .connect(a, PortId(2), b, PortId(5), LinkClass::Local)
+            .unwrap();
         assert_eq!(net.link_count(), 1);
         assert_eq!(net.channel_count(), 2);
         let fwd = ChannelId::new(l, Direction::Forward);
@@ -435,22 +477,42 @@ mod tests {
     #[test]
     fn port_reuse_rejected() {
         let (mut net, a, b) = two_routers();
-        net.connect(a, PortId(0), b, PortId(0), LinkClass::Local).unwrap();
-        let err = net.connect(a, PortId(0), b, PortId(1), LinkClass::Local).unwrap_err();
-        assert_eq!(err, GraphError::PortInUse { node: a, port: PortId(0) });
+        net.connect(a, PortId(0), b, PortId(0), LinkClass::Local)
+            .unwrap();
+        let err = net
+            .connect(a, PortId(0), b, PortId(1), LinkClass::Local)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::PortInUse {
+                node: a,
+                port: PortId(0)
+            }
+        );
     }
 
     #[test]
     fn port_out_of_range_rejected() {
         let (mut net, a, b) = two_routers();
-        let err = net.connect(a, PortId(6), b, PortId(0), LinkClass::Local).unwrap_err();
-        assert_eq!(err, GraphError::PortOutOfRange { node: a, port: PortId(6), capacity: 6 });
+        let err = net
+            .connect(a, PortId(6), b, PortId(0), LinkClass::Local)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::PortOutOfRange {
+                node: a,
+                port: PortId(6),
+                capacity: 6
+            }
+        );
     }
 
     #[test]
     fn self_loop_rejected() {
         let (mut net, a, _) = two_routers();
-        let err = net.connect(a, PortId(0), a, PortId(1), LinkClass::Local).unwrap_err();
+        let err = net
+            .connect(a, PortId(0), a, PortId(1), LinkClass::Local)
+            .unwrap_err();
         assert_eq!(err, GraphError::SelfLoop { node: a });
     }
 
@@ -500,7 +562,8 @@ mod tests {
     #[test]
     fn channel_out_matches_port() {
         let (mut net, a, b) = two_routers();
-        net.connect(a, PortId(3), b, PortId(1), LinkClass::Local).unwrap();
+        net.connect(a, PortId(3), b, PortId(1), LinkClass::Local)
+            .unwrap();
         let ch = net.channel_out(a, PortId(3)).unwrap();
         assert_eq!(net.channel_dst(ch), b);
         assert!(net.channel_out(a, PortId(0)).is_none());

@@ -22,7 +22,11 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { name: "fractanet".into(), show_end_nodes: true, show_link_ids: false }
+        DotOptions {
+            name: "fractanet".into(),
+            show_end_nodes: true,
+            show_link_ids: false,
+        }
     }
 }
 
@@ -48,9 +52,7 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
     }
     for l in net.links() {
         let info = net.link(l);
-        if !opts.show_end_nodes
-            && (!net.is_router(info.a.0) || !net.is_router(info.b.0))
-        {
+        if !opts.show_end_nodes && (!net.is_router(info.a.0) || !net.is_router(info.b.0)) {
             continue;
         }
         let (color, extra) = match info.class {
@@ -58,7 +60,11 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
             LinkClass::Local => ("black", String::new()),
             LinkClass::Level(k) => ("blue", format!(", label=\"L{k}\"")),
         };
-        let id = if opts.show_link_ids { format!(", xlabel=\"{}\"", l.index()) } else { String::new() };
+        let id = if opts.show_link_ids {
+            format!(", xlabel=\"{}\"", l.index())
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
             "  n{} -- n{} [color={color}{extra}{id}];",
@@ -77,7 +83,14 @@ pub fn to_dot_default(net: &Network) -> String {
 
 /// Renders only the router fabric (end nodes hidden).
 pub fn routers_only_dot(net: &Network, name: &str) -> String {
-    to_dot(net, &DotOptions { name: name.into(), show_end_nodes: false, show_link_ids: false })
+    to_dot(
+        net,
+        &DotOptions {
+            name: name.into(),
+            show_end_nodes: false,
+            show_link_ids: false,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -89,10 +102,13 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_router("A", 6);
         let b = net.add_router("B", 6);
-        net.connect(a, PortId(0), b, PortId(0), LinkClass::Local).unwrap();
-        net.connect(a, PortId(5), b, PortId(5), LinkClass::Level(1)).unwrap();
+        net.connect(a, PortId(0), b, PortId(0), LinkClass::Local)
+            .unwrap();
+        net.connect(a, PortId(5), b, PortId(5), LinkClass::Level(1))
+            .unwrap();
         let e = net.add_end_node("cpu");
-        net.connect(a, PortId(1), e, PortId(0), LinkClass::Attach).unwrap();
+        net.connect(a, PortId(1), e, PortId(0), LinkClass::Attach)
+            .unwrap();
         net
     }
 
@@ -123,7 +139,10 @@ mod tests {
     #[test]
     fn link_ids_optional() {
         let net = sample();
-        let opts = DotOptions { show_link_ids: true, ..DotOptions::default() };
+        let opts = DotOptions {
+            show_link_ids: true,
+            ..DotOptions::default()
+        };
         let dot = to_dot(&net, &opts);
         assert!(dot.contains("xlabel=\"0\""));
     }

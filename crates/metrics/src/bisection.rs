@@ -47,8 +47,10 @@ pub fn min_cut_links(net: &Network, a: &[NodeId], b: &[NodeId]) -> u64 {
 fn cut_of_partition(net: &Network, ends: &[NodeId], half_a: &[usize]) -> u64 {
     let in_a: std::collections::HashSet<usize> = half_a.iter().copied().collect();
     let a: Vec<NodeId> = half_a.iter().map(|&i| ends[i]).collect();
-    let b: Vec<NodeId> =
-        (0..ends.len()).filter(|i| !in_a.contains(i)).map(|i| ends[i]).collect();
+    let b: Vec<NodeId> = (0..ends.len())
+        .filter(|i| !in_a.contains(i))
+        .map(|i| ends[i])
+        .collect();
     min_cut_links(net, &a, &b)
 }
 
@@ -89,7 +91,11 @@ pub fn bisection_estimate(net: &Network, ends: &[NodeId], random_trials: usize) 
         results.push((name, links));
     }
     let (links, partition) = best.expect("at least one candidate");
-    BisectionReport { links, partition, candidates: results }
+    BisectionReport {
+        links,
+        partition,
+        candidates: results,
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +185,9 @@ mod tests {
         assert!(rep.candidates.len() >= 4);
         assert!(rep.candidates.iter().any(|(n, _)| n == &rep.partition));
         // The reported value is the minimum of all candidates.
-        assert_eq!(rep.links, rep.candidates.iter().map(|&(_, l)| l).min().unwrap());
+        assert_eq!(
+            rep.links,
+            rep.candidates.iter().map(|&(_, l)| l).min().unwrap()
+        );
     }
 }

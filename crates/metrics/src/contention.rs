@@ -74,7 +74,11 @@ pub fn max_link_contention(net: &Network, routes: &RouteSet) -> ContentionReport
             worst_channel = ChannelId(idx as u32);
         }
     }
-    ContentionReport { worst, worst_channel, per_channel }
+    ContentionReport {
+        worst,
+        worst_channel,
+        per_channel,
+    }
 }
 
 /// Contention of one channel plus a witness transfer set
@@ -97,7 +101,13 @@ pub fn contention_of_channel(
         b.add_edge(s, d);
     }
     let pairs = b.max_matching_pairs();
-    (pairs.len(), pairs.iter().map(|&(s, d)| (s as usize, d as usize)).collect())
+    (
+        pairs.len(),
+        pairs
+            .iter()
+            .map(|&(s, d)| (s as usize, d as usize))
+            .collect(),
+    )
 }
 
 /// Contention for a *restricted* traffic pattern: only the listed
@@ -162,8 +172,7 @@ mod tests {
         // 3:1, 2:1, 1:1 on the inter-router links.
         for (m, want) in [(2usize, 5usize), (3, 4), (4, 3), (5, 2), (6, 1)] {
             let c = FullyConnectedCluster::new(m, 6).unwrap();
-            let rs =
-                RouteSet::from_table(c.net(), c.end_nodes(), &cluster_routes(&c)).unwrap();
+            let rs = RouteSet::from_table(c.net(), c.end_nodes(), &cluster_routes(&c)).unwrap();
             let rep = max_link_contention(c.net(), &rs);
             let (inter, _) = rep.worst_in_class(c.net(), LinkClass::Local).unwrap();
             assert_eq!(inter, want, "m = {m}");
@@ -190,12 +199,8 @@ mod tests {
         // destinations evenly (ByLeafRouter, ByNodeModulo).
         let ft = FatTree::paper_4_2_64();
         for policy in [UpPolicy::ByLeafRouter, UpPolicy::ByNodeModulo] {
-            let rs = RouteSet::from_table(
-                ft.net(),
-                ft.end_nodes(),
-                &fattree_routes(&ft, policy),
-            )
-            .unwrap();
+            let rs = RouteSet::from_table(ft.net(), ft.end_nodes(), &fattree_routes(&ft, policy))
+                .unwrap();
             let rep = max_link_contention(ft.net(), &rs);
             assert_eq!(rep.worst, 12, "{policy:?}");
         }
@@ -232,8 +237,14 @@ mod tests {
         let rep = max_link_contention(f.net(), &rs);
         let (local_worst, _) = rep.worst_in_class(f.net(), LinkClass::Local).unwrap();
         assert_eq!(local_worst, 4, "paper's 4:1 on intra-tetrahedron links");
-        assert_eq!(rep.worst, 8, "exact whole-network maximum sits on the down links");
-        assert_eq!(f.net().link(rep.worst_channel.link()).class, LinkClass::Level(1));
+        assert_eq!(
+            rep.worst, 8,
+            "exact whole-network maximum sits on the down links"
+        );
+        assert_eq!(
+            f.net().link(rep.worst_channel.link()).class,
+            LinkClass::Level(1)
+        );
     }
 
     #[test]

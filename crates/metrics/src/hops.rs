@@ -81,7 +81,12 @@ impl HopStats {
         let topo = Self::topological(net)?;
         let routed = Self::routed(routes)?;
         let t: usize = topo.histogram.iter().enumerate().map(|(h, &c)| h * c).sum();
-        let r: usize = routed.histogram.iter().enumerate().map(|(h, &c)| h * c).sum();
+        let r: usize = routed
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(h, &c)| h * c)
+            .sum();
         Some(r - t)
     }
 }

@@ -36,7 +36,11 @@ impl UtilizationReport {
 
 /// Computes utilization over channels of `class` (or every channel
 /// when `class` is `None`).
-pub fn utilization(net: &Network, routes: &RouteSet, class: Option<LinkClass>) -> UtilizationReport {
+pub fn utilization(
+    net: &Network,
+    routes: &RouteSet,
+    class: Option<LinkClass>,
+) -> UtilizationReport {
     let mut per_channel = vec![0usize; net.channel_count()];
     for (_, _, path) in routes.pairs() {
         for &ch in path {
@@ -48,13 +52,27 @@ pub fn utilization(net: &Network, routes: &RouteSet, class: Option<LinkClass>) -
         .filter(|&ch| class.is_none_or(|c| net.link(ch.link()).class == c))
         .collect();
     assert!(!considered.is_empty(), "no channels match the class filter");
-    let loads: Vec<usize> = considered.iter().map(|ch| per_channel[ch.index()]).collect();
+    let loads: Vec<usize> = considered
+        .iter()
+        .map(|ch| per_channel[ch.index()])
+        .collect();
     let min = *loads.iter().min().unwrap();
     let max = *loads.iter().max().unwrap();
     let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
-    let var = loads.iter().map(|&l| (l as f64 - mean).powi(2)).sum::<f64>() / loads.len() as f64;
+    let var = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).powi(2))
+        .sum::<f64>()
+        / loads.len() as f64;
     let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
-    UtilizationReport { per_channel, min, max, mean, cv, considered }
+    UtilizationReport {
+        per_channel,
+        min,
+        max,
+        mean,
+        cv,
+        considered,
+    }
 }
 
 #[cfg(test)]

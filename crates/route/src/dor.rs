@@ -92,9 +92,15 @@ mod tests {
         // Route (0,0) -> (3,3): the intermediate routers must be
         // (1,0), (2,0), (3,0), (3,1), (3,2).
         let p = rs.path(0, 15);
-        let routers: Vec<_> =
-            p.iter().skip(1).map(|&c| m.coords_of(m.net().channel_src(c)).unwrap()).collect();
-        assert_eq!(routers, vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)]);
+        let routers: Vec<_> = p
+            .iter()
+            .skip(1)
+            .map(|&c| m.coords_of(m.net().channel_src(c)).unwrap())
+            .collect();
+        assert_eq!(
+            routers,
+            vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2), (3, 3)]
+        );
     }
 
     #[test]
@@ -102,9 +108,15 @@ mod tests {
         let m = Mesh2D::new(4, 4, 1, 6).unwrap();
         let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_yx_routes(&m)).unwrap();
         let p = rs.path(0, 15);
-        let routers: Vec<_> =
-            p.iter().skip(1).map(|&c| m.coords_of(m.net().channel_src(c)).unwrap()).collect();
-        assert_eq!(routers, vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (2, 3), (3, 3)]);
+        let routers: Vec<_> = p
+            .iter()
+            .skip(1)
+            .map(|&c| m.coords_of(m.net().channel_src(c)).unwrap())
+            .collect();
+        assert_eq!(
+            routers,
+            vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (2, 3), (3, 3)]
+        );
     }
 
     #[test]
@@ -120,8 +132,11 @@ mod tests {
         let rs = RouteSet::from_table(h.net(), h.end_nodes(), &ecube_routes(&h)).unwrap();
         // 000 -> 111 passes 001 then 011.
         let p = rs.path(0, 7);
-        let labels: Vec<_> =
-            p.iter().skip(1).map(|&c| h.label_of(h.net().channel_src(c)).unwrap()).collect();
+        let labels: Vec<_> = p
+            .iter()
+            .skip(1)
+            .map(|&c| h.label_of(h.net().channel_src(c)).unwrap())
+            .collect();
         assert_eq!(labels, vec![0b000, 0b001, 0b011, 0b111]);
     }
 

@@ -79,11 +79,15 @@ mod tests {
     #[test]
     fn paper_4_2_routes_minimal_all_policies() {
         let ft = FatTree::paper_4_2_64();
-        for policy in [UpPolicy::ByLeafRouter, UpPolicy::ByNodeModulo, UpPolicy::ByGroup] {
+        for policy in [
+            UpPolicy::ByLeafRouter,
+            UpPolicy::ByNodeModulo,
+            UpPolicy::ByGroup,
+        ] {
             let rs = routed(&ft, policy);
             for (s, d, p) in rs.pairs() {
-                let want = bfs::router_hops(ft.net(), ft.end_nodes()[s], ft.end_nodes()[d])
-                    .unwrap() as usize;
+                let want = bfs::router_hops(ft.net(), ft.end_nodes()[s], ft.end_nodes()[d]).unwrap()
+                    as usize;
                 assert_eq!(p.len() - 1, want, "{policy:?} {s}->{d}");
             }
         }
@@ -98,7 +102,11 @@ mod tests {
     #[test]
     fn paper_3_3_average_hops_is_5_9() {
         let rs = routed(&FatTree::paper_3_3_64(), UpPolicy::ByLeafRouter);
-        assert!((rs.avg_router_hops() - 5.9).abs() < 0.1, "avg = {}", rs.avg_router_hops());
+        assert!(
+            (rs.avg_router_hops() - 5.9).abs() < 0.1,
+            "avg = {}",
+            rs.avg_router_hops()
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
                 bfs::router_hops(f.net(), f.end_nodes()[s], f.end_nodes()[d]).unwrap() as usize;
             assert_eq!(p.len() - 1, want, "{s}->{d}");
         }
-        assert!((rs.avg_router_hops() - 271.0 / 63.0).abs() < 1e-9, "Table 2: 4.3 average");
+        assert!(
+            (rs.avg_router_hops() - 271.0 / 63.0).abs() < 1e-9,
+            "Table 2: 4.3 average"
+        );
         assert_eq!(rs.max_router_hops(), 5, "Table 1: 3N-1");
     }
 
@@ -187,7 +190,13 @@ mod tests {
         let f = Fractahedron::paper_thin_1024();
         let routes = fractal_routes(&f);
         // Spot-check a handful of pairs rather than tracing all 1024².
-        for (s, d) in [(0usize, 1023usize), (124, 1023), (5, 4), (512, 17), (1000, 3)] {
+        for (s, d) in [
+            (0usize, 1023usize),
+            (124, 1023),
+            (5, 4),
+            (512, 17),
+            (1000, 3),
+        ] {
             let p = routes.trace(f.net(), f.end_nodes(), s, d).unwrap();
             assert_eq!(f.net().channel_dst(*p.last().unwrap()), f.end_nodes()[d]);
             let want =

@@ -38,7 +38,11 @@ pub fn genfracta_routes(g: &GenFractahedron) -> Routes {
         }
         let c = g.child_digit(t, k);
         let jc = c / shape.down;
-        Some(if cr == jc { PortId((c % shape.down) as u8) } else { shape.intra_port(cr, jc) })
+        Some(if cr == jc {
+            PortId((c % shape.down) as u8)
+        } else {
+            shape.intra_port(cr, jc)
+        })
     })
 }
 
@@ -62,18 +66,26 @@ mod tests {
                 bfs::router_hops(g.net(), g.end_nodes()[s], g.end_nodes()[d]).unwrap() as usize;
             assert_eq!(p.len() - 1, want, "{s}->{d}");
         }
-        assert!((rs.avg_router_hops() - 271.0 / 63.0).abs() < 1e-9, "Table 2's 4.3 reproduced");
+        assert!(
+            (rs.avg_router_hops() - 271.0 / 63.0).abs() < 1e-9,
+            "Table 2's 4.3 reproduced"
+        );
     }
 
     #[test]
     fn triangle_shape_routes_minimal() {
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         for fat in [true, false] {
             let g = GenFractahedron::new(shape, 2, fat).unwrap();
             let rs = routed(&g);
             for (s, d, p) in rs.pairs() {
-                let want = bfs::router_hops(g.net(), g.end_nodes()[s], g.end_nodes()[d])
-                    .unwrap() as usize;
+                let want =
+                    bfs::router_hops(g.net(), g.end_nodes()[s], g.end_nodes()[d]).unwrap() as usize;
                 assert_eq!(p.len() - 1, want, "fat={fat} {s}->{d}");
             }
             assert!(rs.check_simple().is_ok());
@@ -82,13 +94,22 @@ mod tests {
 
     #[test]
     fn eight_port_shape_routes_and_delivers() {
-        let shape = ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 };
+        let shape = ClusterShape {
+            cluster: 4,
+            ports: 8,
+            down: 3,
+            up: 2,
+        };
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         let rs = routed(&g);
         assert_eq!(rs.len(), 144);
         assert_eq!(rs.max_router_hops(), 5, "3N-1 generalizes");
         for (s, d, p) in rs.pairs().take(500) {
-            assert_eq!(g.net().channel_dst(*p.last().unwrap()), g.end_nodes()[d], "{s}->{d}");
+            assert_eq!(
+                g.net().channel_dst(*p.last().unwrap()),
+                g.end_nodes()[d],
+                "{s}->{d}"
+            );
         }
     }
 
@@ -96,7 +117,12 @@ mod tests {
     fn fat_ascent_spreads_over_up_ports() {
         // With u = 2, destinations of different parity take different
         // up ports from the same router.
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         let routes = genfracta_routes(&g);
         let r = g.router(1, 0, 0, 0);
@@ -112,9 +138,33 @@ mod tests {
     fn generalized_routing_is_deadlock_free() {
         use fractanet_deadlock_check::acyclic;
         for (shape, fat) in [
-            (ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 }, true),
-            (ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 }, false),
-            (ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 }, true),
+            (
+                ClusterShape {
+                    cluster: 3,
+                    ports: 6,
+                    down: 2,
+                    up: 2,
+                },
+                true,
+            ),
+            (
+                ClusterShape {
+                    cluster: 3,
+                    ports: 6,
+                    down: 2,
+                    up: 2,
+                },
+                false,
+            ),
+            (
+                ClusterShape {
+                    cluster: 4,
+                    ports: 8,
+                    down: 3,
+                    up: 2,
+                },
+                true,
+            ),
         ] {
             let g = GenFractahedron::new(shape, 2, fat).unwrap();
             let rs = routed(&g);

@@ -23,6 +23,8 @@
 //!   [`treeroute`] (binary tree / star, plus generic up*/down*),
 //!   [`fattree`] (static up-link partitioning policies, Fig 6),
 //!   [`fractal`] (the paper's depth-first fractahedral routing, §2.3).
+//! * [`repair`] — self-healing: fault-avoiding up*/down* regeneration
+//!   over the surviving subgraph, with graceful-degradation coverage.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,8 +34,10 @@ pub mod dor;
 pub mod fattree;
 pub mod fractal;
 pub mod genfracta;
+pub mod repair;
 pub mod ringroute;
 pub mod table;
 pub mod treeroute;
 
+pub use repair::{repair_routes, DeadMask, RepairReport};
 pub use table::{RouteError, RouteSet, Routes};

@@ -1,0 +1,408 @@
+//! Self-healing route regeneration: fault-avoiding up*/down* routing
+//! over the surviving subgraph.
+//!
+//! When links or routers die permanently, the static tables traced at
+//! boot keep steering packets into the hole. This module regenerates a
+//! complete [`RouteSet`] that avoids every dead component: the
+//! surviving subgraph is decomposed into connected components, each
+//! component gets a BFS level order from its lowest-index live router,
+//! and every pair routes `up* down*` against that order (the Autonet
+//! discipline `treeroute` uses for healthy networks) — deadlock-free
+//! by construction, because up channels strictly decrease the
+//! `(level, node index)` order so no dependency cycle can close.
+//!
+//! Pairs split across components are left with **empty paths**; the
+//! [`RepairReport`] quotes the surviving-pair coverage so callers can
+//! report graceful degradation when full repair is impossible.
+
+use crate::table::RouteSet;
+use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
+use std::collections::VecDeque;
+
+/// Which components are dead, in plain index-mask form (so the sim and
+/// ServerNet fault layers can both feed it without depending on each
+/// other's fault types).
+#[derive(Clone, Debug, Default)]
+pub struct DeadMask {
+    link_dead: Vec<bool>,
+    node_dead: Vec<bool>,
+}
+
+impl DeadMask {
+    /// All-alive mask for `net`.
+    pub fn new(net: &Network) -> Self {
+        DeadMask {
+            link_dead: vec![false; net.link_count()],
+            node_dead: vec![false; net.node_count()],
+        }
+    }
+
+    /// Mask with the given dead links and routers.
+    pub fn from_dead(net: &Network, links: &[LinkId], routers: &[NodeId]) -> Self {
+        let mut m = DeadMask::new(net);
+        for &l in links {
+            m.kill_link(l);
+        }
+        for &r in routers {
+            m.kill_router(r);
+        }
+        m
+    }
+
+    /// Marks a link dead.
+    pub fn kill_link(&mut self, link: LinkId) {
+        self.link_dead[link.index()] = true;
+    }
+
+    /// Marks a router (or end node) dead.
+    pub fn kill_router(&mut self, node: NodeId) {
+        self.node_dead[node.index()] = true;
+    }
+
+    /// Whether the link survives.
+    pub fn link_ok(&self, link: LinkId) -> bool {
+        !self.link_dead[link.index()]
+    }
+
+    /// Whether the node survives.
+    pub fn node_ok(&self, node: NodeId) -> bool {
+        !self.node_dead[node.index()]
+    }
+
+    /// Whether a channel survives: its link and both endpoints do.
+    pub fn channel_ok(&self, net: &Network, ch: ChannelId) -> bool {
+        self.link_ok(ch.link())
+            && self.node_ok(net.channel_src(ch))
+            && self.node_ok(net.channel_dst(ch))
+    }
+
+    /// Count of dead links plus dead nodes.
+    pub fn len(&self) -> usize {
+        self.link_dead.iter().filter(|&&d| d).count()
+            + self.node_dead.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether nothing is dead.
+    pub fn is_empty(&self) -> bool {
+        self.link_dead.iter().all(|&d| !d) && self.node_dead.iter().all(|&d| !d)
+    }
+}
+
+/// Outcome of a route regeneration.
+#[derive(Clone, Debug)]
+pub struct RepairReport {
+    /// The regenerated paths. Pairs with no surviving route have empty
+    /// paths — callers must treat those as unreachable.
+    pub routes: RouteSet,
+    /// Ordered pairs (`src != dst`) that still have a path.
+    pub connected_pairs: usize,
+    /// All ordered pairs.
+    pub total_pairs: usize,
+}
+
+impl RepairReport {
+    /// Fraction of ordered pairs still connected (1.0 = full repair).
+    pub fn coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            1.0
+        } else {
+            self.connected_pairs as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Whether every pair still has a route.
+    pub fn is_full(&self) -> bool {
+        self.connected_pairs == self.total_pairs
+    }
+}
+
+/// Per-node (component, level) order over the surviving subgraph.
+struct SurvivorOrder {
+    comp: Vec<u32>,
+    level: Vec<u32>,
+}
+
+const UNSEEN: u32 = u32::MAX;
+
+impl SurvivorOrder {
+    fn new(net: &Network, mask: &DeadMask) -> Self {
+        let n = net.node_count();
+        let mut comp = vec![UNSEEN; n];
+        let mut level = vec![UNSEEN; n];
+        let mut next = 0u32;
+        // Components are rooted at their lowest-index live node, which
+        // makes the order (and hence the routes) deterministic.
+        for root in net.nodes() {
+            if comp[root.index()] != UNSEEN || !mask.node_ok(root) {
+                continue;
+            }
+            comp[root.index()] = next;
+            level[root.index()] = 0;
+            let mut q = VecDeque::from([root]);
+            while let Some(v) = q.pop_front() {
+                for &(ch, w) in net.channels_from(v) {
+                    if mask.channel_ok(net, ch) && comp[w.index()] == UNSEEN {
+                        comp[w.index()] = next;
+                        level[w.index()] = level[v.index()] + 1;
+                        q.push_back(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        SurvivorOrder { comp, level }
+    }
+
+    /// Whether `ch` is an **up** channel: it strictly decreases the
+    /// `(level, node index)` order.
+    fn is_up(&self, net: &Network, ch: ChannelId) -> bool {
+        let s = net.channel_src(ch);
+        let d = net.channel_dst(ch);
+        let (ls, ld) = (self.level[s.index()], self.level[d.index()]);
+        ld < ls || (ld == ls && d.index() < s.index())
+    }
+}
+
+/// Regenerates a complete route set avoiding everything `mask` marks
+/// dead. See the [module docs](self) for the discipline and its
+/// deadlock-freedom argument.
+pub fn repair_routes(net: &Network, ends: &[NodeId], mask: &DeadMask) -> RepairReport {
+    let order = SurvivorOrder::new(net, mask);
+    let mut connected = 0usize;
+    let n = ends.len();
+    let mut paths: Vec<Vec<Vec<ChannelId>>> = vec![vec![Vec::new(); n]; n];
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            if let Some(p) = survivor_updown_path(net, mask, &order, ends[s], ends[d]) {
+                connected += 1;
+                paths[s][d] = p;
+            }
+        }
+    }
+    let routes = RouteSet::from_pairs(n, |s, d| std::mem::take(&mut paths[s][d]));
+    RepairReport {
+        routes,
+        connected_pairs: connected,
+        total_pairs: n * (n - 1),
+    }
+}
+
+/// Shortest `up* down*` path between two end nodes over surviving
+/// channels only; `None` when the pair is severed.
+fn survivor_updown_path(
+    net: &Network,
+    mask: &DeadMask,
+    order: &SurvivorOrder,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<ChannelId>> {
+    if !mask.node_ok(src) || !mask.node_ok(dst) {
+        return None;
+    }
+    let &(inject, src_router) = net.channels_from(src).first()?;
+    let &(eject_rev, dst_router) = net.channels_from(dst).first()?;
+    let eject = eject_rev.reverse();
+    if !mask.channel_ok(net, inject) || !mask.channel_ok(net, eject) {
+        return None;
+    }
+    if order.comp[src_router.index()] != order.comp[dst_router.index()] {
+        return None;
+    }
+    if src_router == dst_router {
+        return Some(vec![inject, eject]);
+    }
+
+    // Up-phase BFS from src_router over surviving up channels.
+    let mut dist_up = vec![UNSEEN; net.node_count()];
+    let mut prev_up: Vec<Option<ChannelId>> = vec![None; net.node_count()];
+    dist_up[src_router.index()] = 0;
+    let mut q = VecDeque::from([src_router]);
+    while let Some(v) = q.pop_front() {
+        for &(ch, w) in net.channels_from(v) {
+            if net.is_router(w)
+                && mask.channel_ok(net, ch)
+                && order.is_up(net, ch)
+                && dist_up[w.index()] == UNSEEN
+            {
+                dist_up[w.index()] = dist_up[v.index()] + 1;
+                prev_up[w.index()] = Some(ch);
+                q.push_back(w);
+            }
+        }
+    }
+    // Down-phase reverse BFS from dst_router over surviving down
+    // channels.
+    let mut dist_dn = vec![UNSEEN; net.node_count()];
+    let mut next_dn: Vec<Option<ChannelId>> = vec![None; net.node_count()];
+    dist_dn[dst_router.index()] = 0;
+    let mut q = VecDeque::from([dst_router]);
+    while let Some(v) = q.pop_front() {
+        for &(out, w) in net.channels_from(v) {
+            let incoming = out.reverse(); // w -> v
+            if net.is_router(w)
+                && mask.channel_ok(net, incoming)
+                && !order.is_up(net, incoming)
+                && dist_dn[w.index()] == UNSEEN
+            {
+                dist_dn[w.index()] = dist_dn[v.index()] + 1;
+                next_dn[w.index()] = Some(incoming);
+                q.push_back(w);
+            }
+        }
+    }
+    // Meet at the router minimizing total length; lowest index breaks
+    // ties deterministically.
+    let mut best: Option<(u32, usize)> = None;
+    for v in net.nodes() {
+        let (u, dn) = (dist_up[v.index()], dist_dn[v.index()]);
+        if u != UNSEEN && dn != UNSEEN {
+            let key = (u + dn, v.index());
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+    }
+    let (_, meet) = best?;
+    // Reconstruct: up segment backwards from meet, then down segment
+    // forwards.
+    let mut path = vec![inject];
+    let mut seg = Vec::new();
+    let mut cur = NodeId(meet as u32);
+    while cur != src_router {
+        let ch = prev_up[cur.index()].expect("up-phase predecessor");
+        seg.push(ch);
+        cur = net.channel_src(ch);
+    }
+    seg.reverse();
+    path.extend(seg);
+    let mut cur = NodeId(meet as u32);
+    while cur != dst_router {
+        let ch = next_dn[cur.index()].expect("down-phase successor");
+        path.push(ch);
+        cur = net.channel_dst(ch);
+    }
+    path.push(eject);
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_topo::{Fractahedron, Hypercube, Ring, Topology, Variant};
+
+    fn check_avoids(net: &Network, mask: &DeadMask, report: &RepairReport) {
+        for (_, _, p) in report.routes.pairs() {
+            for &ch in p {
+                assert!(
+                    mask.channel_ok(net, ch),
+                    "route crosses dead channel {ch:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_faults_full_coverage() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let rep = repair_routes(h.net(), h.end_nodes(), &DeadMask::new(h.net()));
+        assert!(rep.is_full());
+        assert_eq!(rep.coverage(), 1.0);
+        assert!(rep.routes.check_simple().is_ok());
+    }
+
+    #[test]
+    fn ring_survives_one_link_cut() {
+        // A ring is 2-edge-connected between routers: one dead cable
+        // reroutes the long way around.
+        let r = Ring::new(5, 1, 6).unwrap();
+        let mut mask = DeadMask::new(r.net());
+        // Kill the first router-router link (attach links come first or
+        // last depending on builder; find one whose endpoints are both
+        // routers).
+        let victim = r
+            .net()
+            .links()
+            .find(|&l| {
+                let info = r.net().link(l);
+                r.net().is_router(info.a.0) && r.net().is_router(info.b.0)
+            })
+            .unwrap();
+        mask.kill_link(victim);
+        let rep = repair_routes(r.net(), r.end_nodes(), &mask);
+        assert!(rep.is_full(), "coverage {}", rep.coverage());
+        check_avoids(r.net(), &mask, &rep);
+    }
+
+    #[test]
+    fn dead_router_degrades_gracefully() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let mut mask = DeadMask::new(r.net());
+        // Kill the router end 0 attaches to: 0 is severed, others
+        // reroute around the hole.
+        let router0 = r.net().channels_from(r.end_nodes()[0]).first().unwrap().1;
+        mask.kill_router(router0);
+        let rep = repair_routes(r.net(), r.end_nodes(), &mask);
+        assert!(!rep.is_full());
+        // 3 surviving ends remain mutually connected: 3 * 2 = 6 of 12.
+        assert_eq!(rep.connected_pairs, 6);
+        check_avoids(r.net(), &mask, &rep);
+        // Severed pairs really are empty.
+        assert!(rep.routes.path(0, 1).is_empty());
+        assert!(rep.routes.path(1, 0).is_empty());
+        assert!(!rep.routes.path(1, 2).is_empty());
+    }
+
+    #[test]
+    fn fractahedron_repair_is_deterministic() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let mut mask = DeadMask::new(f.net());
+        let victim = f
+            .net()
+            .links()
+            .find(|&l| {
+                let info = f.net().link(l);
+                f.net().is_router(info.a.0) && f.net().is_router(info.b.0)
+            })
+            .unwrap();
+        mask.kill_link(victim);
+        let a = repair_routes(f.net(), f.end_nodes(), &mask);
+        let b = repair_routes(f.net(), f.end_nodes(), &mask);
+        for (s, d, p) in a.routes.pairs() {
+            assert_eq!(p, b.routes.path(s, d), "{s}->{d}");
+        }
+        assert!(a.is_full());
+        check_avoids(f.net(), &mask, &a);
+    }
+
+    #[test]
+    fn repaired_paths_are_up_then_down() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let mut mask = DeadMask::new(h.net());
+        let victim = h
+            .net()
+            .links()
+            .find(|&l| {
+                let info = h.net().link(l);
+                h.net().is_router(info.a.0) && h.net().is_router(info.b.0)
+            })
+            .unwrap();
+        mask.kill_link(victim);
+        let order = SurvivorOrder::new(h.net(), &mask);
+        let rep = repair_routes(h.net(), h.end_nodes(), &mask);
+        assert!(rep.is_full());
+        for (s, d, p) in rep.routes.pairs() {
+            let interior = &p[1..p.len() - 1];
+            let mut descending = false;
+            for &ch in interior {
+                if order.is_up(h.net(), ch) {
+                    assert!(!descending, "{s}->{d} turned back up");
+                } else {
+                    descending = true;
+                }
+            }
+        }
+    }
+}

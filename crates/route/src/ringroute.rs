@@ -32,7 +32,11 @@ pub fn ring_clockwise_routes(r: &Ring) -> Routes {
     Routes::from_fn(r.net(), r.end_nodes().len(), |router, dst| {
         let i = router_index(r, router)?;
         let j = r.router_of_addr(dst);
-        Some(if i == j { PortId(PORT_NODE0.0 + (dst % npr) as u8) } else { PORT_CW })
+        Some(if i == j {
+            PortId(PORT_NODE0.0 + (dst % npr) as u8)
+        } else {
+            PORT_CW
+        })
     })
 }
 
@@ -59,8 +63,7 @@ mod tests {
     #[test]
     fn clockwise_goes_the_long_way() {
         let r = Ring::new(4, 1, 6).unwrap();
-        let rs =
-            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
         // 1 -> 0 takes 3 inter-router hops clockwise.
         assert_eq!(rs.router_hops(1, 0), 4);
         assert_eq!(rs.router_hops(0, 1), 2);

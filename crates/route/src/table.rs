@@ -44,10 +44,16 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::MissingEntry { router, dst } => {
-                write!(f, "router {router} has no table entry for destination {dst}")
+                write!(
+                    f,
+                    "router {router} has no table entry for destination {dst}"
+                )
             }
             RouteError::DeadPort { router, port, dst } => {
-                write!(f, "router {router} routes destination {dst} to vacant port {port:?}")
+                write!(
+                    f,
+                    "router {router} routes destination {dst} to vacant port {port:?}"
+                )
             }
             RouteError::ForwardingLoop { src, dst } => {
                 write!(f, "forwarding loop on route {src} -> {dst}")
@@ -78,7 +84,13 @@ impl Routes {
     pub fn new(net: &Network, n_addr: usize) -> Self {
         let table = net
             .nodes()
-            .map(|n| if net.is_router(n) { vec![None; n_addr] } else { Vec::new() })
+            .map(|n| {
+                if net.is_router(n) {
+                    vec![None; n_addr]
+                } else {
+                    Vec::new()
+                }
+            })
             .collect();
         Routes { table, n_addr }
     }
@@ -154,13 +166,19 @@ impl Routes {
             let port = self
                 .get(cur, dst)
                 .ok_or(RouteError::MissingEntry { router: cur, dst })?;
-            let ch = net
-                .channel_out(cur, port)
-                .ok_or(RouteError::DeadPort { router: cur, port, dst })?;
+            let ch = net.channel_out(cur, port).ok_or(RouteError::DeadPort {
+                router: cur,
+                port,
+                dst,
+            })?;
             path.push(ch);
             let next = net.channel_dst(ch);
             if !net.is_router(next) && next != target {
-                return Err(RouteError::Misdelivered { src, dst, arrived: next });
+                return Err(RouteError::Misdelivered {
+                    src,
+                    dst,
+                    arrived: next,
+                });
             }
             cur = next;
         }
@@ -197,10 +215,7 @@ impl RouteSet {
     /// that are not destination-table-expressible, e.g. up*/down*).
     /// `f(src, dst)` must return the channel sequence from `ends[src]`
     /// to `ends[dst]`.
-    pub fn from_pairs(
-        n: usize,
-        mut f: impl FnMut(usize, usize) -> Vec<ChannelId>,
-    ) -> Self {
+    pub fn from_pairs(n: usize, mut f: impl FnMut(usize, usize) -> Vec<ChannelId>) -> Self {
         let mut paths = Vec::with_capacity(n);
         for s in 0..n {
             let mut row = Vec::with_capacity(n);
@@ -256,7 +271,10 @@ impl RouteSet {
 
     /// Maximum router hops over all ordered pairs.
     pub fn max_router_hops(&self) -> usize {
-        self.pairs().map(|(_, _, p)| p.len().saturating_sub(1)).max().unwrap_or(0)
+        self.pairs()
+            .map(|(_, _, p)| p.len().saturating_sub(1))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks the fixed-path in-order-delivery property at the route
@@ -288,11 +306,14 @@ mod tests {
         let mut net = Network::new();
         let r0 = net.add_router("r0", 6);
         let r1 = net.add_router("r1", 6);
-        net.connect(r0, PortId(0), r1, PortId(0), LinkClass::Local).unwrap();
+        net.connect(r0, PortId(0), r1, PortId(0), LinkClass::Local)
+            .unwrap();
         let n0 = net.add_end_node("n0");
         let n1 = net.add_end_node("n1");
-        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach).unwrap();
-        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach).unwrap();
+        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach)
+            .unwrap();
+        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach)
+            .unwrap();
         (net, vec![n0, n1], r0, r1)
     }
 
@@ -324,7 +345,14 @@ mod tests {
         let mut routes = Routes::new(&net, 2);
         routes.set(r0, 1, PortId(5));
         let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
-        assert_eq!(err, RouteError::DeadPort { router: r0, port: PortId(5), dst: 1 });
+        assert_eq!(
+            err,
+            RouteError::DeadPort {
+                router: r0,
+                port: PortId(5),
+                dst: 1
+            }
+        );
     }
 
     #[test]
@@ -345,7 +373,14 @@ mod tests {
         // r0 sends destination-1 packets into its own end node n0.
         routes.set(r0, 1, PortId(1));
         let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
-        assert_eq!(err, RouteError::Misdelivered { src: 0, dst: 1, arrived: ends[0] });
+        assert_eq!(
+            err,
+            RouteError::Misdelivered {
+                src: 0,
+                dst: 1,
+                arrived: ends[0]
+            }
+        );
     }
 
     #[test]

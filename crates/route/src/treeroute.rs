@@ -22,7 +22,9 @@ use std::collections::VecDeque;
 
 /// Destination tables for a [`Star`]: the hub delivers directly.
 pub fn star_routes(s: &Star) -> Routes {
-    Routes::from_fn(s.net(), s.end_nodes().len(), |_, dst| Some(PortId(dst as u8)))
+    Routes::from_fn(s.net(), s.end_nodes().len(), |_, dst| {
+        Some(PortId(dst as u8))
+    })
 }
 
 /// Destination tables for a [`BinaryTree`]: descend when the
@@ -47,7 +49,11 @@ pub fn bintree_routes(t: &BinaryTree) -> Routes {
         if !in_subtree(i, leaf) {
             return Some(PortId(0)); // up
         }
-        Some(if in_subtree(2 * i + 1, leaf) { PortId(1) } else { PortId(2) })
+        Some(if in_subtree(2 * i + 1, leaf) {
+            PortId(1)
+        } else {
+            PortId(2)
+        })
     })
 }
 
@@ -239,7 +245,11 @@ mod tests {
         let r = Ring::new(5, 1, 6).unwrap();
         let rs = updown_routeset(r.net(), r.end_nodes(), r.router(0));
         for (s, d, p) in rs.pairs() {
-            assert_eq!(r.net().channel_dst(*p.last().unwrap()), r.end_nodes()[d], "{s}->{d}");
+            assert_eq!(
+                r.net().channel_dst(*p.last().unwrap()),
+                r.end_nodes()[d],
+                "{s}->{d}"
+            );
             assert_eq!(r.net().channel_src(p[0]), r.end_nodes()[s]);
         }
         assert!(rs.check_simple().is_ok());

@@ -44,7 +44,12 @@ impl<T: Topology> DualFabric<T> {
             y.end_nodes().len(),
             "paired fabrics must agree on the node population"
         );
-        DualFabric { x, y, x_faults: FaultSet::none(), y_faults: FaultSet::none() }
+        DualFabric {
+            x,
+            y,
+            x_faults: FaultSet::none(),
+            y_faults: FaultSet::none(),
+        }
     }
 
     /// Number of (dual-ported) end nodes.
@@ -126,8 +131,16 @@ mod tests {
         let attach = d.x.net().channels_from(x0)[0].0.link();
         d.x_faults.kill_link(attach);
         assert_eq!(d.serving_fabric(0, 5), Some(FabricId::Y));
-        assert_eq!(d.surviving_pair_fraction(), 1.0, "the pair masks a single fault");
-        assert_eq!(d.failover_pair_count(), 7, "all of node 0's pairs moved to Y");
+        assert_eq!(
+            d.surviving_pair_fraction(),
+            1.0,
+            "the pair masks a single fault"
+        );
+        assert_eq!(
+            d.failover_pair_count(),
+            7,
+            "all of node 0's pairs moved to Y"
+        );
     }
 
     #[test]

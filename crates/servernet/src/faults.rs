@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn no_faults_everything_reachable() {
         let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
-        assert_eq!(surviving_pair_fraction(f.net(), &FaultSet::none(), f.end_nodes()), 1.0);
+        assert_eq!(
+            surviving_pair_fraction(f.net(), &FaultSet::none(), f.end_nodes()),
+            1.0
+        );
     }
 
     #[test]
@@ -179,11 +182,20 @@ mod tests {
         let r = Ring::new(6, 1, 6).unwrap();
         let ends = r.end_nodes();
         let ring_links: Vec<_> = (0..6)
-            .map(|i| r.net().channel_between(r.router(i), r.router((i + 1) % 6)).unwrap().link())
+            .map(|i| {
+                r.net()
+                    .channel_between(r.router(i), r.router((i + 1) % 6))
+                    .unwrap()
+                    .link()
+            })
             .collect();
         let mut one = FaultSet::none();
         one.kill_link(ring_links[0]);
-        assert_eq!(surviving_pair_fraction(r.net(), &one, ends), 1.0, "a ring tolerates one cut");
+        assert_eq!(
+            surviving_pair_fraction(r.net(), &one, ends),
+            1.0,
+            "a ring tolerates one cut"
+        );
         let mut two = one.clone();
         two.kill_link(ring_links[3]);
         let frac = surviving_pair_fraction(r.net(), &two, ends);
@@ -253,7 +265,10 @@ mod tests {
         let routed = super::routed_surviving_fraction(fr.net(), &rs, &faults);
         assert_eq!(topo, 1.0, "the clique masks a single diagonal cut");
         assert!(routed < 1.0, "fixed tables cannot exploit the redundancy");
-        assert!(routed > 0.9, "only routes crossing the diagonal die: {routed}");
+        assert!(
+            routed > 0.9,
+            "only routes crossing the diagonal die: {routed}"
+        );
     }
 
     #[test]
@@ -263,7 +278,10 @@ mod tests {
         let fr = Fractahedron::new(1, Variant::Fat, false).unwrap();
         let routes = fractal_routes(&fr);
         let rs = RouteSet::from_table(fr.net(), fr.end_nodes(), &routes).unwrap();
-        assert_eq!(super::routed_surviving_fraction(fr.net(), &rs, &FaultSet::none()), 1.0);
+        assert_eq!(
+            super::routed_surviving_fraction(fr.net(), &rs, &FaultSet::none()),
+            1.0
+        );
     }
 
     #[test]

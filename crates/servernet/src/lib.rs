@@ -20,12 +20,15 @@
 //! * [`faults`] — link/router fault injection, reflexive-path checking
 //!   (data *and* acknowledgment must traverse the fabric), and random
 //!   fault campaigns.
+//! * [`healing`] — certified self-healing: fault-avoiding route
+//!   regeneration, proven deadlock-free before installation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod fabric;
 pub mod faults;
+pub mod healing;
 pub mod link;
 pub mod packet;
 pub mod router;
@@ -33,7 +36,10 @@ pub mod transactions;
 
 pub use fabric::{DualFabric, FabricId};
 pub use faults::FaultSet;
+pub use healing::{heal, healing_repairer, HealError, HealReport};
 pub use link::LinkSpec;
 pub use packet::{Packet, PacketError, TransactionKind};
 pub use router::{ForwardError, RouterAsic};
-pub use transactions::{execute, Transaction, TxError, TxOutcome};
+pub use transactions::{
+    execute, run_with_failover, FabricSim, FailoverOutcome, Transaction, TxError, TxOutcome,
+};

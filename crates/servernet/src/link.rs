@@ -28,7 +28,10 @@ impl LinkSpec {
             (0.0..=Self::MAX_LENGTH_M).contains(&length_m),
             "ServerNet cables reach up to 30 meters"
         );
-        LinkSpec { bytes_per_second: 50_000_000, length_m }
+        LinkSpec {
+            bytes_per_second: 50_000_000,
+            length_m,
+        }
     }
 
     /// Seconds to clock `bytes` onto the wire (serialization delay).

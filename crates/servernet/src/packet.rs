@@ -96,8 +96,16 @@ impl Packet {
     /// Builds a packet; panics if the payload exceeds [`MAX_PAYLOAD`]
     /// (callers segment larger transfers).
     pub fn new(dst: u16, src: u16, kind: TransactionKind, payload: Vec<u8>) -> Self {
-        assert!(payload.len() <= MAX_PAYLOAD, "segment transfers above 64 bytes");
-        Packet { dst, src, kind, payload }
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "segment transfers above 64 bytes"
+        );
+        Packet {
+            dst,
+            src,
+            kind,
+            payload,
+        }
     }
 
     /// Serializes to wire bytes (header, payload, checksum).
@@ -121,7 +129,10 @@ impl Packet {
         let (body, check) = bytes.split_at(bytes.len() - 1);
         let computed = checksum(body);
         if computed != check[0] {
-            return Err(PacketError::BadChecksum { wire: check[0], computed });
+            return Err(PacketError::BadChecksum {
+                wire: check[0],
+                computed,
+            });
         }
         let dst = u16::from_be_bytes([body[0], body[1]]);
         let src = u16::from_be_bytes([body[2], body[3]]);
@@ -130,7 +141,12 @@ impl Packet {
         if len > MAX_PAYLOAD || body.len() != HEADER + len {
             return Err(PacketError::BadLength(len));
         }
-        Ok(Packet { dst, src, kind, payload: body[HEADER..].to_vec() })
+        Ok(Packet {
+            dst,
+            src,
+            kind,
+            payload: body[HEADER..].to_vec(),
+        })
     }
 
     /// Wire size in bytes.
@@ -151,7 +167,12 @@ pub fn segment_transfer(dst: u16, src: u16, data: &[u8]) -> Vec<Packet> {
         .chunks(MAX_PAYLOAD)
         .map(|c| Packet::new(dst, src, TransactionKind::Write, c.to_vec()))
         .collect();
-    out.push(Packet::new(dst, src, TransactionKind::Interrupt, Vec::new()));
+    out.push(Packet::new(
+        dst,
+        src,
+        TransactionKind::Interrupt,
+        Vec::new(),
+    ));
     out
 }
 

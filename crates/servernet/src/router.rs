@@ -131,14 +131,20 @@ mod tests {
     #[test]
     fn missing_entry_rejected() {
         let r = RouterAsic::new(6, 4);
-        assert_eq!(r.forward(PortId(0), 2), Err(ForwardError::NoTableEntry { dest: 2 }));
+        assert_eq!(
+            r.forward(PortId(0), 2),
+            Err(ForwardError::NoTableEntry { dest: 2 })
+        );
     }
 
     #[test]
     fn u_turn_rejected() {
         let r = asic();
         // Destination 3 maps to port 3; arriving on port 3 is a U-turn.
-        assert_eq!(r.forward(PortId(3), 3), Err(ForwardError::UTurn { port: PortId(3) }));
+        assert_eq!(
+            r.forward(PortId(3), 3),
+            Err(ForwardError::UTurn { port: PortId(3) })
+        );
     }
 
     #[test]
@@ -151,7 +157,10 @@ mod tests {
         r.corrupt(2, PortId(4)); // table now sends dest 2 out port 4
         assert_eq!(
             r.forward(PortId(1), 2),
-            Err(ForwardError::TurnDisabled { input: PortId(1), output: PortId(4) })
+            Err(ForwardError::TurnDisabled {
+                input: PortId(1),
+                output: PortId(4)
+            })
         );
         // From other inputs the (corrupt) route is still taken — the
         // disable is per-turn, not per-output.

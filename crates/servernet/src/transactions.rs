@@ -10,10 +10,12 @@
 //! module makes that failure mode explicit and testable.
 
 use crate::faults::FaultSet;
+use crate::healing::healing_repairer;
 use crate::link::LinkSpec;
 use crate::packet::{segment_transfer, Packet, TransactionKind, MAX_PAYLOAD};
-use fractanet_graph::{ChannelId, Network};
+use fractanet_graph::{ChannelId, Network, NodeId};
 use fractanet_route::RouteSet;
+use fractanet_sim::{Engine, SimConfig, SimResult, Workload};
 use std::fmt;
 
 /// A requested transfer.
@@ -61,7 +63,10 @@ impl fmt::Display for TxError {
         match self {
             TxError::DataPathDown { at } => write!(f, "data path down at {at:?}"),
             TxError::AckPathDown { at } => {
-                write!(f, "acknowledgment path down at {at:?} (data path is healthy)")
+                write!(
+                    f,
+                    "acknowledgment path down at {at:?} (data path is healthy)"
+                )
             }
         }
     }
@@ -120,14 +125,23 @@ pub fn execute(
     let packets = segment_transfer(data_dst as u16, data_src as u16, &vec![0u8; bytes]);
     let data_hops = data_path.len().saturating_sub(1);
     let ack_hops = ack_path.len().saturating_sub(1);
-    let ack = Packet::new(data_src as u16, data_dst as u16, TransactionKind::Ack, Vec::new());
+    let ack = Packet::new(
+        data_src as u16,
+        data_dst as u16,
+        TransactionKind::Ack,
+        Vec::new(),
+    );
 
     let mut t = 0.0;
     if request_first {
         // Read request: a header-only packet travels the ack path
         // first.
-        let req =
-            Packet::new(data_src as u16, data_dst as u16, TransactionKind::ReadRequest, Vec::new());
+        let req = Packet::new(
+            data_src as u16,
+            data_dst as u16,
+            TransactionKind::ReadRequest,
+            Vec::new(),
+        );
         t += one_way_s(link, ack_hops, req.wire_len());
     }
     for p in &packets {
@@ -136,7 +150,11 @@ pub fn execute(
     // Acks pipeline behind the data; the last one bounds completion.
     t += one_way_s(link, ack_hops, ack.wire_len());
 
-    Ok(TxOutcome { data_packets: packets.len(), ack_packets: packets.len(), round_trip_s: t })
+    Ok(TxOutcome {
+        data_packets: packets.len(),
+        ack_packets: packets.len(),
+        round_trip_s: t,
+    })
 }
 
 /// How many payload packets a transfer needs (excluding the
@@ -145,10 +163,119 @@ pub fn packets_for(bytes: usize) -> usize {
     bytes.div_ceil(MAX_PAYLOAD).max(1)
 }
 
+/// One fabric's inputs to the failover driver: a network, its fixed
+/// per-pair tables, the shared end-node population, and a simulation
+/// configuration whose [`fractanet_sim::RetryPolicy`] supplies the
+/// acknowledgment timeout, the retry bound `K` (`max_retries`), and
+/// the exponential-backoff/jitter parameters.
+pub struct FabricSim<'a> {
+    /// The fabric's network.
+    pub net: &'a Network,
+    /// Fixed routing tables — one path per ordered pair, the paper's
+    /// §3.3 in-order requirement.
+    pub routes: &'a RouteSet,
+    /// End nodes, in the address order shared by both fabrics.
+    pub ends: &'a [NodeId],
+    /// Simulation config, including this fabric's fault schedule and
+    /// retry policy.
+    pub cfg: SimConfig,
+    /// Install certified self-healing tables on permanent faults
+    /// (see [`crate::healing`]).
+    pub heal: bool,
+}
+
+/// Combined result of an X-fabric run with failover replay on Y.
+#[derive(Clone, Debug)]
+pub struct FailoverOutcome {
+    /// The primary (X) fabric's run.
+    pub x: SimResult,
+    /// The Y-fabric run replaying X's abandoned transfers (`None`
+    /// when X abandoned nothing).
+    pub y: Option<SimResult>,
+    /// Transfers that failed over after exhausting `K` attempts on X.
+    pub failovers: usize,
+    /// `(src, dst)` transfers abandoned on *both* fabrics.
+    pub unrecovered: Vec<(usize, usize)>,
+}
+
+impl FailoverOutcome {
+    /// Transfers requested of the fabric pair (failover replays are
+    /// not counted twice).
+    pub fn total_generated(&self) -> usize {
+        self.x.generated
+    }
+
+    /// Transfers completed, on either fabric.
+    pub fn total_delivered(&self) -> usize {
+        self.x.delivered + self.y.as_ref().map_or(0, |r| r.delivered)
+    }
+
+    /// End-to-end delivery fraction across both fabrics.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.total_generated() == 0 {
+            1.0
+        } else {
+            self.total_delivered() as f64 / self.total_generated() as f64
+        }
+    }
+
+    /// Whether every transfer completed and neither fabric deadlocked.
+    pub fn is_recovered(&self) -> bool {
+        self.x.deadlock.is_none()
+            && self.y.iter().all(|r| r.deadlock.is_none())
+            && self.total_delivered() == self.total_generated()
+    }
+}
+
+fn run_fabric(f: &FabricSim<'_>, workload: Workload) -> SimResult {
+    let engine = Engine::new(f.net, f.routes, f.cfg.clone());
+    if f.heal {
+        engine
+            .with_repairer(healing_repairer(f.net, f.ends))
+            .run(workload)
+    } else {
+        engine.run(workload)
+    }
+}
+
+/// Runs `workload` on the X fabric — with its fault schedule, ACK
+/// timeouts, bounded retries, and optional self-healing — then
+/// replays every transfer X abandoned on the Y fabric.
+///
+/// Each transfer uses one fabric end to end, and the Y replay starts
+/// only after the X run fully drains, so a pair's Y-fabric deliveries
+/// follow all of its X-fabric deliveries; with one fixed path per
+/// pair per fabric, per-pair delivery order is preserved across the
+/// failover.
+pub fn run_with_failover(
+    x: FabricSim<'_>,
+    y: FabricSim<'_>,
+    workload: Workload,
+) -> FailoverOutcome {
+    let xr = run_fabric(&x, workload);
+    let failed = xr.recovery.abandoned.clone();
+    let failovers = failed.len();
+    let (y_res, unrecovered) = if failed.is_empty() {
+        (None, Vec::new())
+    } else {
+        let script = failed.iter().map(|&(s, d)| (0, s, d)).collect();
+        let yr = run_fabric(&y, Workload::Scripted(script));
+        let u = yr.recovery.abandoned.clone();
+        (Some(yr), u)
+    };
+    FailoverOutcome {
+        x: xr,
+        y: y_res,
+        failovers,
+        unrecovered,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use fractanet_route::fractal::fractal_routes;
+    use fractanet_sim::{FaultEvent, RetryPolicy};
     use fractanet_topo::{Fractahedron, Topology, Variant};
 
     fn setup() -> (Fractahedron, RouteSet) {
@@ -167,7 +294,11 @@ mod tests {
             &rs,
             &FaultSet::none(),
             &link,
-            Transaction::Write { from: 3, to: 60, bytes: 200 },
+            Transaction::Write {
+                from: 3,
+                to: 60,
+                bytes: 200,
+            },
         )
         .unwrap();
         assert_eq!(out.data_packets, 5); // 64+64+64+8 writes + interrupt
@@ -180,19 +311,36 @@ mod tests {
         let (f, rs) = setup();
         let link = LinkSpec::first_generation(10.0);
         let faults = FaultSet::none();
-        let w = execute(f.net(), &rs, &faults, &link, Transaction::Write {
-            from: 3,
-            to: 60,
-            bytes: 64,
-        })
+        let w = execute(
+            f.net(),
+            &rs,
+            &faults,
+            &link,
+            Transaction::Write {
+                from: 3,
+                to: 60,
+                bytes: 64,
+            },
+        )
         .unwrap();
-        let r = execute(f.net(), &rs, &faults, &link, Transaction::Read {
-            to: 3,
-            from: 60,
-            bytes: 64,
-        })
+        let r = execute(
+            f.net(),
+            &rs,
+            &faults,
+            &link,
+            Transaction::Read {
+                to: 3,
+                from: 60,
+                bytes: 64,
+            },
+        )
         .unwrap();
-        assert!(r.round_trip_s > w.round_trip_s, "{} vs {}", r.round_trip_s, w.round_trip_s);
+        assert!(
+            r.round_trip_s > w.round_trip_s,
+            "{} vs {}",
+            r.round_trip_s,
+            w.round_trip_s
+        );
     }
 
     #[test]
@@ -203,11 +351,17 @@ mod tests {
         // Kill the first hop of 3 -> 60.
         let ch = rs.path(3, 60)[0];
         faults.kill_link(ch.link());
-        let err = execute(f.net(), &rs, &faults, &link, Transaction::Write {
-            from: 3,
-            to: 60,
-            bytes: 8,
-        })
+        let err = execute(
+            f.net(),
+            &rs,
+            &faults,
+            &link,
+            Transaction::Write {
+                from: 3,
+                to: 60,
+                bytes: 8,
+            },
+        )
         .unwrap_err();
         assert!(matches!(err, TxError::DataPathDown { .. }), "{err}");
     }
@@ -229,15 +383,151 @@ mod tests {
             .expect("fractahedral reverse routes use different links");
         let mut faults = FaultSet::none();
         faults.kill_link(rev_only);
-        let err = execute(f.net(), &rs, &faults, &link, Transaction::Write {
-            from: 3,
-            to: 60,
-            bytes: 8,
-        })
+        let err = execute(
+            f.net(),
+            &rs,
+            &faults,
+            &link,
+            Transaction::Write {
+                from: 3,
+                to: 60,
+                bytes: 8,
+            },
+        )
         .unwrap_err();
         assert!(matches!(err, TxError::AckPathDown { .. }), "{err}");
         // The data direction alone would have been fine.
         assert!(first_fault(f.net(), &faults, &fwd).is_none());
+    }
+
+    fn fabric_pair() -> (Fractahedron, RouteSet, Fractahedron, RouteSet) {
+        let build = || {
+            let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+            let routes = fractal_routes(&f);
+            let rs = RouteSet::from_table(f.net(), f.end_nodes(), &routes).unwrap();
+            (f, rs)
+        };
+        let (fx, rx) = build();
+        let (fy, ry) = build();
+        (fx, rx, fy, ry)
+    }
+
+    #[test]
+    fn healthy_run_needs_no_failover() {
+        let (fx, rx, fy, ry) = fabric_pair();
+        let x = FabricSim {
+            net: fx.net(),
+            routes: &rx,
+            ends: fx.end_nodes(),
+            cfg: SimConfig::default(),
+            heal: false,
+        };
+        let y = FabricSim {
+            net: fy.net(),
+            routes: &ry,
+            ends: fy.end_nodes(),
+            cfg: SimConfig::default(),
+            heal: false,
+        };
+        let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
+        assert!(out.is_recovered());
+        assert_eq!(out.failovers, 0);
+        assert!(out.y.is_none());
+        assert_eq!(out.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn dead_attach_link_fails_over_to_y() {
+        // Kill one of node 0's X-fabric attach links: the fixed tables
+        // route some of node 0's pairs through it, and no repair hook
+        // is installed, so those transfers exhaust their K attempts on
+        // X and fail over to the healthy Y fabric.
+        let (fx, rx, fy, ry) = fabric_pair();
+        let attach = fx.net().channels_from(fx.end_nodes()[0])[0].0.link();
+        let cfg_x = SimConfig {
+            max_cycles: 30_000,
+            retry: RetryPolicy {
+                ack_timeout: 8,
+                max_retries: 2,
+                backoff_base: 4,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(attach, 0));
+        let x = FabricSim {
+            net: fx.net(),
+            routes: &rx,
+            ends: fx.end_nodes(),
+            cfg: cfg_x,
+            heal: false,
+        };
+        let y = FabricSim {
+            net: fy.net(),
+            routes: &ry,
+            ends: fy.end_nodes(),
+            cfg: SimConfig::default(),
+            heal: false,
+        };
+        let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
+        assert!(out.x.is_recovered(), "{:?}", out.x.recovery);
+        assert!(out.failovers > 0, "some transfers must fail over");
+        assert!(
+            out.x
+                .recovery
+                .abandoned
+                .iter()
+                .all(|&(s, d)| s == 0 || d == 0),
+            "only node 0's transfers may fail over: {:?}",
+            out.x.recovery.abandoned
+        );
+        assert!(out.unrecovered.is_empty());
+        assert!(out.is_recovered(), "{:?}", out.y);
+        assert_eq!(out.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn self_healing_x_avoids_failover() {
+        // A router-to-router link fault is repairable in place, so a
+        // healing X fabric delivers everything itself.
+        let (fx, rx, fy, ry) = fabric_pair();
+        let victim = fx
+            .net()
+            .links()
+            .find(|&l| {
+                let info = fx.net().link(l);
+                fx.net().is_router(info.a.0) && fx.net().is_router(info.b.0)
+            })
+            .unwrap();
+        let cfg_x = SimConfig {
+            max_cycles: 30_000,
+            retry: RetryPolicy {
+                ack_timeout: 16,
+                max_retries: 6,
+                backoff_base: 16,
+                jitter_seed: 3,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(victim, 20));
+        let x = FabricSim {
+            net: fx.net(),
+            routes: &rx,
+            ends: fx.end_nodes(),
+            cfg: cfg_x,
+            heal: true,
+        };
+        let y = FabricSim {
+            net: fy.net(),
+            routes: &ry,
+            ends: fy.end_nodes(),
+            cfg: SimConfig::default(),
+            heal: false,
+        };
+        let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
+        assert!(out.is_recovered(), "{:?}", out.x.recovery);
+        assert_eq!(out.failovers, 0);
+        assert_eq!(out.x.recovery.repairs_installed, 1);
     }
 
     #[test]
@@ -254,17 +544,29 @@ mod tests {
         let link = LinkSpec::first_generation(10.0);
         let faults = FaultSet::none();
         // Same-router pair (1 hop) vs cross-hierarchy pair (5 hops).
-        let near = execute(f.net(), &rs, &faults, &link, Transaction::Write {
-            from: 0,
-            to: 1,
-            bytes: 64,
-        })
+        let near = execute(
+            f.net(),
+            &rs,
+            &faults,
+            &link,
+            Transaction::Write {
+                from: 0,
+                to: 1,
+                bytes: 64,
+            },
+        )
         .unwrap();
-        let far = execute(f.net(), &rs, &faults, &link, Transaction::Write {
-            from: 0,
-            to: 63,
-            bytes: 64,
-        })
+        let far = execute(
+            f.net(),
+            &rs,
+            &faults,
+            &link,
+            Transaction::Write {
+                from: 0,
+                to: 63,
+                bytes: 64,
+            },
+        )
         .unwrap();
         assert!(far.round_trip_s > near.round_trip_s);
     }

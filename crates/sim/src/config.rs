@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::fault::{FaultEvent, RetryPolicy};
+
 /// Tunables for one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -18,6 +20,10 @@ pub struct SimConfig {
     pub warmup_cycles: u64,
     /// RNG seed (simulations are fully deterministic given the seed).
     pub seed: u64,
+    /// Scheduled link/router outages, applied live during the run.
+    pub faults: Vec<FaultEvent>,
+    /// End-to-end retry discipline for packets lost to outages.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -29,6 +35,8 @@ impl Default for SimConfig {
             stall_threshold: 1_000,
             warmup_cycles: 0,
             seed: 0xF2AC7A,
+            faults: Vec::new(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -61,6 +69,24 @@ impl SimConfig {
     /// Builder-style seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Adds one scheduled outage.
+    pub fn with_fault(mut self, fault: FaultEvent) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Replaces the whole fault schedule.
+    pub fn with_faults(mut self, faults: Vec<FaultEvent>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder-style retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }

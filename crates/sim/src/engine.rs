@@ -9,16 +9,31 @@
 //! a packet chain drains one flit per cycle toward any ejector — which
 //! means a persistent all-idle network with traffic in flight is a
 //! genuine circular wait, and the wait-for graph confirms it.
+//!
+//! ## Live faults
+//!
+//! [`SimConfig::faults`](crate::SimConfig) schedules link/router
+//! outages applied at the start of their cycle: every worm whose
+//! occupied or remaining channels died is torn down (its channels
+//! released, its flits discarded), and the source re-queues it under
+//! the [`RetryPolicy`](crate::fault::RetryPolicy) — exponential
+//! backoff, bounded attempts, then abandonment. Each packet snapshots
+//! its path at injection, so a routing-table swap installed by a
+//! [repairer](Engine::with_repairer) mid-run never corrupts worms
+//! already in the fabric: only queued and retried packets pick up the
+//! repaired routes.
 
 use crate::config::SimConfig;
-use crate::stats::{DeadlockEvent, SimResult};
+use crate::fault::FaultKind;
+use crate::stats::{DeadlockEvent, RecoveryStats, SimResult};
 use crate::traffic::Workload;
 use fractanet_deadlock::WaitGraph;
-use fractanet_graph::{ChannelId, Network};
+use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
 use fractanet_route::RouteSet;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::VecDeque;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 const NO_PKT: u32 = u32::MAX;
 
@@ -36,7 +51,12 @@ struct ChanState {
 
 impl ChanState {
     fn free() -> Self {
-        ChanState { owner: NO_PKT, entered: 0, occ: 0, route_pos: 0 }
+        ChanState {
+            owner: NO_PKT,
+            entered: 0,
+            occ: 0,
+            route_pos: 0,
+        }
     }
     /// Flit index of the buffer head.
     fn front(&self) -> u32 {
@@ -51,7 +71,35 @@ struct Packet {
     created: u64,
     injected: u64,
     sent: u32,
+    /// Channel sequence frozen at (re)queue time, so table swaps never
+    /// re-route a worm that is already in the fabric.
+    path: Box<[ChannelId]>,
+    /// Transmission attempts so far (0 = first try still pending).
+    attempts: u32,
 }
+
+/// Routing tables: borrowed at construction, owned after a repairer
+/// installs a regenerated set.
+enum Tables<'a> {
+    Borrowed(&'a RouteSet),
+    Owned(Box<RouteSet>),
+}
+
+impl Tables<'_> {
+    fn get(&self) -> &RouteSet {
+        match self {
+            Tables::Borrowed(r) => r,
+            Tables::Owned(r) => r,
+        }
+    }
+}
+
+/// Callback invoked after permanent faults: given the currently-dead
+/// links and routers, may return a repaired routing table to install.
+type Repairer<'a> = Box<dyn FnMut(&[LinkId], &[NodeId]) -> Option<RouteSet> + 'a>;
+
+/// One timeline entry: (cycle, is_repair, kind, permanent).
+type TimelineEvent = (u64, bool, FaultKind, bool);
 
 /// One simulation instance. Borrowings keep the network and routes
 /// shared across parallel sweep runs.
@@ -70,7 +118,8 @@ struct Packet {
 /// assert_eq!(result.delivered, 56);
 /// ```
 pub struct Engine<'a> {
-    routes: &'a RouteSet,
+    net: &'a Network,
+    tables: Tables<'a>,
     cfg: SimConfig,
     chans: Vec<ChanState>,
     packets: Vec<Packet>,
@@ -84,6 +133,17 @@ pub struct Engine<'a> {
     latencies: Vec<u64>,
     net_latencies: Vec<u64>,
     rng: StdRng,
+    // Fault machinery.
+    timeline: Vec<TimelineEvent>,
+    next_event: usize,
+    link_fault_ct: Vec<u32>,
+    router_fault_ct: Vec<u32>,
+    chan_dead: Vec<bool>,
+    first_fault: Option<u64>,
+    pending_retries: BinaryHeap<Reverse<(u64, u32)>>,
+    retry_rng: StdRng,
+    repairer: Option<Repairer<'a>>,
+    rec: RecoveryStats,
 }
 
 impl<'a> Engine<'a> {
@@ -92,8 +152,18 @@ impl<'a> Engine<'a> {
         let nch = net.channel_count();
         let n = routes.len();
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let retry_rng = StdRng::seed_from_u64(cfg.retry.jitter_seed);
+        let mut timeline: Vec<TimelineEvent> = Vec::with_capacity(cfg.faults.len() * 2);
+        for f in &cfg.faults {
+            timeline.push((f.at_cycle, false, f.kind, f.is_permanent()));
+            if let Some(rc) = f.repair_cycle {
+                timeline.push((rc, true, f.kind, false));
+            }
+        }
+        timeline.sort_by_key(|&(cycle, is_repair, _, _)| (cycle, is_repair));
         Engine {
-            routes,
+            net,
+            tables: Tables::Borrowed(routes),
             cfg,
             chans: vec![ChanState::free(); nch],
             packets: Vec::new(),
@@ -106,22 +176,56 @@ impl<'a> Engine<'a> {
             latencies: Vec::new(),
             net_latencies: Vec::new(),
             rng,
+            timeline,
+            next_event: 0,
+            link_fault_ct: vec![0; net.link_count()],
+            router_fault_ct: vec![0; net.node_count()],
+            chan_dead: vec![false; nch],
+            first_fault: None,
+            pending_retries: BinaryHeap::new(),
+            retry_rng,
+            repairer: None,
+            rec: RecoveryStats::default(),
         }
+    }
+
+    /// Installs a self-healing hook: after each cycle that applies a
+    /// *permanent* fault, the repairer sees the currently-dead links
+    /// and routers and may return a regenerated routing table, which
+    /// the engine installs for all queued and future packets (in-flight
+    /// worms keep their snapshotted paths). The caller is responsible
+    /// for certifying the table deadlock-free before returning it.
+    pub fn with_repairer(
+        mut self,
+        f: impl FnMut(&[LinkId], &[NodeId]) -> Option<RouteSet> + 'a,
+    ) -> Self {
+        self.repairer = Some(Box::new(f));
+        self
     }
 
     /// Runs `workload` to completion (or `max_cycles`, or deadlock) and
     /// returns the aggregate result.
     pub fn run(mut self, mut workload: Workload) -> SimResult {
-        let n = self.routes.len();
+        let n = self.tables.get().len();
         let mut idle_cycles = 0u64;
         let mut cycle = 0u64;
         let mut generated = 0usize;
         let mut deadlock = None;
 
         while cycle < self.cfg.max_cycles {
+            // 0. Outages and repairs scheduled for this cycle, then
+            //    retries whose backoff expired, then queue heads that
+            //    can no longer be routed.
+            if self.next_event < self.timeline.len() {
+                self.apply_fault_events(cycle);
+            }
+            self.release_due_retries(cycle);
+            self.flush_unroutable_heads(cycle);
+
             // 1. Traffic.
             for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
                 let id = self.packets.len() as u32;
+                let path: Box<[ChannelId]> = self.tables.get().path(s, d).into();
                 self.packets.push(Packet {
                     src: s as u32,
                     dst: d as u32,
@@ -129,26 +233,38 @@ impl<'a> Engine<'a> {
                     created: cycle,
                     injected: u64::MAX,
                     sent: 0,
+                    path,
+                    attempts: 0,
                 });
                 self.queues[s].push_back(id);
                 generated += 1;
+                if self.first_fault.is_some() {
+                    self.rec.post_fault_generated += 1;
+                }
             }
 
             // 2. One simulation step.
             let moves = self.step(cycle);
 
             // 3. Termination checks.
-            let drained = self.in_flight == 0 && self.queues.iter().all(VecDeque::is_empty);
+            let queues_empty = self.queues.iter().all(VecDeque::is_empty);
+            let drained = self.in_flight == 0 && queues_empty && self.pending_retries.is_empty();
             if workload.finished(cycle) && drained {
                 cycle += 1;
                 break;
             }
             if moves == 0 && !drained {
-                idle_cycles += 1;
-                if idle_cycles >= self.cfg.stall_threshold {
-                    deadlock = Some(self.diagnose_deadlock(cycle));
-                    cycle += 1;
-                    break;
+                if self.in_flight == 0 && queues_empty {
+                    // Nothing in the fabric: we are only waiting out
+                    // retry backoff timers, not stalled.
+                    idle_cycles = 0;
+                } else {
+                    idle_cycles += 1;
+                    if idle_cycles >= self.cfg.stall_threshold {
+                        deadlock = Some(self.diagnose_deadlock(cycle));
+                        cycle += 1;
+                        break;
+                    }
                 }
             } else {
                 idle_cycles = 0;
@@ -157,6 +273,208 @@ impl<'a> Engine<'a> {
         }
 
         self.finish(cycle, generated, deadlock)
+    }
+
+    /// Applies every timeline event scheduled for `cycle`: updates the
+    /// dead masks, tears down truncated worms, and (after permanent
+    /// faults) offers the repairer a chance to install new tables.
+    fn apply_fault_events(&mut self, cycle: u64) {
+        let mut changed = false;
+        let mut permanent_applied = false;
+        while self.next_event < self.timeline.len() && self.timeline[self.next_event].0 == cycle {
+            let (_, is_repair, kind, permanent) = self.timeline[self.next_event];
+            self.next_event += 1;
+            changed = true;
+            let delta: i64 = if is_repair { -1 } else { 1 };
+            match kind {
+                FaultKind::Link(l) => {
+                    let ct = &mut self.link_fault_ct[l.index()];
+                    *ct = (*ct as i64 + delta).max(0) as u32;
+                }
+                FaultKind::Router(r) => {
+                    let ct = &mut self.router_fault_ct[r.index()];
+                    *ct = (*ct as i64 + delta).max(0) as u32;
+                }
+            }
+            if !is_repair {
+                self.rec.faults_applied += 1;
+                self.first_fault.get_or_insert(cycle);
+                permanent_applied |= permanent;
+            }
+        }
+        if !changed {
+            return;
+        }
+        self.recompute_dead_channels();
+        self.teardown_worms(cycle, false);
+        if permanent_applied {
+            self.attempt_repair(cycle);
+        }
+    }
+
+    /// Derives the per-channel dead mask from link/router fault counts.
+    fn recompute_dead_channels(&mut self) {
+        for idx in 0..self.chan_dead.len() {
+            let ch = ChannelId(idx as u32);
+            let link_down = self.link_fault_ct[ch.link().index()] > 0;
+            let src_down = self.router_fault_ct[self.net.channel_src(ch).index()] > 0;
+            let dst_down = self.router_fault_ct[self.net.channel_dst(ch).index()] > 0;
+            self.chan_dead[idx] = link_down || src_down || dst_down;
+        }
+    }
+
+    /// Tears down worms: channels released, flits discarded, packet
+    /// handed to the retry machinery. With `all == false` only worms
+    /// whose occupied or remaining channels are dead are torn down;
+    /// with `all == true` every in-flight worm goes (the reconfiguration
+    /// drain).
+    fn teardown_worms(&mut self, cycle: u64, all: bool) {
+        // Worm heads (max route position per owner) and owners touching
+        // a dead channel.
+        let mut heads: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut hit: BTreeSet<u32> = BTreeSet::new();
+        for (idx, st) in self.chans.iter().enumerate() {
+            if st.owner == NO_PKT {
+                continue;
+            }
+            let h = heads.entry(st.owner).or_insert(st.route_pos);
+            *h = (*h).max(st.route_pos);
+            if self.chan_dead[idx] {
+                hit.insert(st.owner);
+            }
+        }
+        let mut victims: Vec<u32> = Vec::new();
+        for (&pid, &head) in &heads {
+            let future_dead = self.packets[pid as usize].path[head as usize + 1..]
+                .iter()
+                .any(|c| self.chan_dead[c.index()]);
+            if all || hit.contains(&pid) || future_dead {
+                victims.push(pid);
+            }
+        }
+        for pid in victims {
+            for st in &mut self.chans {
+                if st.owner == pid {
+                    *st = ChanState::free();
+                }
+            }
+            let (src, still_injecting) = {
+                let p = &mut self.packets[pid as usize];
+                let inj = p.sent < p.len;
+                p.sent = 0;
+                p.injected = u64::MAX;
+                (p.src as usize, inj)
+            };
+            if still_injecting {
+                self.queues[src].retain(|&q| q != pid);
+            }
+            self.in_flight -= 1;
+            self.rec.dropped_worms += 1;
+            self.schedule_retry(pid, cycle);
+        }
+    }
+
+    /// Lets the repairer install regenerated tables; queued (not yet
+    /// injected) packets re-snapshot their paths from the new tables.
+    fn attempt_repair(&mut self, cycle: u64) {
+        let Some(mut repairer) = self.repairer.take() else {
+            return;
+        };
+        let dead_links: Vec<LinkId> = (0..self.link_fault_ct.len())
+            .filter(|&l| self.link_fault_ct[l] > 0)
+            .map(|l| LinkId(l as u32))
+            .collect();
+        let dead_routers: Vec<NodeId> = (0..self.router_fault_ct.len())
+            .filter(|&r| self.router_fault_ct[r] > 0)
+            .map(|r| NodeId(r as u32))
+            .collect();
+        if let Some(new_tables) = repairer(&dead_links, &dead_routers) {
+            self.tables = Tables::Owned(Box::new(new_tables));
+            self.rec.repairs_installed += 1;
+            // Drain the old routing epoch: worms snapshotted under the
+            // replaced tables hold channels in an order the new CDG
+            // knows nothing about, and mixing the two epochs can
+            // deadlock even though each is acyclic on its own. Tear
+            // every in-flight worm down and let the retry machinery
+            // replay it under the new tables.
+            self.teardown_worms(cycle, true);
+            let tables = self.tables.get();
+            for q in &self.queues {
+                for &pid in q {
+                    let p = &mut self.packets[pid as usize];
+                    if p.sent == 0 {
+                        p.path = tables.path(p.src as usize, p.dst as usize).into();
+                    }
+                }
+            }
+        }
+        self.repairer = Some(repairer);
+    }
+
+    /// Moves retries whose backoff expired back into source queues,
+    /// re-snapshotting their paths from the current tables.
+    fn release_due_retries(&mut self, cycle: u64) {
+        while let Some(&Reverse((when, pid))) = self.pending_retries.peek() {
+            if when > cycle {
+                break;
+            }
+            self.pending_retries.pop();
+            let src = {
+                let p = &mut self.packets[pid as usize];
+                p.path = self
+                    .tables
+                    .get()
+                    .path(p.src as usize, p.dst as usize)
+                    .into();
+                p.sent = 0;
+                p.injected = u64::MAX;
+                p.src as usize
+            };
+            self.queues[src].push_back(pid);
+        }
+    }
+
+    /// Pops queue heads whose snapshotted path is unusable (empty, or
+    /// through a dead component) and hands them to the retry machinery
+    /// — they would otherwise block their source queue forever.
+    fn flush_unroutable_heads(&mut self, cycle: u64) {
+        if self.first_fault.is_none() {
+            return;
+        }
+        for s in 0..self.queues.len() {
+            while let Some(&pid) = self.queues[s].front() {
+                let p = &self.packets[pid as usize];
+                if p.sent > 0 {
+                    // Mid-injection: teardown owns this case.
+                    break;
+                }
+                let unroutable =
+                    p.path.is_empty() || p.path.iter().any(|c| self.chan_dead[c.index()]);
+                if !unroutable {
+                    break;
+                }
+                self.queues[s].pop_front();
+                self.schedule_retry(pid, cycle);
+            }
+        }
+    }
+
+    /// Books one failed attempt: re-queues the packet after backoff
+    /// plus jitter, or abandons it past `max_retries`.
+    fn schedule_retry(&mut self, pid: u32, cycle: u64) {
+        let (attempts, src, dst) = {
+            let p = &mut self.packets[pid as usize];
+            p.attempts += 1;
+            (p.attempts, p.src as usize, p.dst as usize)
+        };
+        if attempts > self.cfg.retry.max_retries {
+            self.rec.abandoned.push((src, dst));
+            return;
+        }
+        self.rec.retries += 1;
+        let jitter = self.retry_rng.gen_range(0..=self.cfg.retry.backoff_base);
+        let release = cycle + self.cfg.retry.backoff(attempts) + jitter;
+        self.pending_retries.push(Reverse((release, pid)));
     }
 
     /// Executes one cycle of flit movement; returns how many flits
@@ -175,12 +493,11 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let p = &self.packets[st.owner as usize];
-            let path = self.routes.path(p.src as usize, p.dst as usize);
-            if st.route_pos as usize == path.len() - 1 {
+            if st.route_pos as usize == p.path.len() - 1 {
                 ejects.push(ch);
                 continue;
             }
-            let next = path[st.route_pos as usize + 1];
+            let next = p.path[st.route_pos as usize + 1];
             let nst = &self.chans[next.index()];
             if st.front() == 0 {
                 if nst.owner == NO_PKT && nst.occ < b {
@@ -196,11 +513,17 @@ impl<'a> Engine<'a> {
         // Injection decisions.
         let mut injections: Vec<usize> = Vec::new(); // source indices
         for s in 0..self.queues.len() {
-            let Some(&pid) = self.queues[s].front() else { continue };
+            let Some(&pid) = self.queues[s].front() else {
+                continue;
+            };
             let p = &self.packets[pid as usize];
-            let c0 = self.routes.path(p.src as usize, p.dst as usize)[0];
+            let c0 = p.path[0];
             let st = &self.chans[c0.index()];
-            let ok = if p.sent == 0 { st.owner == NO_PKT && st.occ < b } else { st.occ < b };
+            let ok = if p.sent == 0 {
+                st.owner == NO_PKT && st.occ < b
+            } else {
+                st.occ < b
+            };
             if ok {
                 injections.push(s);
             }
@@ -254,6 +577,14 @@ impl<'a> Engine<'a> {
                     self.latencies.push(cycle + 1 - p.created);
                     self.net_latencies.push(cycle + 1 - p.injected);
                 }
+                if let Some(first) = self.first_fault {
+                    if p.created >= first {
+                        self.rec.post_fault_delivered += 1;
+                    }
+                    if p.attempts > 0 && self.rec.time_to_recover.is_none() {
+                        self.rec.time_to_recover = Some(cycle + 1 - first);
+                    }
+                }
             }
         }
         // Apply body transfers.
@@ -266,7 +597,7 @@ impl<'a> Engine<'a> {
                 (st.owner, flit, st.route_pos)
             };
             let p = &self.packets[owner as usize];
-            let next = self.routes.path(p.src as usize, p.dst as usize)[pos as usize + 1];
+            let next = p.path[pos as usize + 1];
             if flit == p.len - 1 {
                 self.chans[ch as usize].owner = NO_PKT;
             }
@@ -308,11 +639,7 @@ impl<'a> Engine<'a> {
                     p.injected = cycle;
                     self.in_flight += 1;
                 }
-                (
-                    self.routes.path(p.src as usize, p.dst as usize)[0],
-                    p.sent,
-                    p.len,
-                )
+                (p.path[0], p.sent, p.len)
             };
             let st = &mut self.chans[c0.index()];
             if sent_after == 1 {
@@ -337,9 +664,8 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let p = &self.packets[st.owner as usize];
-            let path = self.routes.path(p.src as usize, p.dst as usize);
-            if (st.route_pos as usize) < path.len() - 1 {
-                wg.add_wait(ChannelId(idx as u32), path[st.route_pos as usize + 1]);
+            if (st.route_pos as usize) < p.path.len() - 1 {
+                wg.add_wait(ChannelId(idx as u32), p.path[st.route_pos as usize + 1]);
             }
         }
         DeadlockEvent {
@@ -350,7 +676,7 @@ impl<'a> Engine<'a> {
     }
 
     fn finish(self, cycles: u64, generated: usize, deadlock: Option<DeadlockEvent>) -> SimResult {
-        let n = self.routes.len().max(1);
+        let n = self.tables.get().len().max(1);
         let mut lats = self.latencies.clone();
         lats.sort_unstable();
         let avg = |v: &[u64]| {
@@ -375,6 +701,7 @@ impl<'a> Engine<'a> {
             throughput: self.delivered_flits_measured as f64 / measured_cycles as f64 / n as f64,
             channel_busy: self.busy,
             deadlock,
+            recovery: self.rec,
         }
     }
 }
@@ -382,6 +709,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultEvent, RetryPolicy};
     use crate::traffic::DstPattern;
     use fractanet_route::dor::mesh_xy_routes;
     use fractanet_route::fractal::fractal_routes;
@@ -391,20 +719,25 @@ mod tests {
 
     fn ring4() -> (Ring, RouteSet) {
         let r = Ring::new(4, 1, 6).unwrap();
-        let rs =
-            RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
         (r, rs)
     }
 
     #[test]
     fn single_packet_delivers_with_sane_latency() {
         let (r, rs) = ring4();
-        let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(500);
+        let cfg = SimConfig::default()
+            .with_packet_flits(8)
+            .with_max_cycles(500);
         let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
         assert!(res.is_clean());
         assert_eq!(res.delivered, 1);
         // 8 flits over 3 channels: latency ≈ hops + flits, well under 50.
-        assert!(res.avg_latency >= 10.0 && res.avg_latency < 50.0, "{}", res.avg_latency);
+        assert!(
+            res.avg_latency >= 10.0 && res.avg_latency < 50.0,
+            "{}",
+            res.avg_latency
+        );
         assert!(res.avg_network_latency <= res.avg_latency);
     }
 
@@ -453,7 +786,9 @@ mod tests {
     fn all_to_all_on_fractahedron_completes() {
         let f = Fractahedron::new(1, fractanet_topo::Variant::Fat, false).unwrap();
         let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal_routes(&f)).unwrap();
-        let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(20_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(8)
+            .with_max_cycles(20_000);
         let res = Engine::new(f.net(), &rs, cfg).run(Workload::all_to_all_burst(8));
         assert!(res.is_clean());
         assert_eq!(res.delivered, 56);
@@ -478,7 +813,12 @@ mod tests {
         let res = Engine::new(f.net(), &rs, cfg).run(wl);
         assert!(res.deadlock.is_none());
         assert!(res.delivered > 0);
-        assert!(res.delivery_ratio() > 0.95, "{} of {}", res.delivered, res.generated);
+        assert!(
+            res.delivery_ratio() > 0.95,
+            "{} of {}",
+            res.delivered,
+            res.generated
+        );
     }
 
     #[test]
@@ -510,7 +850,9 @@ mod tests {
     fn determinism_under_fixed_seed() {
         let (r, rs) = ring4();
         let mk = || {
-            let cfg = SimConfig::default().with_packet_flits(4).with_max_cycles(3_000);
+            let cfg = SimConfig::default()
+                .with_packet_flits(4)
+                .with_max_cycles(3_000);
             let wl = Workload::Bernoulli {
                 injection_rate: 0.2,
                 pattern: DstPattern::Uniform,
@@ -528,7 +870,9 @@ mod tests {
     #[test]
     fn busy_counts_match_flit_volume() {
         let (r, rs) = ring4();
-        let cfg = SimConfig::default().with_packet_flits(4).with_max_cycles(1_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(4)
+            .with_max_cycles(1_000);
         let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
         // One 4-flit packet over a 3-channel path: 12 channel entries.
         let total: u64 = res.channel_busy.iter().sum();
@@ -540,7 +884,9 @@ mod tests {
         // A 1-flit packet's head is also its tail: allocation and
         // release collapse into one hop each.
         let (r, rs) = ring4();
-        let cfg = SimConfig::default().with_packet_flits(1).with_max_cycles(2_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(1)
+            .with_max_cycles(2_000);
         let res = Engine::new(r.net(), &rs, cfg).run(Workload::all_to_all_burst(4));
         assert!(res.is_clean(), "{:?}", res.deadlock);
         assert_eq!(res.delivered, 12);
@@ -580,11 +926,183 @@ mod tests {
         // Two packets back-to-back from the same source: the second
         // waits for the first's tail to clear the injection channel.
         let (r, rs) = ring4();
-        let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(1_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(8)
+            .with_max_cycles(1_000);
         let wl = Workload::Scripted(vec![(0, 0, 2), (0, 0, 2)]);
         let res = Engine::new(r.net(), &rs, cfg).run(wl);
         assert!(res.is_clean());
         assert_eq!(res.delivered, 2);
         assert!(res.max_latency > res.avg_network_latency as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Live fault injection.
+
+    /// The router-to-router link on the clockwise path `0 → 1`.
+    fn cw_link_0_to_1(rs: &RouteSet) -> fractanet_graph::LinkId {
+        rs.path(0, 1)[1].link()
+    }
+
+    #[test]
+    fn permanent_fault_without_retry_abandons_packet() {
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 5_000,
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(cw_link_0_to_1(&rs), 8));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 0);
+        assert_eq!(res.recovery.dropped_worms, 1);
+        assert_eq!(res.recovery.faults_applied, 1);
+        assert_eq!(res.recovery.abandoned, vec![(0, 1)]);
+        assert!(res.deadlock.is_none());
+        assert!(res.is_recovered());
+    }
+
+    #[test]
+    fn transient_fault_recovers_via_retry() {
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: RetryPolicy {
+                ack_timeout: 8,
+                max_retries: 8,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(cw_link_0_to_1(&rs), 8).transient(200));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert!(res.recovery.retries >= 1);
+        assert!(res.recovery.abandoned.is_empty());
+        assert!(res.recovery.time_to_recover.is_some());
+        assert!(res.is_clean());
+    }
+
+    #[test]
+    fn repairer_reroutes_around_permanent_fault() {
+        let (r, rs) = ring4();
+        let dead = cw_link_0_to_1(&rs);
+        // Counter-clockwise detour for 0 → 1: the reverse of the
+        // clockwise 1 → 0 path, channel by channel.
+        let detour: Vec<ChannelId> = rs.path(1, 0).iter().rev().map(|c| c.reverse()).collect();
+        assert!(detour.iter().all(|c| c.link() != dead));
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: RetryPolicy {
+                ack_timeout: 8,
+                max_retries: 4,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(dead, 8));
+        let rs_for_repair = rs.clone();
+        let res = Engine::new(r.net(), &rs, cfg)
+            .with_repairer(move |dead_links, _| {
+                assert_eq!(dead_links, [dead]);
+                let detour = detour.clone();
+                let base = rs_for_repair.clone();
+                Some(RouteSet::from_pairs(base.len(), move |s, d| {
+                    if (s, d) == (0, 1) {
+                        detour.clone()
+                    } else {
+                        base.path(s, d).to_vec()
+                    }
+                }))
+            })
+            .run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert_eq!(res.recovery.repairs_installed, 1);
+        assert_eq!(res.recovery.dropped_worms, 1);
+        assert!(res.recovery.retries >= 1);
+        assert!(res.recovery.time_to_recover.is_some());
+        assert!(res.is_clean());
+    }
+
+    #[test]
+    fn router_fault_kills_attached_channels() {
+        let (r, rs) = ring4();
+        // The router on the 0 → 1 path (downstream end of the
+        // injection channel).
+        let router = r.net().channel_dst(rs.path(0, 1)[0]);
+        let cfg = SimConfig {
+            packet_flits: 16,
+            max_cycles: 5_000,
+            retry: RetryPolicy {
+                max_retries: 1,
+                ..RetryPolicy::default()
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_router(router, 4));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        // The only route 0 → 1 passes the dead router: dropped, then
+        // retried against the same dead table, then abandoned.
+        assert_eq!(res.delivered, 0);
+        assert!(res.recovery.dropped_worms >= 1);
+        assert_eq!(res.recovery.abandoned, vec![(0, 1)]);
+        assert!(res.is_recovered());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let (r, rs) = ring4();
+        let mk = || {
+            let cfg = SimConfig {
+                packet_flits: 8,
+                max_cycles: 6_000,
+                retry: RetryPolicy {
+                    ack_timeout: 16,
+                    max_retries: 3,
+                    backoff_base: 16,
+                    jitter_seed: 7,
+                },
+                ..SimConfig::default()
+            }
+            .with_fault(FaultEvent::kill_link(cw_link_0_to_1(&rs), 50).transient(400));
+            let wl = Workload::Bernoulli {
+                injection_rate: 0.15,
+                pattern: DstPattern::Uniform,
+                until_cycle: 1_000,
+            };
+            Engine::new(r.net(), &rs, cfg).run(wl)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.recovery.retries, b.recovery.retries);
+        assert_eq!(a.recovery.dropped_worms, b.recovery.dropped_worms);
+        assert_eq!(a.recovery.abandoned, b.recovery.abandoned);
+        assert_eq!(a.channel_busy, b.channel_busy);
+    }
+
+    #[test]
+    fn post_fault_accounting_tracks_fault_onset() {
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 4,
+            max_cycles: 10_000,
+            ..SimConfig::default()
+        }
+        // Fault on a link unused by 2 → 3 traffic, applied mid-script.
+        .with_fault(FaultEvent::kill_link(cw_link_0_to_1(&rs), 100));
+        let wl = Workload::Scripted(vec![(0, 2, 3), (200, 2, 3)]);
+        let res = Engine::new(r.net(), &rs, cfg).run(wl);
+        assert_eq!(res.delivered, 2);
+        assert_eq!(res.recovery.post_fault_generated, 1);
+        assert_eq!(res.recovery.post_fault_delivered, 1);
+        assert_eq!(res.recovery.post_fault_delivery_ratio(), 1.0);
     }
 }

@@ -1,0 +1,136 @@
+//! Live fault injection: schedules of link/router outages applied
+//! mid-simulation, and the source-side retry policy that recovers from
+//! them.
+//!
+//! ServerNet's end-to-end discipline (Horst §2) is that the *fabric*
+//! only guarantees deadlock freedom; loss recovery lives at the edges:
+//! a sender that misses an acknowledgment within a timeout retransmits,
+//! backs off exponentially, and after enough failures escalates
+//! (ultimately failing over to the second fabric). [`RetryPolicy`]
+//! models that discipline; [`FaultEvent`] models the outages.
+
+use fractanet_graph::{LinkId, NodeId};
+
+/// Which component an outage takes down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A full-duplex cable dies (both channels).
+    Link(LinkId),
+    /// A router dies: every attached link goes with it.
+    Router(NodeId),
+}
+
+/// One scheduled outage. Applied at the *start* of `at_cycle`; a
+/// transient fault is undone at the start of `repair_cycle`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// Cycle the component dies.
+    pub at_cycle: u64,
+    /// What dies.
+    pub kind: FaultKind,
+    /// Cycle the component comes back, if the fault is transient.
+    pub repair_cycle: Option<u64>,
+}
+
+impl FaultEvent {
+    /// A permanent link kill.
+    pub fn kill_link(link: LinkId, at_cycle: u64) -> Self {
+        FaultEvent {
+            at_cycle,
+            kind: FaultKind::Link(link),
+            repair_cycle: None,
+        }
+    }
+
+    /// A permanent router kill.
+    pub fn kill_router(router: NodeId, at_cycle: u64) -> Self {
+        FaultEvent {
+            at_cycle,
+            kind: FaultKind::Router(router),
+            repair_cycle: None,
+        }
+    }
+
+    /// Marks the fault transient, repaired at `repair_cycle`.
+    pub fn transient(mut self, repair_cycle: u64) -> Self {
+        debug_assert!(repair_cycle > self.at_cycle, "repair must follow the fault");
+        self.repair_cycle = Some(repair_cycle);
+        self
+    }
+
+    /// Whether the component never comes back.
+    pub fn is_permanent(&self) -> bool {
+        self.repair_cycle.is_none()
+    }
+}
+
+/// Source-side recovery parameters (ServerNet end-to-end retry).
+///
+/// A packet torn down by an outage (or unroutable when it reaches the
+/// head of its injection queue) is re-queued after
+/// `ack_timeout + backoff_base * 2^attempt + jitter` cycles, where
+/// `jitter` is drawn uniformly from `[0, backoff_base]` on a stream
+/// seeded by `jitter_seed` (runs stay deterministic). After
+/// `max_retries` failed attempts the packet is abandoned and reported
+/// in [`RecoveryStats::abandoned`](crate::stats::RecoveryStats) — the
+/// upper (dual-fabric) layer treats those as failover candidates.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Cycles the sender waits for an acknowledgment before declaring
+    /// the attempt lost.
+    pub ack_timeout: u64,
+    /// Attempts after the first before the sender gives up.
+    pub max_retries: u32,
+    /// Base of the exponential backoff, in cycles.
+    pub backoff_base: u64,
+    /// Seed of the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            ack_timeout: 64,
+            max_retries: 4,
+            backoff_base: 16,
+            jitter_seed: 0x1A77,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff component (without jitter) of the delay before retry
+    /// attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        self.ack_timeout + self.backoff_base.saturating_mul(1u64 << exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_builder() {
+        let f = FaultEvent::kill_link(LinkId(3), 100).transient(250);
+        assert_eq!(f.repair_cycle, Some(250));
+        assert!(!f.is_permanent());
+        assert!(FaultEvent::kill_router(NodeId(1), 5).is_permanent());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_bounded() {
+        let p = RetryPolicy {
+            ack_timeout: 10,
+            max_retries: 8,
+            backoff_base: 4,
+            jitter_seed: 0,
+        };
+        assert_eq!(p.backoff(1), 14);
+        assert_eq!(p.backoff(2), 18);
+        assert_eq!(p.backoff(3), 26);
+        // Saturates instead of overflowing for absurd attempt counts.
+        assert!(p.backoff(60) > p.backoff(3));
+    }
+}

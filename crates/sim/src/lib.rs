@@ -35,6 +35,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod stats;
 pub mod sweep;
 pub mod traffic;
@@ -42,7 +43,8 @@ pub mod vc;
 
 pub use config::SimConfig;
 pub use engine::Engine;
-pub use stats::{DeadlockEvent, SimResult};
+pub use fault::{FaultEvent, FaultKind, RetryPolicy};
+pub use stats::{DeadlockEvent, RecoveryStats, SimResult};
 pub use sweep::{sweep_loads, LoadPoint};
 pub use traffic::{DstPattern, Workload};
 pub use vc::{dateline_ring_routes, dateline_torus_routes, VcEngine, VcRouteSet};

@@ -15,6 +15,44 @@ pub struct DeadlockEvent {
     pub stuck_packets: usize,
 }
 
+/// Fault-recovery accounting for a run with live fault injection.
+/// All-zero (the default) for runs without faults.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Outage events applied (repairs not counted).
+    pub faults_applied: u64,
+    /// Repaired routing tables installed mid-run.
+    pub repairs_installed: u64,
+    /// In-flight worms torn down: truncated by an outage, or drained
+    /// when repaired tables installed (the two routing epochs must not
+    /// mix in the fabric).
+    pub dropped_worms: u64,
+    /// Retransmission attempts scheduled by the retry policy.
+    pub retries: u64,
+    /// `(src, dst)` of packets abandoned after `max_retries` — the
+    /// dual-fabric layer replays these on the other fabric.
+    pub abandoned: Vec<(usize, usize)>,
+    /// Cycles from the first fault to the first *retried* packet
+    /// delivered (`None` if no retried packet completed).
+    pub time_to_recover: Option<u64>,
+    /// Packets created at or after the first fault.
+    pub post_fault_generated: usize,
+    /// Of those, packets delivered.
+    pub post_fault_delivered: usize,
+}
+
+impl RecoveryStats {
+    /// Fraction of post-fault traffic delivered (1.0 when no packet
+    /// was created after the first fault).
+    pub fn post_fault_delivery_ratio(&self) -> f64 {
+        if self.post_fault_generated == 0 {
+            1.0
+        } else {
+            self.post_fault_delivered as f64 / self.post_fault_generated as f64
+        }
+    }
+}
+
 /// Aggregate result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -39,6 +77,8 @@ pub struct SimResult {
     pub channel_busy: Vec<u64>,
     /// The deadlock verdict, if the run deadlocked.
     pub deadlock: Option<DeadlockEvent>,
+    /// Fault-injection and recovery accounting.
+    pub recovery: RecoveryStats,
 }
 
 impl SimResult {
@@ -55,6 +95,13 @@ impl SimResult {
     /// everything it generated.
     pub fn is_clean(&self) -> bool {
         self.deadlock.is_none() && self.delivered == self.generated
+    }
+
+    /// Whether the run survived its faults: no deadlock, and every
+    /// generated packet was either delivered or handed to the
+    /// failover layer as abandoned.
+    pub fn is_recovered(&self) -> bool {
+        self.deadlock.is_none() && self.delivered + self.recovery.abandoned.len() == self.generated
     }
 
     /// Peak channel utilization (busy fraction of the busiest channel).
@@ -83,6 +130,7 @@ mod tests {
             throughput: 0.2,
             channel_busy: vec![10, 50, 0],
             deadlock: None,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -97,8 +145,11 @@ mod tests {
     #[test]
     fn deadlock_marks_unclean() {
         let mut r = blank();
-        r.deadlock =
-            Some(DeadlockEvent { cycle: 42, cycle_channels: vec![ChannelId(0)], stuck_packets: 4 });
+        r.deadlock = Some(DeadlockEvent {
+            cycle: 42,
+            cycle_channels: vec![ChannelId(0)],
+            stuck_packets: 4,
+        });
         assert!(!r.is_clean());
     }
 

@@ -35,7 +35,9 @@ pub fn sweep_loads(
     until_cycle: u64,
 ) -> Vec<LoadPoint> {
     let results: Mutex<Vec<Option<LoadPoint>>> = Mutex::new(vec![None; rates.len()]);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let next = std::sync::atomic::AtomicUsize::new(0);
 
     crossbeam::thread::scope(|scope| {
@@ -46,21 +48,29 @@ pub fn sweep_loads(
                     break;
                 }
                 let rate = rates[i];
-                let point_cfg =
-                    cfg.clone().with_seed(cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+                let point_cfg = cfg
+                    .clone()
+                    .with_seed(cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
                 let wl = Workload::Bernoulli {
                     injection_rate: rate,
                     pattern: pattern.clone(),
                     until_cycle,
                 };
                 let result = Engine::new(net, routes, point_cfg).run(wl);
-                results.lock()[i] = Some(LoadPoint { injection_rate: rate, result });
+                results.lock()[i] = Some(LoadPoint {
+                    injection_rate: rate,
+                    result,
+                });
             });
         }
     })
     .expect("sweep worker panicked");
 
-    results.into_inner().into_iter().map(|p| p.expect("all points computed")).collect()
+    results
+        .into_inner()
+        .into_iter()
+        .map(|p| p.expect("all points computed"))
+        .collect()
 }
 
 /// Finds the saturation rate: the first swept rate where accepted
@@ -113,8 +123,7 @@ mod tests {
             stall_threshold: 1_000,
             ..SimConfig::default()
         };
-        let run =
-            || sweep_loads(f.net(), &rs, &cfg, &DstPattern::Uniform, &[0.1, 0.3], 1_000);
+        let run = || sweep_loads(f.net(), &rs, &cfg, &DstPattern::Uniform, &[0.1, 0.3], 1_000);
         let (a, b) = (run(), run());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.result.delivered, y.result.delivered);
@@ -138,6 +147,7 @@ mod tests {
                 throughput: thr,
                 channel_busy: vec![],
                 deadlock: None,
+                recovery: crate::stats::RecoveryStats::default(),
             },
         };
         let pts = vec![mk(0.1, 0.1), mk(0.3, 0.29), mk(0.5, 0.35)];

@@ -84,7 +84,9 @@ pub mod perms {
     pub fn bit_reversal(n: usize) -> Vec<usize> {
         assert!(n.is_power_of_two(), "bit reversal needs a power of two");
         let bits = n.trailing_zeros();
-        (0..n).map(|s| (s as u32).reverse_bits() as usize >> (32 - bits)).collect()
+        (0..n)
+            .map(|s| (s as u32).reverse_bits() as usize >> (32 - bits))
+            .collect()
     }
 
     /// Tornado: node `i` sends almost half-way around, `i + ⌈n/2⌉ − 1`.
@@ -135,7 +137,11 @@ impl Workload {
         rng: &mut StdRng,
     ) -> Vec<(usize, usize)> {
         match self {
-            Workload::Bernoulli { injection_rate, pattern, until_cycle } => {
+            Workload::Bernoulli {
+                injection_rate,
+                pattern,
+                until_cycle,
+            } => {
                 if cycle >= *until_cycle {
                     return Vec::new();
                 }
@@ -214,7 +220,10 @@ mod tests {
 
     #[test]
     fn hotspot_concentrates() {
-        let p = DstPattern::HotSpot { targets: vec![5], fraction: 1.0 };
+        let p = DstPattern::HotSpot {
+            targets: vec![5],
+            fraction: 1.0,
+        };
         let mut r = rng();
         for s in 0..5usize {
             assert_eq!(p.pick(s, 8, &mut r), Some(5));
@@ -281,7 +290,11 @@ mod tests {
 
     #[test]
     fn tornado_and_neighbor_are_permutations() {
-        for p in [perms::tornado(10), perms::neighbor(10), perms::complement(10)] {
+        for p in [
+            perms::tornado(10),
+            perms::neighbor(10),
+            perms::complement(10),
+        ] {
             let mut seen = [false; 10];
             for &d in &p {
                 assert!(!seen[d]);

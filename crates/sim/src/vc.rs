@@ -92,7 +92,10 @@ impl VcRouteSet {
 /// (router n−1 → 0), from which point they ride VC 1. With `vcs = 1`
 /// this degenerates to the deadlocking Fig 1 routing.
 pub fn dateline_ring_routes(ring: &Ring, vcs: u8) -> VcRouteSet {
-    assert!((1..=2).contains(&vcs), "the dateline scheme uses up to 2 VCs");
+    assert!(
+        (1..=2).contains(&vcs),
+        "the dateline scheme uses up to 2 VCs"
+    );
     let n = ring.len();
     let npr = ring.nodes_per_router();
     let net = ring.net();
@@ -106,7 +109,9 @@ pub fn dateline_ring_routes(ring: &Ring, vcs: u8) -> VcRouteSet {
         let mut cur = rs;
         let mut vc = 0u8;
         while cur != rd {
-            let ch = net.channel_out(ring.router(cur), PORT_CW).expect("ring CW port");
+            let ch = net
+                .channel_out(ring.router(cur), PORT_CW)
+                .expect("ring CW port");
             // Crossing the dateline (the wrap link out of router n-1)
             // promotes the packet to VC 1 when available.
             if cur == n - 1 && vcs > 1 {
@@ -134,7 +139,10 @@ pub fn dateline_ring_routes(ring: &Ring, vcs: u8) -> VcRouteSet {
 /// cycles). With `vcs = 1` the wrap routes close dependency cycles.
 pub fn dateline_torus_routes(t: &fractanet_topo::Torus2D, vcs: u8) -> VcRouteSet {
     use fractanet_topo::mesh::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
-    assert!((1..=2).contains(&vcs), "the dateline scheme uses up to 2 VCs");
+    assert!(
+        (1..=2).contains(&vcs),
+        "the dateline scheme uses up to 2 VCs"
+    );
     let (cols, rows) = (t.cols(), t.rows());
     let net = t.net();
     VcRouteSet::from_pairs(t.end_nodes().len(), vcs, |s, d| {
@@ -146,34 +154,55 @@ pub fn dateline_torus_routes(t: &fractanet_topo::Torus2D, vcs: u8) -> VcRouteSet
         // X dimension, minimal direction (ties go east).
         let east = (dx + cols - sx) % cols;
         let west = (sx + cols - dx) % cols;
-        let (steps, port, wrap_from) =
-            if east <= west { (east, PORT_EAST, cols - 1) } else { (west, PORT_WEST, 0) };
+        let (steps, port, wrap_from) = if east <= west {
+            (east, PORT_EAST, cols - 1)
+        } else {
+            (west, PORT_WEST, 0)
+        };
         let mut x = sx;
         let mut vc = 0u8;
         for _ in 0..steps {
-            let ch = net.channel_out(t.router_at(x, sy), port).expect("torus X port");
+            let ch = net
+                .channel_out(t.router_at(x, sy), port)
+                .expect("torus X port");
             if x == wrap_from && vcs > 1 {
                 vc = 1;
             }
             hops.push((ch, vc));
-            x = if port == PORT_EAST { (x + 1) % cols } else { (x + cols - 1) % cols };
+            x = if port == PORT_EAST {
+                (x + 1) % cols
+            } else {
+                (x + cols - 1) % cols
+            };
         }
         // Y dimension.
         let north = (dy + rows - sy) % rows;
         let south = (sy + rows - dy) % rows;
-        let (steps, port, wrap_from) =
-            if north <= south { (north, PORT_NORTH, rows - 1) } else { (south, PORT_SOUTH, 0) };
+        let (steps, port, wrap_from) = if north <= south {
+            (north, PORT_NORTH, rows - 1)
+        } else {
+            (south, PORT_SOUTH, 0)
+        };
         let mut y = sy;
         vc = 0;
         for _ in 0..steps {
-            let ch = net.channel_out(t.router_at(dx, y), port).expect("torus Y port");
+            let ch = net
+                .channel_out(t.router_at(dx, y), port)
+                .expect("torus Y port");
             if y == wrap_from && vcs > 1 {
                 vc = 1;
             }
             hops.push((ch, vc));
-            y = if port == PORT_NORTH { (y + 1) % rows } else { (y + rows - 1) % rows };
+            y = if port == PORT_NORTH {
+                (y + 1) % rows
+            } else {
+                (y + rows - 1) % rows
+            };
         }
-        let &(eject_rev, _) = net.channels_from(t.end_nodes()[d]).first().expect("attached");
+        let &(eject_rev, _) = net
+            .channels_from(t.end_nodes()[d])
+            .first()
+            .expect("attached");
         hops.push((eject_rev.reverse(), vc));
         hops
     })
@@ -191,7 +220,12 @@ struct VChanState {
 
 impl VChanState {
     fn free() -> Self {
-        VChanState { owner: NO_PKT, entered: 0, occ: 0, route_pos: 0 }
+        VChanState {
+            owner: NO_PKT,
+            entered: 0,
+            occ: 0,
+            route_pos: 0,
+        }
     }
     fn front(&self) -> u32 {
         self.entered - self.occ as u32
@@ -323,6 +357,7 @@ impl<'a> VcEngine<'a> {
             throughput: self.delivered_flits as f64 / cycle.max(1) as f64 / n.max(1) as f64,
             channel_busy: self.busy,
             deadlock,
+            recovery: crate::stats::RecoveryStats::default(),
         }
     }
 
@@ -332,8 +367,16 @@ impl<'a> VcEngine<'a> {
         // per wire per cycle.
         #[derive(Clone, Copy)]
         enum Cand {
-            Transfer { from_vid: u32, to_vid: u32, alloc: bool },
-            Inject { src: u32, to_vid: u32, alloc: bool },
+            Transfer {
+                from_vid: u32,
+                to_vid: u32,
+                alloc: bool,
+            },
+            Inject {
+                src: u32,
+                to_vid: u32,
+                alloc: bool,
+            },
         }
         let mut ejects: Vec<u32> = Vec::new();
         let mut cands: Vec<(u32, Cand)> = Vec::new(); // (physical target, cand)
@@ -356,28 +399,46 @@ impl<'a> VcEngine<'a> {
                 if nst.owner == NO_PKT && nst.occ < b {
                     cands.push((
                         next.0.index() as u32,
-                        Cand::Transfer { from_vid: vid, to_vid: next_vid, alloc: true },
+                        Cand::Transfer {
+                            from_vid: vid,
+                            to_vid: next_vid,
+                            alloc: true,
+                        },
                     ));
                 }
             } else if nst.occ < b {
                 cands.push((
                     next.0.index() as u32,
-                    Cand::Transfer { from_vid: vid, to_vid: next_vid, alloc: false },
+                    Cand::Transfer {
+                        from_vid: vid,
+                        to_vid: next_vid,
+                        alloc: false,
+                    },
                 ));
             }
         }
         for s in 0..self.queues.len() {
-            let Some(&pid) = self.queues[s].front() else { continue };
+            let Some(&pid) = self.queues[s].front() else {
+                continue;
+            };
             let p = &self.packets[pid as usize];
             let first = self.routes.path(p.src as usize, p.dst as usize)[0];
             let vid = self.vid(first) as u32;
             let st = &self.chans[vid as usize];
             let alloc = p.sent == 0;
-            let ok = if alloc { st.owner == NO_PKT && st.occ < b } else { st.occ < b };
+            let ok = if alloc {
+                st.owner == NO_PKT && st.occ < b
+            } else {
+                st.occ < b
+            };
             if ok {
                 cands.push((
                     first.0.index() as u32,
-                    Cand::Inject { src: s as u32, to_vid: vid, alloc },
+                    Cand::Inject {
+                        src: s as u32,
+                        to_vid: vid,
+                        alloc,
+                    },
                 ));
             }
         }
@@ -449,7 +510,11 @@ impl<'a> VcEngine<'a> {
         for g in grants {
             moves += 1;
             match g {
-                Cand::Transfer { from_vid, to_vid, alloc } => {
+                Cand::Transfer {
+                    from_vid,
+                    to_vid,
+                    alloc,
+                } => {
                     let (owner, flit, pos) = {
                         let st = &mut self.chans[from_vid as usize];
                         let f = st.front();
@@ -513,9 +578,17 @@ impl<'a> VcEngine<'a> {
         }
         let cycle_channels = g
             .find_cycle()
-            .map(|vs| vs.into_iter().map(|vid| ChannelId(vid / self.vcs as u32)).collect())
+            .map(|vs| {
+                vs.into_iter()
+                    .map(|vid| ChannelId(vid / self.vcs as u32))
+                    .collect()
+            })
             .unwrap_or_default();
-        DeadlockEvent { cycle, cycle_channels, stuck_packets: self.in_flight }
+        DeadlockEvent {
+            cycle,
+            cycle_channels,
+            stuck_packets: self.in_flight,
+        }
     }
 }
 
@@ -537,7 +610,10 @@ mod tests {
     fn one_vc_ring_still_deadlocks() {
         let ring = Ring::new(4, 1, 6).unwrap();
         let routes = dateline_ring_routes(&ring, 1);
-        assert!(!routes.is_deadlock_free(ring.net()), "1 VC keeps the Fig 1 cycle");
+        assert!(
+            !routes.is_deadlock_free(ring.net()),
+            "1 VC keeps the Fig 1 cycle"
+        );
         let res = VcEngine::new(ring.net(), &routes, fig1_cfg()).run(Workload::fig1_ring(4));
         assert!(res.deadlock.is_some());
     }
@@ -546,7 +622,10 @@ mod tests {
     fn two_vc_dateline_breaks_the_cycle() {
         let ring = Ring::new(4, 1, 6).unwrap();
         let routes = dateline_ring_routes(&ring, 2);
-        assert!(routes.is_deadlock_free(ring.net()), "dateline CDG must be acyclic");
+        assert!(
+            routes.is_deadlock_free(ring.net()),
+            "dateline CDG must be acyclic"
+        );
         let res = VcEngine::new(ring.net(), &routes, fig1_cfg()).run(Workload::fig1_ring(4));
         assert!(res.deadlock.is_none(), "{:?}", res.deadlock);
         assert_eq!(res.delivered, 4);
@@ -606,9 +685,15 @@ mod tests {
     fn torus_one_vc_is_cyclic_two_vcs_acyclic() {
         let t = fractanet_topo::Torus2D::new(4, 4, 1, 6).unwrap();
         let one = dateline_torus_routes(&t, 1);
-        assert!(!one.is_deadlock_free(t.net()), "wrap routes must close a cycle on 1 VC");
+        assert!(
+            !one.is_deadlock_free(t.net()),
+            "wrap routes must close a cycle on 1 VC"
+        );
         let two = dateline_torus_routes(&t, 2);
-        assert!(two.is_deadlock_free(t.net()), "the dateline must break every cycle");
+        assert!(
+            two.is_deadlock_free(t.net()),
+            "the dateline must break every cycle"
+        );
     }
 
     #[test]
@@ -627,8 +712,8 @@ mod tests {
                     t.end_nodes()[d],
                     "{s}->{d}"
                 );
-                let want = bfs::router_hops(t.net(), t.end_nodes()[s], t.end_nodes()[d])
-                    .unwrap() as usize;
+                let want =
+                    bfs::router_hops(t.net(), t.end_nodes()[s], t.end_nodes()[d]).unwrap() as usize;
                 assert_eq!(p.len() - 1, want, "{s}->{d} not minimal");
             }
         }

@@ -57,8 +57,9 @@ impl FullyConnectedCluster {
             router_ports as usize + 1 - m
         );
         let mut net = Network::new();
-        let routers: Vec<NodeId> =
-            (0..m).map(|i| net.add_router(format!("R{i}"), router_ports)).collect();
+        let routers: Vec<NodeId> = (0..m)
+            .map(|i| net.add_router(format!("R{i}"), router_ports))
+            .collect();
         for i in 0..m {
             for j in (i + 1)..m {
                 // Port on i for peer j is j-1 (peers i+1.. shift down by
@@ -76,11 +77,24 @@ impl FullyConnectedCluster {
         for (i, &r) in routers.iter().enumerate() {
             for k in 0..nodes_per_router {
                 let e = net.add_end_node(format!("N{i}.{k}"));
-                net.connect(r, PortId((m - 1 + k) as u8), e, PortId(0), LinkClass::Attach)?;
+                net.connect(
+                    r,
+                    PortId((m - 1 + k) as u8),
+                    e,
+                    PortId(0),
+                    LinkClass::Attach,
+                )?;
                 ends.push(e);
             }
         }
-        Ok(FullyConnectedCluster { net, m, router_ports, nodes_per_router, routers, ends })
+        Ok(FullyConnectedCluster {
+            net,
+            m,
+            router_ports,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// The Fig 4 tetrahedron: 4 fully-connected 6-port routers with 12

@@ -116,7 +116,15 @@ impl FatTree {
             ends.push(e);
         }
 
-        Ok(FatTree { net, down, up, levels, nodes, routers, ends })
+        Ok(FatTree {
+            net,
+            down,
+            up,
+            levels,
+            nodes,
+            routers,
+            ends,
+        })
     }
 
     /// The paper's 64-node 4-2 fat tree of Fig 6.
@@ -211,7 +219,11 @@ mod tests {
     fn paper_4_2_router_count_is_28() {
         let ft = FatTree::paper_4_2_64();
         assert_eq!(ft.levels(), 3);
-        assert_eq!(ft.net().router_count(), 28, "Table 2: 4-2 fat tree uses 28 routers");
+        assert_eq!(
+            ft.net().router_count(),
+            28,
+            "Table 2: 4-2 fat tree uses 28 routers"
+        );
         assert_eq!(ft.end_nodes().len(), 64);
         ft.net().validate().unwrap();
     }
@@ -220,7 +232,11 @@ mod tests {
     fn paper_3_3_router_count_is_100() {
         let ft = FatTree::paper_3_3_64();
         assert_eq!(ft.levels(), 4);
-        assert_eq!(ft.net().router_count(), 100, "§3.4: 3-3 fat tree requires 100 routers");
+        assert_eq!(
+            ft.net().router_count(),
+            100,
+            "§3.4: 3-3 fat tree requires 100 routers"
+        );
         ft.net().validate().unwrap();
     }
 

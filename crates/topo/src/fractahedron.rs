@@ -97,7 +97,10 @@ impl Fractahedron {
     /// down port carries a fan-out router serving a pair of CPUs
     /// (2·8^N end nodes); without, end nodes attach directly (8^N).
     pub fn new(levels: usize, variant: Variant, fanout: bool) -> Result<Self, GraphError> {
-        assert!((1..=5).contains(&levels), "1 <= levels <= 5 (level 5 is already 32768 nodes)");
+        assert!(
+            (1..=5).contains(&levels),
+            "1 <= levels <= 5 (level 5 is already 32768 nodes)"
+        );
         let mut net = Network::new();
         let mut routers: Vec<Vec<Vec<[NodeId; 4]>>> = Vec::with_capacity(levels);
 
@@ -155,7 +158,13 @@ impl Fractahedron {
                             // layer 0.
                             let child_r = routers[k - 2][child_stack][0][0];
                             let parent_r = routers[k - 1][s][0][parent_corner];
-                            net.connect(child_r, PORT_UP, parent_r, parent_port, LinkClass::Level((k - 1) as u8))?;
+                            net.connect(
+                                child_r,
+                                PORT_UP,
+                                parent_r,
+                                parent_port,
+                                LinkClass::Level((k - 1) as u8),
+                            )?;
                         }
                         Variant::Fat => {
                             for l in 0..4usize {
@@ -213,14 +222,27 @@ impl Fractahedron {
             for (s, stack) in level.iter().enumerate() {
                 for (m, layer) in stack.iter().enumerate() {
                     for (cr, &r) in layer.iter().enumerate() {
-                        pos[r.index()] =
-                            Some(RouterPos { level: k0 + 1, stack: s, layer: m, corner: cr });
+                        pos[r.index()] = Some(RouterPos {
+                            level: k0 + 1,
+                            stack: s,
+                            layer: m,
+                            corner: cr,
+                        });
                     }
                 }
             }
         }
 
-        Ok(Fractahedron { net, levels, variant, fanout, routers, fanouts, ends, pos })
+        Ok(Fractahedron {
+            net,
+            levels,
+            variant,
+            fanout,
+            routers,
+            fanouts,
+            ends,
+            pos,
+        })
     }
 
     /// The paper's 64-node fat fractahedron of Fig 7 / Table 2
@@ -371,7 +393,11 @@ mod tests {
     fn paper_fat_64_router_count_is_48() {
         let f = Fractahedron::paper_fat_64();
         assert_eq!(f.end_nodes().len(), 64);
-        assert_eq!(f.net().router_count(), 48, "Table 2: fat fractahedron uses 48 routers");
+        assert_eq!(
+            f.net().router_count(),
+            48,
+            "Table 2: fat fractahedron uses 48 routers"
+        );
         assert_eq!(f.stack_count(1), 8);
         assert_eq!(f.stack_count(2), 1);
         assert_eq!(f.layer_count(2), 4);
@@ -441,7 +467,11 @@ mod tests {
     fn node_counts_match_table_1() {
         for n in 1..=3usize {
             let thin = Fractahedron::new(n, Variant::Thin, true).unwrap();
-            assert_eq!(thin.end_nodes().len(), 2 * 8usize.pow(n as u32), "2*8^N CPUs");
+            assert_eq!(
+                thin.end_nodes().len(),
+                2 * 8usize.pow(n as u32),
+                "2*8^N CPUs"
+            );
         }
     }
 
@@ -461,8 +491,9 @@ mod tests {
         // Level k contributes 8^(N-k) * 4^k routers.
         for n in 1..=3usize {
             let f = Fractahedron::new(n, Variant::Fat, false).unwrap();
-            let expect: usize =
-                (1..=n).map(|k| 8usize.pow((n - k) as u32) * 4usize.pow(k as u32)).sum();
+            let expect: usize = (1..=n)
+                .map(|k| 8usize.pow((n - k) as u32) * 4usize.pow(k as u32))
+                .sum();
             assert_eq!(f.net().router_count(), expect);
         }
     }
@@ -483,7 +514,10 @@ mod tests {
                 }
                 let ra = f.router(1, 0, 0, a);
                 let rb = f.router(1, 0, 0, b);
-                let ch = f.net().channel_out(ra, Fractahedron::intra_port(a, b)).unwrap();
+                let ch = f
+                    .net()
+                    .channel_out(ra, Fractahedron::intra_port(a, b))
+                    .unwrap();
                 assert_eq!(f.net().channel_dst(ch), rb, "corner {a} -> {b}");
             }
         }
@@ -555,7 +589,15 @@ mod tests {
         let covered = f.net().routers().filter(|&r| f.pos_of(r).is_some()).count();
         assert_eq!(covered, 48);
         let p = f.pos_of(f.router(2, 0, 3, 2)).unwrap();
-        assert_eq!(p, RouterPos { level: 2, stack: 0, layer: 3, corner: 2 });
+        assert_eq!(
+            p,
+            RouterPos {
+                level: 2,
+                stack: 0,
+                layer: 3,
+                corner: 2
+            }
+        );
     }
 
     #[test]

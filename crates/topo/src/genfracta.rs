@@ -40,7 +40,12 @@ pub struct ClusterShape {
 
 impl ClusterShape {
     /// The paper's tetrahedral 2-3-1 shape on 6-port routers.
-    pub const PAPER: ClusterShape = ClusterShape { cluster: 4, ports: 6, down: 2, up: 1 };
+    pub const PAPER: ClusterShape = ClusterShape {
+        cluster: 4,
+        ports: 6,
+        down: 2,
+        up: 1,
+    };
 
     /// Validates the port budget: `down + (m−1) + up ≤ ports`.
     pub fn check(&self) {
@@ -136,7 +141,11 @@ impl GenFractahedron {
 
         for k in 1..=levels {
             let stacks = fanout.pow((levels - k) as u32);
-            let layers = if fat && k > 1 { repl.pow(k as u32 - 1) } else { 1 };
+            let layers = if fat && k > 1 {
+                repl.pow(k as u32 - 1)
+            } else {
+                1
+            };
             let mut level = Vec::with_capacity(stacks);
             for s in 0..stacks {
                 let mut stack = Vec::with_capacity(layers);
@@ -164,7 +173,11 @@ impl GenFractahedron {
 
         // Inter-level cables.
         for k in 2..=levels {
-            let child_layers = if fat && k > 2 { repl.pow(k as u32 - 2) } else { 1 };
+            let child_layers = if fat && k > 2 {
+                repl.pow(k as u32 - 2)
+            } else {
+                1
+            };
             for s in 0..routers[k - 1].len() {
                 for c in 0..fanout {
                     let child_stack = s * fanout + c;
@@ -176,8 +189,7 @@ impl GenFractahedron {
                                 for j in 0..child_layers {
                                     let child = routers[k - 2][child_stack][j][l];
                                     let parent_layer = (l * shape.up + q) * child_layers + j;
-                                    let parent =
-                                        routers[k - 1][s][parent_layer][parent_router];
+                                    let parent = routers[k - 1][s][parent_layer][parent_router];
                                     net.connect(
                                         child,
                                         shape.up_port(q),
@@ -228,14 +240,26 @@ impl GenFractahedron {
             for (s, stack) in level.iter().enumerate() {
                 for (y, layer) in stack.iter().enumerate() {
                     for (c, &r) in layer.iter().enumerate() {
-                        pos[r.index()] =
-                            Some(GenPos { level: k0 + 1, stack: s, layer: y, corner: c });
+                        pos[r.index()] = Some(GenPos {
+                            level: k0 + 1,
+                            stack: s,
+                            layer: y,
+                            corner: c,
+                        });
                     }
                 }
             }
         }
 
-        Ok(GenFractahedron { net, shape, levels, fat, routers, ends, pos })
+        Ok(GenFractahedron {
+            net,
+            shape,
+            levels,
+            fat,
+            routers,
+            ends,
+            pos,
+        })
     }
 
     /// Shape parameters.
@@ -330,7 +354,11 @@ mod tests {
                 false,
             )
             .unwrap();
-            assert_eq!(gen.net().router_count(), spec.net().router_count(), "N={levels} fat={fat}");
+            assert_eq!(
+                gen.net().router_count(),
+                spec.net().router_count(),
+                "N={levels} fat={fat}"
+            );
             assert_eq!(gen.end_nodes().len(), spec.end_nodes().len());
             assert_eq!(gen.net().link_count(), spec.net().link_count());
             assert_eq!(
@@ -350,7 +378,12 @@ mod tests {
     fn eight_port_shape_builds() {
         // 8-port routers, 4-cluster, 3 down / 3 intra / 2 up: per the
         // paper's §4, "other fully connected groups of N-port routers".
-        let shape = ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 };
+        let shape = ClusterShape {
+            cluster: 4,
+            ports: 8,
+            down: 3,
+            up: 2,
+        };
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         // Level 1: 12 clusters of 4 routers (fanout 12); level 2:
         // replication 8 layers.
@@ -365,7 +398,12 @@ mod tests {
     fn triangle_cluster_shape() {
         // 3 fully-connected 6-port routers: 2 intra, leaving 4 ports →
         // 2 down + 2 up.
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         assert_eq!(shape.fanout(), 6);
         assert_eq!(shape.replication(), 6);
@@ -378,8 +416,18 @@ mod tests {
     fn fat_max_delay_generalizes_to_3n_minus_1() {
         for shape in [
             ClusterShape::PAPER,
-            ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 },
-            ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 },
+            ClusterShape {
+                cluster: 3,
+                ports: 6,
+                down: 2,
+                up: 2,
+            },
+            ClusterShape {
+                cluster: 4,
+                ports: 8,
+                down: 3,
+                up: 2,
+            },
         ] {
             for n in 1..=2usize {
                 let g = GenFractahedron::new(shape, n, true).unwrap();
@@ -394,23 +442,42 @@ mod tests {
 
     #[test]
     fn thin_max_delay_generalizes_to_4n_minus_2() {
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         for n in 1..=3usize {
             let g = GenFractahedron::new(shape, n, false).unwrap();
-            assert_eq!(bfs::max_router_hops(g.net()), Some((4 * n - 2) as u32), "N={n}");
+            assert_eq!(
+                bfs::max_router_hops(g.net()),
+                Some((4 * n - 2) as u32),
+                "N={n}"
+            );
         }
     }
 
     #[test]
     #[should_panic(expected = "spare ports")]
     fn port_overflow_rejected() {
-        let shape = ClusterShape { cluster: 4, ports: 6, down: 3, up: 1 };
+        let shape = ClusterShape {
+            cluster: 4,
+            ports: 6,
+            down: 3,
+            up: 1,
+        };
         let _ = GenFractahedron::new(shape, 2, true);
     }
 
     #[test]
     fn address_decomposition() {
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         // addr 17 = cluster 2, corner (17 % 6) / 2 = 2, port 1.
         assert_eq!(g.cluster_of_addr(17), 2);
@@ -431,7 +498,12 @@ mod tests {
     fn wiring_discipline_holds() {
         // Child cluster c corner l up-port q lands on parent layer
         // (l*u + q)*L_child + j at router c/d, port c%d.
-        let shape = ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 };
+        let shape = ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        };
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         for c in 0..shape.fanout() {
             for l in 0..shape.cluster {

@@ -35,8 +35,9 @@ impl Hypercube {
         );
         let n = 1usize << dim;
         let mut net = Network::new();
-        let routers: Vec<NodeId> =
-            (0..n).map(|i| net.add_router(format!("R{i:0w$b}", w = dim as usize), router_ports)).collect();
+        let routers: Vec<NodeId> = (0..n)
+            .map(|i| net.add_router(format!("R{i:0w$b}", w = dim as usize), router_ports))
+            .collect();
         for v in 0..n {
             for bit in 0..dim {
                 let w = v ^ (1 << bit);
@@ -55,11 +56,23 @@ impl Hypercube {
         for (v, &r) in routers.iter().enumerate() {
             for k in 0..nodes_per_router {
                 let e = net.add_end_node(format!("N{v}.{k}"));
-                net.connect(r, PortId(dim as u8 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                net.connect(
+                    r,
+                    PortId(dim as u8 + k as u8),
+                    e,
+                    PortId(0),
+                    LinkClass::Attach,
+                )?;
                 ends.push(e);
             }
         }
-        Ok(Hypercube { net, dim, nodes_per_router, routers, ends })
+        Ok(Hypercube {
+            net,
+            dim,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// Cube dimension.
@@ -140,7 +153,13 @@ impl CubeConnectedCycles {
         // Cycles.
         for v in 0..corners {
             for i in 0..d {
-                net.connect(at(v, i), PortId(0), at(v, (i + 1) % d), PortId(1), LinkClass::Local)?;
+                net.connect(
+                    at(v, i),
+                    PortId(0),
+                    at(v, (i + 1) % d),
+                    PortId(1),
+                    LinkClass::Local,
+                )?;
             }
         }
         // Cube links on matching cycle positions.
@@ -157,12 +176,24 @@ impl CubeConnectedCycles {
             for i in 0..d {
                 for k in 0..nodes_per_router {
                     let e = net.add_end_node(format!("N{v}.{i}.{k}"));
-                    net.connect(at(v, i), PortId(3 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                    net.connect(
+                        at(v, i),
+                        PortId(3 + k as u8),
+                        e,
+                        PortId(0),
+                        LinkClass::Attach,
+                    )?;
                     ends.push(e);
                 }
             }
         }
-        Ok(CubeConnectedCycles { net, dim, nodes_per_router, routers, ends })
+        Ok(CubeConnectedCycles {
+            net,
+            dim,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// Cube dimension (= cycle length).

@@ -27,8 +27,8 @@
 
 pub mod cluster;
 pub mod fattree;
-pub mod genfracta;
 pub mod fractahedron;
+pub mod genfracta;
 pub mod hypercube;
 pub mod mesh;
 pub mod ring;

@@ -69,10 +69,22 @@ impl Mesh2D {
         for y in 0..rows {
             for x in 0..cols {
                 if x + 1 < cols {
-                    net.connect(at(x, y), PORT_EAST, at(x + 1, y), PORT_WEST, LinkClass::Local)?;
+                    net.connect(
+                        at(x, y),
+                        PORT_EAST,
+                        at(x + 1, y),
+                        PORT_WEST,
+                        LinkClass::Local,
+                    )?;
                 }
                 if y + 1 < rows {
-                    net.connect(at(x, y), PORT_NORTH, at(x, y + 1), PORT_SOUTH, LinkClass::Local)?;
+                    net.connect(
+                        at(x, y),
+                        PORT_NORTH,
+                        at(x, y + 1),
+                        PORT_SOUTH,
+                        LinkClass::Local,
+                    )?;
                 }
             }
         }
@@ -92,7 +104,14 @@ impl Mesh2D {
                 }
             }
         }
-        Ok(Mesh2D { net, cols, rows, nodes_per_router, routers, ends })
+        Ok(Mesh2D {
+            net,
+            cols,
+            rows,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// The paper's §3.1 configuration: a square mesh of 6-port routers
@@ -128,7 +147,10 @@ impl Mesh2D {
 
     /// Coordinates of a router id.
     pub fn coords_of(&self, router: NodeId) -> Option<(usize, usize)> {
-        self.routers.iter().position(|&r| r == router).map(|i| (i % self.cols, i / self.cols))
+        self.routers
+            .iter()
+            .position(|&r| r == router)
+            .map(|i| (i % self.cols, i / self.cols))
     }
 
     /// End node `k` of router `(x, y)`.
@@ -156,7 +178,10 @@ impl Topology for Mesh2D {
         &self.ends
     }
     fn name(&self) -> String {
-        format!("mesh {}x{} ({}/router)", self.cols, self.rows, self.nodes_per_router)
+        format!(
+            "mesh {}x{} ({}/router)",
+            self.cols, self.rows, self.nodes_per_router
+        )
     }
 }
 
@@ -181,7 +206,10 @@ impl Torus2D {
         nodes_per_router: usize,
         router_ports: u8,
     ) -> Result<Self, GraphError> {
-        assert!(cols >= 3 && rows >= 3, "torus needs at least 3 routers per dimension");
+        assert!(
+            cols >= 3 && rows >= 3,
+            "torus needs at least 3 routers per dimension"
+        );
         assert!(4 + nodes_per_router <= router_ports as usize);
         let mut net = Network::new();
         let mut routers = Vec::with_capacity(cols * rows);
@@ -215,7 +243,14 @@ impl Torus2D {
                 }
             }
         }
-        Ok(Torus2D { net, cols, rows, nodes_per_router, routers, ends })
+        Ok(Torus2D {
+            net,
+            cols,
+            rows,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// Router at `(x, y)`.
@@ -248,7 +283,10 @@ impl Topology for Torus2D {
         &self.ends
     }
     fn name(&self) -> String {
-        format!("torus {}x{} ({}/router)", self.cols, self.rows, self.nodes_per_router)
+        format!(
+            "torus {}x{} ({}/router)",
+            self.cols, self.rows, self.nodes_per_router
+        )
     }
 }
 

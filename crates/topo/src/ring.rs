@@ -33,20 +33,39 @@ impl Ring {
         assert!(n >= 3, "ring needs at least 3 routers");
         assert!(2 + nodes_per_router <= router_ports as usize);
         let mut net = Network::new();
-        let routers: Vec<NodeId> =
-            (0..n).map(|i| net.add_router(format!("R{i}"), router_ports)).collect();
+        let routers: Vec<NodeId> = (0..n)
+            .map(|i| net.add_router(format!("R{i}"), router_ports))
+            .collect();
         for i in 0..n {
-            net.connect(routers[i], PORT_CW, routers[(i + 1) % n], PORT_CCW, LinkClass::Local)?;
+            net.connect(
+                routers[i],
+                PORT_CW,
+                routers[(i + 1) % n],
+                PORT_CCW,
+                LinkClass::Local,
+            )?;
         }
         let mut ends = Vec::new();
         for (i, &r) in routers.iter().enumerate() {
             for k in 0..nodes_per_router {
                 let e = net.add_end_node(format!("N{i}.{k}"));
-                net.connect(r, PortId(PORT_NODE0.0 + k as u8), e, PortId(0), LinkClass::Attach)?;
+                net.connect(
+                    r,
+                    PortId(PORT_NODE0.0 + k as u8),
+                    e,
+                    PortId(0),
+                    LinkClass::Attach,
+                )?;
                 ends.push(e);
             }
         }
-        Ok(Ring { net, n, nodes_per_router, routers, ends })
+        Ok(Ring {
+            net,
+            n,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// Number of routers.

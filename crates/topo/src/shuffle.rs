@@ -39,13 +39,20 @@ impl ShuffleExchange {
         let n = 1usize << k;
         let rol = |v: usize| ((v << 1) | (v >> (k - 1))) & (n - 1);
         let mut net = Network::new();
-        let routers: Vec<NodeId> =
-            (0..n).map(|v| net.add_router(format!("R{v:0w$b}", w = k as usize), router_ports)).collect();
+        let routers: Vec<NodeId> = (0..n)
+            .map(|v| net.add_router(format!("R{v:0w$b}", w = k as usize), router_ports))
+            .collect();
         // Exchange cables.
         for v in 0..n {
             let w = v ^ 1;
             if v < w {
-                net.connect(routers[v], PORT_EXCHANGE, routers[w], PORT_EXCHANGE, LinkClass::Local)?;
+                net.connect(
+                    routers[v],
+                    PORT_EXCHANGE,
+                    routers[w],
+                    PORT_EXCHANGE,
+                    LinkClass::Local,
+                )?;
             }
         }
         // Shuffle cables: v.out -> rol(v).in, skipping fixed points.
@@ -65,11 +72,23 @@ impl ShuffleExchange {
         for (v, &r) in routers.iter().enumerate() {
             for p in 0..nodes_per_router {
                 let e = net.add_end_node(format!("N{v}.{p}"));
-                net.connect(r, PortId(PORT_NODE0.0 + p as u8), e, PortId(0), LinkClass::Attach)?;
+                net.connect(
+                    r,
+                    PortId(PORT_NODE0.0 + p as u8),
+                    e,
+                    PortId(0),
+                    LinkClass::Attach,
+                )?;
                 ends.push(e);
             }
         }
-        Ok(ShuffleExchange { net, k, nodes_per_router, routers, ends })
+        Ok(ShuffleExchange {
+            net,
+            k,
+            nodes_per_router,
+            routers,
+            ends,
+        })
     }
 
     /// Label width `k` (network has `2^k` routers).
@@ -96,7 +115,10 @@ impl Topology for ShuffleExchange {
         &self.ends
     }
     fn name(&self) -> String {
-        format!("shuffle-exchange 2^{} ({}/router)", self.k, self.nodes_per_router)
+        format!(
+            "shuffle-exchange 2^{} ({}/router)",
+            self.k, self.nodes_per_router
+        )
     }
 }
 
@@ -151,11 +173,20 @@ mod tests {
     fn shuffle_ports_follow_rotation() {
         let s = ShuffleExchange::new(3, 1, 6).unwrap();
         // 011 shuffles to 110.
-        let ch = s.net().channel_out(s.router(0b011), PORT_SHUFFLE_OUT).unwrap();
+        let ch = s
+            .net()
+            .channel_out(s.router(0b011), PORT_SHUFFLE_OUT)
+            .unwrap();
         assert_eq!(s.net().channel_dst(ch), s.router(0b110));
         // Fixed points have no shuffle cables.
-        assert!(s.net().channel_out(s.router(0b000), PORT_SHUFFLE_OUT).is_none());
-        assert!(s.net().channel_out(s.router(0b111), PORT_SHUFFLE_OUT).is_none());
+        assert!(s
+            .net()
+            .channel_out(s.router(0b000), PORT_SHUFFLE_OUT)
+            .is_none());
+        assert!(s
+            .net()
+            .channel_out(s.router(0b111), PORT_SHUFFLE_OUT)
+            .is_none());
     }
 
     #[test]
@@ -165,7 +196,11 @@ mod tests {
         let s = ShuffleExchange::new(3, 1, 6).unwrap();
         let rs = updown_routeset(s.net(), s.end_nodes(), s.router(0));
         for (sa, d, p) in rs.pairs() {
-            assert_eq!(s.net().channel_dst(*p.last().unwrap()), s.end_nodes()[d], "{sa}->{d}");
+            assert_eq!(
+                s.net().channel_dst(*p.last().unwrap()),
+                s.end_nodes()[d],
+                "{sa}->{d}"
+            );
         }
     }
 }

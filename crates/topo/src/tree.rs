@@ -19,7 +19,10 @@ impl Star {
     /// Builds a star with `nodes` end nodes on a `router_ports`-port
     /// hub.
     pub fn new(nodes: usize, router_ports: u8) -> Result<Self, GraphError> {
-        assert!(nodes <= router_ports as usize, "star hub has only {router_ports} ports");
+        assert!(
+            nodes <= router_ports as usize,
+            "star hub has only {router_ports} ports"
+        );
         let mut net = Network::new();
         let hub = net.add_router("hub", router_ports);
         let mut ends = Vec::new();
@@ -73,16 +76,29 @@ impl BinaryTree {
         assert!(nodes_per_leaf < router_ports as usize);
         let count = (1usize << depth) - 1;
         let mut net = Network::new();
-        let routers: Vec<NodeId> =
-            (0..count).map(|i| net.add_router(format!("T{i}"), router_ports)).collect();
+        let routers: Vec<NodeId> = (0..count)
+            .map(|i| net.add_router(format!("T{i}"), router_ports))
+            .collect();
         for i in 0..count {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             if l < count {
-                net.connect(routers[i], PortId(1), routers[l], PortId(0), LinkClass::Local)?;
+                net.connect(
+                    routers[i],
+                    PortId(1),
+                    routers[l],
+                    PortId(0),
+                    LinkClass::Local,
+                )?;
             }
             if r < count {
-                net.connect(routers[i], PortId(2), routers[r], PortId(0), LinkClass::Local)?;
+                net.connect(
+                    routers[i],
+                    PortId(2),
+                    routers[r],
+                    PortId(0),
+                    LinkClass::Local,
+                )?;
             }
         }
         let first_leaf = count / 2;
@@ -94,7 +110,13 @@ impl BinaryTree {
                 ends.push(e);
             }
         }
-        Ok(BinaryTree { net, depth, nodes_per_leaf, routers, ends })
+        Ok(BinaryTree {
+            net,
+            depth,
+            nodes_per_leaf,
+            routers,
+            ends,
+        })
     }
 
     /// Router levels.

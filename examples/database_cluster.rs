@@ -46,7 +46,10 @@ fn adversarial_pairs(sys: &System, flows: usize) -> (usize, Vec<(usize, usize)>)
     let mut s = 0usize;
     while pairs.len() < flows {
         let candidate = (s, (s + n / 2) % n);
-        if !pairs.iter().any(|&(a, b)| a == candidate.0 || b == candidate.1) {
+        if !pairs
+            .iter()
+            .any(|&(a, b)| a == candidate.0 || b == candidate.1)
+        {
             pairs.push(candidate);
         }
         s += 5;
@@ -60,14 +63,13 @@ fn run(label: &str, sys: &System, pairs: &[(usize, usize)]) {
         .with_buffer_depth(4)
         .with_max_cycles(400_000);
     let res = sys.simulate(query_workload(pairs, 40, 100), cfg);
-    assert!(res.deadlock.is_none(), "deadlock-free routing must not deadlock");
+    assert!(
+        res.deadlock.is_none(),
+        "deadlock-free routing must not deadlock"
+    );
     println!(
         "  {:<24} avg latency {:>8.1} cy   p95 {:>6} cy   delivered {:>4}/{}",
-        label,
-        res.avg_latency,
-        res.p95_latency,
-        res.delivered,
-        res.generated
+        label, res.avg_latency, res.p95_latency, res.delivered, res.generated
     );
 }
 
@@ -78,8 +80,7 @@ fn main() {
     let fracta = System::fat_fractahedron(2);
 
     // A benign placement for contrast: CPUs and disks spread evenly.
-    let benign: Vec<(usize, usize)> =
-        (0..12).map(|i| (i * 5, (i * 5 + 32) % 64)).collect();
+    let benign: Vec<(usize, usize)> = (0..12).map(|i| (i * 5, (i * 5 + 32) % 64)).collect();
 
     for (name, sys) in [("4-2 fat tree", &fat_tree), ("fat fractahedron", &fracta)] {
         let (worst, adversarial) = adversarial_pairs(sys, 12);

@@ -48,12 +48,20 @@ fn main() {
     let h = Hypercube::new(3, 1, 6).unwrap();
     let rs = updown_routeset(h.net(), h.end_nodes(), h.router(0));
     let verdict = verify_deadlock_free(h.net(), &rs).is_ok();
-    println!("  {:<24} {}", "3-cube / up*down*", if verdict { "deadlock-free  (Fig 2 discipline)" } else { "CAN DEADLOCK" });
+    println!(
+        "  {:<24} {}",
+        "3-cube / up*down*",
+        if verdict {
+            "deadlock-free  (Fig 2 discipline)"
+        } else {
+            "CAN DEADLOCK"
+        }
+    );
 
     println!("\ndynamic reproduction of Figure 1 (4-router loop, wormhole):\n");
     let ring = Ring::new(4, 1, 6).unwrap();
-    let cw = RouteSet::from_table(ring.net(), ring.end_nodes(), &ring_clockwise_routes(&ring))
-        .unwrap();
+    let cw =
+        RouteSet::from_table(ring.net(), ring.end_nodes(), &ring_clockwise_routes(&ring)).unwrap();
     let cfg = SimConfig {
         packet_flits: 32,
         buffer_depth: 2,
@@ -91,7 +99,11 @@ fn main() {
     let res = Engine::new(mesh.net(), &xy, cfg).run(wl);
     println!(
         "\n  same shape as a 2x2 mesh under XY routing: {} ({} packets delivered in {} cycles)",
-        if res.deadlock.is_none() { "completes" } else { "deadlocked?!" },
+        if res.deadlock.is_none() {
+            "completes"
+        } else {
+            "deadlocked?!"
+        },
         res.delivered,
         res.cycles
     );

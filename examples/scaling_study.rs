@@ -40,7 +40,11 @@ fn main() {
 
     println!("\nthe cost/performance dial: requirements pick the variant");
     for (cpus, min_bis) in [(128usize, 1u64), (128, 10), (1024, 1), (1024, 30)] {
-        let opts = plan(Requirement { cpus, min_bisection_links: min_bis, fanout: true });
+        let opts = plan(Requirement {
+            cpus,
+            min_bisection_links: min_bis,
+            fanout: true,
+        });
         match opts.first() {
             Some(best) => println!(
                 "  {cpus} CPUs, ≥{min_bis} bisection links → {:?} N{} ({} routers, {} cables)",

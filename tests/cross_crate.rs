@@ -68,9 +68,15 @@ fn static_freedom_implies_dynamic_freedom() {
 /// systems and deliver every packet.
 #[test]
 fn all_to_all_bursts_drain() {
-    for sys in [System::tetrahedron(), System::fat_fractahedron(1), System::mesh(3, 3)] {
+    for sys in [
+        System::tetrahedron(),
+        System::fat_fractahedron(1),
+        System::mesh(3, 3),
+    ] {
         let n = sys.end_nodes().len();
-        let cfg = SimConfig::default().with_packet_flits(6).with_max_cycles(100_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(6)
+            .with_max_cycles(100_000);
         let res = sys.simulate(Workload::all_to_all_burst(n), cfg);
         assert!(res.is_clean(), "{}: {:?}", sys.name(), res.deadlock);
         assert_eq!(res.delivered, n * (n - 1), "{}", sys.name());
@@ -84,7 +90,9 @@ fn zero_load_latency_matches_hops() {
     let sys = System::fat_fractahedron(2);
     let flits = 16u64;
     for (s, d) in [(0usize, 63usize), (0, 1), (5, 9)] {
-        let cfg = SimConfig::default().with_packet_flits(flits as u32).with_max_cycles(2_000);
+        let cfg = SimConfig::default()
+            .with_packet_flits(flits as u32)
+            .with_max_cycles(2_000);
         let res = sys.simulate(Workload::Scripted(vec![(0, s, d)]), cfg);
         assert!(res.is_clean());
         let hops = sys.route_set().router_hops(s, d) as u64;
@@ -102,7 +110,9 @@ fn flit_conservation() {
     let sys = System::tetrahedron();
     let flits = 10u64;
     let wl = Workload::Scripted(vec![(0, 0, 11), (0, 3, 6), (5, 2, 9)]);
-    let cfg = SimConfig::default().with_packet_flits(flits as u32).with_max_cycles(5_000);
+    let cfg = SimConfig::default()
+        .with_packet_flits(flits as u32)
+        .with_max_cycles(5_000);
     let res = sys.simulate(wl, cfg);
     assert!(res.is_clean());
     let expected: u64 = [(0usize, 11usize), (3, 6), (2, 9)]
@@ -129,14 +139,18 @@ fn contention_manifests_in_simulation() {
         witness.iter().map(|&(s, d)| (0u64, s, d)).collect();
     // A benign set of the same size: sources spread over all four
     // groups, each to a far destination, verified low-contention.
-    let benign_pairs: Vec<(usize, usize)> =
-        (0..12).map(|i| (i * 5, (i * 5 + 32) % 64)).collect();
+    let benign_pairs: Vec<(usize, usize)> = (0..12).map(|i| (i * 5, (i * 5 + 32) % 64)).collect();
     let (benign_worst, _) = pattern_contention(ft.net(), ft.route_set(), &benign_pairs);
-    assert!(benign_worst <= 4, "benign pattern should spread: {benign_worst}");
+    assert!(
+        benign_worst <= 4,
+        "benign pattern should spread: {benign_worst}"
+    );
     let benign: Vec<(u64, usize, usize)> =
         benign_pairs.iter().map(|&(s, d)| (0u64, s, d)).collect();
 
-    let cfg = SimConfig::default().with_packet_flits(24).with_max_cycles(100_000);
+    let cfg = SimConfig::default()
+        .with_packet_flits(24)
+        .with_max_cycles(100_000);
     let bad = ft.simulate(Workload::Scripted(adversarial), cfg.clone());
     let good = ft.simulate(Workload::Scripted(benign), cfg);
     assert!(bad.is_clean() && good.is_clean());
@@ -158,7 +172,9 @@ fn fabric_failover_end_to_end() {
     // Y is an independent, identical network: route and simulate on it.
     let routes = fractanet::route::fractal::fractal_routes(&pair.y);
     let rs = RouteSet::from_table(pair.y.net(), pair.y.end_nodes(), &routes).unwrap();
-    let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(20_000);
+    let cfg = SimConfig::default()
+        .with_packet_flits(8)
+        .with_max_cycles(20_000);
     let res = Engine::new(pair.y.net(), &rs, cfg).run(Workload::all_to_all_burst(8));
     assert!(res.is_clean());
 }

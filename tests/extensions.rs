@@ -10,7 +10,9 @@ use fractanet::prelude::*;
 use fractanet::route::genfracta::genfracta_routes;
 use fractanet::sim::vc::{dateline_ring_routes, VcEngine};
 use fractanet::sizing::{bill, plan, Requirement};
-use fractanet::topo::{ClusterShape, CubeConnectedCycles, GenFractahedron, ShuffleExchange, Torus2D};
+use fractanet::topo::{
+    ClusterShape, CubeConnectedCycles, GenFractahedron, ShuffleExchange, Torus2D,
+};
 
 /// The generalized builder with the paper's shape reproduces Table 2
 /// end to end (routers, hops, contention, deadlock freedom).
@@ -30,9 +32,24 @@ fn generalized_paper_shape_reproduces_table2() {
 #[test]
 fn alternative_shapes_keep_the_invariants() {
     for shape in [
-        ClusterShape { cluster: 3, ports: 6, down: 2, up: 2 },
-        ClusterShape { cluster: 4, ports: 8, down: 3, up: 2 },
-        ClusterShape { cluster: 5, ports: 8, down: 2, up: 2 },
+        ClusterShape {
+            cluster: 3,
+            ports: 6,
+            down: 2,
+            up: 2,
+        },
+        ClusterShape {
+            cluster: 4,
+            ports: 8,
+            down: 3,
+            up: 2,
+        },
+        ClusterShape {
+            cluster: 5,
+            ports: 8,
+            down: 2,
+            up: 2,
+        },
     ] {
         let g = GenFractahedron::new(shape, 2, true).unwrap();
         let rs = RouteSet::from_table(g.net(), g.end_nodes(), &genfracta_routes(&g)).unwrap();
@@ -79,7 +96,10 @@ fn virtual_channels_versus_topology_change() {
     let r2 = e2.run(Workload::fig1_ring(4));
     assert!(r2.deadlock.is_none());
     assert_eq!(r2.delivered, 4);
-    assert_eq!(slots2, 2 * VcEngine::new(ring.net(), &one, cfg).total_buffer_slots());
+    assert_eq!(
+        slots2,
+        2 * VcEngine::new(ring.net(), &one, cfg).total_buffer_slots()
+    );
 }
 
 /// Sizing plans agree with the networks they describe and respect the
@@ -87,7 +107,11 @@ fn virtual_channels_versus_topology_change() {
 #[test]
 fn sizing_plans_are_sound() {
     for (cpus, min_bis) in [(16usize, 1u64), (128, 4), (128, 16), (1024, 64)] {
-        for opt in plan(Requirement { cpus, min_bisection_links: min_bis, fanout: true }) {
+        for opt in plan(Requirement {
+            cpus,
+            min_bisection_links: min_bis,
+            fanout: true,
+        }) {
             assert!(opt.capacity >= cpus);
             assert!(opt.bisection >= min_bis);
             // The bill must be self-consistent with a fresh computation.
@@ -106,7 +130,12 @@ fn background_topologies_route_updown() {
     let ccc = CubeConnectedCycles::new(3, 1, 6).unwrap();
     let se = ShuffleExchange::new(3, 1, 6).unwrap();
     let nets: [(&str, &fractanet::graph::Network, &[NodeId], NodeId); 3] = [
-        ("torus", torus.net(), torus.end_nodes(), torus.router_at(0, 0)),
+        (
+            "torus",
+            torus.net(),
+            torus.end_nodes(),
+            torus.router_at(0, 0),
+        ),
         ("ccc", ccc.net(), ccc.end_nodes(), ccc.router_at(0, 0)),
         ("shuffle-exchange", se.net(), se.end_nodes(), se.router(0)),
     ];
@@ -114,7 +143,11 @@ fn background_topologies_route_updown() {
         let rs = updown_routeset(net, ends, root);
         assert!(verify_deadlock_free(net, &rs).is_ok(), "{name}");
         for (s, d, p) in rs.pairs() {
-            assert_eq!(net.channel_dst(*p.last().unwrap()), ends[d], "{name} {s}->{d}");
+            assert_eq!(
+                net.channel_dst(*p.last().unwrap()),
+                ends[d],
+                "{name} {s}->{d}"
+            );
         }
         // And they simulate cleanly under the same routes.
         let cfg = SimConfig {

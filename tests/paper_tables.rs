@@ -20,11 +20,19 @@ fn fig3_fully_connected_series() {
     for (m, ports, contention) in expect {
         let c = FullyConnectedCluster::new(m, 6).unwrap();
         assert_eq!(c.total_node_ports(), ports, "Fig 3, m = {m}: ports");
-        assert_eq!(c.predicted_contention(), contention, "Fig 3, m = {m}: prediction");
+        assert_eq!(
+            c.predicted_contention(),
+            contention,
+            "Fig 3, m = {m}: prediction"
+        );
         if m >= 2 {
             let sys = System::cluster(m);
             let rep = sys.analyze();
-            assert_eq!(rep.worst_contention, contention.unwrap(), "Fig 3, m = {m}: measured");
+            assert_eq!(
+                rep.worst_contention,
+                contention.unwrap(),
+                "Fig 3, m = {m}: measured"
+            );
             assert!(rep.deadlock_free);
         }
     }
@@ -47,7 +55,11 @@ fn table1_fractahedral_parameters() {
     for n in 1..=3usize {
         // Maximum nodes: 2 * 8^N with the fan-out level.
         let thin_fan = Fractahedron::new(n, Variant::Thin, true).unwrap();
-        assert_eq!(thin_fan.end_nodes().len(), 2 * 8usize.pow(n as u32), "Table 1 nodes, N={n}");
+        assert_eq!(
+            thin_fan.end_nodes().len(),
+            2 * 8usize.pow(n as u32),
+            "Table 1 nodes, N={n}"
+        );
 
         // Maximum delays (without the fan-out level, per the table's
         // note): thin 4N-2, fat 3N-1.
@@ -60,7 +72,11 @@ fn table1_fractahedral_parameters() {
         // "4N" is an OCR artifact; 4^1 = 4 agrees at N=1).
         assert_eq!(thin.bisection_links, 4, "Table 1 thin bisection, N={n}");
         if n <= 2 {
-            assert_eq!(fat.bisection_links, 4u64.pow(n as u32), "Table 1 fat bisection, N={n}");
+            assert_eq!(
+                fat.bisection_links,
+                4u64.pow(n as u32),
+                "Table 1 fat bisection, N={n}"
+            );
         }
 
         // Both variants deadlock-free (§2.4).
@@ -103,7 +119,10 @@ fn section31_mesh() {
     let m23 = Mesh2D::new(23, 23, 2, 6).unwrap();
     let a = m23.end_at(0, 0, 0);
     let b = m23.end_at(22, 22, 0);
-    assert_eq!(fractanet::graph::bfs::router_hops(m23.net(), a, b), Some(45));
+    assert_eq!(
+        fractanet::graph::bfs::router_hops(m23.net(), a, b),
+        Some(45)
+    );
     // Sizing helper picks the paper's dimensions.
     assert_eq!(Mesh2D::for_nodes(1024).unwrap().cols(), 23);
 }
@@ -137,7 +156,10 @@ fn section34_fat_fractahedron() {
     let rep = System::fat_fractahedron(2).analyze();
     assert_eq!(rep.routers, 48, "Table 2: from 28 to 48 routers");
     assert!((rep.avg_hops - 4.30).abs() < 0.01, "Table 2: 4.3");
-    assert_eq!(rep.local_contention, 4, "§3.4: 4:1 on the level-2 diagonals");
+    assert_eq!(
+        rep.local_contention, 4,
+        "§3.4: 4:1 on the level-2 diagonals"
+    );
     // Full-network exact maximum (down links) — see EXPERIMENTS.md.
     assert_eq!(rep.worst_contention, 8);
     assert!(rep.deadlock_free, "§2.4");
@@ -148,7 +170,11 @@ fn section34_fat_fractahedron() {
 fn section34_three_three_fat_tree() {
     let rep = System::fat_tree(64, 3, 3).analyze();
     assert_eq!(rep.routers, 100);
-    assert!((rep.avg_hops - 5.9).abs() < 0.1, "measured {}", rep.avg_hops);
+    assert!(
+        (rep.avg_hops - 5.9).abs() < 0.1,
+        "measured {}",
+        rep.avg_hops
+    );
 }
 
 /// Table 2, assembled: every row side by side.
@@ -172,7 +198,10 @@ fn table2_side_by_side() {
 #[test]
 fn fig1_dynamic_deadlock() {
     let ring = System::ring(4);
-    assert!(!ring.analyze().deadlock_free, "static analysis flags the loop");
+    assert!(
+        !ring.analyze().deadlock_free,
+        "static analysis flags the loop"
+    );
     let cfg = SimConfig {
         packet_flits: 32,
         buffer_depth: 2,
@@ -202,12 +231,21 @@ fn fig2_hypercube_disables() {
     assert!(verify_deadlock_free(h.net(), &updown).is_ok());
     let skew = utilization(h.net(), &updown, Some(LinkClass::Local));
 
-    let ecube =
-        RouteSet::from_table(h.net(), h.end_nodes(), &fractanet::route::dor::ecube_routes(&h))
-            .unwrap();
+    let ecube = RouteSet::from_table(
+        h.net(),
+        h.end_nodes(),
+        &fractanet::route::dor::ecube_routes(&h),
+    )
+    .unwrap();
     let even = utilization(h.net(), &ecube, Some(LinkClass::Local));
 
-    assert!(even.cv < 1e-9, "e-cube is perfectly even on a symmetric cube");
-    assert!(skew.cv > even.cv, "disables skew utilization (the §2 complaint)");
+    assert!(
+        even.cv < 1e-9,
+        "e-cube is perfectly even on a symmetric cube"
+    );
+    assert!(
+        skew.cv > even.cv,
+        "disables skew utilization (the §2 complaint)"
+    );
     assert!(skew.max > skew.min);
 }

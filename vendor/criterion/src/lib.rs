@@ -1,0 +1,145 @@
+//! Offline shim for the subset of `criterion` this workspace uses.
+//! Each benchmark runs a handful of timed iterations and prints a
+//! rough mean — a smoke-test harness (the bench bodies' asserts still
+//! run), not a statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (ignored by the shim beyond
+/// signature compatibility).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark driver.
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iterations.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total_ns += t0.elapsed().as_nanos();
+        }
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, T, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> T,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+        }
+    }
+}
+
+/// The benchmark registry/configuration object.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (the shim runs `min(sample, 5)`
+    /// iterations to keep smoke runs fast).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.sample_size.min(5) as u64,
+            total_ns: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            0
+        } else {
+            b.total_ns / b.iters as u128
+        };
+        println!("bench {id:<44} {:>12} ns/iter ({} iters)", mean, b.iters);
+        self
+    }
+}
+
+/// Declares a benchmark group (Criterion macro-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (Criterion macro-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut hits = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("t", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut total = 0u64;
+        Criterion::default().bench_function("t", |b| {
+            b.iter_batched(|| 2u64, |x| total += x, BatchSize::SmallInput)
+        });
+        assert_eq!(total, 10);
+    }
+}

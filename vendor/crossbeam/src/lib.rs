@@ -1,0 +1,62 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn`, implemented over
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped-thread API).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Handle passed to scoped-spawn closures. Unlike real crossbeam it
+    /// does not support *nested* spawning (no workspace caller nests);
+    /// the closure parameter exists purely for signature compatibility.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NestedScope(());
+
+    /// A scope in which spawned threads are joined before `scope`
+    /// returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a
+        /// [`NestedScope`] placeholder (crossbeam passes the scope for
+        /// nested spawning, which this shim does not support).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&NestedScope(())))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns. Panics in spawned threads propagate (the
+    /// `Err` variant is therefore never constructed, but the signature
+    /// matches crossbeam's).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_join() {
+            let counter = AtomicUsize::new(0);
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+                }
+            })
+            .unwrap();
+            assert_eq!(counter.into_inner(), 4);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses:
+//! a `Mutex` whose `lock()` returns the guard directly. Backed by
+//! `std::sync::Mutex`; poisoning (which parking_lot does not have) is
+//! translated into recovering the inner data, matching parking_lot's
+//! panic-transparent behavior.
+
+#![forbid(unsafe_code)]
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with parking_lot's poison-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

@@ -1,0 +1,503 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Semantics: each `proptest!` test runs `ProptestConfig::cases`
+//! random cases drawn from a deterministic per-test PRNG (seeded from
+//! the test's module path and name), so failures are reproducible
+//! across runs. There is no shrinking — a failing case panics with
+//! the generated inputs printed verbatim instead of a minimized
+//! counterexample.
+
+#![forbid(unsafe_code)]
+
+/// Runner configuration and failure plumbing.
+pub mod test_runner {
+    /// Subset of proptest's runner config: just the case count.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed `prop_assert*` inside a property body.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Wraps an assertion-failure message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Deterministic SplitMix64 stream used to drive all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from a test identifier (FNV-1a) and case index, so
+        /// every run of the same test replays the same cases.
+        pub fn deterministic(test_id: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_id.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h ^ u64::from(case + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! uint_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                    self.start() + ((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    uint_range_strategies!(u8, u16, u32, u64, usize);
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    ((self.start as i128) + (rng.next_u64() as i128 % span)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                    ((*self.start() as i128) + (rng.next_u64() as i128 % span)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.sample(rng),
+                self.1.sample(rng),
+                self.2.sample(rng),
+                self.3.sample(rng),
+            )
+        }
+    }
+
+    /// Uniform choice among same-valued strategies; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    #[allow(clippy::type_complexity)]
+    pub struct OneOf<V> {
+        options: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Empty union; populate with [`OneOf::push`].
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            OneOf {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one alternative.
+        pub fn push<S: Strategy<Value = V> + 'static>(&mut self, s: S) {
+            self.options.push(Box::new(move |rng| s.sample(rng)));
+        }
+    }
+
+    impl<V: Debug> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            assert!(
+                !self.options.is_empty(),
+                "prop_oneof! needs at least one option"
+            );
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// lengths fall in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary + Debug>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary + Debug> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors proptest's `prop::` module path inside the prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `fn name(binding in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        );
+    };
+}
+
+/// Internal: expands each property fn under a shared config.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::strategy::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __drawn = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    __inputs.push_str(&::std::format!(
+                        "{} = {:?}; ",
+                        stringify!($pat),
+                        &__drawn
+                    ));
+                    let $pat = __drawn;
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    ::std::panic!(
+                        "property '{}' failed at case {}/{}:\n  {}\n  inputs: {}",
+                        stringify!($name),
+                        __case,
+                        __config.cases,
+                        __err,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+}
+
+/// Fails the current case (returns `Err` from the property body) when
+/// the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `(left != right)`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Uniform union of same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __one_of = $crate::strategy::OneOf::new();
+        $(__one_of.push($strat);)+
+        __one_of
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::strategy::TestRng::deterministic("bounds", 0);
+        for _ in 0..200 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5usize..=9).sample(&mut rng);
+            assert!((5..=9).contains(&w));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let draw = || {
+            let mut rng = crate::strategy::TestRng::deterministic("replay", 7);
+            prop::collection::vec((0u32..10, 0u32..10), 1..9).sample(&mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_draws_and_passes(x in 0u64..100, (a, b) in (0u32..4, any::<bool>())) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a < 4, true);
+            prop_assert_ne!(i32::from(b), 2);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..5).prop_map(|x| x as u64),
+            (10u32..15).prop_map(|x| x as u64),
+        ]) {
+            prop_assert!(v < 5 || (10..15).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for the subset of `serde` this workspace uses: the
+//! experiment binaries derive `Serialize` on flat row structs and emit
+//! JSON lines through `serde_json::to_string`. The shim collapses the
+//! whole data model to "format yourself as a JSON value", which is all
+//! those rows need.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Types that can render themselves as a JSON value.
+pub trait Serialize {
+    /// The complete JSON value.
+    fn json(&self) -> String;
+
+    /// For struct-like values: the comma-joined `"key":value` field
+    /// list without surrounding braces (used by `#[serde(flatten)]`
+    /// and by `fractanet_bench::emit_json`). `None` for scalars.
+    fn json_fields(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Escapes a string per JSON rules.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self) -> String {
+                if self.is_finite() {
+                    // `{:?}` round-trips f64 (shortest representation).
+                    format!("{:?}", self)
+                } else {
+                    "null".to_string()
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn json(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl Serialize for str {
+    fn json(&self) -> String {
+        format!("\"{}\"", escape_str(self))
+    }
+}
+
+impl Serialize for String {
+    fn json(&self) -> String {
+        self.as_str().json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json(&self) -> String {
+        (**self).json()
+    }
+    fn json_fields(&self) -> Option<String> {
+        (**self).json_fields()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json(&self) -> String {
+        match self {
+            Some(v) => v.json(),
+            None => "null".to_string(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json(&self) -> String {
+        self.as_slice().json()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json(&self) -> String {
+        let items: Vec<String> = self.iter().map(Serialize::json).collect();
+        format!("[{}]", items.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(42u32.json(), "42");
+        assert_eq!((-3i64).json(), "-3");
+        assert_eq!(true.json(), "true");
+        assert_eq!(0.5f64.json(), "0.5");
+        assert_eq!(f64::NAN.json(), "null");
+        assert_eq!("a\"b".json(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(vec![1u8, 2, 3].json(), "[1,2,3]");
+        assert_eq!(Some(7u8).json(), "7");
+        assert_eq!(None::<u8>.json(), "null");
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline shim for serde's `#[derive(Serialize)]`, hand-parsed with
+//! `proc_macro` only (no `syn`/`quote` available offline).
+//!
+//! Supports plain (non-generic) structs with named fields, plus the
+//! `#[serde(flatten)]` field attribute. That covers every derive in
+//! this workspace: flat experiment-row structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name> { ... }`.
+    let struct_kw = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "struct"))
+        .expect("derive(Serialize) shim: expected a struct");
+    let name = match &tokens[struct_kw + 1] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("derive(Serialize) shim: expected struct name, found {other}"),
+    };
+    let body = tokens[struct_kw + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("derive(Serialize) shim: generic structs are unsupported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize) shim: named-field structs only");
+
+    let fields = parse_fields(body);
+
+    let mut push = String::new();
+    for (field, flatten) in &fields {
+        if *flatten {
+            push.push_str(&format!(
+                "{{ let flat = ::serde::Serialize::json_fields(&self.{field})\
+                     .expect(\"#[serde(flatten)] requires a struct-like field\");\
+                   if !flat.is_empty() {{\
+                       if !out.is_empty() {{ out.push(','); }}\
+                       out.push_str(&flat);\
+                   }} }}"
+            ));
+        } else {
+            push.push_str(&format!(
+                "if !out.is_empty() {{ out.push(','); }}\
+                 out.push_str(\"\\\"{field}\\\":\");\
+                 out.push_str(&::serde::Serialize::json(&self.{field}));"
+            ));
+        }
+    }
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn json_fields(&self) -> ::std::option::Option<::std::string::String> {{\
+                 let mut out = ::std::string::String::new();\
+                 {push}\
+                 ::std::option::Option::Some(out)\
+             }}\
+             fn json(&self) -> ::std::string::String {{\
+                 format!(\"{{{{{{}}}}}}\", self.json_fields().unwrap_or_default())\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) shim: generated impl must parse")
+}
+
+/// Extracts `(field_name, is_flattened)` pairs from a named-field body.
+fn parse_fields(body: TokenStream) -> Vec<(String, bool)> {
+    let mut fields = Vec::new();
+    let mut flatten_pending = false;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        match t {
+            // Attribute: `#[ ... ]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        if attr_is_serde_flatten(g.stream()) {
+                            flatten_pending = true;
+                        }
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(i) if i.to_string() == "pub" => {
+                // Skip optional `(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            // Field name, then swallow `: Type` up to the next
+            // top-level comma.
+            TokenTree::Ident(i) => {
+                fields.push((i.to_string(), flatten_pending));
+                flatten_pending = false;
+                let mut depth = 0i32;
+                for t in tokens.by_ref() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Whether a bracket-attribute body reads `serde(... flatten ...)`.
+fn attr_is_serde_flatten(stream: TokenStream) -> bool {
+    let mut it = stream.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "flatten"))
+        }
+        _ => false,
+    }
+}
