@@ -214,13 +214,11 @@ impl<'a> Engine<'a> {
 
         while cycle < self.cfg.max_cycles {
             // 0. Outages and repairs scheduled for this cycle, then
-            //    retries whose backoff expired, then queue heads that
-            //    can no longer be routed.
+            //    retries whose backoff expired.
             if self.next_event < self.timeline.len() {
                 self.apply_fault_events(cycle);
             }
             self.release_due_retries(cycle);
-            self.flush_unroutable_heads(cycle);
 
             // 1. Traffic.
             for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
@@ -242,6 +240,10 @@ impl<'a> Engine<'a> {
                     self.rec.post_fault_generated += 1;
                 }
             }
+            // Queue heads that can no longer be routed — checked after
+            // generation so a packet created this cycle never reaches
+            // the injection logic with an empty or fault-crossing path.
+            self.flush_unroutable_heads(cycle);
 
             // 2. One simulation step.
             let moves = self.step(cycle);
@@ -510,22 +512,36 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Injection decisions.
+        // Injection decisions. A head that has not started injecting
+        // must re-prove path liveness here: an empty path (severed
+        // pair under a partial-coverage repair) or one crossing a dead
+        // channel goes to the retry machinery instead of the fabric,
+        // regardless of whether flush_unroutable_heads saw it.
         let mut injections: Vec<usize> = Vec::new(); // source indices
         for s in 0..self.queues.len() {
-            let Some(&pid) = self.queues[s].front() else {
-                continue;
-            };
-            let p = &self.packets[pid as usize];
-            let c0 = p.path[0];
-            let st = &self.chans[c0.index()];
-            let ok = if p.sent == 0 {
-                st.owner == NO_PKT && st.occ < b
-            } else {
-                st.occ < b
-            };
-            if ok {
-                injections.push(s);
+            while let Some(&pid) = self.queues[s].front() {
+                let unroutable = {
+                    let p = &self.packets[pid as usize];
+                    p.sent == 0
+                        && (p.path.is_empty() || p.path.iter().any(|c| self.chan_dead[c.index()]))
+                };
+                if unroutable {
+                    self.queues[s].pop_front();
+                    self.schedule_retry(pid, cycle);
+                    continue;
+                }
+                let p = &self.packets[pid as usize];
+                let c0 = p.path[0];
+                let st = &self.chans[c0.index()];
+                let ok = if p.sent == 0 {
+                    st.owner == NO_PKT && st.occ < b
+                } else {
+                    st.occ < b
+                };
+                if ok {
+                    injections.push(s);
+                }
+                break;
             }
         }
 
@@ -1055,6 +1071,74 @@ mod tests {
         assert!(res.recovery.dropped_worms >= 1);
         assert_eq!(res.recovery.abandoned, vec![(0, 1)]);
         assert!(res.is_recovered());
+    }
+
+    #[test]
+    fn packet_generated_at_fault_cycle_never_crosses_dead_link() {
+        // Regression: a packet generated into an empty source queue in
+        // the same cycle its fault lands used to reach the injection
+        // loop before any liveness check and deliver across the dead
+        // link (static tables, no repairer).
+        let (r, rs) = ring4();
+        let dead = cw_link_0_to_1(&rs);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            max_cycles: 5_000,
+            retry: RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(dead, 8));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(8, 0, 1)]));
+        assert_eq!(res.delivered, 0, "{:?}", res.recovery);
+        assert!(res.recovery.retries >= 1);
+        assert_eq!(res.recovery.abandoned, vec![(0, 1)]);
+        assert!(res.deadlock.is_none());
+    }
+
+    #[test]
+    fn severed_pair_after_partial_repair_is_abandoned_not_panicked() {
+        // Regression: a repair that cannot cover every pair leaves
+        // severed pairs with empty paths by design; a packet generated
+        // for such a pair used to panic on `path[0]` in the injection
+        // loop if it reached the head of an empty queue the same
+        // cycle.
+        let (r, rs) = ring4();
+        let dead = cw_link_0_to_1(&rs);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            max_cycles: 10_000,
+            retry: RetryPolicy {
+                ack_timeout: 8,
+                max_retries: 2,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(dead, 8));
+        let rs_for_repair = rs.clone();
+        let res = Engine::new(r.net(), &rs, cfg)
+            .with_repairer(move |_, _| {
+                // Partial coverage: 0 → 1 stays severed (empty path).
+                let base = rs_for_repair.clone();
+                Some(RouteSet::from_pairs(base.len(), move |s, d| {
+                    if (s, d) == (0, 1) {
+                        Vec::new()
+                    } else {
+                        base.path(s, d).to_vec()
+                    }
+                }))
+            })
+            .run(Workload::Scripted(vec![(0, 2, 3), (10, 0, 1)]));
+        // The severed pair is retried then abandoned; the rest
+        // delivers under the repaired tables.
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert_eq!(res.recovery.repairs_installed, 1);
+        assert_eq!(res.recovery.abandoned, vec![(0, 1)]);
+        assert!(res.deadlock.is_none());
     }
 
     #[test]
