@@ -10,6 +10,7 @@
 //! to additionally emit one JSON object per result row on stderr for
 //! downstream tooling.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;

@@ -7,6 +7,7 @@
 //! wait right now? That is a cycle in the wait-for graph over channels.
 
 use fractanet_graph::{AdjList, ChannelId};
+use std::collections::HashSet;
 
 /// A wait-for graph over a network's channels, rebuilt each time the
 /// simulator suspects a stall.
@@ -14,6 +15,7 @@ use fractanet_graph::{AdjList, ChannelId};
 pub struct WaitGraph {
     n: usize,
     edges: Vec<(u32, u32)>,
+    seen: HashSet<(u32, u32)>,
 }
 
 impl WaitGraph {
@@ -22,13 +24,18 @@ impl WaitGraph {
         WaitGraph {
             n: n_channels,
             edges: Vec::new(),
+            seen: HashSet::new(),
         }
     }
 
     /// Records that the packet holding `held` is stalled waiting to
-    /// acquire `wanted`.
+    /// acquire `wanted`. Duplicate waits (several flits of the same
+    /// stalled packet, or repeated probes of the same stall) collapse
+    /// to a single edge, so [`len`](Self::len) counts *distinct* waits.
     pub fn add_wait(&mut self, held: ChannelId, wanted: ChannelId) {
-        self.edges.push((held.0, wanted.0));
+        if self.seen.insert((held.0, wanted.0)) {
+            self.edges.push((held.0, wanted.0));
+        }
     }
 
     /// Number of recorded waits.
@@ -83,6 +90,18 @@ mod tests {
         w.add_wait(ChannelId(6), ChannelId(0));
         let cyc = w.find_deadlock().unwrap();
         assert_eq!(cyc.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_waits_collapse() {
+        let mut w = WaitGraph::new(8);
+        w.add_wait(ChannelId(0), ChannelId(2));
+        w.add_wait(ChannelId(0), ChannelId(2));
+        w.add_wait(ChannelId(0), ChannelId(2));
+        w.add_wait(ChannelId(2), ChannelId(0));
+        assert_eq!(w.len(), 2, "repeated waits must dedupe to one edge");
+        let cyc = w.find_deadlock().unwrap();
+        assert_eq!(cyc.len(), 2);
     }
 
     #[test]

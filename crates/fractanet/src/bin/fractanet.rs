@@ -6,14 +6,14 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match fractanet::cli::parse(&args).and_then(fractanet::cli::run) {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
+    match fractanet::cli::parse(&args).and_then(fractanet::cli::execute) {
+        Ok(outcome) => {
+            print!("{}", outcome.output);
+            ExitCode::from(outcome.code)
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

@@ -47,6 +47,13 @@ pub enum Command {
         /// Required bisection links.
         bisection: u64,
     },
+    /// Statically verify routing tables (rules L1–L5).
+    Lint {
+        /// Topologies to lint.
+        specs: Vec<TopoSpec>,
+        /// Emit machine-readable JSON instead of prose.
+        json: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -176,6 +183,11 @@ USAGE:
                                         retry and certified self-healing
   fractanet plan --cpus <n> [--bisection <links>]
                                         fractahedral capacity planning
+  fractanet lint <topology>... [--json] static route verification: coverage,
+                                        path well-formedness, dependency-cycle
+                                        enumeration, discipline conformance,
+                                        contention bounds. Exits 1 when any
+                                        error-severity diagnostic fires.
   fractanet help
 
 TOPOLOGIES:
@@ -183,7 +195,8 @@ TOPOLOGIES:
   thin-fractahedron:<levels>[:fanout]   e.g. thin-fractahedron:3:fanout (1024 CPUs)
   mesh:<cols>x<rows>                    e.g. mesh:6x6            (§3.1)
   fattree:<nodes>:<down>:<up>           e.g. fattree:64:4:2      (Fig 6)
-  hypercube:<dim>                       e.g. hypercube:3         (Fig 2; dim <= 5 on 6 ports)
+  hypercube:<dim>                       e.g. hypercube:3         (Fig 2; dim <= 8,
+                                        routers grow past 6 ports above dim 5)
   ring:<n>                              e.g. ring:4              (Fig 1 — deadlock-prone!)
   tetrahedron                           (Fig 4)
   cluster:<m>                           e.g. cluster:3           (Fig 3)
@@ -229,12 +242,12 @@ impl TopoSpec {
             )),
             "hypercube" if parts.len() == 2 => {
                 let d = int(parts[1])? as u32;
-                if !(1..=5).contains(&d) {
-                    return Err(CliError(
-                        "hypercube dim must be 1..=5 on 6-port routers".into(),
-                    ));
+                if !(1..=8).contains(&d) {
+                    return Err(CliError("hypercube dim must be 1..=8".into()));
                 }
-                Ok(System::hypercube(d, 6))
+                // One attach port on top of `dim` direction ports; the
+                // standard 6-port ServerNet router covers dim <= 5.
+                Ok(System::hypercube(d, (d as u8 + 1).max(6)))
             }
             "ring" if parts.len() == 2 => Ok(System::ring(int(parts[1])?)),
             "tetrahedron" if parts.len() == 1 => Ok(System::tetrahedron()),
@@ -324,6 +337,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 faults,
             })
         }
+        Some("lint") => {
+            let mut specs = Vec::new();
+            let mut json = false;
+            for a in it {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other if other.starts_with('-') => {
+                        return Err(CliError(format!("unexpected argument '{other}'")))
+                    }
+                    other => specs.push(TopoSpec(other.to_string())),
+                }
+            }
+            if specs.is_empty() {
+                return Err(CliError(format!("lint needs a topology\n\n{USAGE}")));
+            }
+            Ok(Command::Lint { specs, json })
+        }
         Some("plan") => {
             let mut cpus = None;
             let mut bisection = 1u64;
@@ -352,11 +382,72 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// What a command produced, including the process exit status — lint
+/// findings are not *errors* (parsing and building succeeded) but must
+/// still fail a CI gate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOutcome {
+    /// Text for stdout.
+    pub output: String,
+    /// Process exit code: 0 = success, 1 = lint gate failed.
+    pub code: u8,
+}
+
+/// Executes a command, reporting output *and* exit status. This is the
+/// binary's entry point; [`run`] remains for callers that only want
+/// the text.
+pub fn execute(cmd: Command) -> Result<RunOutcome, CliError> {
+    match cmd {
+        Command::Lint { specs, json } => run_lint(&specs, json),
+        other => run(other).map(|output| RunOutcome { output, code: 0 }),
+    }
+}
+
+/// Lints each spec's canonical routing tables. The exit code is 1 when
+/// any error-severity diagnostic fired across any spec.
+fn run_lint(specs: &[TopoSpec], json: bool) -> Result<RunOutcome, CliError> {
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let mut reports = Vec::new();
+    for spec in specs {
+        let sys = spec.build()?;
+        let report = sys.lint();
+        errors += report.error_count();
+        reports.push(report);
+    }
+    if json {
+        // One JSON array of report objects, however many specs.
+        out.push('[');
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]\n");
+    } else {
+        for r in &reports {
+            out.push_str(&format!("{r}\n"));
+        }
+        out.push_str(&format!(
+            "lint: {} configuration(s), {} error(s), {} warning(s)\n",
+            reports.len(),
+            errors,
+            reports.iter().map(|r| r.warning_count()).sum::<usize>()
+        ));
+    }
+    Ok(RunOutcome {
+        output: out,
+        code: u8::from(errors > 0),
+    })
+}
+
 /// Executes a command, writing human output to the returned string.
 pub fn run(cmd: Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
+        Command::Lint { specs, json } => return run_lint(&specs, json).map(|o| o.output),
         Command::Analyze(specs) => {
             for spec in specs {
                 let sys = spec.build()?;
@@ -561,6 +652,7 @@ mod tests {
             "mesh:3x3",
             "fattree:16:4:2",
             "hypercube:3",
+            "hypercube:6",
             "ring:5",
             "tetrahedron",
             "cluster:3",
@@ -578,7 +670,7 @@ mod tests {
             "mesh:6",
             "mesh:ax3",
             "fattree:64:4",
-            "hypercube:6",
+            "hypercube:9",
             "cluster:7",
             "thin-fractahedron:1:bogus",
             "nonsense:1",
@@ -677,5 +769,88 @@ mod tests {
     #[test]
     fn run_help_prints_usage() {
         assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_lint() {
+        let cmd = parse(&argv("lint fat-fractahedron:2 mesh:6x6 --json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Lint {
+                specs: vec![
+                    TopoSpec("fat-fractahedron:2".into()),
+                    TopoSpec("mesh:6x6".into())
+                ],
+                json: true,
+            }
+        );
+        assert!(parse(&argv("lint")).is_err());
+        assert!(parse(&argv("lint ring:4 --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn lint_clean_topology_exits_zero() {
+        let outcome = execute(Command::Lint {
+            specs: vec![TopoSpec("fat-fractahedron:2".into())],
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 0, "{}", outcome.output);
+        assert!(outcome.output.contains("0 error(s)"), "{}", outcome.output);
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let outcome = execute(Command::Lint {
+            specs: vec![TopoSpec("fat-fractahedron:2".into())],
+            json: true,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 0);
+        let text = outcome.output.trim();
+        assert!(text.starts_with('[') && text.ends_with(']'), "{text}");
+        assert!(
+            text.contains("\"subject\":\"fat-fractahedron N2\"") || text.contains("\"subject\"")
+        );
+        assert!(text.contains("\"clean\":true"), "{text}");
+    }
+
+    #[test]
+    fn lint_fig1_ring_exits_nonzero_with_cycle_diagnostic() {
+        // The acceptance gate: the Fig 1 unrestricted ring must fail
+        // with an L3 diagnostic naming channels and a disable set.
+        let outcome = execute(Command::Lint {
+            specs: vec![TopoSpec("ring:4".into())],
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 1, "{}", outcome.output);
+        assert!(outcome.output.contains("L3"), "{}", outcome.output);
+        assert!(
+            outcome.output.contains("dependency cycle"),
+            "{}",
+            outcome.output
+        );
+        assert!(outcome.output.contains("disable"), "{}", outcome.output);
+    }
+
+    #[test]
+    fn lint_multiple_specs_aggregates() {
+        let outcome = execute(Command::Lint {
+            specs: vec![TopoSpec("tetrahedron".into()), TopoSpec("ring:4".into())],
+            json: false,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 1);
+        assert!(outcome.output.contains("2 configuration(s)"));
+    }
+
+    #[test]
+    fn run_on_lint_matches_execute_output() {
+        let cmd = Command::Lint {
+            specs: vec![TopoSpec("tetrahedron".into())],
+            json: false,
+        };
+        assert_eq!(run(cmd.clone()).unwrap(), execute(cmd).unwrap().output);
     }
 }

@@ -18,6 +18,7 @@
 //! | [`route`] | destination-table routing, one generator per family |
 //! | [`deadlock`] | channel-dependency graphs, Dally–Seitz verification, path-disable synthesis |
 //! | [`metrics`] | link contention, bisection bandwidth, hop stats, cost |
+//! | [`lint`] | static route-table verification: rules L1–L5, structured diagnostics |
 //! | [`sim`] | flit-level wormhole simulator with deadlock detection |
 //! | [`servernet`] | router ASIC / cable / packet / dual-fabric substrate |
 //!
@@ -44,6 +45,7 @@
 
 pub use fractanet_deadlock as deadlock;
 pub use fractanet_graph as graph;
+pub use fractanet_lint as lint;
 pub use fractanet_metrics as metrics;
 pub use fractanet_route as route;
 pub use fractanet_servernet as servernet;
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use crate::system::{AnalysisReport, System};
     pub use fractanet_deadlock::verify_deadlock_free;
     pub use fractanet_graph::{ChannelId, LinkClass, Network, NodeId, PortId};
+    pub use fractanet_lint::{Diagnostic, LintReport, Linter, RuleId, Severity};
     pub use fractanet_metrics::{bisection_estimate, max_link_contention, HopStats};
     pub use fractanet_route::{RouteSet, Routes};
     pub use fractanet_servernet::{

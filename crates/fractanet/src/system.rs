@@ -4,6 +4,7 @@
 
 use fractanet_deadlock::verify_deadlock_free;
 use fractanet_graph::{LinkClass, Network, NodeId};
+use fractanet_lint::{Discipline, LintReport, Linter};
 use fractanet_metrics::{bisection_estimate, max_link_contention, CostSummary, HopStats};
 use fractanet_route::fattree::{fattree_routes, UpPolicy};
 use fractanet_route::fractal::fractal_routes;
@@ -247,6 +248,52 @@ impl System {
         }
     }
 
+    /// The routing discipline rule L4 should check this system
+    /// against, when one is modeled.
+    fn discipline(&self) -> Option<Discipline> {
+        match &self.built {
+            Built::Mesh(m) => Some(Discipline::mesh_xy(m)),
+            Built::Hypercube(h) => Some(Discipline::ecube(h)),
+            Built::FatTree(t) => Some(Discipline::fat_tree(t)),
+            Built::Fractahedron(f) => Some(Discipline::fractahedral(f)),
+            // Rings, direct clusters, and binary trees have no phase
+            // discipline worth modeling (paths are 1–2 router hops or
+            // trivially tree-shaped).
+            Built::Ring(_) | Built::Cluster(_) | Built::BinaryTree(_) => None,
+        }
+    }
+
+    /// The paper's published worst-case contention bound for this
+    /// exact configuration (Table 1 / Fig 3 / §3), when one exists.
+    fn paper_contention_bound(&self) -> Option<usize> {
+        match &self.built {
+            // §3.4: 8:1 network-wide for the 64-node fat fractahedron.
+            Built::Fractahedron(f) if f.variant() == Variant::Fat && f.levels() == 2 => Some(8),
+            // §3.1: 10:1 on the 6x6 mesh with 2 nodes per router.
+            Built::Mesh(m) if m.cols() == 6 && m.rows() == 6 => Some(10),
+            // §3.3: 12:1 on the 64-node (4,2) fat tree.
+            Built::FatTree(t) if t.nodes() == 64 && t.down() == 4 && t.up() == 2 => Some(12),
+            // Fig 3 closed form for fully-connected clusters.
+            Built::Cluster(c) => c.predicted_contention(),
+            _ => None,
+        }
+    }
+
+    /// Statically verifies this system's canonical routing tables:
+    /// coverage, path well-formedness, dependency-cycle enumeration,
+    /// discipline conformance, and the paper's contention bound where
+    /// published. See `fractanet-lint` for the rule catalogue.
+    pub fn lint(&self) -> LintReport {
+        let mut linter = Linter::new(self.net(), self.end_nodes()).with_subject(self.name());
+        if let Some(d) = self.discipline() {
+            linter = linter.with_discipline(d);
+        }
+        if let Some(k) = self.paper_contention_bound() {
+            linter = linter.with_contention_bound(k);
+        }
+        linter.check(&self.routeset)
+    }
+
     /// Simulates a workload on this system.
     pub fn simulate(&self, workload: Workload, cfg: SimConfig) -> SimResult {
         Engine::new(self.net(), &self.routeset, cfg).run(workload)
@@ -262,6 +309,9 @@ impl System {
                 self.net(),
                 self.end_nodes(),
             ))
+            // The heal path promises certified tables, so debug builds
+            // re-lint every install.
+            .with_lint_on_install(self.end_nodes())
             .run(workload)
     }
 }
@@ -352,6 +402,30 @@ mod tests {
         assert!(s.contains("4.30"));
         let r = System::ring(4).analyze().to_string();
         assert!(r.contains("CAN DEADLOCK"));
+    }
+
+    #[test]
+    fn paper_systems_lint_clean() {
+        for sys in [
+            System::fat_fractahedron(1),
+            System::fat_fractahedron(2),
+            System::thin_fractahedron(2, false),
+            System::mesh(6, 6),
+            System::fat_tree(64, 4, 2),
+            System::hypercube(3, 6),
+            System::tetrahedron(),
+        ] {
+            let report = sys.lint();
+            assert!(report.is_clean(), "{}: {report}", sys.name());
+        }
+    }
+
+    #[test]
+    fn ring_lint_reports_cycles() {
+        use fractanet_lint::RuleId;
+        let report = System::ring(4).lint();
+        assert!(!report.is_clean());
+        assert!(report.by_rule(RuleId::L3CdgCycles).next().is_some());
     }
 
     #[test]

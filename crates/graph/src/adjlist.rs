@@ -199,6 +199,81 @@ impl AdjList {
         None
     }
 
+    /// All **elementary cycles** (no repeated vertex), bounded.
+    ///
+    /// [`Self::find_cycle`] answers "is there a cycle?" with a single
+    /// witness; route verification wants the full population so a
+    /// diagnostic can say *every* loop a routing configuration closes,
+    /// not just the first one the DFS trips over. This is a
+    /// Tiernan-style enumeration restricted to one strongly-connected
+    /// component at a time: for each start vertex `s`, simple DFS paths
+    /// over vertices `> s` inside `s`'s component, recording a cycle
+    /// whenever an edge returns to `s`. Each elementary cycle is
+    /// reported exactly once, rooted at its minimum vertex.
+    ///
+    /// Enumeration is *bounded*: it stops after `max_cycles` cycles or
+    /// `max_steps` DFS edge expansions, returning `true` as the second
+    /// element when the bound was hit (the cycle list is then a
+    /// prefix, not the full population). The graph itself is
+    /// unmodified; an acyclic graph costs one SCC pass and returns
+    /// `(vec![], false)`.
+    pub fn elementary_cycles(&self, max_cycles: usize, max_steps: usize) -> (Vec<Vec<u32>>, bool) {
+        let n = self.len();
+        let scc = self.scc();
+        // Component sizes, to skip singleton components quickly
+        // (a singleton only matters if it has a self-loop).
+        let mut comp_size = vec![0u32; scc.count];
+        for &c in &scc.comp {
+            comp_size[c as usize] += 1;
+        }
+        let mut cycles: Vec<Vec<u32>> = Vec::new();
+        let mut truncated = false;
+        let mut steps = 0usize;
+        let mut on_path = vec![false; n];
+        for s in 0..n as u32 {
+            if cycles.len() >= max_cycles || steps >= max_steps {
+                truncated = true;
+                break;
+            }
+            let sc = scc.comp[s as usize];
+            if comp_size[sc as usize] == 1 {
+                // Singleton component: only a self-loop can cycle.
+                if self.succ(s).contains(&s) {
+                    cycles.push(vec![s]);
+                }
+                continue;
+            }
+            // DFS over simple paths s -> … using vertices > s of the
+            // same component; an edge back to s closes a cycle.
+            let mut frames: Vec<(u32, usize)> = vec![(s, 0)];
+            on_path[s as usize] = true;
+            while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+                if cycles.len() >= max_cycles || steps >= max_steps {
+                    truncated = true;
+                    break;
+                }
+                if *child < self.edges[v as usize].len() {
+                    let w = self.edges[v as usize][*child];
+                    *child += 1;
+                    steps += 1;
+                    if w == s {
+                        cycles.push(frames.iter().map(|&(u, _)| u).collect());
+                    } else if w > s && scc.comp[w as usize] == sc && !on_path[w as usize] {
+                        on_path[w as usize] = true;
+                        frames.push((w, 0));
+                    }
+                } else {
+                    on_path[v as usize] = false;
+                    frames.pop();
+                }
+            }
+            for (v, _) in frames {
+                on_path[v as usize] = false;
+            }
+        }
+        (cycles, truncated)
+    }
+
     /// Topological order of the vertices, or `None` if the graph has a
     /// cycle (Kahn's algorithm).
     pub fn topo_sort(&self) -> Option<Vec<u32>> {
@@ -305,6 +380,72 @@ mod tests {
         let g = graph(2, &[(0, 1), (0, 1), (0, 1)]);
         assert!(g.is_acyclic());
         assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn elementary_cycles_enumerates_all() {
+        // Two vertex-disjoint 2-cycles plus a 3-cycle sharing vertex 0.
+        let g = graph(
+            7,
+            &[
+                (0, 1),
+                (1, 0),
+                (2, 3),
+                (3, 2),
+                (0, 4),
+                (4, 5),
+                (5, 0),
+                (6, 6),
+            ],
+        );
+        let (cycles, truncated) = g.elementary_cycles(100, 10_000);
+        assert!(!truncated);
+        let mut lens: Vec<usize> = cycles.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![1, 2, 2, 3]);
+        // Every reported cycle is a real closed walk of distinct vertices.
+        for cyc in &cycles {
+            for i in 0..cyc.len() {
+                let u = cyc[i];
+                let v = cyc[(i + 1) % cyc.len()];
+                assert!(g.succ(u).contains(&v), "{u}->{v} not an edge");
+            }
+            let mut sorted = cyc.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), cyc.len(), "repeated vertex in {cyc:?}");
+        }
+    }
+
+    #[test]
+    fn elementary_cycles_rooted_at_minimum_once() {
+        // K3 both ways: cycles are the two 3-cycles and three 2-cycles.
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)]);
+        let (cycles, truncated) = g.elementary_cycles(100, 10_000);
+        assert!(!truncated);
+        assert_eq!(cycles.len(), 5);
+        // Each rooted at its minimum vertex.
+        for cyc in &cycles {
+            assert_eq!(cyc[0], *cyc.iter().min().unwrap());
+        }
+    }
+
+    #[test]
+    fn elementary_cycles_respects_bounds() {
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)]);
+        let (cycles, truncated) = g.elementary_cycles(2, 10_000);
+        assert!(truncated);
+        assert_eq!(cycles.len(), 2);
+        let (_, truncated) = g.elementary_cycles(100, 1);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn elementary_cycles_empty_on_dag() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let (cycles, truncated) = g.elementary_cycles(100, 10_000);
+        assert!(cycles.is_empty());
+        assert!(!truncated);
     }
 
     #[test]

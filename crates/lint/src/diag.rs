@@ -1,0 +1,397 @@
+//! Structured lint diagnostics: rule identifiers, severities, and the
+//! report object every consumer (CLI, CI gate, repair hook, examples)
+//! shares.
+//!
+//! A [`Diagnostic`] is machine-readable first: rule id, severity, the
+//! affected source→destination pairs and channels, and an optional
+//! remediation suggestion, with the human sentence attached rather
+//! than the other way around. [`LintReport::to_json`] renders the
+//! whole report as one JSON object for the `fractanet lint --json` CI
+//! gate.
+
+use fractanet_graph::ChannelId;
+use std::fmt;
+
+/// Identifier of a lint rule, stable across releases (CI configs and
+/// suppression lists key on these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Full pair coverage: every live src→dst pair has a route that
+    /// actually ends at dst.
+    L1Coverage,
+    /// Path well-formedness: channels consecutive, alive, and never
+    /// repeated within a path.
+    L2WellFormed,
+    /// Channel-dependency acyclicity, with *all* elementary cycles
+    /// enumerated (bounded) and a suggested disable set.
+    L3CdgCycles,
+    /// Routing-discipline conformance (depth-first ascend-then-descend,
+    /// dimension order, up*/down*).
+    L4Discipline,
+    /// Per-link worst-case contention within the paper's bound for the
+    /// topology.
+    L5Contention,
+}
+
+impl RuleId {
+    /// The short stable code, e.g. `"L3"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::L1Coverage => "L1",
+            RuleId::L2WellFormed => "L2",
+            RuleId::L3CdgCycles => "L3",
+            RuleId::L4Discipline => "L4",
+            RuleId::L5Contention => "L5",
+        }
+    }
+
+    /// One-line rule description for report headers.
+    pub fn title(self) -> &'static str {
+        match self {
+            RuleId::L1Coverage => "pair coverage",
+            RuleId::L2WellFormed => "path well-formedness",
+            RuleId::L3CdgCycles => "channel-dependency acyclicity",
+            RuleId::L4Discipline => "routing-discipline conformance",
+            RuleId::L5Contention => "contention bound",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How bad a finding is. Only `Error` gates CI / fails the exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: expected degradation or an observation with no
+    /// configured bound (e.g. contention with no paper reference).
+    Info,
+    /// Suspicious but not provably wrong.
+    Warning,
+    /// A defect: the configuration would misroute, strand a pair, or
+    /// admit deadlock.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase tag used in text and JSON output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One finding: a rule violation (or observation) with its evidence.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description of this specific finding.
+    pub message: String,
+    /// Affected `(src, dst)` address pairs (a bounded sample when the
+    /// population is large; `affected_pairs` holds the true count).
+    pub pairs: Vec<(usize, usize)>,
+    /// Total number of affected pairs (may exceed `pairs.len()`).
+    pub affected_pairs: usize,
+    /// Channels involved (cycle members, dead channels, hot links…).
+    pub channels: Vec<ChannelId>,
+    /// Suggested remediation, when the linter can compute one (e.g. a
+    /// minimal disable set for an L3 cycle).
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no pair/channel evidence attached.
+    pub fn new(rule: RuleId, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            message: message.into(),
+            pairs: Vec::new(),
+            affected_pairs: 0,
+            channels: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches affected pairs (also sets `affected_pairs` when it was
+    /// unset or smaller).
+    pub fn with_pairs(mut self, pairs: Vec<(usize, usize)>) -> Self {
+        self.affected_pairs = self.affected_pairs.max(pairs.len());
+        self.pairs = pairs;
+        self
+    }
+
+    /// Attaches involved channels.
+    pub fn with_channels(mut self, channels: Vec<ChannelId>) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Attaches a remediation suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    fn json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+            self.rule.code(),
+            self.severity.tag(),
+            escape(&self.message)
+        ));
+        if !self.pairs.is_empty() {
+            out.push_str(",\"pairs\":[");
+            for (i, &(s, d)) in self.pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{s},{d}]"));
+            }
+            out.push(']');
+            out.push_str(&format!(",\"affected_pairs\":{}", self.affected_pairs));
+        }
+        if !self.channels.is_empty() {
+            out.push_str(",\"channels\":[");
+            for (i, ch) in self.channels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&ch.0.to_string());
+            }
+            out.push(']');
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!(",\"suggestion\":\"{}\"", escape(s)));
+        }
+        out.push('}');
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} {}] {}",
+            self.severity,
+            self.rule.code(),
+            self.rule.title(),
+            self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    suggestion: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of linting one `Network` + `RouteSet`.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Name of the linted configuration (topology name, or caller tag).
+    pub subject: String,
+    /// All findings, in rule order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Ordered pairs examined (live pairs under the fault mask).
+    pub pairs_checked: usize,
+    /// Channels in the network.
+    pub channels: usize,
+    /// Rules that actually ran (L4/L5 are skipped without a discipline
+    /// or bound).
+    pub rules_run: Vec<RuleId>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings — the CI gate condition.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the configuration passed (no error-severity findings).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Findings for one rule.
+    pub fn by_rule(&self, rule: RuleId) -> impl Iterator<Item = &Diagnostic> + '_ {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// Renders the whole report as one JSON object:
+    ///
+    /// ```json
+    /// {"subject":"…","pairs_checked":N,"channels":N,
+    ///  "rules_run":["L1",…],"errors":N,"warnings":N,"clean":bool,
+    ///  "diagnostics":[{"rule":"L3","severity":"error","message":"…",
+    ///                  "pairs":[[s,d],…],"affected_pairs":N,
+    ///                  "channels":[c,…],"suggestion":"…"},…]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"subject\":\"{}\",\"pairs_checked\":{},\"channels\":{},\"rules_run\":[",
+            escape(&self.subject),
+            self.pairs_checked,
+            self.channels
+        );
+        for (i, r) in self.rules_run.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", r.code()));
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"clean\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warning_count(),
+            self.is_clean()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            d.json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lint {}: {} pairs, {} channels, rules {}",
+            self.subject,
+            self.pairs_checked,
+            self.channels,
+            self.rules_run
+                .iter()
+                .map(|r| r.code())
+                .collect::<Vec<_>>()
+                .join("+")
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        if self.is_clean() {
+            write!(f, "  OK ({} warnings)", self.warning_count())
+        } else {
+            write!(
+                f,
+                "  FAILED: {} errors, {} warnings",
+                self.error_count(),
+                self.warning_count()
+            )
+        }
+    }
+}
+
+/// JSON string escaping (local copy: the vendored serde shim's
+/// escaper is not part of this crate's dependency set).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LintReport {
+        LintReport {
+            subject: "test \"net\"".into(),
+            diagnostics: vec![
+                Diagnostic::new(RuleId::L3CdgCycles, Severity::Error, "cycle of 4")
+                    .with_channels(vec![ChannelId(3), ChannelId(5)])
+                    .with_suggestion("disable c3->c5"),
+                Diagnostic::new(RuleId::L1Coverage, Severity::Info, "pair severed")
+                    .with_pairs(vec![(0, 1)]),
+            ],
+            pairs_checked: 12,
+            channels: 16,
+            rules_run: vec![RuleId::L1Coverage, RuleId::L3CdgCycles],
+        }
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let r = report();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 0);
+        assert!(!r.is_clean());
+        assert_eq!(r.by_rule(RuleId::L3CdgCycles).count(), 1);
+        assert_eq!(r.by_rule(RuleId::L5Contention).count(), 0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let j = report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"L3\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\"channels\":[3,5]"));
+        assert!(j.contains("\"pairs\":[[0,1]]"));
+        assert!(j.contains("\"subject\":\"test \\\"net\\\"\""));
+        assert!(j.contains("\"clean\":false"));
+        // Balanced braces/brackets (cheap structural check; the shim
+        // workspace has no JSON parser to round-trip through).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn display_names_rules_and_verdict() {
+        let text = report().to_string();
+        assert!(text.contains("[L3 channel-dependency acyclicity]"));
+        assert!(text.contains("suggestion: disable c3->c5"));
+        assert!(text.contains("FAILED: 1 errors"));
+        let clean = LintReport {
+            diagnostics: Vec::new(),
+            ..report()
+        };
+        assert!(clean.to_string().contains("OK"));
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,294 @@
+//! Routing-discipline models for rule L4.
+//!
+//! Each deadlock-free routing family in the paper obeys a *monotone
+//! phase* discipline, and that is exactly what makes it statically
+//! checkable: the fractahedral depth-first rule ascends the level
+//! hierarchy and then only descends (§2.3–2.4), up*/down* fat-tree
+//! routing climbs toward the roots and then only goes down (§3.3), and
+//! dimension-order mesh/hypercube routing corrects coordinates in a
+//! fixed dimension order (§3.1–3.2). A [`Discipline`] captures the
+//! per-router metadata (level rank or coordinate vector) needed to
+//! classify every hop of a traced path and reject the first
+//! out-of-order one.
+
+use fractanet_graph::{ChannelId, Network, NodeId};
+use fractanet_topo::{FatTree, Fractahedron, Hypercube, Mesh2D, Topology};
+
+/// A statically checkable routing discipline over a concrete network.
+#[derive(Clone, Debug)]
+pub enum Discipline {
+    /// Hops may increase the router rank (ascend) or keep it (lateral)
+    /// freely, but once any hop *decreases* the rank, no later hop may
+    /// increase it again. Covers the fractahedral depth-first rule
+    /// (rank = level) and fat-tree / generic up*-down* routing
+    /// (rank = tree level).
+    AscendThenDescend {
+        /// Human name for diagnostics, e.g. `"depth-first fractahedral"`.
+        name: &'static str,
+        /// Rank per `NodeId::index()`; `None` for end nodes and routers
+        /// outside the discipline (their hops are not classified).
+        rank: Vec<Option<u32>>,
+    },
+    /// Every router-router hop changes exactly one coordinate, and the
+    /// indices of the changed coordinates must be non-decreasing along
+    /// the path (X before Y on meshes; low bit before high bit under
+    /// e-cube).
+    DimensionOrder {
+        /// Human name for diagnostics, e.g. `"XY dimension order"`.
+        name: &'static str,
+        /// Coordinate vector per `NodeId::index()`; `None` for end
+        /// nodes.
+        coords: Vec<Option<Vec<i64>>>,
+    },
+}
+
+impl Discipline {
+    /// The discipline's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Discipline::AscendThenDescend { name, .. } => name,
+            Discipline::DimensionOrder { name, .. } => name,
+        }
+    }
+
+    /// The paper's depth-first fractahedral rule: levels ascend, then
+    /// descend; intra-tetrahedron (lateral) hops are free. Fan-out
+    /// routers sit below level 1 at rank 0.
+    pub fn fractahedral(f: &Fractahedron) -> Self {
+        let net = f.net();
+        let rank = net
+            .nodes()
+            .map(|v| {
+                if !net.is_router(v) {
+                    None
+                } else {
+                    match f.pos_of(v) {
+                        Some(pos) => Some(pos.level as u32),
+                        // Tetrahedron levels are 1-based, so rank 0 is
+                        // free for the fan-out stage below them.
+                        None => Some(0),
+                    }
+                }
+            })
+            .collect();
+        Discipline::AscendThenDescend {
+            name: "depth-first fractahedral (ascend, then descend)",
+            rank,
+        }
+    }
+
+    /// Static up*/down* over a fat tree: tree level ascends, then
+    /// descends.
+    pub fn fat_tree(t: &FatTree) -> Self {
+        let net = t.net();
+        let rank = net
+            .nodes()
+            .map(|v| t.locate(v).map(|(level, _, _)| level as u32))
+            .collect();
+        Discipline::AscendThenDescend {
+            name: "up*/down* fat tree",
+            rank,
+        }
+    }
+
+    /// Generic up*/down* against an arbitrary rank assignment (e.g. a
+    /// BFS level order from repair). `rank[NodeId::index()]`; `None`
+    /// entries are unclassified.
+    pub fn up_down(rank: Vec<Option<u32>>) -> Self {
+        Discipline::AscendThenDescend {
+            name: "up*/down*",
+            rank,
+        }
+    }
+
+    /// X-then-Y dimension order on a 2-D mesh.
+    pub fn mesh_xy(m: &Mesh2D) -> Self {
+        let net = m.net();
+        let coords = net
+            .nodes()
+            .map(|v| m.coords_of(v).map(|(x, y)| vec![x as i64, y as i64]))
+            .collect();
+        Discipline::DimensionOrder {
+            name: "XY dimension order",
+            coords,
+        }
+    }
+
+    /// E-cube on a hypercube: each address bit is one dimension,
+    /// corrected lowest-first.
+    pub fn ecube(h: &Hypercube) -> Self {
+        let net = h.net();
+        let dim = h.dim() as usize;
+        let coords = net
+            .nodes()
+            .map(|v| {
+                h.label_of(v)
+                    .map(|corner| (0..dim).map(|b| ((corner >> b) & 1) as i64).collect())
+            })
+            .collect();
+        Discipline::DimensionOrder {
+            name: "e-cube dimension order",
+            coords,
+        }
+    }
+
+    /// Checks one traced path. Returns `Err(description)` naming the
+    /// first hop that violates the discipline; attach hops (to or from
+    /// end nodes) and hops touching unclassified routers are skipped.
+    pub fn check_path(&self, net: &Network, path: &[ChannelId]) -> Result<(), String> {
+        match self {
+            Discipline::AscendThenDescend { rank, .. } => {
+                let mut descended = false;
+                for &ch in path {
+                    let Some((rs, rd)) = hop_meta(net, ch, rank) else {
+                        continue;
+                    };
+                    if rd < rs {
+                        descended = true;
+                    } else if rd > rs && descended {
+                        return Err(format!(
+                            "hop {} -> {} re-ascends (rank {} -> {}) after a descent",
+                            net.label(net.channel_src(ch)),
+                            net.label(net.channel_dst(ch)),
+                            rs,
+                            rd
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Discipline::DimensionOrder { coords, .. } => {
+                let mut last_dim: Option<usize> = None;
+                for &ch in path {
+                    let Some((cs, cd)) = hop_meta(net, ch, coords) else {
+                        continue;
+                    };
+                    let changed: Vec<usize> = (0..cs.len().min(cd.len()))
+                        .filter(|&i| cs[i] != cd[i])
+                        .collect();
+                    let [dim] = changed[..] else {
+                        return Err(format!(
+                            "hop {} -> {} changes {} dimensions at once",
+                            net.label(net.channel_src(ch)),
+                            net.label(net.channel_dst(ch)),
+                            changed.len()
+                        ));
+                    };
+                    if let Some(prev) = last_dim {
+                        if dim < prev {
+                            return Err(format!(
+                                "hop {} -> {} corrects dimension {} after dimension {}",
+                                net.label(net.channel_src(ch)),
+                                net.label(net.channel_dst(ch)),
+                                dim,
+                                prev
+                            ));
+                        }
+                    }
+                    last_dim = Some(dim);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Metadata of both endpoints of a hop, when both are classified
+/// routers; `None` skips the hop (attach links, fan-out edges outside
+/// the discipline).
+fn hop_meta<'a, T>(net: &Network, ch: ChannelId, table: &'a [Option<T>]) -> Option<(&'a T, &'a T)> {
+    let s = net.channel_src(ch);
+    let d = net.channel_dst(ch);
+    match (&table[s.index()], &table[d.index()]) {
+        (Some(a), Some(b)) => Some((a, b)),
+        _ => None,
+    }
+}
+
+/// Convenience: the set of node ranks used by repair-style BFS level
+/// orders, from a closure over node ids (router-only entries).
+pub fn rank_table(net: &Network, f: impl FnMut(NodeId) -> Option<u32>) -> Vec<Option<u32>> {
+    net.nodes().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_route::fractal::fractal_routes;
+    use fractanet_route::{dor, fattree, RouteSet};
+    use fractanet_topo::Variant;
+
+    #[test]
+    fn fractahedral_routes_conform() {
+        let f = Fractahedron::new(2, Variant::Fat, false).unwrap();
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal_routes(&f)).unwrap();
+        let d = Discipline::fractahedral(&f);
+        for (s, dst, p) in rs.pairs() {
+            assert!(d.check_path(f.net(), p).is_ok(), "{s}->{dst}");
+        }
+    }
+
+    #[test]
+    fn mesh_xy_conforms_but_yx_does_not() {
+        let m = Mesh2D::new(3, 3, 1, 6).unwrap();
+        let xy = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_xy_routes(&m)).unwrap();
+        let d = Discipline::mesh_xy(&m);
+        for (_, _, p) in xy.pairs() {
+            assert!(d.check_path(m.net(), p).is_ok());
+        }
+        // YX routing violates the XY discipline on some corner pair.
+        let yx = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_yx_routes(&m)).unwrap();
+        let violations = yx
+            .pairs()
+            .filter(|(_, _, p)| d.check_path(m.net(), p).is_err())
+            .count();
+        assert!(violations > 0, "YX must trip the XY discipline");
+    }
+
+    #[test]
+    fn ecube_conforms() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let rs = RouteSet::from_table(h.net(), h.end_nodes(), &dor::ecube_routes(&h)).unwrap();
+        let d = Discipline::ecube(&h);
+        for (_, _, p) in rs.pairs() {
+            assert!(d.check_path(h.net(), p).is_ok());
+        }
+    }
+
+    #[test]
+    fn fat_tree_conforms() {
+        let t = FatTree::paper_4_2_64();
+        let rs = RouteSet::from_table(
+            t.net(),
+            t.end_nodes(),
+            &fattree::fattree_routes(&t, fattree::UpPolicy::ByLeafRouter),
+        )
+        .unwrap();
+        let d = Discipline::fat_tree(&t);
+        for (s, dst, p) in rs.pairs() {
+            assert!(d.check_path(t.net(), p).is_ok(), "{s}->{dst}");
+        }
+    }
+
+    #[test]
+    fn reascent_is_reported() {
+        // Hand-build a path that goes down then up on a fat tree.
+        let t = FatTree::paper_4_2_64();
+        let net = t.net();
+        // Find an up channel (leaf level 1 -> level 2) and use
+        // down-then-up: reverse(up) then up.
+        let up = net
+            .channels()
+            .find(|&ch| {
+                let (s, d) = (net.channel_src(ch), net.channel_dst(ch));
+                matches!(
+                    (t.locate(s), t.locate(d)),
+                    (Some((1, _, _)), Some((2, _, _)))
+                )
+            })
+            .unwrap();
+        let d = Discipline::fat_tree(&t);
+        let err = d.check_path(net, &[up.reverse(), up]).unwrap_err();
+        assert!(err.contains("re-ascends"), "{err}");
+    }
+}

@@ -1,0 +1,798 @@
+//! The lint driver: rules L1–L5 over a `Network` + `RouteSet`.
+//!
+//! | rule | checks | severity |
+//! |------|--------|----------|
+//! | L1 | every live src→dst pair has a route that ends at dst | error (info when the pair is provably severed by faults) |
+//! | L2 | paths are channel-consecutive, alive, router-interior, and never repeat a channel | error |
+//! | L3 | channel-dependency graph acyclic; on failure *all* elementary cycles (bounded) plus a suggested disable set | error |
+//! | L4 | routes obey the declared routing discipline | error |
+//! | L5 | per-link worst-case contention within the configured bound | error (info when no bound is configured) |
+//!
+//! L1–L3 always run; L4 needs a [`Discipline`] and L5 reports
+//! informationally unless a bound is set. All rules are static — no
+//! flit ever moves — which is the §2.4 claim ("the preceding routing
+//! algorithm eliminates these loops and avoids possible deadlocks")
+//! made checkable for *any* table, not just the paper's.
+
+use crate::diag::{Diagnostic, LintReport, RuleId, Severity};
+use crate::discipline::Discipline;
+use fractanet_deadlock::{synthesize_disables, ChannelDependencyGraph};
+use fractanet_graph::{ChannelId, Network, NodeId};
+use fractanet_metrics::max_link_contention;
+use fractanet_route::{DeadMask, RouteSet};
+use std::collections::VecDeque;
+
+/// How many example pairs / channels a single diagnostic carries
+/// before switching to a count.
+const SAMPLE: usize = 8;
+
+/// Static route-table verifier. Build with [`Linter::new`], configure
+/// with the `with_*` methods, run with [`Linter::check`].
+///
+/// ```
+/// use fractanet_lint::Linter;
+/// use fractanet_route::{fractal, RouteSet};
+/// use fractanet_topo::{Fractahedron, Topology};
+///
+/// let f = Fractahedron::paper_fat_64();
+/// let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal::fractal_routes(&f)).unwrap();
+/// let report = Linter::new(f.net(), f.end_nodes()).check(&rs);
+/// assert!(report.is_clean());
+/// ```
+pub struct Linter<'a> {
+    net: &'a Network,
+    ends: &'a [NodeId],
+    mask: Option<&'a DeadMask>,
+    discipline: Option<Discipline>,
+    contention_bound: Option<usize>,
+    subject: String,
+    max_cycles: usize,
+    max_cycle_steps: usize,
+    suggest_disables: bool,
+}
+
+impl<'a> Linter<'a> {
+    /// A linter for a network whose end nodes (in address order) are
+    /// `ends`.
+    pub fn new(net: &'a Network, ends: &'a [NodeId]) -> Self {
+        Linter {
+            net,
+            ends,
+            mask: None,
+            discipline: None,
+            contention_bound: None,
+            subject: "network".into(),
+            max_cycles: 16,
+            max_cycle_steps: 100_000,
+            suggest_disables: true,
+        }
+    }
+
+    /// Names the configuration in reports (topology name, heal tag…).
+    pub fn with_subject(mut self, s: impl Into<String>) -> Self {
+        self.subject = s.into();
+        self
+    }
+
+    /// Lints against a fault mask: dead channels in paths become L2
+    /// errors, and pairs severed by the faults downgrade from L1
+    /// errors to informational findings.
+    pub fn with_mask(mut self, mask: &'a DeadMask) -> Self {
+        self.mask = Some(mask);
+        self
+    }
+
+    /// Declares the routing discipline for rule L4.
+    pub fn with_discipline(mut self, d: Discipline) -> Self {
+        self.discipline = Some(d);
+        self
+    }
+
+    /// Sets the worst-case contention bound for rule L5 (`k` of
+    /// `k:1`). Without a bound L5 only reports the observed value.
+    pub fn with_contention_bound(mut self, k: usize) -> Self {
+        self.contention_bound = Some(k);
+        self
+    }
+
+    /// Caps L3 cycle enumeration (default 16 cycles / 100k DFS steps).
+    pub fn with_cycle_limit(mut self, max_cycles: usize, max_steps: usize) -> Self {
+        self.max_cycles = max_cycles;
+        self.max_cycle_steps = max_steps;
+        self
+    }
+
+    /// Disables the L3 disable-set suggestion (synthesis re-routes the
+    /// whole network; skip it when linting inside a hot path).
+    pub fn without_suggestions(mut self) -> Self {
+        self.suggest_disables = false;
+        self
+    }
+
+    fn node_ok(&self, v: NodeId) -> bool {
+        self.mask.is_none_or(|m| m.node_ok(v))
+    }
+
+    fn channel_ok(&self, ch: ChannelId) -> bool {
+        self.mask.is_none_or(|m| m.channel_ok(self.net, ch))
+    }
+
+    /// Connected-component label per node over *surviving* channels
+    /// (`u32::MAX` = dead node), for distinguishing coverage holes
+    /// from genuinely severed pairs.
+    fn components(&self) -> Vec<u32> {
+        const DEAD: u32 = u32::MAX;
+        let n = self.net.node_count();
+        let mut comp = vec![DEAD; n];
+        let mut next = 0u32;
+        for root in self.net.nodes() {
+            if comp[root.index()] != DEAD || !self.node_ok(root) {
+                continue;
+            }
+            comp[root.index()] = next;
+            let mut q = VecDeque::from([root]);
+            while let Some(v) = q.pop_front() {
+                for &(ch, w) in self.net.channels_from(v) {
+                    if self.channel_ok(ch) && self.node_ok(w) && comp[w.index()] == DEAD {
+                        comp[w.index()] = next;
+                        q.push_back(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
+    /// Runs every applicable rule over `routes`.
+    pub fn check(&self, routes: &RouteSet) -> LintReport {
+        let mut diags = Vec::new();
+        let mut rules_run = vec![
+            RuleId::L1Coverage,
+            RuleId::L2WellFormed,
+            RuleId::L3CdgCycles,
+        ];
+        let pairs_checked = self.check_coverage_and_paths(routes, &mut diags);
+        self.check_cycles(routes, &mut diags);
+        if let Some(d) = &self.discipline {
+            rules_run.push(RuleId::L4Discipline);
+            self.check_discipline(routes, d, &mut diags);
+        }
+        rules_run.push(RuleId::L5Contention);
+        self.check_contention(routes, &mut diags);
+        diags.sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
+        LintReport {
+            subject: self.subject.clone(),
+            diagnostics: diags,
+            pairs_checked,
+            channels: self.net.channel_count(),
+            rules_run,
+        }
+    }
+
+    /// L1 + L2 in a single pass over all pairs. Returns the number of
+    /// live pairs examined.
+    fn check_coverage_and_paths(&self, routes: &RouteSet, out: &mut Vec<Diagnostic>) -> usize {
+        let comp = self.components();
+        let n = routes.len().min(self.ends.len());
+        let mut holes: Vec<(usize, usize)> = Vec::new();
+        let mut severed: Vec<(usize, usize)> = Vec::new();
+        let mut misdelivered: Vec<(usize, usize)> = Vec::new();
+        let mut wrong_source: Vec<(usize, usize)> = Vec::new();
+        let mut discontinuous: Vec<(usize, usize)> = Vec::new();
+        let mut dead: Vec<(usize, usize)> = Vec::new();
+        let mut dead_channels: Vec<ChannelId> = Vec::new();
+        let mut repeated: Vec<(usize, usize)> = Vec::new();
+        let mut through_end: Vec<(usize, usize)> = Vec::new();
+        let mut checked = 0usize;
+
+        let mut seen_stamp = vec![0u32; self.net.channel_count()];
+        let mut stamp = 0u32;
+        for s in 0..n {
+            for d in 0..n {
+                if s == d || !self.node_ok(self.ends[s]) || !self.node_ok(self.ends[d]) {
+                    continue;
+                }
+                checked += 1;
+                let p = routes.path(s, d);
+                if p.is_empty() {
+                    if comp[self.ends[s].index()] == comp[self.ends[d].index()] {
+                        holes.push((s, d));
+                    } else {
+                        severed.push((s, d));
+                    }
+                    continue;
+                }
+                // L1: endpoints.
+                if self.net.channel_src(p[0]) != self.ends[s] {
+                    wrong_source.push((s, d));
+                }
+                if self.net.channel_dst(*p.last().expect("non-empty")) != self.ends[d] {
+                    misdelivered.push((s, d));
+                }
+                // L2: consecutive, alive, simple, router-interior.
+                stamp += 1;
+                let mut flagged_dead = false;
+                let mut flagged_rep = false;
+                for (i, &ch) in p.iter().enumerate() {
+                    if !self.channel_ok(ch) && !flagged_dead {
+                        dead.push((s, d));
+                        if dead_channels.len() < SAMPLE && !dead_channels.contains(&ch) {
+                            dead_channels.push(ch);
+                        }
+                        flagged_dead = true;
+                    }
+                    if seen_stamp[ch.index()] == stamp && !flagged_rep {
+                        repeated.push((s, d));
+                        flagged_rep = true;
+                    }
+                    seen_stamp[ch.index()] = stamp;
+                    if i + 1 < p.len() {
+                        let next = p[i + 1];
+                        if self.net.channel_dst(ch) != self.net.channel_src(next) {
+                            discontinuous.push((s, d));
+                            break;
+                        }
+                        if !self.net.is_router(self.net.channel_dst(ch)) {
+                            through_end.push((s, d));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        fn emit(
+            out: &mut Vec<Diagnostic>,
+            rule: RuleId,
+            sev: Severity,
+            pairs: Vec<(usize, usize)>,
+            what: &str,
+        ) {
+            if pairs.is_empty() {
+                return;
+            }
+            let total = pairs.len();
+            let sample: Vec<_> = pairs.into_iter().take(SAMPLE).collect();
+            let mut diag = Diagnostic::new(
+                rule,
+                sev,
+                format!("{total} pair(s) {what} (e.g. {:?})", sample[0]),
+            )
+            .with_pairs(sample);
+            diag.affected_pairs = total;
+            out.push(diag);
+        }
+        emit(
+            out,
+            RuleId::L1Coverage,
+            Severity::Error,
+            holes,
+            "have no route despite src and dst being connected in the surviving network \
+             (coverage hole)",
+        );
+        emit(
+            out,
+            RuleId::L1Coverage,
+            Severity::Info,
+            severed,
+            "are severed by faults (no surviving physical path); graceful degradation",
+        );
+        emit(
+            out,
+            RuleId::L1Coverage,
+            Severity::Error,
+            wrong_source,
+            "have a route that does not start at the source end node",
+        );
+        emit(
+            out,
+            RuleId::L1Coverage,
+            Severity::Error,
+            misdelivered,
+            "have a route that does not end at the destination end node",
+        );
+        emit(
+            out,
+            RuleId::L2WellFormed,
+            Severity::Error,
+            discontinuous,
+            "have a discontinuous path (consecutive channels do not share a router)",
+        );
+        if !dead.is_empty() {
+            let total = dead.len();
+            let sample: Vec<_> = dead.into_iter().take(SAMPLE).collect();
+            let mut diag = Diagnostic::new(
+                RuleId::L2WellFormed,
+                Severity::Error,
+                format!(
+                    "{total} pair(s) routed over dead channels (e.g. {:?} via {:?})",
+                    sample[0], dead_channels[0]
+                ),
+            )
+            .with_pairs(sample)
+            .with_channels(dead_channels);
+            diag.affected_pairs = total;
+            out.push(diag);
+        }
+        emit(
+            out,
+            RuleId::L2WellFormed,
+            Severity::Error,
+            repeated,
+            "repeat a channel within one path (wormhole self-block)",
+        );
+        emit(
+            out,
+            RuleId::L2WellFormed,
+            Severity::Error,
+            through_end,
+            "route through an end node as if it were a router",
+        );
+        checked
+    }
+
+    /// L3: CDG acyclicity with full (bounded) cycle enumeration and a
+    /// suggested disable set.
+    fn check_cycles(&self, routes: &RouteSet, out: &mut Vec<Diagnostic>) {
+        let cdg = ChannelDependencyGraph::from_routes(self.net, routes);
+        if cdg.is_deadlock_free() {
+            return;
+        }
+        let (cycles, truncated) = cdg
+            .graph()
+            .elementary_cycles(self.max_cycles, self.max_cycle_steps);
+        let suggestion = if self.suggest_disables {
+            Some(self.disable_suggestion(&cycles))
+        } else {
+            None
+        };
+        for (i, cyc) in cycles.iter().enumerate() {
+            let chans: Vec<ChannelId> = cyc.iter().map(|&v| ChannelId(v)).collect();
+            let hops: Vec<String> = chans
+                .iter()
+                .map(|&ch| {
+                    format!(
+                        "{}->{}",
+                        self.net.label(self.net.channel_src(ch)),
+                        self.net.label(self.net.channel_dst(ch))
+                    )
+                })
+                .collect();
+            let mut diag = Diagnostic::new(
+                RuleId::L3CdgCycles,
+                Severity::Error,
+                format!(
+                    "channel-dependency cycle {}/{}: {} ({} channels)",
+                    i + 1,
+                    cycles.len(),
+                    hops.join(" => "),
+                    chans.len()
+                ),
+            )
+            .with_channels(chans);
+            if i == 0 {
+                if let Some(s) = &suggestion {
+                    diag = diag.with_suggestion(s.clone());
+                }
+            }
+            out.push(diag);
+        }
+        if truncated {
+            out.push(Diagnostic::new(
+                RuleId::L3CdgCycles,
+                Severity::Warning,
+                format!(
+                    "cycle enumeration truncated at {} cycles — the dependency graph \
+                     contains more",
+                    cycles.len()
+                ),
+            ));
+        }
+    }
+
+    /// A minimal-ish disable set that would make the network
+    /// deadlock-free, via the Fig 2 synthesis — falling back to a
+    /// greedy hitting set of turns over the enumerated cycles when the
+    /// synthesis needs no disables (the installed tables, not the
+    /// topology, are at fault).
+    fn disable_suggestion(&self, cycles: &[Vec<u32>]) -> String {
+        match synthesize_disables(self.net, self.ends, 200) {
+            Ok((disables, _)) if disables.is_empty() => {
+                let turns = turn_hitting_set(cycles);
+                let named: Vec<String> = turns
+                    .iter()
+                    .map(|&(a, b)| {
+                        format!(
+                            "{}->{}-x->{}",
+                            self.net.label(self.net.channel_src(ChannelId(a))),
+                            self.net.label(self.net.channel_dst(ChannelId(a))),
+                            self.net.label(self.net.channel_dst(ChannelId(b)))
+                        )
+                    })
+                    .collect();
+                format!(
+                    "disable {} turn(s) to break the enumerated cycle(s): {}; \
+                     alternatively re-route — greedy shortest-allowed-path routing \
+                     of this topology is acyclic without disables",
+                    named.len(),
+                    named.join(", ")
+                )
+            }
+            Ok((disables, _)) => {
+                let mut turns: Vec<String> = disables
+                    .iter()
+                    .map(|(a, b)| {
+                        format!(
+                            "{}->{}-x->{}",
+                            self.net.label(self.net.channel_src(a)),
+                            self.net.label(self.net.channel_dst(a)),
+                            self.net.label(self.net.channel_dst(b))
+                        )
+                    })
+                    .collect();
+                turns.sort();
+                format!(
+                    "disable {} turn(s) and re-route (Fig 2 synthesis): {}",
+                    turns.len(),
+                    turns.join(", ")
+                )
+            }
+            Err(e) => format!("no disable set found ({e})"),
+        }
+    }
+
+    /// L4: every path obeys the declared discipline.
+    fn check_discipline(&self, routes: &RouteSet, d: &Discipline, out: &mut Vec<Diagnostic>) {
+        let mut bad: Vec<(usize, usize)> = Vec::new();
+        let mut first_err = None;
+        for (s, dst, p) in routes.pairs() {
+            if !self.node_ok(self.ends[s]) || !self.node_ok(self.ends[dst]) {
+                continue;
+            }
+            if let Err(e) = d.check_path(self.net, p) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+                bad.push((s, dst));
+            }
+        }
+        if let Some(err) = first_err {
+            let total = bad.len();
+            let sample: Vec<_> = bad.into_iter().take(SAMPLE).collect();
+            let mut diag = Diagnostic::new(
+                RuleId::L4Discipline,
+                Severity::Error,
+                format!(
+                    "{total} pair(s) violate the {} discipline; first: pair {:?}, {err}",
+                    d.name(),
+                    sample[0]
+                ),
+            )
+            .with_pairs(sample);
+            diag.affected_pairs = total;
+            out.push(diag);
+        }
+    }
+
+    /// L5: worst-case per-link contention against the configured bound
+    /// (informational without one).
+    fn check_contention(&self, routes: &RouteSet, out: &mut Vec<Diagnostic>) {
+        let rep = max_link_contention(self.net, routes);
+        match self.contention_bound {
+            Some(bound) if rep.worst > bound => {
+                let over: Vec<ChannelId> = rep
+                    .per_channel
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &k)| k > bound)
+                    .map(|(i, _)| ChannelId(i as u32))
+                    .take(SAMPLE)
+                    .collect();
+                let n_over = rep.per_channel.iter().filter(|&&k| k > bound).count();
+                out.push(
+                    Diagnostic::new(
+                        RuleId::L5Contention,
+                        Severity::Error,
+                        format!(
+                            "worst-case contention {}:1 exceeds the configured bound {}:1 \
+                             on {} channel(s); hottest: {} -> {}",
+                            rep.worst,
+                            bound,
+                            n_over,
+                            self.net.label(self.net.channel_src(rep.worst_channel)),
+                            self.net.label(self.net.channel_dst(rep.worst_channel)),
+                        ),
+                    )
+                    .with_channels(over),
+                );
+            }
+            Some(_) => {}
+            None => out.push(
+                Diagnostic::new(
+                    RuleId::L5Contention,
+                    Severity::Info,
+                    format!(
+                        "worst-case contention {}:1 (no bound configured for this topology)",
+                        rep.worst
+                    ),
+                )
+                .with_channels(vec![rep.worst_channel]),
+            ),
+        }
+    }
+}
+
+/// Greedy hitting set over the enumerated cycles: repeatedly disable
+/// the turn (CDG edge `held -> wanted`) that appears in the most
+/// still-unbroken cycles. Not guaranteed minimum, but small and every
+/// enumerated cycle loses at least one turn.
+fn turn_hitting_set(cycles: &[Vec<u32>]) -> Vec<(u32, u32)> {
+    let mut alive: Vec<Vec<(u32, u32)>> = cycles
+        .iter()
+        .map(|c| (0..c.len()).map(|i| (c[i], c[(i + 1) % c.len()])).collect())
+        .collect();
+    let mut chosen = Vec::new();
+    while !alive.is_empty() {
+        let mut counts: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for c in &alive {
+            for &e in c {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        // Deterministic tie-break: highest count, then smallest edge.
+        let &best = counts
+            .iter()
+            .max_by_key(|&(e, n)| (*n, std::cmp::Reverse(*e)))
+            .map(|(e, _)| e)
+            .expect("alive cycles are non-empty");
+        chosen.push(best);
+        alive.retain(|c| !c.contains(&best));
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractanet_route::ringroute::{ring_clockwise_routes, ring_shortest_routes};
+    use fractanet_route::{dor, fractal, repair_routes, Routes};
+    use fractanet_topo::{Fractahedron, Mesh2D, Ring, Topology, Variant};
+
+    fn fracta_rs(f: &Fractahedron) -> RouteSet {
+        RouteSet::from_table(f.net(), f.end_nodes(), &fractal::fractal_routes(f)).unwrap()
+    }
+
+    #[test]
+    fn clean_fractahedron_passes_all_rules() {
+        let f = Fractahedron::new(2, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let report = Linter::new(f.net(), f.end_nodes())
+            .with_discipline(Discipline::fractahedral(&f))
+            .with_contention_bound(8)
+            .check(&rs);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.pairs_checked, 64 * 63);
+        assert_eq!(report.rules_run.len(), 5);
+    }
+
+    #[test]
+    fn fig1_ring_trips_l3_with_cycles_and_suggestion() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let report = Linter::new(r.net(), r.end_nodes())
+            .with_subject("fig1 ring")
+            .check(&rs);
+        assert!(!report.is_clean());
+        let l3: Vec<_> = report.by_rule(RuleId::L3CdgCycles).collect();
+        assert!(!l3.is_empty());
+        // The diagnostic names the channels...
+        assert!(!l3[0].channels.is_empty());
+        assert!(l3[0].message.contains("=>"), "{}", l3[0].message);
+        // ...and proposes a disable set.
+        assert!(
+            l3.iter().any(|d| d.suggestion.is_some()),
+            "expected a disable-set suggestion"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"rule\":\"L3\""));
+        assert!(json.contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn shortest_ring_is_also_flagged() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_shortest_routes(&r)).unwrap();
+        assert!(!Linter::new(r.net(), r.end_nodes()).check(&rs).is_clean());
+    }
+
+    #[test]
+    fn coverage_hole_is_an_error() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let n = rs.len();
+        // Empty one path: a hole, since the network is fully connected.
+        let holed = RouteSet::from_pairs(n, |s, d| {
+            if (s, d) == (0, 5) {
+                Vec::new()
+            } else {
+                rs.path(s, d).to_vec()
+            }
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&holed);
+        assert_eq!(report.error_count(), 1, "{report}");
+        let diag = report.by_rule(RuleId::L1Coverage).next().unwrap();
+        assert!(diag.message.contains("coverage hole"));
+        assert_eq!(diag.pairs, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn severed_pair_is_informational_under_mask() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let mut mask = DeadMask::new(r.net());
+        let router0 = r.net().channels_from(r.end_nodes()[0]).first().unwrap().1;
+        mask.kill_router(router0);
+        let rep = repair_routes(r.net(), r.end_nodes(), &mask).unwrap();
+        let report = Linter::new(r.net(), r.end_nodes())
+            .with_mask(&mask)
+            .check(&rep.routes);
+        assert!(report.is_clean(), "{report}");
+        // End 0 itself is alive (only its attach router died), so all
+        // 4*3 ordered pairs are examined; its pairs lint as severed
+        // (info), the surviving 3x2 as covered.
+        assert_eq!(report.pairs_checked, 12);
+    }
+
+    #[test]
+    fn dead_channel_in_path_is_an_error() {
+        // Install healthy routes, then kill a link they cross without
+        // re-routing: exactly the PR 1 bug class.
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_shortest_routes(&r)).unwrap();
+        let victim = rs.path(0, 1)[1].link();
+        let mut mask = DeadMask::new(r.net());
+        mask.kill_link(victim);
+        let report = Linter::new(r.net(), r.end_nodes())
+            .with_mask(&mask)
+            .check(&rs);
+        let dead: Vec<_> = report
+            .by_rule(RuleId::L2WellFormed)
+            .filter(|d| d.message.contains("dead"))
+            .collect();
+        assert_eq!(dead.len(), 1, "{report}");
+        assert!(dead[0].affected_pairs >= 1);
+        assert!(!dead[0].channels.is_empty());
+    }
+
+    #[test]
+    fn truncated_and_misdelivered_paths_flagged() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let n = rs.len();
+        let corrupted = RouteSet::from_pairs(n, |s, d| {
+            let mut p = rs.path(s, d).to_vec();
+            if (s, d) == (2, 7) {
+                p.pop(); // now ends mid-network
+            }
+            p
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&corrupted);
+        assert!(!report.is_clean());
+        assert!(report
+            .by_rule(RuleId::L1Coverage)
+            .any(|d| d.message.contains("does not end at the destination")));
+    }
+
+    #[test]
+    fn repeated_channel_flagged() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let n = rs.len();
+        let corrupted = RouteSet::from_pairs(n, |s, d| {
+            let mut p = rs.path(s, d).to_vec();
+            if (s, d) == (0, 7) && p.len() >= 3 {
+                // Insert a there-and-back detour over channel 1's link.
+                let ch = p[1];
+                p.insert(2, ch.reverse());
+                p.insert(3, ch);
+            }
+            p
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&corrupted);
+        assert!(report
+            .by_rule(RuleId::L2WellFormed)
+            .any(|d| d.message.contains("repeat a channel")));
+    }
+
+    #[test]
+    fn discontinuous_path_flagged() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let n = rs.len();
+        let corrupted = RouteSet::from_pairs(n, |s, d| {
+            let mut p = rs.path(s, d).to_vec();
+            if (s, d) == (0, 7) && p.len() >= 3 {
+                p.remove(1); // skip a hop: neighbours no longer share a router
+            }
+            p
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&corrupted);
+        assert!(report
+            .by_rule(RuleId::L2WellFormed)
+            .any(|d| d.message.contains("discontinuous")));
+    }
+
+    #[test]
+    fn l4_flags_wrong_discipline() {
+        let m = Mesh2D::new(3, 3, 1, 6).unwrap();
+        let yx = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_yx_routes(&m)).unwrap();
+        let report = Linter::new(m.net(), m.end_nodes())
+            .with_discipline(Discipline::mesh_xy(&m))
+            .check(&yx);
+        let l4: Vec<_> = report.by_rule(RuleId::L4Discipline).collect();
+        assert_eq!(l4.len(), 1);
+        assert_eq!(l4[0].severity, Severity::Error);
+        assert!(l4[0].affected_pairs > 0);
+    }
+
+    #[test]
+    fn l5_bound_and_info_modes() {
+        let m = Mesh2D::new(6, 6, 2, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_xy_routes(&m)).unwrap();
+        // Paper bound 10:1 → clean.
+        let ok = Linter::new(m.net(), m.end_nodes())
+            .with_contention_bound(10)
+            .check(&rs);
+        assert!(ok.is_clean(), "{ok}");
+        assert!(ok.by_rule(RuleId::L5Contention).next().is_none());
+        // Tighter bound → error naming channels.
+        let tight = Linter::new(m.net(), m.end_nodes())
+            .with_contention_bound(9)
+            .check(&rs);
+        let l5: Vec<_> = tight.by_rule(RuleId::L5Contention).collect();
+        assert_eq!(l5.len(), 1);
+        assert_eq!(l5[0].severity, Severity::Error);
+        assert!(l5[0].message.contains("10:1"));
+        // No bound → info only, still clean.
+        let info = Linter::new(m.net(), m.end_nodes()).check(&rs);
+        assert!(info.is_clean());
+        assert_eq!(
+            info.by_rule(RuleId::L5Contention).next().unwrap().severity,
+            Severity::Info
+        );
+    }
+
+    #[test]
+    fn wrong_source_detected() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let n = rs.len();
+        // Swap one pair's path for another source's path to the same dst.
+        let corrupted = RouteSet::from_pairs(n, |s, d| {
+            if (s, d) == (2, 7) {
+                rs.path(4, 7).to_vec()
+            } else {
+                rs.path(s, d).to_vec()
+            }
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&corrupted);
+        assert!(report
+            .by_rule(RuleId::L1Coverage)
+            .any(|d| d.message.contains("does not start at the source")));
+    }
+
+    #[test]
+    fn routes_trait_object_sanity() {
+        // Linting tables traced through `Routes` equals linting the
+        // RouteSet — the CLI path.
+        let r = Ring::new(5, 1, 6).unwrap();
+        let routes: Routes = ring_shortest_routes(&r);
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &routes).unwrap();
+        let report = Linter::new(r.net(), r.end_nodes()).check(&rs);
+        // A 5-ring under shortest routing still closes a dependency
+        // cycle (both wrap directions live).
+        assert!(!report.is_clean());
+    }
+}

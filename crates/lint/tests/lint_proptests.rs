@@ -1,0 +1,119 @@
+//! Property-based tests for the static route linter.
+//!
+//! Two families: (1) the paper's deadlock-free routings lint clean
+//! across randomly-drawn topology parameters, and (2) random
+//! single-path corruptions of a clean table (truncation, a dead
+//! channel spliced into a live path, a wrong-destination swap) always
+//! trip at least one rule. Together they pin down both directions of
+//! the linter's contract: no false alarms on certified-good tables,
+//! no silence on the corruption classes that caused real bugs.
+
+use fractanet_lint::{Discipline, Linter};
+use fractanet_route::{dor, fractal, DeadMask, RouteSet};
+use fractanet_topo::{Fractahedron, Hypercube, Mesh2D, Topology, Variant};
+use proptest::prelude::*;
+
+proptest! {
+    /// XY dimension-order routing on any small mesh lints clean on
+    /// every rule, including discipline conformance.
+    #[test]
+    fn mesh_xy_lints_clean(cols in 1usize..6, rows in 1usize..6) {
+        let m = Mesh2D::new(cols, rows, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &dor::mesh_xy_routes(&m)).unwrap();
+        let report = Linter::new(m.net(), m.end_nodes())
+            .with_discipline(Discipline::mesh_xy(&m))
+            .check(&rs);
+        prop_assert!(report.is_clean(), "{report}");
+        let n = m.end_nodes().len();
+        prop_assert_eq!(report.pairs_checked, n * (n - 1));
+    }
+
+    /// E-cube routing on any small hypercube lints clean.
+    #[test]
+    fn hypercube_ecube_lints_clean(dim in 1u32..5) {
+        let h = Hypercube::new(dim, 1, 6).unwrap();
+        let rs = RouteSet::from_table(h.net(), h.end_nodes(), &dor::ecube_routes(&h)).unwrap();
+        let report = Linter::new(h.net(), h.end_nodes())
+            .with_discipline(Discipline::ecube(&h))
+            .check(&rs);
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    /// Depth-first fractal routing on every fractahedron variant lints
+    /// clean — the paper's central deadlock-freedom claim, as a property.
+    #[test]
+    fn fractahedron_lints_clean(levels in 1usize..3, fat in any::<bool>()) {
+        let variant = if fat { Variant::Fat } else { Variant::Thin };
+        let f = Fractahedron::new(levels, variant, false).unwrap();
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal::fractal_routes(&f)).unwrap();
+        let report = Linter::new(f.net(), f.end_nodes())
+            .with_discipline(Discipline::fractahedral(&f))
+            .check(&rs);
+        prop_assert!(report.is_clean(), "{report}");
+    }
+
+    /// Truncating any multi-hop path trips the linter: the packet no
+    /// longer ends at its destination.
+    #[test]
+    fn truncated_path_always_trips(s in 0usize..8, off in 1usize..8, cut in 1usize..4) {
+        let d = (s + off) % 8;
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal::fractal_routes(&f)).unwrap();
+        let n = rs.len();
+        let cut = cut.min(rs.path(s, d).len());
+        let corrupted = RouteSet::from_pairs(n, |a, b| {
+            let mut p = rs.path(a, b).to_vec();
+            if (a, b) == (s, d) {
+                p.truncate(p.len() - cut);
+            }
+            p
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&corrupted);
+        prop_assert!(report.error_count() >= 1, "{report}");
+        prop_assert!(report.diagnostics.iter().any(|g| g.pairs.contains(&(s, d))), "{report}");
+    }
+
+    /// Killing the link under any channel of any live path — without
+    /// re-routing — trips the fault-aware lint (the PR 1 bug class:
+    /// stale tables crossing dead hardware).
+    #[test]
+    fn dead_channel_spliced_always_trips(s in 0usize..8, off in 1usize..8, hop in 0usize..3) {
+        let d = (s + off) % 8;
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal::fractal_routes(&f)).unwrap();
+        let path = rs.path(s, d);
+        let victim = path[hop.min(path.len() - 1)].link();
+        let mut mask = DeadMask::new(f.net());
+        mask.kill_link(victim);
+        let report = Linter::new(f.net(), f.end_nodes()).with_mask(&mask).check(&rs);
+        prop_assert!(report.error_count() >= 1, "{report}");
+        prop_assert!(
+            report.diagnostics.iter().any(|g| g.message.contains("dead")),
+            "{report}"
+        );
+    }
+
+    /// Swapping in the path for a different destination is always
+    /// caught as a misdelivery.
+    #[test]
+    fn wrong_destination_always_trips(s in 0usize..8, off in 1usize..8, off2 in 1usize..7) {
+        let d = (s + off) % 8;
+        // A second offset distinct from `off`, so d2 differs from both
+        // s and d.
+        let off2 = if off2 >= off { off2 + 1 } else { off2 };
+        let d2 = (s + off2) % 8;
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &fractal::fractal_routes(&f)).unwrap();
+        let n = rs.len();
+        let corrupted = RouteSet::from_pairs(n, |a, b| {
+            if (a, b) == (s, d) {
+                rs.path(s, d2).to_vec()
+            } else {
+                rs.path(a, b).to_vec()
+            }
+        });
+        let report = Linter::new(f.net(), f.end_nodes()).check(&corrupted);
+        prop_assert!(report.error_count() >= 1, "{report}");
+        prop_assert!(report.diagnostics.iter().any(|g| g.pairs.contains(&(s, d))), "{report}");
+    }
+}

@@ -39,5 +39,5 @@ pub mod ringroute;
 pub mod table;
 pub mod treeroute;
 
-pub use repair::{repair_routes, DeadMask, RepairReport};
+pub use repair::{repair_routes, DeadMask, RepairError, RepairReport};
 pub use table::{RouteError, RouteSet, Routes};

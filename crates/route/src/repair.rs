@@ -88,6 +88,61 @@ impl DeadMask {
     }
 }
 
+/// Internal-invariant failures during route regeneration.
+///
+/// Both variants mean the up*/down* meet-point reconstruction lost its
+/// breadcrumb trail — previously a panic via `expect`, now surfaced so
+/// callers (the certified heal layer, the sim repairer) can keep the
+/// old tables instead of crashing the whole fabric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// Walking the up phase back from the meet router reached `at`
+    /// without a recorded predecessor channel.
+    MissingUpPredecessor {
+        /// Router where the chain broke.
+        at: NodeId,
+        /// Source end node of the pair being routed.
+        src: NodeId,
+        /// Destination end node of the pair being routed.
+        dst: NodeId,
+    },
+    /// Walking the down phase forward from the meet router reached
+    /// `at` without a recorded successor channel.
+    MissingDownSuccessor {
+        /// Router where the chain broke.
+        at: NodeId,
+        /// Source end node of the pair being routed.
+        src: NodeId,
+        /// Destination end node of the pair being routed.
+        dst: NodeId,
+    },
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::MissingUpPredecessor { at, src, dst } => write!(
+                f,
+                "repair invariant broken: no up-phase predecessor at node {} \
+                 while reconstructing {} -> {}",
+                at.index(),
+                src.index(),
+                dst.index()
+            ),
+            RepairError::MissingDownSuccessor { at, src, dst } => write!(
+                f,
+                "repair invariant broken: no down-phase successor at node {} \
+                 while reconstructing {} -> {}",
+                at.index(),
+                src.index(),
+                dst.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
 /// Outcome of a route regeneration.
 #[derive(Clone, Debug)]
 pub struct RepairReport {
@@ -166,7 +221,11 @@ impl SurvivorOrder {
 /// Regenerates a complete route set avoiding everything `mask` marks
 /// dead. See the [module docs](self) for the discipline and its
 /// deadlock-freedom argument.
-pub fn repair_routes(net: &Network, ends: &[NodeId], mask: &DeadMask) -> RepairReport {
+pub fn repair_routes(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+) -> Result<RepairReport, RepairError> {
     let order = SurvivorOrder::new(net, mask);
     let mut connected = 0usize;
     let n = ends.len();
@@ -176,43 +235,48 @@ pub fn repair_routes(net: &Network, ends: &[NodeId], mask: &DeadMask) -> RepairR
             if s == d {
                 continue;
             }
-            if let Some(p) = survivor_updown_path(net, mask, &order, ends[s], ends[d]) {
+            if let Some(p) = survivor_updown_path(net, mask, &order, ends[s], ends[d])? {
                 connected += 1;
                 paths[s][d] = p;
             }
         }
     }
     let routes = RouteSet::from_pairs(n, |s, d| std::mem::take(&mut paths[s][d]));
-    RepairReport {
+    Ok(RepairReport {
         routes,
         connected_pairs: connected,
         total_pairs: n * (n - 1),
-    }
+    })
 }
 
 /// Shortest `up* down*` path between two end nodes over surviving
-/// channels only; `None` when the pair is severed.
+/// channels only; `Ok(None)` when the pair is severed, `Err` when the
+/// reconstruction invariants are violated.
 fn survivor_updown_path(
     net: &Network,
     mask: &DeadMask,
     order: &SurvivorOrder,
     src: NodeId,
     dst: NodeId,
-) -> Option<Vec<ChannelId>> {
+) -> Result<Option<Vec<ChannelId>>, RepairError> {
     if !mask.node_ok(src) || !mask.node_ok(dst) {
-        return None;
+        return Ok(None);
     }
-    let &(inject, src_router) = net.channels_from(src).first()?;
-    let &(eject_rev, dst_router) = net.channels_from(dst).first()?;
+    let (Some(&(inject, src_router)), Some(&(eject_rev, dst_router))) = (
+        net.channels_from(src).first(),
+        net.channels_from(dst).first(),
+    ) else {
+        return Ok(None);
+    };
     let eject = eject_rev.reverse();
     if !mask.channel_ok(net, inject) || !mask.channel_ok(net, eject) {
-        return None;
+        return Ok(None);
     }
     if order.comp[src_router.index()] != order.comp[dst_router.index()] {
-        return None;
+        return Ok(None);
     }
     if src_router == dst_router {
-        return Some(vec![inject, eject]);
+        return Ok(Some(vec![inject, eject]));
     }
 
     // Up-phase BFS from src_router over surviving up channels.
@@ -265,14 +329,17 @@ fn survivor_updown_path(
             }
         }
     }
-    let (_, meet) = best?;
+    let Some((_, meet)) = best else {
+        return Ok(None);
+    };
     // Reconstruct: up segment backwards from meet, then down segment
     // forwards.
     let mut path = vec![inject];
     let mut seg = Vec::new();
     let mut cur = NodeId(meet as u32);
     while cur != src_router {
-        let ch = prev_up[cur.index()].expect("up-phase predecessor");
+        let ch =
+            prev_up[cur.index()].ok_or(RepairError::MissingUpPredecessor { at: cur, src, dst })?;
         seg.push(ch);
         cur = net.channel_src(ch);
     }
@@ -280,12 +347,13 @@ fn survivor_updown_path(
     path.extend(seg);
     let mut cur = NodeId(meet as u32);
     while cur != dst_router {
-        let ch = next_dn[cur.index()].expect("down-phase successor");
+        let ch =
+            next_dn[cur.index()].ok_or(RepairError::MissingDownSuccessor { at: cur, src, dst })?;
         path.push(ch);
         cur = net.channel_dst(ch);
     }
     path.push(eject);
-    Some(path)
+    Ok(Some(path))
 }
 
 #[cfg(test)]
@@ -307,7 +375,7 @@ mod tests {
     #[test]
     fn no_faults_full_coverage() {
         let h = Hypercube::new(3, 1, 6).unwrap();
-        let rep = repair_routes(h.net(), h.end_nodes(), &DeadMask::new(h.net()));
+        let rep = repair_routes(h.net(), h.end_nodes(), &DeadMask::new(h.net())).unwrap();
         assert!(rep.is_full());
         assert_eq!(rep.coverage(), 1.0);
         assert!(rep.routes.check_simple().is_ok());
@@ -331,7 +399,7 @@ mod tests {
             })
             .unwrap();
         mask.kill_link(victim);
-        let rep = repair_routes(r.net(), r.end_nodes(), &mask);
+        let rep = repair_routes(r.net(), r.end_nodes(), &mask).unwrap();
         assert!(rep.is_full(), "coverage {}", rep.coverage());
         check_avoids(r.net(), &mask, &rep);
     }
@@ -344,7 +412,7 @@ mod tests {
         // reroute around the hole.
         let router0 = r.net().channels_from(r.end_nodes()[0]).first().unwrap().1;
         mask.kill_router(router0);
-        let rep = repair_routes(r.net(), r.end_nodes(), &mask);
+        let rep = repair_routes(r.net(), r.end_nodes(), &mask).unwrap();
         assert!(!rep.is_full());
         // 3 surviving ends remain mutually connected: 3 * 2 = 6 of 12.
         assert_eq!(rep.connected_pairs, 6);
@@ -368,8 +436,8 @@ mod tests {
             })
             .unwrap();
         mask.kill_link(victim);
-        let a = repair_routes(f.net(), f.end_nodes(), &mask);
-        let b = repair_routes(f.net(), f.end_nodes(), &mask);
+        let a = repair_routes(f.net(), f.end_nodes(), &mask).unwrap();
+        let b = repair_routes(f.net(), f.end_nodes(), &mask).unwrap();
         for (s, d, p) in a.routes.pairs() {
             assert_eq!(p, b.routes.path(s, d), "{s}->{d}");
         }
@@ -391,7 +459,7 @@ mod tests {
             .unwrap();
         mask.kill_link(victim);
         let order = SurvivorOrder::new(h.net(), &mask);
-        let rep = repair_routes(h.net(), h.end_nodes(), &mask);
+        let rep = repair_routes(h.net(), h.end_nodes(), &mask).unwrap();
         assert!(rep.is_full());
         for (s, d, p) in rep.routes.pairs() {
             let interior = &p[1..p.len() - 1];

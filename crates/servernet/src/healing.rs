@@ -13,7 +13,8 @@ use crate::faults::FaultSet;
 use fractanet_deadlock::verify_deadlock_free;
 use fractanet_deadlock::DeadlockReport;
 use fractanet_graph::{LinkId, Network, NodeId};
-use fractanet_route::repair::{repair_routes, DeadMask};
+use fractanet_lint::{LintReport, Linter};
+use fractanet_route::repair::{repair_routes, DeadMask, RepairError};
 use fractanet_route::RouteSet;
 
 /// A certified repair: routes verified acyclic, plus coverage.
@@ -50,16 +51,30 @@ impl HealReport {
 /// Why a heal was not installed.
 #[derive(Debug)]
 pub enum HealError {
+    /// The route generator itself failed an internal invariant; the
+    /// old tables stay in place.
+    Repair(RepairError),
     /// The regenerated tables failed Dally & Seitz certification
     /// (should be impossible for up*/down* output — treated as a bug
     /// guard, never silently installed).
     Cyclic(Box<DeadlockReport>),
+    /// The regenerated tables failed static lint (coverage hole,
+    /// dead channel in a path, malformed path, …) — the exact bug
+    /// class that once let a post-fault table bypass path-liveness
+    /// checks. The full report is attached for diagnosis.
+    Lint(Box<LintReport>),
 }
 
 impl std::fmt::Display for HealError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            HealError::Repair(e) => write!(f, "route regeneration failed: {e}"),
             HealError::Cyclic(r) => write!(f, "repaired tables not deadlock-free: {r}"),
+            HealError::Lint(r) => write!(
+                f,
+                "repaired tables failed lint with {} error(s): {r}",
+                r.error_count()
+            ),
         }
     }
 }
@@ -83,13 +98,49 @@ pub fn heal(net: &Network, ends: &[NodeId], faults: &FaultSet) -> Result<HealRep
 }
 
 /// [`heal`] for callers that already hold a [`DeadMask`].
+///
+/// Every candidate table passes **two** gates before it is returned:
+/// the Dally & Seitz acyclicity certificate and the full static lint
+/// (fault-aware L1/L2: no coverage holes among connected survivors, no
+/// dead channels or malformed paths). Either failure keeps the old
+/// tables.
 pub fn heal_mask(net: &Network, ends: &[NodeId], mask: &DeadMask) -> Result<HealReport, HealError> {
-    let rep = repair_routes(net, ends, mask);
-    let cdg = verify_deadlock_free(net, &rep.routes).map_err(HealError::Cyclic)?;
+    let rep = repair_routes(net, ends, mask).map_err(HealError::Repair)?;
+    certify_tables(
+        net,
+        ends,
+        mask,
+        rep.routes,
+        rep.connected_pairs,
+        rep.total_pairs,
+    )
+}
+
+/// The certification gate itself: Dally & Seitz plus the static lint,
+/// over an arbitrary candidate table. Public so integrations that
+/// regenerate tables some other way can push them through the same
+/// gate [`heal_mask`] uses.
+pub fn certify_tables(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+    routes: RouteSet,
+    connected_pairs: usize,
+    total_pairs: usize,
+) -> Result<HealReport, HealError> {
+    let cdg = verify_deadlock_free(net, &routes).map_err(HealError::Cyclic)?;
+    let lint = Linter::new(net, ends)
+        .with_subject("heal")
+        .with_mask(mask)
+        .without_suggestions()
+        .check(&routes);
+    if !lint.is_clean() {
+        return Err(HealError::Lint(Box::new(lint)));
+    }
     Ok(HealReport {
-        routes: rep.routes,
-        connected_pairs: rep.connected_pairs,
-        total_pairs: rep.total_pairs,
+        routes,
+        connected_pairs,
+        total_pairs,
         cdg_dependencies: cdg.dependency_count(),
     })
 }
@@ -145,6 +196,61 @@ mod tests {
         assert!(!rep.is_full());
         assert_eq!(rep.connected_pairs, 6);
         assert!((rep.coverage() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certify_rejects_coverage_hole() {
+        // Regression (PR 1 bug class): a repaired table missing a pair
+        // that is still physically connected must not certify.
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let mut mask = DeadMask::new(h.net());
+        mask.kill_link(router_link(h.net()));
+        let rep = repair_routes(h.net(), h.end_nodes(), &mask).unwrap();
+        assert!(rep.is_full());
+        let n = rep.routes.len();
+        let holed = RouteSet::from_pairs(n, |s, d| {
+            if (s, d) == (1, 6) {
+                Vec::new()
+            } else {
+                rep.routes.path(s, d).to_vec()
+            }
+        });
+        let err = certify_tables(
+            h.net(),
+            h.end_nodes(),
+            &mask,
+            holed,
+            rep.connected_pairs,
+            rep.total_pairs,
+        )
+        .unwrap_err();
+        let HealError::Lint(report) = err else {
+            panic!("expected lint rejection, got {err}");
+        };
+        assert!(report.to_string().contains("coverage hole"), "{report}");
+    }
+
+    #[test]
+    fn certify_rejects_dead_channel_in_path() {
+        // Regression (PR 1 bug class): installing the *pre-fault*
+        // tables after a link dies must not certify — some path still
+        // crosses the dead link.
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let stale = RouteSet::from_table(
+            h.net(),
+            h.end_nodes(),
+            &fractanet_route::dor::ecube_routes(&h),
+        )
+        .unwrap();
+        let victim = stale.path(0, 1)[1].link();
+        let mut mask = DeadMask::new(h.net());
+        mask.kill_link(victim);
+        let total = stale.len() * (stale.len() - 1);
+        let err = certify_tables(h.net(), h.end_nodes(), &mask, stale, total, total).unwrap_err();
+        let HealError::Lint(report) = err else {
+            panic!("expected lint rejection, got {err}");
+        };
+        assert!(report.to_string().contains("dead"), "{report}");
     }
 
     #[test]

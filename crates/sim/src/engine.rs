@@ -143,6 +143,7 @@ pub struct Engine<'a> {
     pending_retries: BinaryHeap<Reverse<(u64, u32)>>,
     retry_rng: StdRng,
     repairer: Option<Repairer<'a>>,
+    lint_ends: Option<Vec<NodeId>>,
     rec: RecoveryStats,
 }
 
@@ -185,6 +186,7 @@ impl<'a> Engine<'a> {
             pending_retries: BinaryHeap::new(),
             retry_rng,
             repairer: None,
+            lint_ends: None,
             rec: RecoveryStats::default(),
         }
     }
@@ -200,6 +202,19 @@ impl<'a> Engine<'a> {
         f: impl FnMut(&[LinkId], &[NodeId]) -> Option<RouteSet> + 'a,
     ) -> Self {
         self.repairer = Some(Box::new(f));
+        self
+    }
+
+    /// Debug-assertion guard for repairers that promise *certified*
+    /// tables: in debug builds, every repairer-returned table is
+    /// statically linted (coverage, liveness, well-formedness, CDG
+    /// acyclicity — fault-aware against the currently-dead set) before
+    /// installation, and an unclean table panics. Release builds skip
+    /// the check entirely. `ends` is the end-node address order the
+    /// tables are indexed by. Do not enable for repairers that
+    /// intentionally return partial or stale tables.
+    pub fn with_lint_on_install(mut self, ends: &[NodeId]) -> Self {
+        self.lint_ends = Some(ends.to_vec());
         self
     }
 
@@ -391,6 +406,9 @@ impl<'a> Engine<'a> {
             .map(|r| NodeId(r as u32))
             .collect();
         if let Some(new_tables) = repairer(&dead_links, &dead_routers) {
+            if cfg!(debug_assertions) {
+                self.debug_lint_install(&new_tables, &dead_links, &dead_routers);
+            }
             self.tables = Tables::Owned(Box::new(new_tables));
             self.rec.repairs_installed += 1;
             // Drain the old routing epoch: worms snapshotted under the
@@ -411,6 +429,31 @@ impl<'a> Engine<'a> {
             }
         }
         self.repairer = Some(repairer);
+    }
+
+    /// The [`with_lint_on_install`](Engine::with_lint_on_install)
+    /// check: statically lint a candidate table against the current
+    /// dead set and panic if it is not clean. Only called in debug
+    /// builds.
+    fn debug_lint_install(
+        &self,
+        tables: &RouteSet,
+        dead_links: &[LinkId],
+        dead_routers: &[NodeId],
+    ) {
+        let Some(ends) = &self.lint_ends else {
+            return;
+        };
+        let mask = fractanet_route::DeadMask::from_dead(self.net, dead_links, dead_routers);
+        let report = fractanet_lint::Linter::new(self.net, ends)
+            .with_subject("repair install")
+            .with_mask(&mask)
+            .without_suggestions()
+            .check(tables);
+        assert!(
+            report.is_clean(),
+            "repairer returned tables that fail static lint:\n{report}"
+        );
     }
 
     /// Moves retries whose backoff expired back into source queues,
@@ -1046,6 +1089,31 @@ mod tests {
         assert!(res.recovery.retries >= 1);
         assert!(res.recovery.time_to_recover.is_some());
         assert!(res.is_clean());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "fail static lint"))]
+    fn lint_on_install_rejects_stale_tables() {
+        // Regression for the PR 1 bug class: a "repairer" that hands
+        // back the pre-fault tables (still routing over the dead link)
+        // must be caught by the debug lint-on-install hook, not
+        // silently installed.
+        let (r, rs) = ring4();
+        let dead = cw_link_0_to_1(&rs);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            max_cycles: 2_000,
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(dead, 8));
+        let stale = rs.clone();
+        let res = Engine::new(r.net(), &rs, cfg)
+            .with_repairer(move |_, _| Some(stale.clone()))
+            .with_lint_on_install(r.end_nodes())
+            .run(Workload::Scripted(vec![(0, 0, 1)]));
+        // Release builds skip the hook; the engine then survives on
+        // its runtime liveness checks alone.
+        assert!(res.deadlock.is_none());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Deadlock audit: run the Dally–Seitz channel-dependency check over
-//! every topology/routing pair in the library, then reproduce Figure 1
-//! in the flit simulator — once with looping routes (deadlock, with
-//! the circular wait printed) and once with dimension-order routing
+//! every topology/routing pair in the library, run the static linter
+//! over the Fig 1 ring tables (full cycle enumeration, structured
+//! diagnostics, a suggested disable set), then reproduce Figure 1 in
+//! the flit simulator — once with looping routes (deadlock, with the
+//! circular wait printed) and once with dimension-order routing
 //! (completes).
 //!
 //! ```text
@@ -58,10 +60,23 @@ fn main() {
         }
     );
 
-    println!("\ndynamic reproduction of Figure 1 (4-router loop, wormhole):\n");
+    // The same verdict, but as the lint subsystem reports it: every
+    // elementary CDG cycle enumerated, plus a disable set that would
+    // break them (`fractanet lint ring:4` gives the same output).
+    println!("\nstatic lint of the Fig 1 ring tables (fractanet lint ring:4):\n");
     let ring = Ring::new(4, 1, 6).unwrap();
     let cw =
         RouteSet::from_table(ring.net(), ring.end_nodes(), &ring_clockwise_routes(&ring)).unwrap();
+    let report = Linter::new(ring.net(), ring.end_nodes())
+        .with_subject("fig1 ring, clockwise routes")
+        .check(&cw);
+    print!("{report}");
+    assert!(
+        report.by_rule(RuleId::L3CdgCycles).next().is_some(),
+        "the Fig 1 ring must trip the cycle rule"
+    );
+
+    println!("\ndynamic reproduction of Figure 1 (4-router loop, wormhole):\n");
     let cfg = SimConfig {
         packet_flits: 32,
         buffer_depth: 2,
