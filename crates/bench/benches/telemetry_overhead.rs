@@ -1,0 +1,127 @@
+//! Telemetry overhead guard: the tracer must be effectively free when
+//! off and boundedly cheap when on.
+//!
+//! Two hard assertions back the README's overhead numbers and fail the
+//! bench (and the CI job that runs it) when instrumentation creep
+//! makes recording mandatory-expensive:
+//!
+//! 1. The disabled path — every instrumentation site is an
+//!    `Option<Recorder>` check that stays `None` — must average under
+//!    25 ns per would-be emit (it is really a branch on a `None`).
+//! 2. An identical simulation with recording on must finish within 5×
+//!    the disabled wall time (generous for CI noise; typical is well
+//!    under 2×).
+//!
+//! The guard also cross-checks that recording does not perturb the
+//! simulation: delivered counts and latencies must match exactly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fractanet::prelude::*;
+use fractanet::System;
+use fractanet_sim::Telemetry;
+use fractanet_telemetry::Recorder;
+use std::time::Instant;
+
+fn sim_once(sys: &System, telemetry: Telemetry) -> fractanet_sim::SimResult {
+    let cfg = SimConfig {
+        packet_flits: 16,
+        buffer_depth: 4,
+        max_cycles: 4_000,
+        stall_threshold: 3_900,
+        ..SimConfig::default()
+    }
+    .with_telemetry(telemetry);
+    let wl = Workload::Bernoulli {
+        injection_rate: 0.3,
+        pattern: DstPattern::Uniform,
+        until_cycle: 3_000,
+    };
+    sys.simulate(wl, cfg)
+}
+
+/// Wall time of the fastest of `reps` runs — min is the right
+/// statistic for a noise-robust lower bound on both sides of a ratio.
+fn min_wall(reps: usize, mut f: impl FnMut()) -> u128 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap()
+}
+
+/// Guard 1: the disabled emit path is a branch, not a call.
+fn guard_noop_emit(c: &mut Criterion) {
+    let mut tel: Option<Recorder> = Telemetry::off().recorder(8);
+    assert!(tel.is_none(), "Telemetry::off() must yield no recorder");
+    const CALLS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        if let Some(t) = black_box(&mut tel).as_mut() {
+            t.flit_forwarded(ChannelId((i % 8) as u32));
+        }
+    }
+    let per_call = t0.elapsed().as_nanos() / CALLS as u128;
+    assert!(
+        per_call < 25,
+        "disabled emit path costs {per_call} ns/call (bound: 25 ns)"
+    );
+    c.bench_function("telemetry_noop_emit_1e6", |b| {
+        b.iter(|| {
+            for i in 0..CALLS {
+                if let Some(t) = black_box(&mut tel).as_mut() {
+                    t.flit_forwarded(ChannelId((i % 8) as u32));
+                }
+            }
+        })
+    });
+}
+
+/// Guard 2: recording stays within 5× of the disabled run and does
+/// not change the simulation's outcome.
+fn guard_on_off_ratio(c: &mut Criterion) {
+    let sys = System::fat_fractahedron(1);
+
+    let off = sim_once(&sys, Telemetry::off());
+    let on = sim_once(&sys, Telemetry::recording());
+    assert!(off.telemetry.is_none());
+    assert!(on.telemetry.is_some());
+    assert_eq!(off.delivered, on.delivered, "recording perturbed the sim");
+    assert_eq!(
+        off.avg_latency, on.avg_latency,
+        "recording perturbed the sim"
+    );
+    assert_eq!(
+        off.channel_busy, on.channel_busy,
+        "recording perturbed the sim"
+    );
+
+    let t_off = min_wall(5, || {
+        black_box(sim_once(&sys, Telemetry::off()));
+    });
+    let t_on = min_wall(5, || {
+        black_box(sim_once(&sys, Telemetry::recording()));
+    });
+    let ratio = t_on as f64 / t_off.max(1) as f64;
+    println!("bench telemetry on/off wall ratio: {ratio:.2}x ({t_on} ns vs {t_off} ns)");
+    assert!(
+        ratio <= 5.0,
+        "telemetry-on run is {ratio:.2}x the disabled run (bound: 5x)"
+    );
+
+    c.bench_function("sim_fat16_telemetry_off", |b| {
+        b.iter(|| sim_once(&sys, Telemetry::off()).delivered)
+    });
+    c.bench_function("sim_fat16_telemetry_on", |b| {
+        b.iter(|| sim_once(&sys, Telemetry::recording()).delivered)
+    });
+}
+
+criterion_group! {
+    name = telemetry;
+    config = Criterion::default().sample_size(10);
+    targets = guard_noop_emit, guard_on_off_ratio
+}
+criterion_main!(telemetry);

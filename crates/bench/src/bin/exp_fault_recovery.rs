@@ -30,6 +30,13 @@ struct Row {
     unrecovered: usize,
     repairs_installed: u64,
     time_to_recover: Option<u64>,
+    /// `TableRepair + Redelivery` span sum from the X-fabric trace —
+    /// must equal `time_to_recover` whenever both are present.
+    span_recover: Option<u64>,
+    post_fault_p50: u64,
+    post_fault_p95: u64,
+    post_fault_p99: u64,
+    post_fault_max: u64,
     heal_coverage: f64,
     heal_verified: bool,
     deadlocked: bool,
@@ -89,6 +96,7 @@ fn run_one(name: &str, sys: &System, count: usize) -> Row {
         retry: retry(),
         ..SimConfig::default()
     }
+    .with_telemetry(Telemetry::recording().with_event_capacity(8_192))
     .with_faults(
         kills
             .iter()
@@ -124,6 +132,18 @@ fn run_one(name: &str, sys: &System, count: usize) -> Row {
     };
     let out = run_with_failover(x, y, workload);
 
+    let tel = out
+        .x
+        .telemetry
+        .as_ref()
+        .expect("X fabric records telemetry");
+    let span_recover = tel.recovery_span_cycles();
+    assert_eq!(
+        span_recover, out.x.recovery.time_to_recover,
+        "span decomposition must telescope to time_to_recover"
+    );
+    let post = &tel.post_fault_latency;
+
     Row {
         system: name.into(),
         faults: count,
@@ -137,6 +157,11 @@ fn run_one(name: &str, sys: &System, count: usize) -> Row {
         unrecovered: out.unrecovered.len(),
         repairs_installed: out.x.recovery.repairs_installed,
         time_to_recover: out.x.recovery.time_to_recover,
+        span_recover,
+        post_fault_p50: post.p50(),
+        post_fault_p95: post.p95(),
+        post_fault_p99: post.p99(),
+        post_fault_max: post.max(),
         heal_coverage,
         heal_verified,
         deadlocked: out.x.deadlock.is_some() || out.y.iter().any(|r| r.deadlock.is_some()),
@@ -154,7 +179,7 @@ fn main() {
         ("6x6 mesh", System::mesh(6, 6)),
     ];
     println!(
-        "  {:<18} {:>6} {:>9} {:>10} {:>8} {:>9} {:>8} {:>9} {:>9}",
+        "  {:<18} {:>6} {:>9} {:>10} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8}",
         "system",
         "kills",
         "delivery",
@@ -163,7 +188,8 @@ fn main() {
         "failover",
         "repairs",
         "coverage",
-        "recover"
+        "recover",
+        "p95post"
     );
 
     for (name, sys) in &systems {
@@ -172,7 +198,7 @@ fn main() {
             assert!(!row.deadlocked, "{name} deadlocked with {count} faults");
             assert!(row.heal_verified, "{name} healed tables must certify");
             println!(
-                "  {:<18} {:>6} {:>8.2}% {:>10} {:>8} {:>9} {:>8} {:>8.1}% {:>9}",
+                "  {:<18} {:>6} {:>8.2}% {:>10} {:>8} {:>9} {:>8} {:>8.1}% {:>9} {:>8}",
                 name,
                 count,
                 100.0 * row.delivery_fraction,
@@ -182,6 +208,7 @@ fn main() {
                 row.repairs_installed,
                 100.0 * row.heal_coverage,
                 row.time_to_recover.map_or("-".into(), |t| t.to_string()),
+                row.post_fault_p95,
             );
             if *name == "fat fractahedron" && count == 1 {
                 // The issue's acceptance bar.

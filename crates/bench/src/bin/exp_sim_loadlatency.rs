@@ -16,6 +16,13 @@ struct Point {
     system: String,
     rate: f64,
     avg_latency: f64,
+    /// Log-bucketed histogram percentiles from telemetry — the curve
+    /// is no longer means-only, so tail inflation near saturation is
+    /// visible per point.
+    p50_latency: u64,
+    p95_latency: u64,
+    p99_latency: u64,
+    max_latency: u64,
     throughput: f64,
 }
 
@@ -26,6 +33,8 @@ fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
         max_cycles: 12_000,
         stall_threshold: 6_000,
         warmup_cycles: 2_000,
+        // Histograms only: a small ring keeps sweep memory flat.
+        telemetry: Telemetry::recording().with_event_capacity(256),
         ..SimConfig::default()
     };
     let pts = sweep_loads(
@@ -46,12 +55,22 @@ fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
         );
         print!(" {:>8.1}", p.result.avg_latency);
         lat.push(p.result.avg_latency);
+        let hist = p
+            .result
+            .telemetry
+            .as_ref()
+            .map(|t| &t.pre_fault_latency)
+            .expect("sweep points record telemetry");
         emit_json(
             "loadlatency",
             &Point {
                 system: name.into(),
                 rate: p.injection_rate,
                 avg_latency: p.result.avg_latency,
+                p50_latency: hist.p50(),
+                p95_latency: hist.p95(),
+                p99_latency: hist.p99(),
+                max_latency: hist.max(),
                 throughput: p.result.throughput,
             },
         );

@@ -14,7 +14,8 @@
 use crate::sizing::{plan, Requirement};
 use crate::System;
 use fractanet_graph::{viz, LinkId, NodeId};
-use fractanet_sim::{DstPattern, FaultEvent, RetryPolicy, SimConfig, Workload};
+use fractanet_sim::{DstPattern, FaultEvent, RetryPolicy, SimConfig, Telemetry, Workload};
+use fractanet_telemetry::{to_chrome_trace, to_jsonl, to_text_summary};
 use std::fmt;
 
 /// A parsed command.
@@ -39,6 +40,23 @@ pub enum Command {
         cycles: u64,
         /// Fault-injection and recovery options.
         faults: FaultOpts,
+        /// Record telemetry and append the per-channel summary.
+        telemetry: bool,
+    },
+    /// Simulate with telemetry recording and export the trace.
+    Trace {
+        /// What to trace.
+        spec: TopoSpec,
+        /// Export format.
+        format: TraceFormat,
+        /// File to write instead of stdout.
+        out: Option<String>,
+        /// Offered load in flits/node/cycle.
+        load: f64,
+        /// Cycle budget.
+        cycles: u64,
+        /// Fault-injection and recovery options.
+        faults: FaultOpts,
     },
     /// Plan a fractahedral installation.
     Plan {
@@ -56,6 +74,17 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// Export format for `fractanet trace`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line: run metadata, spans, then events.
+    Jsonl,
+    /// Chrome `trace_event` JSON (load in `chrome://tracing` / Perfetto).
+    Chrome,
+    /// Human-readable per-channel summary.
+    Summary,
 }
 
 /// A topology specifier, e.g. `fat-fractahedron:2` or `mesh:6x6`.
@@ -177,10 +206,19 @@ USAGE:
                      [--kill-link <id>]... [--kill-router <id>]...
                      [--fault-at <cycle>] [--repair-at <cycle>] [--heal]
                      [--ack-timeout <cy>] [--max-retries <n>]
-                     [--backoff-base <cy>] [--jitter-seed <s>]
+                     [--backoff-base <cy>] [--jitter-seed <s>] [--telemetry]
                                         uniform-traffic wormhole simulation with
                                         optional live fault injection, source
-                                        retry and certified self-healing
+                                        retry and certified self-healing;
+                                        --telemetry appends the per-channel
+                                        utilization/contention summary
+  fractanet trace <topology> [--format jsonl|chrome|summary] [--out <path>]
+                  [--load <f>] [--cycles <n>] [<fault flags as simulate>]
+                                        run with the flit-event tracer on and
+                                        export the trace: JSONL for scripts,
+                                        Chrome trace_event JSON for
+                                        chrome://tracing / Perfetto, or a
+                                        plain-text summary
   fractanet plan --cpus <n> [--bisection <links>]
                                         fractahedral capacity planning
   fractanet lint <topology>... [--json] static route verification: coverage,
@@ -293,11 +331,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let spec = spec.ok_or_else(|| CliError(format!("dot needs a topology\n\n{USAGE}")))?;
             Ok(Command::Dot { spec, routers_only })
         }
-        Some("simulate") => {
+        Some(cmd @ ("simulate" | "trace")) => {
+            let tracing = cmd == "trace";
             let mut spec = None;
             let mut load = 0.2f64;
-            let mut cycles = 20_000u64;
+            let mut cycles = if tracing { 5_000u64 } else { 20_000u64 };
             let mut faults = FaultOpts::default();
+            let mut telemetry = false;
+            let mut format = TraceFormat::Summary;
+            let mut out = None;
             let mut it = it.peekable();
             while let Some(a) = it.next() {
                 macro_rules! val {
@@ -319,23 +361,60 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--backoff-base" => faults.backoff_base = val!("--backoff-base"),
                     "--jitter-seed" => faults.jitter_seed = val!("--jitter-seed"),
                     "--heal" => faults.heal = true,
-                    other if spec.is_none() => spec = Some(TopoSpec(other.to_string())),
+                    "--telemetry" if !tracing => telemetry = true,
+                    "--format" if tracing => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError("--format needs jsonl|chrome|summary".into())
+                        })?;
+                        format = match v.as_str() {
+                            "jsonl" => TraceFormat::Jsonl,
+                            "chrome" => TraceFormat::Chrome,
+                            "summary" => TraceFormat::Summary,
+                            other => {
+                                return Err(CliError(format!(
+                                    "unknown trace format '{other}' (jsonl|chrome|summary)"
+                                )))
+                            }
+                        };
+                    }
+                    "--out" if tracing => {
+                        out = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--out needs a path".into()))?
+                                .clone(),
+                        );
+                    }
+                    other if spec.is_none() && !other.starts_with('-') => {
+                        spec = Some(TopoSpec(other.to_string()))
+                    }
                     other => return Err(CliError(format!("unexpected argument '{other}'"))),
                 }
             }
             let spec =
-                spec.ok_or_else(|| CliError(format!("simulate needs a topology\n\n{USAGE}")))?;
+                spec.ok_or_else(|| CliError(format!("{cmd} needs a topology\n\n{USAGE}")))?;
             if !(0.0..=1.0).contains(&load) {
                 return Err(CliError(
                     "--load must be within 0..=1 flits/node/cycle".into(),
                 ));
             }
-            Ok(Command::Simulate {
-                spec,
-                load,
-                cycles,
-                faults,
-            })
+            if tracing {
+                Ok(Command::Trace {
+                    spec,
+                    format,
+                    out,
+                    load,
+                    cycles,
+                    faults,
+                })
+            } else {
+                Ok(Command::Simulate {
+                    spec,
+                    load,
+                    cycles,
+                    faults,
+                    telemetry,
+                })
+            }
         }
         Some("lint") => {
             let mut specs = Vec::new();
@@ -474,6 +553,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             load,
             cycles,
             faults,
+            telemetry,
         } => {
             let sys = spec.build()?;
             let report = sys.analyze();
@@ -485,6 +565,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 stall_threshold: (cycles / 4).max(100),
                 warmup_cycles: cycles / 10,
                 retry: faults.retry(),
+                telemetry: if telemetry {
+                    Telemetry::recording()
+                } else {
+                    Telemetry::off()
+                },
                 ..SimConfig::default()
             }
             .with_faults(events);
@@ -539,6 +624,55 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         100.0 * r.post_fault_delivery_ratio()
                     )),
                 }
+            }
+            if let Some(tel) = &res.telemetry {
+                out.push_str(&to_text_summary(tel));
+            }
+        }
+        Command::Trace {
+            spec,
+            format,
+            out: out_path,
+            load,
+            cycles,
+            faults,
+        } => {
+            let sys = spec.build()?;
+            let events = faults.events(&sys)?;
+            let cfg = SimConfig {
+                packet_flits: 16,
+                max_cycles: cycles,
+                stall_threshold: (cycles / 4).max(100),
+                retry: faults.retry(),
+                ..SimConfig::default()
+            }
+            .with_faults(events)
+            .with_telemetry(Telemetry::recording());
+            let workload = Workload::Bernoulli {
+                injection_rate: load,
+                pattern: DstPattern::Uniform,
+                until_cycle: cycles * 3 / 4,
+            };
+            let res = if faults.heal {
+                sys.simulate_healing(workload, cfg)
+            } else {
+                sys.simulate(workload, cfg)
+            };
+            let tel = res
+                .telemetry
+                .expect("trace always runs with telemetry recording");
+            let rendered = match format {
+                TraceFormat::Jsonl => to_jsonl(&tel),
+                TraceFormat::Chrome => to_chrome_trace(&tel),
+                TraceFormat::Summary => to_text_summary(&tel),
+            };
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, rendered.as_bytes())
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                    out.push_str(&format!("wrote {} bytes to {path}\n", rendered.len()));
+                }
+                None => out.push_str(&rendered),
             }
         }
         Command::Plan { cpus, bisection } => {
@@ -600,8 +734,53 @@ mod tests {
                 load: 0.5,
                 cycles: 1000,
                 faults: FaultOpts::default(),
+                telemetry: false,
             }
         );
+        let cmd = parse(&argv("simulate ring:4 --telemetry")).unwrap();
+        let Command::Simulate { telemetry, .. } = cmd else {
+            panic!("not simulate: {cmd:?}")
+        };
+        assert!(telemetry);
+    }
+
+    #[test]
+    fn parse_trace_flags() {
+        let cmd = parse(&argv(
+            "trace fat-fractahedron:2 --format chrome --out /tmp/t.json --load 0.1 --cycles 800",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                spec: TopoSpec("fat-fractahedron:2".into()),
+                format: TraceFormat::Chrome,
+                out: Some("/tmp/t.json".into()),
+                load: 0.1,
+                cycles: 800,
+                faults: FaultOpts::default(),
+            }
+        );
+        // Defaults: summary to stdout, 5k cycles.
+        let cmd = parse(&argv("trace ring:4")).unwrap();
+        let Command::Trace {
+            format,
+            out,
+            cycles,
+            ..
+        } = cmd
+        else {
+            panic!("not trace: {cmd:?}")
+        };
+        assert_eq!(format, TraceFormat::Summary);
+        assert_eq!(out, None);
+        assert_eq!(cycles, 5_000);
+        assert!(parse(&argv("trace ring:4 --format xml")).is_err());
+        assert!(parse(&argv("trace ring:4 --out")).is_err());
+        assert!(parse(&argv("trace")).is_err());
+        // --telemetry is a simulate flag, --format a trace flag.
+        assert!(parse(&argv("trace ring:4 --telemetry")).is_err());
+        assert!(parse(&argv("simulate ring:4 --format chrome")).is_err());
     }
 
     #[test]
@@ -704,6 +883,7 @@ mod tests {
             load: 0.4,
             cycles: 4_000,
             faults: FaultOpts::default(),
+            telemetry: false,
         })
         .unwrap();
         // Minimal ring routing is deadlock-prone; at this load the Fig 1
@@ -724,6 +904,7 @@ mod tests {
             load: 0.1,
             cycles: 6_000,
             faults,
+            telemetry: false,
         })
         .unwrap();
         assert!(out.contains("faults: 1 applied"), "{out}");
@@ -743,10 +924,90 @@ mod tests {
                 load: 0.1,
                 cycles: 1_000,
                 faults,
+                telemetry: false,
             })
             .unwrap_err();
             assert!(err.0.contains("out of range"), "{err}");
         }
+    }
+
+    #[test]
+    fn run_trace_chrome_emits_complete_spans() {
+        let out = run(Command::Trace {
+            spec: TopoSpec("fat-fractahedron:1".into()),
+            format: TraceFormat::Chrome,
+            out: None,
+            load: 0.1,
+            cycles: 1_000,
+            faults: FaultOpts::default(),
+        })
+        .unwrap();
+        assert!(out.starts_with("{\"traceEvents\":["), "{out}");
+        assert!(out.contains("\"ph\":\"X\""), "{out}");
+        assert!(out.contains("\"name\":\"simulation\""), "{out}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+    }
+
+    #[test]
+    fn run_trace_jsonl_and_summary() {
+        let mk = |format| {
+            run(Command::Trace {
+                spec: TopoSpec("tetrahedron".into()),
+                format,
+                out: None,
+                load: 0.1,
+                cycles: 500,
+                faults: FaultOpts::default(),
+            })
+            .unwrap()
+        };
+        let jsonl = mk(TraceFormat::Jsonl);
+        assert!(jsonl
+            .lines()
+            .next()
+            .unwrap()
+            .starts_with("{\"type\":\"meta\""));
+        assert!(jsonl.contains("\"kind\":\"simulation\""), "{jsonl}");
+        assert!(jsonl.contains("\"kind\":\"injected\""), "{jsonl}");
+        let summary = mk(TraceFormat::Summary);
+        assert!(summary.contains("utilization histogram"), "{summary}");
+        assert!(summary.contains("busiest channels"), "{summary}");
+    }
+
+    #[test]
+    fn run_trace_out_writes_file() {
+        let path = std::env::temp_dir().join("fractanet-trace-test.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(Command::Trace {
+            spec: TopoSpec("tetrahedron".into()),
+            format: TraceFormat::Jsonl,
+            out: Some(path_s.clone()),
+            load: 0.1,
+            cycles: 500,
+            faults: FaultOpts::default(),
+        })
+        .unwrap();
+        assert!(out.contains(&path_s), "{out}");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("{\"type\":\"meta\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_simulate_telemetry_appends_summary() {
+        let cmd = |telemetry| Command::Simulate {
+            spec: TopoSpec("tetrahedron".into()),
+            load: 0.1,
+            cycles: 1_000,
+            faults: FaultOpts::default(),
+            telemetry,
+        };
+        let plain = run(cmd(false)).unwrap();
+        assert!(!plain.contains("utilization histogram"), "{plain}");
+        let with_tel = run(cmd(true)).unwrap();
+        assert!(with_tel.contains("utilization histogram"), "{with_tel}");
+        assert!(with_tel.contains("simulated"), "{with_tel}");
     }
 
     #[test]

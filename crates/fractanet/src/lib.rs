@@ -70,7 +70,8 @@ pub mod prelude {
         heal, healing_repairer, run_with_failover, FabricSim, FailoverOutcome, FaultSet, HealReport,
     };
     pub use fractanet_sim::{
-        DstPattern, Engine, FaultEvent, FaultKind, RetryPolicy, SimConfig, Workload,
+        DstPattern, Engine, FaultEvent, FaultKind, RetryPolicy, SimConfig, Telemetry,
+        TelemetryReport, Workload,
     };
     pub use fractanet_topo::{
         FatTree, Fractahedron, FullyConnectedCluster, Hypercube, Mesh2D, Ring, Topology, Variant,

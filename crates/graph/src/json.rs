@@ -1,0 +1,210 @@
+//! Minimal JSON writing shared across the workspace.
+//!
+//! Several crates emit JSON for machine consumers — `fractanet lint
+//! --json`, the telemetry JSONL / Chrome-trace exporters — and the
+//! vendored serde shim only serializes derive-friendly structs, which
+//! fits none of their hand-shaped payloads. Rather than each crate
+//! hand-rolling `push_str` escaping (as the linter originally did),
+//! this module provides one escaper and two tiny builders. Output is
+//! compact (no whitespace), fields appear in insertion order, and
+//! nothing here allocates beyond the output string.
+
+use std::fmt::Display;
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters; everything else verbatim).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one JSON object, written compactly in insertion order.
+#[derive(Clone, Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// An empty object (`{}` if finished immediately).
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (value escaped and quoted).
+    pub fn field_str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds a numeric field (anything `Display`s as a bare token —
+    /// integers, floats).
+    pub fn field_num(mut self, k: &str, v: impl Display) -> Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (a nested object or
+    /// array built separately).
+    pub fn field_raw(mut self, k: &str, raw: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Closes the object and yields the JSON text.
+    pub fn build(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builder for one JSON array, written compactly in push order.
+#[derive(Clone, Debug)]
+pub struct JsonArray {
+    buf: String,
+    first: bool,
+}
+
+impl JsonArray {
+    /// An empty array (`[]` if finished immediately).
+    pub fn new() -> Self {
+        JsonArray {
+            buf: String::from("["),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Pushes a string element (escaped and quoted).
+    pub fn push_str_elem(&mut self, v: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Pushes a numeric element.
+    pub fn push_num(&mut self, v: impl Display) -> &mut Self {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Pushes a pre-rendered JSON value verbatim.
+    pub fn push_raw(&mut self, raw: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Whether nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.first
+    }
+
+    /// Closes the array and yields the JSON text.
+    pub fn build(mut self) -> String {
+        self.buf.push(']');
+        self.buf
+    }
+}
+
+impl Default for JsonArray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_renders_compact_in_order() {
+        let mut arr = JsonArray::new();
+        arr.push_num(3).push_num(5);
+        let j = JsonObject::new()
+            .field_str("name", "a\"b")
+            .field_num("count", 2)
+            .field_num("ratio", 0.5)
+            .field_bool("ok", true)
+            .field_raw("channels", &arr.build())
+            .build();
+        assert_eq!(
+            j,
+            "{\"name\":\"a\\\"b\",\"count\":2,\"ratio\":0.5,\"ok\":true,\"channels\":[3,5]}"
+        );
+    }
+
+    #[test]
+    fn empty_builders() {
+        assert_eq!(JsonObject::new().build(), "{}");
+        assert_eq!(JsonArray::new().build(), "[]");
+        assert!(JsonArray::new().is_empty());
+    }
+
+    #[test]
+    fn nested_objects_via_raw() {
+        let inner = JsonObject::new().field_num("x", 1).build();
+        let mut items = JsonArray::new();
+        items.push_raw(&inner).push_str_elem("tag");
+        let j = JsonObject::new().field_raw("items", &items.build()).build();
+        assert_eq!(j, "{\"items\":[{\"x\":1},\"tag\"]}");
+    }
+}

@@ -38,6 +38,7 @@ pub mod dsu;
 pub mod error;
 pub mod flow;
 pub mod ids;
+pub mod json;
 pub mod matching;
 pub mod network;
 pub mod viz;

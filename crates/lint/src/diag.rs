@@ -9,6 +9,7 @@
 //! whole report as one JSON object for the `fractanet lint --json` CI
 //! gate.
 
+use fractanet_graph::json::{JsonArray, JsonObject};
 use fractanet_graph::ChannelId;
 use std::fmt;
 
@@ -148,38 +149,31 @@ impl Diagnostic {
         self
     }
 
-    fn json(&self, out: &mut String) {
-        out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
-            self.rule.code(),
-            self.severity.tag(),
-            escape(&self.message)
-        ));
+    fn json(&self) -> String {
+        let mut o = JsonObject::new()
+            .field_str("rule", self.rule.code())
+            .field_str("severity", self.severity.tag())
+            .field_str("message", &self.message);
         if !self.pairs.is_empty() {
-            out.push_str(",\"pairs\":[");
-            for (i, &(s, d)) in self.pairs.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!("[{s},{d}]"));
+            let mut pairs = JsonArray::new();
+            for &(s, d) in &self.pairs {
+                pairs.push_raw(&format!("[{s},{d}]"));
             }
-            out.push(']');
-            out.push_str(&format!(",\"affected_pairs\":{}", self.affected_pairs));
+            o = o
+                .field_raw("pairs", &pairs.build())
+                .field_num("affected_pairs", self.affected_pairs);
         }
         if !self.channels.is_empty() {
-            out.push_str(",\"channels\":[");
-            for (i, ch) in self.channels.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&ch.0.to_string());
+            let mut channels = JsonArray::new();
+            for ch in &self.channels {
+                channels.push_num(ch.0);
             }
-            out.push(']');
+            o = o.field_raw("channels", &channels.build());
         }
         if let Some(s) = &self.suggestion {
-            out.push_str(&format!(",\"suggestion\":\"{}\"", escape(s)));
+            o = o.field_str("suggestion", s);
         }
-        out.push('}');
+        o.build()
     }
 }
 
@@ -253,32 +247,24 @@ impl LintReport {
     ///                  "channels":[c,…],"suggestion":"…"},…]}
     /// ```
     pub fn to_json(&self) -> String {
-        let mut out = format!(
-            "{{\"subject\":\"{}\",\"pairs_checked\":{},\"channels\":{},\"rules_run\":[",
-            escape(&self.subject),
-            self.pairs_checked,
-            self.channels
-        );
-        for (i, r) in self.rules_run.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("\"{}\"", r.code()));
+        let mut rules = JsonArray::new();
+        for r in &self.rules_run {
+            rules.push_str_elem(r.code());
         }
-        out.push_str(&format!(
-            "],\"errors\":{},\"warnings\":{},\"clean\":{},\"diagnostics\":[",
-            self.error_count(),
-            self.warning_count(),
-            self.is_clean()
-        ));
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            d.json(&mut out);
+        let mut diags = JsonArray::new();
+        for d in &self.diagnostics {
+            diags.push_raw(&d.json());
         }
-        out.push_str("]}");
-        out
+        JsonObject::new()
+            .field_str("subject", &self.subject)
+            .field_num("pairs_checked", self.pairs_checked)
+            .field_num("channels", self.channels)
+            .field_raw("rules_run", &rules.build())
+            .field_num("errors", self.error_count())
+            .field_num("warnings", self.warning_count())
+            .field_bool("clean", self.is_clean())
+            .field_raw("diagnostics", &diags.build())
+            .build()
     }
 }
 
@@ -310,24 +296,6 @@ impl fmt::Display for LintReport {
             )
         }
     }
-}
-
-/// JSON string escaping (local copy: the vendored serde shim's
-/// escaper is not part of this crate's dependency set).
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -374,6 +342,23 @@ mod tests {
         // workspace has no JSON parser to round-trip through).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_exact_output() {
+        // Pins the exact serialization: the CI gate and external
+        // consumers parse this shape, so the shared-writer port must
+        // not shift a byte.
+        assert_eq!(
+            report().to_json(),
+            "{\"subject\":\"test \\\"net\\\"\",\"pairs_checked\":12,\"channels\":16,\
+             \"rules_run\":[\"L1\",\"L3\"],\"errors\":1,\"warnings\":0,\"clean\":false,\
+             \"diagnostics\":[{\"rule\":\"L3\",\"severity\":\"error\",\
+             \"message\":\"cycle of 4\",\"channels\":[3,5],\
+             \"suggestion\":\"disable c3->c5\"},\
+             {\"rule\":\"L1\",\"severity\":\"info\",\"message\":\"pair severed\",\
+             \"pairs\":[[0,1]],\"affected_pairs\":1}]}"
+        );
     }
 
     #[test]

@@ -139,6 +139,59 @@ pub fn pattern_contention(
     worst
 }
 
+/// Analytical bound vs the peaks an instrumented simulation actually
+/// observed (`fractanet-telemetry`'s per-channel `peak_contention`).
+///
+/// On a fault-free run over the same routes the empirical figure is a
+/// matching of a *subset* of the pairs the analytical metric matched,
+/// so every channel must satisfy `empirical ≤ analytical` — both sides
+/// are computed by the same Hopcroft–Karp code. A violation means the
+/// simulator routed a worm somewhere the tables say it cannot go.
+#[derive(Clone, Debug)]
+pub struct ContentionComparison {
+    /// The analytical worst case (the `k` of `k:1`).
+    pub worst_analytical: usize,
+    /// The largest per-cycle matching any channel ever saw.
+    pub worst_empirical: usize,
+    /// Channels whose observed peak exceeded their analytical bound:
+    /// `(channel, empirical, analytical)`. Empty on conforming runs.
+    pub violations: Vec<(ChannelId, usize, usize)>,
+}
+
+impl ContentionComparison {
+    /// True when no channel beat its analytical bound.
+    pub fn within_bounds(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks a telemetry run's per-channel contention peaks against the
+/// analytical report for the same network and routes. `channels` is
+/// `TelemetryReport::channels`, indexed by `ChannelId::index()` like
+/// `ContentionReport::per_channel`.
+pub fn compare_contention(
+    analytical: &ContentionReport,
+    channels: &[fractanet_telemetry::ChannelSummary],
+) -> ContentionComparison {
+    let mut worst_empirical = 0usize;
+    let mut violations = Vec::new();
+    for (idx, ch) in channels.iter().enumerate() {
+        let emp = ch.peak_contention as usize;
+        if emp > worst_empirical {
+            worst_empirical = emp;
+        }
+        let bound = analytical.per_channel.get(idx).copied().unwrap_or(0);
+        if emp > bound {
+            violations.push((ChannelId(idx as u32), emp, bound));
+        }
+    }
+    ContentionComparison {
+        worst_analytical: analytical.worst,
+        worst_empirical,
+        violations,
+    }
+}
+
 fn collect_flows(net: &Network, routes: &RouteSet) -> Vec<Vec<(u32, u32)>> {
     let mut flows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); net.channel_count()];
     for (s, d, path) in routes.pairs() {
@@ -276,6 +329,43 @@ mod tests {
         let pattern: Vec<(usize, usize)> = (52..64).zip(36..48).collect();
         let (worst, _) = pattern_contention(ft.net(), &rs, &pattern);
         assert_eq!(worst, 12);
+    }
+
+    #[test]
+    fn compare_contention_flags_only_violations() {
+        let m = Mesh2D::new(3, 3, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_xy_routes(&m)).unwrap();
+        let rep = max_link_contention(m.net(), &rs);
+
+        // Empirical peaks exactly at the bound everywhere: conforming.
+        let mut chans =
+            vec![fractanet_telemetry::ChannelSummary::default(); m.net().channel_count()];
+        for (c, &bound) in chans.iter_mut().zip(&rep.per_channel) {
+            c.peak_contention = bound as u32;
+        }
+        let cmp = compare_contention(&rep, &chans);
+        assert!(cmp.within_bounds());
+        assert_eq!(cmp.worst_analytical, rep.worst);
+        assert_eq!(cmp.worst_empirical, rep.worst);
+
+        // One channel one above its bound: exactly one violation.
+        let idx = rep.worst_channel.index();
+        chans[idx].peak_contention = (rep.per_channel[idx] + 1) as u32;
+        let cmp = compare_contention(&rep, &chans);
+        assert!(!cmp.within_bounds());
+        assert_eq!(
+            cmp.violations,
+            vec![(
+                rep.worst_channel,
+                rep.per_channel[idx] + 1,
+                rep.per_channel[idx]
+            )]
+        );
+        assert_eq!(cmp.worst_empirical, rep.worst + 1);
+
+        // An idle run (all peaks zero) trivially conforms.
+        let idle = vec![fractanet_telemetry::ChannelSummary::default(); chans.len()];
+        assert!(compare_contention(&rep, &idle).within_bounds());
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod hops;
 pub mod utilization;
 
 pub use bisection::{bisection_estimate, min_cut_links, BisectionReport};
-pub use contention::{max_link_contention, ContentionReport};
+pub use contention::{
+    compare_contention, max_link_contention, ContentionComparison, ContentionReport,
+};
 pub use cost::CostSummary;
 pub use hops::HopStats;
 pub use utilization::UtilizationReport;

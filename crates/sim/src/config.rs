@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use crate::fault::{FaultEvent, RetryPolicy};
+use fractanet_telemetry::Telemetry;
 
 /// Tunables for one simulation run.
 #[derive(Clone, Debug)]
@@ -24,6 +25,10 @@ pub struct SimConfig {
     pub faults: Vec<FaultEvent>,
     /// End-to-end retry discipline for packets lost to outages.
     pub retry: RetryPolicy,
+    /// Flit-level tracing and channel telemetry (off by default; when
+    /// off the engine creates no recorder and pays one predictable
+    /// branch per instrumentation site).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimConfig {
@@ -37,6 +42,7 @@ impl Default for SimConfig {
             seed: 0xF2AC7A,
             faults: Vec::new(),
             retry: RetryPolicy::default(),
+            telemetry: Telemetry::off(),
         }
     }
 }
@@ -87,6 +93,12 @@ impl SimConfig {
     /// Builder-style retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Builder-style telemetry configuration.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

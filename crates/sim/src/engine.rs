@@ -30,6 +30,7 @@ use crate::traffic::Workload;
 use fractanet_deadlock::WaitGraph;
 use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
 use fractanet_route::RouteSet;
+use fractanet_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -145,6 +146,10 @@ pub struct Engine<'a> {
     repairer: Option<Repairer<'a>>,
     lint_ends: Option<Vec<NodeId>>,
     rec: RecoveryStats,
+    /// Telemetry recorder — `Some` iff `cfg.telemetry` is recording.
+    /// Every instrumentation site is gated on this option, so a
+    /// disabled run pays one branch per site and nothing else.
+    tel: Option<Recorder>,
 }
 
 impl<'a> Engine<'a> {
@@ -162,6 +167,7 @@ impl<'a> Engine<'a> {
             }
         }
         timeline.sort_by_key(|&(cycle, is_repair, _, _)| (cycle, is_repair));
+        let tel = cfg.telemetry.recorder(nch);
         Engine {
             net,
             tables: Tables::Borrowed(routes),
@@ -188,6 +194,7 @@ impl<'a> Engine<'a> {
             repairer: None,
             lint_ends: None,
             rec: RecoveryStats::default(),
+            tel,
         }
     }
 
@@ -298,6 +305,7 @@ impl<'a> Engine<'a> {
     fn apply_fault_events(&mut self, cycle: u64) {
         let mut changed = false;
         let mut permanent_applied = false;
+        let mut outage_applied = false;
         while self.next_event < self.timeline.len() && self.timeline[self.next_event].0 == cycle {
             let (_, is_repair, kind, permanent) = self.timeline[self.next_event];
             self.next_event += 1;
@@ -317,10 +325,16 @@ impl<'a> Engine<'a> {
                 self.rec.faults_applied += 1;
                 self.first_fault.get_or_insert(cycle);
                 permanent_applied |= permanent;
+                outage_applied = true;
             }
         }
         if !changed {
             return;
+        }
+        if outage_applied {
+            if let Some(t) = self.tel.as_mut() {
+                t.fault_applied(cycle);
+            }
         }
         self.recompute_dead_channels();
         self.teardown_worms(cycle, false);
@@ -387,6 +401,9 @@ impl<'a> Engine<'a> {
             }
             self.in_flight -= 1;
             self.rec.dropped_worms += 1;
+            if let Some(t) = self.tel.as_mut() {
+                t.worm_truncated(cycle, pid, all);
+            }
             self.schedule_retry(pid, cycle);
         }
     }
@@ -411,6 +428,9 @@ impl<'a> Engine<'a> {
             }
             self.tables = Tables::Owned(Box::new(new_tables));
             self.rec.repairs_installed += 1;
+            if let Some(t) = self.tel.as_mut() {
+                t.repair_installed(cycle);
+            }
             // Drain the old routing epoch: worms snapshotted under the
             // replaced tables hold channels in an order the new CDG
             // knows nothing about, and mixing the two epochs can
@@ -514,12 +534,18 @@ impl<'a> Engine<'a> {
         };
         if attempts > self.cfg.retry.max_retries {
             self.rec.abandoned.push((src, dst));
+            if let Some(t) = self.tel.as_mut() {
+                t.abandoned(cycle, pid, src as u32, dst as u32);
+            }
             return;
         }
         self.rec.retries += 1;
         let jitter = self.retry_rng.gen_range(0..=self.cfg.retry.backoff_base);
         let release = cycle + self.cfg.retry.backoff(attempts) + jitter;
         self.pending_retries.push(Reverse((release, pid)));
+        if let Some(t) = self.tel.as_mut() {
+            t.retried(cycle, pid, attempts, release);
+        }
     }
 
     /// Executes one cycle of flit movement; returns how many flits
@@ -527,6 +553,11 @@ impl<'a> Engine<'a> {
     fn step(&mut self, cycle: u64) -> usize {
         let b = self.cfg.buffer_depth;
         let nch = self.chans.len();
+        let tel_on = self.tel.is_some();
+        // Telemetry scratch: every transfer that wants to push a flit
+        // into a channel this cycle, as (channel, src, dst) — the raw
+        // material for the per-cycle empirical contention matching.
+        let mut contenders: Vec<(u32, u32, u32)> = Vec::new();
         // Decisions on start-of-cycle state.
         let mut ejects: Vec<u32> = Vec::new();
         let mut body_moves: Vec<u32> = Vec::new();
@@ -545,13 +576,23 @@ impl<'a> Engine<'a> {
             let next = p.path[st.route_pos as usize + 1];
             let nst = &self.chans[next.index()];
             if st.front() == 0 {
+                if tel_on {
+                    contenders.push((next.0, p.src, p.dst));
+                }
                 if nst.owner == NO_PKT && nst.occ < b {
                     alloc_reqs.push((next.0, ch));
+                } else if let Some(t) = self.tel.as_mut() {
+                    t.blocked(cycle, st.owner, next);
                 }
             } else {
                 debug_assert_eq!(nst.owner, st.owner, "body flit lost its worm");
+                if tel_on {
+                    contenders.push((next.0, p.src, p.dst));
+                }
                 if nst.occ < b {
                     body_moves.push(ch);
+                } else if let Some(t) = self.tel.as_mut() {
+                    t.blocked(cycle, st.owner, next);
                 }
             }
         }
@@ -576,6 +617,9 @@ impl<'a> Engine<'a> {
                 let p = &self.packets[pid as usize];
                 let c0 = p.path[0];
                 let st = &self.chans[c0.index()];
+                if tel_on {
+                    contenders.push((c0.0, p.src, p.dst));
+                }
                 let ok = if p.sent == 0 {
                     st.owner == NO_PKT && st.occ < b
                 } else {
@@ -583,6 +627,8 @@ impl<'a> Engine<'a> {
                 };
                 if ok {
                     injections.push(s);
+                } else if let Some(t) = self.tel.as_mut() {
+                    t.blocked(cycle, pid, c0);
                 }
                 break;
             }
@@ -610,6 +656,32 @@ impl<'a> Engine<'a> {
             i = j;
         }
 
+        // Telemetry: arbitration losers were blocked this cycle, and
+        // the collected contenders give each channel's empirical
+        // per-cycle contention (max matching of distinct-src /
+        // distinct-dst transfer pairs, mirroring the analytical L5
+        // metric).
+        if let Some(t) = self.tel.as_mut() {
+            for &(target, from) in &alloc_reqs {
+                let won = grants.iter().any(|&(gt, gf)| gt == target && gf == from);
+                if !won {
+                    t.blocked(cycle, self.chans[from as usize].owner, ChannelId(target));
+                }
+            }
+            contenders.sort_unstable();
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            let mut i = 0;
+            while i < contenders.len() {
+                let ch = contenders[i].0;
+                pairs.clear();
+                while i < contenders.len() && contenders[i].0 == ch {
+                    pairs.push((contenders[i].1, contenders[i].2));
+                    i += 1;
+                }
+                t.observe_contention(ChannelId(ch), &pairs);
+            }
+        }
+
         let mut moves = 0usize;
         // Apply ejections.
         for ch in ejects {
@@ -620,6 +692,9 @@ impl<'a> Engine<'a> {
                 st.occ -= 1;
                 (st.owner, flit)
             };
+            if let Some(t) = self.tel.as_mut() {
+                t.flit_forwarded(ChannelId(ch));
+            }
             let done = {
                 let p = &self.packets[owner as usize];
                 flit == p.len - 1
@@ -642,7 +717,13 @@ impl<'a> Engine<'a> {
                     }
                     if p.attempts > 0 && self.rec.time_to_recover.is_none() {
                         self.rec.time_to_recover = Some(cycle + 1 - first);
+                        if let Some(t) = self.tel.as_mut() {
+                            t.recovered(cycle + 1);
+                        }
                     }
+                }
+                if let Some(t) = self.tel.as_mut() {
+                    t.delivered(cycle, owner, cycle + 1 - p.created);
                 }
             }
         }
@@ -663,7 +744,12 @@ impl<'a> Engine<'a> {
             let nst = &mut self.chans[next.index()];
             nst.entered += 1;
             nst.occ += 1;
+            let depth = nst.occ;
             self.busy[next.index()] += 1;
+            if let Some(t) = self.tel.as_mut() {
+                t.flit_forwarded(ChannelId(ch));
+                t.observe_depth(next, depth);
+            }
         }
         // Apply granted head allocations.
         for (target, from) in grants {
@@ -686,19 +772,24 @@ impl<'a> Engine<'a> {
             nst.occ = 1;
             nst.route_pos = pos + 1;
             self.busy[target as usize] += 1;
+            if let Some(t) = self.tel.as_mut() {
+                t.flit_forwarded(ChannelId(from));
+                t.head_advanced(cycle, owner, ChannelId(target));
+                t.observe_depth(ChannelId(target), 1);
+            }
         }
         // Apply injections.
         for s in injections {
             moves += 1;
             let pid = *self.queues[s].front().expect("checked above");
-            let (c0, sent_after, len) = {
+            let (c0, sent_after, len, src, dst) = {
                 let p = &mut self.packets[pid as usize];
                 p.sent += 1;
                 if p.sent == 1 {
                     p.injected = cycle;
                     self.in_flight += 1;
                 }
-                (p.path[0], p.sent, p.len)
+                (p.path[0], p.sent, p.len, p.src, p.dst)
             };
             let st = &mut self.chans[c0.index()];
             if sent_after == 1 {
@@ -708,7 +799,14 @@ impl<'a> Engine<'a> {
             }
             st.entered += 1;
             st.occ += 1;
+            let depth = st.occ;
             self.busy[c0.index()] += 1;
+            if let Some(t) = self.tel.as_mut() {
+                if sent_after == 1 {
+                    t.packet_injected(cycle, pid, src, dst, len);
+                }
+                t.observe_depth(c0, depth);
+            }
             if sent_after == len {
                 self.queues[s].pop_front();
             }
@@ -734,8 +832,14 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn finish(self, cycles: u64, generated: usize, deadlock: Option<DeadlockEvent>) -> SimResult {
+    fn finish(
+        mut self,
+        cycles: u64,
+        generated: usize,
+        deadlock: Option<DeadlockEvent>,
+    ) -> SimResult {
         let n = self.tables.get().len().max(1);
+        let telemetry = self.tel.take().map(|r| r.finish(cycles, &self.busy));
         let mut lats = self.latencies.clone();
         lats.sort_unstable();
         let avg = |v: &[u64]| {
@@ -761,6 +865,7 @@ impl<'a> Engine<'a> {
             channel_busy: self.busy,
             deadlock,
             recovery: self.rec,
+            telemetry,
         }
     }
 }
@@ -1238,6 +1343,214 @@ mod tests {
         assert_eq!(a.recovery.dropped_worms, b.recovery.dropped_worms);
         assert_eq!(a.recovery.abandoned, b.recovery.abandoned);
         assert_eq!(a.channel_busy, b.channel_busy);
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry.
+
+    use fractanet_telemetry::{SpanKind, Telemetry};
+
+    #[test]
+    fn saturated_channel_busy_equals_cycles() {
+        // One packet longer than the whole run, injected at cycle 0:
+        // the injection channel accepts exactly one flit every cycle,
+        // so its busy count — and the telemetry busy_cycles mirror —
+        // must equal the run length exactly, and utilization 1.0.
+        let (r, rs) = ring4();
+        let cfg = SimConfig::default()
+            .with_packet_flits(1_000)
+            .with_max_cycles(500)
+            .with_telemetry(Telemetry::recording());
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.cycles, 500);
+        let c0 = rs.path(0, 1)[0].index();
+        assert_eq!(res.channel_busy[c0], res.cycles);
+        let tel = res.telemetry.expect("telemetry was recording");
+        assert_eq!(tel.channels[c0].busy_cycles, res.cycles);
+        assert_eq!(tel.utilization()[c0], 1.0);
+        // The 0 → 1 route is three hops; once the pipeline fills, all
+        // three channels run within two flits of fully busy.
+        assert_eq!(tel.utilization_histogram()[9], 3);
+    }
+
+    #[test]
+    fn event_ring_drop_accounting_is_exact_on_overflow() {
+        let (r, rs) = ring4();
+        // 1-flit packets: a multi-flit all-to-all burst on the
+        // clockwise-only ring would wormhole-deadlock (Fig 1).
+        let cfg = SimConfig::default()
+            .with_packet_flits(1)
+            .with_max_cycles(5_000)
+            .with_telemetry(Telemetry::recording().with_event_capacity(4));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::all_to_all_burst(4));
+        assert!(res.is_clean());
+        let tel = res.telemetry.expect("telemetry was recording");
+        assert_eq!(tel.events.len(), 4, "ring stores exactly its capacity");
+        assert!(tel.events_dropped > 0, "12 packets must overflow 4 slots");
+        assert_eq!(
+            tel.events.len() as u64 + tel.events_dropped,
+            tel.events_seen
+        );
+        // 12 injections + 12 deliveries at minimum.
+        assert!(tel.events_seen >= 24, "{}", tel.events_seen);
+    }
+
+    #[test]
+    fn time_to_recover_stays_none_without_retried_delivery() {
+        // Faults applied, the only packet abandoned: `time_to_recover`
+        // must stay `None` — never collapse to zero — and the span
+        // decomposition must agree, while the fault instant and the
+        // whole-run span are still traced.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 5_000,
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(cw_link_0_to_1(&rs), 8))
+        .with_telemetry(Telemetry::recording());
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert!(res.is_recovered());
+        assert_eq!(res.recovery.faults_applied, 1);
+        assert_eq!(res.recovery.time_to_recover, None);
+        let tel = res.telemetry.expect("telemetry was recording");
+        assert_eq!(tel.recovery_span_cycles(), None);
+        assert!(tel
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::FaultInjection && s.begin == 8));
+        assert!(tel
+            .spans
+            .iter()
+            .any(|s| s.kind == SpanKind::Simulation && s.duration() == res.cycles));
+        let kinds: Vec<&str> = tel.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"truncated"), "{kinds:?}");
+        assert!(kinds.contains(&"abandoned"), "{kinds:?}");
+    }
+
+    #[test]
+    fn recovery_spans_sum_to_time_to_recover() {
+        // Transient fault healed by retry alone: repair span is
+        // zero-length, redelivery covers the whole recovery.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: RetryPolicy {
+                ack_timeout: 8,
+                max_retries: 8,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(cw_link_0_to_1(&rs), 8).transient(200))
+        .with_telemetry(Telemetry::recording());
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1);
+        let want = res.recovery.time_to_recover.expect("recovered");
+        let tel = res.telemetry.expect("telemetry was recording");
+        assert_eq!(tel.recovery_span_cycles(), Some(want));
+        let kinds: Vec<&str> = tel.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"retried"), "{kinds:?}");
+        assert!(kinds.contains(&"delivered"), "{kinds:?}");
+    }
+
+    #[test]
+    fn repair_install_decomposes_recovery_spans() {
+        // Permanent fault healed by a repairer: the TableRepair span
+        // ends at the install, Redelivery picks up from there, and the
+        // two still telescope to `time_to_recover` exactly.
+        let (r, rs) = ring4();
+        let dead = cw_link_0_to_1(&rs);
+        let detour: Vec<ChannelId> = rs.path(1, 0).iter().rev().map(|c| c.reverse()).collect();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: RetryPolicy {
+                ack_timeout: 8,
+                max_retries: 4,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(dead, 8))
+        .with_telemetry(Telemetry::recording());
+        let rs_for_repair = rs.clone();
+        let res = Engine::new(r.net(), &rs, cfg)
+            .with_repairer(move |_, _| {
+                let detour = detour.clone();
+                let base = rs_for_repair.clone();
+                Some(RouteSet::from_pairs(base.len(), move |s, d| {
+                    if (s, d) == (0, 1) {
+                        detour.clone()
+                    } else {
+                        base.path(s, d).to_vec()
+                    }
+                }))
+            })
+            .run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1);
+        let want = res.recovery.time_to_recover.expect("recovered");
+        let tel = res.telemetry.expect("telemetry was recording");
+        assert_eq!(tel.recovery_span_cycles(), Some(want));
+        let repair = tel
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::TableRepair)
+            .expect("repair span");
+        let redeliver = tel
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::Redelivery)
+            .expect("redelivery span");
+        // Install happened in the fault cycle, so the repair span is
+        // the install instant's offset from the fault.
+        let install = tel
+            .spans
+            .iter()
+            .find(|s| s.kind == SpanKind::HealInstall)
+            .expect("install instant");
+        assert_eq!(repair.end, install.begin);
+        assert_eq!(repair.begin, 8);
+        assert_eq!(redeliver.begin, repair.end);
+        assert_eq!(repair.duration() + redeliver.duration(), want);
+    }
+
+    #[test]
+    fn telemetry_off_attaches_no_report_and_changes_nothing() {
+        let (r, rs) = ring4();
+        let mk = |tel: Telemetry| {
+            let cfg = SimConfig::default()
+                .with_packet_flits(4)
+                .with_max_cycles(3_000)
+                .with_telemetry(tel);
+            let wl = Workload::Bernoulli {
+                injection_rate: 0.2,
+                pattern: DstPattern::Uniform,
+                until_cycle: 1_000,
+            };
+            Engine::new(r.net(), &rs, cfg).run(wl)
+        };
+        let off = mk(Telemetry::off());
+        let on = mk(Telemetry::recording());
+        assert!(off.telemetry.is_none());
+        assert!(on.telemetry.is_some());
+        // Recording must not perturb the simulation itself.
+        assert_eq!(off.delivered, on.delivered);
+        assert_eq!(off.generated, on.generated);
+        assert_eq!(off.avg_latency, on.avg_latency);
+        assert_eq!(off.channel_busy, on.channel_busy);
+        // The histogram mean over all deliveries matches the exact
+        // per-packet mean when warmup is zero.
+        let tel = on.telemetry.unwrap();
+        assert_eq!(tel.pre_fault_latency.count() as usize, on.delivered);
+        assert!((tel.pre_fault_latency.mean() - on.avg_latency).abs() < 1e-9);
     }
 
     #[test]

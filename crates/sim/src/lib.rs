@@ -44,6 +44,7 @@ pub mod vc;
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use fault::{FaultEvent, FaultKind, RetryPolicy};
+pub use fractanet_telemetry::{Telemetry, TelemetryReport};
 pub use stats::{DeadlockEvent, RecoveryStats, SimResult};
 pub use sweep::{sweep_loads, LoadPoint};
 pub use traffic::{DstPattern, Workload};

@@ -1,6 +1,7 @@
 //! Simulation results.
 
 use fractanet_graph::ChannelId;
+use fractanet_telemetry::TelemetryReport;
 
 /// Evidence of a wormhole deadlock observed at runtime.
 #[derive(Clone, Debug)]
@@ -33,7 +34,12 @@ pub struct RecoveryStats {
     /// dual-fabric layer replays these on the other fabric.
     pub abandoned: Vec<(usize, usize)>,
     /// Cycles from the first fault to the first *retried* packet
-    /// delivered (`None` if no retried packet completed).
+    /// delivered. Stays `None` — never zero — when faults were
+    /// injected but no retried packet completed (all abandoned, or the
+    /// run ended first): "recovered instantly" and "never recovered"
+    /// must not be conflated. When telemetry is recording, the
+    /// span decomposition (`TableRepair` + `Redelivery`) sums to
+    /// exactly this value.
     pub time_to_recover: Option<u64>,
     /// Packets created at or after the first fault.
     pub post_fault_generated: usize,
@@ -79,6 +85,9 @@ pub struct SimResult {
     pub deadlock: Option<DeadlockEvent>,
     /// Fault-injection and recovery accounting.
     pub recovery: RecoveryStats,
+    /// Flit-level telemetry report — `Some` iff the run's
+    /// `SimConfig::telemetry` was recording.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SimResult {
@@ -131,6 +140,7 @@ mod tests {
             channel_busy: vec![10, 50, 0],
             deadlock: None,
             recovery: RecoveryStats::default(),
+            telemetry: None,
         }
     }
 

@@ -148,6 +148,7 @@ mod tests {
                 channel_busy: vec![],
                 deadlock: None,
                 recovery: crate::stats::RecoveryStats::default(),
+                telemetry: None,
             },
         };
         let pts = vec![mk(0.1, 0.1), mk(0.3, 0.29), mk(0.5, 0.35)];

@@ -17,6 +17,7 @@ use crate::config::SimConfig;
 use crate::stats::{DeadlockEvent, SimResult};
 use crate::traffic::Workload;
 use fractanet_graph::{AdjList, ChannelId, Network};
+use fractanet_telemetry::Recorder;
 use fractanet_topo::ring::{PORT_CW, PORT_NODE0};
 use fractanet_topo::{Ring, Topology};
 use rand::rngs::StdRng;
@@ -259,6 +260,7 @@ pub struct VcEngine<'a> {
     delivered_flits: u64,
     latencies: Vec<u64>,
     rng: StdRng,
+    tel: Option<Recorder>,
 }
 
 impl<'a> VcEngine<'a> {
@@ -266,6 +268,7 @@ impl<'a> VcEngine<'a> {
     pub fn new(net: &'a Network, routes: &'a VcRouteSet, cfg: SimConfig) -> Self {
         let vcs = routes.vcs() as usize;
         let nch = net.channel_count();
+        let tel = cfg.telemetry.recorder(nch);
         VcEngine {
             routes,
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -281,6 +284,7 @@ impl<'a> VcEngine<'a> {
             delivered: 0,
             delivered_flits: 0,
             latencies: Vec::new(),
+            tel,
         }
     }
 
@@ -336,6 +340,7 @@ impl<'a> VcEngine<'a> {
             cycle += 1;
         }
 
+        let telemetry = self.tel.take().map(|r| r.finish(cycle, &self.busy));
         let mut lats = self.latencies.clone();
         lats.sort_unstable();
         let avg = if lats.is_empty() {
@@ -358,6 +363,7 @@ impl<'a> VcEngine<'a> {
             channel_busy: self.busy,
             deadlock,
             recovery: crate::stats::RecoveryStats::default(),
+            telemetry,
         }
     }
 
@@ -495,6 +501,9 @@ impl<'a> VcEngine<'a> {
                 (st.owner, f)
             };
             self.delivered_flits += 1;
+            if let Some(t) = self.tel.as_mut() {
+                t.flit_forwarded(ChannelId((vid as usize / self.vcs) as u32));
+            }
             let done = flit == self.packets[owner as usize].len - 1;
             if done {
                 self.chans[vid as usize].owner = NO_PKT;
@@ -503,6 +512,9 @@ impl<'a> VcEngine<'a> {
                 let p = &self.packets[owner as usize];
                 if p.created >= self.cfg.warmup_cycles {
                     self.latencies.push(cycle + 1 - p.created);
+                }
+                if let Some(t) = self.tel.as_mut() {
+                    t.delivered(cycle, owner, cycle + 1 - p.created);
                 }
             }
         }
@@ -533,17 +545,28 @@ impl<'a> VcEngine<'a> {
                     nst.entered += 1;
                     nst.occ += 1;
                     self.busy[to_vid as usize / self.vcs] += 1;
+                    if let Some(t) = self.tel.as_mut() {
+                        t.flit_forwarded(ChannelId((from_vid as usize / self.vcs) as u32));
+                        if alloc {
+                            t.vc_allocated(
+                                cycle,
+                                owner,
+                                ChannelId((to_vid as usize / self.vcs) as u32),
+                                (to_vid as usize % self.vcs) as u8,
+                            );
+                        }
+                    }
                 }
                 Cand::Inject { src, to_vid, alloc } => {
                     let pid = *self.queues[src as usize].front().expect("validated");
-                    let (sent_after, len) = {
+                    let (sent_after, len, psrc, pdst) = {
                         let p = &mut self.packets[pid as usize];
                         p.sent += 1;
                         if p.sent == 1 {
                             p.injected = cycle;
                             self.in_flight += 1;
                         }
-                        (p.sent, p.len)
+                        (p.sent, p.len, p.src, p.dst)
                     };
                     let st = &mut self.chans[to_vid as usize];
                     if alloc {
@@ -554,6 +577,11 @@ impl<'a> VcEngine<'a> {
                     st.entered += 1;
                     st.occ += 1;
                     self.busy[to_vid as usize / self.vcs] += 1;
+                    if sent_after == 1 {
+                        if let Some(t) = self.tel.as_mut() {
+                            t.packet_injected(cycle, pid, psrc, pdst, len);
+                        }
+                    }
                     if sent_after == len {
                         self.queues[src as usize].pop_front();
                     }

@@ -1,0 +1,284 @@
+//! The trace event taxonomy: one variant per observable state change
+//! in the wormhole engine, each stamped with the cycle, the worm
+//! (packet) id, and — where one is involved — the channel.
+//!
+//! Events are deliberately small `Copy` records (a tagged bundle of
+//! integers) so the bounded ring buffer stays cache-friendly and a
+//! multi-thousand-event trace costs kilobytes, not megabytes.
+
+use fractanet_graph::ChannelId;
+
+/// One observable state change in a simulated fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet's first flit entered its injection channel.
+    PacketInjected {
+        /// Cycle of the injection.
+        cycle: u64,
+        /// Worm (packet) id.
+        worm: u32,
+        /// Source end-node address.
+        src: u32,
+        /// Destination end-node address.
+        dst: u32,
+        /// Packet length in flits.
+        len: u32,
+    },
+    /// A worm's head flit was granted a channel and advanced into it.
+    HeadAdvanced {
+        /// Cycle of the advance.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// The channel the head entered.
+        channel: ChannelId,
+    },
+    /// A flit wanted to enter `channel` this cycle and could not
+    /// (arbitration loss, full buffer, or a foreign owner).
+    Blocked {
+        /// Cycle of the stall.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// The contended channel.
+        channel: ChannelId,
+    },
+    /// A virtual channel was allocated to a worm's head (VC engine).
+    VcAllocated {
+        /// Cycle of the allocation.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// The physical channel.
+        channel: ChannelId,
+        /// The virtual channel index on that physical channel.
+        vc: u8,
+    },
+    /// An in-flight worm was torn down: its channels released and its
+    /// flits discarded.
+    WormTruncated {
+        /// Cycle of the teardown.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// `true` when the teardown was the routing-epoch drain after
+        /// a table install (rather than a fault hit).
+        drained: bool,
+    },
+    /// The retry machinery re-queued a packet after backoff.
+    Retried {
+        /// Cycle the retry was scheduled.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// Transmission attempts so far (1 = first retry).
+        attempt: u32,
+        /// Cycle the packet re-enters its source queue.
+        release: u64,
+    },
+    /// A packet exhausted its retry budget and was abandoned to the
+    /// failover layer.
+    Abandoned {
+        /// Cycle of the abandonment.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// Source end-node address.
+        src: u32,
+        /// Destination end-node address.
+        dst: u32,
+    },
+    /// A packet's tail flit was ejected at its destination.
+    Delivered {
+        /// Cycle of the final ejection.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// End-to-end latency in cycles (creation → tail ejected).
+        latency: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle stamp shared by every variant.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::PacketInjected { cycle, .. }
+            | TraceEvent::HeadAdvanced { cycle, .. }
+            | TraceEvent::Blocked { cycle, .. }
+            | TraceEvent::VcAllocated { cycle, .. }
+            | TraceEvent::WormTruncated { cycle, .. }
+            | TraceEvent::Retried { cycle, .. }
+            | TraceEvent::Abandoned { cycle, .. }
+            | TraceEvent::Delivered { cycle, .. } => cycle,
+        }
+    }
+
+    /// The worm id shared by every variant.
+    pub fn worm(&self) -> u32 {
+        match *self {
+            TraceEvent::PacketInjected { worm, .. }
+            | TraceEvent::HeadAdvanced { worm, .. }
+            | TraceEvent::Blocked { worm, .. }
+            | TraceEvent::VcAllocated { worm, .. }
+            | TraceEvent::WormTruncated { worm, .. }
+            | TraceEvent::Retried { worm, .. }
+            | TraceEvent::Abandoned { worm, .. }
+            | TraceEvent::Delivered { worm, .. } => worm,
+        }
+    }
+
+    /// The channel involved, when the variant names one.
+    pub fn channel(&self) -> Option<ChannelId> {
+        match *self {
+            TraceEvent::HeadAdvanced { channel, .. }
+            | TraceEvent::Blocked { channel, .. }
+            | TraceEvent::VcAllocated { channel, .. } => Some(channel),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase tag used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::PacketInjected { .. } => "injected",
+            TraceEvent::HeadAdvanced { .. } => "head_advanced",
+            TraceEvent::Blocked { .. } => "blocked",
+            TraceEvent::VcAllocated { .. } => "vc_allocated",
+            TraceEvent::WormTruncated { .. } => "truncated",
+            TraceEvent::Retried { .. } => "retried",
+            TraceEvent::Abandoned { .. } => "abandoned",
+            TraceEvent::Delivered { .. } => "delivered",
+        }
+    }
+}
+
+/// What a [`Span`] measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The whole run, cycle 0 to the last simulated cycle. Every
+    /// recorded trace contains exactly one.
+    Simulation,
+    /// One fault-schedule application (instant: begin == end).
+    FaultInjection,
+    /// First fault → the repaired-table install the recovery rode on.
+    /// Emitted once, when the first retried packet is delivered.
+    TableRepair,
+    /// A certified routing-table install (instant: begin == end).
+    HealInstall,
+    /// Table install (or first fault when no repair was installed) →
+    /// first retried packet delivered. Together with [`TableRepair`]
+    /// this decomposes `RecoveryStats::time_to_recover` exactly:
+    /// `TableRepair.duration() + Redelivery.duration() ==
+    /// time_to_recover`.
+    ///
+    /// [`TableRepair`]: SpanKind::TableRepair
+    Redelivery,
+}
+
+impl SpanKind {
+    /// Stable lowercase tag used by the exporters.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SpanKind::Simulation => "simulation",
+            SpanKind::FaultInjection => "fault_injection",
+            SpanKind::TableRepair => "table_repair",
+            SpanKind::HealInstall => "heal_install",
+            SpanKind::Redelivery => "redelivery",
+        }
+    }
+}
+
+/// A closed interval of simulated cycles with a label — the Chrome
+/// trace "complete event" (`"ph":"X"`) analogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// What the interval measures.
+    pub kind: SpanKind,
+    /// First cycle of the interval.
+    pub begin: u64,
+    /// One past the last cycle of the interval (`begin == end` is an
+    /// instant).
+    pub end: u64,
+}
+
+impl Span {
+    /// The span length in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end - self.begin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let evs = [
+            TraceEvent::PacketInjected {
+                cycle: 1,
+                worm: 2,
+                src: 0,
+                dst: 3,
+                len: 8,
+            },
+            TraceEvent::HeadAdvanced {
+                cycle: 2,
+                worm: 2,
+                channel: ChannelId(5),
+            },
+            TraceEvent::Blocked {
+                cycle: 3,
+                worm: 2,
+                channel: ChannelId(5),
+            },
+            TraceEvent::VcAllocated {
+                cycle: 4,
+                worm: 2,
+                channel: ChannelId(5),
+                vc: 1,
+            },
+            TraceEvent::WormTruncated {
+                cycle: 5,
+                worm: 2,
+                drained: false,
+            },
+            TraceEvent::Retried {
+                cycle: 6,
+                worm: 2,
+                attempt: 1,
+                release: 20,
+            },
+            TraceEvent::Abandoned {
+                cycle: 7,
+                worm: 2,
+                src: 0,
+                dst: 3,
+            },
+            TraceEvent::Delivered {
+                cycle: 8,
+                worm: 2,
+                latency: 7,
+            },
+        ];
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.cycle(), i as u64 + 1);
+            assert_eq!(e.worm(), 2);
+            assert!(!e.kind().is_empty());
+        }
+        assert_eq!(evs[1].channel(), Some(ChannelId(5)));
+        assert_eq!(evs[0].channel(), None);
+    }
+
+    #[test]
+    fn span_duration() {
+        let s = Span {
+            kind: SpanKind::TableRepair,
+            begin: 100,
+            end: 140,
+        };
+        assert_eq!(s.duration(), 40);
+        assert_eq!(SpanKind::Redelivery.tag(), "redelivery");
+    }
+}

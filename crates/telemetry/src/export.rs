@@ -1,0 +1,290 @@
+//! Trace exporters: JSONL for scripting, Chrome `trace_event` JSON for
+//! `chrome://tracing` / Perfetto, and a plain-text summary for humans.
+//!
+//! All three render from a finished [`TelemetryReport`] and share the
+//! workspace JSON writer (`fractanet_graph::json`) with the linter's
+//! `--json` output. Cycle stamps are exported as-is: in the Chrome
+//! view one microsecond of trace time equals one simulated cycle.
+
+use fractanet_graph::json::{JsonArray, JsonObject};
+
+use crate::event::{Span, TraceEvent};
+use crate::recorder::TelemetryReport;
+
+fn event_obj(ev: &TraceEvent) -> JsonObject {
+    let o = JsonObject::new()
+        .field_str("type", "event")
+        .field_str("kind", ev.kind())
+        .field_num("cycle", ev.cycle())
+        .field_num("worm", ev.worm());
+    match *ev {
+        TraceEvent::PacketInjected { src, dst, len, .. } => o
+            .field_num("src", src)
+            .field_num("dst", dst)
+            .field_num("len", len),
+        TraceEvent::HeadAdvanced { channel, .. } | TraceEvent::Blocked { channel, .. } => {
+            o.field_num("channel", channel.0)
+        }
+        TraceEvent::VcAllocated { channel, vc, .. } => {
+            o.field_num("channel", channel.0).field_num("vc", vc)
+        }
+        TraceEvent::WormTruncated { drained, .. } => o.field_bool("drained", drained),
+        TraceEvent::Retried {
+            attempt, release, ..
+        } => o
+            .field_num("attempt", attempt)
+            .field_num("release", release),
+        TraceEvent::Abandoned { src, dst, .. } => o.field_num("src", src).field_num("dst", dst),
+        TraceEvent::Delivered { latency, .. } => o.field_num("latency", latency),
+    }
+}
+
+fn span_obj(s: &Span) -> JsonObject {
+    JsonObject::new()
+        .field_str("type", "span")
+        .field_str("kind", s.kind.tag())
+        .field_num("begin", s.begin)
+        .field_num("end", s.end)
+        .field_num("duration", s.duration())
+}
+
+/// One JSON object per line: a `meta` header, then every span, then
+/// every stored event in arrival order.
+pub fn to_jsonl(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &JsonObject::new()
+            .field_str("type", "meta")
+            .field_num("cycles", report.cycles)
+            .field_num("events_seen", report.events_seen)
+            .field_num("events_stored", report.events.len())
+            .field_num("events_dropped", report.events_dropped)
+            .field_num("channels", report.channels.len())
+            .build(),
+    );
+    out.push('\n');
+    for s in &report.spans {
+        out.push_str(&span_obj(s).build());
+        out.push('\n');
+    }
+    for ev in &report.events {
+        out.push_str(&event_obj(ev).build());
+        out.push('\n');
+    }
+    out
+}
+
+/// Chrome `trace_event` JSON (the `{"traceEvents":[…]}` object form).
+///
+/// Spans with nonzero duration become complete events (`"ph":"X"`) —
+/// every trace contains at least the whole-run `simulation` span —
+/// zero-length spans and trace events become instants (`"ph":"i"`).
+/// One trace microsecond equals one simulated cycle.
+pub fn to_chrome_trace(report: &TelemetryReport) -> String {
+    let mut events = JsonArray::new();
+    for s in &report.spans {
+        if s.duration() > 0 {
+            events.push_raw(
+                &JsonObject::new()
+                    .field_str("name", s.kind.tag())
+                    .field_str("ph", "X")
+                    .field_num("ts", s.begin)
+                    .field_num("dur", s.duration())
+                    .field_num("pid", 0)
+                    .field_num("tid", 0)
+                    .build(),
+            );
+        } else {
+            events.push_raw(
+                &JsonObject::new()
+                    .field_str("name", s.kind.tag())
+                    .field_str("ph", "i")
+                    .field_num("ts", s.begin)
+                    .field_num("pid", 0)
+                    .field_num("tid", 0)
+                    .field_str("s", "p")
+                    .build(),
+            );
+        }
+    }
+    for ev in &report.events {
+        let mut args = JsonObject::new().field_num("worm", ev.worm());
+        if let Some(ch) = ev.channel() {
+            args = args.field_num("channel", ch.0);
+        }
+        if let TraceEvent::Delivered { latency, .. } = ev {
+            args = args.field_num("latency", *latency);
+        }
+        events.push_raw(
+            &JsonObject::new()
+                .field_str("name", ev.kind())
+                .field_str("ph", "i")
+                .field_num("ts", ev.cycle())
+                .field_num("pid", 0)
+                .field_num("tid", ev.worm() as u64 + 1)
+                .field_str("s", "t")
+                .field_raw("args", &args.build())
+                .build(),
+        );
+    }
+    JsonObject::new()
+        .field_raw("traceEvents", &events.build())
+        .field_str("displayTimeUnit", "ms")
+        .build()
+}
+
+fn hist_line(label: &str, h: &crate::hist::LatencyHistogram) -> String {
+    if h.count() == 0 {
+        format!("  {label}: (no samples)\n")
+    } else {
+        format!(
+            "  {label}: n={} mean={:.1} p50={} p95={} p99={} max={}\n",
+            h.count(),
+            h.mean(),
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.max()
+        )
+    }
+}
+
+/// Human-readable per-channel summary: event accounting, recovery
+/// spans, latency percentiles split pre-/post-fault, the utilization
+/// decile histogram, and the busiest channels.
+pub fn to_text_summary(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "telemetry: {} cycles, {} events seen ({} stored, {} dropped)\n",
+        report.cycles,
+        report.events_seen,
+        report.events.len(),
+        report.events_dropped
+    ));
+
+    out.push_str("spans:\n");
+    for s in &report.spans {
+        out.push_str(&format!(
+            "  {:<16} [{:>8} .. {:>8}]  {} cycles\n",
+            s.kind.tag(),
+            s.begin,
+            s.end,
+            s.duration()
+        ));
+    }
+    if let Some(t) = report.recovery_span_cycles() {
+        out.push_str(&format!("  time_to_recover (repair + redelivery): {t}\n"));
+    }
+
+    out.push_str("latency (cycles):\n");
+    out.push_str(&hist_line("pre-fault ", &report.pre_fault_latency));
+    out.push_str(&hist_line("post-fault", &report.post_fault_latency));
+
+    let bins = report.utilization_histogram();
+    out.push_str("utilization histogram (channels per decile):\n  ");
+    for (i, b) in bins.iter().enumerate() {
+        out.push_str(&format!("{}0%:{b} ", i));
+    }
+    out.push('\n');
+
+    let mut busiest: Vec<(usize, &crate::channels::ChannelSummary)> =
+        report.channels.iter().enumerate().collect();
+    busiest.sort_by(|a, b| b.1.busy_cycles.cmp(&a.1.busy_cycles).then(a.0.cmp(&b.0)));
+    out.push_str("busiest channels (busy / fwd / blocked / depth / contention):\n");
+    for (id, s) in busiest.iter().take(16) {
+        if s.busy_cycles == 0 && s.flits_forwarded == 0 && s.blocked_cycles == 0 {
+            break;
+        }
+        let util = if report.cycles == 0 {
+            0.0
+        } else {
+            100.0 * s.busy_cycles as f64 / report.cycles as f64
+        };
+        out.push_str(&format!(
+            "  c{:<5} {:>8} ({util:>5.1}%) {:>8} {:>8} {:>5} {:>5}\n",
+            id,
+            s.busy_cycles,
+            s.flits_forwarded,
+            s.blocked_cycles,
+            s.peak_queue_depth,
+            s.peak_contention
+        ));
+    }
+    if let Some((ch, k)) = report.worst_contention() {
+        out.push_str(&format!("worst link contention: {k}:1 on c{}\n", ch.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn faulted_report() -> TelemetryReport {
+        let mut r = Recorder::new(128, 4);
+        r.packet_injected(0, 0, 0, 3, 8);
+        r.delivered(9, 0, 9);
+        r.fault_applied(10);
+        r.worm_truncated(10, 1, false);
+        r.retried(10, 1, 1, 14);
+        r.repair_installed(12);
+        r.delivered(25, 1, 25);
+        r.recovered(25);
+        r.flit_forwarded(fractanet_graph::ChannelId(0));
+        r.finish(40, &[5, 0, 0, 0])
+    }
+
+    fn balanced(j: &str) {
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count(), "{j}");
+    }
+
+    #[test]
+    fn jsonl_has_meta_spans_and_events() {
+        let rep = faulted_report();
+        let out = to_jsonl(&rep);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("{\"type\":\"meta\""));
+        assert!(lines[0].contains("\"events_seen\":5"));
+        // meta + spans + stored events, nothing else.
+        assert_eq!(lines.len(), 1 + rep.spans.len() + rep.events.len(), "{out}");
+        assert!(out.contains("\"kind\":\"table_repair\""));
+        assert!(out.contains("\"kind\":\"retried\""));
+        for l in &lines {
+            balanced(l);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_span() {
+        let out = to_chrome_trace(&faulted_report());
+        balanced(&out);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"name\":\"simulation\""));
+        assert!(out.contains("\"name\":\"redelivery\""));
+        // Instant fault marker.
+        assert!(out.contains("\"name\":\"fault_injection\",\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn chrome_trace_without_faults_still_has_a_span() {
+        let rep = Recorder::new(8, 1).finish(100, &[0]);
+        let out = to_chrome_trace(&rep);
+        balanced(&out);
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"dur\":100"));
+    }
+
+    #[test]
+    fn text_summary_mentions_everything() {
+        let out = to_text_summary(&faulted_report());
+        assert!(out.contains("5 events seen"));
+        assert!(out.contains("time_to_recover (repair + redelivery): 15"));
+        assert!(out.contains("pre-fault"));
+        assert!(out.contains("post-fault"));
+        assert!(out.contains("utilization histogram"));
+        assert!(out.contains("c0"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Log-bucketed latency histograms.
+//!
+//! Latencies land in power-of-two buckets (bucket `i` holds values in
+//! `[2^(i-1), 2^i)`, bucket 0 holds zero), so recording is O(1), the
+//! footprint is 65 counters regardless of run length, and quantiles
+//! are exact to within a factor of two — plenty to tell a healthy p99
+//! from a pileup. The true maximum is tracked exactly.
+
+/// Fixed-footprint histogram of cycle counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket containing it (so `quantile(0.5)` is within 2× of
+    /// the true median). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i, capped by the exact max.
+                let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return ub.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (upper bucket bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty `(bucket_upper_bound, count)` rows, low to high.
+    pub fn rows(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { (1u64 << i) - 1 }, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_bound_truth_within_2x() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // True p50 = 500; bucket answer in [500, 1000).
+        let p50 = h.p50();
+        assert!((500..1000).contains(&p50), "{p50}");
+        // p99 = 990; bucket answer in [990, 1980) but capped at max.
+        let p99 = h.p99();
+        assert!((990..=1000).contains(&p99), "{p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.rows().is_empty());
+    }
+
+    #[test]
+    fn rows_report_populated_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(6);
+        let rows = h.rows();
+        assert_eq!(rows, vec![(0, 1), (7, 2)]);
+    }
+}
