@@ -1,0 +1,134 @@
+//! Route-state memory and injection-path guard for the table-canonical
+//! refactor.
+//!
+//! Two hard assertions back the README's memory-model claim and fail
+//! the bench (and the CI job that runs it) if a regression sneaks the
+//! dense path matrix back onto the hot path:
+//!
+//! 1. Destination tables (O(routers · N) bytes) must undercut the
+//!    traced dense matrix (O(N² · path length) words) by at least 10×
+//!    at N = 1024. The resident sizes at N ∈ {64, 256, 1024} are
+//!    printed for the record.
+//! 2. A seeded simulation routed hop-by-hop from the shared tables
+//!    must produce *identical* results to the legacy path-snapshot
+//!    engine — same delivered count, latencies, and per-channel busy
+//!    cycles — and must not be slower beyond CI noise.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fractanet::prelude::*;
+use fractanet::System;
+use fractanet_bench::system;
+use fractanet_route::RouteSet;
+use std::time::Instant;
+
+/// The three sizes the guard reports; only the largest is asserted.
+const SPECS: [(&str, usize); 3] = [
+    ("fat-fractahedron:2", 64),
+    ("hypercube:8", 256),
+    ("thin-fractahedron:3:fanout", 1024),
+];
+
+/// Guard 1: table memory undercuts the dense matrix, 10× at N=1024.
+fn guard_resident_bytes(_c: &mut Criterion) {
+    for (spec, nodes) in SPECS {
+        let sys = system(spec);
+        assert_eq!(sys.end_nodes().len(), nodes, "{spec}");
+        let table_bytes = sys.routes().resident_bytes();
+        let dense_bytes = sys.route_set().resident_bytes();
+        let ratio = dense_bytes as f64 / table_bytes as f64;
+        println!(
+            "bench route-state bytes N={nodes:>4} ({spec}): tables {table_bytes} \
+             vs dense {dense_bytes} ({ratio:.1}x)"
+        );
+        if nodes >= 1024 {
+            assert!(
+                ratio >= 10.0,
+                "{spec}: tables must be >=10x smaller than the dense matrix, got {ratio:.1}x"
+            );
+        }
+    }
+}
+
+fn sim_cfg() -> SimConfig {
+    SimConfig {
+        packet_flits: 16,
+        buffer_depth: 4,
+        max_cycles: 4_000,
+        stall_threshold: 3_900,
+        ..SimConfig::default()
+    }
+}
+
+fn workload() -> Workload {
+    Workload::Bernoulli {
+        injection_rate: 0.3,
+        pattern: DstPattern::Uniform,
+        until_cycle: 3_000,
+    }
+}
+
+fn sim_dense(sys: &System, rs: &RouteSet) -> fractanet_sim::SimResult {
+    Engine::new(sys.net(), rs, sim_cfg()).run(workload())
+}
+
+fn sim_tables(sys: &System) -> fractanet_sim::SimResult {
+    Engine::with_tables(sys.net(), sys.end_nodes(), sys.shared_routes(), sim_cfg()).run(workload())
+}
+
+/// Wall time of the fastest of `reps` runs — min is the right
+/// statistic for a noise-robust lower bound on both sides of a ratio.
+fn min_wall(reps: usize, mut f: impl FnMut()) -> u128 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap()
+}
+
+/// Guard 2: table-walk injection matches path-snapshot injection
+/// bit-for-bit and is not slower beyond CI noise.
+fn guard_injection_parity(c: &mut Criterion) {
+    let sys = system("fat-fractahedron:2");
+    let rs = sys.route_set().clone();
+
+    let dense = sim_dense(&sys, &rs);
+    let tabled = sim_tables(&sys);
+    assert_eq!(dense.delivered, tabled.delivered, "table walk diverged");
+    assert_eq!(dense.avg_latency, tabled.avg_latency, "table walk diverged");
+    assert_eq!(
+        dense.channel_busy, tabled.channel_busy,
+        "table walk diverged"
+    );
+
+    let t_dense = min_wall(5, || {
+        black_box(sim_dense(&sys, &rs));
+    });
+    let t_tables = min_wall(5, || {
+        black_box(sim_tables(&sys));
+    });
+    let ratio = t_tables as f64 / t_dense.max(1) as f64;
+    println!(
+        "bench table-walk/path-snapshot wall ratio: {ratio:.2}x ({t_tables} ns vs {t_dense} ns)"
+    );
+    assert!(
+        ratio <= 1.25,
+        "table-walk injection is {ratio:.2}x the path-snapshot run (bound: 1.25x)"
+    );
+
+    c.bench_function("sim_fat64_path_snapshot", |b| {
+        b.iter(|| sim_dense(&sys, &rs).delivered)
+    });
+    c.bench_function("sim_fat64_table_walk", |b| {
+        b.iter(|| sim_tables(&sys).delivered)
+    });
+}
+
+criterion_group! {
+    name = table_walk;
+    config = Criterion::default().sample_size(10);
+    targets = guard_resident_bytes, guard_injection_parity
+}
+criterion_main!(table_walk);

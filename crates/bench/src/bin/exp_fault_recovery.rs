@@ -12,7 +12,7 @@
 
 use fractanet::prelude::*;
 use fractanet::System;
-use fractanet_bench::{emit_json, header};
+use fractanet_bench::{emit_json, header, system};
 use fractanet_graph::LinkId;
 use serde::Serialize;
 
@@ -174,9 +174,9 @@ fn main() {
         "live link kills at 0.2 load: retry, self-healing, dual-fabric failover",
     );
     let systems = [
-        ("fat fractahedron", System::fat_fractahedron(2)),
-        ("4-2 fat tree", System::fat_tree(64, 4, 2)),
-        ("6x6 mesh", System::mesh(6, 6)),
+        ("fat fractahedron", system("fat-fractahedron:2")),
+        ("4-2 fat tree", system("fattree:64:4:2")),
+        ("6x6 mesh", system("mesh:6x6")),
     ];
     println!(
         "  {:<18} {:>6} {:>9} {:>10} {:>8} {:>9} {:>8} {:>9} {:>9} {:>8}",

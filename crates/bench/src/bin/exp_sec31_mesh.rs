@@ -7,8 +7,7 @@ use fractanet::metrics::contention::contention_of_channel;
 use fractanet::metrics::max_link_contention;
 use fractanet::prelude::*;
 use fractanet::route::dor::{mesh_xy_routes, mesh_yx_routes};
-use fractanet::System;
-use fractanet_bench::{emit_json, header, versus};
+use fractanet_bench::{emit_json, header, system, versus};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -57,7 +56,7 @@ fn main() {
         "E7 / §3.1",
         "worst-case contention on the 6x6 mesh (dimension-order)",
     );
-    let sys = System::mesh(6, 6);
+    let sys = system("mesh:6x6");
     let rep = max_link_contention(sys.net(), sys.route_set());
     println!(
         "  max link contention: {}",

@@ -8,7 +8,7 @@
 use fractanet::prelude::*;
 use fractanet::sim::sweep::{saturation_rate, sweep_loads};
 use fractanet::System;
-use fractanet_bench::{emit_json, header};
+use fractanet_bench::{emit_json, header, system};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -95,10 +95,10 @@ fn main() {
     }
     println!();
 
-    let mesh = System::mesh(6, 6);
-    let ft = System::fat_tree(64, 4, 2);
-    let ff = System::fat_fractahedron(2);
-    let thin = System::thin_fractahedron(2, false);
+    let mesh = system("mesh:6x6");
+    let ft = system("fattree:64:4:2");
+    let ff = system("fat-fractahedron:2");
+    let thin = system("thin-fractahedron:2");
 
     let _ = curve("6x6 mesh / XY", &mesh, &rates);
     let lat_ft = curve("4-2 fat tree", &ft, &rates);

@@ -7,8 +7,7 @@ use fractanet::metrics::contention::{contention_of_channel, pattern_contention};
 use fractanet::metrics::max_link_contention;
 use fractanet::prelude::*;
 use fractanet::route::fattree::{fattree_routes, UpPolicy};
-use fractanet::System;
-use fractanet_bench::{emit_json, header, versus};
+use fractanet_bench::{emit_json, header, system, versus};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,9 +22,9 @@ struct Row {
 
 fn main() {
     header("E9-E10 / Table 2", "64-node comparison");
-    let ft = System::fat_tree(64, 4, 2);
-    let ff = System::fat_fractahedron(2);
-    let t33 = System::fat_tree(64, 3, 3);
+    let ft = system("fattree:64:4:2");
+    let ff = system("fat-fractahedron:2");
+    let t33 = system("fattree:64:3:3");
 
     println!(
         "{:<22} {:>22} {:>18} {:>22} {:>16} {:>10}",

@@ -34,6 +34,16 @@ pub fn header(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
+/// Builds a [`fractanet::System`] from a textual topology spec
+/// (`mesh:6x6`, `fattree:64:4:2`, …), panicking on a malformed spec.
+/// Experiment binaries use this instead of hand-rolled constructors so
+/// their configurations read exactly like the CLI's.
+pub fn system(spec: &str) -> fractanet::System {
+    spec.parse::<fractanet::TopoSpec>()
+        .unwrap_or_else(|e| panic!("{spec}: {e}"))
+        .build()
+}
+
 /// Formats `value (paper: expected)` with a match marker.
 pub fn versus(value: impl std::fmt::Display, paper: impl std::fmt::Display) -> String {
     let v = value.to_string();

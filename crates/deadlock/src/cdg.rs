@@ -8,8 +8,8 @@
 //! access to an output link" — a cycle here is exactly that circular
 //! dependency, made static.
 
-use fractanet_graph::{AdjList, ChannelId, Network};
-use fractanet_route::RouteSet;
+use fractanet_graph::{AdjList, ChannelId, Network, NodeId};
+use fractanet_route::{Paths, RouteSet, Routes};
 
 /// The channel dependency graph of a routed network.
 #[derive(Clone, Debug)]
@@ -24,11 +24,26 @@ impl ChannelDependencyGraph {
     /// Builds the CDG from every path of `routes`. Duplicate
     /// dependencies (contributed by many pairs) are collapsed.
     pub fn from_routes(net: &Network, routes: &RouteSet) -> Self {
+        Self::from_paths(net, Paths::dense(routes))
+    }
+
+    /// Builds the CDG by walking destination tables directly — no
+    /// dense path matrix is materialized. Pairs whose trace fails
+    /// (holes, loops) contribute no dependencies; the linter reports
+    /// those separately.
+    pub fn from_tables(net: &Network, ends: &[NodeId], routes: &Routes) -> Self {
+        Self::from_paths(net, Paths::tables(net, ends, routes))
+    }
+
+    /// Builds the CDG from any per-pair path view. Duplicate
+    /// dependencies (contributed by many pairs) are collapsed.
+    pub fn from_paths(net: &Network, paths: Paths<'_>) -> Self {
         let n = net.channel_count();
         let mut graph = AdjList::new(n);
         let mut seen = std::collections::HashSet::new();
         let mut witnesses = Vec::new();
-        for (s, d, path) in routes.pairs() {
+        paths.for_each_pair(|s, d, res| {
+            let Ok(path) = res else { return };
             for w in path.windows(2) {
                 let (a, b) = (w[0].0, w[1].0);
                 if seen.insert((a, b)) {
@@ -36,7 +51,7 @@ impl ChannelDependencyGraph {
                     witnesses.push((a, b, s, d));
                 }
             }
-        }
+        });
         ChannelDependencyGraph { graph, witnesses }
     }
 

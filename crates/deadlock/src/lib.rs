@@ -21,5 +21,5 @@ pub mod waitgraph;
 
 pub use cdg::ChannelDependencyGraph;
 pub use disables::{synthesize_disables, DisableSet, SynthesisError};
-pub use verify::{verify_deadlock_free, DeadlockReport};
+pub use verify::{verify_deadlock_free, verify_deadlock_free_tables, DeadlockReport};
 pub use waitgraph::WaitGraph;

@@ -4,8 +4,8 @@
 //! algorithm eliminates these loops and avoids possible deadlocks").
 
 use crate::cdg::ChannelDependencyGraph;
-use fractanet_graph::{ChannelId, Network};
-use fractanet_route::RouteSet;
+use fractanet_graph::{ChannelId, Network, NodeId};
+use fractanet_route::{RouteSet, Routes};
 use std::fmt;
 
 /// Evidence that a routed network can deadlock.
@@ -49,7 +49,23 @@ pub fn verify_deadlock_free(
     net: &Network,
     routes: &RouteSet,
 ) -> Result<ChannelDependencyGraph, Box<DeadlockReport>> {
-    let cdg = ChannelDependencyGraph::from_routes(net, routes);
+    report_cycles(net, ChannelDependencyGraph::from_routes(net, routes))
+}
+
+/// [`verify_deadlock_free`] over destination tables directly, walking
+/// the table per pair instead of materializing a path matrix.
+pub fn verify_deadlock_free_tables(
+    net: &Network,
+    ends: &[NodeId],
+    routes: &Routes,
+) -> Result<ChannelDependencyGraph, Box<DeadlockReport>> {
+    report_cycles(net, ChannelDependencyGraph::from_tables(net, ends, routes))
+}
+
+fn report_cycles(
+    net: &Network,
+    cdg: ChannelDependencyGraph,
+) -> Result<ChannelDependencyGraph, Box<DeadlockReport>> {
     match cdg.find_cycle() {
         None => Ok(cdg),
         Some(cycle) => {

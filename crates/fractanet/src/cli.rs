@@ -12,6 +12,7 @@
 //! ```
 
 use crate::sizing::{plan, Requirement};
+use crate::spec::TopoSpec;
 use crate::System;
 use fractanet_graph::{viz, LinkId, NodeId};
 use fractanet_sim::{DstPattern, FaultEvent, RetryPolicy, SimConfig, Telemetry, Workload};
@@ -86,10 +87,6 @@ pub enum TraceFormat {
     /// Human-readable per-channel summary.
     Summary,
 }
-
-/// A topology specifier, e.g. `fat-fractahedron:2` or `mesh:6x6`.
-#[derive(Clone, Debug, PartialEq)]
-pub struct TopoSpec(pub String);
 
 /// Fault-injection and recovery options for `simulate`.
 #[derive(Clone, Debug, PartialEq)]
@@ -241,69 +238,10 @@ TOPOLOGIES:
   bintree:<depth>:<nodes-per-leaf>      e.g. bintree:3:2
 ";
 
-impl TopoSpec {
-    /// Builds the system this spec describes.
-    pub fn build(&self) -> Result<System, CliError> {
-        let parts: Vec<&str> = self.0.split(':').collect();
-        let bad = || CliError(format!("bad topology spec '{}'\n\n{USAGE}", self.0));
-        let int = |s: &str| s.parse::<usize>().map_err(|_| bad());
-        match parts[0] {
-            "fat-fractahedron" if parts.len() == 2 => {
-                let n = int(parts[1])?;
-                if !(1..=4).contains(&n) {
-                    return Err(CliError("levels must be 1..=4".into()));
-                }
-                Ok(System::fat_fractahedron(n))
-            }
-            "thin-fractahedron" if parts.len() == 2 || parts.len() == 3 => {
-                let n = int(parts[1])?;
-                if !(1..=4).contains(&n) {
-                    return Err(CliError("levels must be 1..=4".into()));
-                }
-                let fanout = parts.get(2) == Some(&"fanout");
-                if parts.len() == 3 && !fanout {
-                    return Err(bad());
-                }
-                Ok(System::thin_fractahedron(n, fanout))
-            }
-            "mesh" if parts.len() == 2 => {
-                let dims: Vec<&str> = parts[1].split('x').collect();
-                if dims.len() != 2 {
-                    return Err(bad());
-                }
-                Ok(System::mesh(int(dims[0])?, int(dims[1])?))
-            }
-            "fattree" if parts.len() == 4 => Ok(System::fat_tree(
-                int(parts[1])?,
-                int(parts[2])?,
-                int(parts[3])?,
-            )),
-            "hypercube" if parts.len() == 2 => {
-                let d = int(parts[1])? as u32;
-                if !(1..=8).contains(&d) {
-                    return Err(CliError("hypercube dim must be 1..=8".into()));
-                }
-                // One attach port on top of `dim` direction ports; the
-                // standard 6-port ServerNet router covers dim <= 5.
-                Ok(System::hypercube(d, (d as u8 + 1).max(6)))
-            }
-            "ring" if parts.len() == 2 => Ok(System::ring(int(parts[1])?)),
-            "tetrahedron" if parts.len() == 1 => Ok(System::tetrahedron()),
-            "cluster" if parts.len() == 2 => {
-                let m = int(parts[1])?;
-                if !(1..=6).contains(&m) {
-                    return Err(CliError(
-                        "cluster size must be 1..=6 on 6-port routers".into(),
-                    ));
-                }
-                Ok(System::cluster(m))
-            }
-            "bintree" if parts.len() == 3 => {
-                Ok(System::binary_tree(int(parts[1])? as u32, int(parts[2])?))
-            }
-            _ => Err(bad()),
-        }
-    }
+/// Parses a topology specifier, appending usage on failure.
+fn parse_spec(s: &str) -> Result<TopoSpec, CliError> {
+    s.parse()
+        .map_err(|e: crate::spec::SpecError| CliError(format!("{e}\n\n{USAGE}")))
 }
 
 /// Parses argv (without the program name).
@@ -312,7 +250,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match it.next().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
         Some("analyze") => {
-            let specs: Vec<TopoSpec> = it.map(|a| TopoSpec(a.clone())).collect();
+            let specs: Vec<TopoSpec> =
+                it.map(|a| parse_spec(a)).collect::<Result<_, CliError>>()?;
             if specs.is_empty() {
                 return Err(CliError(format!("analyze needs a topology\n\n{USAGE}")));
             }
@@ -324,7 +263,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             for a in it {
                 match a.as_str() {
                     "--routers-only" => routers_only = true,
-                    other if spec.is_none() => spec = Some(TopoSpec(other.to_string())),
+                    other if spec.is_none() => spec = Some(parse_spec(other)?),
                     other => return Err(CliError(format!("unexpected argument '{other}'"))),
                 }
             }
@@ -385,7 +324,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         );
                     }
                     other if spec.is_none() && !other.starts_with('-') => {
-                        spec = Some(TopoSpec(other.to_string()))
+                        spec = Some(parse_spec(other)?)
                     }
                     other => return Err(CliError(format!("unexpected argument '{other}'"))),
                 }
@@ -425,7 +364,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     other if other.starts_with('-') => {
                         return Err(CliError(format!("unexpected argument '{other}'")))
                     }
-                    other => specs.push(TopoSpec(other.to_string())),
+                    other => specs.push(parse_spec(other)?),
                 }
             }
             if specs.is_empty() {
@@ -489,7 +428,7 @@ fn run_lint(specs: &[TopoSpec], json: bool) -> Result<RunOutcome, CliError> {
     let mut errors = 0usize;
     let mut reports = Vec::new();
     for spec in specs {
-        let sys = spec.build()?;
+        let sys = spec.build();
         let report = sys.lint();
         errors += report.error_count();
         reports.push(report);
@@ -529,12 +468,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Lint { specs, json } => return run_lint(&specs, json).map(|o| o.output),
         Command::Analyze(specs) => {
             for spec in specs {
-                let sys = spec.build()?;
+                let sys = spec.build();
                 out.push_str(&format!("{}\n", sys.analyze()));
             }
         }
         Command::Dot { spec, routers_only } => {
-            let sys = spec.build()?;
+            let sys = spec.build();
             let dot = if routers_only {
                 viz::routers_only_dot(sys.net(), &sys.name())
             } else {
@@ -555,7 +494,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             faults,
             telemetry,
         } => {
-            let sys = spec.build()?;
+            let sys = spec.build();
             let report = sys.analyze();
             let events = faults.events(&sys)?;
             let injecting = !events.is_empty();
@@ -637,7 +576,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cycles,
             faults,
         } => {
-            let sys = spec.build()?;
+            let sys = spec.build();
             let events = faults.events(&sys)?;
             let cfg = SimConfig {
                 packet_flits: 16,
@@ -718,8 +657,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Analyze(vec![
-                TopoSpec("fat-fractahedron:2".into()),
-                TopoSpec("mesh:6x6".into())
+                "fat-fractahedron:2".parse::<TopoSpec>().unwrap(),
+                "mesh:6x6".parse::<TopoSpec>().unwrap()
             ])
         );
     }
@@ -730,7 +669,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Simulate {
-                spec: TopoSpec("ring:4".into()),
+                spec: "ring:4".parse::<TopoSpec>().unwrap(),
                 load: 0.5,
                 cycles: 1000,
                 faults: FaultOpts::default(),
@@ -753,7 +692,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Trace {
-                spec: TopoSpec("fat-fractahedron:2".into()),
+                spec: "fat-fractahedron:2".parse::<TopoSpec>().unwrap(),
                 format: TraceFormat::Chrome,
                 out: Some("/tmp/t.json".into()),
                 load: 0.1,
@@ -823,44 +762,11 @@ mod tests {
     }
 
     #[test]
-    fn specs_build_every_topology() {
-        for s in [
-            "fat-fractahedron:1",
-            "thin-fractahedron:2",
-            "thin-fractahedron:1:fanout",
-            "mesh:3x3",
-            "fattree:16:4:2",
-            "hypercube:3",
-            "hypercube:6",
-            "ring:5",
-            "tetrahedron",
-            "cluster:3",
-            "bintree:3:2",
-        ] {
-            assert!(TopoSpec(s.into()).build().is_ok(), "{s}");
-        }
-    }
-
-    #[test]
-    fn specs_reject_malformed() {
-        for s in [
-            "fat-fractahedron",
-            "fat-fractahedron:9",
-            "mesh:6",
-            "mesh:ax3",
-            "fattree:64:4",
-            "hypercube:9",
-            "cluster:7",
-            "thin-fractahedron:1:bogus",
-            "nonsense:1",
-        ] {
-            assert!(TopoSpec(s.into()).build().is_err(), "{s}");
-        }
-    }
-
-    #[test]
     fn run_analyze_produces_report_lines() {
-        let out = run(Command::Analyze(vec![TopoSpec("tetrahedron".into())])).unwrap();
+        let out = run(Command::Analyze(vec!["tetrahedron"
+            .parse::<TopoSpec>()
+            .unwrap()]))
+        .unwrap();
         assert!(out.contains("4 routers"));
         assert!(out.contains("deadlock-free"));
     }
@@ -868,7 +774,7 @@ mod tests {
     #[test]
     fn run_dot_produces_graphviz() {
         let out = run(Command::Dot {
-            spec: TopoSpec("cluster:2".into()),
+            spec: "cluster:2".parse::<TopoSpec>().unwrap(),
             routers_only: true,
         })
         .unwrap();
@@ -879,7 +785,7 @@ mod tests {
     #[test]
     fn run_simulate_reports_deadlock_on_ring() {
         let out = run(Command::Simulate {
-            spec: TopoSpec("ring:4".into()),
+            spec: "ring:4".parse::<TopoSpec>().unwrap(),
             load: 0.4,
             cycles: 4_000,
             faults: FaultOpts::default(),
@@ -900,7 +806,7 @@ mod tests {
             ..FaultOpts::default()
         };
         let out = run(Command::Simulate {
-            spec: TopoSpec("fat-fractahedron:1".into()),
+            spec: "fat-fractahedron:1".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 6_000,
             faults,
@@ -920,7 +826,7 @@ mod tests {
                 ..FaultOpts::default()
             };
             let err = run(Command::Simulate {
-                spec: TopoSpec("ring:4".into()),
+                spec: "ring:4".parse::<TopoSpec>().unwrap(),
                 load: 0.1,
                 cycles: 1_000,
                 faults,
@@ -934,7 +840,7 @@ mod tests {
     #[test]
     fn run_trace_chrome_emits_complete_spans() {
         let out = run(Command::Trace {
-            spec: TopoSpec("fat-fractahedron:1".into()),
+            spec: "fat-fractahedron:1".parse::<TopoSpec>().unwrap(),
             format: TraceFormat::Chrome,
             out: None,
             load: 0.1,
@@ -953,7 +859,7 @@ mod tests {
     fn run_trace_jsonl_and_summary() {
         let mk = |format| {
             run(Command::Trace {
-                spec: TopoSpec("tetrahedron".into()),
+                spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
                 format,
                 out: None,
                 load: 0.1,
@@ -980,7 +886,7 @@ mod tests {
         let path = std::env::temp_dir().join("fractanet-trace-test.jsonl");
         let path_s = path.to_str().unwrap().to_string();
         let out = run(Command::Trace {
-            spec: TopoSpec("tetrahedron".into()),
+            spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
             format: TraceFormat::Jsonl,
             out: Some(path_s.clone()),
             load: 0.1,
@@ -997,7 +903,7 @@ mod tests {
     #[test]
     fn run_simulate_telemetry_appends_summary() {
         let cmd = |telemetry| Command::Simulate {
-            spec: TopoSpec("tetrahedron".into()),
+            spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 1_000,
             faults: FaultOpts::default(),
@@ -1039,8 +945,8 @@ mod tests {
             cmd,
             Command::Lint {
                 specs: vec![
-                    TopoSpec("fat-fractahedron:2".into()),
-                    TopoSpec("mesh:6x6".into())
+                    "fat-fractahedron:2".parse::<TopoSpec>().unwrap(),
+                    "mesh:6x6".parse::<TopoSpec>().unwrap()
                 ],
                 json: true,
             }
@@ -1052,7 +958,7 @@ mod tests {
     #[test]
     fn lint_clean_topology_exits_zero() {
         let outcome = execute(Command::Lint {
-            specs: vec![TopoSpec("fat-fractahedron:2".into())],
+            specs: vec!["fat-fractahedron:2".parse::<TopoSpec>().unwrap()],
             json: false,
         })
         .unwrap();
@@ -1063,7 +969,7 @@ mod tests {
     #[test]
     fn lint_json_is_machine_readable() {
         let outcome = execute(Command::Lint {
-            specs: vec![TopoSpec("fat-fractahedron:2".into())],
+            specs: vec!["fat-fractahedron:2".parse::<TopoSpec>().unwrap()],
             json: true,
         })
         .unwrap();
@@ -1081,7 +987,7 @@ mod tests {
         // The acceptance gate: the Fig 1 unrestricted ring must fail
         // with an L3 diagnostic naming channels and a disable set.
         let outcome = execute(Command::Lint {
-            specs: vec![TopoSpec("ring:4".into())],
+            specs: vec!["ring:4".parse::<TopoSpec>().unwrap()],
             json: false,
         })
         .unwrap();
@@ -1098,7 +1004,10 @@ mod tests {
     #[test]
     fn lint_multiple_specs_aggregates() {
         let outcome = execute(Command::Lint {
-            specs: vec![TopoSpec("tetrahedron".into()), TopoSpec("ring:4".into())],
+            specs: vec![
+                "tetrahedron".parse::<TopoSpec>().unwrap(),
+                "ring:4".parse::<TopoSpec>().unwrap(),
+            ],
             json: false,
         })
         .unwrap();
@@ -1109,7 +1018,7 @@ mod tests {
     #[test]
     fn run_on_lint_matches_execute_output() {
         let cmd = Command::Lint {
-            specs: vec![TopoSpec("tetrahedron".into())],
+            specs: vec!["tetrahedron".parse::<TopoSpec>().unwrap()],
             json: false,
         };
         assert_eq!(run(cmd.clone()).unwrap(), execute(cmd).unwrap().output);

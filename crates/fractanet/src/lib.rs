@@ -54,20 +54,24 @@ pub use fractanet_topo as topo;
 
 pub mod cli;
 pub mod sizing;
+pub mod spec;
 mod system;
 
+pub use spec::{SpecError, TopoSpec};
 pub use system::{AnalysisReport, System};
 
 /// Convenient glob-import surface: `use fractanet::prelude::*;`.
 pub mod prelude {
+    pub use crate::spec::TopoSpec;
     pub use crate::system::{AnalysisReport, System};
-    pub use fractanet_deadlock::verify_deadlock_free;
+    pub use fractanet_deadlock::{verify_deadlock_free, verify_deadlock_free_tables};
     pub use fractanet_graph::{ChannelId, LinkClass, Network, NodeId, PortId};
     pub use fractanet_lint::{Diagnostic, LintReport, Linter, RuleId, Severity};
     pub use fractanet_metrics::{bisection_estimate, max_link_contention, HopStats};
-    pub use fractanet_route::{RouteSet, Routes};
+    pub use fractanet_route::{Paths, RouteSet, Routes};
     pub use fractanet_servernet::{
-        heal, healing_repairer, run_with_failover, FabricSim, FailoverOutcome, FaultSet, HealReport,
+        heal, healing_repairer, run_with_failover, table_healing_repairer, FabricSim,
+        FailoverOutcome, FaultSet, HealReport,
     };
     pub use fractanet_sim::{
         DstPattern, Engine, FaultEvent, FaultKind, RetryPolicy, SimConfig, Telemetry,

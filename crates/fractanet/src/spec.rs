@@ -1,0 +1,302 @@
+//! Textual topology specifiers — the `mesh:6x6` / `fattree:64:4:2`
+//! mini-language shared by the CLI, the experiment binaries, and the
+//! benches.
+//!
+//! A [`TopoSpec`] is a *parsed, validated* description of one paper
+//! topology. Parsing ([`FromStr`]) and rendering ([`Display`]) round
+//! trip: `spec.to_string().parse() == Ok(spec)` for every value, so a
+//! spec can travel through argv, config files, and bench IDs without
+//! losing information.
+//!
+//! ```
+//! use fractanet::TopoSpec;
+//!
+//! let spec: TopoSpec = "fat-fractahedron:2".parse().unwrap();
+//! let sys = spec.build();
+//! assert_eq!(sys.end_nodes().len(), 64);
+//! assert_eq!(spec.to_string(), "fat-fractahedron:2");
+//! ```
+
+use crate::System;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed topology specifier, e.g. `fat-fractahedron:2` or
+/// `mesh:6x6`. See the module docs for the grammar; invalid sizes
+/// (levels outside `1..=4`, hypercubes above dim 8, clusters above 6
+/// routers) are rejected at parse time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoSpec {
+    /// `fat-fractahedron:<levels>` — the paper's Fig 7 network at 2.
+    FatFractahedron {
+        /// Recursion levels, `1..=4`.
+        levels: usize,
+    },
+    /// `thin-fractahedron:<levels>[:fanout]` — Table 1's thin variant,
+    /// optionally with the CPU-pair fan-out router level.
+    ThinFractahedron {
+        /// Recursion levels, `1..=4`.
+        levels: usize,
+        /// Whether the fan-out level is present.
+        fanout: bool,
+    },
+    /// `mesh:<cols>x<rows>` — §3.1's mesh, 2 nodes per 6-port router.
+    Mesh {
+        /// Columns.
+        cols: usize,
+        /// Rows.
+        rows: usize,
+    },
+    /// `fattree:<nodes>:<down>:<up>` — the Fig 6 fat tree.
+    FatTree {
+        /// End nodes.
+        nodes: usize,
+        /// Down-links per router.
+        down: usize,
+        /// Up-links per router.
+        up: usize,
+    },
+    /// `hypercube:<dim>` — Fig 2; dim `1..=8` (routers grow past 6
+    /// ports above dim 5).
+    Hypercube {
+        /// Cube dimension.
+        dim: u32,
+    },
+    /// `ring:<n>` — Fig 1's ring (deadlock-prone with minimal routing).
+    Ring {
+        /// Routers on the ring.
+        n: usize,
+    },
+    /// `tetrahedron` — Fig 4 (4 routers, 12 nodes).
+    Tetrahedron,
+    /// `cluster:<m>` — the Fig 3 fully-connected cluster, `1..=6`.
+    Cluster {
+        /// Routers in the cluster.
+        m: usize,
+    },
+    /// `bintree:<depth>:<nodes-per-leaf>` — §2's binary tree.
+    BinTree {
+        /// Router levels.
+        depth: u32,
+        /// End nodes per leaf router.
+        nodes_per_leaf: usize,
+    },
+}
+
+/// Why a specifier string did not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl FromStr for TopoSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let bad = || SpecError(format!("bad topology spec '{s}'"));
+        let int = |t: &str| t.parse::<usize>().map_err(|_| bad());
+        match parts[0] {
+            "fat-fractahedron" if parts.len() == 2 => {
+                let levels = int(parts[1])?;
+                if !(1..=4).contains(&levels) {
+                    return Err(SpecError("levels must be 1..=4".into()));
+                }
+                Ok(TopoSpec::FatFractahedron { levels })
+            }
+            "thin-fractahedron" if parts.len() == 2 || parts.len() == 3 => {
+                let levels = int(parts[1])?;
+                if !(1..=4).contains(&levels) {
+                    return Err(SpecError("levels must be 1..=4".into()));
+                }
+                let fanout = parts.get(2) == Some(&"fanout");
+                if parts.len() == 3 && !fanout {
+                    return Err(bad());
+                }
+                Ok(TopoSpec::ThinFractahedron { levels, fanout })
+            }
+            "mesh" if parts.len() == 2 => {
+                let dims: Vec<&str> = parts[1].split('x').collect();
+                if dims.len() != 2 {
+                    return Err(bad());
+                }
+                let (cols, rows) = (int(dims[0])?, int(dims[1])?);
+                if cols == 0 || rows == 0 {
+                    return Err(SpecError("mesh dimensions must be nonzero".into()));
+                }
+                Ok(TopoSpec::Mesh { cols, rows })
+            }
+            "fattree" if parts.len() == 4 => Ok(TopoSpec::FatTree {
+                nodes: int(parts[1])?,
+                down: int(parts[2])?,
+                up: int(parts[3])?,
+            }),
+            "hypercube" if parts.len() == 2 => {
+                let dim = int(parts[1])? as u32;
+                if !(1..=8).contains(&dim) {
+                    return Err(SpecError("hypercube dim must be 1..=8".into()));
+                }
+                Ok(TopoSpec::Hypercube { dim })
+            }
+            "ring" if parts.len() == 2 => Ok(TopoSpec::Ring { n: int(parts[1])? }),
+            "tetrahedron" if parts.len() == 1 => Ok(TopoSpec::Tetrahedron),
+            "cluster" if parts.len() == 2 => {
+                let m = int(parts[1])?;
+                if !(1..=6).contains(&m) {
+                    return Err(SpecError(
+                        "cluster size must be 1..=6 on 6-port routers".into(),
+                    ));
+                }
+                Ok(TopoSpec::Cluster { m })
+            }
+            "bintree" if parts.len() == 3 => Ok(TopoSpec::BinTree {
+                depth: int(parts[1])? as u32,
+                nodes_per_leaf: int(parts[2])?,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl fmt::Display for TopoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopoSpec::FatFractahedron { levels } => write!(f, "fat-fractahedron:{levels}"),
+            TopoSpec::ThinFractahedron { levels, fanout } => {
+                write!(f, "thin-fractahedron:{levels}")?;
+                if fanout {
+                    write!(f, ":fanout")?;
+                }
+                Ok(())
+            }
+            TopoSpec::Mesh { cols, rows } => write!(f, "mesh:{cols}x{rows}"),
+            TopoSpec::FatTree { nodes, down, up } => write!(f, "fattree:{nodes}:{down}:{up}"),
+            TopoSpec::Hypercube { dim } => write!(f, "hypercube:{dim}"),
+            TopoSpec::Ring { n } => write!(f, "ring:{n}"),
+            TopoSpec::Tetrahedron => write!(f, "tetrahedron"),
+            TopoSpec::Cluster { m } => write!(f, "cluster:{m}"),
+            TopoSpec::BinTree {
+                depth,
+                nodes_per_leaf,
+            } => write!(f, "bintree:{depth}:{nodes_per_leaf}"),
+        }
+    }
+}
+
+impl TopoSpec {
+    /// Builds the system this spec describes. Size validation happened
+    /// at parse time, so this is infallible for parsed specs.
+    pub fn build(&self) -> System {
+        match *self {
+            TopoSpec::FatFractahedron { levels } => System::fat_fractahedron(levels),
+            TopoSpec::ThinFractahedron { levels, fanout } => {
+                System::thin_fractahedron(levels, fanout)
+            }
+            TopoSpec::Mesh { cols, rows } => System::mesh(cols, rows),
+            TopoSpec::FatTree { nodes, down, up } => System::fat_tree(nodes, down, up),
+            TopoSpec::Hypercube { dim } => {
+                // One attach port on top of `dim` direction ports; the
+                // standard 6-port ServerNet router covers dim <= 5.
+                System::hypercube(dim, (dim as u8 + 1).max(6))
+            }
+            TopoSpec::Ring { n } => System::ring(n),
+            TopoSpec::Tetrahedron => System::tetrahedron(),
+            TopoSpec::Cluster { m } => System::cluster(m),
+            TopoSpec::BinTree {
+                depth,
+                nodes_per_leaf,
+            } => System::binary_tree(depth, nodes_per_leaf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_every_variant() {
+        for spec in [
+            TopoSpec::FatFractahedron { levels: 2 },
+            TopoSpec::ThinFractahedron {
+                levels: 3,
+                fanout: false,
+            },
+            TopoSpec::ThinFractahedron {
+                levels: 1,
+                fanout: true,
+            },
+            TopoSpec::Mesh { cols: 6, rows: 6 },
+            TopoSpec::FatTree {
+                nodes: 64,
+                down: 4,
+                up: 2,
+            },
+            TopoSpec::Hypercube { dim: 3 },
+            TopoSpec::Ring { n: 4 },
+            TopoSpec::Tetrahedron,
+            TopoSpec::Cluster { m: 3 },
+            TopoSpec::BinTree {
+                depth: 3,
+                nodes_per_leaf: 2,
+            },
+        ] {
+            let rendered = spec.to_string();
+            assert_eq!(rendered.parse::<TopoSpec>(), Ok(spec), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_the_usage_examples() {
+        for s in [
+            "fat-fractahedron:1",
+            "thin-fractahedron:2",
+            "thin-fractahedron:1:fanout",
+            "mesh:3x3",
+            "fattree:16:4:2",
+            "hypercube:3",
+            "hypercube:6",
+            "ring:5",
+            "tetrahedron",
+            "cluster:3",
+            "bintree:3:2",
+        ] {
+            let spec: TopoSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s, "round trip");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in [
+            "fat-fractahedron",
+            "fat-fractahedron:9",
+            "mesh:6",
+            "mesh:ax3",
+            "mesh:0x3",
+            "fattree:64:4",
+            "hypercube:9",
+            "cluster:7",
+            "thin-fractahedron:1:bogus",
+            "tetrahedron:1",
+            "nonsense:1",
+            "",
+        ] {
+            assert!(s.parse::<TopoSpec>().is_err(), "{s}");
+        }
+    }
+
+    #[test]
+    fn build_produces_the_described_system() {
+        let sys = "fat-fractahedron:2".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.end_nodes().len(), 64);
+        let sys = "mesh:3x3".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.end_nodes().len(), 18);
+    }
+}

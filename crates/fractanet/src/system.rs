@@ -2,20 +2,21 @@
 //! object, so downstream users can reproduce a Table 2 row in five
 //! lines.
 
-use fractanet_deadlock::verify_deadlock_free;
+use fractanet_deadlock::verify_deadlock_free_tables;
 use fractanet_graph::{LinkClass, Network, NodeId};
 use fractanet_lint::{Discipline, LintReport, Linter};
-use fractanet_metrics::{bisection_estimate, max_link_contention, CostSummary, HopStats};
+use fractanet_metrics::{bisection_estimate, max_link_contention_paths, CostSummary, HopStats};
 use fractanet_route::fattree::{fattree_routes, UpPolicy};
 use fractanet_route::fractal::fractal_routes;
 use fractanet_route::ringroute::ring_shortest_routes;
 use fractanet_route::treeroute::bintree_routes;
-use fractanet_route::{direct, dor, RouteSet, Routes};
+use fractanet_route::{direct, dor, Paths, RouteSet, Routes};
 use fractanet_sim::{Engine, SimConfig, SimResult, Workload};
 use fractanet_topo::{
     BinaryTree, FatTree, Fractahedron, FullyConnectedCluster, Hypercube, Mesh2D, Ring, Topology,
     Variant,
 };
+use std::sync::{Arc, OnceLock};
 
 /// A topology paired with its canonical routing.
 enum Built {
@@ -108,20 +109,21 @@ impl std::fmt::Display for AnalysisReport {
 /// analysis and simulation.
 pub struct System {
     built: Built,
-    routes: Routes,
-    routeset: RouteSet,
+    /// Canonical routing state: destination-indexed tables, shared
+    /// with the simulator via `Arc` rather than copied per engine.
+    routes: Arc<Routes>,
+    /// Dense per-pair view, traced lazily the first time a caller
+    /// actually asks for frozen paths.
+    routeset: OnceLock<RouteSet>,
 }
 
 impl System {
     fn new(built: Built) -> Self {
-        let routes = built.routes();
-        let topo = built.topo();
-        let routeset = RouteSet::from_table(topo.net(), topo.end_nodes(), &routes)
-            .expect("canonical routing must cover all pairs");
+        let routes = Arc::new(built.routes());
         System {
             built,
             routes,
-            routeset,
+            routeset: OnceLock::new(),
         }
     }
 
@@ -201,14 +203,26 @@ impl System {
         self.built.topo().end_nodes()
     }
 
-    /// The destination-indexed routing tables.
+    /// The destination-indexed routing tables — the canonical routing
+    /// state everything else (analysis, lint, simulation) derives from.
     pub fn routes(&self) -> &Routes {
         &self.routes
     }
 
-    /// All traced pair paths.
+    /// A shared handle to the canonical tables, for engines and other
+    /// consumers that hold routing state across epochs.
+    pub fn shared_routes(&self) -> Arc<Routes> {
+        Arc::clone(&self.routes)
+    }
+
+    /// All traced pair paths. Derived from [`System::routes`] on first
+    /// use; the table form stays canonical.
     pub fn route_set(&self) -> &RouteSet {
-        &self.routeset
+        self.routeset.get_or_init(|| {
+            let topo = self.built.topo();
+            RouteSet::from_table(topo.net(), topo.end_nodes(), &self.routes)
+                .expect("canonical routing must cover all pairs")
+        })
     }
 
     /// Topology name.
@@ -226,14 +240,15 @@ impl System {
     /// max-flows — instant at the paper's 64-node scale.
     pub fn analyze(&self) -> AnalysisReport {
         let net = self.net();
-        let hops = HopStats::routed(&self.routeset).expect("≥ 2 nodes");
-        let cont = max_link_contention(net, &self.routeset);
+        let ends = self.end_nodes();
+        let hops = HopStats::routed_tables(net, ends, &self.routes).expect("≥ 2 nodes");
+        let cont = max_link_contention_paths(net, Paths::tables(net, ends, &self.routes));
         let local = cont
             .worst_in_class(net, LinkClass::Local)
             .map(|(k, _)| k)
             .unwrap_or(0);
-        let bis = bisection_estimate(net, self.end_nodes(), 4);
-        let deadlock_free = verify_deadlock_free(net, &self.routeset).is_ok();
+        let bis = bisection_estimate(net, ends, 4);
+        let deadlock_free = verify_deadlock_free_tables(net, ends, &self.routes).is_ok();
         AnalysisReport {
             name: self.name(),
             nodes: self.end_nodes().len(),
@@ -291,21 +306,24 @@ impl System {
         if let Some(k) = self.paper_contention_bound() {
             linter = linter.with_contention_bound(k);
         }
-        linter.check(&self.routeset)
+        linter.check_tables(&self.routes)
     }
 
-    /// Simulates a workload on this system.
+    /// Simulates a workload on this system. The engine forwards
+    /// hop-by-hop from the shared tables; no per-packet path is
+    /// snapshotted.
     pub fn simulate(&self, workload: Workload, cfg: SimConfig) -> SimResult {
-        Engine::new(self.net(), &self.routeset, cfg).run(workload)
+        Engine::with_tables(self.net(), self.end_nodes(), self.shared_routes(), cfg).run(workload)
     }
 
     /// Simulates a workload with certified self-healing enabled: on
     /// each permanent fault in `cfg`'s schedule, routing tables are
-    /// regenerated around the dead components, verified deadlock-free
-    /// (Dally & Seitz), and installed mid-run.
+    /// repaired incrementally around the dead components, verified
+    /// deadlock-free (Dally & Seitz), and installed mid-run as a new
+    /// routing epoch.
     pub fn simulate_healing(&self, workload: Workload, cfg: SimConfig) -> SimResult {
-        Engine::new(self.net(), &self.routeset, cfg)
-            .with_repairer(fractanet_servernet::healing_repairer(
+        Engine::with_tables(self.net(), self.end_nodes(), self.shared_routes(), cfg)
+            .with_table_repairer(fractanet_servernet::table_healing_repairer(
                 self.net(),
                 self.end_nodes(),
             ))

@@ -18,8 +18,8 @@ use crate::diag::{Diagnostic, LintReport, RuleId, Severity};
 use crate::discipline::Discipline;
 use fractanet_deadlock::{synthesize_disables, ChannelDependencyGraph};
 use fractanet_graph::{ChannelId, Network, NodeId};
-use fractanet_metrics::max_link_contention;
-use fractanet_route::{DeadMask, RouteSet};
+use fractanet_metrics::max_link_contention_paths;
+use fractanet_route::{DeadMask, Paths, RouteError, RouteSet, Routes};
 use std::collections::VecDeque;
 
 /// How many example pairs / channels a single diagnostic carries
@@ -146,20 +146,38 @@ impl<'a> Linter<'a> {
 
     /// Runs every applicable rule over `routes`.
     pub fn check(&self, routes: &RouteSet) -> LintReport {
+        self.check_paths(Paths::dense(routes))
+    }
+
+    /// Runs every applicable rule directly over destination tables,
+    /// walking each pair's table entries in place — no dense path
+    /// matrix is ever materialized. Tracing failures surface as
+    /// diagnostics: missing entries as L1 coverage findings (severed
+    /// vs hole, by surviving component), forwarding loops as L2 errors
+    /// naming the visited-router sequence. When a fault mask is set,
+    /// pairs whose own attach channels are dead lint as severed (the
+    /// tables cannot represent an end node's death; the dense view
+    /// encodes it as an empty path).
+    pub fn check_tables(&self, routes: &Routes) -> LintReport {
+        self.check_paths(Paths::tables(self.net, self.ends, routes))
+    }
+
+    /// Runs every applicable rule over any per-pair path view.
+    pub fn check_paths(&self, paths: Paths<'_>) -> LintReport {
         let mut diags = Vec::new();
         let mut rules_run = vec![
             RuleId::L1Coverage,
             RuleId::L2WellFormed,
             RuleId::L3CdgCycles,
         ];
-        let pairs_checked = self.check_coverage_and_paths(routes, &mut diags);
-        self.check_cycles(routes, &mut diags);
+        let pairs_checked = self.check_coverage_and_paths(paths, &mut diags);
+        self.check_cycles(paths, &mut diags);
         if let Some(d) = &self.discipline {
             rules_run.push(RuleId::L4Discipline);
-            self.check_discipline(routes, d, &mut diags);
+            self.check_discipline(paths, d, &mut diags);
         }
         rules_run.push(RuleId::L5Contention);
-        self.check_contention(routes, &mut diags);
+        self.check_contention(paths, &mut diags);
         diags.sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
         LintReport {
             subject: self.subject.clone(),
@@ -170,11 +188,22 @@ impl<'a> Linter<'a> {
         }
     }
 
+    /// Whether both of the pair's attach channels survive the mask
+    /// (vacuously true without one).
+    fn attach_ok(&self, s: usize, d: usize) -> bool {
+        let inject = self.net.channels_from(self.ends[s]).first();
+        let eject = self.net.channels_from(self.ends[d]).first();
+        match (inject, eject) {
+            (Some(&(i, _)), Some(&(e, _))) => self.channel_ok(i) && self.channel_ok(e.reverse()),
+            _ => false,
+        }
+    }
+
     /// L1 + L2 in a single pass over all pairs. Returns the number of
     /// live pairs examined.
-    fn check_coverage_and_paths(&self, routes: &RouteSet, out: &mut Vec<Diagnostic>) -> usize {
+    fn check_coverage_and_paths(&self, paths: Paths<'_>, out: &mut Vec<Diagnostic>) -> usize {
         let comp = self.components();
-        let n = routes.len().min(self.ends.len());
+        let table_view = matches!(paths, Paths::Tables { .. });
         let mut holes: Vec<(usize, usize)> = Vec::new();
         let mut severed: Vec<(usize, usize)> = Vec::new();
         let mut misdelivered: Vec<(usize, usize)> = Vec::new();
@@ -184,62 +213,115 @@ impl<'a> Linter<'a> {
         let mut dead_channels: Vec<ChannelId> = Vec::new();
         let mut repeated: Vec<(usize, usize)> = Vec::new();
         let mut through_end: Vec<(usize, usize)> = Vec::new();
+        let mut loops: Vec<(usize, usize)> = Vec::new();
+        let mut loop_detail: Option<String> = None;
         let mut checked = 0usize;
 
         let mut seen_stamp = vec![0u32; self.net.channel_count()];
         let mut stamp = 0u32;
-        for s in 0..n {
-            for d in 0..n {
-                if s == d || !self.node_ok(self.ends[s]) || !self.node_ok(self.ends[d]) {
-                    continue;
+        paths.for_each_pair(|s, d, res| {
+            if s >= self.ends.len()
+                || d >= self.ends.len()
+                || !self.node_ok(self.ends[s])
+                || !self.node_ok(self.ends[d])
+            {
+                return;
+            }
+            checked += 1;
+            let empty_route = |holes: &mut Vec<(usize, usize)>,
+                               severed: &mut Vec<(usize, usize)>| {
+                if comp[self.ends[s].index()] == comp[self.ends[d].index()] {
+                    holes.push((s, d));
+                } else {
+                    severed.push((s, d));
                 }
-                checked += 1;
-                let p = routes.path(s, d);
-                if p.is_empty() {
-                    if comp[self.ends[s].index()] == comp[self.ends[d].index()] {
-                        holes.push((s, d));
-                    } else {
-                        severed.push((s, d));
+            };
+            // Destination tables only describe surviving routers'
+            // entries; a pair whose own attach channel died traces
+            // right across it. Treat those pairs as severed, matching
+            // the dense view's empty paths.
+            if table_view && self.mask.is_some() && !self.attach_ok(s, d) {
+                empty_route(&mut holes, &mut severed);
+                return;
+            }
+            let p = match res {
+                Ok([]) => {
+                    empty_route(&mut holes, &mut severed);
+                    return;
+                }
+                Ok(p) => p,
+                Err(RouteError::ForwardingLoop { ref visited, .. }) => {
+                    loops.push((s, d));
+                    if loop_detail.is_none() {
+                        let names: Vec<&str> = visited.iter().map(|&v| self.net.label(v)).collect();
+                        loop_detail = Some(names.join(" -> "));
                     }
-                    continue;
+                    return;
                 }
-                // L1: endpoints.
-                if self.net.channel_src(p[0]) != self.ends[s] {
-                    wrong_source.push((s, d));
-                }
-                if self.net.channel_dst(*p.last().expect("non-empty")) != self.ends[d] {
+                Err(RouteError::Misdelivered { .. }) => {
                     misdelivered.push((s, d));
+                    return;
                 }
-                // L2: consecutive, alive, simple, router-interior.
-                stamp += 1;
-                let mut flagged_dead = false;
-                let mut flagged_rep = false;
-                for (i, &ch) in p.iter().enumerate() {
-                    if !self.channel_ok(ch) && !flagged_dead {
-                        dead.push((s, d));
-                        if dead_channels.len() < SAMPLE && !dead_channels.contains(&ch) {
-                            dead_channels.push(ch);
-                        }
-                        flagged_dead = true;
+                // Missing or unconnected table entries: the route just
+                // isn't there — a hole or a severed pair.
+                Err(_) => {
+                    empty_route(&mut holes, &mut severed);
+                    return;
+                }
+            };
+            // L1: endpoints.
+            if self.net.channel_src(p[0]) != self.ends[s] {
+                wrong_source.push((s, d));
+            }
+            if self.net.channel_dst(*p.last().expect("non-empty")) != self.ends[d] {
+                misdelivered.push((s, d));
+            }
+            // L2: consecutive, alive, simple, router-interior.
+            stamp += 1;
+            let mut flagged_dead = false;
+            let mut flagged_rep = false;
+            for (i, &ch) in p.iter().enumerate() {
+                if !self.channel_ok(ch) && !flagged_dead {
+                    dead.push((s, d));
+                    if dead_channels.len() < SAMPLE && !dead_channels.contains(&ch) {
+                        dead_channels.push(ch);
                     }
-                    if seen_stamp[ch.index()] == stamp && !flagged_rep {
-                        repeated.push((s, d));
-                        flagged_rep = true;
+                    flagged_dead = true;
+                }
+                if seen_stamp[ch.index()] == stamp && !flagged_rep {
+                    repeated.push((s, d));
+                    flagged_rep = true;
+                }
+                seen_stamp[ch.index()] = stamp;
+                if i + 1 < p.len() {
+                    let next = p[i + 1];
+                    if self.net.channel_dst(ch) != self.net.channel_src(next) {
+                        discontinuous.push((s, d));
+                        break;
                     }
-                    seen_stamp[ch.index()] = stamp;
-                    if i + 1 < p.len() {
-                        let next = p[i + 1];
-                        if self.net.channel_dst(ch) != self.net.channel_src(next) {
-                            discontinuous.push((s, d));
-                            break;
-                        }
-                        if !self.net.is_router(self.net.channel_dst(ch)) {
-                            through_end.push((s, d));
-                            break;
-                        }
+                    if !self.net.is_router(self.net.channel_dst(ch)) {
+                        through_end.push((s, d));
+                        break;
                     }
                 }
             }
+        });
+
+        if !loops.is_empty() {
+            let total = loops.len();
+            let sample: Vec<_> = loops.into_iter().take(SAMPLE).collect();
+            let mut diag = Diagnostic::new(
+                RuleId::L2WellFormed,
+                Severity::Error,
+                format!(
+                    "{total} pair(s) forward in a loop (e.g. {:?} via {})",
+                    sample[0],
+                    loop_detail.as_deref().unwrap_or("?"),
+                ),
+            )
+            .with_pairs(sample);
+            diag.affected_pairs = total;
+            out.push(diag);
         }
 
         fn emit(
@@ -334,8 +416,8 @@ impl<'a> Linter<'a> {
 
     /// L3: CDG acyclicity with full (bounded) cycle enumeration and a
     /// suggested disable set.
-    fn check_cycles(&self, routes: &RouteSet, out: &mut Vec<Diagnostic>) {
-        let cdg = ChannelDependencyGraph::from_routes(self.net, routes);
+    fn check_cycles(&self, paths: Paths<'_>, out: &mut Vec<Diagnostic>) {
+        let cdg = ChannelDependencyGraph::from_paths(self.net, paths);
         if cdg.is_deadlock_free() {
             return;
         }
@@ -443,20 +525,26 @@ impl<'a> Linter<'a> {
     }
 
     /// L4: every path obeys the declared discipline.
-    fn check_discipline(&self, routes: &RouteSet, d: &Discipline, out: &mut Vec<Diagnostic>) {
+    fn check_discipline(&self, paths: Paths<'_>, d: &Discipline, out: &mut Vec<Diagnostic>) {
         let mut bad: Vec<(usize, usize)> = Vec::new();
         let mut first_err = None;
-        for (s, dst, p) in routes.pairs() {
-            if !self.node_ok(self.ends[s]) || !self.node_ok(self.ends[dst]) {
-                continue;
+        paths.for_each_pair(|s, dst, res| {
+            if s >= self.ends.len()
+                || dst >= self.ends.len()
+                || !self.node_ok(self.ends[s])
+                || !self.node_ok(self.ends[dst])
+            {
+                return;
             }
+            // Untraceable pairs are L1/L2 findings, not discipline ones.
+            let Ok(p) = res else { return };
             if let Err(e) = d.check_path(self.net, p) {
                 if first_err.is_none() {
                     first_err = Some(e);
                 }
                 bad.push((s, dst));
             }
-        }
+        });
         if let Some(err) = first_err {
             let total = bad.len();
             let sample: Vec<_> = bad.into_iter().take(SAMPLE).collect();
@@ -477,8 +565,8 @@ impl<'a> Linter<'a> {
 
     /// L5: worst-case per-link contention against the configured bound
     /// (informational without one).
-    fn check_contention(&self, routes: &RouteSet, out: &mut Vec<Diagnostic>) {
-        let rep = max_link_contention(self.net, routes);
+    fn check_contention(&self, paths: Paths<'_>, out: &mut Vec<Diagnostic>) {
+        let rep = max_link_contention_paths(self.net, paths);
         match self.contention_bound {
             Some(bound) if rep.worst > bound => {
                 let over: Vec<ChannelId> = rep
@@ -781,6 +869,82 @@ mod tests {
         assert!(report
             .by_rule(RuleId::L1Coverage)
             .any(|d| d.message.contains("does not start at the source")));
+    }
+
+    #[test]
+    fn tables_lint_matches_dense_lint_when_clean() {
+        let f = Fractahedron::new(2, Variant::Fat, false).unwrap();
+        let routes = fractal::fractal_routes(&f);
+        let tabled = Linter::new(f.net(), f.end_nodes())
+            .with_discipline(Discipline::fractahedral(&f))
+            .with_contention_bound(8)
+            .check_tables(&routes);
+        assert!(tabled.is_clean(), "{tabled}");
+        assert_eq!(tabled.pairs_checked, 64 * 63);
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &routes).unwrap();
+        let dense = Linter::new(f.net(), f.end_nodes())
+            .with_discipline(Discipline::fractahedral(&f))
+            .with_contention_bound(8)
+            .check(&rs);
+        assert_eq!(tabled.to_json(), dense.to_json());
+    }
+
+    #[test]
+    fn forwarding_loop_names_the_visited_routers() {
+        // Corrupt two table entries so r0 and r1 bounce destination 2
+        // between each other forever.
+        let r = Ring::new(4, 1, 6).unwrap();
+        let mut routes: Routes = ring_shortest_routes(&r);
+        let net = r.net();
+        let (r0, r1) = (r.router(0), r.router(1));
+        let to_r1 = net
+            .channels_from(r0)
+            .iter()
+            .find(|&&(_, w)| w == r1)
+            .map(|&(ch, _)| ch)
+            .unwrap();
+        routes.set(r0, 2, net.channel_src_port(to_r1));
+        routes.set(r1, 2, net.channel_dst_port(to_r1));
+        let report = Linter::new(net, r.end_nodes()).check_tables(&routes);
+        let l2: Vec<_> = report
+            .by_rule(RuleId::L2WellFormed)
+            .filter(|d| d.message.contains("forward in a loop"))
+            .collect();
+        assert_eq!(l2.len(), 1, "{report}");
+        // The diagnostic spells out the visited-router cycle.
+        assert!(l2[0].message.contains("->"), "{}", l2[0].message);
+        assert!(
+            l2[0].message.contains(net.label(r0)) && l2[0].message.contains(net.label(r1)),
+            "{}",
+            l2[0].message
+        );
+        assert!(l2[0].affected_pairs >= 1);
+    }
+
+    #[test]
+    fn tables_lint_under_mask_matches_healed_dense_lint() {
+        // The heal path: repaired tables linted directly must agree
+        // with linting their traced dense projection.
+        let r = Ring::new(6, 1, 6).unwrap();
+        let mut mask = DeadMask::new(r.net());
+        let victim = r
+            .net()
+            .channels_from(r.router(2))
+            .iter()
+            .find(|&&(_, w)| w == r.router(3))
+            .map(|&(ch, _)| ch.link())
+            .unwrap();
+        mask.kill_link(victim);
+        let repaired = fractanet_route::repair_tables(r.net(), r.end_nodes(), &mask);
+        let tabled = Linter::new(r.net(), r.end_nodes())
+            .with_mask(&mask)
+            .check_tables(&repaired.tables);
+        assert!(tabled.is_clean(), "{tabled}");
+        let rep = repair_routes(r.net(), r.end_nodes(), &mask).unwrap();
+        let dense = Linter::new(r.net(), r.end_nodes())
+            .with_mask(&mask)
+            .check(&rep.routes);
+        assert_eq!(tabled.to_json(), dense.to_json());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use fractanet_graph::matching::Bipartite;
 use fractanet_graph::{ChannelId, LinkClass, Network};
-use fractanet_route::RouteSet;
+use fractanet_route::{Paths, RouteSet};
 
 /// Worst-case contention of a routed network.
 #[derive(Clone, Debug)]
@@ -58,8 +58,15 @@ impl ContentionReport {
 /// assert_eq!(max_link_contention(tetra.net(), &rs).worst, 3);
 /// ```
 pub fn max_link_contention(net: &Network, routes: &RouteSet) -> ContentionReport {
-    let flows = collect_flows(net, routes);
-    let n = routes.len();
+    max_link_contention_paths(net, Paths::dense(routes))
+}
+
+/// [`max_link_contention`] over any per-pair path view (dense routes
+/// or destination tables walked in place). Pairs whose table trace
+/// fails contribute no flows.
+pub fn max_link_contention_paths(net: &Network, paths: Paths<'_>) -> ContentionReport {
+    let flows = collect_flows(net, paths);
+    let n = paths.len();
     let mut per_channel = vec![0usize; net.channel_count()];
     let mut worst = 0usize;
     let mut worst_channel = ChannelId(0);
@@ -192,13 +199,14 @@ pub fn compare_contention(
     }
 }
 
-fn collect_flows(net: &Network, routes: &RouteSet) -> Vec<Vec<(u32, u32)>> {
+fn collect_flows(net: &Network, paths: Paths<'_>) -> Vec<Vec<(u32, u32)>> {
     let mut flows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); net.channel_count()];
-    for (s, d, path) in routes.pairs() {
+    paths.for_each_pair(|s, d, res| {
+        let Ok(path) = res else { return };
         for &ch in path {
             flows[ch.index()].push((s as u32, d as u32));
         }
-    }
+    });
     flows
 }
 

@@ -1,7 +1,7 @@
 //! Router-hop statistics (Tables 1 & 2).
 
-use fractanet_graph::{bfs, Network};
-use fractanet_route::RouteSet;
+use fractanet_graph::{bfs, Network, NodeId};
+use fractanet_route::{Paths, RouteSet, Routes};
 
 /// Hop statistics of a network or a routed network.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,20 +53,42 @@ impl HopStats {
     /// Statistics of the *routed* paths (equals topological for
     /// minimal routings; larger for restricted ones like up*/down*).
     pub fn routed(routes: &RouteSet) -> Option<Self> {
-        if routes.len() < 2 {
+        Self::routed_paths(Paths::dense(routes))
+    }
+
+    /// [`HopStats::routed`] over destination tables directly, walking
+    /// the table per pair instead of materializing a path matrix.
+    pub fn routed_tables(net: &Network, ends: &[NodeId], routes: &Routes) -> Option<Self> {
+        Self::routed_paths(Paths::tables(net, ends, routes))
+    }
+
+    /// [`HopStats::routed`] over any per-pair path view. `None` when
+    /// fewer than two end nodes or any pair is unrouted.
+    pub fn routed_paths(paths: Paths<'_>) -> Option<Self> {
+        if paths.len() < 2 {
             return None;
         }
         let mut histogram = Vec::new();
         let mut total = 0usize;
         let mut pairs = 0usize;
-        for (_, _, p) in routes.pairs() {
-            let hops = p.len().checked_sub(1)?;
+        let mut unrouted = false;
+        paths.for_each_pair(|_, _, res| {
+            let hops = match res {
+                Ok(p) if !p.is_empty() => p.len() - 1,
+                _ => {
+                    unrouted = true;
+                    return;
+                }
+            };
             if histogram.len() <= hops {
                 histogram.resize(hops + 1, 0);
             }
             histogram[hops] += 1;
             total += hops;
             pairs += 1;
+        });
+        if unrouted {
+            return None;
         }
         Some(HopStats {
             max: histogram.len() - 1,

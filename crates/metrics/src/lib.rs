@@ -32,7 +32,8 @@ pub mod utilization;
 
 pub use bisection::{bisection_estimate, min_cut_links, BisectionReport};
 pub use contention::{
-    compare_contention, max_link_contention, ContentionComparison, ContentionReport,
+    compare_contention, max_link_contention, max_link_contention_paths, ContentionComparison,
+    ContentionReport,
 };
 pub use cost::CostSummary;
 pub use hops::HopStats;

@@ -7,7 +7,7 @@
 //! summarizing the spread.
 
 use fractanet_graph::{ChannelId, LinkClass, Network};
-use fractanet_route::RouteSet;
+use fractanet_route::{Paths, RouteSet};
 
 /// Routes-per-channel summary for one link class (or all).
 #[derive(Clone, Debug)]
@@ -41,12 +41,24 @@ pub fn utilization(
     routes: &RouteSet,
     class: Option<LinkClass>,
 ) -> UtilizationReport {
+    utilization_paths(net, Paths::dense(routes), class)
+}
+
+/// [`utilization`] over any per-pair path view (dense routes or
+/// destination tables walked in place). Pairs whose table trace fails
+/// contribute no load.
+pub fn utilization_paths(
+    net: &Network,
+    paths: Paths<'_>,
+    class: Option<LinkClass>,
+) -> UtilizationReport {
     let mut per_channel = vec![0usize; net.channel_count()];
-    for (_, _, path) in routes.pairs() {
+    paths.for_each_pair(|_, _, res| {
+        let Ok(path) = res else { return };
         for &ch in path {
             per_channel[ch.index()] += 1;
         }
-    }
+    });
     let considered: Vec<ChannelId> = net
         .channels()
         .filter(|&ch| class.is_none_or(|c| net.link(ch.link()).class == c))

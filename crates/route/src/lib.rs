@@ -9,12 +9,14 @@
 //! maintain in-order delivery, there must be a fixed path between each
 //! pair of nodes", §3.3).
 //!
-//! * [`table::Routes`] — the per-router table representation plus route
-//!   tracing.
-//! * [`table::RouteSet`] — all traced source→destination paths, the
-//!   input to contention analysis, channel-dependency graphs and the
-//!   simulator. Built from tables or (for inherently source-dependent
-//!   schemes like up*/down*) from per-pair generators.
+//! * [`table::Routes`] — the canonical per-router destination tables:
+//!   flat O(routers · destinations) storage, allocation-free walking
+//!   via [`table::PathIter`], and route tracing.
+//! * [`table::RouteSet`] — the derived dense view: all traced
+//!   source→destination paths, for callers that want materialized
+//!   per-pair slices (corrupted-fixture tests, dense baselines).
+//! * [`paths::Paths`] — a unified per-pair view over either
+//!   representation, so analyses never materialize a path matrix.
 //! * Generators, one per topology family:
 //!   [`direct`] (fully-connected clusters, Fig 3/4),
 //!   [`dor`] (dimension-order mesh §3.1 and e-cube hypercube §3.2),
@@ -34,10 +36,15 @@ pub mod dor;
 pub mod fattree;
 pub mod fractal;
 pub mod genfracta;
+pub mod paths;
 pub mod repair;
 pub mod ringroute;
 pub mod table;
 pub mod treeroute;
 
-pub use repair::{repair_routes, DeadMask, RepairError, RepairReport};
-pub use table::{RouteError, RouteSet, Routes};
+pub use paths::Paths;
+pub use repair::{
+    repair_routes, repair_tables, DeadMask, IncrementalRepair, RepairError, RepairReport,
+    TableRepair,
+};
+pub use table::{PathIter, RouteError, RouteSet, Routes};

@@ -1,28 +1,45 @@
 //! Self-healing route regeneration: fault-avoiding up*/down* routing
-//! over the surviving subgraph.
+//! over the surviving subgraph, emitted as destination tables.
 //!
 //! When links or routers die permanently, the static tables traced at
-//! boot keep steering packets into the hole. This module regenerates a
-//! complete [`RouteSet`] that avoids every dead component: the
+//! boot keep steering packets into the hole. This module regenerates
+//! destination-indexed [`Routes`] that avoid every dead component: the
 //! surviving subgraph is decomposed into connected components, each
-//! component gets a BFS level order from its lowest-index live router,
-//! and every pair routes `up* down*` against that order (the Autonet
-//! discipline `treeroute` uses for healthy networks) — deadlock-free
-//! by construction, because up channels strictly decrease the
-//! `(level, node index)` order so no dependency cycle can close.
+//! component gets a BFS level order from its lowest-index live node,
+//! and every table column steers `up* down*` against that order (the
+//! Autonet discipline `treeroute` uses for healthy networks) —
+//! deadlock-free by construction, because up channels strictly
+//! decrease the `(level, node index)` order so no dependency cycle can
+//! close.
 //!
-//! Pairs split across components are left with **empty paths**; the
-//! [`RepairReport`] quotes the surviving-pair coverage so callers can
-//! report graceful degradation when full repair is impossible.
+//! Destination tables know only the destination, not how a packet
+//! arrived, so a column's entries must be **suffix-closed**: a router
+//! that descends must hand the packet to a router that also descends,
+//! or `up* down*` legality breaks mid-path. Each column therefore
+//! follows a descend-first discipline: a router with any all-down path
+//! to the destination descends along the shortest one (adjacency order
+//! breaks ties), and every other router climbs toward its cheapest
+//! descent point (`cost(v) = 1 + min over live up channels v→u of
+//! cost(u)`, grounded at `cost = dist_dn` on the descending set). The
+//! down set is closed under its own successors, so traced paths are
+//! `up*` then `down*` by construction and the deadlock-freedom
+//! argument carries over unchanged. Because only the columns a fault
+//! actually touches change, [`IncrementalRepair`] patches tables
+//! column by column instead of regenerating the whole set.
+//!
+//! Pairs split across components are left with **missing entries**
+//! (tracing them reports the hole); the [`RepairReport`] quotes the
+//! surviving-pair coverage so callers can report graceful degradation
+//! when full repair is impossible.
 
-use crate::table::RouteSet;
+use crate::table::{RouteSet, Routes};
 use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
 use std::collections::VecDeque;
 
 /// Which components are dead, in plain index-mask form (so the sim and
 /// ServerNet fault layers can both feed it without depending on each
 /// other's fault types).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DeadMask {
     link_dead: Vec<bool>,
     node_dead: Vec<bool>,
@@ -90,10 +107,11 @@ impl DeadMask {
 
 /// Internal-invariant failures during route regeneration.
 ///
-/// Both variants mean the up*/down* meet-point reconstruction lost its
-/// breadcrumb trail — previously a panic via `expect`, now surfaced so
-/// callers (the certified heal layer, the sim repairer) can keep the
-/// old tables instead of crashing the whole fabric.
+/// Both variants mean an up*/down* meet-point reconstruction lost its
+/// breadcrumb trail. The table builder cannot hit them (its columns
+/// are built forward, not reconstructed), but the error type remains
+/// part of the repair API so callers keep one failure channel for all
+/// regeneration strategies.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RepairError {
     /// Walking the up phase back from the meet router reached `at`
@@ -143,12 +161,44 @@ impl std::fmt::Display for RepairError {
 
 impl std::error::Error for RepairError {}
 
-/// Outcome of a route regeneration.
+/// Outcome of a table regeneration.
+#[derive(Clone, Debug)]
+pub struct TableRepair {
+    /// The regenerated destination tables. Severed destinations have
+    /// missing entries — tracing them reports the hole.
+    pub tables: Routes,
+    /// Ordered pairs (`src != dst`) that still have a path.
+    pub connected_pairs: usize,
+    /// All ordered pairs.
+    pub total_pairs: usize,
+}
+
+impl TableRepair {
+    /// Fraction of ordered pairs still connected (1.0 = full repair).
+    pub fn coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            1.0
+        } else {
+            self.connected_pairs as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Whether every pair still has a route.
+    pub fn is_full(&self) -> bool {
+        self.connected_pairs == self.total_pairs
+    }
+}
+
+/// Outcome of a route regeneration, with the dense traced view for
+/// callers that still consume per-pair paths.
 #[derive(Clone, Debug)]
 pub struct RepairReport {
-    /// The regenerated paths. Pairs with no surviving route have empty
-    /// paths — callers must treat those as unreachable.
+    /// The regenerated paths, traced from [`RepairReport::tables`].
+    /// Pairs with no surviving route have empty paths — callers must
+    /// treat those as unreachable.
     pub routes: RouteSet,
+    /// The canonical regenerated destination tables.
+    pub tables: Routes,
     /// Ordered pairs (`src != dst`) that still have a path.
     pub connected_pairs: usize,
     /// All ordered pairs.
@@ -209,49 +259,394 @@ impl SurvivorOrder {
     }
 
     /// Whether `ch` is an **up** channel: it strictly decreases the
-    /// `(level, node index)` order.
+    /// `(level, node index)` order. (Only the test oracle still walks
+    /// channels through the order; the builder works off `is_up_by`.)
+    #[cfg(test)]
     fn is_up(&self, net: &Network, ch: ChannelId) -> bool {
-        let s = net.channel_src(ch);
-        let d = net.channel_dst(ch);
-        let (ls, ld) = (self.level[s.index()], self.level[d.index()]);
-        ld < ls || (ld == ls && d.index() < s.index())
+        is_up_by(&self.level, net, ch)
+    }
+}
+
+/// Whether `ch` strictly decreases the `(level, node index)` order.
+pub(crate) fn is_up_by(level: &[u32], net: &Network, ch: ChannelId) -> bool {
+    let s = net.channel_src(ch);
+    let d = net.channel_dst(ch);
+    let (ls, ld) = (level[s.index()], level[d.index()]);
+    ld < ls || (ld == ls && d.index() < s.index())
+}
+
+/// Routers of the (surviving) subgraph in ascending `(level, index)`
+/// order — the processing order under which every up channel points at
+/// an already-processed router.
+fn ranked_routers(net: &Network, level: &[u32]) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = net
+        .routers()
+        .filter(|r| level[r.index()] != UNSEEN)
+        .collect();
+    v.sort_unstable_by_key(|r| (level[r.index()], r.index()));
+    v
+}
+
+/// Reusable per-column working memory.
+struct ColumnScratch {
+    dist_dn: Vec<u32>,
+    cost: Vec<u32>,
+    q: VecDeque<NodeId>,
+}
+
+impl ColumnScratch {
+    fn new(net: &Network) -> Self {
+        ColumnScratch {
+            dist_dn: vec![UNSEEN; net.node_count()],
+            cost: vec![UNSEEN; net.node_count()],
+            q: VecDeque::new(),
+        }
+    }
+}
+
+/// Rebuilds destination `d`'s table column over the surviving
+/// subgraph; returns the number of sources that can reach it.
+///
+/// Every choice is order-independent (arg-mins over adjacency order,
+/// never BFS discovery order), so a column's entries are a pure
+/// function of the survivor order and the live channel set — the
+/// property [`IncrementalRepair`] relies on to skip untouched columns.
+#[allow(clippy::too_many_arguments)]
+fn build_column(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+    comp: &[u32],
+    level: &[u32],
+    by_rank: &[NodeId],
+    d: usize,
+    routes: &mut Routes,
+    scratch: &mut ColumnScratch,
+) -> usize {
+    routes.clear_column(d);
+    let dst_end = ends[d];
+    if !mask.node_ok(dst_end) {
+        return 0;
+    }
+    let Some(&(eject_rev, dst_router)) = net.channels_from(dst_end).first() else {
+        return 0;
+    };
+    let eject = eject_rev.reverse();
+    if !mask.channel_ok(net, eject) || level[dst_router.index()] == UNSEEN {
+        return 0;
+    }
+
+    // Down distances: reverse BFS from the attach router over
+    // surviving down channels (routers only).
+    let dist_dn = &mut scratch.dist_dn;
+    for x in dist_dn.iter_mut() {
+        *x = UNSEEN;
+    }
+    dist_dn[dst_router.index()] = 0;
+    scratch.q.clear();
+    scratch.q.push_back(dst_router);
+    while let Some(v) = scratch.q.pop_front() {
+        for &(out, w) in net.channels_from(v) {
+            let incoming = out.reverse(); // w -> v
+            if net.is_router(w)
+                && mask.channel_ok(net, incoming)
+                && !is_up_by(level, net, incoming)
+                && dist_dn[w.index()] == UNSEEN
+            {
+                dist_dn[w.index()] = dist_dn[v.index()] + 1;
+                scratch.q.push_back(w);
+            }
+        }
+    }
+
+    // Entry pass in ascending (level, index) order, so every up
+    // neighbor is already costed. Routers on the descending set (any
+    // all-down path to the destination) must descend — that keeps the
+    // set suffix-closed and every traced path up* then down*.
+    let cost = &mut scratch.cost;
+    for x in cost.iter_mut() {
+        *x = UNSEEN;
+    }
+    let dst_comp = comp[dst_router.index()];
+    for &v in by_rank {
+        if comp[v.index()] != dst_comp {
+            continue;
+        }
+        let vi = v.index();
+        if v == dst_router {
+            cost[vi] = 0;
+            routes.set(v, d, net.channel_src_port(eject));
+            continue;
+        }
+        if dist_dn[vi] != UNSEEN {
+            // Descend along the first surviving down channel on a
+            // shortest all-down path (adjacency order is the
+            // tie-break). The successor's down distance is one less,
+            // so it descends too.
+            cost[vi] = dist_dn[vi];
+            for &(ch, w) in net.channels_from(v) {
+                if net.is_router(w)
+                    && mask.channel_ok(net, ch)
+                    && !is_up_by(level, net, ch)
+                    && dist_dn[w.index()] != UNSEEN
+                    && dist_dn[w.index()] + 1 == dist_dn[vi]
+                {
+                    routes.set(v, d, net.channel_src_port(ch));
+                    break;
+                }
+            }
+        } else {
+            // Climb toward the cheapest descent point; the earliest
+            // up channel in adjacency order breaks ties.
+            let mut best: Option<(u32, ChannelId)> = None;
+            for &(ch, w) in net.channels_from(v) {
+                if net.is_router(w)
+                    && mask.channel_ok(net, ch)
+                    && is_up_by(level, net, ch)
+                    && cost[w.index()] != UNSEEN
+                    && best.is_none_or(|(b, _)| cost[w.index()] + 1 < b)
+                {
+                    best = Some((cost[w.index()] + 1, ch));
+                }
+            }
+            if let Some((c, ch)) = best {
+                cost[vi] = c;
+                routes.set(v, d, net.channel_src_port(ch));
+            }
+        }
+    }
+
+    // Sources that can reach this destination.
+    let mut connected = 0;
+    for (s, &src_end) in ends.iter().enumerate() {
+        if s == d || !mask.node_ok(src_end) {
+            continue;
+        }
+        let Some(&(inject, src_router)) = net.channels_from(src_end).first() else {
+            continue;
+        };
+        if mask.channel_ok(net, inject) && cost[src_router.index()] != UNSEEN {
+            connected += 1;
+        }
+    }
+    connected
+}
+
+/// Builds a full destination-table set over the surviving subgraph
+/// described by `(comp, level)`. Returns the tables and, per
+/// destination, how many sources reach it.
+pub(crate) fn updown_tables_for(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+    comp: &[u32],
+    level: &[u32],
+) -> (Routes, Vec<usize>) {
+    let n = ends.len();
+    let mut routes = Routes::new(net, n);
+    let by_rank = ranked_routers(net, level);
+    let mut scratch = ColumnScratch::new(net);
+    let mut col_connected = vec![0usize; n];
+    for (d, c) in col_connected.iter_mut().enumerate() {
+        *c = build_column(
+            net,
+            ends,
+            mask,
+            comp,
+            level,
+            &by_rank,
+            d,
+            &mut routes,
+            &mut scratch,
+        );
+    }
+    (routes, col_connected)
+}
+
+/// Regenerates destination tables avoiding everything `mask` marks
+/// dead. See the [module docs](self) for the discipline and its
+/// deadlock-freedom argument.
+pub fn repair_tables(net: &Network, ends: &[NodeId], mask: &DeadMask) -> TableRepair {
+    let order = SurvivorOrder::new(net, mask);
+    let (tables, col_connected) = updown_tables_for(net, ends, mask, &order.comp, &order.level);
+    let n = ends.len();
+    TableRepair {
+        tables,
+        connected_pairs: col_connected.iter().sum(),
+        total_pairs: n * n.saturating_sub(1),
     }
 }
 
 /// Regenerates a complete route set avoiding everything `mask` marks
-/// dead. See the [module docs](self) for the discipline and its
-/// deadlock-freedom argument.
+/// dead — the dense view of [`repair_tables`], traced from the
+/// regenerated tables so the two representations agree path for path.
 pub fn repair_routes(
     net: &Network,
     ends: &[NodeId],
     mask: &DeadMask,
 ) -> Result<RepairReport, RepairError> {
-    let order = SurvivorOrder::new(net, mask);
-    let mut connected = 0usize;
-    let n = ends.len();
-    let mut paths: Vec<Vec<Vec<ChannelId>>> = vec![vec![Vec::new(); n]; n];
-    for s in 0..n {
-        for d in 0..n {
-            if s == d {
-                continue;
-            }
-            if let Some(p) = survivor_updown_path(net, mask, &order, ends[s], ends[d])? {
-                connected += 1;
-                paths[s][d] = p;
-            }
-        }
-    }
-    let routes = RouteSet::from_pairs(n, |s, d| std::mem::take(&mut paths[s][d]));
+    let rep = repair_tables(net, ends, mask);
+    let routes = trace_surviving(net, ends, mask, &rep.tables);
     Ok(RepairReport {
         routes,
-        connected_pairs: connected,
-        total_pairs: n * (n - 1),
+        tables: rep.tables,
+        connected_pairs: rep.connected_pairs,
+        total_pairs: rep.total_pairs,
     })
 }
 
+/// Traces repaired tables into a dense route set, leaving every pair
+/// `mask` severs empty. Tables only know surviving routers' entries,
+/// so a pair whose own attach channel died would otherwise trace
+/// "successfully" across the dead channel — the mask check keeps the
+/// dense view honest about unreachable pairs.
+pub fn trace_surviving(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+    tables: &Routes,
+) -> RouteSet {
+    let mut scratch: Vec<ChannelId> = Vec::new();
+    RouteSet::from_pairs(ends.len(), |s, d| {
+        if s == d || !mask.node_ok(ends[s]) || !mask.node_ok(ends[d]) {
+            return Vec::new();
+        }
+        let (Some(&(inject, _)), Some(&(eject_rev, _))) = (
+            net.channels_from(ends[s]).first(),
+            net.channels_from(ends[d]).first(),
+        ) else {
+            return Vec::new();
+        };
+        if !mask.channel_ok(net, inject) || !mask.channel_ok(net, eject_rev.reverse()) {
+            return Vec::new();
+        }
+        match tables.trace_into(net, ends, s, d, &mut scratch) {
+            Ok(()) => scratch.clone(),
+            Err(_) => Vec::new(),
+        }
+    })
+}
+
+/// Incremental table repair: keeps the last regenerated tables and, on
+/// each new fault set, rebuilds only the **dirty columns** — those
+/// whose entries reference a channel the fault killed — as long as the
+/// survivor order is unchanged. (A changed order re-orients up/down
+/// globally, so everything is rebuilt in that case; node deaths and
+/// disconnections always change it.)
+///
+/// Column entries are a pure function of `(survivor order, live
+/// channel set)` with order-independent tie-breaks, and any cost a
+/// fault can change is witnessed by a dead channel in some referenced
+/// entry of the same column, so the patched tables are identical to a
+/// from-scratch [`repair_tables`] run — `incremental_matches_full` in
+/// the tests and the workspace proptests hold it to that.
+pub struct IncrementalRepair<'a> {
+    net: &'a Network,
+    ends: &'a [NodeId],
+    state: Option<IncState>,
+    last_rebuilt: usize,
+}
+
+struct IncState {
+    comp: Vec<u32>,
+    level: Vec<u32>,
+    by_rank: Vec<NodeId>,
+    tables: Routes,
+    col_connected: Vec<usize>,
+}
+
+impl<'a> IncrementalRepair<'a> {
+    /// Creates an incremental repairer with no tables yet (the first
+    /// [`IncrementalRepair::repair`] call builds them in full).
+    pub fn new(net: &'a Network, ends: &'a [NodeId]) -> Self {
+        IncrementalRepair {
+            net,
+            ends,
+            state: None,
+            last_rebuilt: 0,
+        }
+    }
+
+    /// How many table columns the last [`IncrementalRepair::repair`]
+    /// call actually rebuilt.
+    pub fn last_rebuilt_columns(&self) -> usize {
+        self.last_rebuilt
+    }
+
+    /// Repairs against the cumulative fault mask, patching only dirty
+    /// columns when possible.
+    pub fn repair(&mut self, mask: &DeadMask) -> TableRepair {
+        let net = self.net;
+        let ends = self.ends;
+        let n = ends.len();
+        let order = SurvivorOrder::new(net, mask);
+        let reusable = self
+            .state
+            .as_ref()
+            .is_some_and(|st| st.comp == order.comp && st.level == order.level);
+        if reusable {
+            let st = self.state.as_mut().expect("checked above");
+            let mut scratch = ColumnScratch::new(net);
+            let mut rebuilt = 0;
+            for d in 0..n {
+                if column_dirty(net, mask, &st.tables, d) {
+                    st.col_connected[d] = build_column(
+                        net,
+                        ends,
+                        mask,
+                        &st.comp,
+                        &st.level,
+                        &st.by_rank,
+                        d,
+                        &mut st.tables,
+                        &mut scratch,
+                    );
+                    rebuilt += 1;
+                }
+            }
+            self.last_rebuilt = rebuilt;
+        } else {
+            let (tables, col_connected) =
+                updown_tables_for(net, ends, mask, &order.comp, &order.level);
+            let by_rank = ranked_routers(net, &order.level);
+            self.state = Some(IncState {
+                comp: order.comp,
+                level: order.level,
+                by_rank,
+                tables,
+                col_connected,
+            });
+            self.last_rebuilt = n;
+        }
+        let st = self.state.as_ref().expect("state just ensured");
+        TableRepair {
+            tables: st.tables.clone(),
+            connected_pairs: st.col_connected.iter().sum(),
+            total_pairs: n * n.saturating_sub(1),
+        }
+    }
+}
+
+/// Whether destination `d`'s column references any channel that
+/// `mask` now marks dead.
+fn column_dirty(net: &Network, mask: &DeadMask, tables: &Routes, d: usize) -> bool {
+    for r in net.routers() {
+        if let Some(port) = tables.get(r, d) {
+            match net.channel_out(r, port) {
+                Some(ch) if mask.channel_ok(net, ch) => {}
+                _ => return true,
+            }
+        }
+    }
+    false
+}
+
 /// Shortest `up* down*` path between two end nodes over surviving
-/// channels only; `Ok(None)` when the pair is severed, `Err` when the
-/// reconstruction invariants are violated.
+/// channels only — the legacy per-pair meet construction, kept as the
+/// connectivity oracle for the table builder. `Ok(None)` when the
+/// pair is severed, `Err` when the reconstruction invariants are
+/// violated.
+#[cfg(test)]
 fn survivor_updown_path(
     net: &Network,
     mask: &DeadMask,
@@ -372,6 +767,15 @@ mod tests {
         }
     }
 
+    fn first_router_link(net: &Network) -> LinkId {
+        net.links()
+            .find(|&l| {
+                let info = net.link(l);
+                net.is_router(info.a.0) && net.is_router(info.b.0)
+            })
+            .unwrap()
+    }
+
     #[test]
     fn no_faults_full_coverage() {
         let h = Hypercube::new(3, 1, 6).unwrap();
@@ -387,18 +791,7 @@ mod tests {
         // reroutes the long way around.
         let r = Ring::new(5, 1, 6).unwrap();
         let mut mask = DeadMask::new(r.net());
-        // Kill the first router-router link (attach links come first or
-        // last depending on builder; find one whose endpoints are both
-        // routers).
-        let victim = r
-            .net()
-            .links()
-            .find(|&l| {
-                let info = r.net().link(l);
-                r.net().is_router(info.a.0) && r.net().is_router(info.b.0)
-            })
-            .unwrap();
-        mask.kill_link(victim);
+        mask.kill_link(first_router_link(r.net()));
         let rep = repair_routes(r.net(), r.end_nodes(), &mask).unwrap();
         assert!(rep.is_full(), "coverage {}", rep.coverage());
         check_avoids(r.net(), &mask, &rep);
@@ -427,20 +820,13 @@ mod tests {
     fn fractahedron_repair_is_deterministic() {
         let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
         let mut mask = DeadMask::new(f.net());
-        let victim = f
-            .net()
-            .links()
-            .find(|&l| {
-                let info = f.net().link(l);
-                f.net().is_router(info.a.0) && f.net().is_router(info.b.0)
-            })
-            .unwrap();
-        mask.kill_link(victim);
+        mask.kill_link(first_router_link(f.net()));
         let a = repair_routes(f.net(), f.end_nodes(), &mask).unwrap();
         let b = repair_routes(f.net(), f.end_nodes(), &mask).unwrap();
         for (s, d, p) in a.routes.pairs() {
             assert_eq!(p, b.routes.path(s, d), "{s}->{d}");
         }
+        assert_eq!(a.tables, b.tables);
         assert!(a.is_full());
         check_avoids(f.net(), &mask, &a);
     }
@@ -449,15 +835,7 @@ mod tests {
     fn repaired_paths_are_up_then_down() {
         let h = Hypercube::new(3, 1, 6).unwrap();
         let mut mask = DeadMask::new(h.net());
-        let victim = h
-            .net()
-            .links()
-            .find(|&l| {
-                let info = h.net().link(l);
-                h.net().is_router(info.a.0) && h.net().is_router(info.b.0)
-            })
-            .unwrap();
-        mask.kill_link(victim);
+        mask.kill_link(first_router_link(h.net()));
         let order = SurvivorOrder::new(h.net(), &mask);
         let rep = repair_routes(h.net(), h.end_nodes(), &mask).unwrap();
         assert!(rep.is_full());
@@ -472,5 +850,107 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn table_connectivity_matches_legacy_oracle() {
+        // The column builder must connect exactly the pairs the old
+        // per-pair meet construction could connect.
+        for kill_router in [false, true] {
+            let h = Hypercube::new(3, 1, 6).unwrap();
+            let mut mask = DeadMask::new(h.net());
+            mask.kill_link(first_router_link(h.net()));
+            if kill_router {
+                let r = h.net().channels_from(h.end_nodes()[2]).first().unwrap().1;
+                mask.kill_router(r);
+            }
+            let order = SurvivorOrder::new(h.net(), &mask);
+            let rep = repair_routes(h.net(), h.end_nodes(), &mask).unwrap();
+            let ends = h.end_nodes();
+            let mut oracle_connected = 0;
+            for s in 0..ends.len() {
+                for d in 0..ends.len() {
+                    if s == d {
+                        continue;
+                    }
+                    let legacy =
+                        survivor_updown_path(h.net(), &mask, &order, ends[s], ends[d]).unwrap();
+                    assert_eq!(
+                        legacy.is_some(),
+                        !rep.routes.path(s, d).is_empty(),
+                        "{s}->{d} (kill_router={kill_router})"
+                    );
+                    if legacy.is_some() {
+                        oracle_connected += 1;
+                    }
+                }
+            }
+            assert_eq!(rep.connected_pairs, oracle_connected);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full() {
+        // Killing router links one at a time, the dirty-column patcher
+        // must land on byte-identical tables to a from-scratch rebuild.
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let links: Vec<LinkId> = h
+            .net()
+            .links()
+            .filter(|&l| {
+                let info = h.net().link(l);
+                h.net().is_router(info.a.0) && h.net().is_router(info.b.0)
+            })
+            .take(4)
+            .collect();
+        let mut inc = IncrementalRepair::new(h.net(), h.end_nodes());
+        let mut mask = DeadMask::new(h.net());
+        let first = inc.repair(&mask);
+        assert_eq!(
+            first.tables,
+            repair_tables(h.net(), h.end_nodes(), &mask).tables
+        );
+        for &l in &links {
+            mask.kill_link(l);
+            let patched = inc.repair(&mask);
+            let full = repair_tables(h.net(), h.end_nodes(), &mask);
+            assert_eq!(patched.tables, full.tables, "after killing {l:?}");
+            assert_eq!(patched.connected_pairs, full.connected_pairs);
+        }
+    }
+
+    #[test]
+    fn incremental_repair_skips_untouched_columns() {
+        // Find a link kill that leaves the survivor order intact; the
+        // patcher must then rebuild only the columns that referenced
+        // the dead link instead of all of them.
+        let h = Hypercube::new(4, 1, 8).unwrap();
+        let healthy = SurvivorOrder::new(h.net(), &DeadMask::new(h.net()));
+        let victim = h
+            .net()
+            .links()
+            .filter(|&l| {
+                let info = h.net().link(l);
+                h.net().is_router(info.a.0) && h.net().is_router(info.b.0)
+            })
+            .find(|&l| {
+                let mut m = DeadMask::new(h.net());
+                m.kill_link(l);
+                let o = SurvivorOrder::new(h.net(), &m);
+                o.comp == healthy.comp && o.level == healthy.level
+            })
+            .expect("a hypercube has order-preserving link kills");
+        let mut inc = IncrementalRepair::new(h.net(), h.end_nodes());
+        let n = h.end_nodes().len();
+        inc.repair(&DeadMask::new(h.net()));
+        assert_eq!(inc.last_rebuilt_columns(), n);
+        let mut mask = DeadMask::new(h.net());
+        mask.kill_link(victim);
+        inc.repair(&mask);
+        assert!(
+            inc.last_rebuilt_columns() < n,
+            "rebuilt {} of {n} columns",
+            inc.last_rebuilt_columns()
+        );
     }
 }

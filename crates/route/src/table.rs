@@ -1,4 +1,16 @@
-//! Destination-indexed routing tables and traced route sets.
+//! Destination-indexed routing tables — the canonical routing object —
+//! and traced route sets as a derived view.
+//!
+//! [`Routes`] is the ServerNet model: one flat byte row per router,
+//! indexed by destination address, each entry naming an output port.
+//! Everything else is derived from it on demand: [`PathIter`] walks one
+//! route hop by hop without allocating, [`Routes::trace_into`] fills a
+//! caller-owned scratch buffer, and [`RouteSet`] freezes every pair
+//! into a dense matrix for callers that genuinely need one (or for
+//! schemes built per pair, which tables cannot express). Memory-wise
+//! the table is O(routers · N) single bytes while the dense matrix is
+//! O(N² · path length) channel words — see `Routes::resident_bytes`
+//! and `RouteSet::resident_bytes` for the measured comparison.
 
 use fractanet_graph::{ChannelId, Network, NodeId, PortId};
 use std::fmt;
@@ -28,6 +40,9 @@ pub enum RouteError {
         src: usize,
         /// Destination address.
         dst: usize,
+        /// The routers traversed, in order, ending with the first
+        /// repeated router (which therefore appears twice).
+        visited: Vec<NodeId>,
     },
     /// A route was delivered to the wrong end node.
     Misdelivered {
@@ -55,8 +70,15 @@ impl fmt::Display for RouteError {
                     "router {router} routes destination {dst} to vacant port {port:?}"
                 )
             }
-            RouteError::ForwardingLoop { src, dst } => {
-                write!(f, "forwarding loop on route {src} -> {dst}")
+            RouteError::ForwardingLoop { src, dst, visited } => {
+                write!(f, "forwarding loop on route {src} -> {dst}")?;
+                if !visited.is_empty() {
+                    write!(f, " via")?;
+                    for (i, r) in visited.iter().enumerate() {
+                        write!(f, "{} {r}", if i == 0 { "" } else { " ->" })?;
+                    }
+                }
+                Ok(())
             }
             RouteError::Misdelivered { src, dst, arrived } => {
                 write!(f, "route {src} -> {dst} delivered to {arrived}")
@@ -67,14 +89,23 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// The sentinel byte marking an empty table entry. Port numbers in
+/// this workspace are tiny (routers have ≤ 8 ports), so `u8::MAX` can
+/// never collide with a real port.
+const NO_ENTRY: u8 = u8::MAX;
+
 /// Per-router destination-indexed routing tables — the ServerNet
-/// model. `table[router][dst]` is the output port for packets addressed
-/// to end node `dst`; on the destination's own attach router the entry
-/// is the attach port itself.
-#[derive(Clone, Debug)]
+/// model and the workspace's single source of truth for routing.
+/// `get(router, dst)` is the output port for packets addressed to end
+/// node `dst`; on the destination's own attach router the entry is the
+/// attach port itself.
+///
+/// Storage is one flat `Box<[u8]>` row per router (end-node rows stay
+/// empty), so the whole object is O(routers · N) bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Routes {
     /// Indexed by `NodeId::index()`; end-node rows stay empty.
-    table: Vec<Vec<Option<PortId>>>,
+    rows: Vec<Box<[u8]>>,
     n_addr: usize,
 }
 
@@ -82,17 +113,17 @@ impl Routes {
     /// Creates empty tables for a network routing `n_addr`
     /// destinations.
     pub fn new(net: &Network, n_addr: usize) -> Self {
-        let table = net
+        let rows = net
             .nodes()
             .map(|n| {
                 if net.is_router(n) {
-                    vec![None; n_addr]
+                    vec![NO_ENTRY; n_addr].into_boxed_slice()
                 } else {
-                    Vec::new()
+                    Box::default()
                 }
             })
             .collect();
-        Routes { table, n_addr }
+        Routes { rows, n_addr }
     }
 
     /// Fills every router's table from a port-choice function.
@@ -106,7 +137,9 @@ impl Routes {
         let mut routes = Self::new(net, n_addr);
         for r in net.routers() {
             for dst in 0..n_addr {
-                routes.table[r.index()][dst] = f(r, dst);
+                if let Some(port) = f(r, dst) {
+                    routes.set(r, dst, port);
+                }
             }
         }
         routes
@@ -119,17 +152,121 @@ impl Routes {
 
     /// Sets one table entry.
     pub fn set(&mut self, router: NodeId, dst: usize, port: PortId) {
-        self.table[router.index()][dst] = Some(port);
+        debug_assert_ne!(port.0, NO_ENTRY, "port collides with the empty sentinel");
+        self.rows[router.index()][dst] = port.0;
     }
 
     /// Clears one table entry (used by fault-injection experiments).
     pub fn clear(&mut self, router: NodeId, dst: usize) {
-        self.table[router.index()][dst] = None;
+        self.rows[router.index()][dst] = NO_ENTRY;
+    }
+
+    /// Clears one destination's entry in every router row — the first
+    /// half of a per-column table patch during a heal.
+    pub fn clear_column(&mut self, dst: usize) {
+        for row in &mut self.rows {
+            if let Some(e) = row.get_mut(dst) {
+                *e = NO_ENTRY;
+            }
+        }
     }
 
     /// Reads one table entry.
     pub fn get(&self, router: NodeId, dst: usize) -> Option<PortId> {
-        self.table[router.index()].get(dst).copied().flatten()
+        self.rows[router.index()]
+            .get(dst)
+            .copied()
+            .filter(|&p| p != NO_ENTRY)
+            .map(PortId)
+    }
+
+    /// Bytes resident in this table, counting per-row headers — the
+    /// O(routers · N) side of the memory-model comparison.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.rows.capacity() * std::mem::size_of::<Box<[u8]>>()
+            + self.rows.iter().map(|r| r.len()).sum::<usize>()
+    }
+
+    /// Walks the route from `ends[src]` to `ends[dst]` hop by hop
+    /// without allocating. See [`PathIter`].
+    pub fn path_iter<'a>(
+        &'a self,
+        net: &'a Network,
+        ends: &'a [NodeId],
+        src: usize,
+        dst: usize,
+    ) -> PathIter<'a> {
+        PathIter {
+            routes: self,
+            net,
+            ends,
+            src,
+            dst,
+            cur: None,
+            started: false,
+            hops: 0,
+            error: None,
+        }
+    }
+
+    /// Traces the route from end node `ends[src]` to `ends[dst]` into
+    /// a caller-owned buffer (cleared first), so analysis layers can
+    /// walk all pairs with a single scratch allocation. The traversed
+    /// channels include the attach hops; `src == dst` leaves the
+    /// buffer empty.
+    pub fn trace_into(
+        &self,
+        net: &Network,
+        ends: &[NodeId],
+        src: usize,
+        dst: usize,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<(), RouteError> {
+        out.clear();
+        if src == dst {
+            return Ok(());
+        }
+        let target = ends[dst];
+        // Injection: the end node's first (for dual-ported nodes: only
+        // the primary) attachment.
+        let &(inject, mut cur) = net
+            .channels_from(ends[src])
+            .first()
+            .expect("end node must be attached");
+        out.push(inject);
+        // A simple route visits each router at most once, so a walk
+        // longer than the node count proves a revisit; the exact loop
+        // sequence is reconstructed on that (cold) error path only.
+        let cap = net.node_count();
+        let mut hops = 0usize;
+        loop {
+            if cur == target {
+                return Ok(());
+            }
+            hops += 1;
+            if hops > cap {
+                return Err(self.loop_error(net, ends, src, dst));
+            }
+            let port = self
+                .get(cur, dst)
+                .ok_or(RouteError::MissingEntry { router: cur, dst })?;
+            let ch = net.channel_out(cur, port).ok_or(RouteError::DeadPort {
+                router: cur,
+                port,
+                dst,
+            })?;
+            out.push(ch);
+            let next = net.channel_dst(ch);
+            if !net.is_router(next) && next != target {
+                return Err(RouteError::Misdelivered {
+                    src,
+                    dst,
+                    arrived: next,
+                });
+            }
+            cur = next;
+        }
     }
 
     /// Traces the route from end node `ends[src]` to `ends[dst]`.
@@ -142,54 +279,144 @@ impl Routes {
         src: usize,
         dst: usize,
     ) -> Result<Vec<ChannelId>, RouteError> {
-        if src == dst {
-            return Ok(Vec::new());
-        }
-        let target = ends[dst];
         let mut path = Vec::new();
-        // Injection: the end node's first (for dual-ported nodes: only
-        // the primary) attachment.
-        let &(inject, mut cur) = net
-            .channels_from(ends[src])
-            .first()
-            .expect("end node must be attached");
-        path.push(inject);
-        let mut visited = vec![false; net.node_count()];
+        self.trace_into(net, ends, src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    /// Re-walks a looping route with bookkeeping to reconstruct the
+    /// visited-router sequence for the diagnostic.
+    fn loop_error(&self, net: &Network, ends: &[NodeId], src: usize, dst: usize) -> RouteError {
+        let mut visited: Vec<NodeId> = Vec::new();
+        let mut seen = vec![false; net.node_count()];
+        let target = ends[dst];
+        let Some(&(_, mut cur)) = net.channels_from(ends[src]).first() else {
+            return RouteError::ForwardingLoop { src, dst, visited };
+        };
         loop {
-            if cur == target {
-                return Ok(path);
+            visited.push(cur);
+            if seen[cur.index()] {
+                return RouteError::ForwardingLoop { src, dst, visited };
             }
-            if visited[cur.index()] {
-                return Err(RouteError::ForwardingLoop { src, dst });
-            }
-            visited[cur.index()] = true;
-            let port = self
-                .get(cur, dst)
-                .ok_or(RouteError::MissingEntry { router: cur, dst })?;
-            let ch = net.channel_out(cur, port).ok_or(RouteError::DeadPort {
-                router: cur,
-                port,
-                dst,
-            })?;
-            path.push(ch);
+            seen[cur.index()] = true;
+            let Some(port) = self.get(cur, dst) else {
+                break;
+            };
+            let Some(ch) = net.channel_out(cur, port) else {
+                break;
+            };
             let next = net.channel_dst(ch);
-            if !net.is_router(next) && next != target {
-                return Err(RouteError::Misdelivered {
-                    src,
-                    dst,
-                    arrived: next,
-                });
+            if next == target || !net.is_router(next) {
+                break;
             }
             cur = next;
         }
+        RouteError::ForwardingLoop { src, dst, visited }
     }
 }
 
-/// Every source→destination path of a network, traced and frozen.
+/// A non-allocating walk of one table route: yields the channel
+/// sequence from `ends[src]` to `ends[dst]`, attach hops included,
+/// looking each hop up in the table as it goes.
 ///
-/// This is the object the analyses consume: worst-case link contention
-/// scans it per channel, the channel-dependency graph is built from its
-/// consecutive channel pairs, and the simulator replays it.
+/// Tracing failures cannot be expressed mid-iteration, so the iterator
+/// simply stops and records the failure; callers that care check
+/// [`PathIter::error`] after exhaustion. (Certified tables never
+/// fail, which is why the analyses can use this directly.)
+pub struct PathIter<'a> {
+    routes: &'a Routes,
+    net: &'a Network,
+    ends: &'a [NodeId],
+    src: usize,
+    dst: usize,
+    cur: Option<NodeId>,
+    started: bool,
+    hops: usize,
+    error: Option<RouteError>,
+}
+
+impl PathIter<'_> {
+    /// The tracing failure that stopped the walk, if any.
+    pub fn error(&self) -> Option<&RouteError> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the iterator, returning the tracing failure, if any.
+    pub fn into_error(self) -> Option<RouteError> {
+        self.error
+    }
+}
+
+impl Iterator for PathIter<'_> {
+    type Item = ChannelId;
+
+    fn next(&mut self) -> Option<ChannelId> {
+        if self.error.is_some() {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            if self.src == self.dst {
+                return None;
+            }
+            let &(inject, r) = self
+                .net
+                .channels_from(self.ends[self.src])
+                .first()
+                .expect("end node must be attached");
+            self.cur = Some(r);
+            return Some(inject);
+        }
+        let cur = self.cur?;
+        let target = self.ends[self.dst];
+        if cur == target {
+            self.cur = None;
+            return None;
+        }
+        self.hops += 1;
+        if self.hops > self.net.node_count() {
+            self.error = Some(
+                self.routes
+                    .loop_error(self.net, self.ends, self.src, self.dst),
+            );
+            return None;
+        }
+        let Some(port) = self.routes.get(cur, self.dst) else {
+            self.error = Some(RouteError::MissingEntry {
+                router: cur,
+                dst: self.dst,
+            });
+            return None;
+        };
+        let Some(ch) = self.net.channel_out(cur, port) else {
+            self.error = Some(RouteError::DeadPort {
+                router: cur,
+                port,
+                dst: self.dst,
+            });
+            return None;
+        };
+        let next = self.net.channel_dst(ch);
+        if !self.net.is_router(next) && next != target {
+            self.error = Some(RouteError::Misdelivered {
+                src: self.src,
+                dst: self.dst,
+                arrived: next,
+            });
+            return None;
+        }
+        self.cur = Some(next);
+        Some(ch)
+    }
+}
+
+/// Every source→destination path of a network, traced and frozen — a
+/// **derived view** of [`Routes`].
+///
+/// Most consumers walk tables directly now; this dense matrix remains
+/// for per-pair route generators that tables cannot express (corrupted
+/// or hand-built fixtures, the frozen legacy sim mode) and for tests
+/// comparing the two representations.
 #[derive(Clone, Debug)]
 pub struct RouteSet {
     /// `paths[src][dst]`; empty vector on the diagonal.
@@ -211,10 +438,19 @@ impl RouteSet {
         Ok(RouteSet { paths })
     }
 
-    /// Builds a route set from a per-pair path generator (for schemes
-    /// that are not destination-table-expressible, e.g. up*/down*).
-    /// `f(src, dst)` must return the channel sequence from `ends[src]`
-    /// to `ends[dst]`.
+    /// Traces all pairs through routing tables, leaving pairs that fail
+    /// to trace (severed destinations after a partial repair) with
+    /// empty paths instead of aborting.
+    pub fn from_table_lossy(net: &Network, ends: &[NodeId], routes: &Routes) -> Self {
+        RouteSet::from_pairs(ends.len(), |s, d| {
+            routes.trace(net, ends, s, d).unwrap_or_default()
+        })
+    }
+
+    /// Builds a route set from a per-pair path generator (for path
+    /// collections no destination table expresses, e.g. deliberately
+    /// corrupted fixtures). `f(src, dst)` must return the channel
+    /// sequence from `ends[src]` to `ends[dst]`.
     pub fn from_pairs(n: usize, mut f: impl FnMut(usize, usize) -> Vec<ChannelId>) -> Self {
         let mut paths = Vec::with_capacity(n);
         for s in 0..n {
@@ -251,6 +487,26 @@ impl RouteSet {
                 .filter(move |&d| d != s)
                 .map(move |d| (s, d, self.paths[s][d].as_slice()))
         })
+    }
+
+    /// Bytes resident in the dense matrix, counting the nested vector
+    /// headers — the O(N² · path length) side of the memory-model
+    /// comparison with [`Routes::resident_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.paths.capacity() * size_of::<Vec<Vec<ChannelId>>>()
+            + self
+                .paths
+                .iter()
+                .map(|row| {
+                    row.capacity() * size_of::<Vec<ChannelId>>()
+                        + row
+                            .iter()
+                            .map(|p| p.capacity() * size_of::<ChannelId>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
     }
 
     /// Router hops of a route (channels minus the injection channel).
@@ -332,6 +588,37 @@ mod tests {
     }
 
     #[test]
+    fn path_iter_matches_trace_without_allocating() {
+        let (net, ends, r0, r1) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        routes.set(r0, 1, PortId(0));
+        routes.set(r1, 1, PortId(1));
+        routes.set(r1, 0, PortId(0));
+        routes.set(r0, 0, PortId(1));
+        for s in 0..2 {
+            for d in 0..2 {
+                let traced = routes.trace(&net, &ends, s, d).unwrap();
+                let mut it = routes.path_iter(&net, &ends, s, d);
+                let walked: Vec<ChannelId> = it.by_ref().collect();
+                assert_eq!(walked, traced, "{s}->{d}");
+                assert!(it.error().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn path_iter_reports_missing_entry() {
+        let (net, ends, _, _) = dumbbell();
+        let routes = Routes::new(&net, 2);
+        let mut it = routes.path_iter(&net, &ends, 0, 1);
+        assert_eq!(it.by_ref().count(), 1); // injection channel only
+        assert!(matches!(
+            it.error(),
+            Some(RouteError::MissingEntry { dst: 1, .. })
+        ));
+    }
+
+    #[test]
     fn missing_entry_reported() {
         let (net, ends, r0, _) = dumbbell();
         let routes = Routes::new(&net, 2);
@@ -356,14 +643,22 @@ mod tests {
     }
 
     #[test]
-    fn forwarding_loop_detected() {
+    fn forwarding_loop_reports_visited_routers() {
         let (net, ends, r0, r1) = dumbbell();
         let mut routes = Routes::new(&net, 2);
         // r0 and r1 bounce destination 1 between each other.
         routes.set(r0, 1, PortId(0));
         routes.set(r1, 1, PortId(0));
         let err = routes.trace(&net, &ends, 0, 1).unwrap_err();
-        assert_eq!(err, RouteError::ForwardingLoop { src: 0, dst: 1 });
+        let RouteError::ForwardingLoop { src, dst, visited } = err else {
+            panic!("expected a forwarding loop, got {err:?}");
+        };
+        assert_eq!((src, dst), (0, 1));
+        // The walk is r0 -> r1 -> r0: the repeated router bookends it.
+        assert_eq!(visited, vec![r0, r1, r0]);
+        // And the rendering names the loop.
+        let msg = RouteError::ForwardingLoop { src, dst, visited }.to_string();
+        assert!(msg.contains("via"), "{msg}");
     }
 
     #[test]
@@ -388,6 +683,20 @@ mod tests {
         let (net, ends, _, _) = dumbbell();
         let routes = Routes::new(&net, 2);
         assert!(routes.trace(&net, &ends, 0, 0).unwrap().is_empty());
+        assert_eq!(routes.path_iter(&net, &ends, 0, 0).count(), 0);
+    }
+
+    #[test]
+    fn table_is_an_order_of_magnitude_smaller_than_dense_paths() {
+        let (net, ends, r0, r1) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        routes.set(r0, 1, PortId(0));
+        routes.set(r1, 1, PortId(1));
+        routes.set(r1, 0, PortId(0));
+        routes.set(r0, 0, PortId(1));
+        let rs = RouteSet::from_table(&net, &ends, &routes).unwrap();
+        // Even at N=2 the byte rows undercut the nested vectors.
+        assert!(routes.resident_bytes() < rs.resident_bytes());
     }
 
     #[test]

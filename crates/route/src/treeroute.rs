@@ -11,10 +11,14 @@
 //! "breaking deadlocks in a hypercube by disabling paths": the disabled
 //! arrows are exactly the down→up turns, it is provably deadlock-free,
 //! and — as the paper complains — it concentrates traffic near the
-//! root, giving "uneven link utilization under uniform load". Up*/down*
-//! choices depend on the source, so this generator produces a
-//! [`RouteSet`] directly instead of destination tables.
+//! root, giving "uneven link utilization under uniform load".
+//!
+//! [`updown_tables`] emits the discipline as destination-indexed
+//! tables (each router descends as soon as it has an all-down path to
+//! the destination, else climbs toward its cheapest descent point);
+//! [`updown_routeset`] is the dense view traced from those tables.
 
+use crate::repair::{updown_tables_for, DeadMask};
 use crate::table::{RouteSet, Routes};
 use fractanet_graph::{bfs, ChannelId, Network, NodeId, PortId};
 use fractanet_topo::{BinaryTree, Star, Topology};
@@ -85,21 +89,35 @@ impl UpDownOrientation {
     }
 }
 
-/// Builds the full up*/down* route set for all end-node pairs:
-/// the shortest path of shape `up* down*`, meeting at the lowest-id
-/// turn router on ties (deterministic, hence in-order-safe).
+/// Destination tables for up*/down* routing oriented by BFS levels
+/// from `root`: a router with an all-down path to the destination
+/// descends along the shortest one, every other router climbs toward
+/// its cheapest descent point. Paths traced from the tables are
+/// `up* down*` by construction (the descending set is closed under
+/// its own successors), hence deadlock-free.
+pub fn updown_tables(net: &Network, ends: &[NodeId], root: NodeId) -> Routes {
+    let level = bfs::distances(net, root);
+    let comp: Vec<u32> = level
+        .iter()
+        .map(|&l| if l == u32::MAX { u32::MAX } else { 0 })
+        .collect();
+    let (routes, _) = updown_tables_for(net, ends, &DeadMask::new(net), &comp, &level);
+    routes
+}
+
+/// The dense per-pair view of [`updown_tables`], traced from the
+/// tables so both representations agree path for path.
 ///
 /// Panics if some pair has no legal path (cannot happen when the
 /// network is connected: the spanning tree itself is always legal).
 pub fn updown_routeset(net: &Network, ends: &[NodeId], root: NodeId) -> RouteSet {
-    let orient = UpDownOrientation::new(net, root);
-    RouteSet::from_pairs(ends.len(), |s, d| {
-        updown_path(net, &orient, ends[s], ends[d]).expect("connected network has up*/down* path")
-    })
+    let tables = updown_tables(net, ends, root);
+    RouteSet::from_table(net, ends, &tables).expect("connected network has up*/down* path")
 }
 
 /// Shortest `up* down*` path between two end nodes, attach channels
-/// included.
+/// included — the per-pair meet construction, independent of the
+/// table builder (the tests use it as a reference).
 pub fn updown_path(
     net: &Network,
     orient: &UpDownOrientation,

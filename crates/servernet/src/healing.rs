@@ -10,18 +10,22 @@
 //! returned — the caller keeps the old (safe) tables instead.
 
 use crate::faults::FaultSet;
-use fractanet_deadlock::verify_deadlock_free;
 use fractanet_deadlock::DeadlockReport;
+use fractanet_deadlock::{verify_deadlock_free, verify_deadlock_free_tables};
 use fractanet_graph::{LinkId, Network, NodeId};
 use fractanet_lint::{LintReport, Linter};
-use fractanet_route::repair::{repair_routes, DeadMask, RepairError};
-use fractanet_route::RouteSet;
+use fractanet_route::repair::{repair_tables, trace_surviving, DeadMask, RepairError};
+use fractanet_route::{IncrementalRepair, RouteSet, Routes};
+use std::sync::Arc;
 
-/// A certified repair: routes verified acyclic, plus coverage.
+/// A certified repair: tables verified acyclic, plus coverage.
 #[derive(Clone, Debug)]
 pub struct HealReport {
-    /// The verified, installable routing tables. Severed pairs have
-    /// empty paths.
+    /// The verified, installable destination tables — the canonical
+    /// form repairs are certified and installed in.
+    pub tables: Routes,
+    /// Dense per-pair view traced from `tables` (severed pairs have
+    /// empty paths), for consumers that still want frozen paths.
     pub routes: RouteSet,
     /// Ordered pairs still connected.
     pub connected_pairs: usize,
@@ -105,44 +109,61 @@ pub fn heal(net: &Network, ends: &[NodeId], faults: &FaultSet) -> Result<HealRep
 /// dead channels or malformed paths). Either failure keeps the old
 /// tables.
 pub fn heal_mask(net: &Network, ends: &[NodeId], mask: &DeadMask) -> Result<HealReport, HealError> {
-    let rep = repair_routes(net, ends, mask).map_err(HealError::Repair)?;
-    certify_tables(
-        net,
-        ends,
-        mask,
-        rep.routes,
-        rep.connected_pairs,
-        rep.total_pairs,
-    )
+    let rep = repair_tables(net, ends, mask);
+    let cdg_dependencies = certify_tables(net, ends, mask, &rep.tables)?;
+    let routes = trace_surviving(net, ends, mask, &rep.tables);
+    Ok(HealReport {
+        tables: rep.tables,
+        routes,
+        connected_pairs: rep.connected_pairs,
+        total_pairs: rep.total_pairs,
+        cdg_dependencies,
+    })
 }
 
-/// The certification gate itself: Dally & Seitz plus the static lint,
-/// over an arbitrary candidate table. Public so integrations that
-/// regenerate tables some other way can push them through the same
-/// gate [`heal_mask`] uses.
+/// The certification gate itself, run directly over destination
+/// tables: the Dally & Seitz acyclicity certificate (CDG built from
+/// table walks) plus the full static lint, with no dense path matrix
+/// materialized. Returns the certified CDG's dependency count. Public
+/// so integrations that regenerate tables some other way can push them
+/// through the same gate [`heal_mask`] uses.
 pub fn certify_tables(
     net: &Network,
     ends: &[NodeId],
     mask: &DeadMask,
-    routes: RouteSet,
-    connected_pairs: usize,
-    total_pairs: usize,
-) -> Result<HealReport, HealError> {
-    let cdg = verify_deadlock_free(net, &routes).map_err(HealError::Cyclic)?;
+    tables: &Routes,
+) -> Result<usize, HealError> {
+    let cdg = verify_deadlock_free_tables(net, ends, tables).map_err(HealError::Cyclic)?;
     let lint = Linter::new(net, ends)
         .with_subject("heal")
         .with_mask(mask)
         .without_suggestions()
-        .check(&routes);
+        .check_tables(tables);
     if !lint.is_clean() {
         return Err(HealError::Lint(Box::new(lint)));
     }
-    Ok(HealReport {
-        routes,
-        connected_pairs,
-        total_pairs,
-        cdg_dependencies: cdg.dependency_count(),
-    })
+    Ok(cdg.dependency_count())
+}
+
+/// [`certify_tables`] for a dense candidate [`RouteSet`] produced
+/// outside the table pipeline. Returns the certified CDG's dependency
+/// count.
+pub fn certify_routes(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+    routes: &RouteSet,
+) -> Result<usize, HealError> {
+    let cdg = verify_deadlock_free(net, routes).map_err(HealError::Cyclic)?;
+    let lint = Linter::new(net, ends)
+        .with_subject("heal")
+        .with_mask(mask)
+        .without_suggestions()
+        .check(routes);
+    if !lint.is_clean() {
+        return Err(HealError::Lint(Box::new(lint)));
+    }
+    Ok(cdg.dependency_count())
 }
 
 /// A ready-made repairer hook for
@@ -157,6 +178,26 @@ pub fn healing_repairer<'a>(
     move |dead_links, dead_routers| {
         let mask = DeadMask::from_dead(net, dead_links, dead_routers);
         heal_mask(net, ends, &mask).ok().map(|h| h.routes)
+    }
+}
+
+/// Table-flavored [`healing_repairer`] for
+/// [`Engine::with_table_repairer`](fractanet_sim::Engine::with_table_repairer):
+/// repairs **incrementally** — only table columns whose referenced
+/// channels died are rebuilt when the survivor order is unchanged —
+/// then certifies the patched tables directly and installs them as a
+/// shared epoch. No dense path is ever traced on this hot path.
+pub fn table_healing_repairer<'a>(
+    net: &'a Network,
+    ends: &'a [NodeId],
+) -> impl FnMut(&[LinkId], &[NodeId]) -> Option<Arc<Routes>> + 'a {
+    let mut inc = IncrementalRepair::new(net, ends);
+    move |dead_links, dead_routers| {
+        let mask = DeadMask::from_dead(net, dead_links, dead_routers);
+        let rep = inc.repair(&mask);
+        certify_tables(net, ends, &mask, &rep.tables)
+            .ok()
+            .map(|_| Arc::new(rep.tables))
     }
 }
 
@@ -205,7 +246,7 @@ mod tests {
         let h = Hypercube::new(3, 1, 6).unwrap();
         let mut mask = DeadMask::new(h.net());
         mask.kill_link(router_link(h.net()));
-        let rep = repair_routes(h.net(), h.end_nodes(), &mask).unwrap();
+        let rep = fractanet_route::repair::repair_routes(h.net(), h.end_nodes(), &mask).unwrap();
         assert!(rep.is_full());
         let n = rep.routes.len();
         let holed = RouteSet::from_pairs(n, |s, d| {
@@ -215,15 +256,7 @@ mod tests {
                 rep.routes.path(s, d).to_vec()
             }
         });
-        let err = certify_tables(
-            h.net(),
-            h.end_nodes(),
-            &mask,
-            holed,
-            rep.connected_pairs,
-            rep.total_pairs,
-        )
-        .unwrap_err();
+        let err = certify_routes(h.net(), h.end_nodes(), &mask, &holed).unwrap_err();
         let HealError::Lint(report) = err else {
             panic!("expected lint rejection, got {err}");
         };
@@ -245,8 +278,7 @@ mod tests {
         let victim = stale.path(0, 1)[1].link();
         let mut mask = DeadMask::new(h.net());
         mask.kill_link(victim);
-        let total = stale.len() * (stale.len() - 1);
-        let err = certify_tables(h.net(), h.end_nodes(), &mask, stale, total, total).unwrap_err();
+        let err = certify_routes(h.net(), h.end_nodes(), &mask, &stale).unwrap_err();
         let HealError::Lint(report) = err else {
             panic!("expected lint rejection, got {err}");
         };
@@ -279,5 +311,41 @@ mod tests {
         assert!(res.deadlock.is_none(), "{:?}", res.deadlock);
         assert_eq!(res.delivered, res.generated, "{:?}", res.recovery);
         assert_eq!(res.recovery.repairs_installed, 1);
+    }
+
+    #[test]
+    fn table_healing_repairer_matches_dense_repairer() {
+        // Same fault scenario through the epoch/table pipeline: the
+        // incremental table repairer must deliver everything with the
+        // same recovery accounting as the dense path-snapshot one.
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let routes = fractanet_route::fractal::fractal_routes(&f);
+        let rs = RouteSet::from_table(f.net(), f.end_nodes(), &routes).unwrap();
+        let victim = router_link(f.net());
+        let cfg = SimConfig {
+            packet_flits: 16,
+            max_cycles: 30_000,
+            retry: RetryPolicy {
+                ack_timeout: 16,
+                max_retries: 6,
+                backoff_base: 16,
+                jitter_seed: 3,
+            },
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(victim, 20));
+        let dense = Engine::new(f.net(), &rs, cfg.clone())
+            .with_repairer(healing_repairer(f.net(), f.end_nodes()))
+            .run(Workload::all_to_all_burst(8));
+        let tabled = Engine::with_tables(f.net(), f.end_nodes(), Arc::new(routes), cfg)
+            .with_table_repairer(table_healing_repairer(f.net(), f.end_nodes()))
+            .run(Workload::all_to_all_burst(8));
+        assert!(tabled.deadlock.is_none(), "{:?}", tabled.deadlock);
+        assert_eq!(tabled.delivered, tabled.generated, "{:?}", tabled.recovery);
+        assert_eq!(tabled.recovery.repairs_installed, 1);
+        assert_eq!(tabled.delivered, dense.delivered);
+        assert_eq!(tabled.cycles, dense.cycles);
+        assert_eq!(tabled.avg_latency, dense.avg_latency);
+        assert_eq!(tabled.max_latency, dense.max_latency);
     }
 }

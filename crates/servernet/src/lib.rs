@@ -36,7 +36,10 @@ pub mod transactions;
 
 pub use fabric::{DualFabric, FabricId};
 pub use faults::FaultSet;
-pub use healing::{certify_tables, heal, healing_repairer, HealError, HealReport};
+pub use healing::{
+    certify_routes, certify_tables, heal, healing_repairer, table_healing_repairer, HealError,
+    HealReport,
+};
 pub use link::LinkSpec;
 pub use packet::{Packet, PacketError, TransactionKind};
 pub use router::{ForwardError, RouterAsic};

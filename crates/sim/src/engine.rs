@@ -17,11 +17,20 @@
 //! occupied or remaining channels died is torn down (its channels
 //! released, its flits discarded), and the source re-queues it under
 //! the [`RetryPolicy`](crate::fault::RetryPolicy) — exponential
-//! backoff, bounded attempts, then abandonment. Each packet snapshots
-//! its path at injection, so a routing-table swap installed by a
-//! [repairer](Engine::with_repairer) mid-run never corrupts worms
-//! already in the fabric: only queued and retried packets pick up the
-//! repaired routes.
+//! backoff, bounded attempts, then abandonment.
+//!
+//! ## Routing epochs
+//!
+//! Route state lives in **epochs**: immutable snapshots of either a
+//! dense path matrix or shared destination tables. Each packet carries
+//! only its epoch index and resolves hops against that epoch's source
+//! — table epochs look the next channel up from the current router's
+//! destination row, so nothing is snapshotted per packet. A repairer
+//! ([`Engine::with_repairer`] or [`Engine::with_table_repairer`])
+//! installs a *new* epoch mid-run; worms in the fabric still resolve
+//! against the epoch they were injected under, and the install drains
+//! them anyway (mixing two acyclic epochs can deadlock), so only
+//! queued and retried packets pick up the repaired routes.
 
 use crate::config::SimConfig;
 use crate::fault::FaultKind;
@@ -29,12 +38,13 @@ use crate::stats::{DeadlockEvent, RecoveryStats, SimResult};
 use crate::traffic::Workload;
 use fractanet_deadlock::WaitGraph;
 use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
-use fractanet_route::RouteSet;
+use fractanet_route::{RouteSet, Routes};
 use fractanet_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 const NO_PKT: u32 = u32::MAX;
 
@@ -72,32 +82,57 @@ struct Packet {
     created: u64,
     injected: u64,
     sent: u32,
-    /// Channel sequence frozen at (re)queue time, so table swaps never
+    /// Routing epoch frozen at (re)queue time, so table swaps never
     /// re-route a worm that is already in the fabric.
-    path: Box<[ChannelId]>,
+    epoch: u32,
     /// Transmission attempts so far (0 = first try still pending).
     attempts: u32,
 }
 
-/// Routing tables: borrowed at construction, owned after a repairer
-/// installs a regenerated set.
-enum Tables<'a> {
-    Borrowed(&'a RouteSet),
-    Owned(Box<RouteSet>),
+/// One routing epoch: the immutable route state all packets of that
+/// epoch resolve their hops against. Repairs install a new epoch
+/// rather than mutating an old one.
+enum RouteSource<'a> {
+    /// A dense path matrix borrowed at construction.
+    Dense(&'a RouteSet),
+    /// A dense matrix installed by a legacy repairer.
+    DenseOwned(Box<RouteSet>),
+    /// Shared destination-indexed tables, walked hop by hop.
+    Tables(Arc<Routes>),
 }
 
-impl Tables<'_> {
-    fn get(&self) -> &RouteSet {
+impl RouteSource<'_> {
+    fn dense(&self) -> Option<&RouteSet> {
         match self {
-            Tables::Borrowed(r) => r,
-            Tables::Owned(r) => r,
+            RouteSource::Dense(r) => Some(r),
+            RouteSource::DenseOwned(r) => Some(r),
+            RouteSource::Tables(_) => None,
         }
     }
+
+    fn tables(&self) -> &Routes {
+        match self {
+            RouteSource::Tables(r) => r,
+            _ => unreachable!("dense epochs are matched by dense()"),
+        }
+    }
+}
+
+/// A worm head's resolved next hop under its epoch.
+enum NextHop {
+    /// The head sits on its final channel; the next move ejects.
+    Eject,
+    /// The head wants this channel next.
+    Channel(ChannelId),
 }
 
 /// Callback invoked after permanent faults: given the currently-dead
 /// links and routers, may return a repaired routing table to install.
 type Repairer<'a> = Box<dyn FnMut(&[LinkId], &[NodeId]) -> Option<RouteSet> + 'a>;
+
+/// Table-flavored repairer: returns repaired destination tables to
+/// install as a new epoch, shared rather than copied.
+type TableRepairer<'a> = Box<dyn FnMut(&[LinkId], &[NodeId]) -> Option<Arc<Routes>> + 'a>;
 
 /// One timeline entry: (cycle, is_repair, kind, permanent).
 type TimelineEvent = (u64, bool, FaultKind, bool);
@@ -120,7 +155,13 @@ type TimelineEvent = (u64, bool, FaultKind, bool);
 /// ```
 pub struct Engine<'a> {
     net: &'a Network,
-    tables: Tables<'a>,
+    /// Routing epochs, oldest first; the last entry is current.
+    epochs: Vec<RouteSource<'a>>,
+    /// End nodes in address order — required by table epochs, unused
+    /// by dense ones.
+    ends: Option<Vec<NodeId>>,
+    /// Addressable end-node count.
+    n_addr: usize,
     cfg: SimConfig,
     chans: Vec<ChanState>,
     packets: Vec<Packet>,
@@ -144,6 +185,7 @@ pub struct Engine<'a> {
     pending_retries: BinaryHeap<Reverse<(u64, u32)>>,
     retry_rng: StdRng,
     repairer: Option<Repairer<'a>>,
+    table_repairer: Option<TableRepairer<'a>>,
     lint_ends: Option<Vec<NodeId>>,
     rec: RecoveryStats,
     /// Telemetry recorder — `Some` iff `cfg.telemetry` is recording.
@@ -153,10 +195,53 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine over a routed network.
+    /// Creates an engine over a routed network (dense path matrix).
     pub fn new(net: &'a Network, routes: &'a RouteSet, cfg: SimConfig) -> Self {
+        Self::build(net, RouteSource::Dense(routes), None, routes.len(), cfg)
+    }
+
+    /// Creates an engine over canonical destination tables: packets
+    /// carry no path snapshot at all, every hop is looked up from the
+    /// shared tables. `ends` is the end-node address order the tables
+    /// are indexed by.
+    ///
+    /// ```
+    /// use fractanet_sim::{Engine, SimConfig, Workload};
+    /// use fractanet_route::fractal;
+    /// use fractanet_topo::{Fractahedron, Topology, Variant};
+    /// use std::sync::Arc;
+    ///
+    /// let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+    /// let routes = Arc::new(fractal::fractal_routes(&f));
+    /// let cfg = SimConfig::default().with_packet_flits(8).with_max_cycles(10_000);
+    /// let result = Engine::with_tables(f.net(), f.end_nodes(), routes, cfg)
+    ///     .run(Workload::all_to_all_burst(8));
+    /// assert!(result.is_clean());
+    /// assert_eq!(result.delivered, 56);
+    /// ```
+    pub fn with_tables(
+        net: &'a Network,
+        ends: &[NodeId],
+        routes: Arc<Routes>,
+        cfg: SimConfig,
+    ) -> Self {
+        Self::build(
+            net,
+            RouteSource::Tables(routes),
+            Some(ends.to_vec()),
+            ends.len(),
+            cfg,
+        )
+    }
+
+    fn build(
+        net: &'a Network,
+        source: RouteSource<'a>,
+        ends: Option<Vec<NodeId>>,
+        n: usize,
+        cfg: SimConfig,
+    ) -> Self {
         let nch = net.channel_count();
-        let n = routes.len();
         let rng = StdRng::seed_from_u64(cfg.seed);
         let retry_rng = StdRng::seed_from_u64(cfg.retry.jitter_seed);
         let mut timeline: Vec<TimelineEvent> = Vec::with_capacity(cfg.faults.len() * 2);
@@ -170,7 +255,9 @@ impl<'a> Engine<'a> {
         let tel = cfg.telemetry.recorder(nch);
         Engine {
             net,
-            tables: Tables::Borrowed(routes),
+            epochs: vec![source],
+            ends,
+            n_addr: n,
             cfg,
             chans: vec![ChanState::free(); nch],
             packets: Vec::new(),
@@ -192,6 +279,7 @@ impl<'a> Engine<'a> {
             pending_retries: BinaryHeap::new(),
             retry_rng,
             repairer: None,
+            table_repairer: None,
             lint_ends: None,
             rec: RecoveryStats::default(),
             tel,
@@ -212,6 +300,146 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Table-flavored [`with_repairer`](Engine::with_repairer): the
+    /// hook returns repaired destination tables, installed as a new
+    /// shared epoch without tracing a single path. Requires a
+    /// table-routed engine ([`Engine::with_tables`]); when both
+    /// repairer flavors are set, the dense one wins.
+    pub fn with_table_repairer(
+        mut self,
+        f: impl FnMut(&[LinkId], &[NodeId]) -> Option<Arc<Routes>> + 'a,
+    ) -> Self {
+        assert!(
+            self.ends.is_some(),
+            "table repairers need a table-routed engine (Engine::with_tables)"
+        );
+        self.table_repairer = Some(Box::new(f));
+        self
+    }
+
+    /// End nodes in address order (table epochs only).
+    fn addr_ends(&self) -> &[NodeId] {
+        self.ends
+            .as_deref()
+            .expect("table epochs carry end nodes by construction")
+    }
+
+    /// The current (latest-installed) routing epoch.
+    fn cur_epoch(&self) -> u32 {
+        (self.epochs.len() - 1) as u32
+    }
+
+    /// The packet's first channel: the path head for dense epochs, the
+    /// source end's attach channel for table epochs. Only called after
+    /// [`route_dead_or_missing`](Engine::route_dead_or_missing) has
+    /// cleared the route.
+    fn first_hop(&self, p: &Packet) -> ChannelId {
+        match self.epochs[p.epoch as usize].dense() {
+            Some(rs) => rs.path(p.src as usize, p.dst as usize)[0],
+            None => {
+                self.net
+                    .channels_from(self.addr_ends()[p.src as usize])
+                    .first()
+                    .expect("routable packet's source has an attach channel")
+                    .0
+            }
+        }
+    }
+
+    /// Resolves the next hop for a worm head occupying `ch` at route
+    /// position `pos` — a dense epoch indexes its frozen path, a table
+    /// epoch reads the downstream router's destination entry.
+    fn next_hop(&self, p: &Packet, ch: ChannelId, pos: u32) -> NextHop {
+        let epoch = &self.epochs[p.epoch as usize];
+        if let Some(rs) = epoch.dense() {
+            let path = rs.path(p.src as usize, p.dst as usize);
+            return match path.get(pos as usize + 1) {
+                Some(&next) => NextHop::Channel(next),
+                None => NextHop::Eject,
+            };
+        }
+        let v = self.net.channel_dst(ch);
+        if v == self.addr_ends()[p.dst as usize] {
+            return NextHop::Eject;
+        }
+        let port = epoch
+            .tables()
+            .get(v, p.dst as usize)
+            .expect("in-flight worm's router has a table entry");
+        let next = self
+            .net
+            .channel_out(v, port)
+            .expect("in-flight worm's table entry resolves to a channel");
+        NextHop::Channel(next)
+    }
+
+    /// Whether the packet's route under its epoch is unusable: absent
+    /// (severed pair, missing table entry, forwarding loop) or crossing
+    /// a currently-dead channel. Checked before injection.
+    fn route_dead_or_missing(&self, p: &Packet) -> bool {
+        let epoch = &self.epochs[p.epoch as usize];
+        if let Some(rs) = epoch.dense() {
+            let path = rs.path(p.src as usize, p.dst as usize);
+            return path.is_empty() || path.iter().any(|c| self.chan_dead[c.index()]);
+        }
+        let ends = self.addr_ends();
+        let dst_end = ends[p.dst as usize];
+        let Some(&(inject, mut v)) = self.net.channels_from(ends[p.src as usize]).first() else {
+            return true;
+        };
+        if self.chan_dead[inject.index()] {
+            return true;
+        }
+        let tables = epoch.tables();
+        let mut hops = 0usize;
+        while v != dst_end {
+            let Some(port) = tables.get(v, p.dst as usize) else {
+                return true;
+            };
+            let Some(ch) = self.net.channel_out(v, port) else {
+                return true;
+            };
+            if self.chan_dead[ch.index()] {
+                return true;
+            }
+            v = self.net.channel_dst(ch);
+            hops += 1;
+            if hops > self.net.node_count() {
+                return true; // forwarding loop
+            }
+        }
+        false
+    }
+
+    /// Whether any channel the worm has yet to traverse — beyond its
+    /// head on `ch` at route position `pos` — is currently dead.
+    fn remainder_dead(&self, p: &Packet, ch: ChannelId, pos: u32) -> bool {
+        let epoch = &self.epochs[p.epoch as usize];
+        if let Some(rs) = epoch.dense() {
+            let path = rs.path(p.src as usize, p.dst as usize);
+            return path[pos as usize + 1..]
+                .iter()
+                .any(|c| self.chan_dead[c.index()]);
+        }
+        let dst_end = self.addr_ends()[p.dst as usize];
+        let tables = epoch.tables();
+        let mut v = self.net.channel_dst(ch);
+        while v != dst_end {
+            let port = tables
+                .get(v, p.dst as usize)
+                .expect("in-flight worm's router has a table entry");
+            let next = self
+                .net
+                .channel_out(v, port)
+                .expect("in-flight worm's table entry resolves to a channel");
+            if self.chan_dead[next.index()] {
+                return true;
+            }
+            v = self.net.channel_dst(next);
+        }
+        false
+    }
+
     /// Debug-assertion guard for repairers that promise *certified*
     /// tables: in debug builds, every repairer-returned table is
     /// statically linted (coverage, liveness, well-formedness, CDG
@@ -228,7 +456,7 @@ impl<'a> Engine<'a> {
     /// Runs `workload` to completion (or `max_cycles`, or deadlock) and
     /// returns the aggregate result.
     pub fn run(mut self, mut workload: Workload) -> SimResult {
-        let n = self.tables.get().len();
+        let n = self.n_addr;
         let mut idle_cycles = 0u64;
         let mut cycle = 0u64;
         let mut generated = 0usize;
@@ -245,7 +473,6 @@ impl<'a> Engine<'a> {
             // 1. Traffic.
             for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
                 let id = self.packets.len() as u32;
-                let path: Box<[ChannelId]> = self.tables.get().path(s, d).into();
                 self.packets.push(Packet {
                     src: s as u32,
                     dst: d as u32,
@@ -253,7 +480,7 @@ impl<'a> Engine<'a> {
                     created: cycle,
                     injected: u64::MAX,
                     sent: 0,
-                    path,
+                    epoch: self.cur_epoch(),
                     attempts: 0,
                 });
                 self.queues[s].push_back(id);
@@ -360,25 +587,26 @@ impl<'a> Engine<'a> {
     /// with `all == true` every in-flight worm goes (the reconfiguration
     /// drain).
     fn teardown_worms(&mut self, cycle: u64, all: bool) {
-        // Worm heads (max route position per owner) and owners touching
-        // a dead channel.
-        let mut heads: BTreeMap<u32, u32> = BTreeMap::new();
+        // Worm heads (max route position per owner, with the channel
+        // holding it) and owners touching a dead channel.
+        let mut heads: BTreeMap<u32, (u32, ChannelId)> = BTreeMap::new();
         let mut hit: BTreeSet<u32> = BTreeSet::new();
         for (idx, st) in self.chans.iter().enumerate() {
             if st.owner == NO_PKT {
                 continue;
             }
-            let h = heads.entry(st.owner).or_insert(st.route_pos);
-            *h = (*h).max(st.route_pos);
+            let ch = ChannelId(idx as u32);
+            let h = heads.entry(st.owner).or_insert((st.route_pos, ch));
+            if st.route_pos > h.0 {
+                *h = (st.route_pos, ch);
+            }
             if self.chan_dead[idx] {
                 hit.insert(st.owner);
             }
         }
         let mut victims: Vec<u32> = Vec::new();
-        for (&pid, &head) in &heads {
-            let future_dead = self.packets[pid as usize].path[head as usize + 1..]
-                .iter()
-                .any(|c| self.chan_dead[c.index()]);
+        for (&pid, &(pos, head_ch)) in &heads {
+            let future_dead = self.remainder_dead(&self.packets[pid as usize], head_ch, pos);
             if all || hit.contains(&pid) || future_dead {
                 victims.push(pid);
             }
@@ -408,12 +636,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Lets the repairer install regenerated tables; queued (not yet
-    /// injected) packets re-snapshot their paths from the new tables.
+    /// Lets the repairer install a new routing epoch; queued (not yet
+    /// injected) packets re-home to it.
     fn attempt_repair(&mut self, cycle: u64) {
-        let Some(mut repairer) = self.repairer.take() else {
-            return;
-        };
         let dead_links: Vec<LinkId> = (0..self.link_fault_ct.len())
             .filter(|&l| self.link_fault_ct[l] > 0)
             .map(|l| LinkId(l as u32))
@@ -422,40 +647,57 @@ impl<'a> Engine<'a> {
             .filter(|&r| self.router_fault_ct[r] > 0)
             .map(|r| NodeId(r as u32))
             .collect();
-        if let Some(new_tables) = repairer(&dead_links, &dead_routers) {
-            if cfg!(debug_assertions) {
-                self.debug_lint_install(&new_tables, &dead_links, &dead_routers);
-            }
-            self.tables = Tables::Owned(Box::new(new_tables));
-            self.rec.repairs_installed += 1;
-            if let Some(t) = self.tel.as_mut() {
-                t.repair_installed(cycle);
-            }
-            // Drain the old routing epoch: worms snapshotted under the
-            // replaced tables hold channels in an order the new CDG
-            // knows nothing about, and mixing the two epochs can
-            // deadlock even though each is acyclic on its own. Tear
-            // every in-flight worm down and let the retry machinery
-            // replay it under the new tables.
-            self.teardown_worms(cycle, true);
-            let tables = self.tables.get();
-            for q in &self.queues {
-                for &pid in q {
-                    let p = &mut self.packets[pid as usize];
-                    if p.sent == 0 {
-                        p.path = tables.path(p.src as usize, p.dst as usize).into();
-                    }
+        let installed = if let Some(mut repairer) = self.repairer.take() {
+            let source = repairer(&dead_links, &dead_routers).map(|rs| {
+                if cfg!(debug_assertions) {
+                    self.debug_lint_install_dense(&rs, &dead_links, &dead_routers);
+                }
+                RouteSource::DenseOwned(Box::new(rs))
+            });
+            self.repairer = Some(repairer);
+            source
+        } else if let Some(mut repairer) = self.table_repairer.take() {
+            let source = repairer(&dead_links, &dead_routers).map(|rt| {
+                if cfg!(debug_assertions) {
+                    self.debug_lint_install_tables(&rt, &dead_links, &dead_routers);
+                }
+                RouteSource::Tables(rt)
+            });
+            self.table_repairer = Some(repairer);
+            source
+        } else {
+            return;
+        };
+        let Some(source) = installed else {
+            return;
+        };
+        self.epochs.push(source);
+        self.rec.repairs_installed += 1;
+        if let Some(t) = self.tel.as_mut() {
+            t.repair_installed(cycle);
+        }
+        // Drain the old routing epoch: worms routed under the replaced
+        // epoch hold channels in an order the new CDG knows nothing
+        // about, and mixing the two epochs can deadlock even though
+        // each is acyclic on its own. Tear every in-flight worm down
+        // and let the retry machinery replay it under the new epoch.
+        self.teardown_worms(cycle, true);
+        let cur = self.cur_epoch();
+        for q in &self.queues {
+            for &pid in q {
+                let p = &mut self.packets[pid as usize];
+                if p.sent == 0 {
+                    p.epoch = cur;
                 }
             }
         }
-        self.repairer = Some(repairer);
     }
 
     /// The [`with_lint_on_install`](Engine::with_lint_on_install)
     /// check: statically lint a candidate table against the current
     /// dead set and panic if it is not clean. Only called in debug
     /// builds.
-    fn debug_lint_install(
+    fn debug_lint_install_dense(
         &self,
         tables: &RouteSet,
         dead_links: &[LinkId],
@@ -476,9 +718,33 @@ impl<'a> Engine<'a> {
         );
     }
 
+    /// [`debug_lint_install_dense`](Engine::debug_lint_install_dense)
+    /// for table repairers — lints the destination tables in place.
+    fn debug_lint_install_tables(
+        &self,
+        tables: &Routes,
+        dead_links: &[LinkId],
+        dead_routers: &[NodeId],
+    ) {
+        let Some(ends) = &self.lint_ends else {
+            return;
+        };
+        let mask = fractanet_route::DeadMask::from_dead(self.net, dead_links, dead_routers);
+        let report = fractanet_lint::Linter::new(self.net, ends)
+            .with_subject("repair install")
+            .with_mask(&mask)
+            .without_suggestions()
+            .check_tables(tables);
+        assert!(
+            report.is_clean(),
+            "repairer returned tables that fail static lint:\n{report}"
+        );
+    }
+
     /// Moves retries whose backoff expired back into source queues,
-    /// re-snapshotting their paths from the current tables.
+    /// re-homing them to the current routing epoch.
     fn release_due_retries(&mut self, cycle: u64) {
+        let cur = self.cur_epoch();
         while let Some(&Reverse((when, pid))) = self.pending_retries.peek() {
             if when > cycle {
                 break;
@@ -486,11 +752,7 @@ impl<'a> Engine<'a> {
             self.pending_retries.pop();
             let src = {
                 let p = &mut self.packets[pid as usize];
-                p.path = self
-                    .tables
-                    .get()
-                    .path(p.src as usize, p.dst as usize)
-                    .into();
+                p.epoch = cur;
                 p.sent = 0;
                 p.injected = u64::MAX;
                 p.src as usize
@@ -513,9 +775,7 @@ impl<'a> Engine<'a> {
                     // Mid-injection: teardown owns this case.
                     break;
                 }
-                let unroutable =
-                    p.path.is_empty() || p.path.iter().any(|c| self.chan_dead[c.index()]);
-                if !unroutable {
+                if !self.route_dead_or_missing(p) {
                     break;
                 }
                 self.queues[s].pop_front();
@@ -560,8 +820,8 @@ impl<'a> Engine<'a> {
         let mut contenders: Vec<(u32, u32, u32)> = Vec::new();
         // Decisions on start-of-cycle state.
         let mut ejects: Vec<u32> = Vec::new();
-        let mut body_moves: Vec<u32> = Vec::new();
-        // Allocation requests grouped per target channel.
+        let mut body_moves: Vec<(u32, ChannelId)> = Vec::new(); // (from, next)
+                                                                // Allocation requests grouped per target channel.
         let mut alloc_reqs: Vec<(u32, u32)> = Vec::new(); // (target, from)
         for ch in 0..nch as u32 {
             let st = &self.chans[ch as usize];
@@ -569,11 +829,13 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let p = &self.packets[st.owner as usize];
-            if st.route_pos as usize == p.path.len() - 1 {
-                ejects.push(ch);
-                continue;
-            }
-            let next = p.path[st.route_pos as usize + 1];
+            let next = match self.next_hop(p, ChannelId(ch), st.route_pos) {
+                NextHop::Eject => {
+                    ejects.push(ch);
+                    continue;
+                }
+                NextHop::Channel(next) => next,
+            };
             let nst = &self.chans[next.index()];
             if st.front() == 0 {
                 if tel_on {
@@ -590,7 +852,7 @@ impl<'a> Engine<'a> {
                     contenders.push((next.0, p.src, p.dst));
                 }
                 if nst.occ < b {
-                    body_moves.push(ch);
+                    body_moves.push((ch, next));
                 } else if let Some(t) = self.tel.as_mut() {
                     t.blocked(cycle, st.owner, next);
                 }
@@ -606,8 +868,7 @@ impl<'a> Engine<'a> {
             while let Some(&pid) = self.queues[s].front() {
                 let unroutable = {
                     let p = &self.packets[pid as usize];
-                    p.sent == 0
-                        && (p.path.is_empty() || p.path.iter().any(|c| self.chan_dead[c.index()]))
+                    p.sent == 0 && self.route_dead_or_missing(p)
                 };
                 if unroutable {
                     self.queues[s].pop_front();
@@ -615,7 +876,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let p = &self.packets[pid as usize];
-                let c0 = p.path[0];
+                let c0 = self.first_hop(p);
                 let st = &self.chans[c0.index()];
                 if tel_on {
                     contenders.push((c0.0, p.src, p.dst));
@@ -728,16 +989,15 @@ impl<'a> Engine<'a> {
             }
         }
         // Apply body transfers.
-        for ch in body_moves {
+        for (ch, next) in body_moves {
             moves += 1;
-            let (owner, flit, pos) = {
+            let (owner, flit) = {
                 let st = &mut self.chans[ch as usize];
                 let flit = st.front();
                 st.occ -= 1;
-                (st.owner, flit, st.route_pos)
+                (st.owner, flit)
             };
             let p = &self.packets[owner as usize];
-            let next = p.path[pos as usize + 1];
             if flit == p.len - 1 {
                 self.chans[ch as usize].owner = NO_PKT;
             }
@@ -782,14 +1042,15 @@ impl<'a> Engine<'a> {
         for s in injections {
             moves += 1;
             let pid = *self.queues[s].front().expect("checked above");
-            let (c0, sent_after, len, src, dst) = {
+            let c0 = self.first_hop(&self.packets[pid as usize]);
+            let (sent_after, len, src, dst) = {
                 let p = &mut self.packets[pid as usize];
                 p.sent += 1;
                 if p.sent == 1 {
                     p.injected = cycle;
                     self.in_flight += 1;
                 }
-                (p.path[0], p.sent, p.len, p.src, p.dst)
+                (p.sent, p.len, p.src, p.dst)
             };
             let st = &mut self.chans[c0.index()];
             if sent_after == 1 {
@@ -821,8 +1082,8 @@ impl<'a> Engine<'a> {
                 continue;
             }
             let p = &self.packets[st.owner as usize];
-            if (st.route_pos as usize) < p.path.len() - 1 {
-                wg.add_wait(ChannelId(idx as u32), p.path[st.route_pos as usize + 1]);
+            if let NextHop::Channel(next) = self.next_hop(p, ChannelId(idx as u32), st.route_pos) {
+                wg.add_wait(ChannelId(idx as u32), next);
             }
         }
         DeadlockEvent {
@@ -838,7 +1099,7 @@ impl<'a> Engine<'a> {
         generated: usize,
         deadlock: Option<DeadlockEvent>,
     ) -> SimResult {
-        let n = self.tables.get().len().max(1);
+        let n = self.n_addr.max(1);
         let telemetry = self.tel.take().map(|r| r.finish(cycles, &self.busy));
         let mut lats = self.latencies.clone();
         lats.sort_unstable();

@@ -6,6 +6,7 @@ use fractanet::graph::bfs;
 use fractanet::graph::{LinkId, NodeId};
 use fractanet::metrics::{bisection_estimate, max_link_contention};
 use fractanet::prelude::*;
+use fractanet::route::{repair_tables, DeadMask, IncrementalRepair, Paths};
 use fractanet::System;
 use proptest::prelude::*;
 
@@ -186,5 +187,96 @@ proptest! {
         }
         prop_assert_eq!(connected, rep.connected_pairs);
         prop_assert!(rep.connected_pairs <= rep.total_pairs);
+
+        // Table-canonical invariant: walking the installed tables
+        // reproduces every surviving traced path element for element.
+        let mut mismatches = Vec::new();
+        Paths::tables(net, sys.end_nodes(), &rep.tables).for_each_pair(|s, d, res| {
+            let frozen = rep.routes.path(s, d);
+            if frozen.is_empty() {
+                return; // severed by the fault set; tables may err here
+            }
+            if res != Ok(frozen) {
+                mismatches.push((s, d));
+            }
+        });
+        prop_assert!(mismatches.is_empty(), "table walks diverged: {:?}", mismatches);
+    }
+
+    /// The canonical tables and the derived dense matrix describe the
+    /// same routing: every pair's table walk equals its traced path.
+    #[test]
+    fn tables_trace_to_the_same_paths(cfg in configs()) {
+        let sys = cfg.build();
+        let rs = sys.route_set();
+        let mut mismatches = Vec::new();
+        Paths::tables(sys.net(), sys.end_nodes(), sys.routes()).for_each_pair(|s, d, res| {
+            if res != Ok(rs.path(s, d)) {
+                mismatches.push((s, d));
+            }
+        });
+        prop_assert!(mismatches.is_empty(), "{:?}: {:?}", cfg, mismatches);
+    }
+
+    /// The table-walking engine is bit-identical to the legacy
+    /// path-snapshot engine on any seeded run.
+    #[test]
+    fn dense_and_table_engines_agree(cfg in configs(), seed in 0u64..1000) {
+        let sys = cfg.build();
+        let sim_cfg = SimConfig {
+            packet_flits: 6,
+            buffer_depth: 2,
+            max_cycles: 2_500,
+            stall_threshold: 1_200,
+            seed,
+            ..SimConfig::default()
+        };
+        let wl = Workload::Bernoulli {
+            injection_rate: 0.2,
+            pattern: DstPattern::Uniform,
+            until_cycle: 1_000,
+        };
+        let dense = Engine::new(sys.net(), sys.route_set(), sim_cfg.clone()).run(wl.clone());
+        let tabled = Engine::with_tables(sys.net(), sys.end_nodes(), sys.shared_routes(), sim_cfg)
+            .run(wl);
+        prop_assert_eq!(dense.generated, tabled.generated, "{:?} seed {}", cfg, seed);
+        prop_assert_eq!(dense.delivered, tabled.delivered, "{:?} seed {}", cfg, seed);
+        prop_assert_eq!(dense.cycles, tabled.cycles);
+        prop_assert_eq!(dense.avg_latency, tabled.avg_latency);
+        prop_assert_eq!(dense.max_latency, tabled.max_latency);
+        prop_assert_eq!(dense.channel_busy, tabled.channel_busy);
+        prop_assert_eq!(dense.deadlock.is_some(), tabled.deadlock.is_some());
+    }
+
+    /// Incremental dirty-column repair produces byte-identical tables
+    /// to a from-scratch rebuild, including across successive fault
+    /// batches.
+    #[test]
+    fn incremental_repair_matches_full(
+        fat in any::<bool>(),
+        size in 1usize..=2,
+        link_picks in prop::collection::vec(0usize..100_000, 1usize..5),
+        split in 0usize..5,
+    ) {
+        let sys = if fat {
+            System::fat_fractahedron(size)
+        } else {
+            System::hypercube(size as u32 + 2, 6)
+        };
+        let net = sys.net();
+        let links: Vec<LinkId> = net.links().collect();
+        let dead: Vec<LinkId> = link_picks.iter().map(|&p| links[p % links.len()]).collect();
+        let cut = split.min(dead.len());
+
+        let mut inc = IncrementalRepair::new(net, sys.end_nodes());
+        // Warm the incremental state on the first batch, then grow the
+        // fault set — the second repair exercises the dirty-column path.
+        let first = DeadMask::from_dead(net, &dead[..cut], &[]);
+        let _ = inc.repair(&first);
+        let full_mask = DeadMask::from_dead(net, &dead, &[]);
+        let inc_rep = inc.repair(&full_mask);
+        let full = repair_tables(net, sys.end_nodes(), &full_mask);
+        prop_assert_eq!(inc_rep.connected_pairs, full.connected_pairs);
+        prop_assert!(inc_rep.tables == full.tables, "incremental diverged from full rebuild");
     }
 }
