@@ -14,11 +14,16 @@
 //!
 //! The guard also cross-checks that recording does not perturb the
 //! simulation: delivered counts and latencies must match exactly.
+//! That parity check extends to gray failures — a run with flaky and
+//! corrupting links (ACK retransmission and dedup on) must produce the
+//! same delivered counts, retries, NACKs, and suppressed duplicates
+//! whether or not the gray events (`corrupted`, `nacked`,
+//! `dup_suppressed`) are being recorded.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fractanet::prelude::*;
 use fractanet::System;
-use fractanet_sim::Telemetry;
+use fractanet_sim::{FaultEvent, RetryPolicy, Telemetry};
 use fractanet_telemetry::Recorder;
 use std::time::Instant;
 
@@ -77,6 +82,129 @@ fn guard_noop_emit(c: &mut Criterion) {
             }
         })
     });
+
+    // The gray-failure sites (corrupted / nacked / dup_suppressed) sit
+    // on the engine's hot delivery path and must obey the same bound.
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        if let Some(t) = black_box(&mut tel).as_mut() {
+            match i % 3 {
+                0 => t.corrupted(i, i as u32, ChannelId((i % 8) as u32)),
+                1 => t.nacked(i, i as u32, 0, 1),
+                _ => t.dup_suppressed(i, i as u32, (i / 2) as u32),
+            }
+        }
+    }
+    let per_call = t0.elapsed().as_nanos() / CALLS as u128;
+    assert!(
+        per_call < 25,
+        "disabled gray emit path costs {per_call} ns/call (bound: 25 ns)"
+    );
+    c.bench_function("telemetry_noop_gray_emit_1e6", |b| {
+        b.iter(|| {
+            for i in 0..CALLS {
+                if let Some(t) = black_box(&mut tel).as_mut() {
+                    match i % 3 {
+                        0 => t.corrupted(i, i as u32, ChannelId((i % 8) as u32)),
+                        1 => t.nacked(i, i as u32, 0, 1),
+                        _ => t.dup_suppressed(i, i as u32, (i / 2) as u32),
+                    }
+                }
+            }
+        })
+    });
+}
+
+/// A simulation whose run crosses every gray-failure instrumentation
+/// site: a flaky link forces drops, NACKs, and retransmissions; a
+/// corrupting link forces CRC rejections; retransmission races mint
+/// duplicates for the dedup filter to suppress.
+fn gray_sim_once(sys: &System, telemetry: Telemetry) -> fractanet_sim::SimResult {
+    let victim = sys
+        .net()
+        .links()
+        .find(|&l| {
+            let info = sys.net().link(l);
+            sys.net().is_router(info.a.0) && sys.net().is_router(info.b.0)
+        })
+        .expect("fabric has an inter-router link");
+    let cfg = SimConfig {
+        packet_flits: 16,
+        buffer_depth: 4,
+        max_cycles: 4_000,
+        stall_threshold: 3_900,
+        ..SimConfig::default()
+    }
+    .with_faults(vec![
+        FaultEvent::flaky_link(victim, 120, 200).transient(3_200),
+        FaultEvent::corrupt_link(victim, 80, 400).transient(3_200),
+    ])
+    // An ACK timeout shorter than the uncontended delivery latency makes
+    // speculative retransmission race real deliveries, so the dedup
+    // filter has duplicates to suppress.
+    .with_retry(RetryPolicy {
+        ack_timeout: 4,
+        max_retries: 6,
+        backoff_base: 16,
+        jitter_seed: 11,
+    })
+    .with_ack_retransmit(true)
+    .with_dedup(true)
+    .with_telemetry(telemetry);
+    let wl = Workload::Bernoulli {
+        injection_rate: 0.2,
+        pattern: DstPattern::Uniform,
+        until_cycle: 3_000,
+    };
+    sys.simulate(wl, cfg)
+}
+
+/// Guard 3: recording the gray events does not perturb a run that
+/// actually emits them — drops, NACKs, retransmits, and duplicate
+/// suppression are bit-identical with telemetry on and off.
+fn guard_gray_parity(_c: &mut Criterion) {
+    let sys = System::fat_fractahedron(1);
+    let off = gray_sim_once(&sys, Telemetry::off());
+    let on = gray_sim_once(&sys, Telemetry::recording());
+    assert!(off.telemetry.is_none());
+    assert!(on.telemetry.is_some());
+    assert!(
+        off.recovery.nacks > 0 && off.recovery.duplicates_suppressed > 0,
+        "gray run must exercise the NACK and dedup paths \
+         (nacks {}, dups {})",
+        off.recovery.nacks,
+        off.recovery.duplicates_suppressed
+    );
+    assert_eq!(off.delivered, on.delivered, "recording perturbed the sim");
+    assert_eq!(
+        off.avg_latency, on.avg_latency,
+        "recording perturbed the sim"
+    );
+    for (label, a, b) in [
+        ("retries", off.recovery.retries, on.recovery.retries),
+        (
+            "flaky_drops",
+            off.recovery.flaky_drops,
+            on.recovery.flaky_drops,
+        ),
+        (
+            "corrupted_worms",
+            off.recovery.corrupted_worms,
+            on.recovery.corrupted_worms,
+        ),
+        ("nacks", off.recovery.nacks, on.recovery.nacks),
+        (
+            "duplicates_suppressed",
+            off.recovery.duplicates_suppressed,
+            on.recovery.duplicates_suppressed,
+        ),
+    ] {
+        assert_eq!(a, b, "recording perturbed gray counter {label}");
+    }
+    println!(
+        "bench gray parity: nacks {} dups {} identical on/off",
+        off.recovery.nacks, off.recovery.duplicates_suppressed
+    );
 }
 
 /// Guard 2: recording stays within 5× of the disabled run and does
@@ -122,6 +250,6 @@ fn guard_on_off_ratio(c: &mut Criterion) {
 criterion_group! {
     name = telemetry;
     config = Criterion::default().sample_size(10);
-    targets = guard_noop_emit, guard_on_off_ratio
+    targets = guard_noop_emit, guard_on_off_ratio, guard_gray_parity
 }
 criterion_main!(telemetry);

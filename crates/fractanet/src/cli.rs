@@ -11,11 +11,14 @@
 //! fractanet plan --cpus 1024 --bisection 16
 //! ```
 
+use crate::chaos::{self, ChaosOptions};
 use crate::sizing::{plan, Requirement};
 use crate::spec::TopoSpec;
 use crate::System;
 use fractanet_graph::{viz, LinkId, NodeId};
-use fractanet_sim::{DstPattern, FaultEvent, RetryPolicy, SimConfig, Telemetry, Workload};
+use fractanet_sim::{
+    DstPattern, FaultEvent, RetryPolicy, Scenario, SimConfig, Telemetry, Workload,
+};
 use fractanet_telemetry::{to_chrome_trace, to_jsonl, to_text_summary};
 use std::fmt;
 
@@ -73,6 +76,26 @@ pub enum Command {
         /// Emit machine-readable JSON instead of prose.
         json: bool,
     },
+    /// Run a deterministic chaos campaign (or replay a scenario file).
+    Chaos {
+        /// Topology under test (absent in `--replay` mode, where the
+        /// scenario file names it).
+        spec: Option<TopoSpec>,
+        /// Sampled fault schedules to run (`--runs`).
+        runs: usize,
+        /// Campaign base seed (`--seed`).
+        seed: u64,
+        /// Short CI-smoke cases (`--quick`).
+        quick: bool,
+        /// Turn destination duplicate suppression *off*
+        /// (`--disable-dedup`) to mint regression scenarios.
+        dedup: bool,
+        /// Write the first shrunk counterexample here (`--out`).
+        out: Option<String>,
+        /// Replay a scenario JSON file instead of sampling
+        /// (`--replay`).
+        replay: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -114,6 +137,15 @@ pub struct FaultOpts {
     /// Regenerate + certify routing tables around permanent faults
     /// (`--heal`).
     pub heal: bool,
+    /// Gray failures: links that silently drop worms, as
+    /// `(link, drop ‰)` (`--flaky-link <id>:<pm>`, repeatable).
+    pub flaky_links: Vec<(u32, u16)>,
+    /// Gray failures: links that corrupt traversing worms, as
+    /// `(link, corrupt ‰)` (`--corrupt-link <id>:<pm>`, repeatable).
+    pub corrupt_links: Vec<(u32, u16)>,
+    /// Oscillating outages, as `(link, down cycles, up cycles)`
+    /// (`--brownout <id>:<down>:<up>`, repeatable).
+    pub brownouts: Vec<(u32, u64, u64)>,
 }
 
 impl Default for FaultOpts {
@@ -129,6 +161,9 @@ impl Default for FaultOpts {
             backoff_base: retry.backoff_base,
             jitter_seed: retry.jitter_seed,
             heal: false,
+            flaky_links: Vec::new(),
+            corrupt_links: Vec::new(),
+            brownouts: Vec::new(),
         }
     }
 }
@@ -149,14 +184,45 @@ impl FaultOpts {
         let net = sys.net();
         let routers: Vec<NodeId> = net.nodes().filter(|&v| net.is_router(v)).collect();
         let mut out = Vec::new();
-        for &l in &self.kill_links {
+        let check_link = |flag: &str, l: u32| {
             if l as usize >= net.link_count() {
                 return Err(CliError(format!(
-                    "--kill-link {l} out of range (network has {} links)",
+                    "{flag} {l} out of range (network has {} links)",
                     net.link_count()
                 )));
             }
-            out.push(FaultEvent::kill_link(LinkId(l), self.fault_at));
+            Ok(LinkId(l))
+        };
+        for &l in &self.kill_links {
+            out.push(FaultEvent::kill_link(
+                check_link("--kill-link", l)?,
+                self.fault_at,
+            ));
+        }
+        for &(l, pm) in &self.flaky_links {
+            out.push(FaultEvent::flaky_link(
+                check_link("--flaky-link", l)?,
+                pm,
+                self.fault_at,
+            ));
+        }
+        for &(l, pm) in &self.corrupt_links {
+            out.push(FaultEvent::corrupt_link(
+                check_link("--corrupt-link", l)?,
+                pm,
+                self.fault_at,
+            ));
+        }
+        for &(l, down, up) in &self.brownouts {
+            if down == 0 || up == 0 {
+                return Err(CliError("--brownout phases must be nonzero".into()));
+            }
+            out.push(FaultEvent::brownout(
+                check_link("--brownout", l)?,
+                down,
+                up,
+                self.fault_at,
+            ));
         }
         for &r in &self.kill_routers {
             let Some(&node) = routers.get(r as usize) else {
@@ -201,11 +267,16 @@ USAGE:
                                         Graphviz on stdout
   fractanet simulate <topology> [--load <f>] [--cycles <n>]
                      [--kill-link <id>]... [--kill-router <id>]...
+                     [--flaky-link <id>:<pm>]... [--corrupt-link <id>:<pm>]...
+                     [--brownout <id>:<down>:<up>]...
                      [--fault-at <cycle>] [--repair-at <cycle>] [--heal]
                      [--ack-timeout <cy>] [--max-retries <n>]
                      [--backoff-base <cy>] [--jitter-seed <s>] [--telemetry]
                                         uniform-traffic wormhole simulation with
-                                        optional live fault injection, source
+                                        optional live fault injection — outright
+                                        kills plus gray failures (silent drops,
+                                        CRC corruption, oscillating brownouts at
+                                        the given per-mille rates) — source
                                         retry and certified self-healing;
                                         --telemetry appends the per-channel
                                         utilization/contention summary
@@ -218,6 +289,20 @@ USAGE:
                                         plain-text summary
   fractanet plan --cpus <n> [--bisection <links>]
                                         fractahedral capacity planning
+  fractanet chaos <topology> [--runs <n>] [--seed <s>] [--quick]
+                  [--disable-dedup] [--out <path>]
+                                        deterministic chaos campaign: sampled
+                                        fault schedules (kills, flaky/corrupting
+                                        links, brownouts) against a self-healing
+                                        dual fabric, checking exactly-once
+                                        delivery, deadlock freedom, heal
+                                        certification and span accounting;
+                                        violations delta-shrink to a minimal
+                                        replayable JSON scenario. Exits 1 on any
+                                        violation
+  fractanet chaos --replay <file> [--quick] [--disable-dedup]
+                                        re-run a recorded scenario bit-
+                                        identically and re-check every invariant
   fractanet lint <topology>... [--json] static route verification: coverage,
                                         path well-formedness, dependency-cycle
                                         enumeration, discipline conformance,
@@ -242,6 +327,22 @@ TOPOLOGIES:
 fn parse_spec(s: &str) -> Result<TopoSpec, CliError> {
     s.parse()
         .map_err(|e: crate::spec::SpecError| CliError(format!("{e}\n\n{USAGE}")))
+}
+
+/// Splits a flag value like `3:50` (or `3:16:24`) into `n` integer
+/// fields, erroring with the flag name and expected shape.
+fn split_fields(
+    flag: &str,
+    shape: &str,
+    v: Option<&String>,
+    n: usize,
+) -> Result<Vec<u64>, CliError> {
+    let v = v.ok_or_else(|| CliError(format!("{flag} needs {shape}")))?;
+    let parts: Vec<u64> = v.split(':').filter_map(|p| p.parse().ok()).collect();
+    if parts.len() != n || v.split(':').count() != n {
+        return Err(CliError(format!("{flag} needs {shape}, got '{v}'")));
+    }
+    Ok(parts)
 }
 
 /// Parses argv (without the program name).
@@ -300,6 +401,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--backoff-base" => faults.backoff_base = val!("--backoff-base"),
                     "--jitter-seed" => faults.jitter_seed = val!("--jitter-seed"),
                     "--heal" => faults.heal = true,
+                    flag @ ("--flaky-link" | "--corrupt-link") => {
+                        let f = split_fields(flag, "<link>:<per-mille>", it.next(), 2)?;
+                        if f[1] > 1000 {
+                            return Err(CliError(format!("{flag}: per-mille must be <= 1000")));
+                        }
+                        let pair = (f[0] as u32, f[1] as u16);
+                        if flag == "--flaky-link" {
+                            faults.flaky_links.push(pair);
+                        } else {
+                            faults.corrupt_links.push(pair);
+                        }
+                    }
+                    "--brownout" => {
+                        let f = split_fields("--brownout", "<link>:<down>:<up>", it.next(), 3)?;
+                        faults.brownouts.push((f[0] as u32, f[1], f[2]));
+                    }
                     "--telemetry" if !tracing => telemetry = true,
                     "--format" if tracing => {
                         let v = it.next().ok_or_else(|| {
@@ -354,6 +471,69 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     telemetry,
                 })
             }
+        }
+        Some("chaos") => {
+            let mut spec = None;
+            let mut runs = 64usize;
+            let mut seed = 42u64;
+            let mut quick = false;
+            let mut dedup = true;
+            let mut out = None;
+            let mut replay = None;
+            let mut it = it.peekable();
+            while let Some(a) = it.next() {
+                macro_rules! val {
+                    ($flag:literal) => {
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| CliError(concat!($flag, " needs a number").into()))?
+                    };
+                }
+                match a.as_str() {
+                    "--spec" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--spec needs a topology".into()))?;
+                        spec = Some(parse_spec(v)?);
+                    }
+                    "--runs" => runs = val!("--runs"),
+                    "--seed" => seed = val!("--seed"),
+                    "--quick" => quick = true,
+                    "--disable-dedup" => dedup = false,
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--out needs a path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--replay needs a path".into()))?
+                                .clone(),
+                        );
+                    }
+                    other if spec.is_none() && !other.starts_with('-') => {
+                        spec = Some(parse_spec(other)?)
+                    }
+                    other => return Err(CliError(format!("unexpected argument '{other}'"))),
+                }
+            }
+            if spec.is_none() && replay.is_none() {
+                return Err(CliError(format!(
+                    "chaos needs a topology or --replay <file>\n\n{USAGE}"
+                )));
+            }
+            Ok(Command::Chaos {
+                spec,
+                runs,
+                seed,
+                quick,
+                dedup,
+                out,
+                replay,
+            })
         }
         Some("lint") => {
             let mut specs = Vec::new();
@@ -417,8 +597,85 @@ pub struct RunOutcome {
 pub fn execute(cmd: Command) -> Result<RunOutcome, CliError> {
     match cmd {
         Command::Lint { specs, json } => run_lint(&specs, json),
+        Command::Chaos { .. } => run_chaos(cmd),
         other => run(other).map(|output| RunOutcome { output, code: 0 }),
     }
+}
+
+/// Runs a chaos campaign or scenario replay. The exit code is 1 when
+/// any invariant violation was observed — so CI can both gate on
+/// "campaign clean" and on "checked-in regression scenario no longer
+/// reproduces".
+fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
+    let Command::Chaos {
+        spec,
+        runs,
+        seed,
+        quick,
+        dedup,
+        out: out_path,
+        replay,
+    } = cmd
+    else {
+        unreachable!("run_chaos is only called on Command::Chaos");
+    };
+    let mut out = String::new();
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+        let sc = Scenario::from_json(&text)
+            .map_err(|e| CliError(format!("{path} is not a scenario: {e}")))?;
+        let violations =
+            chaos::replay(&sc, quick, dedup).map_err(|e| CliError(format!("{path}: {e}")))?;
+        out.push_str(&format!(
+            "replaying {} on {} (engine seed {}, {} fault(s), recorded invariant {})\n",
+            path,
+            sc.spec,
+            sc.seed,
+            sc.faults.len(),
+            sc.invariant
+        ));
+        for v in &violations {
+            out.push_str(&format!(
+                "violation: {} — {}\n",
+                v.invariant.tag(),
+                v.detail
+            ));
+        }
+        if violations.is_empty() {
+            out.push_str("replay clean: every invariant held\n");
+        }
+        return Ok(RunOutcome {
+            output: out,
+            code: u8::from(!violations.is_empty()),
+        });
+    }
+    let spec = spec.expect("parser requires a spec without --replay");
+    let opts = ChaosOptions {
+        runs,
+        seed,
+        quick,
+        dedup,
+    };
+    let report = chaos::run_campaign(&spec, &opts);
+    for line in &report.lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    if let (Some(path), Some(sc)) = (&out_path, report.scenarios.first()) {
+        std::fs::write(path, sc.to_json().as_bytes())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!(
+            "wrote minimal scenario ({} fault(s), invariant {}) to {path}\n",
+            sc.faults.len(),
+            sc.invariant
+        ));
+    }
+    out.push_str(&format!("{}\n", report.summary()));
+    Ok(RunOutcome {
+        output: out,
+        code: u8::from(!report.is_clean()),
+    })
 }
 
 /// Lints each spec's canonical routing tables. The exit code is 1 when
@@ -466,6 +723,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => out.push_str(USAGE),
         Command::Lint { specs, json } => return run_lint(&specs, json).map(|o| o.output),
+        cmd @ Command::Chaos { .. } => return run_chaos(cmd).map(|o| o.output),
         Command::Analyze(specs) => {
             for spec in specs {
                 let sys = spec.build();
@@ -743,6 +1001,152 @@ mod tests {
         assert_eq!(faults.backoff_base, 8);
         assert_eq!(faults.jitter_seed, 7);
         assert!(parse(&argv("simulate ring:4 --kill-link nope")).is_err());
+    }
+
+    #[test]
+    fn parse_simulate_gray_fault_flags() {
+        let cmd = parse(&argv(
+            "simulate mesh:3x3 --flaky-link 3:50 --corrupt-link 7:120 --brownout 2:16:24 \
+             --fault-at 100 --repair-at 900",
+        ))
+        .unwrap();
+        let Command::Simulate { faults, .. } = cmd else {
+            panic!("not simulate: {cmd:?}")
+        };
+        assert_eq!(faults.flaky_links, vec![(3, 50)]);
+        assert_eq!(faults.corrupt_links, vec![(7, 120)]);
+        assert_eq!(faults.brownouts, vec![(2, 16, 24)]);
+        assert!(parse(&argv("simulate mesh:3x3 --flaky-link 3")).is_err());
+        assert!(parse(&argv("simulate mesh:3x3 --flaky-link 3:2000")).is_err());
+        assert!(parse(&argv("simulate mesh:3x3 --brownout 2:16")).is_err());
+        assert!(parse(&argv("simulate mesh:3x3 --corrupt-link a:b")).is_err());
+    }
+
+    #[test]
+    fn parse_chaos() {
+        let cmd = parse(&argv(
+            "chaos fat-fractahedron:2 --runs 256 --seed 42 --quick --disable-dedup \
+             --out /tmp/sc.json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Chaos {
+                spec: Some("fat-fractahedron:2".parse::<TopoSpec>().unwrap()),
+                runs: 256,
+                seed: 42,
+                quick: true,
+                dedup: false,
+                out: Some("/tmp/sc.json".into()),
+                replay: None,
+            }
+        );
+        let cmd = parse(&argv("chaos --replay /tmp/sc.json")).unwrap();
+        let Command::Chaos { spec, replay, .. } = cmd else {
+            panic!("not chaos: {cmd:?}")
+        };
+        assert_eq!(spec, None);
+        assert_eq!(replay, Some("/tmp/sc.json".into()));
+        assert!(parse(&argv("chaos")).is_err());
+        assert!(parse(&argv("chaos mesh:3x3 --runs nope")).is_err());
+        assert!(parse(&argv("chaos mesh:3x3 --frobnicate")).is_err());
+        // The spec can also arrive via --spec.
+        let flagged = parse(&argv("chaos --spec mesh:6x6 --runs 32")).unwrap();
+        let Command::Chaos { spec, runs, .. } = flagged else {
+            panic!("not chaos")
+        };
+        assert_eq!(spec, Some("mesh:6x6".parse::<TopoSpec>().unwrap()));
+        assert_eq!(runs, 32);
+    }
+
+    #[test]
+    fn run_simulate_with_gray_faults_reports_recovery() {
+        let faults = FaultOpts {
+            flaky_links: vec![(0, 1000)],
+            fault_at: 500,
+            repair_at: Some(1_500),
+            ..FaultOpts::default()
+        };
+        let out = run(Command::Simulate {
+            spec: "fat-fractahedron:1".parse::<TopoSpec>().unwrap(),
+            load: 0.1,
+            cycles: 5_000,
+            faults,
+            telemetry: false,
+        })
+        .unwrap();
+        assert!(out.contains("faults: 1 applied"), "{out}");
+        assert!(out.contains("post-fault delivery"), "{out}");
+        // A 1000‰ flaky injection link drops worms; retries redeliver.
+        assert!(!out.contains("DEADLOCK"), "{out}");
+    }
+
+    #[test]
+    fn chaos_smoke_campaign_exits_zero() {
+        let outcome = execute(Command::Chaos {
+            spec: Some("fat-fractahedron:1".parse::<TopoSpec>().unwrap()),
+            runs: 4,
+            seed: 42,
+            quick: true,
+            dedup: true,
+            out: None,
+            replay: None,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 0, "{}", outcome.output);
+        assert!(
+            outcome.output.contains("0 violation(s)"),
+            "{}",
+            outcome.output
+        );
+    }
+
+    #[test]
+    fn chaos_disable_dedup_mints_and_replays_a_scenario() {
+        let path = std::env::temp_dir().join("fractanet-chaos-regression.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let minted = execute(Command::Chaos {
+            spec: Some("fat-fractahedron:1".parse::<TopoSpec>().unwrap()),
+            runs: 4,
+            seed: 42,
+            quick: true,
+            dedup: false,
+            out: Some(path_s.clone()),
+            replay: None,
+        })
+        .unwrap();
+        assert_eq!(minted.code, 1, "{}", minted.output);
+        assert!(minted.output.contains("exactly_once"), "{}", minted.output);
+        // Replayed with suppression back on, the scenario must be clean.
+        let replayed = execute(Command::Chaos {
+            spec: None,
+            runs: 4,
+            seed: 42,
+            quick: true,
+            dedup: true,
+            out: None,
+            replay: Some(path_s.clone()),
+        })
+        .unwrap();
+        assert_eq!(replayed.code, 0, "{}", replayed.output);
+        assert!(
+            replayed.output.contains("replay clean"),
+            "{}",
+            replayed.output
+        );
+        // And with suppression off it must reproduce.
+        let reproduced = execute(Command::Chaos {
+            spec: None,
+            runs: 4,
+            seed: 42,
+            quick: true,
+            dedup: false,
+            out: None,
+            replay: Some(path_s),
+        })
+        .unwrap();
+        assert_eq!(reproduced.code, 1, "{}", reproduced.output);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

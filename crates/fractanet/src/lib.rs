@@ -52,11 +52,13 @@ pub use fractanet_servernet as servernet;
 pub use fractanet_sim as sim;
 pub use fractanet_topo as topo;
 
+pub mod chaos;
 pub mod cli;
 pub mod sizing;
 pub mod spec;
 mod system;
 
+pub use chaos::{replay, run_campaign, ChaosOptions, ChaosReport};
 pub use spec::{SpecError, TopoSpec};
 pub use system::{AnalysisReport, System};
 

@@ -540,6 +540,13 @@ pub fn trace_surviving(
 /// entry of the same column, so the patched tables are identical to a
 /// from-scratch [`repair_tables`] run — `incremental_matches_full` in
 /// the tests and the workspace proptests hold it to that.
+///
+/// The dirty-column witness only works for masks that **grow**: a
+/// *revived* component (a brownout's up edge) can offer shorter paths
+/// to columns whose entries are all still alive, so nothing marks them
+/// dirty. Revival is therefore detected against the previous mask and
+/// triggers a full rebuild — tables after the brownout clears are
+/// bit-identical to a never-faulted run, not left on their detours.
 pub struct IncrementalRepair<'a> {
     net: &'a Network,
     ends: &'a [NodeId],
@@ -548,11 +555,27 @@ pub struct IncrementalRepair<'a> {
 }
 
 struct IncState {
+    mask: DeadMask,
     comp: Vec<u32>,
     level: Vec<u32>,
     by_rank: Vec<NodeId>,
     tables: Routes,
     col_connected: Vec<usize>,
+}
+
+/// Whether anything dead in `prev` is alive again in `now`.
+fn mask_revives(prev: &DeadMask, now: &DeadMask) -> bool {
+    let link = prev
+        .link_dead
+        .iter()
+        .zip(&now.link_dead)
+        .any(|(&was, &is)| was && !is);
+    let node = prev
+        .node_dead
+        .iter()
+        .zip(&now.node_dead)
+        .any(|(&was, &is)| was && !is);
+    link || node
 }
 
 impl<'a> IncrementalRepair<'a> {
@@ -580,12 +603,12 @@ impl<'a> IncrementalRepair<'a> {
         let ends = self.ends;
         let n = ends.len();
         let order = SurvivorOrder::new(net, mask);
-        let reusable = self
-            .state
-            .as_ref()
-            .is_some_and(|st| st.comp == order.comp && st.level == order.level);
+        let reusable = self.state.as_ref().is_some_and(|st| {
+            st.comp == order.comp && st.level == order.level && !mask_revives(&st.mask, mask)
+        });
         if reusable {
             let st = self.state.as_mut().expect("checked above");
+            st.mask = mask.clone();
             let mut scratch = ColumnScratch::new(net);
             let mut rebuilt = 0;
             for d in 0..n {
@@ -610,6 +633,7 @@ impl<'a> IncrementalRepair<'a> {
                 updown_tables_for(net, ends, mask, &order.comp, &order.level);
             let by_rank = ranked_routers(net, &order.level);
             self.state = Some(IncState {
+                mask: mask.clone(),
                 comp: order.comp,
                 level: order.level,
                 by_rank,
@@ -952,5 +976,32 @@ mod tests {
             "rebuilt {} of {n} columns",
             inc.last_rebuilt_columns()
         );
+    }
+
+    #[test]
+    fn incremental_repair_rebuilds_after_revival() {
+        // A brownout shrinks the mask back: the detoured columns
+        // reference only live channels, so the dirty witness alone
+        // would leave them on the detour. Revival must force a full
+        // rebuild that matches a from-scratch run on the shrunk mask.
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let victim = h
+            .net()
+            .links()
+            .find(|&l| {
+                let info = h.net().link(l);
+                h.net().is_router(info.a.0) && h.net().is_router(info.b.0)
+            })
+            .unwrap();
+        let empty = DeadMask::new(h.net());
+        let pristine = repair_tables(h.net(), h.end_nodes(), &empty).tables;
+        let mut inc = IncrementalRepair::new(h.net(), h.end_nodes());
+        let mut down = DeadMask::new(h.net());
+        down.kill_link(victim);
+        let detour = inc.repair(&down);
+        assert_ne!(detour.tables, pristine, "down phase must detour");
+        let healed = inc.repair(&empty);
+        assert_eq!(inc.last_rebuilt_columns(), h.end_nodes().len());
+        assert_eq!(healed.tables, pristine, "revival must restore pristine");
     }
 }

@@ -348,4 +348,69 @@ mod tests {
         assert_eq!(tabled.avg_latency, dense.avg_latency);
         assert_eq!(tabled.max_latency, dense.max_latency);
     }
+
+    // ------------------------------------------------------------------
+    // Healing under brownouts (property-based).
+    //
+    // A brownout alternates a link dead/alive. Two properties keep
+    // healing honest under that regime: tables repaired *during* a down
+    // phase must never route over the browned-out link, and once the
+    // link is back (an empty mask), incremental repair must converge to
+    // exactly the pristine tables — no residue from the detour epoch.
+
+    fn router_links(net: &Network) -> Vec<LinkId> {
+        net.links()
+            .filter(|&l| {
+                let info = net.link(l);
+                net.is_router(info.a.0) && net.is_router(info.b.0)
+            })
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn heal_during_down_phase_avoids_the_browned_out_link(pick in 0usize..64) {
+            let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+            let links = router_links(f.net());
+            let victim = links[pick % links.len()];
+            let mut mask = DeadMask::new(f.net());
+            mask.kill_link(victim);
+            let rep = heal_mask(f.net(), f.end_nodes(), &mask).unwrap();
+            let n = f.end_nodes().len();
+            for s in 0..n {
+                for d in 0..n {
+                    if s == d {
+                        continue;
+                    }
+                    let path = rep.routes.path(s, d);
+                    proptest::prop_assert!(
+                        path.iter().all(|c| c.link() != victim),
+                        "pair ({s},{d}) routed over down link {victim:?}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn repair_after_brownout_ends_is_bit_identical_to_pristine(pick in 0usize..64) {
+            let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+            let links = router_links(f.net());
+            let victim = links[pick % links.len()];
+            let empty = DeadMask::new(f.net());
+            let pristine = IncrementalRepair::new(f.net(), f.end_nodes())
+                .repair(&empty)
+                .tables;
+            // Down phase: repair around the victim; up phase: repair
+            // again with nothing dead.
+            let mut inc = IncrementalRepair::new(f.net(), f.end_nodes());
+            let mut down = DeadMask::new(f.net());
+            down.kill_link(victim);
+            let detour = inc.repair(&down).tables;
+            proptest::prop_assert_ne!(&detour, &pristine);
+            let healed = inc.repair(&empty).tables;
+            proptest::prop_assert_eq!(&healed, &pristine);
+        }
+    }
 }

@@ -37,12 +37,13 @@ pub mod transactions;
 pub use fabric::{DualFabric, FabricId};
 pub use faults::FaultSet;
 pub use healing::{
-    certify_routes, certify_tables, heal, healing_repairer, table_healing_repairer, HealError,
-    HealReport,
+    certify_routes, certify_tables, heal, heal_mask, healing_repairer, table_healing_repairer,
+    HealError, HealReport,
 };
 pub use link::LinkSpec;
-pub use packet::{Packet, PacketError, TransactionKind};
+pub use packet::{segment_transfer, Packet, PacketError, TransactionKind};
 pub use router::{ForwardError, RouterAsic};
 pub use transactions::{
-    execute, run_with_failover, FabricSim, FailoverOutcome, Transaction, TxError, TxOutcome,
+    execute, run_with_failover, DedupFilter, FabricSim, FailoverOutcome, Transaction, TxError,
+    TxOutcome,
 };

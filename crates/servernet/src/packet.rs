@@ -3,11 +3,15 @@
 //! A lightweight header + ≤ 64-byte payload + checksum. The protocol
 //! is deliberately minimal: "the lightweight protocol implemented over
 //! these networks cannot tolerate out of order delivery of packets"
-//! (§2) — there is no sequence number to reorder by, which is *why*
-//! the paper insists on a fixed path per node pair. Interrupt packets
-//! must not pass data packets ("The interrupt packet cannot be allowed
-//! to pass the data on the way to the CPU", §3.3), so the kind is part
-//! of the wire format.
+//! (§2) — there is no sequence number to *reorder* by, which is *why*
+//! the paper insists on a fixed path per node pair. The header does
+//! carry a per-source-destination-pair sequence number, but it exists
+//! only for end-to-end *duplicate suppression*: a sender whose ACK
+//! timeout races the delivery retransmits, and the destination must
+//! recognize the copy (same pair, same sequence) and drop it, making
+//! delivery exactly-once. Interrupt packets must not pass data packets
+//! ("The interrupt packet cannot be allowed to pass the data on the
+//! way to the CPU", §3.3), so the kind is part of the wire format.
 
 /// Transaction kinds carried on the wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,8 +75,8 @@ pub enum PacketError {
 
 /// Maximum payload bytes per packet.
 pub const MAX_PAYLOAD: usize = 64;
-/// Header bytes: dst(2) src(2) kind(1) len(1).
-const HEADER: usize = 6;
+/// Header bytes: dst(2) src(2) kind(1) len(1) seq(4).
+const HEADER: usize = 10;
 
 /// One ServerNet packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -83,6 +87,10 @@ pub struct Packet {
     pub src: u16,
     /// Transaction kind.
     pub kind: TransactionKind,
+    /// Per-(src, dst)-pair sequence number — the destination's handle
+    /// for suppressing timeout-race duplicates ([`Packet::new`] starts
+    /// at 0; see [`crate::transactions::DedupFilter`]).
+    pub seq: u32,
     /// Payload (≤ [`MAX_PAYLOAD`]).
     pub payload: Vec<u8>,
 }
@@ -104,8 +112,15 @@ impl Packet {
             dst,
             src,
             kind,
+            seq: 0,
             payload,
         }
+    }
+
+    /// Builder-style sequence number (per source-destination pair).
+    pub fn with_seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
     }
 
     /// Serializes to wire bytes (header, payload, checksum).
@@ -115,6 +130,7 @@ impl Packet {
         out.extend_from_slice(&self.src.to_be_bytes());
         out.push(self.kind.to_wire());
         out.push(self.payload.len() as u8);
+        out.extend_from_slice(&self.seq.to_be_bytes());
         out.extend_from_slice(&self.payload);
         out.push(checksum(&out));
         out
@@ -138,6 +154,7 @@ impl Packet {
         let src = u16::from_be_bytes([body[2], body[3]]);
         let kind = TransactionKind::from_wire(body[4]).ok_or(PacketError::BadKind(body[4]))?;
         let len = body[5] as usize;
+        let seq = u32::from_be_bytes([body[6], body[7], body[8], body[9]]);
         if len > MAX_PAYLOAD || body.len() != HEADER + len {
             return Err(PacketError::BadLength(len));
         }
@@ -145,6 +162,7 @@ impl Packet {
             dst,
             src,
             kind,
+            seq,
             payload: body[HEADER..].to_vec(),
         })
     }
@@ -161,18 +179,24 @@ impl Packet {
 }
 
 /// Splits a bulk transfer into maximal packets plus the trailing
-/// interrupt, in the order the fabric must deliver them.
-pub fn segment_transfer(dst: u16, src: u16, data: &[u8]) -> Vec<Packet> {
+/// interrupt, in the order the fabric must deliver them. Packets are
+/// numbered sequentially from `first_seq` so the destination can
+/// suppress timeout-race duplicates per pair; the caller keeps the
+/// per-pair counter and passes the next unused value.
+pub fn segment_transfer(dst: u16, src: u16, first_seq: u32, data: &[u8]) -> Vec<Packet> {
     let mut out: Vec<Packet> = data
         .chunks(MAX_PAYLOAD)
-        .map(|c| Packet::new(dst, src, TransactionKind::Write, c.to_vec()))
+        .enumerate()
+        .map(|(i, c)| {
+            Packet::new(dst, src, TransactionKind::Write, c.to_vec())
+                .with_seq(first_seq.wrapping_add(i as u32))
+        })
         .collect();
-    out.push(Packet::new(
-        dst,
-        src,
-        TransactionKind::Interrupt,
-        Vec::new(),
-    ));
+    let n = out.len() as u32;
+    out.push(
+        Packet::new(dst, src, TransactionKind::Interrupt, Vec::new())
+            .with_seq(first_seq.wrapping_add(n)),
+    );
     out
 }
 
@@ -190,9 +214,19 @@ mod tests {
             TransactionKind::Nack,
             TransactionKind::Interrupt,
         ] {
-            let p = Packet::new(513, 7, kind, vec![1, 2, 3]);
+            let p = Packet::new(513, 7, kind, vec![1, 2, 3]).with_seq(0xDEAD_BEEF);
             assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
         }
+    }
+
+    #[test]
+    fn sequence_number_rides_the_wire() {
+        let p = Packet::new(1, 2, TransactionKind::Write, vec![7; 4]).with_seq(0x0102_0304);
+        let wire = p.encode();
+        assert_eq!(&wire[6..10], &[1, 2, 3, 4], "seq is big-endian at [6..10]");
+        assert_eq!(Packet::decode(&wire).unwrap().seq, 0x0102_0304);
+        // Sequence 0 is the default.
+        assert_eq!(Packet::new(1, 2, TransactionKind::Ack, vec![]).seq, 0);
     }
 
     #[test]
@@ -201,7 +235,7 @@ mod tests {
         assert_eq!(Packet::decode(&empty.encode()).unwrap(), empty);
         let max = Packet::new(1, 2, TransactionKind::Write, vec![0xAB; MAX_PAYLOAD]);
         assert_eq!(Packet::decode(&max.encode()).unwrap(), max);
-        assert_eq!(max.wire_len(), 6 + 64 + 1);
+        assert_eq!(max.wire_len(), 10 + 64 + 1);
     }
 
     #[test]
@@ -254,11 +288,14 @@ mod tests {
     #[test]
     fn segmentation_orders_interrupt_last() {
         // §3.3: the interrupt must follow the data.
-        let pkts = segment_transfer(9, 1, &[0u8; 150]);
+        let pkts = segment_transfer(9, 1, 100, &[0u8; 150]);
         assert_eq!(pkts.len(), 4); // 64 + 64 + 22 + interrupt
         assert_eq!(pkts[0].payload.len(), 64);
         assert_eq!(pkts[2].payload.len(), 22);
         assert_eq!(pkts[3].kind, TransactionKind::Interrupt);
         assert!(pkts[..3].iter().all(|p| p.kind == TransactionKind::Write));
+        // Sequential per-pair numbering from the caller's counter.
+        let seqs: Vec<u32> = pkts.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![100, 101, 102, 103]);
     }
 }

@@ -1,0 +1,618 @@
+//! Deterministic chaos primitives: seeded fault-schedule sampling,
+//! invariant naming, greedy delta-shrinking, and a replayable JSON
+//! scenario format.
+//!
+//! The pieces here are deliberately topology-agnostic — a
+//! [`ChaosSpace`] is just the set of components eligible for faults
+//! and a time horizon — so the same machinery drives the `fractanet
+//! chaos` campaign runner and any future harness. Everything is
+//! deterministic: the schedule is a pure function of `(space, seed)`,
+//! and a shrunk counterexample serializes to JSON that replays
+//! bit-identically (the vendored serde shim has no `Deserialize`, so
+//! parsing is hand-rolled below).
+
+use crate::fault::{FaultEvent, FaultKind};
+use fractanet_graph::json::{JsonArray, JsonObject};
+use fractanet_graph::{LinkId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The components a chaos campaign may break, and when.
+#[derive(Clone, Debug)]
+pub struct ChaosSpace {
+    /// Links eligible for kills, flakiness, corruption, brownouts.
+    pub links: Vec<LinkId>,
+    /// Routers eligible for (transient) kills.
+    pub routers: Vec<NodeId>,
+    /// Faults land in `[0, horizon)`; repairs may extend past it.
+    pub horizon: u64,
+}
+
+/// Samples one fault schedule: between 1 and `max_events` events,
+/// drawn from every fault class. Permanent faults are limited to two
+/// link kills (so healing has something to certify without routinely
+/// partitioning small fabrics); router kills are always transient.
+/// Pure in `(space, seed)`.
+pub fn sample_schedule(space: &ChaosSpace, seed: u64, max_events: usize) -> Vec<FaultEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=max_events.max(1));
+    let mut out = Vec::with_capacity(n);
+    let mut permanents = 0usize;
+    for _ in 0..n {
+        if space.links.is_empty() {
+            break;
+        }
+        let link = space.links[rng.gen_range(0..space.links.len())];
+        let at = rng.gen_range(0..space.horizon.max(1));
+        let class = rng.gen_range(0u32..100);
+        let ev = match class {
+            // Transient link kill.
+            0..=24 => FaultEvent::kill_link(link, at)
+                .transient(at + rng.gen_range(space.horizon / 8..=space.horizon / 2).max(1)),
+            // Permanent link kill (capped).
+            25..=39 if permanents < 2 => {
+                permanents += 1;
+                FaultEvent::kill_link(link, at)
+            }
+            25..=39 => FaultEvent::kill_link(link, at).transient(at + space.horizon / 4 + 1),
+            // Transient router kill.
+            40..=49 if !space.routers.is_empty() => {
+                let r = space.routers[rng.gen_range(0..space.routers.len())];
+                FaultEvent::kill_router(r, at).transient(at + space.horizon / 4 + 1)
+            }
+            40..=49 => FaultEvent::kill_link(link, at).transient(at + space.horizon / 4 + 1),
+            // Flaky link.
+            50..=69 => FaultEvent::flaky_link(link, rng.gen_range(10..=200), at)
+                .transient(at + rng.gen_range(space.horizon / 8..=space.horizon / 2).max(1)),
+            // Corrupting link.
+            70..=89 => FaultEvent::corrupt_link(link, rng.gen_range(10..=200), at)
+                .transient(at + rng.gen_range(space.horizon / 8..=space.horizon / 2).max(1)),
+            // Brownout.
+            _ => {
+                let down = rng.gen_range(8..=64);
+                let up = rng.gen_range(8..=64);
+                FaultEvent::brownout(link, down, up, at)
+                    .transient(at + rng.gen_range(space.horizon / 8..=space.horizon / 2).max(1))
+            }
+        };
+        out.push(ev);
+    }
+    out.sort_by_key(|e| e.at_cycle);
+    out
+}
+
+/// The end-to-end guarantees a chaos run checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// Every generated packet is delivered exactly once or explicitly
+    /// abandoned to the failover layer — never lost, never duplicated.
+    ExactlyOnce,
+    /// Neither fabric reaches a wormhole-deadlock verdict.
+    NoDeadlock,
+    /// After permanent faults, healed tables pass certification
+    /// against the final dead mask.
+    HealCertifies,
+    /// Telemetry recovery spans telescope exactly to
+    /// `time_to_recover`.
+    SpanAccounting,
+}
+
+impl Invariant {
+    /// Stable string tag (serialized into scenarios).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Invariant::ExactlyOnce => "exactly_once",
+            Invariant::NoDeadlock => "no_deadlock",
+            Invariant::HealCertifies => "heal_certifies",
+            Invariant::SpanAccounting => "span_accounting",
+        }
+    }
+
+    /// Inverse of [`tag`](Invariant::tag).
+    pub fn from_tag(tag: &str) -> Option<Invariant> {
+        Some(match tag {
+            "exactly_once" => Invariant::ExactlyOnce,
+            "no_deadlock" => Invariant::NoDeadlock,
+            "heal_certifies" => Invariant::HealCertifies,
+            "span_accounting" => Invariant::SpanAccounting,
+            _ => return None,
+        })
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which guarantee broke.
+    pub invariant: Invariant,
+    /// Human-readable evidence (counter values, verdict, …).
+    pub detail: String,
+}
+
+/// Greedy delta-shrinking: repeatedly tries dropping each event from
+/// the schedule, keeping any removal under which `violates` still
+/// reports the failure, until no single removal preserves it. The
+/// result is 1-minimal — every remaining event is necessary — and the
+/// closure is called O(n²) times in the worst case, which is fine for
+/// the ≤ handful-of-events schedules chaos campaigns sample.
+pub fn shrink<F>(schedule: &[FaultEvent], mut violates: F) -> Vec<FaultEvent>
+where
+    F: FnMut(&[FaultEvent]) -> bool,
+{
+    let mut cur: Vec<FaultEvent> = schedule.to_vec();
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < cur.len() {
+            if cur.len() == 1 {
+                break;
+            }
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if violates(&cand) {
+                cur = cand;
+                reduced = true;
+                // Restart from the front: earlier events may now be
+                // removable too.
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return cur;
+        }
+    }
+}
+
+/// A replayable chaos counterexample: the topology spec, the engine
+/// seed, the (shrunk) fault schedule, and which invariant it broke.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Topology spec string (`fat-fractahedron:2`, `mesh:6x6`, …).
+    pub spec: String,
+    /// Engine seed of the violating run.
+    pub seed: u64,
+    /// Seed the schedule was originally sampled from (provenance).
+    pub schedule_seed: u64,
+    /// Tag of the violated invariant ([`Invariant::tag`]).
+    pub invariant: String,
+    /// The minimal fault schedule reproducing the violation.
+    pub faults: Vec<FaultEvent>,
+}
+
+fn fault_obj(f: &FaultEvent) -> JsonObject {
+    let o = JsonObject::new().field_num("at", f.at_cycle);
+    let o = match f.kind {
+        FaultKind::Link(l) => o.field_str("kind", "link").field_num("link", l.index()),
+        FaultKind::Router(r) => o.field_str("kind", "router").field_num("router", r.index()),
+        FaultKind::FlakyLink {
+            link,
+            drop_per_mille,
+        } => o
+            .field_str("kind", "flaky")
+            .field_num("link", link.index())
+            .field_num("pm", drop_per_mille),
+        FaultKind::CorruptLink { link, per_mille } => o
+            .field_str("kind", "corrupt")
+            .field_num("link", link.index())
+            .field_num("pm", per_mille),
+        FaultKind::Brownout { link, down, up } => o
+            .field_str("kind", "brownout")
+            .field_num("link", link.index())
+            .field_num("down", down)
+            .field_num("up", up),
+    };
+    match f.repair_cycle {
+        Some(r) => o.field_num("repair", r),
+        None => o,
+    }
+}
+
+impl Scenario {
+    /// Serializes to compact JSON (one object, `faults` array inside).
+    pub fn to_json(&self) -> String {
+        let mut arr = JsonArray::new();
+        for f in &self.faults {
+            arr.push_raw(&fault_obj(f).build());
+        }
+        JsonObject::new()
+            .field_str("spec", &self.spec)
+            .field_num("seed", self.seed)
+            .field_num("schedule_seed", self.schedule_seed)
+            .field_str("invariant", &self.invariant)
+            .field_raw("faults", &arr.build())
+            .build()
+    }
+
+    /// Parses the format [`to_json`](Scenario::to_json) writes.
+    ///
+    /// A minimal recursive-descent JSON reader (the workspace's
+    /// vendored serde shim has no `Deserialize`): full JSON syntax for
+    /// the subset the scenario format uses — objects, arrays,
+    /// non-negative integers, plain strings.
+    pub fn from_json(text: &str) -> Result<Scenario, String> {
+        let v = json_parse(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let spec = get_str(obj, "spec")?;
+        let seed = get_num(obj, "seed")?;
+        let schedule_seed = get_num(obj, "schedule_seed")?;
+        let invariant = get_str(obj, "invariant")?;
+        Invariant::from_tag(&invariant)
+            .ok_or_else(|| format!("unknown invariant {invariant:?}"))?;
+        let faults_v = get(obj, "faults")?;
+        let arr = faults_v.as_arr().ok_or("faults must be an array")?;
+        let mut faults = Vec::with_capacity(arr.len());
+        for item in arr {
+            let fo = item.as_obj().ok_or("fault must be an object")?;
+            let at = get_num(fo, "at")?;
+            let kind = get_str(fo, "kind")?;
+            let kind = match kind.as_str() {
+                "link" => FaultKind::Link(LinkId(get_num(fo, "link")? as u32)),
+                "router" => FaultKind::Router(NodeId(get_num(fo, "router")? as u32)),
+                "flaky" => FaultKind::FlakyLink {
+                    link: LinkId(get_num(fo, "link")? as u32),
+                    drop_per_mille: get_num(fo, "pm")? as u16,
+                },
+                "corrupt" => FaultKind::CorruptLink {
+                    link: LinkId(get_num(fo, "link")? as u32),
+                    per_mille: get_num(fo, "pm")? as u16,
+                },
+                "brownout" => FaultKind::Brownout {
+                    link: LinkId(get_num(fo, "link")? as u32),
+                    down: get_num(fo, "down")?,
+                    up: get_num(fo, "up")?,
+                },
+                other => return Err(format!("unknown fault kind {other:?}")),
+            };
+            let repair_cycle = match get(fo, "repair") {
+                Ok(v) => Some(v.as_num().ok_or("repair must be a number")?),
+                Err(_) => None,
+            };
+            faults.push(FaultEvent {
+                at_cycle: at,
+                kind,
+                repair_cycle,
+            });
+        }
+        Ok(Scenario {
+            spec,
+            seed,
+            schedule_seed,
+            invariant,
+            faults,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader.
+
+#[derive(Clone, Debug)]
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn get_num(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    get(obj, key)?
+        .as_num()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+fn json_parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.ws();
+        self.b
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                c as char, self.i, self.b[self.i] as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected {:?} at offset {}", c as char, self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((k, v));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected ',' or '}}', found {:?}", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']', found {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    out.push(match e {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        _ => return Err(format!("unsupported escape \\{}", e as char)),
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        s.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ChaosSpace {
+        ChaosSpace {
+            links: (0..12).map(LinkId).collect(),
+            routers: (0..4).map(NodeId).collect(),
+            horizon: 1_000,
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let s = space();
+        let a = sample_schedule(&s, 42, 6);
+        let b = sample_schedule(&s, 42, 6);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 6);
+        assert!(a.windows(2).all(|w| w[0].at_cycle <= w[1].at_cycle));
+        let c = sample_schedule(&s, 43, 6);
+        assert_ne!(a, c, "different seeds must explore different faults");
+        // Permanent faults are capped at two link kills.
+        let perms = a
+            .iter()
+            .filter(|f| f.is_permanent() && !f.is_gray())
+            .count();
+        assert!(perms <= 2, "{a:?}");
+    }
+
+    #[test]
+    fn sampling_covers_every_fault_class() {
+        let s = space();
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            for f in sample_schedule(&s, seed, 6) {
+                kinds.insert(match f.kind {
+                    FaultKind::Link(_) => "link",
+                    FaultKind::Router(_) => "router",
+                    FaultKind::FlakyLink { .. } => "flaky",
+                    FaultKind::CorruptLink { .. } => "corrupt",
+                    FaultKind::Brownout { .. } => "brownout",
+                });
+            }
+        }
+        assert_eq!(kinds.len(), 5, "{kinds:?}");
+    }
+
+    #[test]
+    fn shrink_finds_the_minimal_subset() {
+        let s = space();
+        let sched = sample_schedule(&s, 7, 6);
+        assert!(sched.len() >= 2, "want a multi-event schedule: {sched:?}");
+        // The "violation" is: the schedule contains the last event.
+        let needle = *sched.last().unwrap();
+        let min = shrink(&sched, |cand| cand.contains(&needle));
+        assert_eq!(min, vec![needle]);
+    }
+
+    #[test]
+    fn shrink_keeps_jointly_necessary_events() {
+        let sched = vec![
+            FaultEvent::kill_link(LinkId(0), 10),
+            FaultEvent::flaky_link(LinkId(1), 50, 20).transient(100),
+            FaultEvent::corrupt_link(LinkId(2), 60, 30),
+            FaultEvent::brownout(LinkId(3), 8, 8, 40).transient(200),
+        ];
+        let (a, b) = (sched[1], sched[3]);
+        // Violation needs *both* events: neither can be removed alone.
+        let min = shrink(&sched, |cand| cand.contains(&a) && cand.contains(&b));
+        assert_eq!(min, vec![a, b]);
+    }
+
+    #[test]
+    fn scenario_json_round_trips() {
+        let s = space();
+        let sc = Scenario {
+            spec: "fat-fractahedron:2".to_string(),
+            seed: 42,
+            schedule_seed: 1337,
+            invariant: Invariant::ExactlyOnce.tag().to_string(),
+            faults: sample_schedule(&s, 11, 6),
+        };
+        let j = sc.to_json();
+        let back = Scenario::from_json(&j).unwrap();
+        assert_eq!(back, sc);
+        // And the re-serialization is bit-identical.
+        assert_eq!(back.to_json(), j);
+    }
+
+    #[test]
+    fn scenario_round_trips_every_kind() {
+        let sc = Scenario {
+            spec: "mesh:3x3".to_string(),
+            seed: 1,
+            schedule_seed: 2,
+            invariant: Invariant::NoDeadlock.tag().to_string(),
+            faults: vec![
+                FaultEvent::kill_link(LinkId(3), 10),
+                FaultEvent::kill_router(NodeId(2), 20).transient(80),
+                FaultEvent::flaky_link(LinkId(1), 50, 30).transient(90),
+                FaultEvent::corrupt_link(LinkId(0), 75, 40),
+                FaultEvent::brownout(LinkId(5), 16, 24, 50).transient(400),
+            ],
+        };
+        let back = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Scenario::from_json("").is_err());
+        assert!(Scenario::from_json("[]").is_err());
+        assert!(Scenario::from_json("{\"spec\":\"x\"}").is_err());
+        let bad_kind = r#"{"spec":"x","seed":1,"schedule_seed":2,"invariant":"exactly_once","faults":[{"at":5,"kind":"meteor"}]}"#;
+        assert!(Scenario::from_json(bad_kind).is_err());
+        let bad_inv = r#"{"spec":"x","seed":1,"schedule_seed":2,"invariant":"vibes","faults":[]}"#;
+        assert!(Scenario::from_json(bad_inv).is_err());
+    }
+
+    #[test]
+    fn invariant_tags_round_trip() {
+        for inv in [
+            Invariant::ExactlyOnce,
+            Invariant::NoDeadlock,
+            Invariant::HealCertifies,
+            Invariant::SpanAccounting,
+        ] {
+            assert_eq!(Invariant::from_tag(inv.tag()), Some(inv));
+        }
+        assert_eq!(Invariant::from_tag("nope"), None);
+    }
+}

@@ -29,6 +29,16 @@ pub struct SimConfig {
     /// off the engine creates no recorder and pays one predictable
     /// branch per instrumentation site).
     pub telemetry: Telemetry,
+    /// When `true`, a sender whose ACK timeout expires while its worm
+    /// is still in flight speculatively retransmits a *copy* (the
+    /// ServerNet timeout race) instead of waiting for a teardown. Off
+    /// by default: only the chaos/gray-failure paths exercise it.
+    pub ack_retransmit: bool,
+    /// Destination-side duplicate suppression by per-pair sequence
+    /// number. On by default; disabling it models a broken end-node
+    /// (double deliveries) and exists for the chaos harness to shrink
+    /// against.
+    pub dedup: bool,
 }
 
 impl Default for SimConfig {
@@ -43,6 +53,8 @@ impl Default for SimConfig {
             faults: Vec::new(),
             retry: RetryPolicy::default(),
             telemetry: Telemetry::off(),
+            ack_retransmit: false,
+            dedup: true,
         }
     }
 }
@@ -101,6 +113,18 @@ impl SimConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Builder-style speculative ACK-timeout retransmission.
+    pub fn with_ack_retransmit(mut self, on: bool) -> Self {
+        self.ack_retransmit = on;
+        self
+    }
+
+    /// Builder-style duplicate suppression (testing-only to disable).
+    pub fn with_dedup(mut self, on: bool) -> Self {
+        self.dedup = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +137,8 @@ mod tests {
         assert!(c.buffer_depth >= 1);
         assert!(c.packet_flits >= 2, "need at least head + tail");
         assert!(c.stall_threshold < c.max_cycles);
+        assert!(!c.ack_retransmit, "speculative retransmit is opt-in");
+        assert!(c.dedup, "duplicate suppression is on by default");
     }
 
     #[test]

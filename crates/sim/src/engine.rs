@@ -48,6 +48,11 @@ use std::sync::Arc;
 
 const NO_PKT: u32 = u32::MAX;
 
+/// Salt XORed into the sim seed for the gray-failure RNG stream, so
+/// enabling flaky/corrupt links never perturbs the workload or jitter
+/// streams (runs without gray faults stay bit-identical).
+const GRAY_SEED_SALT: u64 = 0x6EA7_FA11;
+
 #[derive(Clone)]
 struct ChanState {
     /// Packet whose worm occupies this channel, or `NO_PKT`.
@@ -87,6 +92,24 @@ struct Packet {
     epoch: u32,
     /// Transmission attempts so far (0 = first try still pending).
     attempts: u32,
+    /// The logical packet this transmission carries: self for
+    /// originals, the original's id for speculative retransmit copies.
+    /// Exactly-once accounting (delivery, abandonment, sequence-number
+    /// suppression) keys on the logical id.
+    logical: u32,
+    /// The worm crossed a corrupting link: it still delivers, but the
+    /// destination CRC check will fail and NACK it.
+    corrupted: bool,
+    /// This transmission's tail ejected (clean, corrupted, or
+    /// suppressed) — used to invalidate stale ACK timers.
+    done: bool,
+    /// (Logical packets only.) The destination accepted a delivery;
+    /// every later arrival with this logical id is a duplicate.
+    delivered_once: bool,
+    /// (Logical packets only.) The retry budget was exhausted and the
+    /// packet handed to the failover layer; a straggler copy arriving
+    /// afterwards is discarded by the destination's sequence tracking.
+    abandoned_once: bool,
 }
 
 /// One routing epoch: the immutable route state all packets of that
@@ -184,6 +207,17 @@ pub struct Engine<'a> {
     first_fault: Option<u64>,
     pending_retries: BinaryHeap<Reverse<(u64, u32)>>,
     retry_rng: StdRng,
+    // Gray-failure machinery: per-link flaky/corrupt probabilities (‰)
+    // toggled by timeline events, a count of active gray faults (the
+    // per-cycle scan is skipped entirely at zero), and a dedicated RNG
+    // stream so gray draws never perturb the other streams.
+    flaky_pm: Vec<u16>,
+    corrupt_pm: Vec<u16>,
+    gray_active: u32,
+    gray_rng: StdRng,
+    /// Armed ACK timers, `(fire_cycle, packet, attempts_when_armed)` —
+    /// only populated when `cfg.ack_retransmit` is on.
+    ack_timers: BinaryHeap<Reverse<(u64, u32, u32)>>,
     repairer: Option<Repairer<'a>>,
     table_repairer: Option<TableRepairer<'a>>,
     lint_ends: Option<Vec<NodeId>>,
@@ -244,8 +278,25 @@ impl<'a> Engine<'a> {
         let nch = net.channel_count();
         let rng = StdRng::seed_from_u64(cfg.seed);
         let retry_rng = StdRng::seed_from_u64(cfg.retry.jitter_seed);
+        let gray_rng = StdRng::seed_from_u64(cfg.seed ^ GRAY_SEED_SALT);
         let mut timeline: Vec<TimelineEvent> = Vec::with_capacity(cfg.faults.len() * 2);
         for f in &cfg.faults {
+            // Brownouts expand into their alternating down/up phases
+            // here, so the per-cycle machinery only ever sees plain
+            // transient link outages.
+            if let FaultKind::Brownout { link, down, up } = f.kind {
+                if down == 0 || up == 0 {
+                    continue; // degenerate; the constructor debug-asserts
+                }
+                let end = f.repair_cycle.unwrap_or(cfg.max_cycles);
+                let mut t = f.at_cycle;
+                while t < end {
+                    timeline.push((t, false, FaultKind::Link(link), false));
+                    timeline.push(((t + down).min(end), true, FaultKind::Link(link), false));
+                    t += down + up;
+                }
+                continue;
+            }
             timeline.push((f.at_cycle, false, f.kind, f.is_permanent()));
             if let Some(rc) = f.repair_cycle {
                 timeline.push((rc, true, f.kind, false));
@@ -278,6 +329,11 @@ impl<'a> Engine<'a> {
             first_fault: None,
             pending_retries: BinaryHeap::new(),
             retry_rng,
+            flaky_pm: vec![0; net.link_count()],
+            corrupt_pm: vec![0; net.link_count()],
+            gray_active: 0,
+            gray_rng,
+            ack_timers: BinaryHeap::new(),
             repairer: None,
             table_repairer: None,
             lint_ends: None,
@@ -468,7 +524,9 @@ impl<'a> Engine<'a> {
             if self.next_event < self.timeline.len() {
                 self.apply_fault_events(cycle);
             }
+            self.apply_gray_failures(cycle);
             self.release_due_retries(cycle);
+            self.fire_ack_timeouts(cycle);
 
             // 1. Traffic.
             for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
@@ -482,6 +540,11 @@ impl<'a> Engine<'a> {
                     sent: 0,
                     epoch: self.cur_epoch(),
                     attempts: 0,
+                    logical: id,
+                    corrupted: false,
+                    done: false,
+                    delivered_once: false,
+                    abandoned_once: false,
                 });
                 self.queues[s].push_back(id);
                 generated += 1;
@@ -530,43 +593,130 @@ impl<'a> Engine<'a> {
     /// dead masks, tears down truncated worms, and (after permanent
     /// faults) offers the repairer a chance to install new tables.
     fn apply_fault_events(&mut self, cycle: u64) {
-        let mut changed = false;
+        let mut topo_changed = false;
         let mut permanent_applied = false;
         let mut outage_applied = false;
         while self.next_event < self.timeline.len() && self.timeline[self.next_event].0 == cycle {
             let (_, is_repair, kind, permanent) = self.timeline[self.next_event];
             self.next_event += 1;
-            changed = true;
             let delta: i64 = if is_repair { -1 } else { 1 };
+            let mut gray = false;
             match kind {
                 FaultKind::Link(l) => {
                     let ct = &mut self.link_fault_ct[l.index()];
                     *ct = (*ct as i64 + delta).max(0) as u32;
+                    topo_changed = true;
                 }
                 FaultKind::Router(r) => {
                     let ct = &mut self.router_fault_ct[r.index()];
                     *ct = (*ct as i64 + delta).max(0) as u32;
+                    topo_changed = true;
+                }
+                FaultKind::FlakyLink {
+                    link,
+                    drop_per_mille,
+                } => {
+                    gray = true;
+                    let slot = &mut self.flaky_pm[link.index()];
+                    if is_repair {
+                        if *slot != 0 {
+                            self.gray_active = self.gray_active.saturating_sub(1);
+                        }
+                        *slot = 0;
+                    } else {
+                        if *slot == 0 && drop_per_mille > 0 {
+                            self.gray_active += 1;
+                        }
+                        *slot = drop_per_mille;
+                    }
+                }
+                FaultKind::CorruptLink { link, per_mille } => {
+                    gray = true;
+                    let slot = &mut self.corrupt_pm[link.index()];
+                    if is_repair {
+                        if *slot != 0 {
+                            self.gray_active = self.gray_active.saturating_sub(1);
+                        }
+                        *slot = 0;
+                    } else {
+                        if *slot == 0 && per_mille > 0 {
+                            self.gray_active += 1;
+                        }
+                        *slot = per_mille;
+                    }
+                }
+                FaultKind::Brownout { .. } => {
+                    debug_assert!(false, "brownouts expand to link outages at build time");
                 }
             }
             if !is_repair {
                 self.rec.faults_applied += 1;
                 self.first_fault.get_or_insert(cycle);
-                permanent_applied |= permanent;
+                // Gray faults never change the topology, so they never
+                // trigger healing — recovery rides on CRC/NACK/retry.
+                permanent_applied |= permanent && !gray;
                 outage_applied = true;
             }
-        }
-        if !changed {
-            return;
         }
         if outage_applied {
             if let Some(t) = self.tel.as_mut() {
                 t.fault_applied(cycle);
             }
         }
+        if !topo_changed {
+            return;
+        }
         self.recompute_dead_channels();
         self.teardown_worms(cycle, false);
         if permanent_applied {
             self.attempt_repair(cycle);
+        }
+    }
+
+    /// Rolls the gray-failure dice for every occupied channel on a
+    /// flaky or corrupting link: a flaky hit tears the worm down (the
+    /// sender's ACK timeout recovers it), a corrupt hit marks the worm
+    /// so the destination CRC check NACKs it on arrival. Skipped in
+    /// O(1) when no gray fault is active, and drawn from a dedicated
+    /// RNG stream, so runs without gray faults are bit-identical to
+    /// builds without this feature.
+    fn apply_gray_failures(&mut self, cycle: u64) {
+        if self.gray_active == 0 {
+            return;
+        }
+        let mut victims: Vec<u32> = Vec::new();
+        for idx in 0..self.chans.len() {
+            let st = &self.chans[idx];
+            if st.owner == NO_PKT || st.occ == 0 {
+                continue;
+            }
+            let link = ChannelId(idx as u32).link().index();
+            let dpm = self.flaky_pm[link] as u32;
+            let cpm = self.corrupt_pm[link] as u32;
+            if dpm == 0 && cpm == 0 {
+                continue;
+            }
+            let owner = st.owner;
+            if dpm > 0 && self.gray_rng.gen_range(0u32..1000) < dpm {
+                if !victims.contains(&owner) {
+                    victims.push(owner);
+                }
+                continue;
+            }
+            if cpm > 0
+                && !self.packets[owner as usize].corrupted
+                && self.gray_rng.gen_range(0u32..1000) < cpm
+            {
+                self.packets[owner as usize].corrupted = true;
+                self.rec.corrupted_worms += 1;
+                if let Some(t) = self.tel.as_mut() {
+                    t.corrupted(cycle, owner, ChannelId(idx as u32));
+                }
+            }
+        }
+        for pid in victims {
+            self.rec.flaky_drops += 1;
+            self.teardown_one(pid, cycle, false);
         }
     }
 
@@ -612,28 +762,35 @@ impl<'a> Engine<'a> {
             }
         }
         for pid in victims {
-            for st in &mut self.chans {
-                if st.owner == pid {
-                    *st = ChanState::free();
-                }
-            }
-            let (src, still_injecting) = {
-                let p = &mut self.packets[pid as usize];
-                let inj = p.sent < p.len;
-                p.sent = 0;
-                p.injected = u64::MAX;
-                (p.src as usize, inj)
-            };
-            if still_injecting {
-                self.queues[src].retain(|&q| q != pid);
-            }
-            self.in_flight -= 1;
-            self.rec.dropped_worms += 1;
-            if let Some(t) = self.tel.as_mut() {
-                t.worm_truncated(cycle, pid, all);
-            }
-            self.schedule_retry(pid, cycle);
+            self.teardown_one(pid, cycle, all);
         }
+    }
+
+    /// Tears one worm down: channels released, flits discarded, then
+    /// the loss handed to [`retire_or_retry`](Engine::retire_or_retry).
+    fn teardown_one(&mut self, pid: u32, cycle: u64, drained: bool) {
+        for st in &mut self.chans {
+            if st.owner == pid {
+                *st = ChanState::free();
+            }
+        }
+        let (src, still_injecting) = {
+            let p = &mut self.packets[pid as usize];
+            let inj = p.sent < p.len;
+            p.sent = 0;
+            p.injected = u64::MAX;
+            p.corrupted = false;
+            (p.src as usize, inj)
+        };
+        if still_injecting {
+            self.queues[src].retain(|&q| q != pid);
+        }
+        self.in_flight -= 1;
+        self.rec.dropped_worms += 1;
+        if let Some(t) = self.tel.as_mut() {
+            t.worm_truncated(cycle, pid, drained);
+        }
+        self.retire_or_retry(pid, cycle, false);
     }
 
     /// Lets the repairer install a new routing epoch; queued (not yet
@@ -742,7 +899,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Moves retries whose backoff expired back into source queues,
-    /// re-homing them to the current routing epoch.
+    /// re-homing them to the current routing epoch. Retries whose
+    /// logical packet was delivered while backing off (a speculative
+    /// copy arrived) are dropped as settled.
     fn release_due_retries(&mut self, cycle: u64) {
         let cur = self.cur_epoch();
         while let Some(&Reverse((when, pid))) = self.pending_retries.peek() {
@@ -752,12 +911,78 @@ impl<'a> Engine<'a> {
             self.pending_retries.pop();
             let src = {
                 let p = &mut self.packets[pid as usize];
+                if p.delivered_once {
+                    continue;
+                }
                 p.epoch = cur;
                 p.sent = 0;
                 p.injected = u64::MAX;
+                p.corrupted = false;
+                p.done = false;
                 p.src as usize
             };
             self.queues[src].push_back(pid);
+        }
+    }
+
+    /// Speculative retransmission (`SimConfig::ack_retransmit`): when
+    /// an original's ACK timer expires while its worm may still be in
+    /// flight, enqueue a *copy* carrying the same logical id — the
+    /// classic timeout race that per-pair sequence numbers exist to
+    /// make safe. Timers whose packet was since delivered, torn down,
+    /// abandoned, or re-sent are stale and ignored.
+    fn fire_ack_timeouts(&mut self, cycle: u64) {
+        while let Some(&Reverse((when, pid, armed))) = self.ack_timers.peek() {
+            if when > cycle {
+                break;
+            }
+            self.ack_timers.pop();
+            let (valid, src, dst, len, created) = {
+                let p = &self.packets[pid as usize];
+                let valid = p.attempts == armed
+                    && p.sent == p.len
+                    && !p.done
+                    && !p.delivered_once
+                    && !p.abandoned_once
+                    && p.attempts < self.cfg.retry.max_retries;
+                (valid, p.src, p.dst, p.len, p.created)
+            };
+            if !valid {
+                continue;
+            }
+            let attempts = {
+                let p = &mut self.packets[pid as usize];
+                p.attempts += 1;
+                p.attempts
+            };
+            self.rec.retries += 1;
+            let copy = self.packets.len() as u32;
+            let epoch = self.cur_epoch();
+            self.packets.push(Packet {
+                src,
+                dst,
+                len,
+                created,
+                injected: u64::MAX,
+                sent: 0,
+                epoch,
+                attempts: 0,
+                logical: pid,
+                corrupted: false,
+                done: false,
+                delivered_once: false,
+                abandoned_once: false,
+            });
+            self.queues[src as usize].push_back(copy);
+            if let Some(t) = self.tel.as_mut() {
+                t.retried(cycle, pid, attempts, cycle);
+            }
+            // Re-arm with exponential spacing for the next round.
+            self.ack_timers.push(Reverse((
+                cycle + self.cfg.retry.backoff(attempts),
+                pid,
+                attempts,
+            )));
         }
     }
 
@@ -779,20 +1004,36 @@ impl<'a> Engine<'a> {
                     break;
                 }
                 self.queues[s].pop_front();
-                self.schedule_retry(pid, cycle);
+                self.retire_or_retry(pid, cycle, false);
             }
         }
     }
 
+    /// Handles a lost or NACKed transmission. A lost *copy* never
+    /// re-enters the retry machinery (the original's own lifecycle owns
+    /// recovery), and a logical packet already delivered via a
+    /// speculative copy is settled; everything else books one failed
+    /// attempt.
+    fn retire_or_retry(&mut self, pid: u32, cycle: u64, nacked: bool) {
+        let p = &self.packets[pid as usize];
+        if p.logical != pid || p.delivered_once {
+            return;
+        }
+        self.schedule_retry_with(pid, cycle, nacked);
+    }
+
     /// Books one failed attempt: re-queues the packet after backoff
-    /// plus jitter, or abandons it past `max_retries`.
-    fn schedule_retry(&mut self, pid: u32, cycle: u64) {
+    /// plus jitter, or abandons it past `max_retries`. A NACKed loss
+    /// skips the `ack_timeout` component of the backoff — the
+    /// destination reported the corruption immediately.
+    fn schedule_retry_with(&mut self, pid: u32, cycle: u64, nacked: bool) {
         let (attempts, src, dst) = {
             let p = &mut self.packets[pid as usize];
             p.attempts += 1;
             (p.attempts, p.src as usize, p.dst as usize)
         };
         if attempts > self.cfg.retry.max_retries {
+            self.packets[pid as usize].abandoned_once = true;
             self.rec.abandoned.push((src, dst));
             if let Some(t) = self.tel.as_mut() {
                 t.abandoned(cycle, pid, src as u32, dst as u32);
@@ -801,7 +1042,12 @@ impl<'a> Engine<'a> {
         }
         self.rec.retries += 1;
         let jitter = self.retry_rng.gen_range(0..=self.cfg.retry.backoff_base);
-        let release = cycle + self.cfg.retry.backoff(attempts) + jitter;
+        let base = if nacked {
+            self.cfg.retry.nack_backoff(attempts)
+        } else {
+            self.cfg.retry.backoff(attempts)
+        };
+        let release = cycle + base + jitter;
         self.pending_retries.push(Reverse((release, pid)));
         if let Some(t) = self.tel.as_mut() {
             t.retried(cycle, pid, attempts, release);
@@ -866,13 +1112,25 @@ impl<'a> Engine<'a> {
         let mut injections: Vec<usize> = Vec::new(); // source indices
         for s in 0..self.queues.len() {
             while let Some(&pid) = self.queues[s].front() {
-                let unroutable = {
+                let (stale, unroutable) = {
                     let p = &self.packets[pid as usize];
-                    p.sent == 0 && self.route_dead_or_missing(p)
+                    // A queued transmission whose logical packet was
+                    // already delivered (a speculative-copy race) is
+                    // settled: drop it instead of wasting fabric on a
+                    // guaranteed duplicate.
+                    let stale = self.cfg.dedup
+                        && p.sent == 0
+                        && self.packets[p.logical as usize].delivered_once;
+                    let unroutable = !stale && p.sent == 0 && self.route_dead_or_missing(p);
+                    (stale, unroutable)
                 };
+                if stale {
+                    self.queues[s].pop_front();
+                    continue;
+                }
                 if unroutable {
                     self.queues[s].pop_front();
-                    self.schedule_retry(pid, cycle);
+                    self.retire_or_retry(pid, cycle, false);
                     continue;
                 }
                 let p = &self.packets[pid as usize];
@@ -966,25 +1224,55 @@ impl<'a> Engine<'a> {
             if done {
                 self.chans[ch as usize].owner = NO_PKT;
                 self.in_flight -= 1;
-                self.delivered += 1;
-                let p = &self.packets[owner as usize];
-                if p.created >= self.cfg.warmup_cycles {
-                    self.latencies.push(cycle + 1 - p.created);
-                    self.net_latencies.push(cycle + 1 - p.injected);
-                }
-                if let Some(first) = self.first_fault {
-                    if p.created >= first {
-                        self.rec.post_fault_delivered += 1;
+                let (logical, corrupted, src, dst, created, injected) = {
+                    let p = &mut self.packets[owner as usize];
+                    p.done = true;
+                    (p.logical, p.corrupted, p.src, p.dst, p.created, p.injected)
+                };
+                let settled = {
+                    let lp = &self.packets[logical as usize];
+                    lp.delivered_once || lp.abandoned_once
+                };
+                if corrupted {
+                    // Destination CRC check fails: answer "This Packet
+                    // Bad" and hand the sender straight to the retry
+                    // machinery — no need to wait out the ACK timeout.
+                    self.rec.nacks += 1;
+                    if let Some(t) = self.tel.as_mut() {
+                        t.nacked(cycle, owner, src, dst);
                     }
-                    if p.attempts > 0 && self.rec.time_to_recover.is_none() {
-                        self.rec.time_to_recover = Some(cycle + 1 - first);
-                        if let Some(t) = self.tel.as_mut() {
-                            t.recovered(cycle + 1);
+                    self.retire_or_retry(owner, cycle, true);
+                } else if self.cfg.dedup && settled {
+                    // Per-pair sequence number repeats: the logical
+                    // packet already completed (or was given up on), so
+                    // this arrival is a duplicate from the timeout race.
+                    self.rec.duplicates_suppressed += 1;
+                    if let Some(t) = self.tel.as_mut() {
+                        t.dup_suppressed(cycle, owner, logical);
+                    }
+                } else {
+                    self.packets[logical as usize].delivered_once = true;
+                    self.delivered += 1;
+                    if created >= self.cfg.warmup_cycles {
+                        self.latencies.push(cycle + 1 - created);
+                        self.net_latencies.push(cycle + 1 - injected);
+                    }
+                    if let Some(first) = self.first_fault {
+                        if created >= first {
+                            self.rec.post_fault_delivered += 1;
+                        }
+                        if self.packets[logical as usize].attempts > 0
+                            && self.rec.time_to_recover.is_none()
+                        {
+                            self.rec.time_to_recover = Some(cycle + 1 - first);
+                            if let Some(t) = self.tel.as_mut() {
+                                t.recovered(cycle + 1);
+                            }
                         }
                     }
-                }
-                if let Some(t) = self.tel.as_mut() {
-                    t.delivered(cycle, owner, cycle + 1 - p.created);
+                    if let Some(t) = self.tel.as_mut() {
+                        t.delivered(cycle, logical, cycle + 1 - created);
+                    }
                 }
             }
         }
@@ -1043,14 +1331,14 @@ impl<'a> Engine<'a> {
             moves += 1;
             let pid = *self.queues[s].front().expect("checked above");
             let c0 = self.first_hop(&self.packets[pid as usize]);
-            let (sent_after, len, src, dst) = {
+            let (sent_after, len, src, dst, attempts, original) = {
                 let p = &mut self.packets[pid as usize];
                 p.sent += 1;
                 if p.sent == 1 {
                     p.injected = cycle;
                     self.in_flight += 1;
                 }
-                (p.sent, p.len, p.src, p.dst)
+                (p.sent, p.len, p.src, p.dst, p.attempts, p.logical == pid)
             };
             let st = &mut self.chans[c0.index()];
             if sent_after == 1 {
@@ -1070,6 +1358,16 @@ impl<'a> Engine<'a> {
             }
             if sent_after == len {
                 self.queues[s].pop_front();
+                // The full worm is in the fabric: a speculative sender
+                // arms its ACK timer now (only the original transmission
+                // does — copies are already the recovery path).
+                if self.cfg.ack_retransmit && original {
+                    self.ack_timers.push(Reverse((
+                        cycle + self.cfg.retry.ack_timeout,
+                        pid,
+                        attempts,
+                    )));
+                }
             }
         }
         moves
@@ -1830,5 +2128,226 @@ mod tests {
         assert_eq!(res.recovery.post_fault_generated, 1);
         assert_eq!(res.recovery.post_fault_delivered, 1);
         assert_eq!(res.recovery.post_fault_delivery_ratio(), 1.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Gray failures and exactly-once delivery.
+
+    fn gray_retry() -> RetryPolicy {
+        RetryPolicy {
+            ack_timeout: 8,
+            max_retries: 8,
+            backoff_base: 8,
+            jitter_seed: 1,
+        }
+    }
+
+    #[test]
+    fn flaky_link_drop_recovers_via_retry() {
+        // A 1000‰ flaky window guarantees the first attempt is dropped
+        // mid-flight; once the window closes the retry delivers.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: gray_retry(),
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::flaky_link(cw_link_0_to_1(&rs), 1000, 0).transient(5));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert!(res.recovery.flaky_drops >= 1);
+        assert!(
+            res.recovery.dropped_worms >= res.recovery.flaky_drops,
+            "a flaky drop is a teardown"
+        );
+        assert!(res.recovery.retries >= 1);
+        assert_eq!(res.recovery.nacks, 0, "drops are silent, not NACKed");
+        assert!(res.is_clean());
+    }
+
+    #[test]
+    fn corrupt_link_nacks_at_destination_and_retries() {
+        // A 1000‰ corrupting window poisons the first attempt; it still
+        // *arrives*, fails the CRC check, is NACKed, and the retry
+        // (clean, window closed) delivers exactly once.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: gray_retry(),
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::corrupt_link(cw_link_0_to_1(&rs), 1000, 0).transient(5))
+        .with_telemetry(Telemetry::recording());
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert_eq!(res.recovery.corrupted_worms, 1);
+        assert_eq!(res.recovery.nacks, 1);
+        assert_eq!(res.recovery.dropped_worms, 0, "corruption still delivers");
+        assert!(res.recovery.retries >= 1);
+        assert!(res.is_clean());
+        let tel = res.telemetry.expect("telemetry was recording");
+        let kinds: Vec<&str> = tel.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"corrupted"), "{kinds:?}");
+        assert!(kinds.contains(&"nacked"), "{kinds:?}");
+    }
+
+    #[test]
+    fn nack_retry_beats_the_ack_timeout_path() {
+        // The NACK arrives with the (bad) packet, so the corrupt-path
+        // retry fires `ack_timeout` cycles sooner than the flaky-path
+        // retry for the same schedule shape.
+        let (r, rs) = ring4();
+        let retry = RetryPolicy {
+            ack_timeout: 500,
+            max_retries: 8,
+            backoff_base: 8,
+            jitter_seed: 1,
+        };
+        let run = |kind: FaultEvent| {
+            let cfg = SimConfig {
+                packet_flits: 32,
+                max_cycles: 20_000,
+                retry,
+                ..SimConfig::default()
+            }
+            .with_fault(kind);
+            Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]))
+        };
+        let corrupt = run(FaultEvent::corrupt_link(cw_link_0_to_1(&rs), 1000, 0).transient(5));
+        let flaky = run(FaultEvent::flaky_link(cw_link_0_to_1(&rs), 1000, 0).transient(5));
+        assert_eq!(corrupt.delivered, 1);
+        assert_eq!(flaky.delivered, 1);
+        let t_corrupt = corrupt.recovery.time_to_recover.expect("recovered");
+        let t_flaky = flaky.recovery.time_to_recover.expect("recovered");
+        assert!(
+            t_corrupt + retry.ack_timeout / 2 < t_flaky,
+            "NACK {t_corrupt} should beat timeout {t_flaky}"
+        );
+    }
+
+    #[test]
+    fn brownout_oscillation_recovers() {
+        // Link browns out 30 down / 30 up: each down phase is a
+        // transient outage; retries land in up phases and deliver.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: gray_retry(),
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::brownout(cw_link_0_to_1(&rs), 30, 30, 8).transient(250));
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert!(res.recovery.retries >= 1);
+        // Every down phase counts as an outage: 8, 68, 128, 188, 248.
+        assert!(res.recovery.faults_applied >= 4, "{:?}", res.recovery);
+        assert_eq!(
+            res.recovery.repairs_installed, 0,
+            "brownouts are transient: healing must not fire"
+        );
+        assert!(res.is_clean());
+    }
+
+    #[test]
+    fn speculative_retransmit_duplicate_is_suppressed() {
+        // ACK-timeout race: the timer fires while the original worm is
+        // still draining, spawning a speculative copy. Both arrive; the
+        // destination's sequence check suppresses the second, so the
+        // run is exactly-once.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: RetryPolicy {
+                ack_timeout: 1,
+                max_retries: 8,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_ack_retransmit(true)
+        .with_telemetry(Telemetry::recording());
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.generated, 1);
+        assert_eq!(res.delivered, 1, "{:?}", res.recovery);
+        assert_eq!(res.recovery.duplicates_suppressed, 1, "{:?}", res.recovery);
+        assert_eq!(res.recovery.retries, 1);
+        assert!(res.recovery.abandoned.is_empty());
+        assert!(res.is_clean());
+        let tel = res.telemetry.expect("telemetry was recording");
+        let kinds: Vec<&str> = tel.events.iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"dup_suppressed"), "{kinds:?}");
+    }
+
+    #[test]
+    fn dedup_disabled_double_delivers() {
+        // The same race with the destination's sequence check turned
+        // off (a broken end-node): both arrivals count, delivery is no
+        // longer exactly-once, and the accounting catches it.
+        let (r, rs) = ring4();
+        let cfg = SimConfig {
+            packet_flits: 32,
+            max_cycles: 20_000,
+            retry: RetryPolicy {
+                ack_timeout: 1,
+                max_retries: 8,
+                backoff_base: 8,
+                jitter_seed: 1,
+            },
+            ..SimConfig::default()
+        }
+        .with_ack_retransmit(true)
+        .with_dedup(false);
+        let res = Engine::new(r.net(), &rs, cfg).run(Workload::Scripted(vec![(0, 0, 1)]));
+        assert_eq!(res.generated, 1);
+        assert_eq!(res.delivered, 2, "{:?}", res.recovery);
+        assert_eq!(res.recovery.duplicates_suppressed, 0);
+        assert!(
+            !res.is_recovered(),
+            "double delivery must break the exactly-once invariant"
+        );
+    }
+
+    #[test]
+    fn gray_faulted_runs_are_deterministic() {
+        // Sustained uniform load needs a deadlock-free fabric (the
+        // clockwise ring can form a circular wait on its own, Fig 1);
+        // XY-routed mesh traffic makes any non-recovery a delivery bug.
+        let m = Mesh2D::new(3, 3, 1, 6).unwrap();
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_xy_routes(&m)).unwrap();
+        let mk = || {
+            let cfg = SimConfig {
+                packet_flits: 8,
+                max_cycles: 12_000,
+                retry: gray_retry(),
+                ..SimConfig::default()
+            }
+            .with_fault(FaultEvent::flaky_link(rs.path(0, 1)[1].link(), 80, 20).transient(900))
+            .with_fault(FaultEvent::corrupt_link(rs.path(4, 5)[1].link(), 120, 50).transient(800))
+            .with_ack_retransmit(true);
+            let wl = Workload::Bernoulli {
+                injection_rate: 0.15,
+                pattern: DstPattern::Uniform,
+                until_cycle: 1_000,
+            };
+            Engine::new(m.net(), &rs, cfg).run(wl)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.recovery.flaky_drops, b.recovery.flaky_drops);
+        assert_eq!(a.recovery.corrupted_worms, b.recovery.corrupted_worms);
+        assert_eq!(a.recovery.nacks, b.recovery.nacks);
+        assert_eq!(
+            a.recovery.duplicates_suppressed,
+            b.recovery.duplicates_suppressed
+        );
+        assert_eq!(a.recovery.abandoned, b.recovery.abandoned);
+        assert_eq!(a.channel_busy, b.channel_busy);
+        // Exactly-once holds under sustained gray load.
+        assert!(a.is_recovered(), "{:?}", a.recovery);
     }
 }

@@ -11,18 +11,55 @@
 
 use fractanet_graph::{LinkId, NodeId};
 
-/// Which component an outage takes down.
+/// Which component an outage takes down — or degrades.
+///
+/// `Link`/`Router` are *binary* faults: the component is simply gone
+/// and the topology changes. The remaining variants are *gray*
+/// failures (Horst §2's real-world regime): the link stays in the
+/// topology but misbehaves, so healing never fires and recovery rides
+/// entirely on the end-to-end CRC/NACK/retry discipline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// A full-duplex cable dies (both channels).
     Link(LinkId),
     /// A router dies: every attached link goes with it.
     Router(NodeId),
+    /// A flaky cable: each cycle, any worm occupying one of the link's
+    /// channels is dropped with probability `drop_per_mille`/1000
+    /// (seeded from the sim seed; deterministic). A drop tears the
+    /// worm down exactly like a transient outage hit.
+    FlakyLink {
+        /// The misbehaving cable.
+        link: LinkId,
+        /// Per-cycle, per-occupied-channel drop probability in ‰.
+        drop_per_mille: u16,
+    },
+    /// A corrupting cable: worms crossing it deliver, but arrive with
+    /// a bad CRC and are NACKed at the destination ("This Packet
+    /// Bad"), feeding the retry machinery immediately.
+    CorruptLink {
+        /// The misbehaving cable.
+        link: LinkId,
+        /// Per-cycle, per-occupied-channel corruption probability in ‰.
+        per_mille: u16,
+    },
+    /// A brownout: the link cycles `down` cycles dead, `up` cycles
+    /// alive, from `at_cycle` until `repair_cycle` (or forever). Each
+    /// down phase is a transient outage — too fast for healing, so the
+    /// retry layer carries the load.
+    Brownout {
+        /// The cable that browns out.
+        link: LinkId,
+        /// Length of each dead phase, in cycles (must be > 0).
+        down: u64,
+        /// Length of each alive phase, in cycles (must be > 0).
+        up: u64,
+    },
 }
 
 /// One scheduled outage. Applied at the *start* of `at_cycle`; a
 /// transient fault is undone at the start of `repair_cycle`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultEvent {
     /// Cycle the component dies.
     pub at_cycle: u64,
@@ -49,6 +86,53 @@ impl FaultEvent {
             kind: FaultKind::Router(router),
             repair_cycle: None,
         }
+    }
+
+    /// A flaky link dropping `drop_per_mille`‰ of occupied cycles,
+    /// starting at `at_cycle`. Transient when given a `repair_cycle`.
+    pub fn flaky_link(link: LinkId, drop_per_mille: u16, at_cycle: u64) -> Self {
+        debug_assert!(drop_per_mille <= 1000, "probability is in per-mille");
+        FaultEvent {
+            at_cycle,
+            kind: FaultKind::FlakyLink {
+                link,
+                drop_per_mille,
+            },
+            repair_cycle: None,
+        }
+    }
+
+    /// A corrupting link flipping bits in `per_mille`‰ of occupied
+    /// cycles, starting at `at_cycle`.
+    pub fn corrupt_link(link: LinkId, per_mille: u16, at_cycle: u64) -> Self {
+        debug_assert!(per_mille <= 1000, "probability is in per-mille");
+        FaultEvent {
+            at_cycle,
+            kind: FaultKind::CorruptLink { link, per_mille },
+            repair_cycle: None,
+        }
+    }
+
+    /// A brownout: `link` alternates `down` cycles dead / `up` cycles
+    /// alive starting at `at_cycle` (use [`transient`](Self::transient)
+    /// to bound it; otherwise it oscillates to the end of the run).
+    pub fn brownout(link: LinkId, down: u64, up: u64, at_cycle: u64) -> Self {
+        debug_assert!(down > 0 && up > 0, "brownout phases must be nonzero");
+        FaultEvent {
+            at_cycle,
+            kind: FaultKind::Brownout { link, down, up },
+            repair_cycle: None,
+        }
+    }
+
+    /// Whether this is a gray (non-topology-changing) fault.
+    pub fn is_gray(&self) -> bool {
+        matches!(
+            self.kind,
+            FaultKind::FlakyLink { .. }
+                | FaultKind::CorruptLink { .. }
+                | FaultKind::Brownout { .. }
+        )
     }
 
     /// Marks the fault transient, repaired at `repair_cycle`.
@@ -105,6 +189,15 @@ impl RetryPolicy {
         let exp = attempt.saturating_sub(1).min(16);
         self.ack_timeout + self.backoff_base.saturating_mul(1u64 << exp)
     }
+
+    /// Backoff before retry attempt `attempt` when the loss was
+    /// *reported* rather than timed out: a NACK ("This Packet Bad")
+    /// arrives immediately, so the `ack_timeout` component is skipped
+    /// and only the exponential spacing remains.
+    pub fn nack_backoff(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        self.backoff_base.saturating_mul(1u64 << exp)
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +210,34 @@ mod tests {
         assert_eq!(f.repair_cycle, Some(250));
         assert!(!f.is_permanent());
         assert!(FaultEvent::kill_router(NodeId(1), 5).is_permanent());
+    }
+
+    #[test]
+    fn gray_builders_and_classification() {
+        let f = FaultEvent::flaky_link(LinkId(2), 50, 10);
+        assert!(f.is_gray());
+        assert!(f.is_permanent());
+        let c = FaultEvent::corrupt_link(LinkId(2), 100, 10).transient(500);
+        assert!(c.is_gray());
+        assert!(!c.is_permanent());
+        let b = FaultEvent::brownout(LinkId(0), 20, 30, 100);
+        assert!(b.is_gray());
+        assert!(!FaultEvent::kill_link(LinkId(0), 5).is_gray());
+    }
+
+    #[test]
+    fn nack_backoff_skips_the_ack_timeout() {
+        let p = RetryPolicy {
+            ack_timeout: 10,
+            max_retries: 8,
+            backoff_base: 4,
+            jitter_seed: 0,
+        };
+        assert_eq!(p.nack_backoff(1), 4);
+        assert_eq!(p.nack_backoff(2), 8);
+        assert_eq!(p.nack_backoff(3), 16);
+        // Difference from the timed-out path is exactly the ack wait.
+        assert_eq!(p.backoff(3) - p.nack_backoff(3), p.ack_timeout);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -41,10 +42,11 @@ pub mod sweep;
 pub mod traffic;
 pub mod vc;
 
+pub use chaos::{sample_schedule, shrink, ChaosSpace, Invariant, Scenario, Violation};
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use fault::{FaultEvent, FaultKind, RetryPolicy};
-pub use fractanet_telemetry::{Telemetry, TelemetryReport};
+pub use fractanet_telemetry::{SpanKind, Telemetry, TelemetryReport, TraceEvent};
 pub use stats::{DeadlockEvent, RecoveryStats, SimResult};
 pub use sweep::{sweep_loads, LoadPoint};
 pub use traffic::{DstPattern, Workload};

@@ -45,6 +45,17 @@ pub struct RecoveryStats {
     pub post_fault_generated: usize,
     /// Of those, packets delivered.
     pub post_fault_delivered: usize,
+    /// Worms dropped by a flaky link (counted within `dropped_worms`
+    /// as well — a flaky drop is a teardown).
+    pub flaky_drops: u64,
+    /// Worms that crossed a corrupting link (their CRC will fail).
+    pub corrupted_worms: u64,
+    /// Destination CRC failures answered with a NACK ("This Packet
+    /// Bad") — each feeds the retry machinery without the ACK timeout.
+    pub nacks: u64,
+    /// Duplicate arrivals suppressed by per-pair sequence numbers
+    /// (original and timeout-retransmit both arrived).
+    pub duplicates_suppressed: u64,
 }
 
 impl RecoveryStats {

@@ -97,6 +97,38 @@ pub enum TraceEvent {
         /// End-to-end latency in cycles (creation → tail ejected).
         latency: u64,
     },
+    /// A worm traversed a corrupting link: it still delivers, but its
+    /// CRC will fail at the destination.
+    Corrupted {
+        /// Cycle the corruption happened.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// The corrupting channel.
+        channel: ChannelId,
+    },
+    /// A destination CRC check failed and the worm was NACKed
+    /// ("This Packet Bad"), feeding the retry machinery immediately.
+    Nacked {
+        /// Cycle the tail ejected and the CRC check failed.
+        cycle: u64,
+        /// Worm id.
+        worm: u32,
+        /// Source end-node address.
+        src: u32,
+        /// Destination end-node address.
+        dst: u32,
+    },
+    /// A destination saw a sequence number it had already accepted and
+    /// suppressed the duplicate (exactly-once delivery).
+    DupSuppressed {
+        /// Cycle the duplicate's tail ejected.
+        cycle: u64,
+        /// Worm id of the duplicate copy.
+        worm: u32,
+        /// Worm id of the logical packet it duplicates.
+        original: u32,
+    },
 }
 
 impl TraceEvent {
@@ -110,7 +142,10 @@ impl TraceEvent {
             | TraceEvent::WormTruncated { cycle, .. }
             | TraceEvent::Retried { cycle, .. }
             | TraceEvent::Abandoned { cycle, .. }
-            | TraceEvent::Delivered { cycle, .. } => cycle,
+            | TraceEvent::Delivered { cycle, .. }
+            | TraceEvent::Corrupted { cycle, .. }
+            | TraceEvent::Nacked { cycle, .. }
+            | TraceEvent::DupSuppressed { cycle, .. } => cycle,
         }
     }
 
@@ -124,7 +159,10 @@ impl TraceEvent {
             | TraceEvent::WormTruncated { worm, .. }
             | TraceEvent::Retried { worm, .. }
             | TraceEvent::Abandoned { worm, .. }
-            | TraceEvent::Delivered { worm, .. } => worm,
+            | TraceEvent::Delivered { worm, .. }
+            | TraceEvent::Corrupted { worm, .. }
+            | TraceEvent::Nacked { worm, .. }
+            | TraceEvent::DupSuppressed { worm, .. } => worm,
         }
     }
 
@@ -133,7 +171,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::HeadAdvanced { channel, .. }
             | TraceEvent::Blocked { channel, .. }
-            | TraceEvent::VcAllocated { channel, .. } => Some(channel),
+            | TraceEvent::VcAllocated { channel, .. }
+            | TraceEvent::Corrupted { channel, .. } => Some(channel),
             _ => None,
         }
     }
@@ -149,6 +188,9 @@ impl TraceEvent {
             TraceEvent::Retried { .. } => "retried",
             TraceEvent::Abandoned { .. } => "abandoned",
             TraceEvent::Delivered { .. } => "delivered",
+            TraceEvent::Corrupted { .. } => "corrupted",
+            TraceEvent::Nacked { .. } => "nacked",
+            TraceEvent::DupSuppressed { .. } => "dup_suppressed",
         }
     }
 }
@@ -261,6 +303,22 @@ mod tests {
                 worm: 2,
                 latency: 7,
             },
+            TraceEvent::Corrupted {
+                cycle: 9,
+                worm: 2,
+                channel: ChannelId(5),
+            },
+            TraceEvent::Nacked {
+                cycle: 10,
+                worm: 2,
+                src: 0,
+                dst: 3,
+            },
+            TraceEvent::DupSuppressed {
+                cycle: 11,
+                worm: 2,
+                original: 0,
+            },
         ];
         for (i, e) in evs.iter().enumerate() {
             assert_eq!(e.cycle(), i as u64 + 1);
@@ -268,7 +326,11 @@ mod tests {
             assert!(!e.kind().is_empty());
         }
         assert_eq!(evs[1].channel(), Some(ChannelId(5)));
+        assert_eq!(evs[8].channel(), Some(ChannelId(5)));
         assert_eq!(evs[0].channel(), None);
+        assert_eq!(evs[9].channel(), None);
+        assert_eq!(evs[9].kind(), "nacked");
+        assert_eq!(evs[10].kind(), "dup_suppressed");
     }
 
     #[test]

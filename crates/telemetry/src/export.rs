@@ -34,8 +34,12 @@ fn event_obj(ev: &TraceEvent) -> JsonObject {
         } => o
             .field_num("attempt", attempt)
             .field_num("release", release),
-        TraceEvent::Abandoned { src, dst, .. } => o.field_num("src", src).field_num("dst", dst),
+        TraceEvent::Abandoned { src, dst, .. } | TraceEvent::Nacked { src, dst, .. } => {
+            o.field_num("src", src).field_num("dst", dst)
+        }
         TraceEvent::Delivered { latency, .. } => o.field_num("latency", latency),
+        TraceEvent::Corrupted { channel, .. } => o.field_num("channel", channel.0),
+        TraceEvent::DupSuppressed { original, .. } => o.field_num("original", original),
     }
 }
 
@@ -254,6 +258,29 @@ mod tests {
         for l in &lines {
             balanced(l);
         }
+    }
+
+    #[test]
+    fn gray_failure_events_export_everywhere() {
+        let mut r = Recorder::new(32, 2);
+        r.corrupted(5, 3, fractanet_graph::ChannelId(1));
+        r.nacked(9, 3, 0, 2);
+        r.dup_suppressed(14, 7, 3);
+        let rep = r.finish(20, &[0, 0]);
+        let jsonl = to_jsonl(&rep);
+        assert!(jsonl.contains("\"kind\":\"corrupted\",\"cycle\":5,\"worm\":3,\"channel\":1"));
+        assert!(jsonl.contains("\"kind\":\"nacked\",\"cycle\":9,\"worm\":3,\"src\":0,\"dst\":2"));
+        assert!(
+            jsonl.contains("\"kind\":\"dup_suppressed\",\"cycle\":14,\"worm\":7,\"original\":3")
+        );
+        for l in jsonl.lines() {
+            balanced(l);
+        }
+        let chrome = to_chrome_trace(&rep);
+        balanced(&chrome);
+        assert!(chrome.contains("\"name\":\"corrupted\""));
+        assert!(chrome.contains("\"name\":\"nacked\""));
+        assert!(chrome.contains("\"name\":\"dup_suppressed\""));
     }
 
     #[test]

@@ -129,6 +129,34 @@ impl Recorder {
         }
     }
 
+    /// Records a worm traversing a corrupting link.
+    pub fn corrupted(&mut self, cycle: u64, worm: u32, channel: ChannelId) {
+        self.ring.push(TraceEvent::Corrupted {
+            cycle,
+            worm,
+            channel,
+        });
+    }
+
+    /// Records a destination CRC failure answered with a NACK.
+    pub fn nacked(&mut self, cycle: u64, worm: u32, src: u32, dst: u32) {
+        self.ring.push(TraceEvent::Nacked {
+            cycle,
+            worm,
+            src,
+            dst,
+        });
+    }
+
+    /// Records a duplicate arrival suppressed by sequence numbering.
+    pub fn dup_suppressed(&mut self, cycle: u64, worm: u32, original: u32) {
+        self.ring.push(TraceEvent::DupSuppressed {
+            cycle,
+            worm,
+            original,
+        });
+    }
+
     /// Records a fault-schedule application at `cycle` (an instant
     /// span), anchoring the recovery decomposition on the first one.
     pub fn fault_applied(&mut self, cycle: u64) {

@@ -99,7 +99,7 @@ fn main() {
     // a disk read completion is data packets followed by an interrupt
     // that must not overtake them.
     println!("segmenting a 200-byte disk read completion into wire packets:");
-    let packets = segment_transfer(5, 60, &[0u8; 200]);
+    let packets = segment_transfer(5, 60, 0, &[0u8; 200]);
     for (i, p) in packets.iter().enumerate() {
         println!(
             "  packet {i}: {:?} {} payload bytes, {} bytes on the wire",
