@@ -17,7 +17,7 @@
 
 use crate::cdg::ChannelDependencyGraph;
 use fractanet_graph::{ChannelId, Network, NodeId};
-use fractanet_route::RouteSet;
+use fractanet_route::{DeadMask, RouteSet};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
@@ -108,11 +108,33 @@ pub fn route_one(
     src: usize,
     dst: usize,
 ) -> Option<Vec<ChannelId>> {
+    route_one_masked(net, ends, disables, None, src, dst)
+}
+
+/// [`route_one`] restricted to channels and routers that survive a
+/// fault mask (`None` = everything alive) — the form the healing
+/// fallback synthesizer routes with.
+pub fn route_one_masked(
+    net: &Network,
+    ends: &[NodeId],
+    disables: &DisableSet,
+    mask: Option<&DeadMask>,
+    src: usize,
+    dst: usize,
+) -> Option<Vec<ChannelId>> {
     if src == dst {
         return Some(Vec::new());
     }
+    let alive_node = |v: NodeId| mask.is_none_or(|m| m.node_ok(v));
+    let alive_ch = |ch: ChannelId| mask.is_none_or(|m| m.channel_ok(net, ch));
+    if !alive_node(ends[src]) || !alive_node(ends[dst]) {
+        return None;
+    }
     let target = ends[dst];
-    let &(inject, _) = net.channels_from(ends[src]).first()?;
+    let &(inject, first_router) = net.channels_from(ends[src]).first()?;
+    if !alive_ch(inject) || !alive_node(first_router) {
+        return None;
+    }
     let nch = net.channel_count();
     let mut prev: Vec<Option<ChannelId>> = vec![None; nch];
     let mut seen = vec![false; nch];
@@ -134,8 +156,13 @@ pub fn route_one(
         if !net.is_router(here) {
             continue; // arrived at a foreign end node: dead end
         }
-        for &(out, _) in net.channels_from(here) {
-            if out == ch.reverse() || disables.contains(ch, out) || seen[out.index()] {
+        for &(out, next) in net.channels_from(here) {
+            if out == ch.reverse()
+                || disables.contains(ch, out)
+                || seen[out.index()]
+                || !alive_ch(out)
+                || !alive_node(next)
+            {
                 continue;
             }
             seen[out.index()] = true;
@@ -206,6 +233,13 @@ pub fn synthesize_disables(
             });
         }
     }
+    // A disable inserted on the final allowed iteration may already
+    // have made the CDG acyclic — check once more before reporting
+    // non-convergence.
+    let cdg = ChannelDependencyGraph::from_routes(net, &routes);
+    if cdg.find_cycle().is_none() {
+        return Ok((disables, routes));
+    }
     Err(SynthesisError::DidNotConverge {
         disables: disables.len(),
     })
@@ -266,6 +300,34 @@ mod tests {
             assert!(verify_deadlock_free(r.net(), &routes).is_ok(), "ring {n}");
             assert_eq!(!disables.is_empty(), had_cycle, "ring {n}");
         }
+    }
+
+    #[test]
+    fn synthesis_converging_exactly_at_max_iterations_succeeds() {
+        // Regression: a disable inserted on the final allowed
+        // iteration used to be reported as DidNotConverge without a
+        // last acyclicity check. Find a ring whose greedy routing needs
+        // disables, measure how many, then re-run with a budget of
+        // exactly that many iterations: every iteration inserts one
+        // disable, the loop ends, and only the post-loop CDG check can
+        // notice success.
+        let (r, k) = (4..=9usize)
+            .find_map(|n| {
+                let r = Ring::new(n, 1, 6).unwrap();
+                let (disables, _) = synthesize_disables(r.net(), r.end_nodes(), 200).unwrap();
+                let k = disables.len();
+                (k > 0).then_some((r, k))
+            })
+            .expect("some ring size needs disables under build-order ties");
+        let tight = synthesize_disables(r.net(), r.end_nodes(), k);
+        let (tight_disables, routes) = tight.expect("convergence on the last iteration is success");
+        assert_eq!(tight_disables.len(), k);
+        assert!(verify_deadlock_free(r.net(), &routes).is_ok());
+        // One fewer iteration genuinely cannot converge.
+        let err = synthesize_disables(r.net(), r.end_nodes(), k - 1)
+            .map(|(d, _)| d.len())
+            .expect_err("k-1 iterations must not suffice");
+        assert_eq!(err, SynthesisError::DidNotConverge { disables: k - 1 });
     }
 
     #[test]

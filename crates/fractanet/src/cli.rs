@@ -69,12 +69,18 @@ pub enum Command {
         /// Required bisection links.
         bisection: u64,
     },
-    /// Statically verify routing tables (rules L1–L5).
+    /// Statically verify routing tables (rules L1–L6).
     Lint {
         /// Topologies to lint.
         specs: Vec<TopoSpec>,
         /// Emit machine-readable JSON instead of prose.
         json: bool,
+        /// Exact mode: branch-and-bound minimum disable sets, the L6
+        /// minimality rule, and replayable certificates.
+        exact: bool,
+        /// Also run the certificate-producing route synthesizer per
+        /// spec and report its certified disable set.
+        synthesize: bool,
     },
     /// Run a deterministic chaos campaign (or replay a scenario file).
     Chaos {
@@ -303,11 +309,18 @@ USAGE:
   fractanet chaos --replay <file> [--quick] [--disable-dedup]
                                         re-run a recorded scenario bit-
                                         identically and re-check every invariant
-  fractanet lint <topology>... [--json] static route verification: coverage,
+  fractanet lint <topology>... [--json] [--exact] [--synthesize]
+                                        static route verification: coverage,
                                         path well-formedness, dependency-cycle
                                         enumeration, discipline conformance,
                                         contention bounds. Exits 1 when any
                                         error-severity diagnostic fires.
+                                        --exact upgrades suggestions to proven
+                                        minimum disable sets and adds the L6
+                                        minimality rule with a replayable
+                                        certificate; --synthesize also runs the
+                                        certificate-producing route synthesizer
+                                        per topology
   fractanet help
 
 TOPOLOGIES:
@@ -538,9 +551,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         Some("lint") => {
             let mut specs = Vec::new();
             let mut json = false;
+            let mut exact = false;
+            let mut synthesize = false;
             for a in it {
                 match a.as_str() {
                     "--json" => json = true,
+                    "--exact" => exact = true,
+                    "--synthesize" => synthesize = true,
                     other if other.starts_with('-') => {
                         return Err(CliError(format!("unexpected argument '{other}'")))
                     }
@@ -550,7 +567,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if specs.is_empty() {
                 return Err(CliError(format!("lint needs a topology\n\n{USAGE}")));
             }
-            Ok(Command::Lint { specs, json })
+            Ok(Command::Lint {
+                specs,
+                json,
+                exact,
+                synthesize,
+            })
         }
         Some("plan") => {
             let mut cpus = None;
@@ -596,7 +618,12 @@ pub struct RunOutcome {
 /// the text.
 pub fn execute(cmd: Command) -> Result<RunOutcome, CliError> {
     match cmd {
-        Command::Lint { specs, json } => run_lint(&specs, json),
+        Command::Lint {
+            specs,
+            json,
+            exact,
+            synthesize,
+        } => run_lint(&specs, json, exact, synthesize),
         Command::Chaos { .. } => run_chaos(cmd),
         other => run(other).map(|output| RunOutcome { output, code: 0 }),
     }
@@ -679,36 +706,64 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
 }
 
 /// Lints each spec's canonical routing tables. The exit code is 1 when
-/// any error-severity diagnostic fired across any spec.
-fn run_lint(specs: &[TopoSpec], json: bool) -> Result<RunOutcome, CliError> {
+/// any error-severity diagnostic fired across any spec. `--exact`
+/// switches to exact mode (minimum disable sets, L6, certificates);
+/// `--synthesize` additionally runs the certificate-producing route
+/// synthesizer per spec and replay-checks its witness.
+fn run_lint(
+    specs: &[TopoSpec],
+    json: bool,
+    exact: bool,
+    synthesize: bool,
+) -> Result<RunOutcome, CliError> {
     let mut out = String::new();
     let mut errors = 0usize;
-    let mut reports = Vec::new();
+    let mut entries = Vec::new();
     for spec in specs {
         let sys = spec.build();
-        let report = sys.lint();
+        let report = if exact { sys.lint_exact() } else { sys.lint() };
         errors += report.error_count();
-        reports.push(report);
+        let synth = if synthesize {
+            Some(synth_summary(&sys))
+        } else {
+            None
+        };
+        entries.push((report, synth));
     }
     if json {
-        // One JSON array of report objects, however many specs.
+        // One JSON array; plain report objects, or {"lint":…,
+        // "synthesis":…} wrappers when synthesis ran.
         out.push('[');
-        for (i, r) in reports.iter().enumerate() {
+        for (i, (r, synth)) in entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&r.to_json());
+            match synth {
+                Some(s) => out.push_str(
+                    &fractanet_graph::json::JsonObject::new()
+                        .field_raw("lint", &r.to_json())
+                        .field_raw("synthesis", s.json())
+                        .build(),
+                ),
+                None => out.push_str(&r.to_json()),
+            }
         }
         out.push_str("]\n");
     } else {
-        for r in &reports {
+        for (r, synth) in &entries {
             out.push_str(&format!("{r}\n"));
+            if let Some(s) = synth {
+                out.push_str(&s.text);
+            }
         }
         out.push_str(&format!(
             "lint: {} configuration(s), {} error(s), {} warning(s)\n",
-            reports.len(),
+            entries.len(),
             errors,
-            reports.iter().map(|r| r.warning_count()).sum::<usize>()
+            entries
+                .iter()
+                .map(|(r, _)| r.warning_count())
+                .sum::<usize>()
         ));
     }
     Ok(RunOutcome {
@@ -717,12 +772,72 @@ fn run_lint(specs: &[TopoSpec], json: bool) -> Result<RunOutcome, CliError> {
     })
 }
 
+/// The per-spec `--synthesize` result, pre-rendered for both output
+/// modes.
+struct SynthSummary {
+    text: String,
+    json: String,
+}
+
+impl SynthSummary {
+    fn json(&self) -> &str {
+        &self.json
+    }
+}
+
+/// Runs the exact synthesizer for one system and replay-checks the
+/// witness certificate from scratch.
+fn synth_summary(sys: &crate::system::System) -> SynthSummary {
+    use fractanet_graph::json::JsonObject;
+    match sys.synthesize_exact() {
+        Ok(s) => {
+            let replay = s.witness.replay(sys.net(), sys.end_nodes());
+            let claim = if s.proven_minimal {
+                format!("proven minimal over {} enumerated cycle(s)", s.cycles_seen)
+            } else if s.truncated {
+                "enumeration truncated — minimality not claimed".into()
+            } else {
+                format!("minimality unproven (lower bound {})", s.lower_bound)
+            };
+            let replay_txt = match &replay {
+                Ok(covered) => format!("certificate replay OK ({covered} pairs)"),
+                Err(e) => format!("CERTIFICATE REPLAY FAILED: {e}"),
+            };
+            SynthSummary {
+                text: format!(
+                    "  synthesize: {} turn disable(s), {}/{} pairs routed, {claim}; {replay_txt}\n",
+                    s.disables(),
+                    s.connected_pairs,
+                    s.total_pairs,
+                ),
+                json: JsonObject::new()
+                    .field_num("disables", s.disables())
+                    .field_num("covered_pairs", s.connected_pairs)
+                    .field_num("total_pairs", s.total_pairs)
+                    .field_bool("proven_minimal", s.proven_minimal)
+                    .field_bool("replay_ok", replay.is_ok())
+                    .field_raw("certificate", &s.certificate_json())
+                    .build(),
+            }
+        }
+        Err(e) => SynthSummary {
+            text: format!("  synthesize: failed ({e})\n"),
+            json: JsonObject::new().field_str("error", &e.to_string()).build(),
+        },
+    }
+}
+
 /// Executes a command, writing human output to the returned string.
 pub fn run(cmd: Command) -> Result<String, CliError> {
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
-        Command::Lint { specs, json } => return run_lint(&specs, json).map(|o| o.output),
+        Command::Lint {
+            specs,
+            json,
+            exact,
+            synthesize,
+        } => return run_lint(&specs, json, exact, synthesize).map(|o| o.output),
         cmd @ Command::Chaos { .. } => return run_chaos(cmd).map(|o| o.output),
         Command::Analyze(specs) => {
             for spec in specs {
@@ -1353,10 +1468,21 @@ mod tests {
                     "mesh:6x6".parse::<TopoSpec>().unwrap()
                 ],
                 json: true,
+                exact: false,
+                synthesize: false,
             }
         );
         assert!(parse(&argv("lint")).is_err());
         assert!(parse(&argv("lint ring:4 --frobnicate")).is_err());
+        assert_eq!(
+            parse(&argv("lint ring:4 --exact --synthesize")).unwrap(),
+            Command::Lint {
+                specs: vec!["ring:4".parse::<TopoSpec>().unwrap()],
+                json: false,
+                exact: true,
+                synthesize: true,
+            }
+        );
     }
 
     #[test]
@@ -1364,6 +1490,8 @@ mod tests {
         let outcome = execute(Command::Lint {
             specs: vec!["fat-fractahedron:2".parse::<TopoSpec>().unwrap()],
             json: false,
+            exact: false,
+            synthesize: false,
         })
         .unwrap();
         assert_eq!(outcome.code, 0, "{}", outcome.output);
@@ -1375,6 +1503,8 @@ mod tests {
         let outcome = execute(Command::Lint {
             specs: vec!["fat-fractahedron:2".parse::<TopoSpec>().unwrap()],
             json: true,
+            exact: false,
+            synthesize: false,
         })
         .unwrap();
         assert_eq!(outcome.code, 0);
@@ -1393,6 +1523,8 @@ mod tests {
         let outcome = execute(Command::Lint {
             specs: vec!["ring:4".parse::<TopoSpec>().unwrap()],
             json: false,
+            exact: false,
+            synthesize: false,
         })
         .unwrap();
         assert_eq!(outcome.code, 1, "{}", outcome.output);
@@ -1413,6 +1545,8 @@ mod tests {
                 "ring:4".parse::<TopoSpec>().unwrap(),
             ],
             json: false,
+            exact: false,
+            synthesize: false,
         })
         .unwrap();
         assert_eq!(outcome.code, 1);
@@ -1420,10 +1554,80 @@ mod tests {
     }
 
     #[test]
+    fn lint_exact_synthesize_reports_certificate() {
+        // Exact mode on the Fig 1 ring: the L3 suggestion pins the
+        // proven-minimal disable count for the installed tables (1
+        // turn hits the single wrap cycle), L6 reports the gap against
+        // the free-routing synthesis (0 disables), and `--synthesize`
+        // replays the certificate.
+        let outcome = execute(Command::Lint {
+            specs: vec!["ring:4".parse::<TopoSpec>().unwrap()],
+            json: false,
+            exact: true,
+            synthesize: true,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 1, "{}", outcome.output);
+        assert!(
+            outcome
+                .output
+                .contains("disable 1 turn(s) (proven minimal over the 1 enumerated cycle(s))"),
+            "{}",
+            outcome.output
+        );
+        assert!(outcome.output.contains("L6"), "{}", outcome.output);
+        assert!(
+            outcome.output.contains("certificate replay OK (12 pairs)"),
+            "{}",
+            outcome.output
+        );
+        assert!(
+            outcome.output.contains("synthesize: 0 turn disable(s)"),
+            "{}",
+            outcome.output
+        );
+    }
+
+    #[test]
+    fn lint_exact_synthesize_json_wraps_lint_and_synthesis() {
+        let outcome = execute(Command::Lint {
+            specs: vec!["ring:4".parse::<TopoSpec>().unwrap()],
+            json: true,
+            exact: true,
+            synthesize: true,
+        })
+        .unwrap();
+        let text = outcome.output.trim();
+        assert!(text.starts_with('['), "{text}");
+        assert!(text.contains("\"lint\":"), "{text}");
+        assert!(text.contains("\"synthesis\":"), "{text}");
+        assert!(text.contains("\"certificate\":"), "{text}");
+        assert!(text.contains("\"replay_ok\":true"), "{text}");
+        assert!(text.contains("\"rank\":"), "{text}");
+    }
+
+    #[test]
+    fn lint_exact_clean_spec_stays_clean() {
+        // L6 is Info severity: exact mode must not fail a spec whose
+        // installed tables already certify.
+        let outcome = execute(Command::Lint {
+            specs: vec!["fat-fractahedron:1".parse::<TopoSpec>().unwrap()],
+            json: false,
+            exact: true,
+            synthesize: false,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 0, "{}", outcome.output);
+        assert!(outcome.output.contains("L6"), "{}", outcome.output);
+    }
+
+    #[test]
     fn run_on_lint_matches_execute_output() {
         let cmd = Command::Lint {
             specs: vec!["tetrahedron".parse::<TopoSpec>().unwrap()],
             json: false,
+            exact: false,
+            synthesize: false,
         };
         assert_eq!(run(cmd.clone()).unwrap(), execute(cmd).unwrap().output);
     }

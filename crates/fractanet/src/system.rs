@@ -309,6 +309,36 @@ impl System {
         linter.check_tables(&self.routes)
     }
 
+    /// [`Self::lint`] in exact mode: the L3 suggestion becomes the
+    /// branch-and-bound minimum over the enumerated cycles and the L6
+    /// minimality rule runs with a replayable certificate.
+    pub fn lint_exact(&self) -> LintReport {
+        let mut linter = Linter::new(self.net(), self.end_nodes())
+            .with_subject(self.name())
+            .with_exact(fractanet_deadlock::ExactConfig::default());
+        if let Some(d) = self.discipline() {
+            linter = linter.with_discipline(d);
+        }
+        if let Some(k) = self.paper_contention_bound() {
+            linter = linter.with_contention_bound(k);
+        }
+        linter.check_tables(&self.routes)
+    }
+
+    /// Runs the certificate-producing exact route synthesizer over
+    /// this topology (ignoring the installed tables) — the
+    /// `lint --synthesize` backend.
+    pub fn synthesize_exact(
+        &self,
+    ) -> Result<fractanet_deadlock::ExactSynthesis, fractanet_deadlock::SynthesisError> {
+        fractanet_deadlock::synthesize_disables_exact(
+            self.net(),
+            self.end_nodes(),
+            None,
+            &fractanet_deadlock::ExactConfig::default(),
+        )
+    }
+
     /// Simulates a workload on this system. The engine forwards
     /// hop-by-hop from the shared tables; no per-packet path is
     /// snapshotted.

@@ -1,0 +1,333 @@
+//! Exact minimum hitting set via branch and bound.
+//!
+//! The deadlock layer needs the smallest set of *turns* that touches
+//! every enumerated channel-dependency cycle — a minimum hitting set
+//! over small set systems (tens of sets, each a handful of elements).
+//! At that scale the problem is exactly solvable: this module provides
+//! a deterministic branch-and-bound solver seeded with the greedy
+//! upper bound and pruned by a disjoint-set packing bound (a feasible
+//! solution to the dual of the covering LP, hence a valid lower
+//! bound), plus the greedy heuristic and the packing bound themselves
+//! as standalone functions.
+//!
+//! Everything is generic over the element type so the same machinery
+//! serves turn pairs `(u32, u32)`, channel ids, or plain integers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The outcome of [`min_hitting_set`].
+#[derive(Clone, Debug)]
+pub struct HittingSetSolution<T> {
+    /// The best hitting set found, sorted for determinism. Hits every
+    /// input set; minimum-cardinality when `proven_minimal`.
+    pub chosen: Vec<T>,
+    /// Whether the search space was exhausted, proving `chosen` is a
+    /// true minimum (always check this before claiming minimality).
+    pub proven_minimal: bool,
+    /// A proven lower bound on any hitting set's size (disjoint-set
+    /// packing — each packed set needs its own element).
+    pub lower_bound: usize,
+    /// Branch-and-bound nodes expanded (diagnostic; compare against
+    /// the budget to see how close the search came to exhaustion).
+    pub nodes_explored: usize,
+}
+
+/// Greedy hitting set: repeatedly pick the element present in the most
+/// still-unhit sets (ties broken toward the smallest element, so the
+/// result is deterministic). Not guaranteed minimum; used as the
+/// branch-and-bound upper bound and as the fallback when the exact
+/// search exceeds its budget.
+pub fn greedy_hitting_set<T: Copy + Eq + Hash + Ord>(sets: &[Vec<T>]) -> Vec<T> {
+    let mut alive: Vec<&Vec<T>> = sets.iter().filter(|s| !s.is_empty()).collect();
+    let mut chosen = Vec::new();
+    while !alive.is_empty() {
+        let mut counts: HashMap<T, usize> = HashMap::new();
+        for s in &alive {
+            for &e in *s {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        let &best = counts
+            .iter()
+            .max_by_key(|&(e, n)| (*n, std::cmp::Reverse(*e)))
+            .map(|(e, _)| e)
+            .expect("alive sets are non-empty");
+        chosen.push(best);
+        alive.retain(|s| !s.contains(&best));
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// A lower bound on any hitting set: the size of a greedily packed
+/// family of pairwise element-disjoint sets (each needs a distinct
+/// hitter). Equivalently, the value of a feasible 0/1 solution to the
+/// dual of the fractional covering LP.
+pub fn packing_lower_bound<T: Copy + Eq + Hash + Ord>(sets: &[Vec<T>]) -> usize {
+    // Smallest sets first: small sets are the hardest to keep disjoint,
+    // so packing them early packs more overall.
+    let mut order: Vec<&Vec<T>> = sets.iter().filter(|s| !s.is_empty()).collect();
+    order.sort_by_key(|s| (s.len(), s.first().copied()));
+    let mut used: std::collections::HashSet<T> = std::collections::HashSet::new();
+    let mut packed = 0;
+    for s in order {
+        if s.iter().all(|e| !used.contains(e)) {
+            used.extend(s.iter().copied());
+            packed += 1;
+        }
+    }
+    packed
+}
+
+/// Exact minimum hitting set by branch and bound, up to `max_nodes`
+/// search nodes.
+///
+/// Empty input sets are ignored (they cannot be hit). The search
+/// branches on the elements of the smallest unhit set (every hitting
+/// set must contain one of them, so the branching is complete), prunes
+/// with the packing bound on the remaining unhit sets, and is seeded
+/// with [`greedy_hitting_set`] as the initial incumbent. When the node
+/// budget runs out the incumbent so far is returned with
+/// `proven_minimal == false` — still a valid hitting set, no worse
+/// than greedy.
+pub fn min_hitting_set<T: Copy + Eq + Hash + Ord>(
+    sets: &[Vec<T>],
+    max_nodes: usize,
+) -> HittingSetSolution<T> {
+    // Deduplicate and drop dominated sets: if A ⊆ B, hitting A hits B.
+    let mut work: Vec<Vec<T>> = Vec::new();
+    for s in sets {
+        if s.is_empty() {
+            continue;
+        }
+        let mut s: Vec<T> = s.clone();
+        s.sort_unstable();
+        s.dedup();
+        work.push(s);
+    }
+    work.sort_by_key(|s| s.len());
+    work.dedup();
+    let mut kept: Vec<Vec<T>> = Vec::new();
+    'outer: for s in work {
+        for k in &kept {
+            if k.iter().all(|e| s.binary_search(e).is_ok()) {
+                continue 'outer; // s ⊇ k: dominated
+            }
+        }
+        kept.push(s);
+    }
+
+    let global_lb = packing_lower_bound(&kept);
+    let mut best = greedy_hitting_set(&kept);
+    if best.len() == global_lb {
+        return HittingSetSolution {
+            chosen: best,
+            proven_minimal: true,
+            lower_bound: global_lb,
+            nodes_explored: 0,
+        };
+    }
+
+    struct Search<T> {
+        sets: Vec<Vec<T>>,
+        best: Vec<T>,
+        nodes: usize,
+        max_nodes: usize,
+        exhausted: bool,
+    }
+
+    impl<T: Copy + Eq + Hash + Ord> Search<T> {
+        fn dfs(&mut self, chosen: &mut Vec<T>, unhit: &[usize]) {
+            self.nodes += 1;
+            if self.nodes > self.max_nodes {
+                self.exhausted = false;
+                return;
+            }
+            if unhit.is_empty() {
+                if chosen.len() < self.best.len() {
+                    self.best = chosen.clone();
+                    self.best.sort_unstable();
+                }
+                return;
+            }
+            let remaining: Vec<Vec<T>> = unhit.iter().map(|&i| self.sets[i].clone()).collect();
+            if chosen.len() + packing_lower_bound(&remaining) >= self.best.len() {
+                return; // cannot beat the incumbent
+            }
+            // Branch on the smallest unhit set: any hitting set must
+            // contain at least one of its elements.
+            let &pivot = unhit
+                .iter()
+                .min_by_key(|&&i| (self.sets[i].len(), i))
+                .expect("unhit is non-empty");
+            let elements = self.sets[pivot].clone();
+            for e in elements {
+                chosen.push(e);
+                let next: Vec<usize> = unhit
+                    .iter()
+                    .copied()
+                    .filter(|&i| !self.sets[i].contains(&e))
+                    .collect();
+                self.dfs(chosen, &next);
+                chosen.pop();
+                if self.nodes > self.max_nodes {
+                    return;
+                }
+            }
+        }
+    }
+
+    let all: Vec<usize> = (0..kept.len()).collect();
+    let mut search = Search {
+        sets: kept,
+        best: std::mem::take(&mut best),
+        nodes: 0,
+        max_nodes,
+        exhausted: true,
+    };
+    search.dfs(&mut Vec::new(), &all);
+    let proven = search.exhausted || search.best.len() == global_lb;
+    HittingSetSolution {
+        chosen: search.best,
+        proven_minimal: proven,
+        lower_bound: global_lb,
+        nodes_explored: search.nodes,
+    }
+    .tighten()
+}
+
+impl<T> HittingSetSolution<T> {
+    /// When the search proved minimality, the solution size itself is
+    /// the best possible lower bound.
+    fn tighten(mut self) -> Self {
+        if self.proven_minimal {
+            self.lower_bound = self.chosen.len();
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits<T: Copy + Eq>(chosen: &[T], sets: &[Vec<T>]) -> bool {
+        sets.iter()
+            .filter(|s| !s.is_empty())
+            .all(|s| s.iter().any(|e| chosen.contains(e)))
+    }
+
+    /// Smallest hitting set by brute force over the element universe.
+    fn brute_min<T: Copy + Eq + Hash + Ord>(sets: &[Vec<T>]) -> usize {
+        let mut universe: Vec<T> = sets.iter().flatten().copied().collect();
+        universe.sort_unstable();
+        universe.dedup();
+        let n = universe.len();
+        assert!(n <= 20, "brute force only for tiny instances");
+        let mut best = n;
+        for mask in 0u32..(1 << n) {
+            let size = mask.count_ones() as usize;
+            if size >= best {
+                continue;
+            }
+            let chosen: Vec<T> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| universe[i])
+                .collect();
+            if hits(&chosen, sets) {
+                best = size;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let empty: Vec<Vec<u32>> = Vec::new();
+        let sol = min_hitting_set(&empty, 1000);
+        assert!(sol.chosen.is_empty() && sol.proven_minimal);
+        let one = vec![vec![3u32, 5]];
+        let sol = min_hitting_set(&one, 1000);
+        assert_eq!(sol.chosen.len(), 1);
+        assert!(sol.proven_minimal);
+    }
+
+    #[test]
+    fn disjoint_sets_need_one_each() {
+        let sets = vec![vec![1u32, 2], vec![3, 4], vec![5, 6]];
+        let sol = min_hitting_set(&sets, 10_000);
+        assert_eq!(sol.chosen.len(), 3);
+        assert!(sol.proven_minimal);
+        assert_eq!(sol.lower_bound, 3);
+        assert!(hits(&sol.chosen, &sets));
+    }
+
+    #[test]
+    fn shared_element_beats_greedy_sized_answers() {
+        // Greedy can pick 7 first (hits three sets), then needs two
+        // more; the optimum is {1, 2} — wait, construct a case where
+        // greedy is provably suboptimal: classic tripartite trap.
+        let sets = vec![
+            vec![1u32, 4],
+            vec![1, 5],
+            vec![2, 4],
+            vec![2, 5],
+            vec![3, 4],
+            vec![3, 5],
+        ];
+        // {4, 5} hits everything; greedy-by-count also finds size 2
+        // here, but the exact answer must match brute force.
+        let sol = min_hitting_set(&sets, 100_000);
+        assert!(hits(&sol.chosen, &sets));
+        assert!(sol.proven_minimal);
+        assert_eq!(sol.chosen.len(), brute_min(&sets));
+        assert_eq!(sol.chosen, vec![4, 5]);
+    }
+
+    #[test]
+    fn dominated_supersets_are_ignored() {
+        let sets = vec![vec![1u32], vec![1, 2, 3], vec![2, 9]];
+        let sol = min_hitting_set(&sets, 1000);
+        assert!(hits(&sol.chosen, &sets));
+        assert_eq!(sol.chosen.len(), 2); // {1} forced, plus one of {2,9}
+        assert!(sol.proven_minimal);
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back_to_greedy_quality() {
+        // A grid of overlapping sets with a 1-node budget: the solver
+        // must still return a valid hitting set, flagged unproven.
+        let sets: Vec<Vec<u32>> = (0..8)
+            .map(|i| vec![i, i + 1, (i * 3) % 11, (i * 5) % 13])
+            .collect();
+        let sol = min_hitting_set(&sets, 1);
+        assert!(hits(&sol.chosen, &sets));
+        assert!(!sol.proven_minimal);
+        let greedy = greedy_hitting_set(&sets);
+        assert!(sol.chosen.len() <= greedy.len());
+    }
+
+    #[test]
+    fn greedy_and_packing_are_consistent() {
+        let sets = vec![
+            vec![(0u32, 1u32), (1, 2)],
+            vec![(1, 2), (2, 3)],
+            vec![(4, 5)],
+        ];
+        let g = greedy_hitting_set(&sets);
+        assert!(hits(&g, &sets));
+        let lb = packing_lower_bound(&sets);
+        assert!(lb <= g.len());
+        assert_eq!(lb, 2); // {(1,2)…} family and {(4,5)} are disjoint
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sets = vec![vec![9u32, 1, 5], vec![5, 2], vec![2, 9], vec![7, 1]];
+        let a = min_hitting_set(&sets, 10_000);
+        let b = min_hitting_set(&sets, 10_000);
+        assert_eq!(a.chosen, b.chosen);
+        assert_eq!(a.nodes_explored, b.nodes_explored);
+    }
+}

@@ -23,6 +23,8 @@
 //! * Hopcroft–Karp maximum bipartite matching for the paper's
 //!   "maximum link contention" metric ([`matching`]).
 //! * A small union-find for connectivity checks ([`dsu`]).
+//! * Exact minimum hitting set via branch and bound, for the deadlock
+//!   layer's provably minimal turn-disable synthesis ([`hitting`]).
 //!
 //! The crate is dependency-free: the structures the paper needs (ports,
 //! duplex link pairs, channel identities) are small and bespoke, so a
@@ -37,6 +39,7 @@ pub mod bfs;
 pub mod dsu;
 pub mod error;
 pub mod flow;
+pub mod hitting;
 pub mod ids;
 pub mod json;
 pub mod matching;
@@ -46,5 +49,6 @@ pub mod viz;
 pub use adjlist::AdjList;
 pub use dsu::DisjointSets;
 pub use error::GraphError;
+pub use hitting::{greedy_hitting_set, min_hitting_set, packing_lower_bound, HittingSetSolution};
 pub use ids::{ChannelId, Direction, LinkId, NodeId, PortId};
 pub use network::{LinkClass, LinkInfo, Network, NodeInfo, NodeKind};

@@ -2,6 +2,7 @@
 
 use fractanet_graph::adjlist::AdjList;
 use fractanet_graph::flow::FlowNetwork;
+use fractanet_graph::hitting::{greedy_hitting_set, min_hitting_set, packing_lower_bound};
 use fractanet_graph::matching::Bipartite;
 use fractanet_graph::network::{LinkClass, Network};
 use fractanet_graph::{bfs, DisjointSets, NodeId};
@@ -210,6 +211,41 @@ proptest! {
         }
         heaps(&mut perm, 6, &adj, &mut best);
         prop_assert_eq!(m, best);
+    }
+
+    /// The branch-and-bound hitting set hits every input set, never
+    /// exceeds greedy, never undercuts the packing bound, and equals
+    /// the brute-force minimum whenever it claims minimality.
+    #[test]
+    fn min_hitting_set_sandwich(
+        sets in prop::collection::vec(prop::collection::vec(0u32..10, 1..5), 0..8),
+    ) {
+        let sol = min_hitting_set(&sets, 1_000_000);
+        for s in sets.iter().filter(|s| !s.is_empty()) {
+            prop_assert!(s.iter().any(|e| sol.chosen.contains(e)), "{s:?} unhit");
+        }
+        let greedy = greedy_hitting_set(&sets);
+        let lb = packing_lower_bound(&sets);
+        prop_assert!(sol.chosen.len() <= greedy.len());
+        prop_assert!(lb <= sol.chosen.len());
+        if sol.proven_minimal {
+            let mut universe: Vec<u32> = sets.iter().flatten().copied().collect();
+            universe.sort_unstable();
+            universe.dedup();
+            let mut best = universe.len();
+            for mask in 0u32..(1u32 << universe.len()) {
+                let count = mask.count_ones() as usize;
+                if count >= best { continue; }
+                let hit = |s: &Vec<u32>| s.iter().any(|e| {
+                    universe.iter().position(|u| u == e)
+                        .is_some_and(|i| mask & (1 << i) != 0)
+                });
+                if sets.iter().filter(|s| !s.is_empty()).all(hit) {
+                    best = count;
+                }
+            }
+            prop_assert_eq!(sol.chosen.len(), best);
+        }
     }
 
     /// DSU set count decreases by exactly the number of merging unions.

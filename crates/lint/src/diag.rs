@@ -32,6 +32,10 @@ pub enum RuleId {
     /// Per-link worst-case contention within the paper's bound for the
     /// topology.
     L5Contention,
+    /// Disable-set minimality (exact mode only): compares the turns the
+    /// installed discipline forgoes against the proven minimum from the
+    /// exact synthesizer, reporting the gap and the certificate.
+    L6Minimality,
 }
 
 impl RuleId {
@@ -43,6 +47,7 @@ impl RuleId {
             RuleId::L3CdgCycles => "L3",
             RuleId::L4Discipline => "L4",
             RuleId::L5Contention => "L5",
+            RuleId::L6Minimality => "L6",
         }
     }
 
@@ -54,6 +59,7 @@ impl RuleId {
             RuleId::L3CdgCycles => "channel-dependency acyclicity",
             RuleId::L4Discipline => "routing-discipline conformance",
             RuleId::L5Contention => "contention bound",
+            RuleId::L6Minimality => "disable-set minimality",
         }
     }
 }
@@ -113,6 +119,16 @@ pub struct Diagnostic {
     /// Suggested remediation, when the linter can compute one (e.g. a
     /// minimal disable set for an L3 cycle).
     pub suggestion: Option<String>,
+    /// For L6: how many more turns the discipline disables than the
+    /// exhibited minimum (0 = already minimal).
+    pub gap: Option<usize>,
+    /// For L3: whether the cycle enumeration behind this finding hit
+    /// its cap — any suggested disable set then covers a partial cycle
+    /// list and exact mode refuses to claim minimality.
+    pub truncated: Option<bool>,
+    /// A replayable certificate (raw JSON object) backing the finding,
+    /// emitted by exact mode.
+    pub certificate: Option<String>,
 }
 
 impl Diagnostic {
@@ -126,6 +142,9 @@ impl Diagnostic {
             affected_pairs: 0,
             channels: Vec::new(),
             suggestion: None,
+            gap: None,
+            truncated: None,
+            certificate: None,
         }
     }
 
@@ -146,6 +165,24 @@ impl Diagnostic {
     /// Attaches a remediation suggestion.
     pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
         self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Attaches an L6 minimality gap.
+    pub fn with_gap(mut self, gap: usize) -> Self {
+        self.gap = Some(gap);
+        self
+    }
+
+    /// Records whether the backing cycle enumeration was truncated.
+    pub fn with_truncated(mut self, truncated: bool) -> Self {
+        self.truncated = Some(truncated);
+        self
+    }
+
+    /// Attaches a replayable certificate (must already be valid JSON).
+    pub fn with_certificate(mut self, cert: impl Into<String>) -> Self {
+        self.certificate = Some(cert.into());
         self
     }
 
@@ -172,6 +209,15 @@ impl Diagnostic {
         }
         if let Some(s) = &self.suggestion {
             o = o.field_str("suggestion", s);
+        }
+        if let Some(g) = self.gap {
+            o = o.field_num("gap", g);
+        }
+        if let Some(t) = self.truncated {
+            o = o.field_bool("truncated", t);
+        }
+        if let Some(c) = &self.certificate {
+            o = o.field_raw("certificate", c);
         }
         o.build()
     }
@@ -244,8 +290,12 @@ impl LintReport {
     ///  "rules_run":["L1",…],"errors":N,"warnings":N,"clean":bool,
     ///  "diagnostics":[{"rule":"L3","severity":"error","message":"…",
     ///                  "pairs":[[s,d],…],"affected_pairs":N,
-    ///                  "channels":[c,…],"suggestion":"…"},…]}
+    ///                  "channels":[c,…],"suggestion":"…",
+    ///                  "gap":N,"truncated":bool,"certificate":{…}},…]}
     /// ```
+    ///
+    /// `gap`, `truncated` and `certificate` appear only on findings
+    /// that set them (L6 and exact-mode L3).
     pub fn to_json(&self) -> String {
         let mut rules = JsonArray::new();
         for r in &self.rules_run {
@@ -359,6 +409,23 @@ mod tests {
              {\"rule\":\"L1\",\"severity\":\"info\",\"message\":\"pair severed\",\
              \"pairs\":[[0,1]],\"affected_pairs\":1}]}"
         );
+    }
+
+    #[test]
+    fn optional_exact_fields_serialize_only_when_set() {
+        let d = Diagnostic::new(RuleId::L6Minimality, Severity::Info, "2 over minimum")
+            .with_gap(2)
+            .with_truncated(false)
+            .with_certificate("{\"disables\":[[0,2]]}");
+        let j = d.json();
+        assert!(j.contains("\"rule\":\"L6\""));
+        assert!(j.contains("\"gap\":2"));
+        assert!(j.contains("\"truncated\":false"));
+        assert!(j.contains("\"certificate\":{\"disables\":[[0,2]]}"));
+        // And the plain report (which sets none of them) stays free of
+        // the keys — guarded byte-exactly by json_exact_output too.
+        assert!(!report().to_json().contains("gap"));
+        assert!(!report().to_json().contains("certificate"));
     }
 
     #[test]

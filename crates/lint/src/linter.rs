@@ -1,4 +1,4 @@
-//! The lint driver: rules L1–L5 over a `Network` + `RouteSet`.
+//! The lint driver: rules L1–L6 over a `Network` + `RouteSet`.
 //!
 //! | rule | checks | severity |
 //! |------|--------|----------|
@@ -7,16 +7,27 @@
 //! | L3 | channel-dependency graph acyclic; on failure *all* elementary cycles (bounded) plus a suggested disable set | error |
 //! | L4 | routes obey the declared routing discipline | error |
 //! | L5 | per-link worst-case contention within the configured bound | error (info when no bound is configured) |
+//! | L6 | (exact mode) installed discipline vs the exhibited minimum disable set, with gap and certificate | info |
 //!
-//! L1–L3 always run; L4 needs a [`Discipline`] and L5 reports
-//! informationally unless a bound is set. All rules are static — no
-//! flit ever moves — which is the §2.4 claim ("the preceding routing
-//! algorithm eliminates these loops and avoids possible deadlocks")
-//! made checkable for *any* table, not just the paper's.
+//! L1–L3 always run; L4 needs a [`Discipline`], L5 reports
+//! informationally unless a bound is set, and L6 runs only under
+//! [`Linter::with_exact`]. All rules are static — no flit ever moves —
+//! which is the §2.4 claim ("the preceding routing algorithm
+//! eliminates these loops and avoids possible deadlocks") made
+//! checkable for *any* table, not just the paper's.
+//!
+//! Exact mode upgrades the L3 disable-set suggestion from greedy to
+//! the branch-and-bound minimum over the enumerated cycle space
+//! (minimality is never claimed over a truncated enumeration) and adds
+//! the L6 report backed by the certificate from
+//! [`fractanet_deadlock::synthesize_disables_exact`].
 
 use crate::diag::{Diagnostic, LintReport, RuleId, Severity};
 use crate::discipline::Discipline;
-use fractanet_deadlock::{synthesize_disables, ChannelDependencyGraph};
+use fractanet_deadlock::{
+    min_cycle_disables, route_one_masked, synthesize_disables, synthesize_disables_exact,
+    ChannelDependencyGraph, DisableSet, ExactConfig,
+};
 use fractanet_graph::{ChannelId, Network, NodeId};
 use fractanet_metrics::max_link_contention_paths;
 use fractanet_route::{DeadMask, Paths, RouteError, RouteSet, Routes};
@@ -49,6 +60,7 @@ pub struct Linter<'a> {
     max_cycles: usize,
     max_cycle_steps: usize,
     suggest_disables: bool,
+    exact: Option<ExactConfig>,
 }
 
 impl<'a> Linter<'a> {
@@ -65,6 +77,7 @@ impl<'a> Linter<'a> {
             max_cycles: 16,
             max_cycle_steps: 100_000,
             suggest_disables: true,
+            exact: None,
         }
     }
 
@@ -106,6 +119,15 @@ impl<'a> Linter<'a> {
     /// whole network; skip it when linting inside a hot path).
     pub fn without_suggestions(mut self) -> Self {
         self.suggest_disables = false;
+        self
+    }
+
+    /// Enables exact mode: the L3 suggestion becomes the proven
+    /// minimum hitting set over the enumerated cycles, and the L6
+    /// minimality rule runs, comparing the installed discipline
+    /// against the exact synthesizer's certified disable set.
+    pub fn with_exact(mut self, cfg: ExactConfig) -> Self {
+        self.exact = Some(cfg);
         self
     }
 
@@ -178,6 +200,10 @@ impl<'a> Linter<'a> {
         }
         rules_run.push(RuleId::L5Contention);
         self.check_contention(paths, &mut diags);
+        if let Some(cfg) = &self.exact {
+            rules_run.push(RuleId::L6Minimality);
+            self.check_minimality(paths, cfg, &mut diags);
+        }
         diags.sort_by_key(|d| (d.rule, std::cmp::Reverse(d.severity)));
         LintReport {
             subject: self.subject.clone(),
@@ -425,7 +451,10 @@ impl<'a> Linter<'a> {
             .graph()
             .elementary_cycles(self.max_cycles, self.max_cycle_steps);
         let suggestion = if self.suggest_disables {
-            Some(self.disable_suggestion(&cycles))
+            Some(match &self.exact {
+                Some(cfg) => self.exact_suggestion(&cycles, truncated, cfg),
+                None => self.disable_suggestion(&cycles),
+            })
         } else {
             None
         };
@@ -445,14 +474,20 @@ impl<'a> Linter<'a> {
                 RuleId::L3CdgCycles,
                 Severity::Error,
                 format!(
-                    "channel-dependency cycle {}/{}: {} ({} channels)",
+                    "channel-dependency cycle {}/{}{}: {} ({} channels)",
                     i + 1,
                     cycles.len(),
+                    if truncated {
+                        "+ (enumeration truncated)"
+                    } else {
+                        ""
+                    },
                     hops.join(" => "),
                     chans.len()
                 ),
             )
-            .with_channels(chans);
+            .with_channels(chans)
+            .with_truncated(truncated);
             if i == 0 {
                 if let Some(s) = &suggestion {
                     diag = diag.with_suggestion(s.clone());
@@ -461,15 +496,19 @@ impl<'a> Linter<'a> {
             out.push(diag);
         }
         if truncated {
-            out.push(Diagnostic::new(
-                RuleId::L3CdgCycles,
-                Severity::Warning,
-                format!(
-                    "cycle enumeration truncated at {} cycles — the dependency graph \
-                     contains more",
-                    cycles.len()
-                ),
-            ));
+            out.push(
+                Diagnostic::new(
+                    RuleId::L3CdgCycles,
+                    Severity::Warning,
+                    format!(
+                        "cycle enumeration truncated at {} cycles — the dependency graph \
+                         contains more, so any suggested disable set covers a partial \
+                         cycle list",
+                        cycles.len()
+                    ),
+                )
+                .with_truncated(true),
+            );
         }
     }
 
@@ -522,6 +561,135 @@ impl<'a> Linter<'a> {
             }
             Err(e) => format!("no disable set found ({e})"),
         }
+    }
+
+    /// Exact-mode L3 suggestion: the branch-and-bound minimum hitting
+    /// set over the enumerated cycles, with the minimality claim scoped
+    /// honestly — never claimed over a truncated enumeration or an
+    /// exhausted node budget.
+    fn exact_suggestion(&self, cycles: &[Vec<u32>], truncated: bool, cfg: &ExactConfig) -> String {
+        let sol = min_cycle_disables(cycles, cfg.bb_node_budget);
+        let named: Vec<String> = sol
+            .turns
+            .iter()
+            .map(|&(a, b)| {
+                format!(
+                    "{}->{}-x->{}",
+                    self.net.label(self.net.channel_src(ChannelId(a))),
+                    self.net.label(self.net.channel_dst(ChannelId(a))),
+                    self.net.label(self.net.channel_dst(ChannelId(b)))
+                )
+            })
+            .collect();
+        let claim = if truncated {
+            "enumeration truncated — minimality not claimed".to_string()
+        } else if sol.proven_minimal {
+            format!(
+                "proven minimal over the {} enumerated cycle(s)",
+                cycles.len()
+            )
+        } else {
+            format!(
+                "node budget exhausted — minimality unproven (lower bound {})",
+                sol.lower_bound
+            )
+        };
+        format!(
+            "disable {} turn(s) ({claim}): {}",
+            named.len(),
+            named.join(", ")
+        )
+    }
+
+    /// L6 (exact mode only): compares the turns the installed routing
+    /// forgoes against the exhibited minimum from the certificate-
+    /// producing synthesizer. Informational — a positive gap means the
+    /// discipline is more restrictive than necessary, not wrong.
+    fn check_minimality(&self, paths: Paths<'_>, cfg: &ExactConfig, out: &mut Vec<Diagnostic>) {
+        let synth = match synthesize_disables_exact(self.net, self.ends, self.mask, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                out.push(Diagnostic::new(
+                    RuleId::L6Minimality,
+                    Severity::Warning,
+                    format!("exact synthesis failed: {e}"),
+                ));
+                return;
+            }
+        };
+        // Turn deviation of the installed routing: CDG edges an
+        // unrestricted shortest-path routing would take that the
+        // installed routing avoids — the price the discipline pays.
+        let installed = ChannelDependencyGraph::from_paths(self.net, paths);
+        let installed_edges: std::collections::HashSet<(u32, u32)> = (0..self.net.channel_count()
+            as u32)
+            .flat_map(|v| {
+                installed
+                    .graph()
+                    .succ(v)
+                    .iter()
+                    .map(move |&w| (v, w))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let empty = DisableSet::new();
+        let mut forgone = 0usize;
+        let mut free_edges = std::collections::HashSet::new();
+        for s in 0..self.ends.len() {
+            for d in 0..self.ends.len() {
+                if s == d || !self.node_ok(self.ends[s]) || !self.node_ok(self.ends[d]) {
+                    continue;
+                }
+                if let Some(p) = route_one_masked(self.net, self.ends, &empty, self.mask, s, d) {
+                    for w in p.windows(2) {
+                        free_edges.insert((w[0].0, w[1].0));
+                    }
+                }
+            }
+        }
+        for e in &free_edges {
+            if !installed_edges.contains(e) {
+                forgone += 1;
+            }
+        }
+        let m = synth.disables();
+        let gap = forgone.saturating_sub(m);
+        let minimality = if synth.proven_minimal {
+            format!(
+                "proven minimal over the {} enumerated cycle(s)",
+                synth.cycles_seen
+            )
+        } else if synth.truncated {
+            "cycle enumeration truncated — minimality not claimed".to_string()
+        } else {
+            format!(
+                "minimality unproven (lower bound {}, greedy {})",
+                synth.lower_bound,
+                if synth.greedy_size == usize::MAX {
+                    "failed".to_string()
+                } else {
+                    synth.greedy_size.to_string()
+                }
+            )
+        };
+        let message = if gap > 0 {
+            format!(
+                "installed routing forgoes {forgone} turn(s) of the unrestricted \
+                 shortest-path routing; {m} disable(s) suffice ({minimality}) — \
+                 {gap} more than the exhibited minimum"
+            )
+        } else {
+            format!(
+                "installed routing forgoes {forgone} turn(s); exhibited minimum is \
+                 {m} disable(s) ({minimality})"
+            )
+        };
+        out.push(
+            Diagnostic::new(RuleId::L6Minimality, Severity::Info, message)
+                .with_gap(gap)
+                .with_truncated(synth.truncated)
+                .with_certificate(synth.certificate_json()),
+        );
     }
 
     /// L4: every path obeys the declared discipline.
@@ -687,6 +855,72 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"rule\":\"L3\""));
         assert!(json.contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn exact_mode_stays_clean_and_adds_l6_with_certificate() {
+        let f = Fractahedron::new(1, Variant::Fat, false).unwrap();
+        let rs = fracta_rs(&f);
+        let report = Linter::new(f.net(), f.end_nodes())
+            .with_discipline(Discipline::fractahedral(&f))
+            .with_exact(ExactConfig::default())
+            .check(&rs);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.rules_run.contains(&RuleId::L6Minimality));
+        let l6: Vec<_> = report.by_rule(RuleId::L6Minimality).collect();
+        assert_eq!(l6.len(), 1);
+        assert_eq!(l6[0].severity, Severity::Info);
+        let cert = l6[0]
+            .certificate
+            .as_deref()
+            .expect("L6 carries certificate");
+        assert!(cert.contains("\"rank\":["), "{cert}");
+        assert!(report.to_json().contains("\"certificate\":{"));
+    }
+
+    #[test]
+    fn exact_mode_ring_suggestion_claims_scoped_minimality() {
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_clockwise_routes(&r)).unwrap();
+        let report = Linter::new(r.net(), r.end_nodes())
+            .with_exact(ExactConfig::default())
+            .check(&rs);
+        assert!(!report.is_clean());
+        let l3: Vec<_> = report.by_rule(RuleId::L3CdgCycles).collect();
+        let s = l3
+            .iter()
+            .find_map(|d| d.suggestion.as_deref())
+            .expect("exact L3 suggestion");
+        assert!(s.contains("proven minimal over the"), "{s}");
+        // The untruncated enumeration is recorded on the diagnostic.
+        assert_eq!(l3[0].truncated, Some(false));
+        assert!(report.to_json().contains("\"truncated\":false"));
+    }
+
+    #[test]
+    fn truncated_enumeration_refuses_minimality_and_is_surfaced() {
+        // Cap the enumeration at a single cycle on the shortest-routed
+        // ring (which has two): truncation must be flagged on the L3
+        // diagnostics and the exact suggestion must not claim
+        // minimality.
+        let r = Ring::new(4, 1, 6).unwrap();
+        let rs = RouteSet::from_table(r.net(), r.end_nodes(), &ring_shortest_routes(&r)).unwrap();
+        let report = Linter::new(r.net(), r.end_nodes())
+            .with_cycle_limit(1, 100_000)
+            .with_exact(ExactConfig::default())
+            .check(&rs);
+        let l3: Vec<_> = report.by_rule(RuleId::L3CdgCycles).collect();
+        assert!(l3.iter().any(|d| d.truncated == Some(true)));
+        assert!(l3
+            .iter()
+            .any(|d| d.message.contains("enumeration truncated")));
+        let s = l3
+            .iter()
+            .find_map(|d| d.suggestion.as_deref())
+            .expect("suggestion still emitted");
+        assert!(s.contains("minimality not claimed"), "{s}");
+        assert!(!s.contains("proven minimal"), "{s}");
+        assert!(report.to_json().contains("\"truncated\":true"));
     }
 
     #[test]

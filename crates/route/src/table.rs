@@ -145,6 +145,31 @@ impl Routes {
         routes
     }
 
+    /// Projects a per-pair route set onto destination-indexed tables.
+    ///
+    /// Tables are incoming-channel-agnostic: every route toward `dst`
+    /// crossing router `r` must leave by the same port. Arbitrary
+    /// per-pair paths (e.g. from turn-disable synthesis) need not be
+    /// coherent in that sense, so this returns `None` on the first
+    /// conflicting entry — the caller keeps the route set as a dense
+    /// scheme instead. Empty paths (severed pairs) contribute no
+    /// entries.
+    pub fn from_pair_paths(net: &Network, ends: &[NodeId], routes: &RouteSet) -> Option<Self> {
+        let mut tables = Self::new(net, ends.len());
+        for (_, d, path) in routes.pairs() {
+            for w in path.windows(2) {
+                let router = net.channel_dst(w[0]);
+                let port = net.channel_src_port(w[1]);
+                match tables.get(router, d) {
+                    Some(existing) if existing != port => return None,
+                    Some(_) => {}
+                    None => tables.set(router, d, port),
+                }
+            }
+        }
+        Some(tables)
+    }
+
     /// Number of destination addresses.
     pub fn n_addr(&self) -> usize {
         self.n_addr
@@ -585,6 +610,91 @@ mod tests {
         assert_eq!(p.len(), 3); // attach, inter-router, attach
         assert_eq!(net.channel_src(p[0]), ends[0]);
         assert_eq!(net.channel_dst(p[2]), ends[1]);
+    }
+
+    #[test]
+    fn from_pair_paths_roundtrips_table_derived_routes() {
+        // Route sets traced from tables are coherent by construction,
+        // so projecting them back must reproduce every entry a route
+        // actually exercises.
+        let (net, ends, r0, r1) = dumbbell();
+        let mut routes = Routes::new(&net, 2);
+        routes.set(r0, 1, PortId(0));
+        routes.set(r1, 1, PortId(1));
+        routes.set(r1, 0, PortId(0));
+        routes.set(r0, 0, PortId(1));
+        let rs = RouteSet::from_table(&net, &ends, &routes).unwrap();
+        let back = Routes::from_pair_paths(&net, &ends, &rs).expect("coherent projection");
+        for s in 0..2 {
+            for d in 0..2 {
+                if s == d {
+                    continue;
+                }
+                assert_eq!(
+                    back.trace(&net, &ends, s, d),
+                    routes.trace(&net, &ends, s, d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_pair_paths_rejects_incoherent_routes() {
+        // n0 - r0 - r1 - n1 with a second r0-r1 cable: send pair 0->1
+        // over one cable and... a conflicting delivery is impossible on
+        // this tiny net from 2 ends, so use a 3-end star instead: two
+        // sources reach the same destination through the same router by
+        // different ports.
+        let mut net = Network::new();
+        let r0 = net.add_router("r0", 6);
+        let r1 = net.add_router("r1", 6);
+        let r2 = net.add_router("r2", 6);
+        net.connect(r0, PortId(0), r2, PortId(0), LinkClass::Local)
+            .unwrap();
+        net.connect(r1, PortId(0), r2, PortId(1), LinkClass::Local)
+            .unwrap();
+        net.connect(r0, PortId(2), r1, PortId(2), LinkClass::Local)
+            .unwrap();
+        let n0 = net.add_end_node("n0");
+        let n1 = net.add_end_node("n1");
+        let n2 = net.add_end_node("n2");
+        net.connect(r0, PortId(1), n0, PortId(0), LinkClass::Attach)
+            .unwrap();
+        net.connect(r1, PortId(1), n1, PortId(0), LinkClass::Attach)
+            .unwrap();
+        net.connect(r2, PortId(2), n2, PortId(0), LinkClass::Attach)
+            .unwrap();
+        let ends = vec![n0, n1, n2];
+        // Pair 0->2 goes n0,r0,r2,n2; pair 1->2 goes n1,r1,r0,r2? No —
+        // make 1->2 route n1,r1,r0,r1,... keep it simple: route 1->2 as
+        // n1 -> r1 -> r0 -> r2 -> n2, so r0 forwards dst 2 via its r2
+        // port, consistent; then make 0->2 instead detour n0 -> r0 ->
+        // r1 -> r2 -> n2: now r0 forwards dst 2 via its r1 port for
+        // pair 0 but via its r2 port for pair 1 — incoherent.
+        let path_0_2 = |net: &Network| -> Vec<ChannelId> { pick_path(net, &[n0, r0, r1, r2, n2]) };
+        let path_1_2 = |net: &Network| -> Vec<ChannelId> { pick_path(net, &[n1, r1, r0, r2, n2]) };
+        let p02 = path_0_2(&net);
+        let p12 = path_1_2(&net);
+        let rs = RouteSet::from_pairs(3, |s, d| match (s, d) {
+            (0, 2) => p02.clone(),
+            (1, 2) => p12.clone(),
+            _ => Vec::new(),
+        });
+        assert!(Routes::from_pair_paths(&net, &ends, &rs).is_none());
+    }
+
+    /// Builds the channel sequence visiting the given nodes in order.
+    fn pick_path(net: &Network, nodes: &[NodeId]) -> Vec<ChannelId> {
+        nodes
+            .windows(2)
+            .map(|w| {
+                net.channels_from(w[0])
+                    .iter()
+                    .find(|&&(_, dst)| dst == w[1])
+                    .expect("adjacent nodes")
+                    .0
+            })
+            .collect()
     }
 
     #[test]

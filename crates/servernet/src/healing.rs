@@ -8,10 +8,21 @@
 //! pushes the result through the Dally & Seitz check
 //! (`fractanet-deadlock`). A table that fails certification is never
 //! returned — the caller keeps the old (safe) tables instead.
+//!
+//! When the family-specific repair cannot produce certifiable tables
+//! for a faulted topology, [`heal_mask_with_fallback`] falls back to
+//! the certificate-producing exact synthesizer
+//! ([`fractanet_deadlock::synthesize_disables_exact`]), which routes
+//! the surviving component from scratch with a provably small disable
+//! set — and its output passes the very same certification gates
+//! before anything is installed.
 
 use crate::faults::FaultSet;
 use fractanet_deadlock::DeadlockReport;
-use fractanet_deadlock::{verify_deadlock_free, verify_deadlock_free_tables};
+use fractanet_deadlock::{
+    synthesize_disables_exact, verify_deadlock_free, verify_deadlock_free_tables, DisableSet,
+    ExactConfig, SynthesisError,
+};
 use fractanet_graph::{LinkId, Network, NodeId};
 use fractanet_lint::{LintReport, Linter};
 use fractanet_route::repair::{repair_tables, trace_surviving, DeadMask, RepairError};
@@ -67,6 +78,9 @@ pub enum HealError {
     /// class that once let a post-fault table bypass path-liveness
     /// checks. The full report is attached for diagnosis.
     Lint(Box<LintReport>),
+    /// The fallback route synthesizer could not produce a
+    /// deadlock-free routing for the surviving topology.
+    Synthesis(SynthesisError),
 }
 
 impl std::fmt::Display for HealError {
@@ -79,6 +93,7 @@ impl std::fmt::Display for HealError {
                 "repaired tables failed lint with {} error(s): {r}",
                 r.error_count()
             ),
+            HealError::Synthesis(e) => write!(f, "fallback route synthesis failed: {e}"),
         }
     }
 }
@@ -119,6 +134,89 @@ pub fn heal_mask(net: &Network, ends: &[NodeId], mask: &DeadMask) -> Result<Heal
         total_pairs: rep.total_pairs,
         cdg_dependencies,
     })
+}
+
+/// A heal produced by the exact route synthesizer instead of the
+/// family repairer: per-pair routes with an explicit disable set,
+/// certified through the same gates, plus the table projection when
+/// the routes are coherent enough to install as destination tables.
+#[derive(Clone, Debug)]
+pub struct SynthesizedHeal {
+    /// The certified per-pair routes (severed pairs have empty paths).
+    pub routes: RouteSet,
+    /// Turns the synthesized routing forswears (the path-disable
+    /// registers to program).
+    pub disables: DisableSet,
+    /// The destination-table projection of `routes`, present only when
+    /// every route toward each destination is port-coherent **and**
+    /// the projected tables themselves pass [`certify_tables`].
+    /// Synthesized routings are per-pair, which tables cannot always
+    /// express; `None` keeps consumers on the dense route set.
+    pub tables: Option<Routes>,
+    /// Ordered pairs still connected.
+    pub connected_pairs: usize,
+    /// All ordered pairs.
+    pub total_pairs: usize,
+    /// Dependencies in the certified CDG (diagnostic).
+    pub cdg_dependencies: usize,
+}
+
+impl SynthesizedHeal {
+    /// Fraction of ordered pairs still routable.
+    pub fn coverage(&self) -> f64 {
+        if self.total_pairs == 0 {
+            1.0
+        } else {
+            self.connected_pairs as f64 / self.total_pairs as f64
+        }
+    }
+}
+
+/// How a fallback-capable heal succeeded.
+#[derive(Clone, Debug)]
+pub enum HealOutcome {
+    /// The family repairer covered the fault; its certified tables.
+    Repaired(Box<HealReport>),
+    /// The repairer could not certify; the exact synthesizer could.
+    Synthesized(Box<SynthesizedHeal>),
+}
+
+/// Routes the surviving component from scratch with the exact
+/// synthesizer and pushes the result through [`certify_routes`] (and,
+/// when the routes project onto coherent tables, [`certify_tables`]).
+/// Never returns an uncertified routing.
+pub fn synthesize_heal(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+) -> Result<SynthesizedHeal, HealError> {
+    let synth = synthesize_disables_exact(net, ends, Some(mask), &ExactConfig::default())
+        .map_err(HealError::Synthesis)?;
+    let cdg_dependencies = certify_routes(net, ends, mask, &synth.witness.routes)?;
+    let tables = Routes::from_pair_paths(net, ends, &synth.witness.routes)
+        .filter(|t| certify_tables(net, ends, mask, t).is_ok());
+    Ok(SynthesizedHeal {
+        routes: synth.witness.routes,
+        disables: synth.witness.disables,
+        tables,
+        connected_pairs: synth.connected_pairs,
+        total_pairs: synth.total_pairs,
+        cdg_dependencies,
+    })
+}
+
+/// [`heal_mask`], falling back to [`synthesize_heal`] when the family
+/// repairer's tables fail certification. The error of the *synthesis*
+/// path is returned when both fail, since it is the terminal attempt.
+pub fn heal_mask_with_fallback(
+    net: &Network,
+    ends: &[NodeId],
+    mask: &DeadMask,
+) -> Result<HealOutcome, HealError> {
+    match heal_mask(net, ends, mask) {
+        Ok(rep) => Ok(HealOutcome::Repaired(Box::new(rep))),
+        Err(_) => synthesize_heal(net, ends, mask).map(|s| HealOutcome::Synthesized(Box::new(s))),
+    }
 }
 
 /// The certification gate itself, run directly over destination
@@ -177,7 +275,10 @@ pub fn healing_repairer<'a>(
 ) -> impl FnMut(&[LinkId], &[NodeId]) -> Option<RouteSet> + 'a {
     move |dead_links, dead_routers| {
         let mask = DeadMask::from_dead(net, dead_links, dead_routers);
-        heal_mask(net, ends, &mask).ok().map(|h| h.routes)
+        match heal_mask_with_fallback(net, ends, &mask).ok()? {
+            HealOutcome::Repaired(h) => Some(h.routes),
+            HealOutcome::Synthesized(s) => Some(s.routes),
+        }
     }
 }
 
@@ -195,9 +296,17 @@ pub fn table_healing_repairer<'a>(
     move |dead_links, dead_routers| {
         let mask = DeadMask::from_dead(net, dead_links, dead_routers);
         let rep = inc.repair(&mask);
-        certify_tables(net, ends, &mask, &rep.tables)
+        if certify_tables(net, ends, &mask, &rep.tables).is_ok() {
+            return Some(Arc::new(rep.tables));
+        }
+        // Family repair could not certify: fall back to the exact
+        // synthesizer, installable only when its routes project onto
+        // coherent tables (certified inside synthesize_heal). The old
+        // tables stay otherwise.
+        synthesize_heal(net, ends, &mask)
             .ok()
-            .map(|_| Arc::new(rep.tables))
+            .and_then(|s| s.tables)
+            .map(Arc::new)
     }
 }
 
@@ -347,6 +456,64 @@ mod tests {
         assert_eq!(tabled.cycles, dense.cycles);
         assert_eq!(tabled.avg_latency, dense.avg_latency);
         assert_eq!(tabled.max_latency, dense.max_latency);
+    }
+
+    #[test]
+    fn synthesize_heal_certifies_faulted_ring() {
+        // Kill one inter-router link of a 5-ring: the survivors form a
+        // line; the synthesizer must route all pairs, certify, and
+        // project onto installable tables.
+        let r = Ring::new(5, 1, 6).unwrap();
+        let mut mask = DeadMask::new(r.net());
+        mask.kill_link(router_link(r.net()));
+        let s = synthesize_heal(r.net(), r.end_nodes(), &mask).unwrap();
+        assert_eq!(s.connected_pairs, s.total_pairs);
+        assert!((s.coverage() - 1.0).abs() < 1e-9);
+        // The synthesized routes re-certify from scratch.
+        assert!(certify_routes(r.net(), r.end_nodes(), &mask, &s.routes).is_ok());
+        // A line has an acyclic CDG under shortest-path routing, so
+        // the projection must be coherent and itself certified.
+        let tables = s.tables.expect("line routing projects onto tables");
+        assert!(certify_tables(r.net(), r.end_nodes(), &mask, &tables).is_ok());
+        // No route crosses the dead link.
+        for (sa, da, p) in s.routes.pairs() {
+            assert!(
+                p.iter().all(|c| mask.link_ok(c.link())),
+                "pair ({sa},{da}) crosses the dead link"
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_prefers_family_repair_when_it_certifies() {
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let mut mask = DeadMask::new(h.net());
+        mask.kill_link(router_link(h.net()));
+        let out = heal_mask_with_fallback(h.net(), h.end_nodes(), &mask).unwrap();
+        let HealOutcome::Repaired(rep) = out else {
+            panic!("up*/down* repair covers a one-link fault on the cube");
+        };
+        assert!(rep.is_full());
+    }
+
+    #[test]
+    fn synthesize_heal_covers_partial_survivors() {
+        // Kill end node 0's attach router: the synthesizer covers the
+        // surviving component and leaves the severed pairs unrouted.
+        let r = Ring::new(4, 1, 6).unwrap();
+        let router0 = r.net().channels_from(r.end_nodes()[0]).first().unwrap().1;
+        let mut mask = DeadMask::new(r.net());
+        mask.kill_router(router0);
+        let s = synthesize_heal(r.net(), r.end_nodes(), &mask).unwrap();
+        assert_eq!(s.connected_pairs, 6);
+        assert!((s.coverage() - 0.5).abs() < 1e-9);
+        for (sa, da, p) in s.routes.pairs() {
+            if sa == 0 || da == 0 {
+                assert!(p.is_empty(), "severed pair ({sa},{da}) got a route");
+            } else if sa != da {
+                assert!(!p.is_empty(), "surviving pair ({sa},{da}) unrouted");
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -37,8 +37,8 @@ pub mod transactions;
 pub use fabric::{DualFabric, FabricId};
 pub use faults::FaultSet;
 pub use healing::{
-    certify_routes, certify_tables, heal, heal_mask, healing_repairer, table_healing_repairer,
-    HealError, HealReport,
+    certify_routes, certify_tables, heal, heal_mask, heal_mask_with_fallback, healing_repairer,
+    synthesize_heal, table_healing_repairer, HealError, HealOutcome, HealReport, SynthesizedHeal,
 };
 pub use link::LinkSpec;
 pub use packet::{segment_transfer, Packet, PacketError, TransactionKind};

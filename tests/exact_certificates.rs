@@ -1,0 +1,143 @@
+//! Acceptance tests for the exact deadlock layer: on every checked-in
+//! spec the decision procedure agrees with the table verifier, the
+//! exact synthesizer never does worse than the greedy one, and every
+//! certificate survives an independent replay.
+
+use fractanet::deadlock::{
+    deadlock_free_routing_exists, min_cycle_disables, synthesize_disables,
+    synthesize_disables_exact, ChannelDependencyGraph, Decision, ExactConfig,
+};
+use fractanet::prelude::*;
+
+/// The specs pinned by CI (`lint-gate` plus the Fig 1 ring).
+const SPECS: &[&str] = &[
+    "mesh:6x6",
+    "hypercube:6",
+    "fattree:64:4:2",
+    "fat-fractahedron:1",
+    "fat-fractahedron:2",
+    "ring:4",
+];
+
+fn build(spec: &str) -> System {
+    spec.parse::<TopoSpec>().expect("valid spec").build()
+}
+
+/// The decision procedure says `Free` on every checked-in spec (they
+/// are all connected), the witness replays over every ordered pair,
+/// and its routes certify acyclic. Where the installed tables already
+/// certify, the two verdicts agree; the one spec whose tables do not
+/// certify (the Fig 1 ring) still admits a deadlock-free routing —
+/// existence is a property of the network, not of the tables.
+#[test]
+fn decision_agrees_with_table_verifier_on_every_spec() {
+    for spec in SPECS {
+        let sys = build(spec);
+        let tables_ok =
+            verify_deadlock_free_tables(sys.net(), sys.end_nodes(), sys.routes()).is_ok();
+        assert_eq!(tables_ok, *spec != "ring:4", "{spec}");
+        match deadlock_free_routing_exists(sys.net(), sys.end_nodes()) {
+            Decision::Free(synth) => {
+                let n = sys.end_nodes().len();
+                let covered = synth
+                    .witness
+                    .replay(sys.net(), sys.end_nodes())
+                    .unwrap_or_else(|e| panic!("{spec}: replay failed: {e}"));
+                assert_eq!(covered, n * (n - 1), "{spec}");
+                assert!(
+                    verify_deadlock_free(sys.net(), &synth.witness.routes).is_ok(),
+                    "{spec}: witness routes must certify acyclic"
+                );
+            }
+            Decision::NoRouting(obs) => {
+                panic!("{spec}: spuriously declared unroutable: {obs:?}")
+            }
+        }
+    }
+}
+
+/// Exact synthesis never needs more disables than the greedy
+/// first-routable-turn loop, and both results certify acyclic.
+#[test]
+fn exact_synthesis_never_worse_than_greedy_on_every_spec() {
+    for spec in SPECS {
+        let sys = build(spec);
+        let synth =
+            synthesize_disables_exact(sys.net(), sys.end_nodes(), None, &ExactConfig::default())
+                .unwrap_or_else(|e| panic!("{spec}: exact synthesis failed: {e}"));
+        assert!(
+            verify_deadlock_free(sys.net(), &synth.witness.routes).is_ok(),
+            "{spec}: exact routes must certify"
+        );
+        if synth.greedy_size != usize::MAX {
+            assert!(
+                synth.disables() <= synth.greedy_size,
+                "{spec}: exact {} > greedy {}",
+                synth.disables(),
+                synth.greedy_size
+            );
+        }
+        let (disables, routes) = synthesize_disables(sys.net(), sys.end_nodes(), 400)
+            .unwrap_or_else(|e| panic!("{spec}: greedy synthesis failed: {e}"));
+        assert!(
+            verify_deadlock_free(sys.net(), &routes).is_ok(),
+            "{spec}: greedy routes must certify"
+        );
+        assert!(
+            synth.disables() <= disables.len(),
+            "{spec}: exact {} > standalone greedy {}",
+            synth.disables(),
+            disables.len()
+        );
+    }
+}
+
+/// Certificates are machine-checkable JSON: well-formed, and the rank
+/// array length equals the channel count.
+#[test]
+fn certificates_are_replayable_json_on_every_spec() {
+    for spec in SPECS {
+        let sys = build(spec);
+        let synth =
+            synthesize_disables_exact(sys.net(), sys.end_nodes(), None, &ExactConfig::default())
+                .unwrap();
+        let j = synth.certificate_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{spec}: {j}");
+        for key in [
+            "\"disables\":",
+            "\"rank\":",
+            "\"covered_pairs\":",
+            "\"proven_minimal\":",
+        ] {
+            assert!(j.contains(key), "{spec}: missing {key} in {j}");
+        }
+        assert_eq!(
+            synth.witness.rank.len(),
+            sys.net().channel_count(),
+            "{spec}"
+        );
+    }
+}
+
+/// The Fig 1 ring's pinned minimum: its installed shortest-path tables
+/// produce exactly one elementary dependency cycle, and the proven
+/// minimum disable set hitting the enumerated cycle space has size 1.
+/// CI greps the lint output for the same figure.
+#[test]
+fn ring4_minimal_disable_set_is_pinned() {
+    let sys = build("ring:4");
+    let cdg = ChannelDependencyGraph::from_tables(sys.net(), sys.end_nodes(), sys.routes());
+    let (cycles, truncated) = cdg.graph().elementary_cycles(64, 200_000);
+    assert!(!truncated);
+    assert_eq!(cycles.len(), 1, "{cycles:?}");
+    let sol = min_cycle_disables(&cycles, 100_000);
+    assert_eq!(sol.turns.len(), 1, "{sol:?}");
+    assert!(sol.proven_minimal);
+    assert_eq!(sol.lower_bound, 1);
+    // The free-routing synthesis needs no disables at all on ring:4:
+    // shortest paths chosen per pair (rather than per table) never
+    // close the wrap-around dependency.
+    let synth = sys.synthesize_exact().unwrap();
+    assert_eq!(synth.disables(), 0, "{synth:?}");
+    assert!(synth.proven_minimal);
+}
