@@ -1,0 +1,109 @@
+//! Scaling guard: the sharded engine must actually scale where the
+//! host has the cores, and must never change results anywhere.
+//!
+//! Host-aware hard assertions (the bench fails, and with it the CI job
+//! that runs it, when the parallel engine regresses):
+//!
+//! 1. Everywhere: every thread count produces results identical to the
+//!    single-thread oracle on the 100×100 mesh run.
+//! 2. ≥ 2 cores: the 2-thread run is at most 1.25× the 1-thread wall
+//!    time — the same bound the CI scale-smoke job enforces on
+//!    `exp_scaling` output.
+//! 3. ≥ 8 cores: ≥ 4× speedup at 8 threads vs 1 thread on the
+//!    100×100 mesh at 0.5 load — the PR's headline scaling claim.
+//!
+//! On hosts below a tier the corresponding bound is reported but not
+//! asserted (a 1-core box cannot measure parallel speedup, only
+//! sharding overhead). Criterion groups then track the per-run wall
+//! time at fixed widths for trend history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractanet::prelude::*;
+use fractanet::System;
+use std::time::Instant;
+
+fn scaling_run(sys: &System, threads: usize) -> fractanet_sim::SimResult {
+    let cfg = SimConfig {
+        packet_flits: 8,
+        buffer_depth: 4,
+        max_cycles: 600,
+        stall_threshold: 600,
+        seed: 0x5CA1_AB1E,
+        ..SimConfig::default()
+    }
+    .with_threads(threads);
+    let wl = Workload::Bernoulli {
+        injection_rate: 0.5,
+        pattern: DstPattern::Uniform,
+        until_cycle: 300,
+    };
+    sys.simulate(wl, cfg)
+}
+
+/// Wall time of the fastest of `reps` runs — min is the right
+/// statistic for a noise-robust lower bound on both sides of a ratio.
+fn min_wall(reps: usize, mut f: impl FnMut()) -> u128 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap()
+}
+
+fn guard_scaling(c: &mut Criterion) {
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let sys = fractanet_bench::system("mesh:100x100");
+
+    // Guard 1: identical results at every width, always.
+    let oracle = scaling_run(&sys, 1);
+    assert!(oracle.delivered > 0, "mesh run must deliver traffic");
+    for threads in [2usize, 4, 8] {
+        let sharded = scaling_run(&sys, threads);
+        assert_eq!(sharded.generated, oracle.generated, "threads={threads}");
+        assert_eq!(sharded.delivered, oracle.delivered, "threads={threads}");
+        assert_eq!(sharded.cycles, oracle.cycles, "threads={threads}");
+        assert_eq!(sharded.avg_latency, oracle.avg_latency, "threads={threads}");
+    }
+
+    // Guards 2 and 3: wall-time bounds, gated on the host's cores.
+    let wall_1t = min_wall(2, || {
+        scaling_run(&sys, 1);
+    });
+    let wall_2t = min_wall(2, || {
+        scaling_run(&sys, 2);
+    });
+    let ratio_2t = wall_2t as f64 / wall_1t as f64;
+    if cpus >= 2 {
+        assert!(
+            ratio_2t <= 1.25,
+            "2-thread run is {ratio_2t:.2}x the 1-thread wall time (bound: 1.25x) on {cpus} cores"
+        );
+    } else {
+        eprintln!("scaling: {cpus} core(s); 2-thread ratio {ratio_2t:.2}x reported, not asserted");
+    }
+    let wall_8t = min_wall(2, || {
+        scaling_run(&sys, 8);
+    });
+    let speedup_8t = wall_1t as f64 / wall_8t as f64;
+    if cpus >= 8 {
+        assert!(
+            speedup_8t >= 4.0,
+            "8-thread speedup is {speedup_8t:.2}x (bound: >= 4x) on {cpus} cores"
+        );
+    } else {
+        eprintln!(
+            "scaling: {cpus} core(s); 8-thread speedup {speedup_8t:.2}x reported, not asserted"
+        );
+    }
+
+    c.bench_function("scaling_mesh100_1t", |b| b.iter(|| scaling_run(&sys, 1)));
+    c.bench_function("scaling_mesh100_8t", |b| b.iter(|| scaling_run(&sys, 8)));
+}
+
+criterion_group!(benches, guard_scaling);
+criterion_main!(benches);

@@ -8,8 +8,9 @@
 use fractanet::prelude::*;
 use fractanet::sim::sweep::{saturation_rate, sweep_loads};
 use fractanet::System;
-use fractanet_bench::{emit_json, header, system};
+use fractanet_bench::{emit_json, header, host_cpus, system, write_bench_records, BenchRecord};
 use serde::Serialize;
+use std::time::Instant;
 
 #[derive(Serialize)]
 struct Point {
@@ -26,7 +27,13 @@ struct Point {
     throughput: f64,
 }
 
-fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
+fn curve(
+    name: &str,
+    spec: &str,
+    sys: &System,
+    rates: &[f64],
+    bench: &mut Vec<BenchRecord>,
+) -> Vec<f64> {
     let cfg = SimConfig {
         packet_flits: 16,
         buffer_depth: 4,
@@ -37,6 +44,7 @@ fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
         telemetry: Telemetry::recording().with_event_capacity(256),
         ..SimConfig::default()
     };
+    let t0 = Instant::now();
     let pts = sweep_loads(
         sys.net(),
         sys.route_set(),
@@ -45,6 +53,16 @@ fn curve(name: &str, sys: &System, rates: &[f64]) -> Vec<f64> {
         rates,
         10_000,
     );
+    // One trajectory point per sweep: total simulated cycles across
+    // the whole curve against its wall time, on the shared pool width.
+    bench.push(BenchRecord::new(
+        "loadlatency",
+        spec,
+        host_cpus(),
+        pts.iter().map(|p| p.result.cycles).sum(),
+        t0.elapsed(),
+        sys.routes().resident_bytes(),
+    ));
     print!("  {name:<22}");
     let mut lat = Vec::new();
     for p in &pts {
@@ -100,10 +118,24 @@ fn main() {
     let ff = system("fat-fractahedron:2");
     let thin = system("thin-fractahedron:2");
 
-    let _ = curve("6x6 mesh / XY", &mesh, &rates);
-    let lat_ft = curve("4-2 fat tree", &ft, &rates);
-    let lat_ff = curve("fat fractahedron", &ff, &rates);
-    let _ = curve("thin fractahedron", &thin, &rates);
+    let mut bench = Vec::new();
+    let _ = curve("6x6 mesh / XY", "mesh:6x6", &mesh, &rates, &mut bench);
+    let lat_ft = curve("4-2 fat tree", "fattree:64:4:2", &ft, &rates, &mut bench);
+    let lat_ff = curve(
+        "fat fractahedron",
+        "fat-fractahedron:2",
+        &ff,
+        &rates,
+        &mut bench,
+    );
+    let _ = curve(
+        "thin fractahedron",
+        "thin-fractahedron:2",
+        &thin,
+        &rates,
+        &mut bench,
+    );
+    write_bench_records("loadlatency", &bench);
 
     let better = lat_ff.iter().zip(&lat_ft).filter(|(a, b)| a <= b).count();
     println!(

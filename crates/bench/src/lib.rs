@@ -34,6 +34,81 @@ pub fn header(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
 
+/// One machine-readable perf-trajectory point: how fast one engine
+/// configuration pushed one topology, in the shared `BENCH_*.json`
+/// schema every perf binary emits.
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchRecord {
+    /// Which experiment produced the row (`scaling`, `loadlatency`, …).
+    pub experiment: String,
+    /// Topology spec string, e.g. `mesh:100x100`.
+    pub topology: String,
+    /// Worker threads the engine was sharded across.
+    pub threads: usize,
+    /// Simulated cycles the run covered.
+    pub cycles: u64,
+    /// Wall-clock time for the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Peak resident routing state in bytes (the destination-indexed
+    /// tables; the dense per-pair matrix is never built by the runs).
+    pub peak_routing_bytes: usize,
+    /// Logical CPUs on the measuring host — speedup claims are only
+    /// meaningful when `threads <= host_cpus`.
+    pub host_cpus: usize,
+}
+
+impl BenchRecord {
+    /// Builds a record from a timed run, deriving `cycles_per_sec` and
+    /// stamping the host's CPU count.
+    pub fn new(
+        experiment: &str,
+        topology: &str,
+        threads: usize,
+        cycles: u64,
+        wall: std::time::Duration,
+        peak_routing_bytes: usize,
+    ) -> Self {
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        BenchRecord {
+            experiment: experiment.to_string(),
+            topology: topology.to_string(),
+            threads,
+            cycles,
+            wall_ms,
+            cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
+            peak_routing_bytes,
+            host_cpus: host_cpus(),
+        }
+    }
+}
+
+/// Logical CPUs available to this process (1 when undetectable).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Writes `records` as JSON lines to `<results-dir>/BENCH_<name>.json`
+/// (one object per line, same shape as the `FRACTANET_JSON` stderr
+/// stream) and returns the path. The directory defaults to `results/`
+/// and is overridable via `FRACTANET_RESULTS_DIR`, so CI smoke runs can
+/// write to a scratch location without disturbing checked-in results.
+pub fn write_bench_records(name: &str, records: &[BenchRecord]) -> std::path::PathBuf {
+    let dir = std::env::var("FRACTANET_RESULTS_DIR").unwrap_or_else(|_| "results".into());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.json());
+        out.push('\n');
+    }
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::write(&path, out).expect("write BENCH json");
+    path
+}
+
 /// Builds a [`fractanet::System`] from a textual topology spec
 /// (`mesh:6x6`, `fattree:64:4:2`, …), panicking on a malformed spec.
 /// Experiment binaries use this instead of hand-rolled constructors so

@@ -48,6 +48,10 @@ pub struct ChaosOptions {
     /// deliberately re-opens the timeout-race double-delivery bug so
     /// the shrinker has something to minimize.
     pub dedup: bool,
+    /// Worker threads dispatching campaign cases. Each case is a pure
+    /// function of `(spec, opts.seed, case index)`, so the report is
+    /// identical at every width; shrinking stays sequential.
+    pub threads: usize,
 }
 
 impl Default for ChaosOptions {
@@ -57,6 +61,7 @@ impl Default for ChaosOptions {
             seed: 42,
             quick: false,
             dedup: true,
+            threads: 1,
         }
     }
 }
@@ -305,14 +310,22 @@ pub fn run_campaign(spec: &TopoSpec, opts: &ChaosOptions) -> ChaosReport {
     let sys = spec.build();
     let sc = scale(opts.quick);
     let space = chaos_space(&sys, sc.cycles);
-    let mut lines = Vec::new();
-    let mut scenarios = Vec::new();
-    let mut violating_cases = 0usize;
-    for case in 0..opts.runs {
+    // Cases are independent seeded runs, so they dispatch across the
+    // shared worker pool; the merge below (and any shrinking) walks
+    // them sequentially in case order, so the report is identical to
+    // the single-thread path at every width.
+    let cases = fractanet_sim::parallel_map(opts.threads, opts.runs, |case| {
         let (schedule_seed, engine_seed) = case_seeds(opts.seed, case);
         let schedule = sample_schedule(&space, schedule_seed, sc.max_events);
         let out = run_case(&sys, &schedule, engine_seed, opts.quick, opts.dedup);
         let violations = check_invariants(&sys, &schedule, &out);
+        (schedule_seed, engine_seed, schedule, violations)
+    });
+    let mut lines = Vec::new();
+    let mut scenarios = Vec::new();
+    let mut violating_cases = 0usize;
+    for (case, (schedule_seed, engine_seed, schedule, violations)) in cases.into_iter().enumerate()
+    {
         if violations.is_empty() {
             continue;
         }
@@ -375,6 +388,7 @@ mod tests {
             seed: 42,
             quick: true,
             dedup: true,
+            threads: 1,
         };
         let a = run_campaign(&spec("fat-fractahedron:1"), &opts);
         assert!(a.is_clean(), "{:?}", a.lines);
@@ -405,6 +419,7 @@ mod tests {
             seed: 42,
             quick: true,
             dedup: false,
+            threads: 1,
         };
         let r = run_campaign(&spec("fat-fractahedron:1"), &opts);
         assert!(
@@ -422,6 +437,41 @@ mod tests {
         assert!(again.iter().any(|v| v.invariant == Invariant::ExactlyOnce));
         let fixed = replay(sc, true, true).unwrap();
         assert!(fixed.is_empty(), "{fixed:?}");
+    }
+
+    #[test]
+    fn dispatch_width_does_not_change_the_verdict() {
+        // A campaign that actually violates (dedup off) so the parity
+        // check covers lines, scenarios, and shrinking — not just the
+        // all-clean fast path.
+        let base = ChaosOptions {
+            runs: 8,
+            seed: 42,
+            quick: true,
+            dedup: false,
+            threads: 1,
+        };
+        let serial = run_campaign(&spec("fat-fractahedron:1"), &base);
+        for threads in [2, 4] {
+            let wide = run_campaign(
+                &spec("fat-fractahedron:1"),
+                &ChaosOptions { threads, ..base },
+            );
+            assert_eq!(serial.violating_cases, wide.violating_cases);
+            assert_eq!(serial.lines, wide.lines, "threads={threads}");
+            assert_eq!(
+                serial
+                    .scenarios
+                    .iter()
+                    .map(Scenario::to_json)
+                    .collect::<Vec<_>>(),
+                wide.scenarios
+                    .iter()
+                    .map(Scenario::to_json)
+                    .collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub enum Command {
         faults: FaultOpts,
         /// Record telemetry and append the per-channel summary.
         telemetry: bool,
+        /// Worker threads for the sharded engine (`--threads`);
+        /// results are identical at every width.
+        threads: usize,
     },
     /// Simulate with telemetry recording and export the trace.
     Trace {
@@ -101,6 +104,9 @@ pub enum Command {
         /// Replay a scenario JSON file instead of sampling
         /// (`--replay`).
         replay: Option<String>,
+        /// Worker threads dispatching campaign cases (`--threads`);
+        /// the verdict is identical at every width.
+        threads: usize,
     },
     /// Print usage.
     Help,
@@ -271,7 +277,7 @@ USAGE:
   fractanet analyze <topology>...       hops/contention/bisection/deadlock report
   fractanet dot <topology> [--routers-only]
                                         Graphviz on stdout
-  fractanet simulate <topology> [--load <f>] [--cycles <n>]
+  fractanet simulate <topology> [--load <f>] [--cycles <n>] [--threads <n>]
                      [--kill-link <id>]... [--kill-router <id>]...
                      [--flaky-link <id>:<pm>]... [--corrupt-link <id>:<pm>]...
                      [--brownout <id>:<down>:<up>]...
@@ -284,8 +290,11 @@ USAGE:
                                         CRC corruption, oscillating brownouts at
                                         the given per-mille rates) — source
                                         retry and certified self-healing;
-                                        --telemetry appends the per-channel
-                                        utilization/contention summary
+                                        --threads shards the engine across
+                                        worker threads (results identical at
+                                        any width); --telemetry appends the
+                                        per-channel utilization/contention
+                                        summary
   fractanet trace <topology> [--format jsonl|chrome|summary] [--out <path>]
                   [--load <f>] [--cycles <n>] [<fault flags as simulate>]
                                         run with the flit-event tracer on and
@@ -295,8 +304,8 @@ USAGE:
                                         plain-text summary
   fractanet plan --cpus <n> [--bisection <links>]
                                         fractahedral capacity planning
-  fractanet chaos <topology> [--runs <n>] [--seed <s>] [--quick]
-                  [--disable-dedup] [--out <path>]
+  fractanet chaos <topology> [--runs <n>] [--seed <s>] [--threads <n>]
+                  [--quick] [--disable-dedup] [--out <path>]
                                         deterministic chaos campaign: sampled
                                         fault schedules (kills, flaky/corrupting
                                         links, brownouts) against a self-healing
@@ -304,7 +313,9 @@ USAGE:
                                         delivery, deadlock freedom, heal
                                         certification and span accounting;
                                         violations delta-shrink to a minimal
-                                        replayable JSON scenario. Exits 1 on any
+                                        replayable JSON scenario; --threads
+                                        dispatches cases across workers with an
+                                        identical verdict. Exits 1 on any
                                         violation
   fractanet chaos --replay <file> [--quick] [--disable-dedup]
                                         re-run a recorded scenario bit-
@@ -391,6 +402,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut cycles = if tracing { 5_000u64 } else { 20_000u64 };
             let mut faults = FaultOpts::default();
             let mut telemetry = false;
+            let mut threads = 1usize;
             let mut format = TraceFormat::Summary;
             let mut out = None;
             let mut it = it.peekable();
@@ -431,6 +443,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         faults.brownouts.push((f[0] as u32, f[1], f[2]));
                     }
                     "--telemetry" if !tracing => telemetry = true,
+                    "--threads" if !tracing => threads = val!("--threads"),
                     "--format" if tracing => {
                         let v = it.next().ok_or_else(|| {
                             CliError("--format needs jsonl|chrome|summary".into())
@@ -482,6 +495,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     cycles,
                     faults,
                     telemetry,
+                    threads,
                 })
             }
         }
@@ -491,6 +505,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 42u64;
             let mut quick = false;
             let mut dedup = true;
+            let mut threads = 1usize;
             let mut out = None;
             let mut replay = None;
             let mut it = it.peekable();
@@ -511,6 +526,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--runs" => runs = val!("--runs"),
                     "--seed" => seed = val!("--seed"),
+                    "--threads" => threads = val!("--threads"),
                     "--quick" => quick = true,
                     "--disable-dedup" => dedup = false,
                     "--out" => {
@@ -546,6 +562,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 dedup,
                 out,
                 replay,
+                threads,
             })
         }
         Some("lint") => {
@@ -642,6 +659,7 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
         dedup,
         out: out_path,
         replay,
+        threads,
     } = cmd
     else {
         unreachable!("run_chaos is only called on Command::Chaos");
@@ -683,6 +701,7 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
         seed,
         quick,
         dedup,
+        threads,
     };
     let report = chaos::run_campaign(&spec, &opts);
     for line in &report.lines {
@@ -866,6 +885,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             cycles,
             faults,
             telemetry,
+            threads,
         } => {
             let sys = spec.build();
             let report = sys.analyze();
@@ -884,7 +904,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 },
                 ..SimConfig::default()
             }
-            .with_faults(events);
+            .with_faults(events)
+            .with_threads(threads);
             let workload = Workload::Bernoulli {
                 injection_rate: load,
                 pattern: DstPattern::Uniform,
@@ -1047,6 +1068,7 @@ mod tests {
                 cycles: 1000,
                 faults: FaultOpts::default(),
                 telemetry: false,
+                threads: 1,
             }
         );
         let cmd = parse(&argv("simulate ring:4 --telemetry")).unwrap();
@@ -1054,6 +1076,16 @@ mod tests {
             panic!("not simulate: {cmd:?}")
         };
         assert!(telemetry);
+        let cmd = parse(&argv("simulate mesh:8x8 --threads 8")).unwrap();
+        let Command::Simulate { threads, .. } = cmd else {
+            panic!("not simulate: {cmd:?}")
+        };
+        assert_eq!(threads, 8);
+        let cmd = parse(&argv("chaos mesh:3x3 --threads 4")).unwrap();
+        let Command::Chaos { threads, .. } = cmd else {
+            panic!("not chaos: {cmd:?}")
+        };
+        assert_eq!(threads, 4);
     }
 
     #[test]
@@ -1154,6 +1186,7 @@ mod tests {
                 dedup: false,
                 out: Some("/tmp/sc.json".into()),
                 replay: None,
+                threads: 1,
             }
         );
         let cmd = parse(&argv("chaos --replay /tmp/sc.json")).unwrap();
@@ -1188,6 +1221,7 @@ mod tests {
             cycles: 5_000,
             faults,
             telemetry: false,
+            threads: 1,
         })
         .unwrap();
         assert!(out.contains("faults: 1 applied"), "{out}");
@@ -1206,6 +1240,7 @@ mod tests {
             dedup: true,
             out: None,
             replay: None,
+            threads: 1,
         })
         .unwrap();
         assert_eq!(outcome.code, 0, "{}", outcome.output);
@@ -1228,6 +1263,7 @@ mod tests {
             dedup: false,
             out: Some(path_s.clone()),
             replay: None,
+            threads: 1,
         })
         .unwrap();
         assert_eq!(minted.code, 1, "{}", minted.output);
@@ -1241,6 +1277,7 @@ mod tests {
             dedup: true,
             out: None,
             replay: Some(path_s.clone()),
+            threads: 1,
         })
         .unwrap();
         assert_eq!(replayed.code, 0, "{}", replayed.output);
@@ -1258,6 +1295,7 @@ mod tests {
             dedup: false,
             out: None,
             replay: Some(path_s),
+            threads: 1,
         })
         .unwrap();
         assert_eq!(reproduced.code, 1, "{}", reproduced.output);
@@ -1309,6 +1347,7 @@ mod tests {
             cycles: 4_000,
             faults: FaultOpts::default(),
             telemetry: false,
+            threads: 1,
         })
         .unwrap();
         // Minimal ring routing is deadlock-prone; at this load the Fig 1
@@ -1330,6 +1369,7 @@ mod tests {
             cycles: 6_000,
             faults,
             telemetry: false,
+            threads: 1,
         })
         .unwrap();
         assert!(out.contains("faults: 1 applied"), "{out}");
@@ -1350,6 +1390,7 @@ mod tests {
                 cycles: 1_000,
                 faults,
                 telemetry: false,
+                threads: 1,
             })
             .unwrap_err();
             assert!(err.0.contains("out of range"), "{err}");
@@ -1427,6 +1468,7 @@ mod tests {
             cycles: 1_000,
             faults: FaultOpts::default(),
             telemetry,
+            threads: 1,
         };
         let plain = run(cmd(false)).unwrap();
         assert!(!plain.contains("utilization histogram"), "{plain}");

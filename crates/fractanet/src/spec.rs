@@ -23,19 +23,19 @@ use std::str::FromStr;
 
 /// A parsed topology specifier, e.g. `fat-fractahedron:2` or
 /// `mesh:6x6`. See the module docs for the grammar; invalid sizes
-/// (levels outside `1..=4`, hypercubes above dim 8, clusters above 6
+/// (levels outside `1..=5`, hypercubes above dim 8, clusters above 6
 /// routers) are rejected at parse time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TopoSpec {
     /// `fat-fractahedron:<levels>` — the paper's Fig 7 network at 2.
     FatFractahedron {
-        /// Recursion levels, `1..=4`.
+        /// Recursion levels, `1..=5`.
         levels: usize,
     },
     /// `thin-fractahedron:<levels>[:fanout]` — Table 1's thin variant,
     /// optionally with the CPU-pair fan-out router level.
     ThinFractahedron {
-        /// Recursion levels, `1..=4`.
+        /// Recursion levels, `1..=5`.
         levels: usize,
         /// Whether the fan-out level is present.
         fanout: bool,
@@ -105,15 +105,15 @@ impl FromStr for TopoSpec {
         match parts[0] {
             "fat-fractahedron" if parts.len() == 2 => {
                 let levels = int(parts[1])?;
-                if !(1..=4).contains(&levels) {
-                    return Err(SpecError("levels must be 1..=4".into()));
+                if !(1..=5).contains(&levels) {
+                    return Err(SpecError("levels must be 1..=5".into()));
                 }
                 Ok(TopoSpec::FatFractahedron { levels })
             }
             "thin-fractahedron" if parts.len() == 2 || parts.len() == 3 => {
                 let levels = int(parts[1])?;
-                if !(1..=4).contains(&levels) {
-                    return Err(SpecError("levels must be 1..=4".into()));
+                if !(1..=5).contains(&levels) {
+                    return Err(SpecError("levels must be 1..=5".into()));
                 }
                 let fanout = parts.get(2) == Some(&"fanout");
                 if parts.len() == 3 && !fanout {
@@ -290,6 +290,28 @@ mod tests {
         ] {
             assert!(s.parse::<TopoSpec>().is_err(), "{s}");
         }
+    }
+
+    #[test]
+    fn large_scale_specs_parse_and_size_sanely() {
+        // The sharded engine's target scales: specs must parse and
+        // round-trip, and the closed-form sizing must agree with the
+        // recursion — without building the (huge) systems here.
+        for s in ["fat-fractahedron:4", "fat-fractahedron:5", "mesh:100x100"] {
+            let spec: TopoSpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(spec.to_string(), s, "round trip");
+        }
+        for (levels, ends) in [(4usize, 4096usize), (5, 32768)] {
+            assert_eq!(crate::sizing::capacity(levels, false), ends);
+            let bill = crate::sizing::bill(fractanet_topo::Variant::Fat, levels, false);
+            assert_eq!(bill.capacity, ends);
+            assert!(bill.total_routers() > ends / 4, "{bill:?}");
+        }
+        let TopoSpec::Mesh { cols, rows } = "mesh:100x100".parse::<TopoSpec>().unwrap() else {
+            panic!("mesh:100x100 must parse as a mesh");
+        };
+        assert_eq!((cols, rows), (100, 100));
+        assert!("fat-fractahedron:6".parse::<TopoSpec>().is_err());
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct SimConfig {
     /// (double deliveries) and exists for the chaos harness to shrink
     /// against.
     pub dedup: bool,
+    /// Worker threads for the sharded parallel engine. `1` (the
+    /// default) runs the classic single-thread step; values above 1
+    /// shard the per-cycle channel and injection scans across scoped
+    /// worker threads. Results are bit-identical for every thread
+    /// count — the knob trades wall-clock for cores, never semantics.
+    /// Tiny fabrics are simulated on fewer shards than requested (one
+    /// shard per ~64 channels) so thread spawn cost cannot dominate.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -55,6 +63,7 @@ impl Default for SimConfig {
             telemetry: Telemetry::off(),
             ack_retransmit: false,
             dedup: true,
+            threads: 1,
         }
     }
 }
@@ -125,6 +134,13 @@ impl SimConfig {
         self.dedup = on;
         self
     }
+
+    /// Builder-style worker-thread count for the sharded engine.
+    /// `0` is normalized to `1` (the serial oracle).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +155,13 @@ mod tests {
         assert!(c.stall_threshold < c.max_cycles);
         assert!(!c.ack_retransmit, "speculative retransmit is opt-in");
         assert!(c.dedup, "duplicate suppression is on by default");
+        assert_eq!(c.threads, 1, "the serial oracle is the default");
+    }
+
+    #[test]
+    fn threads_builder_normalizes_zero() {
+        assert_eq!(SimConfig::default().with_threads(0).threads, 1);
+        assert_eq!(SimConfig::default().with_threads(8).threads, 8);
     }
 
     #[test]

@@ -46,6 +46,8 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
+pub(crate) mod par;
+
 const NO_PKT: u32 = u32::MAX;
 
 /// Salt XORed into the sim seed for the gray-failure RNG stream, so
@@ -373,13 +375,6 @@ impl<'a> Engine<'a> {
         self
     }
 
-    /// End nodes in address order (table epochs only).
-    fn addr_ends(&self) -> &[NodeId] {
-        self.ends
-            .as_deref()
-            .expect("table epochs carry end nodes by construction")
-    }
-
     /// The current (latest-installed) routing epoch.
     fn cur_epoch(&self) -> u32 {
         (self.epochs.len() - 1) as u32
@@ -388,112 +383,31 @@ impl<'a> Engine<'a> {
     /// The packet's first channel: the path head for dense epochs, the
     /// source end's attach channel for table epochs. Only called after
     /// [`route_dead_or_missing`](Engine::route_dead_or_missing) has
-    /// cleared the route.
+    /// cleared the route. (The implementation lives on the scan view so
+    /// the serial oracle and the sharded workers resolve hops through
+    /// the same code.)
     fn first_hop(&self, p: &Packet) -> ChannelId {
-        match self.epochs[p.epoch as usize].dense() {
-            Some(rs) => rs.path(p.src as usize, p.dst as usize)[0],
-            None => {
-                self.net
-                    .channels_from(self.addr_ends()[p.src as usize])
-                    .first()
-                    .expect("routable packet's source has an attach channel")
-                    .0
-            }
-        }
+        self.scan_view().first_hop(p)
     }
 
     /// Resolves the next hop for a worm head occupying `ch` at route
     /// position `pos` — a dense epoch indexes its frozen path, a table
     /// epoch reads the downstream router's destination entry.
     fn next_hop(&self, p: &Packet, ch: ChannelId, pos: u32) -> NextHop {
-        let epoch = &self.epochs[p.epoch as usize];
-        if let Some(rs) = epoch.dense() {
-            let path = rs.path(p.src as usize, p.dst as usize);
-            return match path.get(pos as usize + 1) {
-                Some(&next) => NextHop::Channel(next),
-                None => NextHop::Eject,
-            };
-        }
-        let v = self.net.channel_dst(ch);
-        if v == self.addr_ends()[p.dst as usize] {
-            return NextHop::Eject;
-        }
-        let port = epoch
-            .tables()
-            .get(v, p.dst as usize)
-            .expect("in-flight worm's router has a table entry");
-        let next = self
-            .net
-            .channel_out(v, port)
-            .expect("in-flight worm's table entry resolves to a channel");
-        NextHop::Channel(next)
+        self.scan_view().next_hop(p, ch, pos)
     }
 
     /// Whether the packet's route under its epoch is unusable: absent
     /// (severed pair, missing table entry, forwarding loop) or crossing
     /// a currently-dead channel. Checked before injection.
     fn route_dead_or_missing(&self, p: &Packet) -> bool {
-        let epoch = &self.epochs[p.epoch as usize];
-        if let Some(rs) = epoch.dense() {
-            let path = rs.path(p.src as usize, p.dst as usize);
-            return path.is_empty() || path.iter().any(|c| self.chan_dead[c.index()]);
-        }
-        let ends = self.addr_ends();
-        let dst_end = ends[p.dst as usize];
-        let Some(&(inject, mut v)) = self.net.channels_from(ends[p.src as usize]).first() else {
-            return true;
-        };
-        if self.chan_dead[inject.index()] {
-            return true;
-        }
-        let tables = epoch.tables();
-        let mut hops = 0usize;
-        while v != dst_end {
-            let Some(port) = tables.get(v, p.dst as usize) else {
-                return true;
-            };
-            let Some(ch) = self.net.channel_out(v, port) else {
-                return true;
-            };
-            if self.chan_dead[ch.index()] {
-                return true;
-            }
-            v = self.net.channel_dst(ch);
-            hops += 1;
-            if hops > self.net.node_count() {
-                return true; // forwarding loop
-            }
-        }
-        false
+        self.scan_view().route_dead_or_missing(p)
     }
 
     /// Whether any channel the worm has yet to traverse — beyond its
     /// head on `ch` at route position `pos` — is currently dead.
     fn remainder_dead(&self, p: &Packet, ch: ChannelId, pos: u32) -> bool {
-        let epoch = &self.epochs[p.epoch as usize];
-        if let Some(rs) = epoch.dense() {
-            let path = rs.path(p.src as usize, p.dst as usize);
-            return path[pos as usize + 1..]
-                .iter()
-                .any(|c| self.chan_dead[c.index()]);
-        }
-        let dst_end = self.addr_ends()[p.dst as usize];
-        let tables = epoch.tables();
-        let mut v = self.net.channel_dst(ch);
-        while v != dst_end {
-            let port = tables
-                .get(v, p.dst as usize)
-                .expect("in-flight worm's router has a table entry");
-            let next = self
-                .net
-                .channel_out(v, port)
-                .expect("in-flight worm's table entry resolves to a channel");
-            if self.chan_dead[next.index()] {
-                return true;
-            }
-            v = self.net.channel_dst(next);
-        }
-        false
+        self.scan_view().remainder_dead(p, ch, pos)
     }
 
     /// Debug-assertion guard for repairers that promise *certified*
@@ -557,8 +471,16 @@ impl<'a> Engine<'a> {
             // the injection logic with an empty or fault-crossing path.
             self.flush_unroutable_heads(cycle);
 
-            // 2. One simulation step.
-            let moves = self.step(cycle);
+            // 2. One simulation step: the serial oracle, or the
+            //    sharded scan with a serial replay when `cfg.threads`
+            //    asks for workers. Both are bit-identical by contract
+            //    (enforced by the `parallel_and_serial_engines_agree`
+            //    proptest), so the knob only affects wall-clock.
+            let moves = if self.cfg.threads > 1 {
+                self.step_parallel(cycle)
+            } else {
+                self.step(cycle)
+            };
 
             // 3. Termination checks.
             let queues_empty = self.queues.iter().all(VecDeque::is_empty);
@@ -1153,6 +1075,27 @@ impl<'a> Engine<'a> {
             }
         }
 
+        self.commit_step(
+            cycle, alloc_reqs, contenders, ejects, body_moves, injections,
+        )
+    }
+
+    /// The serial back half of a cycle, shared verbatim by the oracle
+    /// [`step`](Engine::step) and the sharded parallel step: round-robin
+    /// arbitration over the collected allocation requests, the
+    /// arbitration-loser and contention telemetry, and the apply phases
+    /// (ejections, body transfers, grants, injections). Everything that
+    /// mutates packets, channels, RNG streams, or the recorder runs
+    /// here, on one thread, in canonical order.
+    fn commit_step(
+        &mut self,
+        cycle: u64,
+        mut alloc_reqs: Vec<(u32, u32)>,
+        mut contenders: Vec<(u32, u32, u32)>,
+        ejects: Vec<u32>,
+        body_moves: Vec<(u32, ChannelId)>,
+        injections: Vec<usize>,
+    ) -> usize {
         // Round-robin arbitration per allocation target.
         alloc_reqs.sort_unstable();
         let mut grants: Vec<(u32, u32)> = Vec::new(); // (target, from)

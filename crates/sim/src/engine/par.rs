@@ -1,0 +1,492 @@
+//! The sharded parallel step.
+//!
+//! Every cycle splits into a **decision phase** and a **commit
+//! phase**. The decision phase — the per-channel forwarding scan and
+//! the per-source injection scan, which together dominate the cycle
+//! cost on large fabrics (each queued head re-proves full-path
+//! liveness every cycle) — is a pure function of start-of-cycle state,
+//! so it shards across scoped worker threads over contiguous channel
+//! and source ranges with no synchronization beyond the fork/join
+//! barrier. Workers never touch the recorder, the RNG streams, or any
+//! mutable engine state: they return *plans* (moves to make, queue
+//! heads to pop, telemetry to emit). The commit phase then replays
+//! those plans on the main thread in exactly the order the serial
+//! oracle would have produced them — shard results concatenate in
+//! shard order, which is channel/source order — and hands off to the
+//! same [`Engine::commit_step`] the oracle uses.
+//!
+//! Determinism contract: results are bit-identical to
+//! [`Engine::step`] for every thread count, including RNG streams,
+//! heap contents, and the telemetry event ring. The contract rests on
+//! three facts, each enforced by the `parallel_and_serial_engines_agree`
+//! proptest:
+//!
+//! 1. decisions read only start-of-cycle state, so shard boundaries
+//!    cannot change any verdict;
+//! 2. retry-jitter draws happen only in the serial replay, in source
+//!    order, exactly as the oracle's injection scan draws them;
+//! 3. the order-sensitive telemetry ring sees the deferred `blocked`
+//!    records in scan order before any injection-phase event, matching
+//!    the oracle's emission order.
+
+use super::{ChanState, Engine, NextHop, Packet, RouteSource, NO_PKT};
+use fractanet_graph::{ChannelId, Network, NodeId};
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Shards only form over fabrics big enough that per-cycle thread
+/// spawn cost cannot dominate the scan itself; below the floor the
+/// plan/replay machinery still runs, single-threaded.
+pub(crate) const MIN_CHANNELS_PER_SHARD: usize = 64;
+
+/// The immutable, `Sync` slice of engine state a decision worker
+/// needs: topology, routing epochs, channel/packet/queue state, and
+/// the scan-relevant config bits. Also the single home of hop
+/// resolution — the serial oracle delegates here, so both steps
+/// resolve routes through one implementation.
+pub(super) struct ScanView<'e, 'a> {
+    pub(super) net: &'e Network,
+    pub(super) epochs: &'e [RouteSource<'a>],
+    pub(super) ends: Option<&'e [NodeId]>,
+    pub(super) chans: &'e [ChanState],
+    pub(super) packets: &'e [Packet],
+    pub(super) queues: &'e [VecDeque<u32>],
+    pub(super) chan_dead: &'e [bool],
+    pub(super) buffer_depth: u8,
+    pub(super) dedup: bool,
+    pub(super) tel_on: bool,
+}
+
+impl ScanView<'_, '_> {
+    /// End nodes in address order (table epochs only).
+    fn addr_ends(&self) -> &[NodeId] {
+        self.ends
+            .expect("table epochs carry end nodes by construction")
+    }
+
+    /// The packet's first channel: the path head for dense epochs, the
+    /// source end's attach channel for table epochs. Only called after
+    /// [`route_dead_or_missing`](ScanView::route_dead_or_missing) has
+    /// cleared the route.
+    #[inline]
+    pub(super) fn first_hop(&self, p: &Packet) -> ChannelId {
+        match self.epochs[p.epoch as usize].dense() {
+            Some(rs) => rs.path(p.src as usize, p.dst as usize)[0],
+            None => {
+                self.net
+                    .channels_from(self.addr_ends()[p.src as usize])
+                    .first()
+                    .expect("routable packet's source has an attach channel")
+                    .0
+            }
+        }
+    }
+
+    /// Resolves the next hop for a worm head occupying `ch` at route
+    /// position `pos` — a dense epoch indexes its frozen path, a table
+    /// epoch reads the downstream router's destination entry.
+    #[inline]
+    pub(super) fn next_hop(&self, p: &Packet, ch: ChannelId, pos: u32) -> NextHop {
+        let epoch = &self.epochs[p.epoch as usize];
+        if let Some(rs) = epoch.dense() {
+            let path = rs.path(p.src as usize, p.dst as usize);
+            return match path.get(pos as usize + 1) {
+                Some(&next) => NextHop::Channel(next),
+                None => NextHop::Eject,
+            };
+        }
+        let v = self.net.channel_dst(ch);
+        if v == self.addr_ends()[p.dst as usize] {
+            return NextHop::Eject;
+        }
+        let port = epoch
+            .tables()
+            .get(v, p.dst as usize)
+            .expect("in-flight worm's router has a table entry");
+        let next = self
+            .net
+            .channel_out(v, port)
+            .expect("in-flight worm's table entry resolves to a channel");
+        NextHop::Channel(next)
+    }
+
+    /// Whether the packet's route under its epoch is unusable: absent
+    /// (severed pair, missing table entry, forwarding loop) or crossing
+    /// a currently-dead channel. Checked before injection.
+    pub(super) fn route_dead_or_missing(&self, p: &Packet) -> bool {
+        let epoch = &self.epochs[p.epoch as usize];
+        if let Some(rs) = epoch.dense() {
+            let path = rs.path(p.src as usize, p.dst as usize);
+            return path.is_empty() || path.iter().any(|c| self.chan_dead[c.index()]);
+        }
+        let ends = self.addr_ends();
+        let dst_end = ends[p.dst as usize];
+        let Some(&(inject, mut v)) = self.net.channels_from(ends[p.src as usize]).first() else {
+            return true;
+        };
+        if self.chan_dead[inject.index()] {
+            return true;
+        }
+        let tables = epoch.tables();
+        let mut hops = 0usize;
+        while v != dst_end {
+            let Some(port) = tables.get(v, p.dst as usize) else {
+                return true;
+            };
+            let Some(ch) = self.net.channel_out(v, port) else {
+                return true;
+            };
+            if self.chan_dead[ch.index()] {
+                return true;
+            }
+            v = self.net.channel_dst(ch);
+            hops += 1;
+            if hops > self.net.node_count() {
+                return true; // forwarding loop
+            }
+        }
+        false
+    }
+
+    /// Whether any channel the worm has yet to traverse — beyond its
+    /// head on `ch` at route position `pos` — is currently dead.
+    pub(super) fn remainder_dead(&self, p: &Packet, ch: ChannelId, pos: u32) -> bool {
+        let epoch = &self.epochs[p.epoch as usize];
+        if let Some(rs) = epoch.dense() {
+            let path = rs.path(p.src as usize, p.dst as usize);
+            return path[pos as usize + 1..]
+                .iter()
+                .any(|c| self.chan_dead[c.index()]);
+        }
+        let dst_end = self.addr_ends()[p.dst as usize];
+        let tables = epoch.tables();
+        let mut v = self.net.channel_dst(ch);
+        while v != dst_end {
+            let port = tables
+                .get(v, p.dst as usize)
+                .expect("in-flight worm's router has a table entry");
+            let next = self
+                .net
+                .channel_out(v, port)
+                .expect("in-flight worm's table entry resolves to a channel");
+            if self.chan_dead[next.index()] {
+                return true;
+            }
+            v = self.net.channel_dst(next);
+        }
+        false
+    }
+}
+
+/// One shard's channel-scan output: the same decisions the oracle's
+/// forwarding loop makes, in channel order, with the would-be
+/// `Recorder::blocked` calls deferred as records.
+pub(super) struct ChannelScan {
+    ejects: Vec<u32>,
+    body_moves: Vec<(u32, ChannelId)>,
+    alloc_reqs: Vec<(u32, u32)>,
+    contenders: Vec<(u32, u32, u32)>,
+    /// Deferred `blocked(owner, wanted)` telemetry, in channel order.
+    blocked: Vec<(u32, ChannelId)>,
+}
+
+/// One source's injection plan: queue-front entries to pop (and
+/// whether each pop owes a retry booking), plus the surviving head's
+/// verdict `(pid, first channel, ok to inject)`.
+pub(super) struct SourcePlan {
+    src: u32,
+    pops: Vec<(u32, bool)>,
+    head: Option<(u32, ChannelId, bool)>,
+}
+
+/// Contiguous shard `i` of `0..n` split `shards` ways.
+pub(crate) fn chunk(n: usize, shards: usize, i: usize) -> Range<usize> {
+    (i * n / shards)..((i + 1) * n / shards)
+}
+
+/// Shards actually formed for `threads` requested workers over a
+/// fabric of `nch` physical channels: clamped so each shard scans at
+/// least [`MIN_CHANNELS_PER_SHARD`] channels, and never below one.
+pub(crate) fn effective_shards(threads: usize, nch: usize) -> usize {
+    threads.max(1).min((nch / MIN_CHANNELS_PER_SHARD).max(1))
+}
+
+/// The oracle's forwarding scan over one channel range, decisions
+/// recorded instead of telemetry emitted.
+fn scan_channels(view: &ScanView<'_, '_>, range: Range<usize>) -> ChannelScan {
+    let b = view.buffer_depth;
+    let mut out = ChannelScan {
+        ejects: Vec::new(),
+        body_moves: Vec::new(),
+        alloc_reqs: Vec::new(),
+        contenders: Vec::new(),
+        blocked: Vec::new(),
+    };
+    for ch in range {
+        let ch = ch as u32;
+        let st = &view.chans[ch as usize];
+        if st.occ == 0 {
+            continue;
+        }
+        let p = &view.packets[st.owner as usize];
+        let next = match view.next_hop(p, ChannelId(ch), st.route_pos) {
+            NextHop::Eject => {
+                out.ejects.push(ch);
+                continue;
+            }
+            NextHop::Channel(next) => next,
+        };
+        let nst = &view.chans[next.index()];
+        if st.front() == 0 {
+            if view.tel_on {
+                out.contenders.push((next.0, p.src, p.dst));
+            }
+            if nst.owner == NO_PKT && nst.occ < b {
+                out.alloc_reqs.push((next.0, ch));
+            } else if view.tel_on {
+                out.blocked.push((st.owner, next));
+            }
+        } else {
+            debug_assert_eq!(nst.owner, st.owner, "body flit lost its worm");
+            if view.tel_on {
+                out.contenders.push((next.0, p.src, p.dst));
+            }
+            if nst.occ < b {
+                out.body_moves.push((ch, next));
+            } else if view.tel_on {
+                out.blocked.push((st.owner, next));
+            }
+        }
+    }
+    out
+}
+
+/// The oracle's injection scan over one source range, side effects
+/// (pops, retry bookings) recorded as a plan instead of performed.
+/// Within a cycle no decision of one source depends on another
+/// source's pops or retry bookings — retries mutate only attempt
+/// counters and future-cycle heaps — so the plans replay serially with
+/// identical verdicts.
+fn scan_sources(view: &ScanView<'_, '_>, range: Range<usize>) -> Vec<SourcePlan> {
+    let b = view.buffer_depth;
+    let mut plans = Vec::new();
+    for s in range {
+        let mut pops: Vec<(u32, bool)> = Vec::new();
+        let mut head = None;
+        // Walk the queue from the front; replayed pops consume exactly
+        // the prefix this scan skipped.
+        for &pid in view.queues[s].iter() {
+            let p = &view.packets[pid as usize];
+            let stale =
+                view.dedup && p.sent == 0 && view.packets[p.logical as usize].delivered_once;
+            let unroutable = !stale && p.sent == 0 && view.route_dead_or_missing(p);
+            if stale {
+                pops.push((pid, false));
+                continue;
+            }
+            if unroutable {
+                pops.push((pid, true));
+                continue;
+            }
+            let c0 = view.first_hop(p);
+            let st = &view.chans[c0.index()];
+            let ok = if p.sent == 0 {
+                st.owner == NO_PKT && st.occ < b
+            } else {
+                st.occ < b
+            };
+            head = Some((pid, c0, ok));
+            break;
+        }
+        if !pops.is_empty() || head.is_some() {
+            plans.push(SourcePlan {
+                src: s as u32,
+                pops,
+                head,
+            });
+        }
+    }
+    plans
+}
+
+impl<'a> Engine<'a> {
+    /// The immutable scan view over current engine state.
+    pub(super) fn scan_view(&self) -> ScanView<'_, 'a> {
+        ScanView {
+            net: self.net,
+            epochs: &self.epochs,
+            ends: self.ends.as_deref(),
+            chans: &self.chans,
+            packets: &self.packets,
+            queues: &self.queues,
+            chan_dead: &self.chan_dead,
+            buffer_depth: self.cfg.buffer_depth,
+            dedup: self.cfg.dedup,
+            tel_on: self.tel.is_some(),
+        }
+    }
+
+    /// One cycle of the sharded engine: fork the decision scans across
+    /// worker threads, then replay their plans serially in canonical
+    /// order. Bit-identical to [`Engine::step`] for every `threads`
+    /// value.
+    pub(super) fn step_parallel(&mut self, cycle: u64) -> usize {
+        let nch = self.chans.len();
+        let nsrc = self.queues.len();
+        let shards = effective_shards(self.cfg.threads, nch);
+        let view = self.scan_view();
+        let parts: Vec<(ChannelScan, Vec<SourcePlan>)> = if shards == 1 {
+            vec![(scan_channels(&view, 0..nch), scan_sources(&view, 0..nsrc))]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let view = &view;
+                let handles: Vec<_> = (0..shards)
+                    .map(|i| {
+                        scope.spawn(move |_| {
+                            (
+                                scan_channels(view, chunk(nch, shards, i)),
+                                scan_sources(view, chunk(nsrc, shards, i)),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scan worker panicked"))
+                    .collect()
+            })
+            .expect("shard scan scope")
+        };
+
+        // Merge in shard order (= channel/source order). The deferred
+        // scan telemetry replays first: the oracle emits every
+        // scan-phase `blocked` before any injection-phase event.
+        let mut contenders: Vec<(u32, u32, u32)> = Vec::new();
+        let mut ejects: Vec<u32> = Vec::new();
+        let mut body_moves: Vec<(u32, ChannelId)> = Vec::new();
+        let mut alloc_reqs: Vec<(u32, u32)> = Vec::new();
+        let mut plans: Vec<SourcePlan> = Vec::new();
+        for (scan, mut shard_plans) in parts {
+            if let Some(t) = self.tel.as_mut() {
+                for &(owner, wanted) in &scan.blocked {
+                    t.blocked(cycle, owner, wanted);
+                }
+            }
+            contenders.extend(scan.contenders);
+            ejects.extend(scan.ejects);
+            body_moves.extend(scan.body_moves);
+            alloc_reqs.extend(scan.alloc_reqs);
+            plans.append(&mut shard_plans);
+        }
+
+        // Injection replay in source order: queue pops, retry bookings
+        // (the decision phase's only RNG draws, now in the oracle's
+        // draw order), and head verdicts.
+        let mut injections: Vec<usize> = Vec::new();
+        for plan in plans {
+            let s = plan.src as usize;
+            for (pid, unroutable) in plan.pops {
+                let popped = self.queues[s].pop_front();
+                debug_assert_eq!(popped, Some(pid), "replayed pop diverged from the scan");
+                if unroutable {
+                    self.retire_or_retry(pid, cycle, false);
+                }
+            }
+            if let Some((pid, c0, ok)) = plan.head {
+                if self.tel.is_some() {
+                    let p = &self.packets[pid as usize];
+                    contenders.push((c0.0, p.src, p.dst));
+                }
+                if ok {
+                    injections.push(s);
+                } else if let Some(t) = self.tel.as_mut() {
+                    t.blocked(cycle, pid, c0);
+                }
+            }
+        }
+
+        self.commit_step(
+            cycle, alloc_reqs, contenders, ejects, body_moves, injections,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::SimConfig;
+    use crate::engine::Engine;
+    use crate::fault::FaultEvent;
+    use crate::stats::SimResult;
+    use crate::traffic::{DstPattern, Workload};
+    use fractanet_route::dor::mesh_xy_routes;
+    use fractanet_route::RouteSet;
+    use fractanet_telemetry::Telemetry;
+    use fractanet_topo::{Mesh2D, Topology};
+    use std::sync::Arc;
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 129, 10_000] {
+            for shards in 1..=9 {
+                let mut covered = 0usize;
+                for i in 0..shards {
+                    let r = super::chunk(n, shards, i);
+                    assert_eq!(r.start, covered, "n={n} shards={shards} i={i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "n={n} shards={shards}");
+            }
+        }
+    }
+
+    /// A faulted, telemetry-on, table-routed mesh run at the given
+    /// thread count: kill+repair on one link, a permanent kill on
+    /// another (triggering a mid-run epoch install via the repairer),
+    /// under Bernoulli load. Big enough (8×8 ⇒ >64 channels) that
+    /// `threads > 1` genuinely forms multiple shards.
+    fn mesh_run(threads: usize) -> SimResult {
+        let m = Mesh2D::new(8, 8, 1, 6).unwrap();
+        let routes = Arc::new(mesh_xy_routes(&m));
+        let dense = RouteSet::from_table(m.net(), m.end_nodes(), &routes).expect("XY routes trace");
+        let transient = dense.path(0, 9)[1].link();
+        let permanent = dense.path(63, 54)[1].link();
+        let cfg = SimConfig::default()
+            .with_packet_flits(8)
+            .with_max_cycles(3_000)
+            .with_seed(0xD157)
+            .with_telemetry(Telemetry::recording())
+            .with_fault(FaultEvent::kill_link(transient, 60).transient(600))
+            .with_fault(FaultEvent::kill_link(permanent, 150))
+            .with_threads(threads);
+        let repair = routes.clone();
+        Engine::with_tables(m.net(), m.end_nodes(), routes, cfg)
+            .with_table_repairer(move |_, _| Some(repair.clone()))
+            .run(Workload::Bernoulli {
+                injection_rate: 0.3,
+                pattern: DstPattern::Uniform,
+                until_cycle: 1_500,
+            })
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_faulted_mesh() {
+        let oracle = format!("{:?}", mesh_run(1));
+        for threads in [2, 4, 8] {
+            let got = format!("{:?}", mesh_run(threads));
+            assert_eq!(oracle, got, "threads={threads} diverged from the oracle");
+        }
+    }
+
+    #[test]
+    fn mesh_run_is_nontrivial() {
+        // Guard the parity fixture itself: it must actually deliver
+        // traffic, apply both faults, and record telemetry, or the
+        // agreement test proves nothing.
+        let r = mesh_run(4);
+        assert!(r.delivered > 50, "delivered {}", r.delivered);
+        assert!(r.recovery.faults_applied >= 2);
+        assert!(r.recovery.repairs_installed >= 1, "epoch install missing");
+        let tel = r.telemetry.expect("telemetry was on");
+        assert!(tel.events_seen > 0);
+    }
+}

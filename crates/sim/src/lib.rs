@@ -37,6 +37,7 @@ pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod fault;
+pub mod pool;
 pub mod stats;
 pub mod sweep;
 pub mod traffic;
@@ -47,6 +48,7 @@ pub use config::SimConfig;
 pub use engine::Engine;
 pub use fault::{FaultEvent, FaultKind, RetryPolicy};
 pub use fractanet_telemetry::{SpanKind, Telemetry, TelemetryReport, TraceEvent};
+pub use pool::parallel_map;
 pub use stats::{DeadlockEvent, RecoveryStats, SimResult};
 pub use sweep::{sweep_loads, LoadPoint};
 pub use traffic::{DstPattern, Workload};

@@ -1,0 +1,75 @@
+//! A small deterministic worker pool.
+//!
+//! [`parallel_map`] maps a pure-by-index function over `0..n` on
+//! crossbeam scoped threads and returns results **in index order**, so
+//! callers get the exact output a serial `(0..n).map(f).collect()`
+//! would produce — the pool trades wall-clock for cores, never
+//! determinism. Work is distributed by an atomic cursor (not
+//! pre-chunked), so uneven item costs self-balance. The offered-load
+//! sweeps ([`crate::sweep`]) and the chaos campaign dispatcher build
+//! on it.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Computes `f(0), f(1), …, f(n-1)` on up to `threads` scoped worker
+/// threads and returns the results in index order. `threads` is
+/// clamped to `1..=n`; with one worker (or `n <= 1`) the map runs
+/// inline on the caller's thread. `f` must not depend on evaluation
+/// order — each index's seed/config must derive from the index alone.
+///
+/// Panics in `f` propagate to the caller (the scope re-raises them),
+/// so a failing item fails the whole map rather than vanishing.
+pub fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                results.lock()[i] = Some(v);
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_index_order_at_any_width() {
+        let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [0, 1, 2, 4, 9, 200] {
+            assert_eq!(
+                parallel_map(threads, 100, |i| i * i),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(parallel_map(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(4, 1, |i| i + 7), vec![7]);
+    }
+}

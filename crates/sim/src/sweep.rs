@@ -1,18 +1,18 @@
 //! Parallel offered-load sweeps for load–latency curves.
 //!
 //! Each load point is an independent simulation over the same network
-//! and route set, so points run on scoped worker threads (crossbeam)
-//! with results collected under a `parking_lot` mutex. Determinism is
-//! preserved: every point gets a seed derived from the base seed and
-//! its index, and results are returned in rate order.
+//! and route set, so points run on the shared worker pool
+//! ([`crate::pool::parallel_map`]). Determinism is preserved: every
+//! point gets a seed derived from the base seed and its index, and
+//! results are returned in rate order.
 
 use crate::config::SimConfig;
 use crate::engine::Engine;
+use crate::pool::parallel_map;
 use crate::stats::SimResult;
 use crate::traffic::{DstPattern, Workload};
 use fractanet_graph::Network;
 use fractanet_route::RouteSet;
-use parking_lot::Mutex;
 
 /// One point of a load–latency curve.
 #[derive(Clone, Debug)]
@@ -34,43 +34,24 @@ pub fn sweep_loads(
     rates: &[f64],
     until_cycle: u64,
 ) -> Vec<LoadPoint> {
-    let results: Mutex<Vec<Option<LoadPoint>>> = Mutex::new(vec![None; rates.len()]);
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(rates.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= rates.len() {
-                    break;
-                }
-                let rate = rates[i];
-                let point_cfg = cfg
-                    .clone()
-                    .with_seed(cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
-                let wl = Workload::Bernoulli {
-                    injection_rate: rate,
-                    pattern: pattern.clone(),
-                    until_cycle,
-                };
-                let result = Engine::new(net, routes, point_cfg).run(wl);
-                results.lock()[i] = Some(LoadPoint {
-                    injection_rate: rate,
-                    result,
-                });
-            });
+    parallel_map(threads, rates.len(), |i| {
+        let rate = rates[i];
+        let point_cfg = cfg
+            .clone()
+            .with_seed(cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        let wl = Workload::Bernoulli {
+            injection_rate: rate,
+            pattern: pattern.clone(),
+            until_cycle,
+        };
+        LoadPoint {
+            injection_rate: rate,
+            result: Engine::new(net, routes, point_cfg).run(wl),
         }
     })
-    .expect("sweep worker panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|p| p.expect("all points computed"))
-        .collect()
 }
 
 /// Finds the saturation rate: the first swept rate where accepted

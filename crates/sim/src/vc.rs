@@ -14,6 +14,7 @@
 //! without changing the topology, at the price of doubled buffering.
 
 use crate::config::SimConfig;
+use crate::engine::par::{chunk, effective_shards};
 use crate::stats::{DeadlockEvent, SimResult};
 use crate::traffic::Workload;
 use fractanet_graph::{AdjList, ChannelId, Network};
@@ -23,6 +24,7 @@ use fractanet_topo::{Ring, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::ops::Range;
 
 /// One hop of a virtual-channel route: a physical channel plus the
 /// virtual channel to ride on it.
@@ -242,6 +244,136 @@ struct VPacket {
     sent: u32,
 }
 
+/// Candidate moves keyed by target *physical* channel; one flit per
+/// wire per cycle.
+#[derive(Clone, Copy)]
+enum Cand {
+    Transfer {
+        from_vid: u32,
+        to_vid: u32,
+        alloc: bool,
+    },
+    Inject {
+        src: u32,
+        to_vid: u32,
+        alloc: bool,
+    },
+}
+
+/// Round-robin arbitration key: transfers by upstream vid, injections
+/// after all transfers, by source. Unique per candidate, so the
+/// post-collection sort is deterministic whatever order shards
+/// produced the candidates in.
+fn key_of(c: Cand) -> u32 {
+    match c {
+        Cand::Transfer { from_vid, .. } => from_vid,
+        Cand::Inject { src, .. } => u32::MAX / 2 + src,
+    }
+}
+
+/// One shard's scan output: `(ejects, transfer candidates)` from its
+/// vid range plus injection candidates from its source range.
+type ShardScan = ((Vec<u32>, Vec<(u32, Cand)>), Vec<(u32, Cand)>);
+
+/// The `Sync` slice of engine state the candidate scans read. The
+/// scans are pure — no RNG, no telemetry, no mutation — so they shard
+/// across scoped worker threads exactly like the main engine's
+/// decision phase ([`crate::engine`]'s `par` module); arbitration and
+/// the apply phase stay serial.
+struct VcScanView<'e> {
+    routes: &'e VcRouteSet,
+    vcs: usize,
+    chans: &'e [VChanState],
+    packets: &'e [VPacket],
+    queues: &'e [VecDeque<u32>],
+    buffer_depth: u8,
+}
+
+impl VcScanView<'_> {
+    fn vid(&self, hop: VcHop) -> usize {
+        hop.0.index() * self.vcs + hop.1 as usize
+    }
+
+    /// The oracle's per-vid scan over one range: ejection-ready vids
+    /// plus transfer candidates, in vid order.
+    fn scan_vids(&self, range: Range<usize>) -> (Vec<u32>, Vec<(u32, Cand)>) {
+        let b = self.buffer_depth;
+        let mut ejects: Vec<u32> = Vec::new();
+        let mut cands: Vec<(u32, Cand)> = Vec::new();
+        for vid in range {
+            let vid = vid as u32;
+            let st = &self.chans[vid as usize];
+            if st.occ == 0 {
+                continue;
+            }
+            let p = &self.packets[st.owner as usize];
+            let path = self.routes.path(p.src as usize, p.dst as usize);
+            if st.route_pos as usize == path.len() - 1 {
+                ejects.push(vid);
+                continue;
+            }
+            let next = path[st.route_pos as usize + 1];
+            let next_vid = self.vid(next) as u32;
+            let nst = &self.chans[next_vid as usize];
+            if st.front() == 0 {
+                if nst.owner == NO_PKT && nst.occ < b {
+                    cands.push((
+                        next.0.index() as u32,
+                        Cand::Transfer {
+                            from_vid: vid,
+                            to_vid: next_vid,
+                            alloc: true,
+                        },
+                    ));
+                }
+            } else if nst.occ < b {
+                cands.push((
+                    next.0.index() as u32,
+                    Cand::Transfer {
+                        from_vid: vid,
+                        to_vid: next_vid,
+                        alloc: false,
+                    },
+                ));
+            }
+        }
+        (ejects, cands)
+    }
+
+    /// The oracle's injection scan over one source range: each queue
+    /// front that can enter its first virtual channel this cycle.
+    fn scan_sources(&self, range: Range<usize>) -> Vec<(u32, Cand)> {
+        let b = self.buffer_depth;
+        let mut cands: Vec<(u32, Cand)> = Vec::new();
+        for s in range {
+            let Some(&pid) = self.queues[s].front() else {
+                continue;
+            };
+            let p = &self.packets[pid as usize];
+            let first = self.routes.path(p.src as usize, p.dst as usize)[0];
+            let vid = self.vid(first) as u32;
+            let st = &self.chans[vid as usize];
+            let alloc = p.sent == 0;
+            let ok = if alloc {
+                st.owner == NO_PKT && st.occ < b
+            } else {
+                st.occ < b
+            };
+            if ok {
+                cands.push((
+                    first.0.index() as u32,
+                    Cand::Inject {
+                        src: s as u32,
+                        to_vid: vid,
+                        alloc,
+                    },
+                ));
+            }
+        }
+        cands
+    }
+}
+
 /// The virtual-channel wormhole engine. Physical links carry one flit
 /// per cycle regardless of VC count; each VC has its own `buffer_depth`
 /// FIFO.
@@ -368,95 +500,54 @@ impl<'a> VcEngine<'a> {
     }
 
     fn step(&mut self, cycle: u64) -> usize {
-        let b = self.cfg.buffer_depth;
-        // Candidate moves keyed by target *physical* channel; one flit
-        // per wire per cycle.
-        #[derive(Clone, Copy)]
-        enum Cand {
-            Transfer {
-                from_vid: u32,
-                to_vid: u32,
-                alloc: bool,
-            },
-            Inject {
-                src: u32,
-                to_vid: u32,
-                alloc: bool,
-            },
-        }
+        let view = VcScanView {
+            routes: self.routes,
+            vcs: self.vcs,
+            chans: &self.chans,
+            packets: &self.packets,
+            queues: &self.queues,
+            buffer_depth: self.cfg.buffer_depth,
+        };
+        let nvid = self.chans.len();
+        let nsrc = self.queues.len();
+        let shards = effective_shards(self.cfg.threads, self.nch);
+        // Pure candidate collection, sharded when asked. Shard outputs
+        // concatenate in shard order = vid/source order, so the merged
+        // vectors match the serial scans entry for entry.
+        let parts: Vec<ShardScan> = if shards == 1 {
+            vec![(view.scan_vids(0..nvid), view.scan_sources(0..nsrc))]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let view = &view;
+                let handles: Vec<_> = (0..shards)
+                    .map(|i| {
+                        scope.spawn(move |_| {
+                            (
+                                view.scan_vids(chunk(nvid, shards, i)),
+                                view.scan_sources(chunk(nsrc, shards, i)),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("vc shard scan worker panicked"))
+                    .collect()
+            })
+            .expect("vc shard scan scope")
+        };
         let mut ejects: Vec<u32> = Vec::new();
         let mut cands: Vec<(u32, Cand)> = Vec::new(); // (physical target, cand)
-
-        for vid in 0..self.chans.len() as u32 {
-            let st = &self.chans[vid as usize];
-            if st.occ == 0 {
-                continue;
-            }
-            let p = &self.packets[st.owner as usize];
-            let path = self.routes.path(p.src as usize, p.dst as usize);
-            if st.route_pos as usize == path.len() - 1 {
-                ejects.push(vid);
-                continue;
-            }
-            let next = path[st.route_pos as usize + 1];
-            let next_vid = self.vid(next) as u32;
-            let nst = &self.chans[next_vid as usize];
-            if st.front() == 0 {
-                if nst.owner == NO_PKT && nst.occ < b {
-                    cands.push((
-                        next.0.index() as u32,
-                        Cand::Transfer {
-                            from_vid: vid,
-                            to_vid: next_vid,
-                            alloc: true,
-                        },
-                    ));
-                }
-            } else if nst.occ < b {
-                cands.push((
-                    next.0.index() as u32,
-                    Cand::Transfer {
-                        from_vid: vid,
-                        to_vid: next_vid,
-                        alloc: false,
-                    },
-                ));
-            }
+        for ((shard_ejects, shard_cands), _) in &parts {
+            ejects.extend_from_slice(shard_ejects);
+            cands.extend_from_slice(shard_cands);
         }
-        for s in 0..self.queues.len() {
-            let Some(&pid) = self.queues[s].front() else {
-                continue;
-            };
-            let p = &self.packets[pid as usize];
-            let first = self.routes.path(p.src as usize, p.dst as usize)[0];
-            let vid = self.vid(first) as u32;
-            let st = &self.chans[vid as usize];
-            let alloc = p.sent == 0;
-            let ok = if alloc {
-                st.owner == NO_PKT && st.occ < b
-            } else {
-                st.occ < b
-            };
-            if ok {
-                cands.push((
-                    first.0.index() as u32,
-                    Cand::Inject {
-                        src: s as u32,
-                        to_vid: vid,
-                        alloc,
-                    },
-                ));
-            }
+        for (_, src_cands) in &parts {
+            cands.extend_from_slice(src_cands);
         }
 
         // One grant per physical channel, round-robin over target vids.
-        cands.sort_unstable_by_key(|&(phys, c)| {
-            let key = match c {
-                Cand::Transfer { from_vid, .. } => from_vid,
-                Cand::Inject { src, .. } => u32::MAX / 2 + src,
-            };
-            (phys, key)
-        });
+        cands.sort_unstable_by_key(|&(phys, c)| (phys, key_of(c)));
         let mut moves = 0usize;
         let mut i = 0;
         let mut grants: Vec<Cand> = Vec::new();
@@ -477,12 +568,6 @@ impl<'a> VcEngine<'a> {
             self.rr[phys as usize] = key_of(pick.1);
             grants.push(pick.1);
             i = j;
-        }
-        fn key_of(c: Cand) -> u32 {
-            match c {
-                Cand::Transfer { from_vid, .. } => from_vid,
-                Cand::Inject { src, .. } => u32::MAX / 2 + src,
-            }
         }
 
         // Ejections (per physical channel, at most one — group them).
@@ -761,6 +846,38 @@ mod tests {
         let res = VcEngine::new(t.net(), &routes, cfg).run(Workload::all_to_all_burst(9));
         assert!(res.deadlock.is_none(), "{:?}", res.deadlock);
         assert_eq!(res.delivered, 72);
+    }
+
+    #[test]
+    fn sharded_vc_engine_matches_serial() {
+        // A 6×6 torus (>64 physical channels, so threads > 1 genuinely
+        // forms shards) under Bernoulli load with telemetry on: the
+        // sharded candidate collection must be bit-identical to the
+        // serial scan at every thread count.
+        let t = fractanet_topo::Torus2D::new(6, 6, 1, 6).unwrap();
+        let routes = dateline_torus_routes(&t, 2);
+        let run = |threads: usize| {
+            let cfg = SimConfig {
+                packet_flits: 8,
+                buffer_depth: 2,
+                max_cycles: 20_000,
+                stall_threshold: 2_000,
+                telemetry: fractanet_telemetry::Telemetry::recording(),
+                ..SimConfig::default()
+            }
+            .with_threads(threads);
+            VcEngine::new(t.net(), &routes, cfg).run(Workload::Bernoulli {
+                injection_rate: 0.3,
+                pattern: crate::traffic::DstPattern::Uniform,
+                until_cycle: 1_000,
+            })
+        };
+        let oracle = run(1);
+        assert!(oracle.delivered > 50, "fixture too quiet to prove parity");
+        let oracle = format!("{oracle:?}");
+        for threads in [2, 4, 8] {
+            assert_eq!(oracle, format!("{:?}", run(threads)), "threads={threads}");
+        }
     }
 
     #[test]

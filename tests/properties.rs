@@ -248,6 +248,63 @@ proptest! {
         prop_assert_eq!(dense.deadlock.is_some(), tabled.deadlock.is_some());
     }
 
+    /// The sharded parallel engine is bit-identical to the serial
+    /// oracle across the full config grammar — including random
+    /// kill/repair/brownout/flaky schedules, healing epoch installs
+    /// mid-run, and telemetry recording. Every field of the result
+    /// (latencies, busy counts, recovery stats, the telemetry event
+    /// ring) must match at 2, 4, and 8 threads.
+    #[test]
+    fn parallel_and_serial_engines_agree(
+        cfg in configs(),
+        seed in 0u64..1000,
+        heal in any::<bool>(),
+        schedule in prop::collection::vec((0usize..100_000, 0u8..4), 0usize..3),
+    ) {
+        let sys = cfg.build();
+        let links: Vec<LinkId> = sys.net().links().collect();
+        let mut sim_cfg = SimConfig {
+            packet_flits: 6,
+            buffer_depth: 2,
+            max_cycles: 2_500,
+            stall_threshold: 1_200,
+            seed,
+            telemetry: Telemetry::recording(),
+            ..SimConfig::default()
+        };
+        for (i, &(pick, kind)) in schedule.iter().enumerate() {
+            let l = links[pick % links.len()];
+            let at = 100 + 150 * i as u64;
+            sim_cfg = sim_cfg.with_fault(match kind {
+                0 => FaultEvent::kill_link(l, at),
+                1 => FaultEvent::kill_link(l, at).transient(at + 500),
+                2 => FaultEvent::brownout(l, 40, 60, at).transient(at + 700),
+                _ => FaultEvent::flaky_link(l, 250, at).transient(at + 400),
+            });
+        }
+        let wl = Workload::Bernoulli {
+            injection_rate: 0.2,
+            pattern: DstPattern::Uniform,
+            until_cycle: 1_000,
+        };
+        let run = |threads: usize| {
+            let c = sim_cfg.clone().with_threads(threads);
+            if heal {
+                sys.simulate_healing(wl.clone(), c)
+            } else {
+                sys.simulate(wl.clone(), c)
+            }
+        };
+        let serial = format!("{:?}", run(1));
+        for threads in [2usize, 4, 8] {
+            let sharded = format!("{:?}", run(threads));
+            prop_assert_eq!(
+                &serial, &sharded,
+                "{:?} seed {} heal {} threads {}", cfg, seed, heal, threads
+            );
+        }
+    }
+
     /// Incremental dirty-column repair produces byte-identical tables
     /// to a from-scratch rebuild, including across successive fault
     /// batches.
