@@ -24,7 +24,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use fractanet::prelude::*;
 use fractanet::System;
 use fractanet_sim::{FaultEvent, RetryPolicy, Telemetry};
-use fractanet_telemetry::Recorder;
+use fractanet_telemetry::{MetricsRecorder, Recorder};
 use std::time::Instant;
 
 fn sim_once(sys: &System, telemetry: Telemetry) -> fractanet_sim::SimResult {
@@ -36,6 +36,23 @@ fn sim_once(sys: &System, telemetry: Telemetry) -> fractanet_sim::SimResult {
         ..SimConfig::default()
     }
     .with_telemetry(telemetry);
+    let wl = Workload::Bernoulli {
+        injection_rate: 0.3,
+        pattern: DstPattern::Uniform,
+        until_cycle: 3_000,
+    };
+    sys.simulate(wl, cfg)
+}
+
+fn metrics_sim_once(sys: &System, metrics: MetricsConfig) -> fractanet_sim::SimResult {
+    let cfg = SimConfig {
+        packet_flits: 16,
+        buffer_depth: 4,
+        max_cycles: 4_000,
+        stall_threshold: 3_900,
+        metrics,
+        ..SimConfig::default()
+    };
     let wl = Workload::Bernoulli {
         injection_rate: 0.3,
         pattern: DstPattern::Uniform,
@@ -112,6 +129,86 @@ fn guard_noop_emit(c: &mut Criterion) {
                 }
             }
         })
+    });
+}
+
+/// Guard 1m: the disabled metrics emit path is the same shape as the
+/// tracer's — a branch on a `None`, never a call.
+fn guard_metrics_noop_emit(c: &mut Criterion) {
+    let sys = System::fat_fractahedron(1);
+    let ends = sys
+        .net()
+        .nodes()
+        .filter(|&n| !sys.net().is_router(n))
+        .count();
+    let mut met: Option<MetricsRecorder> = MetricsConfig::off().recorder(sys.net(), ends, 6);
+    assert!(met.is_none(), "MetricsConfig::off() must yield no recorder");
+    const CALLS: u64 = 1_000_000;
+    let t0 = Instant::now();
+    for i in 0..CALLS {
+        if let Some(m) = black_box(&mut met).as_mut() {
+            match i % 3 {
+                0 => m.generated(i, (i % 16) as usize, ((i + 1) % 16) as usize),
+                1 => m.delivered(i, (i % 16) as usize, ((i + 1) % 16) as usize, i % 512),
+                _ => m.abandoned(i, (i % 16) as usize, ((i + 1) % 16) as usize),
+            }
+        }
+    }
+    let per_call = t0.elapsed().as_nanos() / CALLS as u128;
+    assert!(
+        per_call < 25,
+        "disabled metrics emit path costs {per_call} ns/call (bound: 25 ns)"
+    );
+    c.bench_function("metrics_noop_emit_1e6", |b| {
+        b.iter(|| {
+            for i in 0..CALLS {
+                if let Some(m) = black_box(&mut met).as_mut() {
+                    match i % 3 {
+                        0 => m.generated(i, (i % 16) as usize, ((i + 1) % 16) as usize),
+                        1 => m.delivered(i, (i % 16) as usize, ((i + 1) % 16) as usize, i % 512),
+                        _ => m.abandoned(i, (i % 16) as usize, ((i + 1) % 16) as usize),
+                    }
+                }
+            }
+        })
+    });
+}
+
+/// Guard 2m: sampling metrics stays within 5× of the disabled run and
+/// does not change the simulation's outcome — same contract as the
+/// tracer, now for the streaming-quantile pipeline.
+fn guard_metrics_on_off_ratio(c: &mut Criterion) {
+    let sys = System::fat_fractahedron(1);
+
+    let off = metrics_sim_once(&sys, MetricsConfig::off());
+    let on = metrics_sim_once(&sys, MetricsConfig::sampling(100));
+    assert!(off.metrics.is_none());
+    assert!(on.metrics.is_some());
+    assert_eq!(off.delivered, on.delivered, "metrics perturbed the sim");
+    assert_eq!(off.avg_latency, on.avg_latency, "metrics perturbed the sim");
+    assert_eq!(
+        off.channel_busy, on.channel_busy,
+        "metrics perturbed the sim"
+    );
+
+    let t_off = min_wall(5, || {
+        black_box(metrics_sim_once(&sys, MetricsConfig::off()));
+    });
+    let t_on = min_wall(5, || {
+        black_box(metrics_sim_once(&sys, MetricsConfig::sampling(100)));
+    });
+    let ratio = t_on as f64 / t_off.max(1) as f64;
+    println!("bench metrics on/off wall ratio: {ratio:.2}x ({t_on} ns vs {t_off} ns)");
+    assert!(
+        ratio <= 5.0,
+        "metrics-on run is {ratio:.2}x the disabled run (bound: 5x)"
+    );
+
+    c.bench_function("sim_fat16_metrics_off", |b| {
+        b.iter(|| metrics_sim_once(&sys, MetricsConfig::off()).delivered)
+    });
+    c.bench_function("sim_fat16_metrics_on", |b| {
+        b.iter(|| metrics_sim_once(&sys, MetricsConfig::sampling(100)).delivered)
     });
 }
 
@@ -250,6 +347,7 @@ fn guard_on_off_ratio(c: &mut Criterion) {
 criterion_group! {
     name = telemetry;
     config = Criterion::default().sample_size(10);
-    targets = guard_noop_emit, guard_on_off_ratio, guard_gray_parity
+    targets = guard_noop_emit, guard_metrics_noop_emit, guard_on_off_ratio,
+        guard_metrics_on_off_ratio, guard_gray_parity
 }
 criterion_main!(telemetry);

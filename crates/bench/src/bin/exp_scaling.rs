@@ -39,7 +39,12 @@ fn timed_run(sys: &System, t: &Target, threads: usize) -> (SimResult, BenchRecor
         seed: 0x5CA1_AB1E,
         ..SimConfig::default()
     }
-    .with_threads(threads);
+    .with_threads(threads)
+    // The live-metrics pipeline rides along on every measured run: it
+    // is provably inert (see tests/properties.rs), so the bit-identity
+    // baseline asserts below still hold, and its streaming sketch
+    // stamps real latency percentiles onto each trajectory row.
+    .with_metrics(MetricsConfig::sampling(500).with_topology(t.spec));
     let wl = Workload::Bernoulli {
         injection_rate: t.load,
         pattern: DstPattern::Uniform,
@@ -48,6 +53,7 @@ fn timed_run(sys: &System, t: &Target, threads: usize) -> (SimResult, BenchRecor
     let t0 = Instant::now();
     let res = sys.simulate(wl, cfg);
     let wall = t0.elapsed();
+    let sketch = &res.metrics.as_ref().expect("metrics were on").latency;
     let rec = BenchRecord::new(
         "scaling",
         t.spec,
@@ -55,7 +61,8 @@ fn timed_run(sys: &System, t: &Target, threads: usize) -> (SimResult, BenchRecor
         res.cycles,
         wall,
         sys.routes().resident_bytes(),
-    );
+    )
+    .with_latency(sketch.p50(), sketch.p95(), sketch.p99());
     (res, rec)
 }
 

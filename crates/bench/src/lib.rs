@@ -57,6 +57,12 @@ pub struct BenchRecord {
     /// Logical CPUs on the measuring host — speedup claims are only
     /// meaningful when `threads <= host_cpus`.
     pub host_cpus: usize,
+    /// Median simulated packet latency in cycles (0 = not measured).
+    pub latency_p50: u64,
+    /// 95th-percentile simulated packet latency in cycles.
+    pub latency_p95: u64,
+    /// 99th-percentile simulated packet latency in cycles.
+    pub latency_p99: u64,
 }
 
 impl BenchRecord {
@@ -80,7 +86,19 @@ impl BenchRecord {
             cycles_per_sec: cycles as f64 / wall.as_secs_f64().max(1e-9),
             peak_routing_bytes,
             host_cpus: host_cpus(),
+            latency_p50: 0,
+            latency_p95: 0,
+            latency_p99: 0,
         }
+    }
+
+    /// Stamps simulated-latency percentiles (from the run's streaming
+    /// quantile sketch) onto the record.
+    pub fn with_latency(mut self, p50: u64, p95: u64, p99: u64) -> Self {
+        self.latency_p50 = p50;
+        self.latency_p95 = p95;
+        self.latency_p99 = p99;
+        self
     }
 }
 

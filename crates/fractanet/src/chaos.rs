@@ -30,9 +30,10 @@ use fractanet_route::repair::DeadMask;
 use fractanet_servernet::healing::heal_mask;
 use fractanet_servernet::{run_with_failover, FabricSim, FailoverOutcome};
 use fractanet_sim::{
-    sample_schedule, shrink, ChaosSpace, DstPattern, FaultEvent, FaultKind, Invariant, RetryPolicy,
-    Scenario, SimConfig, Telemetry, Violation, Workload,
+    sample_schedule, shrink, write_trace, ChaosSpace, DstPattern, FaultEvent, FaultKind, Invariant,
+    MetricsConfig, RetryPolicy, Scenario, SimConfig, Telemetry, Violation, Workload,
 };
+use fractanet_telemetry::{incident_chrome_trace, Anomaly, AnomalyKind};
 
 /// Campaign shape: how many cases, from which seed, at which scale.
 #[derive(Clone, Copy, Debug)]
@@ -371,6 +372,71 @@ pub fn replay(scenario: &Scenario, quick: bool, dedup: bool) -> Result<Vec<Viola
     let sys = spec.build();
     let out = run_case(&sys, &scenario.faults, scenario.seed, quick, dedup);
     Ok(check_invariants(&sys, &scenario.faults, &out))
+}
+
+/// A chaos incident minted from a still-violating scenario: the
+/// scenario's schedule re-run with live metrics, packaged as a
+/// replayable metrics trace plus a Chrome-trace flight-recorder bundle
+/// carrying the invariant violations as instant events.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Replayable JSONL metrics trace — `fractanet replay` re-runs it
+    /// and asserts the recorded delivered/abandoned counts.
+    pub trace: String,
+    /// Chrome `trace_event` incident bundle (chrome://tracing) —
+    /// present when the replay violated or the metrics re-run itself
+    /// hit an anomaly.
+    pub bundle: Option<String>,
+    /// The violations the authoritative scenario replay reported.
+    pub violations: Vec<Violation>,
+}
+
+/// Replays a scenario and mints an [`Incident`] from it.
+///
+/// The verdict comes from [`replay`] — the full dual-fabric case,
+/// bit-identical to the campaign. The incident *timeline* then comes
+/// from re-running the scenario's fault schedule and engine seed on
+/// the standard single-fabric engine with metrics on: the same engine
+/// `fractanet replay` rebuilds, so the minted trace replays exactly by
+/// construction.
+pub fn incident(scenario: &Scenario, quick: bool, dedup: bool) -> Result<Incident, String> {
+    let violations = replay(scenario, quick, dedup)?;
+    let spec: TopoSpec = scenario.spec.parse().map_err(|e| format!("{e}"))?;
+    let sys = spec.build();
+    let sc = scale(quick);
+    let cfg = SimConfig {
+        max_cycles: sc.cycles * 4,
+        stall_threshold: 500,
+        retry: case_retry(),
+        seed: scenario.seed,
+        ..SimConfig::default()
+    }
+    .with_faults(scenario.faults.clone())
+    .with_ack_retransmit(true)
+    .with_dedup(dedup)
+    .with_metrics(MetricsConfig::sampling(100).with_topology(&sys.name()));
+    let workload = Workload::Bernoulli {
+        injection_rate: sc.load,
+        pattern: DstPattern::Uniform,
+        until_cycle: sc.cycles,
+    };
+    let res = sys.simulate(workload, cfg.clone());
+    let report = res.metrics.as_ref().expect("metrics were on");
+    let extra: Vec<Anomaly> = violations
+        .iter()
+        .map(|v| Anomaly {
+            cycle: report.cycles,
+            kind: AnomalyKind::InvariantViolation,
+            detail: format!("{}: {}", v.invariant.tag(), v.detail),
+        })
+        .collect();
+    let bundle = incident_chrome_trace(report, &extra);
+    let trace = write_trace(&scenario.spec, false, &cfg, report);
+    Ok(Incident {
+        trace,
+        bundle,
+        violations,
+    })
 }
 
 #[cfg(test)]

@@ -17,9 +17,12 @@ use crate::spec::TopoSpec;
 use crate::System;
 use fractanet_graph::{viz, LinkId, NodeId};
 use fractanet_sim::{
-    DstPattern, FaultEvent, RetryPolicy, Scenario, SimConfig, Telemetry, Workload,
+    parse_trace, write_trace, DstPattern, FaultEvent, MetricsConfig, MetricsReport, RetryPolicy,
+    Scenario, SimConfig, Telemetry, Workload,
 };
-use fractanet_telemetry::{to_chrome_trace, to_jsonl, to_text_summary};
+use fractanet_telemetry::{
+    incident_chrome_trace, to_chrome_trace, to_jsonl, to_prometheus, to_text_summary,
+};
 use std::fmt;
 
 /// A parsed command.
@@ -49,6 +52,36 @@ pub enum Command {
         /// Worker threads for the sharded engine (`--threads`);
         /// results are identical at every width.
         threads: usize,
+        /// Live-metrics options (`--metrics-every`, `--metrics-out`,
+        /// `--slo-deadline`).
+        metrics: MetricsOpts,
+    },
+    /// Run a metrics-instrumented simulation and export the live
+    /// metrics pipeline's view of it.
+    Metrics {
+        /// What to simulate.
+        spec: TopoSpec,
+        /// Offered load in flits/node/cycle.
+        load: f64,
+        /// Cycle budget.
+        cycles: u64,
+        /// Fault-injection and recovery options.
+        faults: FaultOpts,
+        /// Worker threads for the sharded engine.
+        threads: usize,
+        /// Export format (`--format prom|jsonl`).
+        format: MetricsFormat,
+        /// Sampling cadence / SLO deadline / output path.
+        metrics: MetricsOpts,
+    },
+    /// Re-run a recorded metrics trace and assert the recorded
+    /// outcome.
+    Replay {
+        /// Trace file (JSONL, as written by `--metrics-out`).
+        path: String,
+        /// Override the recorded thread width (`--threads`; the
+        /// outcome is identical at every width).
+        threads: Option<usize>,
     },
     /// Simulate with telemetry recording and export the trace.
     Trace {
@@ -107,6 +140,11 @@ pub enum Command {
         /// Worker threads dispatching campaign cases (`--threads`);
         /// the verdict is identical at every width.
         threads: usize,
+        /// In `--replay` mode: re-run the scenario with live metrics
+        /// and write a replayable metrics trace here; when the replay
+        /// still violates, a Chrome incident bundle lands next to it
+        /// (`--trace-out`).
+        trace_out: Option<String>,
     },
     /// Print usage.
     Help,
@@ -121,6 +159,111 @@ pub enum TraceFormat {
     Chrome,
     /// Human-readable per-channel summary.
     Summary,
+}
+
+/// Export format for `fractanet metrics`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition (format 0.0.4).
+    Prometheus,
+    /// The replayable JSONL metrics trace (config echo, fault
+    /// timeline, injections, time-series samples, final counts).
+    Jsonl,
+}
+
+/// Live-metrics options shared by `simulate` and `metrics`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MetricsOpts {
+    /// Sampling cadence in cycles (`--metrics-every`); any metrics
+    /// flag turns the pipeline on, this one sets the cadence.
+    pub every: Option<u64>,
+    /// Write the run as a replayable JSONL metrics trace
+    /// (`--metrics-out`); anomalies also dump a Chrome incident
+    /// bundle next to it.
+    pub out: Option<String>,
+    /// Per-packet delivery deadline in cycles for SLO accounting
+    /// (`--slo-deadline`).
+    pub deadline: Option<u64>,
+}
+
+impl MetricsOpts {
+    fn is_on(&self) -> bool {
+        self.every.is_some() || self.out.is_some() || self.deadline.is_some()
+    }
+
+    /// The engine-side metrics configuration: always-on flavor, for
+    /// commands where metrics are the whole point.
+    fn config_on(&self, topology: &str) -> MetricsConfig {
+        let mut cfg = MetricsConfig::sampling(self.every.unwrap_or(100));
+        if let Some(d) = self.deadline {
+            cfg = cfg.with_deadline(d);
+        }
+        cfg.with_topology(topology)
+    }
+
+    /// The engine-side metrics configuration, or off when no metrics
+    /// flag was given.
+    fn config(&self, topology: &str) -> MetricsConfig {
+        if self.is_on() {
+            self.config_on(topology)
+        } else {
+            MetricsConfig::off()
+        }
+    }
+}
+
+/// The incident-bundle path derived from a trace path:
+/// `x.jsonl` → `x.incident.json`.
+fn incident_path(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}.incident.json"),
+        None => format!("{trace_path}.incident.json"),
+    }
+}
+
+/// Renders the live-metrics block `simulate` appends: whole-run
+/// quantiles, SLO accounting, the worst group pair, and anomalies.
+fn metrics_block(m: &MetricsReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "metrics: {} sample(s) every {} cycles; latency p50 {} / p95 {} / p99 {} / max {} cy\n",
+        m.samples.len(),
+        m.sample_every,
+        m.latency.p50(),
+        m.latency.p95(),
+        m.latency.p99(),
+        m.latency.max()
+    ));
+    s.push_str(&format!(
+        "SLO: {:.2}% delivered within {} cy; retry budget burn {:.2}%\n",
+        100.0 * m.slo_ratio(),
+        m.deadline,
+        100.0 * m.retry_budget_burn()
+    ));
+    if let Some(w) = m
+        .classes
+        .iter()
+        .filter(|c| c.generated > 0)
+        .min_by(|a, b| a.slo_ratio().total_cmp(&b.slo_ratio()))
+    {
+        s.push_str(&format!(
+            "worst group pair g{}->g{}: {:.2}% in deadline, burn {:.2}%, p99 {} cy\n",
+            w.src_group,
+            w.dst_group,
+            100.0 * w.slo_ratio(),
+            100.0 * w.retry_budget_burn(m.max_retries),
+            w.latency.p99()
+        ));
+    }
+    for a in &m.anomalies {
+        s.push_str(&format!(
+            "anomaly @{}: {} — {}\n",
+            a.cycle,
+            a.kind.tag(),
+            a.detail
+        ));
+    }
+    s
 }
 
 /// Fault-injection and recovery options for `simulate`.
@@ -284,6 +427,8 @@ USAGE:
                      [--fault-at <cycle>] [--repair-at <cycle>] [--heal]
                      [--ack-timeout <cy>] [--max-retries <n>]
                      [--backoff-base <cy>] [--jitter-seed <s>] [--telemetry]
+                     [--metrics-every <cy>] [--metrics-out <path>]
+                     [--slo-deadline <cy>]
                                         uniform-traffic wormhole simulation with
                                         optional live fault injection — outright
                                         kills plus gray failures (silent drops,
@@ -294,7 +439,31 @@ USAGE:
                                         worker threads (results identical at
                                         any width); --telemetry appends the
                                         per-channel utilization/contention
-                                        summary
+                                        summary; any --metrics-* / --slo-* flag
+                                        turns on the live metrics pipeline
+                                        (streaming quantile sketches, SLO
+                                        accounting — provably inert on the sim
+                                        outcome) and --metrics-out records the
+                                        run as a replayable JSONL trace, with a
+                                        Chrome-trace incident bundle auto-dumped
+                                        next to it when the flight recorder sees
+                                        an anomaly (deadlock, SLO breach, heal
+                                        install)
+  fractanet metrics <topology> [--format prom|jsonl] [--out <path>]
+                    [--load <f>] [--cycles <n>] [--threads <n>]
+                    [--metrics-every <cy>] [--slo-deadline <cy>]
+                    [<fault flags as simulate>]
+                                        run with live metrics on and export
+                                        them: Prometheus text exposition
+                                        (default) or the replayable JSONL
+                                        metrics trace
+  fractanet replay <trace.jsonl> [--threads <n>]
+                                        re-run a recorded metrics trace —
+                                        scripted injections, echoed config,
+                                        fault timeline — and assert the
+                                        recorded delivered/abandoned counts and
+                                        latency quantiles reproduce exactly.
+                                        Exits 1 on any mismatch
   fractanet trace <topology> [--format jsonl|chrome|summary] [--out <path>]
                   [--load <f>] [--cycles <n>] [<fault flags as simulate>]
                                         run with the flit-event tracer on and
@@ -318,8 +487,14 @@ USAGE:
                                         identical verdict. Exits 1 on any
                                         violation
   fractanet chaos --replay <file> [--quick] [--disable-dedup]
+                  [--trace-out <path>]
                                         re-run a recorded scenario bit-
-                                        identically and re-check every invariant
+                                        identically and re-check every
+                                        invariant; --trace-out additionally
+                                        re-runs the schedule with live metrics
+                                        and writes a replayable metrics trace
+                                        (plus an incident bundle when the
+                                        scenario still violates)
   fractanet lint <topology>... [--json] [--exact] [--synthesize]
                                         static route verification: coverage,
                                         path well-formedness, dependency-cycle
@@ -395,8 +570,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let spec = spec.ok_or_else(|| CliError(format!("dot needs a topology\n\n{USAGE}")))?;
             Ok(Command::Dot { spec, routers_only })
         }
-        Some(cmd @ ("simulate" | "trace")) => {
+        Some(cmd @ ("simulate" | "trace" | "metrics")) => {
             let tracing = cmd == "trace";
+            let metrics_cmd = cmd == "metrics";
             let mut spec = None;
             let mut load = 0.2f64;
             let mut cycles = if tracing { 5_000u64 } else { 20_000u64 };
@@ -404,6 +580,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut telemetry = false;
             let mut threads = 1usize;
             let mut format = TraceFormat::Summary;
+            let mut mformat = MetricsFormat::Prometheus;
+            let mut metrics = MetricsOpts::default();
             let mut out = None;
             let mut it = it.peekable();
             while let Some(a) = it.next() {
@@ -442,8 +620,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         let f = split_fields("--brownout", "<link>:<down>:<up>", it.next(), 3)?;
                         faults.brownouts.push((f[0] as u32, f[1], f[2]));
                     }
-                    "--telemetry" if !tracing => telemetry = true,
+                    "--telemetry" if cmd == "simulate" => telemetry = true,
                     "--threads" if !tracing => threads = val!("--threads"),
+                    "--metrics-every" if !tracing => metrics.every = Some(val!("--metrics-every")),
+                    "--slo-deadline" if !tracing => metrics.deadline = Some(val!("--slo-deadline")),
+                    "--metrics-out" if cmd == "simulate" => {
+                        metrics.out = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--metrics-out needs a path".into()))?
+                                .clone(),
+                        );
+                    }
                     "--format" if tracing => {
                         let v = it.next().ok_or_else(|| {
                             CliError("--format needs jsonl|chrome|summary".into())
@@ -459,7 +646,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             }
                         };
                     }
-                    "--out" if tracing => {
+                    "--format" if metrics_cmd => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError("--format needs prom|jsonl".into()))?;
+                        mformat = match v.as_str() {
+                            "prom" => MetricsFormat::Prometheus,
+                            "jsonl" => MetricsFormat::Jsonl,
+                            other => {
+                                return Err(CliError(format!(
+                                    "unknown metrics format '{other}' (prom|jsonl)"
+                                )))
+                            }
+                        };
+                    }
+                    "--out" if tracing || metrics_cmd => {
                         out = Some(
                             it.next()
                                 .ok_or_else(|| CliError("--out needs a path".into()))?
@@ -488,6 +689,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     cycles,
                     faults,
                 })
+            } else if metrics_cmd {
+                metrics.out = out;
+                Ok(Command::Metrics {
+                    spec,
+                    load,
+                    cycles,
+                    faults,
+                    threads,
+                    format: mformat,
+                    metrics,
+                })
             } else {
                 Ok(Command::Simulate {
                     spec,
@@ -496,8 +708,32 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     faults,
                     telemetry,
                     threads,
+                    metrics,
                 })
             }
+        }
+        Some("replay") => {
+            let mut path = None;
+            let mut threads = None;
+            let mut it = it.peekable();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--threads" => {
+                        threads = Some(
+                            it.next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| CliError("--threads needs a number".into()))?,
+                        )
+                    }
+                    other if path.is_none() && !other.starts_with('-') => {
+                        path = Some(other.to_string())
+                    }
+                    other => return Err(CliError(format!("unexpected argument '{other}'"))),
+                }
+            }
+            let path =
+                path.ok_or_else(|| CliError(format!("replay needs a trace file\n\n{USAGE}")))?;
+            Ok(Command::Replay { path, threads })
         }
         Some("chaos") => {
             let mut spec = None;
@@ -508,6 +744,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut threads = 1usize;
             let mut out = None;
             let mut replay = None;
+            let mut trace_out = None;
             let mut it = it.peekable();
             while let Some(a) = it.next() {
                 macro_rules! val {
@@ -543,6 +780,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         );
                     }
+                    "--trace-out" => {
+                        trace_out = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--trace-out needs a path".into()))?
+                                .clone(),
+                        );
+                    }
                     other if spec.is_none() && !other.starts_with('-') => {
                         spec = Some(parse_spec(other)?)
                     }
@@ -554,6 +798,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "chaos needs a topology or --replay <file>\n\n{USAGE}"
                 )));
             }
+            if trace_out.is_some() && replay.is_none() {
+                return Err(CliError("--trace-out only applies in --replay mode".into()));
+            }
             Ok(Command::Chaos {
                 spec,
                 runs,
@@ -563,6 +810,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out,
                 replay,
                 threads,
+                trace_out,
             })
         }
         Some("lint") => {
@@ -642,8 +890,61 @@ pub fn execute(cmd: Command) -> Result<RunOutcome, CliError> {
             synthesize,
         } => run_lint(&specs, json, exact, synthesize),
         Command::Chaos { .. } => run_chaos(cmd),
+        Command::Replay { path, threads } => run_replay(&path, threads),
         other => run(other).map(|output| RunOutcome { output, code: 0 }),
     }
+}
+
+/// Re-runs a recorded metrics trace through a fresh engine and checks
+/// the recorded finals. The exit code is 1 when any recorded count or
+/// latency quantile fails to reproduce — so CI can gate on "checked-in
+/// incident traces still replay exactly".
+fn run_replay(path: &str, threads: Option<usize>) -> Result<RunOutcome, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let trace =
+        parse_trace(&text).map_err(|e| CliError(format!("{path} is not a metrics trace: {e}")))?;
+    let spec = parse_spec(&trace.spec)?;
+    let sys = spec.build();
+    let mut cfg = trace.cfg.clone();
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let workload = trace.workload();
+    let res = if trace.heal {
+        sys.simulate_healing(workload, cfg)
+    } else {
+        sys.simulate(workload, cfg)
+    };
+    let mut out = format!(
+        "replaying {path} on {}: {} injection(s), {} fault(s), threads {}{}\n",
+        trace.spec,
+        trace.injections.len(),
+        trace.cfg.faults.len(),
+        threads.unwrap_or(trace.cfg.threads),
+        if trace.heal { ", healing on" } else { "" },
+    );
+    let bad = trace.check(&res);
+    for line in &bad {
+        out.push_str(&format!("MISMATCH {line}\n"));
+    }
+    if bad.is_empty() {
+        out.push_str(&format!(
+            "replay exact: {} generated, {} delivered, {} abandoned, \
+             p50 {} / p95 {} / p99 {} / max {} cy\n",
+            trace.expected.generated,
+            trace.expected.delivered,
+            trace.expected.abandoned,
+            trace.expected.p50,
+            trace.expected.p95,
+            trace.expected.p99,
+            trace.expected.max,
+        ));
+    }
+    Ok(RunOutcome {
+        output: out,
+        code: u8::from(!bad.is_empty()),
+    })
 }
 
 /// Runs a chaos campaign or scenario replay. The exit code is 1 when
@@ -660,6 +961,7 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
         out: out_path,
         replay,
         threads,
+        trace_out,
     } = cmd
     else {
         unreachable!("run_chaos is only called on Command::Chaos");
@@ -670,8 +972,6 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
             .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
         let sc = Scenario::from_json(&text)
             .map_err(|e| CliError(format!("{path} is not a scenario: {e}")))?;
-        let violations =
-            chaos::replay(&sc, quick, dedup).map_err(|e| CliError(format!("{path}: {e}")))?;
         out.push_str(&format!(
             "replaying {} on {} (engine seed {}, {} fault(s), recorded invariant {})\n",
             path,
@@ -680,6 +980,28 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
             sc.faults.len(),
             sc.invariant
         ));
+        // With --trace-out the replay also mints the incident: a
+        // replayable metrics trace, plus a flight-recorder bundle when
+        // the scenario still violates.
+        let violations = match &trace_out {
+            Some(tp) => {
+                let inc = chaos::incident(&sc, quick, dedup)
+                    .map_err(|e| CliError(format!("{path}: {e}")))?;
+                std::fs::write(tp, inc.trace.as_bytes())
+                    .map_err(|e| CliError(format!("cannot write {tp}: {e}")))?;
+                out.push_str(&format!("wrote metrics trace to {tp}\n"));
+                if let Some(bundle) = &inc.bundle {
+                    let ip = incident_path(tp);
+                    std::fs::write(&ip, bundle.as_bytes())
+                        .map_err(|e| CliError(format!("cannot write {ip}: {e}")))?;
+                    out.push_str(&format!("wrote incident bundle to {ip}\n"));
+                }
+                inc.violations
+            }
+            None => {
+                chaos::replay(&sc, quick, dedup).map_err(|e| CliError(format!("{path}: {e}")))?
+            }
+        };
         for v in &violations {
             out.push_str(&format!(
                 "violation: {} — {}\n",
@@ -858,6 +1180,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             synthesize,
         } => return run_lint(&specs, json, exact, synthesize).map(|o| o.output),
         cmd @ Command::Chaos { .. } => return run_chaos(cmd).map(|o| o.output),
+        Command::Replay { path, threads } => return run_replay(&path, threads).map(|o| o.output),
         Command::Analyze(specs) => {
             for spec in specs {
                 let sys = spec.build();
@@ -886,6 +1209,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             faults,
             telemetry,
             threads,
+            metrics,
         } => {
             let sys = spec.build();
             let report = sys.analyze();
@@ -902,6 +1226,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 } else {
                     Telemetry::off()
                 },
+                metrics: metrics.config(&sys.name()),
                 ..SimConfig::default()
             }
             .with_faults(events)
@@ -912,9 +1237,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 until_cycle: cycles * 3 / 4,
             };
             let res = if faults.heal {
-                sys.simulate_healing(workload, cfg)
+                sys.simulate_healing(workload, cfg.clone())
             } else {
-                sys.simulate(workload, cfg)
+                sys.simulate(workload, cfg.clone())
             };
             out.push_str(&format!("{report}\n"));
             out.push_str(&format!(
@@ -958,8 +1283,88 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     )),
                 }
             }
+            if let Some(m) = &res.metrics {
+                out.push_str(&metrics_block(m));
+                if let Some(path) = &metrics.out {
+                    let text = write_trace(&spec.to_string(), faults.heal, &cfg, m);
+                    std::fs::write(path, text.as_bytes())
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                    out.push_str(&format!(
+                        "wrote metrics trace ({} injection(s), {} sample(s)) to {path}\n",
+                        m.injections.len(),
+                        m.samples.len()
+                    ));
+                    if let Some(bundle) = incident_chrome_trace(m, &[]) {
+                        let ip = incident_path(path);
+                        std::fs::write(&ip, bundle.as_bytes())
+                            .map_err(|e| CliError(format!("cannot write {ip}: {e}")))?;
+                        out.push_str(&format!(
+                            "flight recorder: {} anomaly(ies) — wrote incident bundle to {ip}\n",
+                            m.anomalies.len()
+                        ));
+                    }
+                }
+            }
             if let Some(tel) = &res.telemetry {
                 out.push_str(&to_text_summary(tel));
+            }
+        }
+        Command::Metrics {
+            spec,
+            load,
+            cycles,
+            faults,
+            threads,
+            format,
+            metrics,
+        } => {
+            let sys = spec.build();
+            let events = faults.events(&sys)?;
+            let cfg = SimConfig {
+                packet_flits: 16,
+                max_cycles: cycles,
+                stall_threshold: (cycles / 4).max(100),
+                warmup_cycles: cycles / 10,
+                retry: faults.retry(),
+                metrics: metrics.config_on(&sys.name()),
+                ..SimConfig::default()
+            }
+            .with_faults(events)
+            .with_threads(threads);
+            let workload = Workload::Bernoulli {
+                injection_rate: load,
+                pattern: DstPattern::Uniform,
+                until_cycle: cycles * 3 / 4,
+            };
+            let res = if faults.heal {
+                sys.simulate_healing(workload, cfg.clone())
+            } else {
+                sys.simulate(workload, cfg.clone())
+            };
+            let m = res
+                .metrics
+                .as_ref()
+                .expect("metrics always records under the metrics command");
+            let rendered = match format {
+                MetricsFormat::Prometheus => to_prometheus(m),
+                MetricsFormat::Jsonl => write_trace(&spec.to_string(), faults.heal, &cfg, m),
+            };
+            match &metrics.out {
+                Some(path) => {
+                    std::fs::write(path, rendered.as_bytes())
+                        .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                    out.push_str(&format!("wrote {} bytes to {path}\n", rendered.len()));
+                    if let Some(bundle) = incident_chrome_trace(m, &[]) {
+                        let ip = incident_path(path);
+                        std::fs::write(&ip, bundle.as_bytes())
+                            .map_err(|e| CliError(format!("cannot write {ip}: {e}")))?;
+                        out.push_str(&format!(
+                            "flight recorder: {} anomaly(ies) — wrote incident bundle to {ip}\n",
+                            m.anomalies.len()
+                        ));
+                    }
+                }
+                None => out.push_str(&rendered),
             }
         }
         Command::Trace {
@@ -1069,6 +1474,7 @@ mod tests {
                 faults: FaultOpts::default(),
                 telemetry: false,
                 threads: 1,
+                metrics: MetricsOpts::default(),
             }
         );
         let cmd = parse(&argv("simulate ring:4 --telemetry")).unwrap();
@@ -1187,6 +1593,7 @@ mod tests {
                 out: Some("/tmp/sc.json".into()),
                 replay: None,
                 threads: 1,
+                trace_out: None,
             }
         );
         let cmd = parse(&argv("chaos --replay /tmp/sc.json")).unwrap();
@@ -1222,6 +1629,7 @@ mod tests {
             faults,
             telemetry: false,
             threads: 1,
+            metrics: MetricsOpts::default(),
         })
         .unwrap();
         assert!(out.contains("faults: 1 applied"), "{out}");
@@ -1241,6 +1649,7 @@ mod tests {
             out: None,
             replay: None,
             threads: 1,
+            trace_out: None,
         })
         .unwrap();
         assert_eq!(outcome.code, 0, "{}", outcome.output);
@@ -1264,6 +1673,7 @@ mod tests {
             out: Some(path_s.clone()),
             replay: None,
             threads: 1,
+            trace_out: None,
         })
         .unwrap();
         assert_eq!(minted.code, 1, "{}", minted.output);
@@ -1278,6 +1688,7 @@ mod tests {
             out: None,
             replay: Some(path_s.clone()),
             threads: 1,
+            trace_out: None,
         })
         .unwrap();
         assert_eq!(replayed.code, 0, "{}", replayed.output);
@@ -1296,6 +1707,7 @@ mod tests {
             out: None,
             replay: Some(path_s),
             threads: 1,
+            trace_out: None,
         })
         .unwrap();
         assert_eq!(reproduced.code, 1, "{}", reproduced.output);
@@ -1348,6 +1760,7 @@ mod tests {
             faults: FaultOpts::default(),
             telemetry: false,
             threads: 1,
+            metrics: MetricsOpts::default(),
         })
         .unwrap();
         // Minimal ring routing is deadlock-prone; at this load the Fig 1
@@ -1370,6 +1783,7 @@ mod tests {
             faults,
             telemetry: false,
             threads: 1,
+            metrics: MetricsOpts::default(),
         })
         .unwrap();
         assert!(out.contains("faults: 1 applied"), "{out}");
@@ -1391,6 +1805,7 @@ mod tests {
                 faults,
                 telemetry: false,
                 threads: 1,
+                metrics: MetricsOpts::default(),
             })
             .unwrap_err();
             assert!(err.0.contains("out of range"), "{err}");
@@ -1469,6 +1884,7 @@ mod tests {
             faults: FaultOpts::default(),
             telemetry,
             threads: 1,
+            metrics: MetricsOpts::default(),
         };
         let plain = run(cmd(false)).unwrap();
         assert!(!plain.contains("utilization histogram"), "{plain}");
@@ -1661,6 +2077,244 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.code, 0, "{}", outcome.output);
         assert!(outcome.output.contains("L6"), "{}", outcome.output);
+    }
+
+    #[test]
+    fn parse_metrics_flags() {
+        let cmd = parse(&argv(
+            "simulate ring:4 --metrics-every 50 --metrics-out /tmp/m.jsonl --slo-deadline 800",
+        ))
+        .unwrap();
+        let Command::Simulate { metrics, .. } = cmd else {
+            panic!("not simulate: {cmd:?}")
+        };
+        assert_eq!(metrics.every, Some(50));
+        assert_eq!(metrics.out, Some("/tmp/m.jsonl".into()));
+        assert_eq!(metrics.deadline, Some(800));
+        // The metrics subcommand: prom by default, --out carries the
+        // export path, fault flags ride along.
+        let cmd = parse(&argv(
+            "metrics mesh:3x3 --load 0.1 --cycles 900 --format jsonl --out /tmp/p.jsonl \
+             --metrics-every 30 --kill-link 2 --fault-at 100",
+        ))
+        .unwrap();
+        let Command::Metrics {
+            format,
+            metrics,
+            faults,
+            cycles,
+            ..
+        } = cmd
+        else {
+            panic!("not metrics: {cmd:?}")
+        };
+        assert_eq!(format, MetricsFormat::Jsonl);
+        assert_eq!(metrics.out, Some("/tmp/p.jsonl".into()));
+        assert_eq!(metrics.every, Some(30));
+        assert_eq!(faults.kill_links, vec![2]);
+        assert_eq!(cycles, 900);
+        // Flag gating: metrics flags are not trace flags, --telemetry
+        // is simulate-only, --format prom is metrics-only.
+        assert!(parse(&argv("trace ring:4 --metrics-every 50")).is_err());
+        assert!(parse(&argv("metrics ring:4 --telemetry")).is_err());
+        assert!(parse(&argv("metrics ring:4 --format chrome")).is_err());
+        assert!(parse(&argv("simulate ring:4 --format prom")).is_err());
+        assert!(parse(&argv("metrics")).is_err());
+    }
+
+    #[test]
+    fn parse_replay_flags() {
+        assert_eq!(
+            parse(&argv("replay /tmp/t.jsonl --threads 4")).unwrap(),
+            Command::Replay {
+                path: "/tmp/t.jsonl".into(),
+                threads: Some(4),
+            }
+        );
+        assert_eq!(
+            parse(&argv("replay trace.jsonl")).unwrap(),
+            Command::Replay {
+                path: "trace.jsonl".into(),
+                threads: None,
+            }
+        );
+        assert!(parse(&argv("replay")).is_err());
+        assert!(parse(&argv("replay --threads 4")).is_err());
+        assert!(parse(&argv("replay a.jsonl b.jsonl")).is_err());
+        // --trace-out is a chaos replay flag only.
+        assert!(parse(&argv("chaos mesh:3x3 --trace-out /tmp/t.jsonl")).is_err());
+        let cmd = parse(&argv("chaos --replay sc.json --trace-out /tmp/t.jsonl")).unwrap();
+        let Command::Chaos { trace_out, .. } = cmd else {
+            panic!("not chaos: {cmd:?}")
+        };
+        assert_eq!(trace_out, Some("/tmp/t.jsonl".into()));
+    }
+
+    #[test]
+    fn simulate_metrics_out_roundtrips_through_replay() {
+        // E16's blocked-head pileup: the Fig 1 ring at high load piles
+        // packets up far past a tight delivery deadline, so the flight
+        // recorder must dump an incident bundle next to the trace, and
+        // the trace must replay exactly.
+        let path = std::env::temp_dir().join("fractanet-metrics-e16.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(Command::Simulate {
+            spec: "ring:4".parse::<TopoSpec>().unwrap(),
+            load: 0.6,
+            cycles: 4_000,
+            faults: FaultOpts::default(),
+            telemetry: false,
+            threads: 1,
+            metrics: MetricsOpts {
+                every: Some(100),
+                out: Some(path_s.clone()),
+                deadline: Some(32),
+            },
+        })
+        .unwrap();
+        assert!(out.contains("metrics:"), "{out}");
+        assert!(out.contains("SLO:"), "{out}");
+        assert!(out.contains("anomaly @"), "{out}");
+        assert!(out.contains("wrote incident bundle"), "{out}");
+        let bundle_path = incident_path(&path_s);
+        let bundle = std::fs::read_to_string(&bundle_path).unwrap();
+        assert!(bundle.starts_with("{\"traceEvents\":["), "{bundle}");
+        assert!(bundle.contains("\"ph\":\"i\""), "{bundle}");
+        assert!(bundle.contains("slo_breach"), "{bundle}");
+        // The recorded trace replays exactly, at an overridden width
+        // too.
+        for threads in [None, Some(2)] {
+            let outcome = execute(Command::Replay {
+                path: path_s.clone(),
+                threads,
+            })
+            .unwrap();
+            assert_eq!(outcome.code, 0, "{}", outcome.output);
+            assert!(
+                outcome.output.contains("replay exact"),
+                "{}",
+                outcome.output
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bundle_path).ok();
+    }
+
+    #[test]
+    fn metrics_command_exports_prometheus() {
+        let out = run(Command::Metrics {
+            spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
+            load: 0.1,
+            cycles: 1_000,
+            faults: FaultOpts::default(),
+            threads: 1,
+            format: MetricsFormat::Prometheus,
+            metrics: MetricsOpts::default(),
+        })
+        .unwrap();
+        assert!(out.contains("fractanet_generated_total"), "{out}");
+        assert!(out.contains("topology=\"clique 4x6p\""), "{out}");
+        assert!(out.contains("fractanet_latency_cycles"), "{out}");
+        assert!(out.contains("fractanet_slo_within_deadline_ratio"), "{out}");
+    }
+
+    #[test]
+    fn replay_detects_a_tampered_trace() {
+        let path = std::env::temp_dir().join("fractanet-metrics-tamper.jsonl");
+        let path_s = path.to_str().unwrap().to_string();
+        run(Command::Metrics {
+            spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
+            load: 0.1,
+            cycles: 1_000,
+            faults: FaultOpts::default(),
+            threads: 1,
+            format: MetricsFormat::Jsonl,
+            metrics: MetricsOpts {
+                every: Some(100),
+                out: Some(path_s.clone()),
+                deadline: None,
+            },
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let trace = parse_trace(&text).unwrap();
+        let tampered = text.replace(
+            &format!("\"delivered\":{}", trace.expected.delivered),
+            &format!("\"delivered\":{}", trace.expected.delivered + 1),
+        );
+        std::fs::write(&path, tampered.as_bytes()).unwrap();
+        let outcome = execute(Command::Replay {
+            path: path_s,
+            threads: None,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 1, "{}", outcome.output);
+        assert!(outcome.output.contains("MISMATCH"), "{}", outcome.output);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_trace_out_mints_a_replayable_incident() {
+        // Mint a dedup-off exactly-once scenario, then replay it with
+        // --trace-out: the incident's metrics trace must itself replay
+        // exactly through `fractanet replay`.
+        let sc_path = std::env::temp_dir().join("fractanet-chaos-incident-sc.json");
+        let sc_s = sc_path.to_str().unwrap().to_string();
+        let tr_path = std::env::temp_dir().join("fractanet-chaos-incident.jsonl");
+        let tr_s = tr_path.to_str().unwrap().to_string();
+        let minted = execute(Command::Chaos {
+            spec: Some("fat-fractahedron:1".parse::<TopoSpec>().unwrap()),
+            runs: 4,
+            seed: 42,
+            quick: true,
+            dedup: false,
+            out: Some(sc_s.clone()),
+            replay: None,
+            threads: 1,
+            trace_out: None,
+        })
+        .unwrap();
+        assert_eq!(minted.code, 1, "{}", minted.output);
+        let replayed = execute(Command::Chaos {
+            spec: None,
+            runs: 4,
+            seed: 42,
+            quick: true,
+            dedup: false,
+            out: None,
+            replay: Some(sc_s.clone()),
+            threads: 1,
+            trace_out: Some(tr_s.clone()),
+        })
+        .unwrap();
+        assert_eq!(replayed.code, 1, "{}", replayed.output);
+        assert!(
+            replayed.output.contains("wrote metrics trace"),
+            "{}",
+            replayed.output
+        );
+        assert!(
+            replayed.output.contains("wrote incident bundle"),
+            "{}",
+            replayed.output
+        );
+        let bundle_path = incident_path(&tr_s);
+        let bundle = std::fs::read_to_string(&bundle_path).unwrap();
+        assert!(bundle.contains("invariant_violation"), "{bundle}");
+        let outcome = execute(Command::Replay {
+            path: tr_s,
+            threads: None,
+        })
+        .unwrap();
+        assert_eq!(outcome.code, 0, "{}", outcome.output);
+        assert!(
+            outcome.output.contains("replay exact"),
+            "{}",
+            outcome.output
+        );
+        std::fs::remove_file(&sc_path).ok();
+        std::fs::remove_file(&tr_path).ok();
+        std::fs::remove_file(&bundle_path).ok();
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod sizing;
 pub mod spec;
 mod system;
 
-pub use chaos::{replay, run_campaign, ChaosOptions, ChaosReport};
+pub use chaos::{incident, replay, run_campaign, ChaosOptions, ChaosReport, Incident};
 pub use spec::{SpecError, TopoSpec};
 pub use system::{AnalysisReport, System};
 
@@ -76,8 +76,8 @@ pub mod prelude {
         FailoverOutcome, FaultSet, HealReport,
     };
     pub use fractanet_sim::{
-        DstPattern, Engine, FaultEvent, FaultKind, RetryPolicy, SimConfig, Telemetry,
-        TelemetryReport, Workload,
+        parse_trace, write_trace, DstPattern, Engine, FaultEvent, FaultKind, MetricsConfig,
+        MetricsReport, RecordedTrace, RetryPolicy, SimConfig, Telemetry, TelemetryReport, Workload,
     };
     pub use fractanet_topo::{
         FatTree, Fractahedron, FullyConnectedCluster, Hypercube, Mesh2D, Ring, Topology, Variant,

@@ -12,6 +12,7 @@
 //! parsing is hand-rolled below).
 
 use crate::fault::{FaultEvent, FaultKind};
+use crate::jsonin::{get, get_num, get_str, json_parse, Json};
 use fractanet_graph::json::{JsonArray, JsonObject};
 use fractanet_graph::{LinkId, NodeId};
 use rand::rngs::StdRng;
@@ -181,7 +182,9 @@ pub struct Scenario {
     pub faults: Vec<FaultEvent>,
 }
 
-fn fault_obj(f: &FaultEvent) -> JsonObject {
+/// Serializes one fault event as a JSON object — the shape shared by
+/// chaos scenarios and metrics trace files.
+pub fn fault_to_json(f: &FaultEvent) -> JsonObject {
     let o = JsonObject::new().field_num("at", f.at_cycle);
     let o = match f.kind {
         FaultKind::Link(l) => o.field_str("kind", "link").field_num("link", l.index()),
@@ -214,7 +217,7 @@ impl Scenario {
     pub fn to_json(&self) -> String {
         let mut arr = JsonArray::new();
         for f in &self.faults {
-            arr.push_raw(&fault_obj(f).build());
+            arr.push_raw(&fault_to_json(f).build());
         }
         JsonObject::new()
             .field_str("spec", &self.spec)
@@ -225,12 +228,8 @@ impl Scenario {
             .build()
     }
 
-    /// Parses the format [`to_json`](Scenario::to_json) writes.
-    ///
-    /// A minimal recursive-descent JSON reader (the workspace's
-    /// vendored serde shim has no `Deserialize`): full JSON syntax for
-    /// the subset the scenario format uses — objects, arrays,
-    /// non-negative integers, plain strings.
+    /// Parses the format [`to_json`](Scenario::to_json) writes, via
+    /// the crate's minimal JSON reader (`jsonin`).
     pub fn from_json(text: &str) -> Result<Scenario, String> {
         let v = json_parse(text)?;
         let obj = v.as_obj().ok_or("top level must be an object")?;
@@ -245,35 +244,7 @@ impl Scenario {
         let mut faults = Vec::with_capacity(arr.len());
         for item in arr {
             let fo = item.as_obj().ok_or("fault must be an object")?;
-            let at = get_num(fo, "at")?;
-            let kind = get_str(fo, "kind")?;
-            let kind = match kind.as_str() {
-                "link" => FaultKind::Link(LinkId(get_num(fo, "link")? as u32)),
-                "router" => FaultKind::Router(NodeId(get_num(fo, "router")? as u32)),
-                "flaky" => FaultKind::FlakyLink {
-                    link: LinkId(get_num(fo, "link")? as u32),
-                    drop_per_mille: get_num(fo, "pm")? as u16,
-                },
-                "corrupt" => FaultKind::CorruptLink {
-                    link: LinkId(get_num(fo, "link")? as u32),
-                    per_mille: get_num(fo, "pm")? as u16,
-                },
-                "brownout" => FaultKind::Brownout {
-                    link: LinkId(get_num(fo, "link")? as u32),
-                    down: get_num(fo, "down")?,
-                    up: get_num(fo, "up")?,
-                },
-                other => return Err(format!("unknown fault kind {other:?}")),
-            };
-            let repair_cycle = match get(fo, "repair") {
-                Ok(v) => Some(v.as_num().ok_or("repair must be a number")?),
-                Err(_) => None,
-            };
-            faults.push(FaultEvent {
-                at_cycle: at,
-                kind,
-                repair_cycle,
-            });
+            faults.push(fault_from_json(fo)?);
         }
         Ok(Scenario {
             spec,
@@ -285,202 +256,37 @@ impl Scenario {
     }
 }
 
-// ---------------------------------------------------------------------
-// Minimal JSON reader.
-
-#[derive(Clone, Debug)]
-enum Json {
-    Num(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
-        match self {
-            Json::Obj(o) => Some(o),
-            _ => None,
-        }
-    }
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-    fn as_num(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing field {key:?}"))
-}
-
-fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
-    get(obj, key)?
-        .as_str()
-        .map(str::to_string)
-        .ok_or_else(|| format!("field {key:?} must be a string"))
-}
-
-fn get_num(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
-    get(obj, key)?
-        .as_num()
-        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
-}
-
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-fn json_parse(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        b: text.as_bytes(),
-        i: 0,
+/// Parses one fault object in the [`fault_to_json`] shape.
+pub(crate) fn fault_from_json(fo: &[(String, Json)]) -> Result<FaultEvent, String> {
+    let at = get_num(fo, "at")?;
+    let kind = get_str(fo, "kind")?;
+    let kind = match kind.as_str() {
+        "link" => FaultKind::Link(LinkId(get_num(fo, "link")? as u32)),
+        "router" => FaultKind::Router(NodeId(get_num(fo, "router")? as u32)),
+        "flaky" => FaultKind::FlakyLink {
+            link: LinkId(get_num(fo, "link")? as u32),
+            drop_per_mille: get_num(fo, "pm")? as u16,
+        },
+        "corrupt" => FaultKind::CorruptLink {
+            link: LinkId(get_num(fo, "link")? as u32),
+            per_mille: get_num(fo, "pm")? as u16,
+        },
+        "brownout" => FaultKind::Brownout {
+            link: LinkId(get_num(fo, "link")? as u32),
+            down: get_num(fo, "down")?,
+            up: get_num(fo, "up")?,
+        },
+        other => return Err(format!("unknown fault kind {other:?}")),
     };
-    let v = p.value()?;
-    p.ws();
-    if p.i != p.b.len() {
-        return Err(format!("trailing bytes at offset {}", p.i));
-    }
-    Ok(v)
-}
-
-impl Parser<'_> {
-    fn ws(&mut self) {
-        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.ws();
-        self.b
-            .get(self.i)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".to_string())
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek()? == c {
-            self.i += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at offset {}, found {:?}",
-                c as char, self.i, self.b[self.i] as char
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b'0'..=b'9' => self.number(),
-            c => Err(format!("unexpected {:?} at offset {}", c as char, self.i)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.i += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.ws();
-            let k = self.string()?;
-            self.expect(b':')?;
-            let v = self.value()?;
-            fields.push((k, v));
-            match self.peek()? {
-                b',' => self.i += 1,
-                b'}' => {
-                    self.i += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                c => return Err(format!("expected ',' or '}}', found {:?}", c as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.i += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.i += 1,
-                b']' => {
-                    self.i += 1;
-                    return Ok(Json::Arr(items));
-                }
-                c => return Err(format!("expected ',' or ']', found {:?}", c as char)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = self.b.get(self.i) {
-            self.i += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let e = *self
-                        .b
-                        .get(self.i)
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.i += 1;
-                    out.push(match e {
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'/' => '/',
-                        b'n' => '\n',
-                        b'r' => '\r',
-                        b't' => '\t',
-                        _ => return Err(format!("unsupported escape \\{}", e as char)),
-                    });
-                }
-                c => out.push(c as char),
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.i;
-        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
-            self.i += 1;
-        }
-        let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
-        s.parse::<u64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number {s:?}: {e}"))
-    }
+    let repair_cycle = match get(fo, "repair") {
+        Ok(v) => Some(v.as_num().ok_or("repair must be a number")?),
+        Err(_) => None,
+    };
+    Ok(FaultEvent {
+        at_cycle: at,
+        kind,
+        repair_cycle,
+    })
 }
 
 #[cfg(test)]

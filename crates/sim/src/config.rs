@@ -1,7 +1,7 @@
 //! Simulator configuration.
 
 use crate::fault::{FaultEvent, RetryPolicy};
-use fractanet_telemetry::Telemetry;
+use fractanet_telemetry::{MetricsConfig, Telemetry};
 
 /// Tunables for one simulation run.
 #[derive(Clone, Debug)]
@@ -29,6 +29,12 @@ pub struct SimConfig {
     /// off the engine creates no recorder and pays one predictable
     /// branch per instrumentation site).
     pub telemetry: Telemetry,
+    /// Live metrics: counters, sliding-window quantile sketches and
+    /// per-traffic-class SLO accounting, sampled every N cycles at the
+    /// serial commit point (off by default; provably inert — results
+    /// are bit-identical with metrics on or off at every thread
+    /// width).
+    pub metrics: MetricsConfig,
     /// When `true`, a sender whose ACK timeout expires while its worm
     /// is still in flight speculatively retransmits a *copy* (the
     /// ServerNet timeout race) instead of waiting for a teardown. Off
@@ -61,6 +67,7 @@ impl Default for SimConfig {
             faults: Vec::new(),
             retry: RetryPolicy::default(),
             telemetry: Telemetry::off(),
+            metrics: MetricsConfig::off(),
             ack_retransmit: false,
             dedup: true,
             threads: 1,
@@ -120,6 +127,12 @@ impl SimConfig {
     /// Builder-style telemetry configuration.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Builder-style live-metrics configuration.
+    pub fn with_metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
         self
     }
 

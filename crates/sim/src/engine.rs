@@ -39,7 +39,7 @@ use crate::traffic::Workload;
 use fractanet_deadlock::WaitGraph;
 use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
 use fractanet_route::{RouteSet, Routes};
-use fractanet_telemetry::Recorder;
+use fractanet_telemetry::{MetricsRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -228,6 +228,11 @@ pub struct Engine<'a> {
     /// Every instrumentation site is gated on this option, so a
     /// disabled run pays one branch per site and nothing else.
     tel: Option<Recorder>,
+    /// Live-metrics recorder — `Some` iff `cfg.metrics` is on. Every
+    /// emit and the periodic sample run at serial commit points only
+    /// (never inside the sharded scan), so metrics are inert: results
+    /// are bit-identical on/off at every thread width.
+    met: Option<MetricsRecorder>,
 }
 
 impl<'a> Engine<'a> {
@@ -306,6 +311,7 @@ impl<'a> Engine<'a> {
         }
         timeline.sort_by_key(|&(cycle, is_repair, _, _)| (cycle, is_repair));
         let tel = cfg.telemetry.recorder(nch);
+        let met = cfg.metrics.recorder(net, n, cfg.retry.max_retries);
         Engine {
             net,
             epochs: vec![source],
@@ -341,6 +347,7 @@ impl<'a> Engine<'a> {
             lint_ends: None,
             rec: RecoveryStats::default(),
             tel,
+            met,
         }
     }
 
@@ -465,6 +472,9 @@ impl<'a> Engine<'a> {
                 if self.first_fault.is_some() {
                     self.rec.post_fault_generated += 1;
                 }
+                if let Some(m) = self.met.as_mut() {
+                    m.generated(cycle, s, d);
+                }
             }
             // Queue heads that can no longer be routed — checked after
             // generation so a packet created this cycle never reaches
@@ -482,6 +492,17 @@ impl<'a> Engine<'a> {
                 self.step(cycle)
             };
 
+            // 2b. Periodic metrics sample — at the serial commit
+            //     point, after this cycle's state is final, so the
+            //     registry observes identical values at every thread
+            //     width.
+            if let Some(m) = self.met.as_mut() {
+                if m.due(cycle) {
+                    let epoch = (self.epochs.len() - 1) as u64;
+                    m.sample(cycle, self.in_flight as u64, epoch, &self.busy);
+                }
+            }
+
             // 3. Termination checks.
             let queues_empty = self.queues.iter().all(VecDeque::is_empty);
             let drained = self.in_flight == 0 && queues_empty && self.pending_retries.is_empty();
@@ -497,7 +518,18 @@ impl<'a> Engine<'a> {
                 } else {
                     idle_cycles += 1;
                     if idle_cycles >= self.cfg.stall_threshold {
-                        deadlock = Some(self.diagnose_deadlock(cycle));
+                        let verdict = self.diagnose_deadlock(cycle);
+                        if let Some(m) = self.met.as_mut() {
+                            m.deadlock(
+                                cycle,
+                                format!(
+                                    "{} stuck packets, {}-channel wait cycle",
+                                    verdict.stuck_packets,
+                                    verdict.cycle_channels.len()
+                                ),
+                            );
+                        }
+                        deadlock = Some(verdict);
                         cycle += 1;
                         break;
                     }
@@ -583,6 +615,9 @@ impl<'a> Engine<'a> {
         if outage_applied {
             if let Some(t) = self.tel.as_mut() {
                 t.fault_applied(cycle);
+            }
+            if let Some(m) = self.met.as_mut() {
+                m.fault_applied();
             }
         }
         if !topo_changed {
@@ -755,6 +790,9 @@ impl<'a> Engine<'a> {
         if let Some(t) = self.tel.as_mut() {
             t.repair_installed(cycle);
         }
+        if let Some(m) = self.met.as_mut() {
+            m.heal_installed(cycle, self.epochs.len() - 1);
+        }
         // Drain the old routing epoch: worms routed under the replaced
         // epoch hold channels in an order the new CDG knows nothing
         // about, and mixing the two epochs can deadlock even though
@@ -899,6 +937,9 @@ impl<'a> Engine<'a> {
             if let Some(t) = self.tel.as_mut() {
                 t.retried(cycle, pid, attempts, cycle);
             }
+            if let Some(m) = self.met.as_mut() {
+                m.retried(cycle, src as usize, dst as usize);
+            }
             // Re-arm with exponential spacing for the next round.
             self.ack_timers.push(Reverse((
                 cycle + self.cfg.retry.backoff(attempts),
@@ -960,9 +1001,15 @@ impl<'a> Engine<'a> {
             if let Some(t) = self.tel.as_mut() {
                 t.abandoned(cycle, pid, src as u32, dst as u32);
             }
+            if let Some(m) = self.met.as_mut() {
+                m.abandoned(cycle, src, dst);
+            }
             return;
         }
         self.rec.retries += 1;
+        if let Some(m) = self.met.as_mut() {
+            m.retried(cycle, src, dst);
+        }
         let jitter = self.retry_rng.gen_range(0..=self.cfg.retry.backoff_base);
         let base = if nacked {
             self.cfg.retry.nack_backoff(attempts)
@@ -1184,6 +1231,9 @@ impl<'a> Engine<'a> {
                     if let Some(t) = self.tel.as_mut() {
                         t.nacked(cycle, owner, src, dst);
                     }
+                    if let Some(m) = self.met.as_mut() {
+                        m.nacked();
+                    }
                     self.retire_or_retry(owner, cycle, true);
                 } else if self.cfg.dedup && settled {
                     // Per-pair sequence number repeats: the logical
@@ -1192,6 +1242,9 @@ impl<'a> Engine<'a> {
                     self.rec.duplicates_suppressed += 1;
                     if let Some(t) = self.tel.as_mut() {
                         t.dup_suppressed(cycle, owner, logical);
+                    }
+                    if let Some(m) = self.met.as_mut() {
+                        m.dup_suppressed();
                     }
                 } else {
                     self.packets[logical as usize].delivered_once = true;
@@ -1215,6 +1268,9 @@ impl<'a> Engine<'a> {
                     }
                     if let Some(t) = self.tel.as_mut() {
                         t.delivered(cycle, logical, cycle + 1 - created);
+                    }
+                    if let Some(m) = self.met.as_mut() {
+                        m.delivered(cycle, src as usize, dst as usize, cycle + 1 - created);
                     }
                 }
             }
@@ -1342,6 +1398,7 @@ impl<'a> Engine<'a> {
     ) -> SimResult {
         let n = self.n_addr.max(1);
         let telemetry = self.tel.take().map(|r| r.finish(cycles, &self.busy));
+        let metrics = self.met.take().map(|m| m.finish(cycles, &self.busy));
         let mut lats = self.latencies.clone();
         lats.sort_unstable();
         let avg = |v: &[u64]| {
@@ -1368,6 +1425,7 @@ impl<'a> Engine<'a> {
             deadlock,
             recovery: self.rec,
             telemetry,
+            metrics,
         }
     }
 }

@@ -1,0 +1,224 @@
+//! Minimal recursive-descent JSON reader shared by the chaos scenario
+//! format and the metrics trace format (the workspace's vendored serde
+//! shim has no `Deserialize`). Full JSON syntax for the subset those
+//! formats use — objects, arrays, non-negative integers, plain
+//! strings.
+
+#[derive(Clone, Debug)]
+pub(crate) enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub(crate) fn as_num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+pub(crate) fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+pub(crate) fn get_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+pub(crate) fn get_num(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    get(obj, key)?
+        .as_num()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+pub(crate) fn json_parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at offset {}", p.i));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.ws();
+        self.b
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, found {:?}",
+                c as char, self.i, self.b[self.i] as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected {:?} at offset {}", c as char, self.i)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.expect(b':')?;
+            let v = self.value()?;
+            fields.push((k, v));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected ',' or '}}', found {:?}", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']', found {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.i += 1;
+                    out.push(match e {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        _ => return Err(format!("unsupported escape \\{}", e as char)),
+                    });
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        s.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {s:?}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let v = json_parse(r#"{"a":1,"b":"x","c":[2,{"d":3}]}"#).unwrap();
+        let o = v.as_obj().unwrap();
+        assert_eq!(get_num(o, "a").unwrap(), 1);
+        assert_eq!(get_str(o, "b").unwrap(), "x");
+        let arr = get(o, "c").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_num(), Some(2));
+        assert_eq!(get_num(arr[1].as_obj().unwrap(), "d").unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(json_parse("").is_err());
+        assert!(json_parse("{").is_err());
+        assert!(json_parse("{\"a\":1}x").is_err());
+        assert!(json_parse("-1").is_err());
+    }
+}

@@ -37,9 +37,11 @@ pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod fault;
+mod jsonin;
 pub mod pool;
 pub mod stats;
 pub mod sweep;
+pub mod trace;
 pub mod traffic;
 pub mod vc;
 
@@ -47,9 +49,13 @@ pub use chaos::{sample_schedule, shrink, ChaosSpace, Invariant, Scenario, Violat
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use fault::{FaultEvent, FaultKind, RetryPolicy};
-pub use fractanet_telemetry::{SpanKind, Telemetry, TelemetryReport, TraceEvent};
+pub use fractanet_telemetry::{
+    Anomaly, AnomalyKind, MetricsConfig, MetricsReport, SpanKind, Telemetry, TelemetryReport,
+    TraceEvent,
+};
 pub use pool::parallel_map;
 pub use stats::{DeadlockEvent, RecoveryStats, SimResult};
 pub use sweep::{sweep_loads, LoadPoint};
+pub use trace::{parse_trace, write_trace, RecordedTrace, TraceExpectation};
 pub use traffic::{DstPattern, Workload};
 pub use vc::{dateline_ring_routes, dateline_torus_routes, VcEngine, VcRouteSet};

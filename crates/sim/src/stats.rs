@@ -1,7 +1,7 @@
 //! Simulation results.
 
 use fractanet_graph::ChannelId;
-use fractanet_telemetry::TelemetryReport;
+use fractanet_telemetry::{MetricsReport, TelemetryReport};
 
 /// Evidence of a wormhole deadlock observed at runtime.
 #[derive(Clone, Debug)]
@@ -99,6 +99,10 @@ pub struct SimResult {
     /// Flit-level telemetry report — `Some` iff the run's
     /// `SimConfig::telemetry` was recording.
     pub telemetry: Option<TelemetryReport>,
+    /// Live-metrics report (counters, window quantiles, SLO classes,
+    /// anomalies, injection log) — `Some` iff the run's
+    /// `SimConfig::metrics` was on.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl SimResult {
@@ -152,6 +156,7 @@ mod tests {
             deadlock: None,
             recovery: RecoveryStats::default(),
             telemetry: None,
+            metrics: None,
         }
     }
 

@@ -130,6 +130,7 @@ mod tests {
                 deadlock: None,
                 recovery: crate::stats::RecoveryStats::default(),
                 telemetry: None,
+                metrics: None,
             },
         };
         let pts = vec![mk(0.1, 0.1), mk(0.3, 0.29), mk(0.5, 0.35)];

@@ -496,6 +496,7 @@ impl<'a> VcEngine<'a> {
             deadlock,
             recovery: crate::stats::RecoveryStats::default(),
             telemetry,
+            metrics: None,
         }
     }
 

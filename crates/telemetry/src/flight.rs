@@ -1,0 +1,157 @@
+//! Flight recorder: Chrome-trace incident bundles from the metrics
+//! sliding window.
+//!
+//! The metrics recorder keeps the last `window` samples and an
+//! anomaly log (deadlock verdicts, SLO breaches, heal installs). When
+//! a run ends with anomalies — or an external harness such as chaos
+//! adds one — [`incident_chrome_trace`] renders a self-contained
+//! `chrome://tracing` / Perfetto bundle: one complete span covering
+//! the flight window, a counter track per live gauge and windowed
+//! quantile, and an instant event per anomaly. One trace microsecond
+//! equals one simulated cycle, matching the event-ring exporter.
+
+use fractanet_graph::json::{JsonArray, JsonObject};
+
+use crate::metrics::{Anomaly, MetricsReport};
+
+fn counter_event(name: &str, ts: u64, value: u64) -> String {
+    JsonObject::new()
+        .field_str("name", name)
+        .field_str("ph", "C")
+        .field_num("ts", ts)
+        .field_num("pid", 0)
+        .field_raw("args", &JsonObject::new().field_num("value", value).build())
+        .build()
+}
+
+/// Renders the incident bundle for `report`, with `extra` anomalies
+/// appended (the chaos harness passes its invariant violations here;
+/// pass `&[]` otherwise). Returns `None` when there is nothing
+/// anomalous to dump.
+pub fn incident_chrome_trace(report: &MetricsReport, extra: &[Anomaly]) -> Option<String> {
+    if report.anomalies.is_empty() && extra.is_empty() {
+        return None;
+    }
+    let window = report.flight_window();
+    let begin = window.first().map(|s| s.cycle).unwrap_or(0);
+    let end = window
+        .last()
+        .map(|s| s.cycle)
+        .unwrap_or(report.cycles)
+        .max(begin + 1);
+
+    let mut events = JsonArray::new();
+    events.push_raw(
+        &JsonObject::new()
+            .field_str("name", "flight_window")
+            .field_str("ph", "X")
+            .field_num("ts", begin)
+            .field_num("dur", end - begin)
+            .field_num("pid", 0)
+            .field_num("tid", 0)
+            .field_raw(
+                "args",
+                &JsonObject::new()
+                    .field_str("topology", &report.topology)
+                    .field_num("sample_every", report.sample_every)
+                    .field_num("samples", window.len() as u64)
+                    .build(),
+            )
+            .build(),
+    );
+    for s in window {
+        events.push_raw(&counter_event("in_flight", s.cycle, s.in_flight));
+        events.push_raw(&counter_event("delivered_total", s.cycle, s.delivered));
+        events.push_raw(&counter_event("retries_total", s.cycle, s.retries));
+        events.push_raw(&counter_event("window_p50", s.cycle, s.window_p50));
+        events.push_raw(&counter_event("window_p99", s.cycle, s.window_p99));
+        events.push_raw(&counter_event("routing_epoch", s.cycle, s.routing_epoch));
+    }
+    for a in report.anomalies.iter().chain(extra) {
+        events.push_raw(
+            &JsonObject::new()
+                .field_str("name", a.kind.tag())
+                .field_str("ph", "i")
+                .field_num("ts", a.cycle)
+                .field_num("pid", 0)
+                .field_num("tid", 0)
+                .field_str("s", "g")
+                .field_raw(
+                    "args",
+                    &JsonObject::new().field_str("detail", &a.detail).build(),
+                )
+                .build(),
+        );
+    }
+    Some(
+        JsonObject::new()
+            .field_raw("traceEvents", &events.build())
+            .field_str("displayTimeUnit", "ms")
+            .build(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{AnomalyKind, MetricsConfig};
+    use fractanet_graph::{LinkClass, Network};
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new();
+        let r0 = net.add_router("r0", 6);
+        let n0 = net.add_end_node("n0");
+        let n1 = net.add_end_node("n1");
+        net.connect_any(n0, r0, LinkClass::Attach).unwrap();
+        net.connect_any(n1, r0, LinkClass::Attach).unwrap();
+        net
+    }
+
+    fn report(with_anomaly: bool) -> MetricsReport {
+        let net = tiny_net();
+        let mut rec = MetricsConfig::sampling(10)
+            .with_window(2)
+            .recorder(&net, 2, 6)
+            .unwrap();
+        rec.generated(1, 0, 1);
+        rec.delivered(8, 0, 1, 7);
+        rec.sample(10, 3, 0, &[0; 4]);
+        rec.sample(20, 1, 0, &[0; 4]);
+        rec.sample(30, 0, 1, &[0; 4]);
+        if with_anomaly {
+            rec.deadlock(25, "stuck".into());
+        }
+        rec.finish(30, &[0; 4])
+    }
+
+    #[test]
+    fn quiet_runs_dump_nothing() {
+        assert!(incident_chrome_trace(&report(false), &[]).is_none());
+    }
+
+    #[test]
+    fn anomalies_produce_a_valid_bundle() {
+        let out = incident_chrome_trace(&report(true), &[]).expect("bundle");
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"name\":\"flight_window\""));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ph\":\"C\""));
+        assert!(out.contains("\"name\":\"deadlock\""));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+        assert_eq!(out.matches('[').count(), out.matches(']').count());
+        // The window keeps only the last two samples.
+        assert!(!out.contains("\"ts\":10,\"pid\":0,\"args\""));
+    }
+
+    #[test]
+    fn extra_anomalies_force_a_dump() {
+        let extra = vec![Anomaly {
+            cycle: 5,
+            kind: AnomalyKind::InvariantViolation,
+            detail: "exactly_once: lost 1".into(),
+        }];
+        let out = incident_chrome_trace(&report(false), &extra).expect("bundle");
+        assert!(out.contains("\"name\":\"invariant_violation\""));
+        assert!(out.contains("exactly_once: lost 1"));
+    }
+}

@@ -24,7 +24,13 @@
 //!   redelivery phases;
 //! * exporters: JSONL ([`export::to_jsonl`]), Chrome `trace_event`
 //!   JSON ([`export::to_chrome_trace`]) and a plain-text summary
-//!   ([`export::to_text_summary`]).
+//!   ([`export::to_text_summary`]);
+//! * a *live* metrics layer ([`metrics`]): counters, gauges,
+//!   mergeable sliding-window quantile sketches ([`QuantileSketch`]),
+//!   per-traffic-class SLO accounting, a Prometheus text exporter
+//!   ([`prom::to_prometheus`]) and a flight recorder that renders
+//!   Chrome-trace incident bundles on anomaly
+//!   ([`flight::incident_chrome_trace`]).
 //!
 //! ## Zero cost when off
 //!
@@ -42,15 +48,26 @@
 pub mod channels;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod hist;
+pub mod metrics;
+pub mod prom;
 pub mod recorder;
 pub mod ring;
+pub mod sketch;
 
 pub use channels::{matching_bound, ChannelSummary};
 pub use event::{Span, SpanKind, TraceEvent};
 pub use export::{to_chrome_trace, to_jsonl, to_text_summary};
+pub use flight::incident_chrome_trace;
 pub use hist::LatencyHistogram;
+pub use metrics::{
+    Anomaly, AnomalyKind, ClassStats, MetricsConfig, MetricsRecorder, MetricsReport, MetricsSample,
+    MetricsTotals,
+};
+pub use prom::to_prometheus;
 pub use recorder::{Recorder, TelemetryReport};
+pub use sketch::QuantileSketch;
 
 /// Default event-ring capacity when recording is enabled.
 pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;

@@ -1,0 +1,216 @@
+//! Mergeable log₂-bucketed quantile sketches.
+//!
+//! A [`QuantileSketch`] is the streaming sibling of
+//! [`LatencyHistogram`](crate::hist::LatencyHistogram): the same
+//! power-of-two bucketing (bucket `i` holds values in `[2^(i-1), 2^i)`,
+//! bucket 0 holds zero), the same rank-based quantile read-out, plus a
+//! lossless [`merge`](QuantileSketch::merge). Merging is element-wise
+//! bucket addition — associative and commutative by construction — so
+//! per-shard or per-interval sketches combine into exactly the sketch
+//! a single observer would have built, and sliding-window quantiles
+//! fall out of merging the live interval ring. The only field that is
+//! not a sum is `max`, which merges by maximum and stays exact.
+
+/// Fixed-footprint mergeable quantile sketch over `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantileSketch {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+/// The shared log₂ bucket index: identical to the histogram's, so a
+/// sketch and a [`LatencyHistogram`](crate::hist::LatencyHistogram)
+/// fed the same samples report the same bucket quantiles.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Lossless: the result is exactly the
+    /// sketch of the concatenated sample streams, so the operation is
+    /// associative and commutative (the merge proptests pin this).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Returns the merge of `self` and `other` without mutating either.
+    pub fn merged(&self, other: &QuantileSketch) -> QuantileSketch {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Empties the sketch in place (for interval-ring reuse).
+    pub fn reset(&mut self) {
+        *self = QuantileSketch::default();
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of the recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket containing it, capped at the exact maximum — the
+    /// same read-out rule as the whole-run histogram, so the two agree
+    /// bucket-for-bucket on identical streams. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return ub.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (upper bucket bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Non-empty `(bucket_upper_bound, count)` rows, low to high.
+    pub fn rows(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { (1u64 << i) - 1 }, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+
+    #[test]
+    fn sketch_matches_histogram_on_identical_streams() {
+        let mut s = QuantileSketch::new();
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 7, 8, 100, 1023, 1024, 65_536] {
+            s.record(v);
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), h.quantile(q), "q={q}");
+        }
+        assert_eq!(s.max(), h.max());
+        assert_eq!(s.count(), h.count());
+        assert_eq!(s.rows(), h.rows());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let samples: Vec<u64> = (0..500).map(|i| (i * i) % 7919).collect();
+        let mut whole = QuantileSketch::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let (left, right) = samples.split_at(137);
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for &v in left {
+            a.record(v);
+        }
+        for &v in right {
+            b.record(v);
+        }
+        assert_eq!(a.merged(&b), whole);
+        assert_eq!(b.merged(&a), whole, "merge must be commutative");
+    }
+
+    #[test]
+    fn empty_sketch_reads_zero() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+        // Merging an empty sketch is the identity.
+        let mut t = QuantileSketch::new();
+        t.record(42);
+        assert_eq!(t.merged(&s), t);
+    }
+
+    #[test]
+    fn reset_restores_the_identity() {
+        let mut s = QuantileSketch::new();
+        s.record(9);
+        s.reset();
+        assert_eq!(s, QuantileSketch::new());
+    }
+}

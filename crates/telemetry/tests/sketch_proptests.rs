@@ -1,0 +1,79 @@
+//! Property tests for the mergeable quantile sketch: shard merging
+//! must be a lossless monoid, and the sketch must agree with the
+//! whole-run histogram's quantiles bucket-for-bucket.
+
+use fractanet_telemetry::{LatencyHistogram, QuantileSketch};
+use proptest::prelude::*;
+
+fn sketch_of(samples: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in samples {
+        s.record(v);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-shard sketches is commutative and associative, and
+    /// any sharding of the stream merges to exactly the single-stream
+    /// sketch.
+    #[test]
+    fn merge_is_associative_commutative_and_lossless(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+        c in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+
+        // Commutativity.
+        prop_assert_eq!(sa.merged(&sb), sb.merged(&sa));
+
+        // Associativity.
+        prop_assert_eq!(sa.merged(&sb).merged(&sc), sa.merged(&sb.merged(&sc)));
+
+        // Losslessness: shards merge to the single-observer sketch.
+        let mut whole: Vec<u64> = a.clone();
+        whole.extend(&b);
+        whole.extend(&c);
+        prop_assert_eq!(sa.merged(&sb).merged(&sc), sketch_of(&whole));
+
+        // The empty sketch is the identity.
+        prop_assert_eq!(sa.merged(&QuantileSketch::new()), sa);
+    }
+
+    /// A merged sketch's quantiles agree with the whole-run histogram
+    /// fed the same samples — same bucket upper bound (i.e. within one
+    /// log2 bucket of each other by construction), same exact max,
+    /// same count and mean.
+    #[test]
+    fn merged_sketch_agrees_with_whole_run_histogram(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..10_000_000, 0..150), 1..6),
+        qs_permille in prop::collection::vec(0u64..=1000, 1..5),
+    ) {
+        let mut merged = QuantileSketch::new();
+        let mut hist = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(&sketch_of(shard));
+            for &v in shard {
+                hist.record(v);
+            }
+        }
+        prop_assert_eq!(merged.count(), hist.count());
+        prop_assert_eq!(merged.max(), hist.max());
+        prop_assert!((merged.mean() - hist.mean()).abs() < 1e-9);
+        for &p in &qs_permille {
+            let q = p as f64 / 1000.0;
+            // Identical bucket read-out: the bound the ISSUE asks for
+            // ("within one bucket") is met with equality because both
+            // sides share bucket_of and the rank rule.
+            prop_assert_eq!(merged.quantile(q), hist.quantile(q), "q={}", q);
+        }
+        prop_assert_eq!(merged.p50(), hist.p50());
+        prop_assert_eq!(merged.p95(), hist.p95());
+        prop_assert_eq!(merged.p99(), hist.p99());
+        prop_assert_eq!(merged.rows(), hist.rows());
+    }
+}

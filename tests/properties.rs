@@ -305,6 +305,64 @@ proptest! {
         }
     }
 
+    /// The live-metrics pipeline is inert: turning sampling on changes
+    /// nothing about a run except the attached report, at every shard
+    /// width. A metrics-on run at 1/2/4/8 threads is bit-identical to
+    /// the serial metrics-off oracle once the report is detached, and
+    /// the report itself is bit-identical across widths.
+    #[test]
+    fn metrics_are_inert_at_every_width(
+        cfg in configs(),
+        seed in 0u64..1000,
+        heal in any::<bool>(),
+        every_pick in 0usize..3,
+    ) {
+        let every = [50u64, 100, 250][every_pick];
+        let sys = cfg.build();
+        let sim_cfg = SimConfig {
+            packet_flits: 6,
+            buffer_depth: 2,
+            max_cycles: 2_500,
+            stall_threshold: 1_200,
+            seed,
+            ..SimConfig::default()
+        };
+        let wl = Workload::Bernoulli {
+            injection_rate: 0.2,
+            pattern: DstPattern::Uniform,
+            until_cycle: 1_000,
+        };
+        let run = |threads: usize, metrics: MetricsConfig| {
+            let c = sim_cfg.clone().with_threads(threads).with_metrics(metrics);
+            if heal {
+                sys.simulate_healing(wl.clone(), c)
+            } else {
+                sys.simulate(wl.clone(), c)
+            }
+        };
+        let oracle = run(1, MetricsConfig::off());
+        prop_assert!(oracle.metrics.is_none());
+        let baseline = format!("{:?}", oracle);
+        let mut serial_report = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut on = run(threads, MetricsConfig::sampling(every).with_deadline(64));
+            let report = on.metrics.take().expect("metrics were on");
+            prop_assert_eq!(
+                &baseline, &format!("{:?}", on),
+                "metrics perturbed the sim: {:?} seed {} heal {} threads {}",
+                cfg, seed, heal, threads
+            );
+            match &serial_report {
+                None => serial_report = Some(report),
+                Some(first) => prop_assert_eq!(
+                    first, &report,
+                    "report differs across widths: {:?} seed {} heal {} threads {}",
+                    cfg, seed, heal, threads
+                ),
+            }
+        }
+    }
+
     /// Incremental dirty-column repair produces byte-identical tables
     /// to a from-scratch rebuild, including across successive fault
     /// batches.
