@@ -150,6 +150,7 @@ fn run_one(name: &str, sys: &System, count: usize) -> Row {
         ends: sys.end_nodes(),
         cfg: cfg_x,
         heal: true,
+        vc: None,
     };
     // The Y fabric is an identical, healthy twin of X.
     let y = FabricSim {
@@ -158,6 +159,7 @@ fn run_one(name: &str, sys: &System, count: usize) -> Row {
         ends: sys.end_nodes(),
         cfg: cfg_y,
         heal: false,
+        vc: None,
     };
     let workload = Workload::Bernoulli {
         injection_rate: 0.2,
@@ -242,6 +244,7 @@ fn run_gray_case(sys: &System, seed: u64) -> FailoverOutcome {
         ends: sys.end_nodes(),
         cfg: cfg_x,
         heal: true,
+        vc: None,
     };
     let y = FabricSim {
         net: sys.net(),
@@ -249,6 +252,7 @@ fn run_gray_case(sys: &System, seed: u64) -> FailoverOutcome {
         ends: sys.end_nodes(),
         cfg: cfg_y,
         heal: false,
+        vc: None,
     };
     let workload = Workload::Bernoulli {
         injection_rate: 0.15,

@@ -10,7 +10,7 @@ use serde::Serialize;
 
 #[derive(Serialize)]
 struct Row {
-    buffer_depth: u8,
+    buffer_depth: u32,
     packet_flits: u32,
     outcome: String,
     cycle: u64,
@@ -67,7 +67,7 @@ fn main() {
         "{:<14} {:<14} {:<22}",
         "buffer depth", "packet flits", "outcome"
     );
-    for depth in [1u8, 2, 4, 8, 16] {
+    for depth in [1u32, 2, 4, 8, 16] {
         for flits in [4u32, 8, 16, 64] {
             let cfg = SimConfig {
                 packet_flits: flits,

@@ -53,6 +53,13 @@ pub struct ChaosOptions {
     /// function of `(spec, opts.seed, case index)`, so the report is
     /// identical at every width; shrinking stays sequential.
     pub threads: usize,
+    /// Per-port input-FIFO depth override for both fabrics
+    /// (`--fifo-depth`; `None` = engine default). Recorded in minted
+    /// scenarios so replays reproduce bit-identically.
+    pub fifo_depth: Option<u32>,
+    /// Credit round-trip delay in cycles for both fabrics
+    /// (`--credit-delay`). Also recorded in minted scenarios.
+    pub credit_delay: u64,
 }
 
 impl Default for ChaosOptions {
@@ -63,6 +70,8 @@ impl Default for ChaosOptions {
             quick: false,
             dedup: true,
             threads: 1,
+            fifo_depth: None,
+            credit_delay: 0,
         }
     }
 }
@@ -154,33 +163,54 @@ fn case_retry() -> RetryPolicy {
     }
 }
 
-/// Runs one case: X fabric with the schedule, Y fabric pristine.
+/// Applies the campaign's router knobs to one fabric's config.
+fn apply_router(cfg: SimConfig, fifo_depth: Option<u32>, credit_delay: u64) -> SimConfig {
+    let cfg = cfg.with_credit_delay(credit_delay);
+    match fifo_depth {
+        Some(d) => cfg.with_buffer_depth(d),
+        None => cfg,
+    }
+}
+
+/// Runs one case: X fabric with the schedule, Y fabric pristine. Both
+/// fabrics share the system's VC discipline (if any) and the
+/// campaign's FIFO-depth/credit-delay knobs.
 fn run_case(
     sys: &System,
     schedule: &[FaultEvent],
     engine_seed: u64,
     quick: bool,
     dedup: bool,
+    fifo_depth: Option<u32>,
+    credit_delay: u64,
 ) -> FailoverOutcome {
     let sc = scale(quick);
-    let cfg_x = SimConfig {
-        max_cycles: sc.cycles * 4,
-        stall_threshold: 500,
-        retry: case_retry(),
-        seed: engine_seed,
-        ..SimConfig::default()
-    }
+    let cfg_x = apply_router(
+        SimConfig {
+            max_cycles: sc.cycles * 4,
+            stall_threshold: 500,
+            retry: case_retry(),
+            seed: engine_seed,
+            ..SimConfig::default()
+        },
+        fifo_depth,
+        credit_delay,
+    )
     .with_faults(schedule.to_vec())
     .with_ack_retransmit(true)
     .with_dedup(dedup)
     .with_telemetry(Telemetry::recording().with_event_capacity(1 << 14));
-    let cfg_y = SimConfig {
-        max_cycles: sc.cycles * 4,
-        stall_threshold: 500,
-        retry: case_retry(),
-        seed: engine_seed ^ 0x5EC0_4DFA,
-        ..SimConfig::default()
-    };
+    let cfg_y = apply_router(
+        SimConfig {
+            max_cycles: sc.cycles * 4,
+            stall_threshold: 500,
+            retry: case_retry(),
+            seed: engine_seed ^ 0x5EC0_4DFA,
+            ..SimConfig::default()
+        },
+        fifo_depth,
+        credit_delay,
+    );
     let workload = Workload::Bernoulli {
         injection_rate: sc.load,
         pattern: DstPattern::Uniform,
@@ -192,6 +222,7 @@ fn run_case(
         ends: sys.end_nodes(),
         cfg: cfg_x,
         heal: true,
+        vc: sys.vc_map().cloned(),
     };
     let y = FabricSim {
         net: sys.net(),
@@ -199,6 +230,7 @@ fn run_case(
         ends: sys.end_nodes(),
         cfg: cfg_y,
         heal: false,
+        vc: sys.vc_map().cloned(),
     };
     run_with_failover(x, y, workload)
 }
@@ -318,7 +350,15 @@ pub fn run_campaign(spec: &TopoSpec, opts: &ChaosOptions) -> ChaosReport {
     let cases = fractanet_sim::parallel_map(opts.threads, opts.runs, |case| {
         let (schedule_seed, engine_seed) = case_seeds(opts.seed, case);
         let schedule = sample_schedule(&space, schedule_seed, sc.max_events);
-        let out = run_case(&sys, &schedule, engine_seed, opts.quick, opts.dedup);
+        let out = run_case(
+            &sys,
+            &schedule,
+            engine_seed,
+            opts.quick,
+            opts.dedup,
+            opts.fifo_depth,
+            opts.credit_delay,
+        );
         let violations = check_invariants(&sys, &schedule, &out);
         (schedule_seed, engine_seed, schedule, violations)
     });
@@ -341,7 +381,15 @@ pub fn run_campaign(spec: &TopoSpec, opts: &ChaosOptions) -> ChaosReport {
         // Shrink against the first violation's invariant.
         let target = violations[0].invariant;
         let minimal = shrink(&schedule, |cand| {
-            let o = run_case(&sys, cand, engine_seed, opts.quick, opts.dedup);
+            let o = run_case(
+                &sys,
+                cand,
+                engine_seed,
+                opts.quick,
+                opts.dedup,
+                opts.fifo_depth,
+                opts.credit_delay,
+            );
             check_invariants(&sys, cand, &o)
                 .iter()
                 .any(|w| w.invariant == target)
@@ -352,6 +400,8 @@ pub fn run_campaign(spec: &TopoSpec, opts: &ChaosOptions) -> ChaosReport {
             schedule_seed,
             invariant: target.tag().to_string(),
             faults: minimal,
+            fifo_depth: opts.fifo_depth,
+            credit_delay: opts.credit_delay,
         });
     }
     ChaosReport {
@@ -370,7 +420,15 @@ pub fn run_campaign(spec: &TopoSpec, opts: &ChaosOptions) -> ChaosReport {
 pub fn replay(scenario: &Scenario, quick: bool, dedup: bool) -> Result<Vec<Violation>, String> {
     let spec: TopoSpec = scenario.spec.parse().map_err(|e| format!("{e}"))?;
     let sys = spec.build();
-    let out = run_case(&sys, &scenario.faults, scenario.seed, quick, dedup);
+    let out = run_case(
+        &sys,
+        &scenario.faults,
+        scenario.seed,
+        quick,
+        dedup,
+        scenario.fifo_depth,
+        scenario.credit_delay,
+    );
     Ok(check_invariants(&sys, &scenario.faults, &out))
 }
 
@@ -404,13 +462,17 @@ pub fn incident(scenario: &Scenario, quick: bool, dedup: bool) -> Result<Inciden
     let spec: TopoSpec = scenario.spec.parse().map_err(|e| format!("{e}"))?;
     let sys = spec.build();
     let sc = scale(quick);
-    let cfg = SimConfig {
-        max_cycles: sc.cycles * 4,
-        stall_threshold: 500,
-        retry: case_retry(),
-        seed: scenario.seed,
-        ..SimConfig::default()
-    }
+    let cfg = apply_router(
+        SimConfig {
+            max_cycles: sc.cycles * 4,
+            stall_threshold: 500,
+            retry: case_retry(),
+            seed: scenario.seed,
+            ..SimConfig::default()
+        },
+        scenario.fifo_depth,
+        scenario.credit_delay,
+    )
     .with_faults(scenario.faults.clone())
     .with_ack_retransmit(true)
     .with_dedup(dedup)
@@ -453,8 +515,7 @@ mod tests {
             runs: 6,
             seed: 42,
             quick: true,
-            dedup: true,
-            threads: 1,
+            ..ChaosOptions::default()
         };
         let a = run_campaign(&spec("fat-fractahedron:1"), &opts);
         assert!(a.is_clean(), "{:?}", a.lines);
@@ -475,6 +536,46 @@ mod tests {
     }
 
     #[test]
+    fn vc_torus_smoke_campaign_is_clean() {
+        // The torus's minimal XY tables are cyclic on the physical
+        // channel-dependency graph, so this campaign only stays
+        // deadlock-free because both fabrics run the spec's dateline
+        // VC discipline (wired through `FabricSim::vc`) — including
+        // across mid-run heals, since the dateline map is
+        // route-agnostic.
+        let opts = ChaosOptions {
+            runs: 4,
+            quick: true,
+            ..ChaosOptions::default()
+        };
+        let r = run_campaign(&spec("torus:3x3:vc2"), &opts);
+        assert!(r.is_clean(), "{:?}", r.lines);
+    }
+
+    #[test]
+    fn router_knobs_reach_the_minted_scenarios() {
+        // A finite-FIFO campaign records its knobs in every scenario
+        // it mints, so `--replay` reproduces the exact configuration.
+        let opts = ChaosOptions {
+            runs: 8,
+            seed: 42,
+            quick: true,
+            dedup: false,
+            fifo_depth: Some(2),
+            credit_delay: 1,
+            ..ChaosOptions::default()
+        };
+        let r = run_campaign(&spec("fat-fractahedron:1"), &opts);
+        assert!(!r.is_clean(), "dedup-off campaign should violate");
+        for sc in &r.scenarios {
+            assert_eq!(sc.fifo_depth, Some(2));
+            assert_eq!(sc.credit_delay, 1);
+            let again = Scenario::from_json(&sc.to_json()).unwrap();
+            assert_eq!(&again, sc);
+        }
+    }
+
+    #[test]
     fn disabling_dedup_reproduces_a_violation_and_shrinks() {
         // With suppression off, the twitchy ACK timeout double-delivers
         // somewhere in a handful of cases; the shrunk scenario must
@@ -485,7 +586,7 @@ mod tests {
             seed: 42,
             quick: true,
             dedup: false,
-            threads: 1,
+            ..ChaosOptions::default()
         };
         let r = run_campaign(&spec("fat-fractahedron:1"), &opts);
         assert!(
@@ -515,7 +616,7 @@ mod tests {
             seed: 42,
             quick: true,
             dedup: false,
-            threads: 1,
+            ..ChaosOptions::default()
         };
         let serial = run_campaign(&spec("fat-fractahedron:1"), &base);
         for threads in [2, 4] {
@@ -548,6 +649,8 @@ mod tests {
             schedule_seed: 3,
             invariant: Invariant::ExactlyOnce.tag().to_string(),
             faults: vec![FaultEvent::kill_link(LinkId(12), 100).transient(600)],
+            fifo_depth: None,
+            credit_delay: 0,
         };
         let back = Scenario::from_json(&sc.to_json()).unwrap();
         let v = replay(&back, true, true).unwrap();

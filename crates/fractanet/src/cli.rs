@@ -13,7 +13,7 @@
 
 use crate::chaos::{self, ChaosOptions};
 use crate::sizing::{plan, Requirement};
-use crate::spec::TopoSpec;
+use crate::spec::{TopoSpec, VcBase, VcDisc};
 use crate::System;
 use fractanet_graph::{viz, LinkId, NodeId};
 use fractanet_sim::{
@@ -55,6 +55,9 @@ pub enum Command {
         /// Live-metrics options (`--metrics-every`, `--metrics-out`,
         /// `--slo-deadline`).
         metrics: MetricsOpts,
+        /// Router knobs (`--fifo-depth`, `--credit-delay`, `--vcs`,
+        /// `--vc-discipline`).
+        router: RouterOpts,
     },
     /// Run a metrics-instrumented simulation and export the live
     /// metrics pipeline's view of it.
@@ -73,6 +76,9 @@ pub enum Command {
         format: MetricsFormat,
         /// Sampling cadence / SLO deadline / output path.
         metrics: MetricsOpts,
+        /// Router knobs (`--fifo-depth`, `--credit-delay`, `--vcs`,
+        /// `--vc-discipline`).
+        router: RouterOpts,
     },
     /// Re-run a recorded metrics trace and assert the recorded
     /// outcome.
@@ -97,6 +103,9 @@ pub enum Command {
         cycles: u64,
         /// Fault-injection and recovery options.
         faults: FaultOpts,
+        /// Router knobs (`--fifo-depth`, `--credit-delay`, `--vcs`,
+        /// `--vc-discipline`).
+        router: RouterOpts,
     },
     /// Plan a fractahedral installation.
     Plan {
@@ -145,6 +154,10 @@ pub enum Command {
         /// still violates, a Chrome incident bundle lands next to it
         /// (`--trace-out`).
         trace_out: Option<String>,
+        /// Router knobs for both fabrics (`--fifo-depth`,
+        /// `--credit-delay`; `--vcs`/`--vc-discipline` fold into
+        /// `spec`).
+        router: RouterOpts,
     },
     /// Print usage.
     Help,
@@ -210,6 +223,69 @@ impl MetricsOpts {
             MetricsConfig::off()
         }
     }
+}
+
+/// Router-microarchitecture knobs shared by `simulate`, `metrics`,
+/// `trace`, and `chaos`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct RouterOpts {
+    /// Per-port input-FIFO depth in flits (`--fifo-depth <n|inf>`;
+    /// `inf` restores the pre-credit unbounded-buffer model).
+    pub fifo_depth: Option<u32>,
+    /// Credit round-trip delay in cycles (`--credit-delay`).
+    pub credit_delay: u64,
+    /// Virtual channels per physical channel (`--vcs`); folded into
+    /// the topology spec at parse time via [`apply_vc_flags`].
+    pub vcs: Option<u8>,
+    /// VC ordering discipline (`--vc-discipline dateline|ecube`);
+    /// folded into the spec alongside `vcs`.
+    pub discipline: Option<VcDisc>,
+}
+
+impl RouterOpts {
+    /// Applies the FIFO-depth and credit-delay knobs to an engine
+    /// config (the VC knobs travel through the spec instead).
+    fn apply(&self, cfg: SimConfig) -> SimConfig {
+        let cfg = cfg.with_credit_delay(self.credit_delay);
+        match self.fifo_depth {
+            Some(d) => cfg.with_buffer_depth(d),
+            None => cfg,
+        }
+    }
+}
+
+/// Folds `--vcs` / `--vc-discipline` into the topology spec, upgrading
+/// a VC-capable base to its `:vc<K>[:discipline]` form. The upgraded
+/// spec is round-tripped through the grammar so every validation rule
+/// (VC range, discipline/base compatibility) applies to flag-built
+/// specs exactly as to literal ones.
+fn apply_vc_flags(
+    spec: TopoSpec,
+    vcs: Option<u8>,
+    disc: Option<VcDisc>,
+) -> Result<TopoSpec, CliError> {
+    if vcs.is_none() && disc.is_none() {
+        return Ok(spec);
+    }
+    let (base, cur_vcs, cur_disc) = match spec {
+        TopoSpec::Vc { base, vcs, disc } => (base, Some(vcs), Some(disc)),
+        TopoSpec::Ring { n } => (VcBase::Ring { n }, None, None),
+        TopoSpec::Torus { cols, rows } => (VcBase::Torus { cols, rows }, None, None),
+        TopoSpec::Mesh { cols, rows } => (VcBase::Mesh { cols, rows }, None, None),
+        TopoSpec::Hypercube { dim } => (VcBase::Hypercube { dim }, None, None),
+        other => {
+            return Err(CliError(format!(
+                "--vcs/--vc-discipline apply to ring, torus, mesh, and hypercube \
+                 topologies, not '{other}'"
+            )))
+        }
+    };
+    let upgraded = TopoSpec::Vc {
+        base,
+        vcs: vcs.or(cur_vcs).unwrap_or(2),
+        disc: disc.or(cur_disc).unwrap_or(VcDisc::Auto),
+    };
+    parse_spec(&upgraded.to_string())
 }
 
 /// The incident-bundle path derived from a trace path:
@@ -421,6 +497,8 @@ USAGE:
   fractanet dot <topology> [--routers-only]
                                         Graphviz on stdout
   fractanet simulate <topology> [--load <f>] [--cycles <n>] [--threads <n>]
+                     [--fifo-depth <n|inf>] [--credit-delay <cy>]
+                     [--vcs <k>] [--vc-discipline dateline|ecube]
                      [--kill-link <id>]... [--kill-router <id>]...
                      [--flaky-link <id>:<pm>]... [--corrupt-link <id>:<pm>]...
                      [--brownout <id>:<down>:<up>]...
@@ -448,11 +526,17 @@ USAGE:
                                         Chrome-trace incident bundle auto-dumped
                                         next to it when the flight recorder sees
                                         an anomaly (deadlock, SLO breach, heal
-                                        install)
+                                        install); --fifo-depth/--credit-delay
+                                        set the router's per-port input-FIFO
+                                        depth and credit round-trip delay
+                                        (inf = the unbounded pre-credit model),
+                                        and --vcs/--vc-discipline fold a
+                                        Dally-Seitz virtual-channel suffix onto
+                                        a ring/torus/mesh/hypercube spec
   fractanet metrics <topology> [--format prom|jsonl] [--out <path>]
                     [--load <f>] [--cycles <n>] [--threads <n>]
                     [--metrics-every <cy>] [--slo-deadline <cy>]
-                    [<fault flags as simulate>]
+                    [<fault and router flags as simulate>]
                                         run with live metrics on and export
                                         them: Prometheus text exposition
                                         (default) or the replayable JSONL
@@ -465,7 +549,8 @@ USAGE:
                                         latency quantiles reproduce exactly.
                                         Exits 1 on any mismatch
   fractanet trace <topology> [--format jsonl|chrome|summary] [--out <path>]
-                  [--load <f>] [--cycles <n>] [<fault flags as simulate>]
+                  [--load <f>] [--cycles <n>]
+                  [<fault and router flags as simulate>]
                                         run with the flit-event tracer on and
                                         export the trace: JSONL for scripts,
                                         Chrome trace_event JSON for
@@ -475,6 +560,7 @@ USAGE:
                                         fractahedral capacity planning
   fractanet chaos <topology> [--runs <n>] [--seed <s>] [--threads <n>]
                   [--quick] [--disable-dedup] [--out <path>]
+                  [<router flags as simulate>]
                                         deterministic chaos campaign: sampled
                                         fault schedules (kills, flaky/corrupting
                                         links, brownouts) against a self-healing
@@ -482,10 +568,11 @@ USAGE:
                                         delivery, deadlock freedom, heal
                                         certification and span accounting;
                                         violations delta-shrink to a minimal
-                                        replayable JSON scenario; --threads
-                                        dispatches cases across workers with an
-                                        identical verdict. Exits 1 on any
-                                        violation
+                                        replayable JSON scenario (recording any
+                                        --fifo-depth/--credit-delay knobs);
+                                        --threads dispatches cases across
+                                        workers with an identical verdict.
+                                        Exits 1 on any violation
   fractanet chaos --replay <file> [--quick] [--disable-dedup]
                   [--trace-out <path>]
                                         re-run a recorded scenario bit-
@@ -513,6 +600,8 @@ TOPOLOGIES:
   fat-fractahedron:<levels>             e.g. fat-fractahedron:2  (the paper's Fig 7 at 2)
   thin-fractahedron:<levels>[:fanout]   e.g. thin-fractahedron:3:fanout (1024 CPUs)
   mesh:<cols>x<rows>                    e.g. mesh:6x6            (§3.1)
+  torus:<cols>x<rows>                   e.g. torus:8x8           (wraparound mesh;
+                                        XY routing deadlock-prone without :vc2)
   fattree:<nodes>:<down>:<up>           e.g. fattree:64:4:2      (Fig 6)
   hypercube:<dim>                       e.g. hypercube:3         (Fig 2; dim <= 8,
                                         routers grow past 6 ports above dim 5)
@@ -520,6 +609,12 @@ TOPOLOGIES:
   tetrahedron                           (Fig 4)
   cluster:<m>                           e.g. cluster:3           (Fig 3)
   bintree:<depth>:<nodes-per-leaf>      e.g. bintree:3:2
+  <base>:vc<k>[:dateline|:ecube]        e.g. torus:8x8:vc2:dateline, ring:6:vc2,
+                                        mesh:6x6:vc2:ecube — k virtual channels
+                                        per physical channel under a Dally-Seitz
+                                        ordering discipline (base = ring, torus,
+                                        mesh, or hypercube; the discipline
+                                        defaults to the canonical one)
 ";
 
 /// Parses a topology specifier, appending usage on failure.
@@ -542,6 +637,33 @@ fn split_fields(
         return Err(CliError(format!("{flag} needs {shape}, got '{v}'")));
     }
     Ok(parts)
+}
+
+/// Parses a `--fifo-depth` value: a positive flit count, or `inf` for
+/// the unbounded pre-credit buffer model.
+fn fifo_depth_value(v: Option<&String>) -> Result<u32, CliError> {
+    let v = v.ok_or_else(|| CliError("--fifo-depth needs a flit count or 'inf'".into()))?;
+    if v == "inf" {
+        return Ok(SimConfig::INFINITE_DEPTH);
+    }
+    match v.parse::<u32>() {
+        Ok(d) if d >= 1 => Ok(d),
+        _ => Err(CliError(format!(
+            "--fifo-depth needs a flit count >= 1 or 'inf', got '{v}'"
+        ))),
+    }
+}
+
+/// Parses a `--vc-discipline` value.
+fn discipline_value(v: Option<&String>) -> Result<VcDisc, CliError> {
+    match v.map(String::as_str) {
+        Some("dateline") => Ok(VcDisc::Dateline),
+        Some("ecube") => Ok(VcDisc::Ecube),
+        Some(other) => Err(CliError(format!(
+            "unknown VC discipline '{other}' (dateline|ecube)"
+        ))),
+        None => Err(CliError("--vc-discipline needs dateline|ecube".into())),
+    }
 }
 
 /// Parses argv (without the program name).
@@ -582,6 +704,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut format = TraceFormat::Summary;
             let mut mformat = MetricsFormat::Prometheus;
             let mut metrics = MetricsOpts::default();
+            let mut router = RouterOpts::default();
             let mut out = None;
             let mut it = it.peekable();
             while let Some(a) = it.next() {
@@ -604,6 +727,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--backoff-base" => faults.backoff_base = val!("--backoff-base"),
                     "--jitter-seed" => faults.jitter_seed = val!("--jitter-seed"),
                     "--heal" => faults.heal = true,
+                    "--fifo-depth" => router.fifo_depth = Some(fifo_depth_value(it.next())?),
+                    "--credit-delay" => router.credit_delay = val!("--credit-delay"),
+                    "--vcs" => router.vcs = Some(val!("--vcs")),
+                    "--vc-discipline" => router.discipline = Some(discipline_value(it.next())?),
                     flag @ ("--flaky-link" | "--corrupt-link") => {
                         let f = split_fields(flag, "<link>:<per-mille>", it.next(), 2)?;
                         if f[1] > 1000 {
@@ -675,6 +802,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             let spec =
                 spec.ok_or_else(|| CliError(format!("{cmd} needs a topology\n\n{USAGE}")))?;
+            let spec = apply_vc_flags(spec, router.vcs, router.discipline)?;
             if !(0.0..=1.0).contains(&load) {
                 return Err(CliError(
                     "--load must be within 0..=1 flits/node/cycle".into(),
@@ -688,6 +816,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     load,
                     cycles,
                     faults,
+                    router,
                 })
             } else if metrics_cmd {
                 metrics.out = out;
@@ -699,6 +828,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     threads,
                     format: mformat,
                     metrics,
+                    router,
                 })
             } else {
                 Ok(Command::Simulate {
@@ -709,6 +839,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     telemetry,
                     threads,
                     metrics,
+                    router,
                 })
             }
         }
@@ -745,6 +876,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut out = None;
             let mut replay = None;
             let mut trace_out = None;
+            let mut router = RouterOpts::default();
             let mut it = it.peekable();
             while let Some(a) = it.next() {
                 macro_rules! val {
@@ -764,6 +896,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--runs" => runs = val!("--runs"),
                     "--seed" => seed = val!("--seed"),
                     "--threads" => threads = val!("--threads"),
+                    "--fifo-depth" => router.fifo_depth = Some(fifo_depth_value(it.next())?),
+                    "--credit-delay" => router.credit_delay = val!("--credit-delay"),
+                    "--vcs" => router.vcs = Some(val!("--vcs")),
+                    "--vc-discipline" => router.discipline = Some(discipline_value(it.next())?),
                     "--quick" => quick = true,
                     "--disable-dedup" => dedup = false,
                     "--out" => {
@@ -801,6 +937,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if trace_out.is_some() && replay.is_none() {
                 return Err(CliError("--trace-out only applies in --replay mode".into()));
             }
+            if replay.is_some() && (router.fifo_depth.is_some() || router.credit_delay != 0) {
+                return Err(CliError(
+                    "--fifo-depth/--credit-delay don't apply in --replay mode \
+                     (the scenario file records them)"
+                        .into(),
+                ));
+            }
+            let spec = match spec {
+                Some(sp) => Some(apply_vc_flags(sp, router.vcs, router.discipline)?),
+                None if router.vcs.is_some() || router.discipline.is_some() => {
+                    return Err(CliError(
+                        "--vcs/--vc-discipline need a topology (the scenario file \
+                         records the spec in --replay mode)"
+                            .into(),
+                    ))
+                }
+                None => None,
+            };
             Ok(Command::Chaos {
                 spec,
                 runs,
@@ -811,6 +965,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 replay,
                 threads,
                 trace_out,
+                router,
             })
         }
         Some("lint") => {
@@ -962,6 +1117,7 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
         replay,
         threads,
         trace_out,
+        router,
     } = cmd
     else {
         unreachable!("run_chaos is only called on Command::Chaos");
@@ -1024,6 +1180,8 @@ fn run_chaos(cmd: Command) -> Result<RunOutcome, CliError> {
         quick,
         dedup,
         threads,
+        fifo_depth: router.fifo_depth,
+        credit_delay: router.credit_delay,
     };
     let report = chaos::run_campaign(&spec, &opts);
     for line in &report.lines {
@@ -1210,27 +1368,29 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             telemetry,
             threads,
             metrics,
+            router,
         } => {
             let sys = spec.build();
             let report = sys.analyze();
             let events = faults.events(&sys)?;
             let injecting = !events.is_empty();
-            let cfg = SimConfig {
-                packet_flits: 16,
-                max_cycles: cycles,
-                stall_threshold: (cycles / 4).max(100),
-                warmup_cycles: cycles / 10,
-                retry: faults.retry(),
-                telemetry: if telemetry {
-                    Telemetry::recording()
-                } else {
-                    Telemetry::off()
-                },
-                metrics: metrics.config(&sys.name()),
-                ..SimConfig::default()
-            }
-            .with_faults(events)
-            .with_threads(threads);
+            let cfg = router
+                .apply(SimConfig {
+                    packet_flits: 16,
+                    max_cycles: cycles,
+                    stall_threshold: (cycles / 4).max(100),
+                    warmup_cycles: cycles / 10,
+                    retry: faults.retry(),
+                    telemetry: if telemetry {
+                        Telemetry::recording()
+                    } else {
+                        Telemetry::off()
+                    },
+                    metrics: metrics.config(&sys.name()),
+                    ..SimConfig::default()
+                })
+                .with_faults(events)
+                .with_threads(threads);
             let workload = Workload::Bernoulli {
                 injection_rate: load,
                 pattern: DstPattern::Uniform,
@@ -1260,6 +1420,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     dl.cycle_channels.len()
                 )),
                 None => out.push_str("no deadlock\n"),
+            }
+            if res.credits.consumed > 0 {
+                // consumed == returned only once every worm has drained;
+                // a max-cycles cutoff legitimately strands the difference
+                // in occupied FIFO slots.
+                let held = res.credits.consumed - res.credits.returned;
+                out.push_str(&format!(
+                    "credits: {} consumed, {} returned ({}), {} transfer stalls\n",
+                    res.credits.consumed,
+                    res.credits.returned,
+                    if res.credits.is_conserved() {
+                        "conserved".to_string()
+                    } else {
+                        format!("{held} held at cutoff")
+                    },
+                    res.credits.stalls
+                ));
             }
             if injecting {
                 let r = &res.recovery;
@@ -1317,20 +1494,22 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             threads,
             format,
             metrics,
+            router,
         } => {
             let sys = spec.build();
             let events = faults.events(&sys)?;
-            let cfg = SimConfig {
-                packet_flits: 16,
-                max_cycles: cycles,
-                stall_threshold: (cycles / 4).max(100),
-                warmup_cycles: cycles / 10,
-                retry: faults.retry(),
-                metrics: metrics.config_on(&sys.name()),
-                ..SimConfig::default()
-            }
-            .with_faults(events)
-            .with_threads(threads);
+            let cfg = router
+                .apply(SimConfig {
+                    packet_flits: 16,
+                    max_cycles: cycles,
+                    stall_threshold: (cycles / 4).max(100),
+                    warmup_cycles: cycles / 10,
+                    retry: faults.retry(),
+                    metrics: metrics.config_on(&sys.name()),
+                    ..SimConfig::default()
+                })
+                .with_faults(events)
+                .with_threads(threads);
             let workload = Workload::Bernoulli {
                 injection_rate: load,
                 pattern: DstPattern::Uniform,
@@ -1374,18 +1553,20 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             load,
             cycles,
             faults,
+            router,
         } => {
             let sys = spec.build();
             let events = faults.events(&sys)?;
-            let cfg = SimConfig {
-                packet_flits: 16,
-                max_cycles: cycles,
-                stall_threshold: (cycles / 4).max(100),
-                retry: faults.retry(),
-                ..SimConfig::default()
-            }
-            .with_faults(events)
-            .with_telemetry(Telemetry::recording());
+            let cfg = router
+                .apply(SimConfig {
+                    packet_flits: 16,
+                    max_cycles: cycles,
+                    stall_threshold: (cycles / 4).max(100),
+                    retry: faults.retry(),
+                    ..SimConfig::default()
+                })
+                .with_faults(events)
+                .with_telemetry(Telemetry::recording());
             let workload = Workload::Bernoulli {
                 injection_rate: load,
                 pattern: DstPattern::Uniform,
@@ -1468,6 +1649,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Simulate {
+                router: Default::default(),
                 spec: "ring:4".parse::<TopoSpec>().unwrap(),
                 load: 0.5,
                 cycles: 1000,
@@ -1495,6 +1677,86 @@ mod tests {
     }
 
     #[test]
+    fn parse_router_flags() {
+        let cmd = parse(&argv(
+            "simulate torus:4x4 --vcs 2 --fifo-depth 2 --credit-delay 3",
+        ))
+        .unwrap();
+        let Command::Simulate { spec, router, .. } = cmd else {
+            panic!("not simulate: {cmd:?}")
+        };
+        // --vcs folds into the spec (the grammar's Auto discipline
+        // resolves to dateline on a torus at build time).
+        assert_eq!(spec.to_string(), "torus:4x4:vc2");
+        assert_eq!(router.fifo_depth, Some(2));
+        assert_eq!(router.credit_delay, 3);
+        // `inf` restores the unbounded pre-credit model; an explicit
+        // discipline lands in the spec suffix.
+        let cmd = parse(&argv(
+            "metrics mesh:4x4 --vcs 2 --vc-discipline ecube --fifo-depth inf",
+        ))
+        .unwrap();
+        let Command::Metrics { spec, router, .. } = cmd else {
+            panic!("not metrics: {cmd:?}")
+        };
+        assert_eq!(spec.to_string(), "mesh:4x4:vc2:ecube");
+        assert_eq!(router.fifo_depth, Some(SimConfig::INFINITE_DEPTH));
+        // --vc-discipline alone upgrades with the default of 2 VCs.
+        let cmd = parse(&argv("chaos ring:6 --vc-discipline dateline --quick")).unwrap();
+        let Command::Chaos { spec, router, .. } = cmd else {
+            panic!("not chaos: {cmd:?}")
+        };
+        assert_eq!(spec.unwrap().to_string(), "ring:6:vc2:dateline");
+        assert_eq!(router.fifo_depth, None);
+        // And a literal VC spec takes flag overrides on top.
+        let cmd = parse(&argv("trace ring:6:vc2 --vcs 4")).unwrap();
+        let Command::Trace { spec, .. } = cmd else {
+            panic!("not trace: {cmd:?}")
+        };
+        assert_eq!(spec.to_string(), "ring:6:vc4");
+    }
+
+    #[test]
+    fn router_flag_errors() {
+        // VC flags demand a VC-capable base...
+        assert!(parse(&argv("simulate fat-fractahedron:1 --vcs 2")).is_err());
+        // ...a known discipline...
+        assert!(parse(&argv("simulate ring:6 --vc-discipline spiral")).is_err());
+        // ...and flag-built combos pass through the grammar's checks
+        // (e-cube classes can't break a torus's wrap cycles).
+        assert!(parse(&argv("simulate torus:4x4 --vcs 2 --vc-discipline ecube")).is_err());
+        assert!(parse(&argv("simulate ring:6 --fifo-depth 0")).is_err());
+        assert!(parse(&argv("simulate ring:6 --fifo-depth many")).is_err());
+        // Replay mode takes its router config from the scenario file.
+        assert!(parse(&argv("chaos --replay x.json --fifo-depth 2")).is_err());
+        assert!(parse(&argv("chaos --replay x.json --vcs 2")).is_err());
+    }
+
+    #[test]
+    fn simulate_vc_torus_with_finite_fifos_runs_clean() {
+        // End to end through the CLI: a dateline torus with 2-flit
+        // FIFOs and a 1-cycle credit loop delivers without deadlock —
+        // the configuration the raw torus tables would wedge under.
+        let out = run(Command::Simulate {
+            spec: "torus:3x3:vc2".parse().unwrap(),
+            load: 0.1,
+            cycles: 4_000,
+            faults: FaultOpts::default(),
+            telemetry: false,
+            threads: 1,
+            metrics: MetricsOpts::default(),
+            router: RouterOpts {
+                fifo_depth: Some(2),
+                credit_delay: 1,
+                ..Default::default()
+            },
+        })
+        .unwrap();
+        assert!(out.contains("no deadlock"), "{out}");
+        assert!(out.contains("+ 2 VCs"), "{out}");
+    }
+
+    #[test]
     fn parse_trace_flags() {
         let cmd = parse(&argv(
             "trace fat-fractahedron:2 --format chrome --out /tmp/t.json --load 0.1 --cycles 800",
@@ -1503,6 +1765,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Trace {
+                router: Default::default(),
                 spec: "fat-fractahedron:2".parse::<TopoSpec>().unwrap(),
                 format: TraceFormat::Chrome,
                 out: Some("/tmp/t.json".into()),
@@ -1585,6 +1848,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Chaos {
+                router: Default::default(),
                 spec: Some("fat-fractahedron:2".parse::<TopoSpec>().unwrap()),
                 runs: 256,
                 seed: 42,
@@ -1623,6 +1887,7 @@ mod tests {
             ..FaultOpts::default()
         };
         let out = run(Command::Simulate {
+            router: Default::default(),
             spec: "fat-fractahedron:1".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 5_000,
@@ -1641,6 +1906,7 @@ mod tests {
     #[test]
     fn chaos_smoke_campaign_exits_zero() {
         let outcome = execute(Command::Chaos {
+            router: Default::default(),
             spec: Some("fat-fractahedron:1".parse::<TopoSpec>().unwrap()),
             runs: 4,
             seed: 42,
@@ -1665,6 +1931,7 @@ mod tests {
         let path = std::env::temp_dir().join("fractanet-chaos-regression.json");
         let path_s = path.to_str().unwrap().to_string();
         let minted = execute(Command::Chaos {
+            router: Default::default(),
             spec: Some("fat-fractahedron:1".parse::<TopoSpec>().unwrap()),
             runs: 4,
             seed: 42,
@@ -1680,6 +1947,7 @@ mod tests {
         assert!(minted.output.contains("exactly_once"), "{}", minted.output);
         // Replayed with suppression back on, the scenario must be clean.
         let replayed = execute(Command::Chaos {
+            router: Default::default(),
             spec: None,
             runs: 4,
             seed: 42,
@@ -1699,6 +1967,7 @@ mod tests {
         );
         // And with suppression off it must reproduce.
         let reproduced = execute(Command::Chaos {
+            router: Default::default(),
             spec: None,
             runs: 4,
             seed: 42,
@@ -1754,6 +2023,7 @@ mod tests {
     #[test]
     fn run_simulate_reports_deadlock_on_ring() {
         let out = run(Command::Simulate {
+            router: Default::default(),
             spec: "ring:4".parse::<TopoSpec>().unwrap(),
             load: 0.4,
             cycles: 4_000,
@@ -1777,6 +2047,7 @@ mod tests {
             ..FaultOpts::default()
         };
         let out = run(Command::Simulate {
+            router: Default::default(),
             spec: "fat-fractahedron:1".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 6_000,
@@ -1799,6 +2070,7 @@ mod tests {
                 ..FaultOpts::default()
             };
             let err = run(Command::Simulate {
+                router: Default::default(),
                 spec: "ring:4".parse::<TopoSpec>().unwrap(),
                 load: 0.1,
                 cycles: 1_000,
@@ -1815,6 +2087,7 @@ mod tests {
     #[test]
     fn run_trace_chrome_emits_complete_spans() {
         let out = run(Command::Trace {
+            router: Default::default(),
             spec: "fat-fractahedron:1".parse::<TopoSpec>().unwrap(),
             format: TraceFormat::Chrome,
             out: None,
@@ -1834,6 +2107,7 @@ mod tests {
     fn run_trace_jsonl_and_summary() {
         let mk = |format| {
             run(Command::Trace {
+                router: Default::default(),
                 spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
                 format,
                 out: None,
@@ -1861,6 +2135,7 @@ mod tests {
         let path = std::env::temp_dir().join("fractanet-trace-test.jsonl");
         let path_s = path.to_str().unwrap().to_string();
         let out = run(Command::Trace {
+            router: Default::default(),
             spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
             format: TraceFormat::Jsonl,
             out: Some(path_s.clone()),
@@ -1878,6 +2153,7 @@ mod tests {
     #[test]
     fn run_simulate_telemetry_appends_summary() {
         let cmd = |telemetry| Command::Simulate {
+            router: Default::default(),
             spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 1_000,
@@ -2159,6 +2435,7 @@ mod tests {
         let path = std::env::temp_dir().join("fractanet-metrics-e16.jsonl");
         let path_s = path.to_str().unwrap().to_string();
         let out = run(Command::Simulate {
+            router: Default::default(),
             spec: "ring:4".parse::<TopoSpec>().unwrap(),
             load: 0.6,
             cycles: 4_000,
@@ -2203,6 +2480,7 @@ mod tests {
     #[test]
     fn metrics_command_exports_prometheus() {
         let out = run(Command::Metrics {
+            router: Default::default(),
             spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 1_000,
@@ -2223,6 +2501,7 @@ mod tests {
         let path = std::env::temp_dir().join("fractanet-metrics-tamper.jsonl");
         let path_s = path.to_str().unwrap().to_string();
         run(Command::Metrics {
+            router: Default::default(),
             spec: "tetrahedron".parse::<TopoSpec>().unwrap(),
             load: 0.1,
             cycles: 1_000,
@@ -2263,6 +2542,7 @@ mod tests {
         let tr_path = std::env::temp_dir().join("fractanet-chaos-incident.jsonl");
         let tr_s = tr_path.to_str().unwrap().to_string();
         let minted = execute(Command::Chaos {
+            router: Default::default(),
             spec: Some("fat-fractahedron:1".parse::<TopoSpec>().unwrap()),
             runs: 4,
             seed: 42,
@@ -2276,6 +2556,7 @@ mod tests {
         .unwrap();
         assert_eq!(minted.code, 1, "{}", minted.output);
         let replayed = execute(Command::Chaos {
+            router: Default::default(),
             spec: None,
             runs: 4,
             seed: 42,

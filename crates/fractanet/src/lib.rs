@@ -59,13 +59,13 @@ pub mod spec;
 mod system;
 
 pub use chaos::{incident, replay, run_campaign, ChaosOptions, ChaosReport, Incident};
-pub use spec::{SpecError, TopoSpec};
-pub use system::{AnalysisReport, System};
+pub use spec::{SpecError, TopoSpec, VcBase, VcDisc};
+pub use system::{AnalysisReport, System, VcScheme};
 
 /// Convenient glob-import surface: `use fractanet::prelude::*;`.
 pub mod prelude {
-    pub use crate::spec::TopoSpec;
-    pub use crate::system::{AnalysisReport, System};
+    pub use crate::spec::{TopoSpec, VcBase, VcDisc};
+    pub use crate::system::{AnalysisReport, System, VcScheme};
     pub use fractanet_deadlock::{verify_deadlock_free, verify_deadlock_free_tables};
     pub use fractanet_graph::{ChannelId, LinkClass, Network, NodeId, PortId};
     pub use fractanet_lint::{Diagnostic, LintReport, Linter, RuleId, Severity};

@@ -47,6 +47,29 @@ pub enum TopoSpec {
         /// Rows.
         rows: usize,
     },
+    /// `torus:<cols>x<rows>` — the mesh with wraparound cables, 2
+    /// nodes per 6-port router. Note the canonical XY routing is
+    /// deadlock-*prone* on its own (the wrap links close a Fig 1 cycle
+    /// in each dimension); add `:vc2` for the dateline fix.
+    Torus {
+        /// Columns (≥ 3).
+        cols: usize,
+        /// Rows (≥ 3).
+        rows: usize,
+    },
+    /// `<base>:vc<K>[:dateline|:ecube]` — a VC-capable base topology
+    /// with `K` virtual channels per physical channel and a Dally–Seitz
+    /// VC discipline (`ring:6:vc2`, `torus:8x8:vc2:dateline`,
+    /// `mesh:6x6:vc2:ecube`). Omitting the discipline picks the
+    /// canonical one for the base.
+    Vc {
+        /// The underlying topology.
+        base: VcBase,
+        /// Virtual channels per physical channel, `1..=8`.
+        vcs: u8,
+        /// The VC ordering discipline.
+        disc: VcDisc,
+    },
     /// `fattree:<nodes>:<down>:<up>` — the Fig 6 fat tree.
     FatTree {
         /// End nodes.
@@ -83,6 +106,48 @@ pub enum TopoSpec {
     },
 }
 
+/// The topologies a `:vc<K>` suffix applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcBase {
+    /// `ring:<n>` under minimal bidirectional routing.
+    Ring {
+        /// Routers on the ring.
+        n: usize,
+    },
+    /// `torus:<cols>x<rows>` under minimal XY routing.
+    Torus {
+        /// Columns (≥ 3).
+        cols: usize,
+        /// Rows (≥ 3).
+        rows: usize,
+    },
+    /// `mesh:<cols>x<rows>` under XY routing.
+    Mesh {
+        /// Columns.
+        cols: usize,
+        /// Rows.
+        rows: usize,
+    },
+    /// `hypercube:<dim>` under e-cube routing.
+    Hypercube {
+        /// Cube dimension.
+        dim: u32,
+    },
+}
+
+/// The virtual-channel ordering discipline of a `:vc<K>` spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcDisc {
+    /// The canonical discipline for the base: dateline on rings and
+    /// tori, e-cube classes on meshes and hypercubes.
+    Auto,
+    /// Promote past the wrap cable; rings and tori only.
+    Dateline,
+    /// Static per-dimension channel classes; meshes and hypercubes
+    /// only.
+    Ecube,
+}
+
 /// Why a specifier string did not parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpecError(pub String);
@@ -102,6 +167,49 @@ impl FromStr for TopoSpec {
         let parts: Vec<&str> = s.split(':').collect();
         let bad = || SpecError(format!("bad topology spec '{s}'"));
         let int = |t: &str| t.parse::<usize>().map_err(|_| bad());
+        // `<base>:vc<K>[:discipline]` — split the VC suffix off and
+        // parse the base spec recursively.
+        if let Some(pos) = parts.iter().position(|p| {
+            p.strip_prefix("vc")
+                .is_some_and(|k| k.parse::<u8>().is_ok())
+        }) {
+            let vcs: u8 = parts[pos][2..].parse().map_err(|_| bad())?;
+            if !(1..=8).contains(&vcs) {
+                return Err(SpecError("vc count must be 1..=8".into()));
+            }
+            let base = match parts[..pos].join(":").parse::<TopoSpec>()? {
+                TopoSpec::Ring { n } => VcBase::Ring { n },
+                TopoSpec::Torus { cols, rows } => VcBase::Torus { cols, rows },
+                TopoSpec::Mesh { cols, rows } => VcBase::Mesh { cols, rows },
+                TopoSpec::Hypercube { dim } => VcBase::Hypercube { dim },
+                _ => {
+                    return Err(SpecError(
+                        "virtual channels apply to ring, torus, mesh, and hypercube specs".into(),
+                    ))
+                }
+            };
+            let disc = match parts[pos + 1..] {
+                [] => VcDisc::Auto,
+                ["dateline"] => VcDisc::Dateline,
+                ["ecube"] => VcDisc::Ecube,
+                _ => return Err(bad()),
+            };
+            let wrap_base = matches!(base, VcBase::Ring { .. } | VcBase::Torus { .. });
+            match disc {
+                VcDisc::Dateline if !wrap_base => {
+                    return Err(SpecError(
+                        "the dateline discipline needs wrap cables (ring or torus)".into(),
+                    ))
+                }
+                VcDisc::Ecube if wrap_base => {
+                    return Err(SpecError(
+                        "e-cube classes can't break wrap cycles; use :dateline".into(),
+                    ))
+                }
+                _ => {}
+            }
+            return Ok(TopoSpec::Vc { base, vcs, disc });
+        }
         match parts[0] {
             "fat-fractahedron" if parts.len() == 2 => {
                 let levels = int(parts[1])?;
@@ -131,6 +239,20 @@ impl FromStr for TopoSpec {
                     return Err(SpecError("mesh dimensions must be nonzero".into()));
                 }
                 Ok(TopoSpec::Mesh { cols, rows })
+            }
+            "torus" if parts.len() == 2 => {
+                let dims: Vec<&str> = parts[1].split('x').collect();
+                if dims.len() != 2 {
+                    return Err(bad());
+                }
+                let (cols, rows) = (int(dims[0])?, int(dims[1])?);
+                if cols < 3 || rows < 3 {
+                    return Err(SpecError(
+                        "torus dimensions must be at least 3 (smaller wraps are parallel cables)"
+                            .into(),
+                    ));
+                }
+                Ok(TopoSpec::Torus { cols, rows })
             }
             "fattree" if parts.len() == 4 => Ok(TopoSpec::FatTree {
                 nodes: int(parts[1])?,
@@ -176,6 +298,21 @@ impl fmt::Display for TopoSpec {
                 Ok(())
             }
             TopoSpec::Mesh { cols, rows } => write!(f, "mesh:{cols}x{rows}"),
+            TopoSpec::Torus { cols, rows } => write!(f, "torus:{cols}x{rows}"),
+            TopoSpec::Vc { base, vcs, disc } => {
+                match base {
+                    VcBase::Ring { n } => write!(f, "ring:{n}")?,
+                    VcBase::Torus { cols, rows } => write!(f, "torus:{cols}x{rows}")?,
+                    VcBase::Mesh { cols, rows } => write!(f, "mesh:{cols}x{rows}")?,
+                    VcBase::Hypercube { dim } => write!(f, "hypercube:{dim}")?,
+                }
+                write!(f, ":vc{vcs}")?;
+                match disc {
+                    VcDisc::Auto => Ok(()),
+                    VcDisc::Dateline => write!(f, ":dateline"),
+                    VcDisc::Ecube => write!(f, ":ecube"),
+                }
+            }
             TopoSpec::FatTree { nodes, down, up } => write!(f, "fattree:{nodes}:{down}:{up}"),
             TopoSpec::Hypercube { dim } => write!(f, "hypercube:{dim}"),
             TopoSpec::Ring { n } => write!(f, "ring:{n}"),
@@ -199,6 +336,23 @@ impl TopoSpec {
                 System::thin_fractahedron(levels, fanout)
             }
             TopoSpec::Mesh { cols, rows } => System::mesh(cols, rows),
+            TopoSpec::Torus { cols, rows } => System::torus(cols, rows),
+            TopoSpec::Vc { base, vcs, disc } => {
+                let sys = match base {
+                    VcBase::Ring { n } => System::ring(n),
+                    VcBase::Torus { cols, rows } => System::torus(cols, rows),
+                    VcBase::Mesh { cols, rows } => System::mesh(cols, rows),
+                    VcBase::Hypercube { dim } => System::hypercube(dim, (dim as u8 + 1).max(6)),
+                };
+                let scheme = match (disc, base) {
+                    (VcDisc::Dateline, _)
+                    | (VcDisc::Auto, VcBase::Ring { .. } | VcBase::Torus { .. }) => {
+                        crate::VcScheme::Dateline
+                    }
+                    _ => crate::VcScheme::Ecube,
+                };
+                sys.with_vcs(vcs, scheme)
+            }
             TopoSpec::FatTree { nodes, down, up } => System::fat_tree(nodes, down, up),
             TopoSpec::Hypercube { dim } => {
                 // One attach port on top of `dim` direction ports; the
@@ -233,6 +387,27 @@ mod tests {
                 fanout: true,
             },
             TopoSpec::Mesh { cols: 6, rows: 6 },
+            TopoSpec::Torus { cols: 8, rows: 8 },
+            TopoSpec::Vc {
+                base: VcBase::Ring { n: 6 },
+                vcs: 2,
+                disc: VcDisc::Auto,
+            },
+            TopoSpec::Vc {
+                base: VcBase::Torus { cols: 8, rows: 8 },
+                vcs: 2,
+                disc: VcDisc::Dateline,
+            },
+            TopoSpec::Vc {
+                base: VcBase::Mesh { cols: 6, rows: 6 },
+                vcs: 2,
+                disc: VcDisc::Ecube,
+            },
+            TopoSpec::Vc {
+                base: VcBase::Hypercube { dim: 3 },
+                vcs: 4,
+                disc: VcDisc::Auto,
+            },
             TopoSpec::FatTree {
                 nodes: 64,
                 down: 4,
@@ -259,6 +434,11 @@ mod tests {
             "thin-fractahedron:2",
             "thin-fractahedron:1:fanout",
             "mesh:3x3",
+            "torus:4x4",
+            "ring:6:vc2",
+            "torus:8x8:vc2:dateline",
+            "mesh:6x6:vc2:ecube",
+            "hypercube:3:vc2",
             "fattree:16:4:2",
             "hypercube:3",
             "hypercube:6",
@@ -283,6 +463,14 @@ mod tests {
             "fattree:64:4",
             "hypercube:9",
             "cluster:7",
+            "torus:2x4",
+            "torus:4",
+            "ring:6:vc0",
+            "ring:6:vc9",
+            "ring:6:vc2:ecube",
+            "mesh:6x6:vc2:dateline",
+            "fattree:16:4:2:vc2",
+            "ring:6:vc2:bogus",
             "thin-fractahedron:1:bogus",
             "tetrahedron:1",
             "nonsense:1",
@@ -320,5 +508,54 @@ mod tests {
         assert_eq!(sys.end_nodes().len(), 64);
         let sys = "mesh:3x3".parse::<TopoSpec>().unwrap().build();
         assert_eq!(sys.end_nodes().len(), 18);
+        let sys = "torus:4x4".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.end_nodes().len(), 32);
+        assert!(sys.vc().is_none());
+    }
+
+    #[test]
+    fn vc_specs_build_with_the_canonical_discipline() {
+        use crate::VcScheme;
+        let sys = "ring:6:vc2".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.vc(), Some((2, VcScheme::Dateline)));
+        let sys = "torus:4x4:vc2".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.vc(), Some((2, VcScheme::Dateline)));
+        let sys = "mesh:3x3:vc2".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.vc(), Some((2, VcScheme::Ecube)));
+        let sys = "hypercube:3:vc2".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(sys.vc(), Some((2, VcScheme::Ecube)));
+    }
+
+    #[test]
+    fn vc_specs_flip_the_deadlock_verdict() {
+        // The wrap cycles condemn the plain torus; the dateline spec
+        // clears it — through the extended (channel, vc) graph.
+        assert!(
+            !"torus:4x4"
+                .parse::<TopoSpec>()
+                .unwrap()
+                .build()
+                .analyze()
+                .deadlock_free
+        );
+        let vc = "torus:4x4:vc2".parse::<TopoSpec>().unwrap().build();
+        assert_eq!(vc.vc_deadlock_free(), Some(true));
+        assert!(vc.analyze().deadlock_free);
+        assert!(
+            !"ring:4"
+                .parse::<TopoSpec>()
+                .unwrap()
+                .build()
+                .analyze()
+                .deadlock_free
+        );
+        assert!(
+            "ring:4:vc2"
+                .parse::<TopoSpec>()
+                .unwrap()
+                .build()
+                .analyze()
+                .deadlock_free
+        );
     }
 }

@@ -11,16 +11,20 @@ use fractanet_route::fractal::fractal_routes;
 use fractanet_route::ringroute::ring_shortest_routes;
 use fractanet_route::treeroute::bintree_routes;
 use fractanet_route::{direct, dor, Paths, RouteSet, Routes};
-use fractanet_sim::{Engine, SimConfig, SimResult, Workload};
+use fractanet_sim::{
+    dateline_ring_map, dateline_torus_map, ecube_hypercube_map, ecube_mesh_map, Engine, SimConfig,
+    SimResult, VcMap, Workload,
+};
 use fractanet_topo::{
     BinaryTree, FatTree, Fractahedron, FullyConnectedCluster, Hypercube, Mesh2D, Ring, Topology,
-    Variant,
+    Torus2D, Variant,
 };
 use std::sync::{Arc, OnceLock};
 
 /// A topology paired with its canonical routing.
 enum Built {
     Mesh(Mesh2D),
+    Torus(Torus2D),
     Ring(Ring),
     Hypercube(Hypercube),
     FatTree(FatTree),
@@ -33,6 +37,7 @@ impl Built {
     fn topo(&self) -> &dyn Topology {
         match self {
             Built::Mesh(t) => t,
+            Built::Torus(t) => t,
             Built::Ring(t) => t,
             Built::Hypercube(t) => t,
             Built::FatTree(t) => t,
@@ -45,6 +50,7 @@ impl Built {
     fn routes(&self) -> Routes {
         match self {
             Built::Mesh(t) => dor::mesh_xy_routes(t),
+            Built::Torus(t) => dor::torus_xy_routes(t),
             Built::Ring(t) => ring_shortest_routes(t),
             Built::Hypercube(t) => dor::ecube_routes(t),
             Built::FatTree(t) => fattree_routes(t, UpPolicy::ByLeafRouter),
@@ -53,6 +59,35 @@ impl Built {
             Built::BinaryTree(t) => bintree_routes(t),
         }
     }
+}
+
+/// The Dally–Seitz virtual-channel discipline a [`System`] runs under
+/// when virtual channels are enabled ([`System::with_vcs`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcScheme {
+    /// Dateline ordering for topologies with wrap cables (rings and
+    /// tori): promote past the wrap, reset on dimension change.
+    Dateline,
+    /// Static per-dimension channel classes for dimension-ordered
+    /// topologies (meshes and hypercubes).
+    Ecube,
+}
+
+impl std::fmt::Display for VcScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcScheme::Dateline => write!(f, "dateline"),
+            VcScheme::Ecube => write!(f, "ecube"),
+        }
+    }
+}
+
+/// Installed virtual-channel state: the count, the scheme, and the
+/// concrete per-channel map the engines consult.
+struct VcState {
+    vcs: u8,
+    scheme: VcScheme,
+    map: VcMap,
 }
 
 /// Everything the paper's comparison tables need, for one system.
@@ -115,6 +150,9 @@ pub struct System {
     /// Dense per-pair view, traced lazily the first time a caller
     /// actually asks for frozen paths.
     routeset: OnceLock<RouteSet>,
+    /// Virtual-channel discipline, when enabled via
+    /// [`System::with_vcs`].
+    vc: Option<VcState>,
 }
 
 impl System {
@@ -124,6 +162,7 @@ impl System {
             built,
             routes,
             routeset: OnceLock::new(),
+            vc: None,
         }
     }
 
@@ -161,6 +200,60 @@ impl System {
         Self::new(Built::Mesh(
             Mesh2D::new(cols, rows, 2, 6).expect("valid mesh"),
         ))
+    }
+
+    /// `cols × rows` torus with 2 nodes per 6-port router and minimal
+    /// X-then-Y routing. The wrap cables make the plain routing
+    /// deadlock-prone; see [`System::with_vcs`].
+    pub fn torus(cols: usize, rows: usize) -> Self {
+        Self::new(Built::Torus(
+            Torus2D::new(cols, rows, 2, 6).expect("valid torus"),
+        ))
+    }
+
+    /// Enables `vcs` virtual channels per physical channel under the
+    /// given ordering scheme. Panics if the scheme does not apply to
+    /// this topology: dateline needs wrap cables (ring/torus), e-cube
+    /// classes need dimension-ordered routing (mesh/hypercube).
+    pub fn with_vcs(mut self, vcs: u8, scheme: VcScheme) -> Self {
+        let vcs = vcs.max(1);
+        let map = match (&self.built, scheme) {
+            (Built::Ring(r), VcScheme::Dateline) => dateline_ring_map(r, vcs),
+            (Built::Torus(t), VcScheme::Dateline) => dateline_torus_map(t, vcs),
+            (Built::Mesh(m), VcScheme::Ecube) => ecube_mesh_map(m, vcs),
+            (Built::Hypercube(h), VcScheme::Ecube) => ecube_hypercube_map(h, vcs),
+            _ => panic!(
+                "VC scheme {scheme} does not apply to {}",
+                self.built.topo().name()
+            ),
+        };
+        self.vc = Some(VcState { vcs, scheme, map });
+        self
+    }
+
+    /// The installed virtual-channel configuration, if any.
+    pub fn vc(&self) -> Option<(u8, VcScheme)> {
+        self.vc.as_ref().map(|v| (v.vcs, v.scheme))
+    }
+
+    /// The installed VC-assignment map, if any — what
+    /// [`simulate`](System::simulate) attaches to the engine, exposed
+    /// so external harnesses (the dual-fabric chaos runner) can attach
+    /// the same discipline.
+    pub fn vc_map(&self) -> Option<&VcMap> {
+        self.vc.as_ref().map(|v| &v.map)
+    }
+
+    /// The Dally–Seitz verdict on the *extended* `(channel, vc)`
+    /// dependency graph, for systems with virtual channels enabled:
+    /// the physical-channel graph may be cyclic (that is the point)
+    /// while the extended graph is not. `None` without VCs.
+    pub fn vc_deadlock_free(&self) -> Option<bool> {
+        self.vc.as_ref().map(|v| {
+            v.map
+                .annotate(self.route_set())
+                .is_deadlock_free(self.net())
+        })
     }
 
     /// `(down, up)` fat tree over `nodes` end nodes with the Fig 6
@@ -225,9 +318,18 @@ impl System {
         })
     }
 
-    /// Topology name.
+    /// Topology name, including the VC discipline when one is
+    /// installed.
     pub fn name(&self) -> String {
-        self.built.topo().name()
+        match &self.vc {
+            Some(v) => format!(
+                "{} + {} VCs ({})",
+                self.built.topo().name(),
+                v.vcs,
+                v.scheme
+            ),
+            None => self.built.topo().name(),
+        }
     }
 
     /// Hardware inventory.
@@ -248,7 +350,11 @@ impl System {
             .map(|(k, _)| k)
             .unwrap_or(0);
         let bis = bisection_estimate(net, ends, 4);
-        let deadlock_free = verify_deadlock_free_tables(net, ends, &self.routes).is_ok();
+        // With VCs installed the physical-channel graph may be cyclic
+        // by design; the verdict that matters is the extended one.
+        let deadlock_free = self
+            .vc_deadlock_free()
+            .unwrap_or_else(|| verify_deadlock_free_tables(net, ends, &self.routes).is_ok());
         AnalysisReport {
             name: self.name(),
             nodes: self.end_nodes().len(),
@@ -271,10 +377,10 @@ impl System {
             Built::Hypercube(h) => Some(Discipline::ecube(h)),
             Built::FatTree(t) => Some(Discipline::fat_tree(t)),
             Built::Fractahedron(f) => Some(Discipline::fractahedral(f)),
-            // Rings, direct clusters, and binary trees have no phase
-            // discipline worth modeling (paths are 1–2 router hops or
-            // trivially tree-shaped).
-            Built::Ring(_) | Built::Cluster(_) | Built::BinaryTree(_) => None,
+            // Rings, tori, direct clusters, and binary trees have no
+            // phase discipline worth modeling here (tori and rings are
+            // checked through the extended VC graph instead).
+            Built::Ring(_) | Built::Torus(_) | Built::Cluster(_) | Built::BinaryTree(_) => None,
         }
     }
 
@@ -306,6 +412,10 @@ impl System {
         if let Some(k) = self.paper_contention_bound() {
             linter = linter.with_contention_bound(k);
         }
+        if let Some(v) = &self.vc {
+            let acyclic = self.vc_deadlock_free().expect("vc installed");
+            linter = linter.with_vc_ordering(v.vcs, v.scheme.to_string(), acyclic);
+        }
         linter.check_tables(&self.routes)
     }
 
@@ -321,6 +431,10 @@ impl System {
         }
         if let Some(k) = self.paper_contention_bound() {
             linter = linter.with_contention_bound(k);
+        }
+        if let Some(v) = &self.vc {
+            let acyclic = self.vc_deadlock_free().expect("vc installed");
+            linter = linter.with_vc_ordering(v.vcs, v.scheme.to_string(), acyclic);
         }
         linter.check_tables(&self.routes)
     }
@@ -343,7 +457,11 @@ impl System {
     /// hop-by-hop from the shared tables; no per-packet path is
     /// snapshotted.
     pub fn simulate(&self, workload: Workload, cfg: SimConfig) -> SimResult {
-        Engine::with_tables(self.net(), self.end_nodes(), self.shared_routes(), cfg).run(workload)
+        let mut eng = Engine::with_tables(self.net(), self.end_nodes(), self.shared_routes(), cfg);
+        if let Some(v) = &self.vc {
+            eng = eng.with_vc_map(v.map.clone());
+        }
+        eng.run(workload)
     }
 
     /// Simulates a workload with certified self-healing enabled: on
@@ -352,15 +470,18 @@ impl System {
     /// deadlock-free (Dally & Seitz), and installed mid-run as a new
     /// routing epoch.
     pub fn simulate_healing(&self, workload: Workload, cfg: SimConfig) -> SimResult {
-        Engine::with_tables(self.net(), self.end_nodes(), self.shared_routes(), cfg)
+        let mut eng = Engine::with_tables(self.net(), self.end_nodes(), self.shared_routes(), cfg)
             .with_table_repairer(fractanet_servernet::table_healing_repairer(
                 self.net(),
                 self.end_nodes(),
             ))
             // The heal path promises certified tables, so debug builds
             // re-lint every install.
-            .with_lint_on_install(self.end_nodes())
-            .run(workload)
+            .with_lint_on_install(self.end_nodes());
+        if let Some(v) = &self.vc {
+            eng = eng.with_vc_map(v.map.clone());
+        }
+        eng.run(workload)
     }
 }
 
@@ -413,6 +534,60 @@ mod tests {
         assert_eq!(report.worst_contention, 3);
         assert!(report.deadlock_free);
         assert_eq!(System::cluster(2).analyze().worst_contention, 5);
+    }
+
+    #[test]
+    fn torus_headline_numbers() {
+        let report = System::torus(4, 4).analyze();
+        assert_eq!(report.nodes, 32);
+        assert_eq!(report.routers, 16);
+        // Wraparound halves the worst-case distance vs the 4x4 mesh.
+        assert!(report.max_hops < System::mesh(4, 4).analyze().max_hops);
+        assert!(!report.deadlock_free, "plain torus XY routing cycles");
+    }
+
+    #[test]
+    fn vc_simulation_through_the_facade() {
+        let sys = System::torus(4, 4).with_vcs(2, VcScheme::Dateline);
+        assert_eq!(sys.vc(), Some((2, VcScheme::Dateline)));
+        assert_eq!(sys.vc_deadlock_free(), Some(true));
+        assert!(sys.name().contains("2 VCs (dateline)"));
+        let cfg = SimConfig::default()
+            .with_packet_flits(8)
+            .with_max_cycles(20_000);
+        let res = sys.simulate(
+            Workload::Bernoulli {
+                injection_rate: 0.1,
+                pattern: DstPattern::Uniform,
+                until_cycle: 2_000,
+            },
+            cfg,
+        );
+        assert!(res.deadlock.is_none());
+        assert!(res.delivered > 0);
+        assert!(res.credits.is_conserved());
+    }
+
+    /// Regression: `lint` on a VC-enabled system must judge the
+    /// *extended* (channel, vc) graph, not flag the physical cycles
+    /// the VC ordering exists to break.
+    #[test]
+    fn lint_respects_the_vc_ordering() {
+        let vc = System::torus(4, 4).with_vcs(2, VcScheme::Dateline);
+        let report = vc.lint();
+        assert!(
+            report.is_clean(),
+            "dateline torus must lint clean: {report}"
+        );
+        // The verdict is an explicit Info finding, not silence.
+        assert!(
+            report
+                .by_rule(fractanet_lint::RuleId::L3CdgCycles)
+                .any(|d| d.message.contains("extended (channel, vc)")),
+            "{report}"
+        );
+        // Without the ordering the same topology still fails L3.
+        assert!(!System::torus(4, 4).lint().is_clean());
     }
 
     #[test]

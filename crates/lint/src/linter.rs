@@ -61,6 +61,16 @@ pub struct Linter<'a> {
     max_cycle_steps: usize,
     suggest_disables: bool,
     exact: Option<ExactConfig>,
+    vc_ordering: Option<VcOrdering>,
+}
+
+/// An externally verified virtual-channel ordering (the linter has no
+/// VC model of its own — the caller annotates the routes over the
+/// extended `(channel, vc)` graph and reports the verdict here).
+struct VcOrdering {
+    vcs: u8,
+    scheme: String,
+    extended_acyclic: bool,
 }
 
 impl<'a> Linter<'a> {
@@ -78,6 +88,7 @@ impl<'a> Linter<'a> {
             max_cycle_steps: 100_000,
             suggest_disables: true,
             exact: None,
+            vc_ordering: None,
         }
     }
 
@@ -105,6 +116,27 @@ impl<'a> Linter<'a> {
     /// `k:1`). Without a bound L5 only reports the observed value.
     pub fn with_contention_bound(mut self, k: usize) -> Self {
         self.contention_bound = Some(k);
+        self
+    }
+
+    /// Declares a virtual-channel ordering over these routes, with the
+    /// caller's verdict on the extended `(channel, vc)` dependency
+    /// graph (Dally–Seitz). When the extended graph is acyclic,
+    /// physical-CDG cycles are the *intent* — minimal routes the VC
+    /// ordering makes safe — so L3 reports them informationally
+    /// instead of as errors. When it is not, L3 fails with the
+    /// extended verdict attached in addition to the physical cycles.
+    pub fn with_vc_ordering(
+        mut self,
+        vcs: u8,
+        scheme: impl Into<String>,
+        extended_acyclic: bool,
+    ) -> Self {
+        self.vc_ordering = Some(VcOrdering {
+            vcs,
+            scheme: scheme.into(),
+            extended_acyclic,
+        });
         self
     }
 
@@ -446,6 +478,33 @@ impl<'a> Linter<'a> {
         let cdg = ChannelDependencyGraph::from_paths(self.net, paths);
         if cdg.is_deadlock_free() {
             return;
+        }
+        // A verified VC ordering makes physical cycles intentional:
+        // the routes are minimal *because* the extended (channel, vc)
+        // graph — not the physical one — is what must be acyclic.
+        if let Some(vc) = &self.vc_ordering {
+            if vc.extended_acyclic {
+                out.push(Diagnostic::new(
+                    RuleId::L3CdgCycles,
+                    Severity::Info,
+                    format!(
+                        "physical channel-dependency cycles present by design: the \
+                         {}-VC {} ordering breaks them — extended (channel, vc) \
+                         dependency graph verified acyclic",
+                        vc.vcs, vc.scheme
+                    ),
+                ));
+                return;
+            }
+            out.push(Diagnostic::new(
+                RuleId::L3CdgCycles,
+                Severity::Error,
+                format!(
+                    "the {}-VC {} ordering does NOT break the physical cycles: \
+                     the extended (channel, vc) dependency graph is still cyclic",
+                    vc.vcs, vc.scheme
+                ),
+            ));
         }
         let (cycles, truncated) = cdg
             .graph()

@@ -10,7 +10,7 @@
 use crate::table::Routes;
 use fractanet_graph::PortId;
 use fractanet_topo::mesh::{PORT_EAST, PORT_NODE0, PORT_NORTH, PORT_SOUTH, PORT_WEST};
-use fractanet_topo::{Hypercube, Mesh2D, Topology};
+use fractanet_topo::{Hypercube, Mesh2D, Topology, Torus2D};
 
 /// X-then-Y dimension-order tables for a mesh.
 pub fn mesh_xy_routes(m: &Mesh2D) -> Routes {
@@ -46,6 +46,44 @@ pub fn mesh_yx_routes(m: &Mesh2D) -> Routes {
             PORT_EAST
         } else if x > dx {
             PORT_WEST
+        } else {
+            PortId(PORT_NODE0.0 + k as u8)
+        })
+    })
+}
+
+/// Minimal X-then-Y dimension-order tables for a 2-D torus. Each
+/// dimension takes the shorter way around (ties go east / north, the
+/// same tie-breaks as `fractanet_sim::dateline_torus_routes`, so table
+/// replay reproduces those paths hop for hop). The greedy choice is
+/// monotone along a path — once the minimal direction is picked at the
+/// source it stays minimal after every step — so destination-indexed
+/// tables and source-traced paths agree.
+///
+/// Note the wrap channels make this routing deadlock-*prone* on its
+/// own (the Fig 1 cycle in each dimension); pair it with a dateline
+/// virtual-channel discipline to break the cycles.
+pub fn torus_xy_routes(t: &Torus2D) -> Routes {
+    let (cols, rows) = (t.cols(), t.rows());
+    Routes::from_fn(t.net(), t.end_nodes().len(), |router, dst| {
+        let (x, y) = t.coords_of(router)?;
+        let (dx, dy, k) = t.end_coords(dst);
+        Some(if x != dx {
+            let east = (dx + cols - x) % cols;
+            let west = (x + cols - dx) % cols;
+            if east <= west {
+                PORT_EAST
+            } else {
+                PORT_WEST
+            }
+        } else if y != dy {
+            let north = (dy + rows - y) % rows;
+            let south = (y + rows - dy) % rows;
+            if north <= south {
+                PORT_NORTH
+            } else {
+                PORT_SOUTH
+            }
         } else {
             PortId(PORT_NODE0.0 + k as u8)
         })
@@ -124,6 +162,20 @@ mod tests {
         let m = Mesh2D::new(6, 6, 2, 6).unwrap();
         let rs = RouteSet::from_table(m.net(), m.end_nodes(), &mesh_xy_routes(&m)).unwrap();
         assert_eq!(rs.max_router_hops(), 11);
+    }
+
+    #[test]
+    fn torus_xy_is_minimal_and_wraps() {
+        let t = Torus2D::new(4, 3, 1, 6).unwrap();
+        let rs = RouteSet::from_table(t.net(), t.end_nodes(), &torus_xy_routes(&t)).unwrap();
+        for (s, d, p) in rs.pairs() {
+            let bfsh = bfs::router_hops(t.net(), t.end_nodes()[s], t.end_nodes()[d]).unwrap();
+            assert_eq!(p.len() as u32 - 1, bfsh, "{s}->{d} not minimal");
+        }
+        // (0,0) -> (3,0) wraps west in one link hop rather than
+        // walking three hops east: same route length as the direct
+        // neighbour (0,0) -> (1,0).
+        assert_eq!(rs.router_hops(0, 3), rs.router_hops(0, 1));
     }
 
     #[test]

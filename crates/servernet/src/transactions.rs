@@ -15,7 +15,7 @@ use crate::link::LinkSpec;
 use crate::packet::{segment_transfer, Packet, TransactionKind, MAX_PAYLOAD};
 use fractanet_graph::{ChannelId, Network, NodeId};
 use fractanet_route::RouteSet;
-use fractanet_sim::{Engine, SimConfig, SimResult, Workload};
+use fractanet_sim::{Engine, SimConfig, SimResult, VcMap, Workload};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -213,6 +213,10 @@ pub struct FabricSim<'a> {
     /// Install certified self-healing tables on permanent faults
     /// (see [`crate::healing`]).
     pub heal: bool,
+    /// Virtual-channel assignment discipline for this fabric's
+    /// routers, `None` for single-VC fabrics. Route-agnostic maps
+    /// (dateline, e-cube classes) stay valid across healed tables.
+    pub vc: Option<VcMap>,
 }
 
 /// Combined result of an X-fabric run with failover replay on Y.
@@ -259,7 +263,10 @@ impl FailoverOutcome {
 }
 
 fn run_fabric(f: &FabricSim<'_>, workload: Workload) -> SimResult {
-    let engine = Engine::new(f.net, f.routes, f.cfg.clone());
+    let mut engine = Engine::new(f.net, f.routes, f.cfg.clone());
+    if let Some(map) = &f.vc {
+        engine = engine.with_vc_map(map.clone());
+    }
     if f.heal {
         engine
             .with_repairer(healing_repairer(f.net, f.ends))
@@ -452,6 +459,7 @@ mod tests {
             ends: fx.end_nodes(),
             cfg: SimConfig::default(),
             heal: false,
+            vc: None,
         };
         let y = FabricSim {
             net: fy.net(),
@@ -459,6 +467,7 @@ mod tests {
             ends: fy.end_nodes(),
             cfg: SimConfig::default(),
             heal: false,
+            vc: None,
         };
         let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
         assert!(out.is_recovered());
@@ -492,6 +501,7 @@ mod tests {
             ends: fx.end_nodes(),
             cfg: cfg_x,
             heal: false,
+            vc: None,
         };
         let y = FabricSim {
             net: fy.net(),
@@ -499,6 +509,7 @@ mod tests {
             ends: fy.end_nodes(),
             cfg: SimConfig::default(),
             heal: false,
+            vc: None,
         };
         let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
         assert!(out.x.is_recovered(), "{:?}", out.x.recovery);
@@ -547,6 +558,7 @@ mod tests {
             ends: fx.end_nodes(),
             cfg: cfg_x,
             heal: true,
+            vc: None,
         };
         let y = FabricSim {
             net: fy.net(),
@@ -554,6 +566,7 @@ mod tests {
             ends: fy.end_nodes(),
             cfg: SimConfig::default(),
             heal: false,
+            vc: None,
         };
         let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
         assert!(out.is_recovered(), "{:?}", out.x.recovery);
@@ -615,6 +628,7 @@ mod tests {
             ends: fx.end_nodes(),
             cfg: cfg_x,
             heal: false,
+            vc: None,
         };
         let y = FabricSim {
             net: fy.net(),
@@ -622,6 +636,7 @@ mod tests {
             ends: fy.end_nodes(),
             cfg: SimConfig::default(),
             heal: false,
+            vc: None,
         };
         let out = run_with_failover(x, y, Workload::all_to_all_burst(8));
         // Exactly-once: every duplicate arrival was suppressed, none

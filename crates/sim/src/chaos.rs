@@ -180,6 +180,12 @@ pub struct Scenario {
     pub invariant: String,
     /// The minimal fault schedule reproducing the violation.
     pub faults: Vec<FaultEvent>,
+    /// Per-port input-FIFO depth override the campaign ran with
+    /// (`None` = the engine default). Serialized only when set, so
+    /// pre-credit scenario files parse unchanged.
+    pub fifo_depth: Option<u32>,
+    /// Credit round-trip delay the campaign ran with (0 = default).
+    pub credit_delay: u64,
 }
 
 /// Serializes one fault event as a JSON object — the shape shared by
@@ -219,13 +225,18 @@ impl Scenario {
         for f in &self.faults {
             arr.push_raw(&fault_to_json(f).build());
         }
-        JsonObject::new()
+        let mut o = JsonObject::new()
             .field_str("spec", &self.spec)
             .field_num("seed", self.seed)
             .field_num("schedule_seed", self.schedule_seed)
-            .field_str("invariant", &self.invariant)
-            .field_raw("faults", &arr.build())
-            .build()
+            .field_str("invariant", &self.invariant);
+        if let Some(d) = self.fifo_depth {
+            o = o.field_num("fifo_depth", d as u64);
+        }
+        if self.credit_delay != 0 {
+            o = o.field_num("credit_delay", self.credit_delay);
+        }
+        o.field_raw("faults", &arr.build()).build()
     }
 
     /// Parses the format [`to_json`](Scenario::to_json) writes, via
@@ -252,6 +263,8 @@ impl Scenario {
             schedule_seed,
             invariant,
             faults,
+            fifo_depth: get_num(obj, "fifo_depth").ok().map(|d| d as u32),
+            credit_delay: get_num(obj, "credit_delay").unwrap_or(0),
         })
     }
 }
@@ -371,12 +384,24 @@ mod tests {
             schedule_seed: 1337,
             invariant: Invariant::ExactlyOnce.tag().to_string(),
             faults: sample_schedule(&s, 11, 6),
+            fifo_depth: None,
+            credit_delay: 0,
         };
         let j = sc.to_json();
         let back = Scenario::from_json(&j).unwrap();
         assert_eq!(back, sc);
         // And the re-serialization is bit-identical.
         assert_eq!(back.to_json(), j);
+        // Router knobs serialize only when non-default, and survive.
+        let knobs = Scenario {
+            fifo_depth: Some(2),
+            credit_delay: 3,
+            ..sc.clone()
+        };
+        assert!(!j.contains("fifo_depth"));
+        let kj = knobs.to_json();
+        assert!(kj.contains("\"fifo_depth\":2"));
+        assert_eq!(Scenario::from_json(&kj).unwrap(), knobs);
     }
 
     #[test]
@@ -393,6 +418,8 @@ mod tests {
                 FaultEvent::corrupt_link(LinkId(0), 75, 40),
                 FaultEvent::brownout(LinkId(5), 16, 24, 50).transient(400),
             ],
+            fifo_depth: None,
+            credit_delay: 0,
         };
         let back = Scenario::from_json(&sc.to_json()).unwrap();
         assert_eq!(back, sc);

@@ -7,8 +7,21 @@ use fractanet_telemetry::{MetricsConfig, Telemetry};
 #[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Input-FIFO depth per channel, in flits (the ServerNet router's
-    /// per-port input buffer).
-    pub buffer_depth: u8,
+    /// per-port input buffer). [`SimConfig::INFINITE_DEPTH`] removes
+    /// the bound entirely — useful for isolating routing-level effects
+    /// from buffer-level backpressure.
+    pub buffer_depth: u32,
+    /// Credit round-trip delay in cycles. The downstream FIFO returns
+    /// one credit per departing flit; with delay `d` the upstream
+    /// arbiter sees that credit `d + 1` cycles after the flit leaves
+    /// (one cycle of forward latency is implicit in the commit
+    /// ordering). `0` — the default — reproduces the historical
+    /// instantaneous start-of-cycle space check bit-for-bit.
+    pub credit_delay: u64,
+    /// Virtual channels multiplexed over each physical channel. `1`
+    /// (the default) is plain wormhole; values above 1 require a VC
+    /// map installed via [`crate::engine::Engine::with_vc_map`].
+    pub vcs: u8,
     /// Flits per packet (a 64-byte ServerNet packet at one byte per
     /// flit cycle ≈ 16–64 flits; 16 keeps tests fast).
     pub packet_flits: u32,
@@ -59,6 +72,8 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             buffer_depth: 4,
+            credit_delay: 0,
+            vcs: 1,
             packet_flits: 16,
             max_cycles: 50_000,
             stall_threshold: 1_000,
@@ -76,9 +91,30 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
+    /// Sentinel FIFO depth meaning "unbounded buffers".
+    pub const INFINITE_DEPTH: u32 = u32::MAX;
+
     /// Builder-style buffer depth.
-    pub fn with_buffer_depth(mut self, depth: u8) -> Self {
+    pub fn with_buffer_depth(mut self, depth: u32) -> Self {
         self.buffer_depth = depth;
+        self
+    }
+
+    /// Builder-style unbounded input FIFOs.
+    pub fn with_infinite_buffers(mut self) -> Self {
+        self.buffer_depth = Self::INFINITE_DEPTH;
+        self
+    }
+
+    /// Builder-style credit round-trip delay.
+    pub fn with_credit_delay(mut self, cycles: u64) -> Self {
+        self.credit_delay = cycles;
+        self
+    }
+
+    /// Builder-style virtual-channel count. `0` is normalized to `1`.
+    pub fn with_vcs(mut self, vcs: u8) -> Self {
+        self.vcs = vcs.max(1);
         self
     }
 
@@ -169,6 +205,21 @@ mod tests {
         assert!(!c.ack_retransmit, "speculative retransmit is opt-in");
         assert!(c.dedup, "duplicate suppression is on by default");
         assert_eq!(c.threads, 1, "the serial oracle is the default");
+        assert_eq!(c.credit_delay, 0, "instantaneous credits by default");
+        assert_eq!(c.vcs, 1, "plain wormhole by default");
+    }
+
+    #[test]
+    fn vcs_builder_normalizes_zero() {
+        assert_eq!(SimConfig::default().with_vcs(0).vcs, 1);
+        assert_eq!(SimConfig::default().with_vcs(3).vcs, 3);
+    }
+
+    #[test]
+    fn infinite_depth_is_the_sentinel() {
+        let c = SimConfig::default().with_infinite_buffers();
+        assert_eq!(c.buffer_depth, SimConfig::INFINITE_DEPTH);
+        assert_eq!(SimConfig::default().with_credit_delay(3).credit_delay, 3);
     }
 
     #[test]

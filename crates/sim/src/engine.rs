@@ -1,13 +1,19 @@
 //! The cycle-driven wormhole engine.
 //!
-//! State is per-channel: each unidirectional channel has the input
-//! FIFO at its downstream end, an owner (the packet whose worm
-//! currently occupies it), and flit accounting. One flit moves per
-//! channel per cycle; heads allocate channels through round-robin
-//! output arbitration; tails release them. Flow control is
-//! conservative credit-based (arrivals check start-of-cycle space), so
-//! a packet chain drains one flit per cycle toward any ejector — which
-//! means a persistent all-idle network with traffic in flight is a
+//! State is per *virtual* channel: each unidirectional channel is
+//! multiplexed into `cfg.vcs` VCs (1 by default — plain wormhole),
+//! and each VC has the input FIFO at its downstream end, an owner
+//! (the packet whose worm currently occupies it), and flit
+//! accounting. One flit moves per channel per cycle; heads allocate
+//! channels through round-robin output arbitration; tails release
+//! them. Flow control is credit-based: the upstream arbiter holds one
+//! credit per downstream FIFO slot, spends a credit per flit sent,
+//! and regains it `credit_delay + 1` cycles after the flit departs
+//! downstream. At `credit_delay = 0` this is exactly the historical
+//! start-of-cycle space check (`credits = depth − occupancy` holds at
+//! every decision point), so the default configuration is
+//! bit-identical to the pre-credit engine; a persistent all-idle
+//! network with traffic in flight and no credits in flight is a
 //! genuine circular wait, and the wait-for graph confirms it.
 //!
 //! ## Live faults
@@ -34,8 +40,9 @@
 
 use crate::config::SimConfig;
 use crate::fault::FaultKind;
-use crate::stats::{DeadlockEvent, RecoveryStats, SimResult};
+use crate::stats::{CreditStats, DeadlockEvent, RecoveryStats, SimResult};
 use crate::traffic::Workload;
+use crate::vc::VcMap;
 use fractanet_deadlock::WaitGraph;
 use fractanet_graph::{ChannelId, LinkId, Network, NodeId};
 use fractanet_route::{RouteSet, Routes};
@@ -57,12 +64,14 @@ const GRAY_SEED_SALT: u64 = 0x6EA7_FA11;
 
 #[derive(Clone)]
 struct ChanState {
-    /// Packet whose worm occupies this channel, or `NO_PKT`.
+    /// Packet whose worm occupies this virtual channel, or `NO_PKT`.
     owner: u32,
     /// Flits of the owner that have entered (ever) since allocation.
     entered: u32,
-    /// Flits currently buffered at the downstream end.
-    occ: u8,
+    /// Flits currently buffered at the downstream end. `u32`: with
+    /// unbounded FIFOs a blocked worm can buffer its whole payload in
+    /// one channel.
+    occ: u32,
     /// Index of this channel in the owner's path.
     route_pos: u32,
 }
@@ -78,7 +87,7 @@ impl ChanState {
     }
     /// Flit index of the buffer head.
     fn front(&self) -> u32 {
-        self.entered - self.occ as u32
+        self.entered - self.occ
     }
 }
 
@@ -188,11 +197,35 @@ pub struct Engine<'a> {
     /// Addressable end-node count.
     n_addr: usize,
     cfg: SimConfig,
+    /// Per-virtual-channel state, indexed `vid = phys * vcs + vc`. At
+    /// `vcs == 1`, vid and physical channel index coincide.
     chans: Vec<ChanState>,
     packets: Vec<Packet>,
     queues: Vec<VecDeque<u32>>,
-    /// Round-robin pointer per channel: last granted upstream channel.
+    /// Round-robin pointer per virtual channel: last granted upstream.
     rr: Vec<u32>,
+    /// Virtual channels multiplexed over each physical channel.
+    vcs: usize,
+    /// Next-hop VC assignment, required when `vcs > 1`; absent, every
+    /// hop rides VC 0.
+    vcmap: Option<VcMap>,
+    /// Credits the upstream arbiter holds per virtual channel — the
+    /// downstream FIFO slots it may still fill. Maintains
+    /// `credits + occ + in-flight returns == buffer_depth`.
+    credits: Vec<u32>,
+    /// Credit returns in flight: `(due_cycle, vid)`, FIFO (pushes are
+    /// monotone in due cycle). Empty whenever `credit_delay == 0`.
+    pending_credits: VecDeque<(u64, u32)>,
+    credits_consumed: u64,
+    credits_returned: u64,
+    credit_stalls: u64,
+    /// One-flit-per-physical-wire claim stamps (`cycle + 1` = claimed
+    /// this cycle). Consulted only at `vcs > 1`: with a single VC the
+    /// per-wire candidate sets are disjoint by ownership.
+    wire_stamp: Vec<u64>,
+    /// Like `wire_stamp`, for the destination node's ingest port
+    /// (ejections of distinct VCs of one attach channel).
+    eject_stamp: Vec<u64>,
     busy: Vec<u64>,
     in_flight: usize,
     delivered: usize,
@@ -312,16 +345,28 @@ impl<'a> Engine<'a> {
         timeline.sort_by_key(|&(cycle, is_repair, _, _)| (cycle, is_repair));
         let tel = cfg.telemetry.recorder(nch);
         let met = cfg.metrics.recorder(net, n, cfg.retry.max_retries);
+        let vcs = cfg.vcs.max(1) as usize;
+        let nv = nch * vcs;
+        let depth = cfg.buffer_depth;
         Engine {
             net,
             epochs: vec![source],
             ends,
             n_addr: n,
             cfg,
-            chans: vec![ChanState::free(); nch],
+            chans: vec![ChanState::free(); nv],
             packets: Vec::new(),
             queues: vec![VecDeque::new(); n],
-            rr: vec![0; nch],
+            rr: vec![0; nv],
+            vcs,
+            vcmap: None,
+            credits: vec![depth; nv],
+            pending_credits: VecDeque::new(),
+            credits_consumed: 0,
+            credits_returned: 0,
+            credit_stalls: 0,
+            wire_stamp: vec![0; nch],
+            eject_stamp: vec![0; nch],
             busy: vec![0; nch],
             in_flight: 0,
             delivered: 0,
@@ -349,6 +394,39 @@ impl<'a> Engine<'a> {
             tel,
             met,
         }
+    }
+
+    /// Creates an engine that owns its dense path matrix — the
+    /// [`Engine::new`] flavor for callers that build routes on the fly
+    /// (e.g. the VC layer deriving physical paths from a VC route
+    /// set).
+    pub fn with_owned_routes(net: &'a Network, routes: RouteSet, cfg: SimConfig) -> Self {
+        let n = routes.len();
+        Self::build(net, RouteSource::DenseOwned(Box::new(routes)), None, n, cfg)
+    }
+
+    /// Installs a virtual-channel map: every physical channel is split
+    /// into `map.vcs()` VCs with their own FIFOs, owners and credits,
+    /// and each hop's VC is chosen by the map (Dally–Seitz ordering,
+    /// per-hop assignments, …). Overrides `cfg.vcs` and resizes the
+    /// per-VC state; call before [`Engine::run`].
+    pub fn with_vc_map(mut self, map: VcMap) -> Self {
+        let vcs = map.vcs().max(1);
+        self.cfg.vcs = vcs;
+        self.vcs = vcs as usize;
+        let nv = self.net.channel_count() * self.vcs;
+        self.chans = vec![ChanState::free(); nv];
+        self.rr = vec![0; nv];
+        self.credits = vec![self.cfg.buffer_depth; nv];
+        self.vcmap = Some(map);
+        self
+    }
+
+    /// Total input-FIFO slots the configuration provisions: one FIFO
+    /// of `buffer_depth` flits per virtual channel. The buffer-cost
+    /// axis of the VC-vs-turn-disable comparison.
+    pub fn total_buffer_slots(&self) -> usize {
+        self.chans.len() * self.cfg.buffer_depth as usize
     }
 
     /// Installs a self-healing hook: after each cycle that applies a
@@ -387,14 +465,49 @@ impl<'a> Engine<'a> {
         (self.epochs.len() - 1) as u32
     }
 
-    /// The packet's first channel: the path head for dense epochs, the
-    /// source end's attach channel for table epochs. Only called after
-    /// [`route_dead_or_missing`](Engine::route_dead_or_missing) has
-    /// cleared the route. (The implementation lives on the scan view so
-    /// the serial oracle and the sharded workers resolve hops through
-    /// the same code.)
-    fn first_hop(&self, p: &Packet) -> ChannelId {
-        self.scan_view().first_hop(p)
+    /// Physical channel of a virtual-channel index.
+    #[inline]
+    fn phys(&self, vid: u32) -> ChannelId {
+        ChannelId(vid / self.vcs as u32)
+    }
+
+    /// Spends one credit for a flit entering `vid`'s downstream FIFO.
+    #[inline]
+    fn consume_credit(&mut self, vid: u32) {
+        debug_assert!(self.credits[vid as usize] > 0, "credit double-spend");
+        self.credits[vid as usize] -= 1;
+        self.credits_consumed += 1;
+    }
+
+    /// Returns one credit for a flit leaving `vid`'s downstream FIFO
+    /// (or discarded by a teardown). Instantaneous at
+    /// `credit_delay == 0` — the historical space-check semantics —
+    /// otherwise the return travels upstream and lands `delay + 1`
+    /// cycles later.
+    #[inline]
+    fn return_credit(&mut self, vid: u32, cycle: u64) {
+        self.credits_returned += 1;
+        if self.cfg.credit_delay == 0 {
+            self.credits[vid as usize] += 1;
+        } else {
+            self.pending_credits
+                .push_back((cycle + 1 + self.cfg.credit_delay, vid));
+        }
+    }
+
+    /// Lands every in-flight credit return due by `cycle`; returns how
+    /// many landed (run-loop liveness: landing credits is progress).
+    fn drain_due_credits(&mut self, cycle: u64) -> usize {
+        let mut landed = 0;
+        while let Some(&(due, vid)) = self.pending_credits.front() {
+            if due > cycle {
+                break;
+            }
+            self.pending_credits.pop_front();
+            self.credits[vid as usize] += 1;
+            landed += 1;
+        }
+        landed
     }
 
     /// Resolves the next hop for a worm head occupying `ch` at route
@@ -448,6 +561,9 @@ impl<'a> Engine<'a> {
             self.apply_gray_failures(cycle);
             self.release_due_retries(cycle);
             self.fire_ack_timeouts(cycle);
+            // Credit returns that finished their upstream trip become
+            // visible to this cycle's decisions. No-op at delay 0.
+            self.drain_due_credits(cycle);
 
             // 1. Traffic.
             for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
@@ -511,9 +627,12 @@ impl<'a> Engine<'a> {
                 break;
             }
             if moves == 0 && !drained {
-                if self.in_flight == 0 && queues_empty {
-                    // Nothing in the fabric: we are only waiting out
-                    // retry backoff timers, not stalled.
+                if (self.in_flight == 0 && queues_empty) || !self.pending_credits.is_empty() {
+                    // Nothing in the fabric (waiting out retry backoff
+                    // timers), or credits still in flight whose landing
+                    // may unblock a worm — neither is a stall. The
+                    // latter delays a true-deadlock verdict by at most
+                    // `credit_delay` cycles.
                     idle_cycles = 0;
                 } else {
                     idle_cycles += 1;
@@ -647,7 +766,8 @@ impl<'a> Engine<'a> {
             if st.owner == NO_PKT || st.occ == 0 {
                 continue;
             }
-            let link = ChannelId(idx as u32).link().index();
+            let phys = self.phys(idx as u32);
+            let link = phys.link().index();
             let dpm = self.flaky_pm[link] as u32;
             let cpm = self.corrupt_pm[link] as u32;
             if dpm == 0 && cpm == 0 {
@@ -667,7 +787,7 @@ impl<'a> Engine<'a> {
                 self.packets[owner as usize].corrupted = true;
                 self.rec.corrupted_worms += 1;
                 if let Some(t) = self.tel.as_mut() {
-                    t.corrupted(cycle, owner, ChannelId(idx as u32));
+                    t.corrupted(cycle, owner, phys);
                 }
             }
         }
@@ -702,12 +822,12 @@ impl<'a> Engine<'a> {
             if st.owner == NO_PKT {
                 continue;
             }
-            let ch = ChannelId(idx as u32);
+            let ch = self.phys(idx as u32);
             let h = heads.entry(st.owner).or_insert((st.route_pos, ch));
             if st.route_pos > h.0 {
                 *h = (st.route_pos, ch);
             }
-            if self.chan_dead[idx] {
+            if self.chan_dead[ch.index()] {
                 hit.insert(st.owner);
             }
         }
@@ -723,13 +843,22 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Tears one worm down: channels released, flits discarded, then
-    /// the loss handed to [`retire_or_retry`](Engine::retire_or_retry).
+    /// Tears one worm down: channels released, flits discarded (their
+    /// credits refunded — teardown must not leak FIFO slots), then the
+    /// loss handed to [`retire_or_retry`](Engine::retire_or_retry).
     fn teardown_one(&mut self, pid: u32, cycle: u64, drained: bool) {
-        for st in &mut self.chans {
-            if st.owner == pid {
-                *st = ChanState::free();
+        for vid in 0..self.chans.len() as u32 {
+            let (owner, occ) = {
+                let st = &self.chans[vid as usize];
+                (st.owner, st.occ)
+            };
+            if owner != pid {
+                continue;
             }
+            for _ in 0..occ {
+                self.return_credit(vid, cycle);
+            }
+            self.chans[vid as usize] = ChanState::free();
         }
         let (src, still_injecting) = {
             let p = &mut self.packets[pid as usize];
@@ -1026,50 +1155,67 @@ impl<'a> Engine<'a> {
     /// Executes one cycle of flit movement; returns how many flits
     /// moved.
     fn step(&mut self, cycle: u64) -> usize {
-        let b = self.cfg.buffer_depth;
-        let nch = self.chans.len();
+        let nv = self.chans.len();
         let tel_on = self.tel.is_some();
         // Telemetry scratch: every transfer that wants to push a flit
-        // into a channel this cycle, as (channel, src, dst) — the raw
-        // material for the per-cycle empirical contention matching.
+        // into a channel this cycle, as (physical channel, src, dst) —
+        // the raw material for the per-cycle empirical contention
+        // matching.
         let mut contenders: Vec<(u32, u32, u32)> = Vec::new();
-        // Decisions on start-of-cycle state.
+        // Decisions on start-of-cycle state, all in vid terms.
         let mut ejects: Vec<u32> = Vec::new();
-        let mut body_moves: Vec<(u32, ChannelId)> = Vec::new(); // (from, next)
-                                                                // Allocation requests grouped per target channel.
-        let mut alloc_reqs: Vec<(u32, u32)> = Vec::new(); // (target, from)
-        for ch in 0..nch as u32 {
-            let st = &self.chans[ch as usize];
+        let mut body_moves: Vec<(u32, u32)> = Vec::new(); // (from vid, next vid)
+        let mut alloc_reqs: Vec<(u32, u32)> = Vec::new(); // (target vid, from vid)
+        let mut credit_stalls = 0u64;
+        for vid in 0..nv as u32 {
+            let st = &self.chans[vid as usize];
             if st.occ == 0 {
                 continue;
             }
             let p = &self.packets[st.owner as usize];
-            let next = match self.next_hop(p, ChannelId(ch), st.route_pos) {
+            let next = match self.next_hop(p, self.phys(vid), st.route_pos) {
                 NextHop::Eject => {
-                    ejects.push(ch);
+                    ejects.push(vid);
                     continue;
                 }
                 NextHop::Channel(next) => next,
             };
-            let nst = &self.chans[next.index()];
+            let nvid = self.scan_view().vid_of(p, st.route_pos + 1, vid, next);
+            let nst = &self.chans[nvid as usize];
             if st.front() == 0 {
                 if tel_on {
                     contenders.push((next.0, p.src, p.dst));
                 }
-                if nst.owner == NO_PKT && nst.occ < b {
-                    alloc_reqs.push((next.0, ch));
-                } else if let Some(t) = self.tel.as_mut() {
-                    t.blocked(cycle, st.owner, next);
+                if nst.owner == NO_PKT && self.credits[nvid as usize] > 0 {
+                    alloc_reqs.push((nvid, vid));
+                } else {
+                    let owner = st.owner;
+                    if nst.owner == NO_PKT {
+                        // The VC is free; credits are the binding
+                        // constraint.
+                        credit_stalls += 1;
+                        if let Some(t) = self.tel.as_mut() {
+                            t.credit_stalled(next);
+                        }
+                    }
+                    if let Some(t) = self.tel.as_mut() {
+                        t.blocked(cycle, owner, next);
+                    }
                 }
             } else {
                 debug_assert_eq!(nst.owner, st.owner, "body flit lost its worm");
                 if tel_on {
                     contenders.push((next.0, p.src, p.dst));
                 }
-                if nst.occ < b {
-                    body_moves.push((ch, next));
-                } else if let Some(t) = self.tel.as_mut() {
-                    t.blocked(cycle, st.owner, next);
+                if self.credits[nvid as usize] > 0 {
+                    body_moves.push((vid, nvid));
+                } else {
+                    let owner = st.owner;
+                    credit_stalls += 1;
+                    if let Some(t) = self.tel.as_mut() {
+                        t.credit_stalled(next);
+                        t.blocked(cycle, owner, next);
+                    }
                 }
             }
         }
@@ -1103,27 +1249,42 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 let p = &self.packets[pid as usize];
-                let c0 = self.first_hop(p);
-                let st = &self.chans[c0.index()];
+                let (c0, v0) = self.scan_view().first_vid(p);
+                let st = &self.chans[v0 as usize];
                 if tel_on {
                     contenders.push((c0.0, p.src, p.dst));
                 }
-                let ok = if p.sent == 0 {
-                    st.owner == NO_PKT && st.occ < b
+                let free = self.credits[v0 as usize] > 0;
+                let (ok, stall) = if p.sent == 0 {
+                    (st.owner == NO_PKT && free, st.owner == NO_PKT && !free)
                 } else {
-                    st.occ < b
+                    (free, !free)
                 };
                 if ok {
                     injections.push(s);
-                } else if let Some(t) = self.tel.as_mut() {
-                    t.blocked(cycle, pid, c0);
+                } else {
+                    if stall {
+                        credit_stalls += 1;
+                        if let Some(t) = self.tel.as_mut() {
+                            t.credit_stalled(c0);
+                        }
+                    }
+                    if let Some(t) = self.tel.as_mut() {
+                        t.blocked(cycle, pid, c0);
+                    }
                 }
                 break;
             }
         }
 
         self.commit_step(
-            cycle, alloc_reqs, contenders, ejects, body_moves, injections,
+            cycle,
+            alloc_reqs,
+            contenders,
+            ejects,
+            body_moves,
+            injections,
+            credit_stalls,
         )
     }
 
@@ -1134,16 +1295,46 @@ impl<'a> Engine<'a> {
     /// (ejections, body transfers, grants, injections). Everything that
     /// mutates packets, channels, RNG streams, or the recorder runs
     /// here, on one thread, in canonical order.
+    #[allow(clippy::too_many_arguments)]
     fn commit_step(
         &mut self,
         cycle: u64,
         mut alloc_reqs: Vec<(u32, u32)>,
         mut contenders: Vec<(u32, u32, u32)>,
         ejects: Vec<u32>,
-        body_moves: Vec<(u32, ChannelId)>,
+        mut body_moves: Vec<(u32, u32)>,
         injections: Vec<usize>,
+        credit_stalls: u64,
     ) -> usize {
-        // Round-robin arbitration per allocation target.
+        let vcs = self.vcs as u32;
+        self.credit_stalls += credit_stalls;
+        if credit_stalls > 0 {
+            if let Some(m) = self.met.as_mut() {
+                m.credit_stalled(credit_stalls);
+            }
+        }
+        // Physical-wire arbitration (vcs > 1 only): VCs multiplex one
+        // physical link, which carries at most one flit per cycle. Body
+        // transfers claim wires first, in vid order; head allocations
+        // compete for what is left. Injection channels are exempt —
+        // each end node writes only its own attach channel and injects
+        // at most one flit per cycle, so they are single-writer at any
+        // VC count. At vcs == 1 channel ownership already serializes
+        // every writer, so no stamp is ever consulted and the schedule
+        // is bit-identical to the pre-credit engine.
+        if vcs > 1 {
+            let stamp = cycle + 1;
+            body_moves.retain(|&(_, nvid)| {
+                let w = (nvid / vcs) as usize;
+                if self.wire_stamp[w] == stamp {
+                    false // a sibling VC won the wire; stay buffered
+                } else {
+                    self.wire_stamp[w] = stamp;
+                    true
+                }
+            });
+        }
+        // Round-robin arbitration per allocation target VC.
         alloc_reqs.sort_unstable();
         let mut grants: Vec<(u32, u32)> = Vec::new(); // (target, from)
         let mut i = 0;
@@ -1154,6 +1345,13 @@ impl<'a> Engine<'a> {
                 j += 1;
             }
             let group = &alloc_reqs[i..j];
+            if vcs > 1 && self.wire_stamp[(target / vcs) as usize] == cycle + 1 {
+                // The physical wire under this VC is taken this cycle.
+                // The whole group stalls and the round-robin pointer
+                // holds, so the would-be winner keeps its priority.
+                i = j;
+                continue;
+            }
             let last = self.rr[target as usize];
             let granted = group
                 .iter()
@@ -1161,6 +1359,9 @@ impl<'a> Engine<'a> {
                 .find(|&from| from > last)
                 .unwrap_or(group[0].1);
             self.rr[target as usize] = granted;
+            if vcs > 1 {
+                self.wire_stamp[(target / vcs) as usize] = cycle + 1;
+            }
             grants.push((target, granted));
             i = j;
         }
@@ -1174,7 +1375,11 @@ impl<'a> Engine<'a> {
             for &(target, from) in &alloc_reqs {
                 let won = grants.iter().any(|&(gt, gf)| gt == target && gf == from);
                 if !won {
-                    t.blocked(cycle, self.chans[from as usize].owner, ChannelId(target));
+                    t.blocked(
+                        cycle,
+                        self.chans[from as usize].owner,
+                        ChannelId(target / vcs),
+                    );
                 }
             }
             contenders.sort_unstable();
@@ -1192,17 +1397,31 @@ impl<'a> Engine<'a> {
         }
 
         let mut moves = 0usize;
-        // Apply ejections.
-        for ch in ejects {
+        // Apply ejections. At vcs > 1 two VCs of the same attach
+        // channel can both present a deliverable flit; the destination
+        // node ingests one flit per attach port per cycle, so the
+        // eject stamp dedupes in vid order and the loser stays
+        // buffered for next cycle. (The ingest port is a distinct
+        // resource from the physical wire: the flit being ejected is
+        // already buffered at the destination-side FIFO.)
+        for vid in ejects {
+            if vcs > 1 {
+                let w = (vid / vcs) as usize;
+                if self.eject_stamp[w] == cycle + 1 {
+                    continue;
+                }
+                self.eject_stamp[w] = cycle + 1;
+            }
             moves += 1;
             let (owner, flit) = {
-                let st = &mut self.chans[ch as usize];
+                let st = &mut self.chans[vid as usize];
                 let flit = st.front();
                 st.occ -= 1;
                 (st.owner, flit)
             };
+            self.return_credit(vid, cycle);
             if let Some(t) = self.tel.as_mut() {
-                t.flit_forwarded(ChannelId(ch));
+                t.flit_forwarded(ChannelId(vid / vcs));
             }
             let done = {
                 let p = &self.packets[owner as usize];
@@ -1212,7 +1431,7 @@ impl<'a> Engine<'a> {
                 self.delivered_flits_measured += 1;
             }
             if done {
-                self.chans[ch as usize].owner = NO_PKT;
+                self.chans[vid as usize].owner = NO_PKT;
                 self.in_flight -= 1;
                 let (logical, corrupted, src, dst, created, injected) = {
                     let p = &mut self.packets[owner as usize];
@@ -1275,27 +1494,31 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Apply body transfers.
-        for (ch, next) in body_moves {
+        // Apply body transfers. The departing flit frees a slot in
+        // `from`'s FIFO (credit returned upstream) and consumes one of
+        // `nvid`'s credits on arrival.
+        for (from, nvid) in body_moves {
             moves += 1;
             let (owner, flit) = {
-                let st = &mut self.chans[ch as usize];
+                let st = &mut self.chans[from as usize];
                 let flit = st.front();
                 st.occ -= 1;
                 (st.owner, flit)
             };
+            self.return_credit(from, cycle);
             let p = &self.packets[owner as usize];
             if flit == p.len - 1 {
-                self.chans[ch as usize].owner = NO_PKT;
+                self.chans[from as usize].owner = NO_PKT;
             }
-            let nst = &mut self.chans[next.index()];
+            self.consume_credit(nvid);
+            let nst = &mut self.chans[nvid as usize];
             nst.entered += 1;
             nst.occ += 1;
             let depth = nst.occ;
-            self.busy[next.index()] += 1;
+            self.busy[(nvid / vcs) as usize] += 1;
             if let Some(t) = self.tel.as_mut() {
-                t.flit_forwarded(ChannelId(ch));
-                t.observe_depth(next, depth);
+                t.flit_forwarded(ChannelId(from / vcs));
+                t.observe_depth(ChannelId(nvid / vcs), depth);
             }
         }
         // Apply granted head allocations.
@@ -1308,28 +1531,36 @@ impl<'a> Engine<'a> {
                 (st.owner, flit, st.route_pos)
             };
             debug_assert_eq!(flit, 0, "allocation moves the head flit");
+            self.return_credit(from, cycle);
             let p = &self.packets[owner as usize];
             if flit == p.len - 1 {
                 // Single-flit packet: head is also tail.
                 self.chans[from as usize].owner = NO_PKT;
             }
+            self.consume_credit(target);
             let nst = &mut self.chans[target as usize];
             nst.owner = owner;
             nst.entered = 1;
             nst.occ = 1;
             nst.route_pos = pos + 1;
-            self.busy[target as usize] += 1;
+            self.busy[(target / vcs) as usize] += 1;
             if let Some(t) = self.tel.as_mut() {
-                t.flit_forwarded(ChannelId(from));
-                t.head_advanced(cycle, owner, ChannelId(target));
-                t.observe_depth(ChannelId(target), 1);
+                t.flit_forwarded(ChannelId(from / vcs));
+                t.head_advanced(cycle, owner, ChannelId(target / vcs));
+                if vcs > 1 {
+                    t.vc_allocated(cycle, owner, ChannelId(target / vcs), (target % vcs) as u8);
+                }
+                t.observe_depth(ChannelId(target / vcs), 1);
             }
         }
         // Apply injections.
         for s in injections {
             moves += 1;
             let pid = *self.queues[s].front().expect("checked above");
-            let c0 = self.first_hop(&self.packets[pid as usize]);
+            let (c0, v0) = {
+                let p = &self.packets[pid as usize];
+                self.scan_view().first_vid(p)
+            };
             let (sent_after, len, src, dst, attempts, original) = {
                 let p = &mut self.packets[pid as usize];
                 p.sent += 1;
@@ -1339,7 +1570,8 @@ impl<'a> Engine<'a> {
                 }
                 (p.sent, p.len, p.src, p.dst, p.attempts, p.logical == pid)
             };
-            let st = &mut self.chans[c0.index()];
+            self.consume_credit(v0);
+            let st = &mut self.chans[v0 as usize];
             if sent_after == 1 {
                 st.owner = pid;
                 st.entered = 0;
@@ -1373,19 +1605,32 @@ impl<'a> Engine<'a> {
     }
 
     fn diagnose_deadlock(&self, cycle: u64) -> DeadlockEvent {
+        // The wait graph is built over VCs (vids): at vcs > 1 two worms
+        // can hold different VCs of the same physical channel, and only
+        // the per-VC graph distinguishes a dateline-broken cycle from a
+        // real one. The reported cycle channels are mapped back to
+        // physical ids (an identity at vcs == 1) without deduplication.
         let mut wg = WaitGraph::new(self.chans.len());
         for (idx, st) in self.chans.iter().enumerate() {
             if st.occ == 0 || st.owner == NO_PKT {
                 continue;
             }
+            let vid = idx as u32;
             let p = &self.packets[st.owner as usize];
-            if let NextHop::Channel(next) = self.next_hop(p, ChannelId(idx as u32), st.route_pos) {
-                wg.add_wait(ChannelId(idx as u32), next);
+            if let NextHop::Channel(next) = self.next_hop(p, self.phys(vid), st.route_pos) {
+                let nvid = self.scan_view().vid_of(p, st.route_pos + 1, vid, next);
+                wg.add_wait(ChannelId(vid), ChannelId(nvid));
             }
         }
+        let vcs = self.vcs as u32;
         DeadlockEvent {
             cycle,
-            cycle_channels: wg.find_deadlock().unwrap_or_default(),
+            cycle_channels: wg
+                .find_deadlock()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|c| ChannelId(c.0 / vcs))
+                .collect(),
             stuck_packets: self.in_flight,
         }
     }
@@ -1424,6 +1669,11 @@ impl<'a> Engine<'a> {
             channel_busy: self.busy,
             deadlock,
             recovery: self.rec,
+            credits: CreditStats {
+                consumed: self.credits_consumed,
+                returned: self.credits_returned,
+                stalls: self.credit_stalls,
+            },
             telemetry,
             metrics,
         }
@@ -1627,7 +1877,7 @@ mod tests {
     fn deep_buffers_do_not_change_delivery() {
         let (r, rs) = ring4();
         let mut delivered = Vec::new();
-        for depth in [1u8, 4, 16] {
+        for depth in [1u32, 4, 16] {
             let cfg = SimConfig {
                 packet_flits: 8,
                 buffer_depth: depth,

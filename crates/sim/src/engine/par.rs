@@ -30,6 +30,7 @@
 //!    the oracle's emission order.
 
 use super::{ChanState, Engine, NextHop, Packet, RouteSource, NO_PKT};
+use crate::vc::VcMap;
 use fractanet_graph::{ChannelId, Network, NodeId};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -52,7 +53,9 @@ pub(super) struct ScanView<'e, 'a> {
     pub(super) packets: &'e [Packet],
     pub(super) queues: &'e [VecDeque<u32>],
     pub(super) chan_dead: &'e [bool],
-    pub(super) buffer_depth: u8,
+    pub(super) credits: &'e [u32],
+    pub(super) vcs: u32,
+    pub(super) vcmap: Option<&'e VcMap>,
     pub(super) dedup: bool,
     pub(super) tel_on: bool,
 }
@@ -108,6 +111,41 @@ impl ScanView<'_, '_> {
             .channel_out(v, port)
             .expect("in-flight worm's table entry resolves to a channel");
         NextHop::Channel(next)
+    }
+
+    /// Resolves the virtual-channel slot (vid) a transfer into physical
+    /// channel `next` lands in. Channel state, credits, and the
+    /// round-robin pointers are all indexed by vid = `phys * vcs + vc`;
+    /// with one VC (or no map installed) this degenerates to the
+    /// physical channel index times `vcs`, preserving the legacy
+    /// engine's indexing exactly at `vcs == 1`. `cur_vid` is the vid
+    /// the worm head currently occupies; `next_pos` its route position
+    /// after the move (path index of `next`).
+    #[inline]
+    pub(super) fn vid_of(&self, p: &Packet, next_pos: u32, cur_vid: u32, next: ChannelId) -> u32 {
+        match self.vcmap {
+            None => next.0 * self.vcs,
+            Some(map) => {
+                let cur_vc = (cur_vid % self.vcs) as u8;
+                let cur = ChannelId(cur_vid / self.vcs);
+                let vc = map.vc_for(p.src, p.dst, next_pos, cur_vc, Some(cur), next);
+                next.0 * self.vcs + u32::from(vc)
+            }
+        }
+    }
+
+    /// The first physical hop and its vid for a packet about to inject
+    /// (route position 0, no current channel, VC 0 discipline seed).
+    #[inline]
+    pub(super) fn first_vid(&self, p: &Packet) -> (ChannelId, u32) {
+        let c0 = self.first_hop(p);
+        match self.vcmap {
+            None => (c0, c0.0 * self.vcs),
+            Some(map) => {
+                let vc = map.vc_for(p.src, p.dst, 0, 0, None, c0);
+                (c0, c0.0 * self.vcs + u32::from(vc))
+            }
+        }
     }
 
     /// Whether the packet's route under its epoch is unusable: absent
@@ -183,20 +221,25 @@ impl ScanView<'_, '_> {
 /// `Recorder::blocked` calls deferred as records.
 pub(super) struct ChannelScan {
     ejects: Vec<u32>,
-    body_moves: Vec<(u32, ChannelId)>,
+    body_moves: Vec<(u32, u32)>,
     alloc_reqs: Vec<(u32, u32)>,
     contenders: Vec<(u32, u32, u32)>,
-    /// Deferred `blocked(owner, wanted)` telemetry, in channel order.
-    blocked: Vec<(u32, ChannelId)>,
+    /// Deferred `blocked(owner, wanted, credit_stall)` telemetry, in
+    /// vid order; the flag replays the `credit_stalled` counter bump
+    /// that precedes the `blocked` record in the oracle.
+    blocked: Vec<(u32, ChannelId, bool)>,
+    /// Credit-bound stalls seen by this shard — counted even with
+    /// telemetry off, like the oracle's engine-level ledger.
+    credit_stalls: u64,
 }
 
 /// One source's injection plan: queue-front entries to pop (and
 /// whether each pop owes a retry booking), plus the surviving head's
-/// verdict `(pid, first channel, ok to inject)`.
+/// verdict `(pid, first channel, ok to inject, credit stall)`.
 pub(super) struct SourcePlan {
     src: u32,
     pops: Vec<(u32, bool)>,
-    head: Option<(u32, ChannelId, bool)>,
+    head: Option<(u32, ChannelId, bool, bool)>,
 }
 
 /// Contiguous shard `i` of `0..n` split `shards` ways.
@@ -214,47 +257,57 @@ pub(crate) fn effective_shards(threads: usize, nch: usize) -> usize {
 /// The oracle's forwarding scan over one channel range, decisions
 /// recorded instead of telemetry emitted.
 fn scan_channels(view: &ScanView<'_, '_>, range: Range<usize>) -> ChannelScan {
-    let b = view.buffer_depth;
     let mut out = ChannelScan {
         ejects: Vec::new(),
         body_moves: Vec::new(),
         alloc_reqs: Vec::new(),
         contenders: Vec::new(),
         blocked: Vec::new(),
+        credit_stalls: 0,
     };
-    for ch in range {
-        let ch = ch as u32;
-        let st = &view.chans[ch as usize];
+    for vid in range {
+        let vid = vid as u32;
+        let st = &view.chans[vid as usize];
         if st.occ == 0 {
             continue;
         }
         let p = &view.packets[st.owner as usize];
-        let next = match view.next_hop(p, ChannelId(ch), st.route_pos) {
+        let next = match view.next_hop(p, ChannelId(vid / view.vcs), st.route_pos) {
             NextHop::Eject => {
-                out.ejects.push(ch);
+                out.ejects.push(vid);
                 continue;
             }
             NextHop::Channel(next) => next,
         };
-        let nst = &view.chans[next.index()];
+        let nvid = view.vid_of(p, st.route_pos + 1, vid, next);
+        let nst = &view.chans[nvid as usize];
         if st.front() == 0 {
             if view.tel_on {
                 out.contenders.push((next.0, p.src, p.dst));
             }
-            if nst.owner == NO_PKT && nst.occ < b {
-                out.alloc_reqs.push((next.0, ch));
-            } else if view.tel_on {
-                out.blocked.push((st.owner, next));
+            if nst.owner == NO_PKT && view.credits[nvid as usize] > 0 {
+                out.alloc_reqs.push((nvid, vid));
+            } else {
+                let stall = nst.owner == NO_PKT;
+                if stall {
+                    out.credit_stalls += 1;
+                }
+                if view.tel_on {
+                    out.blocked.push((st.owner, next, stall));
+                }
             }
         } else {
             debug_assert_eq!(nst.owner, st.owner, "body flit lost its worm");
             if view.tel_on {
                 out.contenders.push((next.0, p.src, p.dst));
             }
-            if nst.occ < b {
-                out.body_moves.push((ch, next));
-            } else if view.tel_on {
-                out.blocked.push((st.owner, next));
+            if view.credits[nvid as usize] > 0 {
+                out.body_moves.push((vid, nvid));
+            } else {
+                out.credit_stalls += 1;
+                if view.tel_on {
+                    out.blocked.push((st.owner, next, true));
+                }
             }
         }
     }
@@ -268,7 +321,6 @@ fn scan_channels(view: &ScanView<'_, '_>, range: Range<usize>) -> ChannelScan {
 /// counters and future-cycle heaps — so the plans replay serially with
 /// identical verdicts.
 fn scan_sources(view: &ScanView<'_, '_>, range: Range<usize>) -> Vec<SourcePlan> {
-    let b = view.buffer_depth;
     let mut plans = Vec::new();
     for s in range {
         let mut pops: Vec<(u32, bool)> = Vec::new();
@@ -288,14 +340,15 @@ fn scan_sources(view: &ScanView<'_, '_>, range: Range<usize>) -> Vec<SourcePlan>
                 pops.push((pid, true));
                 continue;
             }
-            let c0 = view.first_hop(p);
-            let st = &view.chans[c0.index()];
-            let ok = if p.sent == 0 {
-                st.owner == NO_PKT && st.occ < b
+            let (c0, v0) = view.first_vid(p);
+            let st = &view.chans[v0 as usize];
+            let free = view.credits[v0 as usize] > 0;
+            let (ok, stall) = if p.sent == 0 {
+                (st.owner == NO_PKT && free, st.owner == NO_PKT && !free)
             } else {
-                st.occ < b
+                (free, !free)
             };
-            head = Some((pid, c0, ok));
+            head = Some((pid, c0, ok, stall));
             break;
         }
         if !pops.is_empty() || head.is_some() {
@@ -320,7 +373,9 @@ impl<'a> Engine<'a> {
             packets: &self.packets,
             queues: &self.queues,
             chan_dead: &self.chan_dead,
-            buffer_depth: self.cfg.buffer_depth,
+            credits: &self.credits,
+            vcs: self.vcs as u32,
+            vcmap: self.vcmap.as_ref(),
             dedup: self.cfg.dedup,
             tel_on: self.tel.is_some(),
         }
@@ -363,15 +418,20 @@ impl<'a> Engine<'a> {
         // scan-phase `blocked` before any injection-phase event.
         let mut contenders: Vec<(u32, u32, u32)> = Vec::new();
         let mut ejects: Vec<u32> = Vec::new();
-        let mut body_moves: Vec<(u32, ChannelId)> = Vec::new();
+        let mut body_moves: Vec<(u32, u32)> = Vec::new();
         let mut alloc_reqs: Vec<(u32, u32)> = Vec::new();
         let mut plans: Vec<SourcePlan> = Vec::new();
+        let mut credit_stalls = 0u64;
         for (scan, mut shard_plans) in parts {
             if let Some(t) = self.tel.as_mut() {
-                for &(owner, wanted) in &scan.blocked {
+                for &(owner, wanted, stall) in &scan.blocked {
+                    if stall {
+                        t.credit_stalled(wanted);
+                    }
                     t.blocked(cycle, owner, wanted);
                 }
             }
+            credit_stalls += scan.credit_stalls;
             contenders.extend(scan.contenders);
             ejects.extend(scan.ejects);
             body_moves.extend(scan.body_moves);
@@ -392,21 +452,35 @@ impl<'a> Engine<'a> {
                     self.retire_or_retry(pid, cycle, false);
                 }
             }
-            if let Some((pid, c0, ok)) = plan.head {
+            if let Some((pid, c0, ok, stall)) = plan.head {
                 if self.tel.is_some() {
                     let p = &self.packets[pid as usize];
                     contenders.push((c0.0, p.src, p.dst));
                 }
                 if ok {
                     injections.push(s);
-                } else if let Some(t) = self.tel.as_mut() {
-                    t.blocked(cycle, pid, c0);
+                } else {
+                    if stall {
+                        credit_stalls += 1;
+                        if let Some(t) = self.tel.as_mut() {
+                            t.credit_stalled(c0);
+                        }
+                    }
+                    if let Some(t) = self.tel.as_mut() {
+                        t.blocked(cycle, pid, c0);
+                    }
                 }
             }
         }
 
         self.commit_step(
-            cycle, alloc_reqs, contenders, ejects, body_moves, injections,
+            cycle,
+            alloc_reqs,
+            contenders,
+            ejects,
+            body_moves,
+            injections,
+            credit_stalls,
         )
     }
 }

@@ -54,8 +54,11 @@ pub use fractanet_telemetry::{
     TraceEvent,
 };
 pub use pool::parallel_map;
-pub use stats::{DeadlockEvent, RecoveryStats, SimResult};
+pub use stats::{CreditStats, DeadlockEvent, RecoveryStats, SimResult};
 pub use sweep::{sweep_loads, LoadPoint};
 pub use trace::{parse_trace, write_trace, RecordedTrace, TraceExpectation};
 pub use traffic::{DstPattern, Workload};
-pub use vc::{dateline_ring_routes, dateline_torus_routes, VcEngine, VcRouteSet};
+pub use vc::{
+    dateline_ring_map, dateline_ring_routes, dateline_torus_map, dateline_torus_routes,
+    ecube_hypercube_map, ecube_mesh_map, VcEngine, VcMap, VcRouteSet,
+};

@@ -70,6 +70,33 @@ impl RecoveryStats {
     }
 }
 
+/// Credit-based flow-control accounting for one run. With the default
+/// infinite buffers and zero credit delay the engine behaves exactly
+/// like the legacy instantaneous-space-check router, but the ledger is
+/// still kept: `consumed` counts flit arrivals into channel FIFOs,
+/// `returned` counts the matching frees, and at quiescence the two are
+/// equal (credit conservation — CI asserts this on faulted runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CreditStats {
+    /// Credits consumed: flits accepted into a channel FIFO.
+    pub consumed: u64,
+    /// Credits returned upstream: flits that left a channel FIFO
+    /// (forwarded, ejected, or torn down).
+    pub returned: u64,
+    /// Transfers that stalled *because* the downstream FIFO had no
+    /// credit (the VC itself was free) — the head-of-line cost of
+    /// finite buffering, as distinct from channel-ownership blocking.
+    pub stalls: u64,
+}
+
+impl CreditStats {
+    /// Whether every consumed credit was returned (true at quiescence;
+    /// in-flight flits or pending delayed returns make it false).
+    pub fn is_conserved(&self) -> bool {
+        self.consumed == self.returned
+    }
+}
+
 /// Aggregate result of one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -96,6 +123,9 @@ pub struct SimResult {
     pub deadlock: Option<DeadlockEvent>,
     /// Fault-injection and recovery accounting.
     pub recovery: RecoveryStats,
+    /// Credit flow-control accounting (all zero only on runs that
+    /// moved no flits).
+    pub credits: CreditStats,
     /// Flit-level telemetry report — `Some` iff the run's
     /// `SimConfig::telemetry` was recording.
     pub telemetry: Option<TelemetryReport>,
@@ -155,6 +185,7 @@ mod tests {
             channel_busy: vec![10, 50, 0],
             deadlock: None,
             recovery: RecoveryStats::default(),
+            credits: CreditStats::default(),
             telemetry: None,
             metrics: None,
         }
@@ -177,6 +208,18 @@ mod tests {
             stuck_packets: 4,
         });
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn credit_conservation_is_consumed_eq_returned() {
+        let mut c = CreditStats {
+            consumed: 7,
+            returned: 7,
+            stalls: 3,
+        };
+        assert!(c.is_conserved());
+        c.returned = 6; // one flit still buffered or one return in flight
+        assert!(!c.is_conserved());
     }
 
     #[test]

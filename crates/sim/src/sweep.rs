@@ -129,6 +129,7 @@ mod tests {
                 channel_busy: vec![],
                 deadlock: None,
                 recovery: crate::stats::RecoveryStats::default(),
+                credits: crate::stats::CreditStats::default(),
                 telemetry: None,
                 metrics: None,
             },

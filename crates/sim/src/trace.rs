@@ -144,6 +144,8 @@ pub fn write_trace(spec: &str, heal: bool, cfg: &SimConfig, report: &MetricsRepo
             .field_str("topology", &report.topology)
             .field_num("seed", cfg.seed)
             .field_num("buffer_depth", cfg.buffer_depth as u64)
+            .field_num("credit_delay", cfg.credit_delay)
+            .field_num("vcs", cfg.vcs as u64)
             .field_num("packet_flits", cfg.packet_flits as u64)
             .field_num("max_cycles", cfg.max_cycles)
             .field_num("stall_threshold", cfg.stall_threshold)
@@ -235,7 +237,12 @@ pub fn parse_trace(text: &str) -> Result<RecordedTrace, String> {
             "meta" => {
                 spec = Some(get_str(obj, "spec").map_err(at)?);
                 cfg = SimConfig {
-                    buffer_depth: get_num(obj, "buffer_depth").map_err(at)? as u8,
+                    buffer_depth: get_num(obj, "buffer_depth").map_err(at)? as u32,
+                    // Optional for traces recorded before credit flow
+                    // control grew knobs: absent means the historical
+                    // semantics (instant credits, one VC).
+                    credit_delay: get_num(obj, "credit_delay").unwrap_or(0),
+                    vcs: get_num(obj, "vcs").unwrap_or(1).max(1) as u8,
                     packet_flits: get_num(obj, "packet_flits").map_err(at)? as u32,
                     max_cycles: get_num(obj, "max_cycles").map_err(at)?,
                     stall_threshold: get_num(obj, "stall_threshold").map_err(at)?,

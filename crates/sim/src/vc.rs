@@ -1,30 +1,47 @@
-//! Virtual-channel wormhole simulation — the Dally & Seitz alternative
-//! the paper weighs and rejects (§2): "They propose adding virtual
-//! channels to routers, then breaking loops by allowing some messages
-//! to pass other packets. This solution requires multiple packet
-//! buffers at each router stage, and severely complicates the router
-//! design."
+//! Virtual channels as a first-class layer over the shared router
+//! core — the Dally & Seitz alternative the paper weighs and rejects
+//! (§2): "They propose adding virtual channels to routers, then
+//! breaking loops by allowing some messages to pass other packets.
+//! This solution requires multiple packet buffers at each router
+//! stage, and severely complicates the router design."
 //!
-//! This module makes that trade-off measurable: each physical channel
+//! This module makes that trade-off measurable. Each physical channel
 //! is split into `V` virtual channels, each with its **own** input
-//! FIFO (the buffer cost the paper objects to), and the physical link
-//! still moves at most one flit per cycle (VCs share the wire). The
-//! classic dateline discipline on a ring — packets switch from VC 0 to
-//! VC 1 when they cross a designated link — breaks the Fig 1 cycle
-//! without changing the topology, at the price of doubled buffering.
+//! FIFO and credit counter (the buffer cost the paper objects to),
+//! while the physical link still moves at most one flit per cycle (VCs
+//! share the wire). The flit movement itself — credits, FIFOs,
+//! round-robin output arbitration, faults, retries, duplicate
+//! suppression, telemetry and metrics — lives in the one shared
+//! [`Engine`]; this module contributes only what is genuinely
+//! VC-specific:
+//!
+//! - [`VcMap`], the per-hop VC *discipline*: given a worm's next
+//!   physical channel, which VC does it ride? Three kinds cover the
+//!   classic Dally–Seitz orderings: exact per-hop assignments frozen
+//!   from a [`VcRouteSet`], the dateline scheme for rings and tori
+//!   (promote to VC 1 on crossing the wrap cable, reset on a dimension
+//!   change), and static channel classes for e-cube orderings on
+//!   meshes, hypercubes and trees.
+//! - [`VcRouteSet`], all-pairs `(channel, vc)` routes with the
+//!   extended-graph acyclicity check (`is_deadlock_free`): the Dally &
+//!   Seitz theorem says the routing is deadlock-free iff the
+//!   dependency graph over *(channel, vc)* vertices is acyclic.
+//! - [`VcEngine`], a thin construction wrapper that derives the
+//!   physical paths from a `VcRouteSet`, installs the matching
+//!   [`VcMap`], and hands everything to the shared core. It therefore
+//!   inherits the fault model, exactly-once delivery, healing hooks,
+//!   live metrics and the sharded parallel step for free — none of
+//!   which the old dedicated VC engine had.
 
 use crate::config::SimConfig;
-use crate::engine::par::{chunk, effective_shards};
-use crate::stats::{DeadlockEvent, SimResult};
+use crate::engine::Engine;
+use crate::stats::SimResult;
 use crate::traffic::Workload;
 use fractanet_graph::{AdjList, ChannelId, Network};
-use fractanet_telemetry::Recorder;
+use fractanet_route::RouteSet;
+use fractanet_topo::mesh::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
 use fractanet_topo::ring::{PORT_CW, PORT_NODE0};
-use fractanet_topo::{Ring, Topology};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::collections::VecDeque;
-use std::ops::Range;
+use fractanet_topo::{Hypercube, Mesh2D, Ring, Topology, Torus2D};
 
 /// One hop of a virtual-channel route: a physical channel plus the
 /// virtual channel to ride on it.
@@ -70,6 +87,14 @@ impl VcRouteSet {
     /// The hop sequence for a pair.
     pub fn path(&self, src: usize, dst: usize) -> &[VcHop] {
         &self.paths[src][dst]
+    }
+
+    /// The physical channel sequences, with the VC annotations dropped
+    /// — what the shared engine routes on.
+    pub fn physical_routes(&self) -> RouteSet {
+        RouteSet::from_pairs(self.len(), |s, d| {
+            self.paths[s][d].iter().map(|&(c, _)| c).collect()
+        })
     }
 
     /// Dally & Seitz on the extended graph: deadlock-free iff the
@@ -140,8 +165,7 @@ pub fn dateline_ring_routes(ring: &Ring, vcs: u8) -> VcRouteSet {
 /// `size−1` and `0`, in either direction), then VC 1; entering the Y
 /// dimension resets to VC 0 (dimension order already breaks X↔Y
 /// cycles). With `vcs = 1` the wrap routes close dependency cycles.
-pub fn dateline_torus_routes(t: &fractanet_topo::Torus2D, vcs: u8) -> VcRouteSet {
-    use fractanet_topo::mesh::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+pub fn dateline_torus_routes(t: &Torus2D, vcs: u8) -> VcRouteSet {
     assert!(
         (1..=2).contains(&vcs),
         "the dateline scheme uses up to 2 VCs"
@@ -187,7 +211,12 @@ pub fn dateline_torus_routes(t: &fractanet_topo::Torus2D, vcs: u8) -> VcRouteSet
             (south, PORT_SOUTH, 0)
         };
         let mut y = sy;
-        vc = 0;
+        if steps > 0 {
+            // Entering a new dimension resets to VC 0 (dimension order
+            // already breaks X<->Y cycles); an X-only route keeps its
+            // VC through ejection.
+            vc = 0;
+        }
         for _ in 0..steps {
             let ch = net
                 .channel_out(t.router_at(dx, y), port)
@@ -211,504 +240,271 @@ pub fn dateline_torus_routes(t: &fractanet_topo::Torus2D, vcs: u8) -> VcRouteSet
     })
 }
 
-const NO_PKT: u32 = u32::MAX;
+/// Dimension value meaning "no dimension: keep the current VC" —
+/// attach channels (injection and ejection) under a dateline map.
+const DIM_KEEP: u8 = u8::MAX;
 
-#[derive(Clone)]
-struct VChanState {
-    owner: u32,
-    entered: u32,
-    occ: u8,
-    route_pos: u32,
+/// The per-hop virtual-channel discipline the shared engine consults
+/// on every head allocation and injection: given the worm's endpoints,
+/// its current `(channel, vc)` and the next physical channel, which VC
+/// does the next hop ride? Plain data (`Send + Sync`) so the sharded
+/// decision scans can consult it from worker threads.
+#[derive(Clone, Debug)]
+pub struct VcMap {
+    vcs: u8,
+    kind: VcMapKind,
 }
 
-impl VChanState {
-    fn free() -> Self {
-        VChanState {
-            owner: NO_PKT,
-            entered: 0,
-            occ: 0,
-            route_pos: 0,
+#[derive(Clone, Debug)]
+enum VcMapKind {
+    /// Exact assignments frozen from a [`VcRouteSet`]:
+    /// `vc[src][dst][path_pos]`.
+    PerHop { hops: Vec<Vec<Vec<u8>>> },
+    /// Dally–Seitz dateline: a worm keeps its VC while it travels
+    /// within one dimension, promotes to at least VC 1 when it crosses
+    /// a marked (wrap) channel, and resets to VC 0 when the dimension
+    /// changes. `dim[ch] == DIM_KEEP` marks attach channels, which
+    /// never reset or promote.
+    Dateline { promote: Vec<bool>, dim: Vec<u8> },
+    /// Static e-cube ordering: each physical channel has a class, and
+    /// a worm entering it rides `min(class, vcs − 1)` regardless of
+    /// history. Acyclic whenever the route's class sequence is
+    /// monotone (dimension-ordered routing).
+    Classes { class: Vec<u8> },
+}
+
+impl VcMap {
+    /// Freezes the exact per-hop VC assignments of a route set.
+    pub fn from_vc_routes(routes: &VcRouteSet) -> Self {
+        let n = routes.len();
+        let mut hops = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for d in 0..n {
+                row.push(routes.path(s, d).iter().map(|&(_, vc)| vc).collect());
+            }
+            hops.push(row);
+        }
+        VcMap {
+            vcs: routes.vcs(),
+            kind: VcMapKind::PerHop { hops },
         }
     }
-    fn front(&self) -> u32 {
-        self.entered - self.occ as u32
+
+    /// A dateline discipline over explicit per-channel wrap marks and
+    /// dimension labels (use [`DIM_KEEP`]-semantics via the topology
+    /// helpers below unless building something exotic).
+    pub fn dateline(vcs: u8, promote: Vec<bool>, dim: Vec<u8>) -> Self {
+        assert!(vcs >= 1);
+        assert_eq!(promote.len(), dim.len());
+        VcMap {
+            vcs,
+            kind: VcMapKind::Dateline { promote, dim },
+        }
     }
-}
 
-struct VPacket {
-    src: u32,
-    dst: u32,
-    len: u32,
-    created: u64,
-    injected: u64,
-    sent: u32,
-}
+    /// A static class-per-channel discipline.
+    pub fn classes(vcs: u8, class: Vec<u8>) -> Self {
+        assert!(vcs >= 1);
+        VcMap {
+            vcs,
+            kind: VcMapKind::Classes { class },
+        }
+    }
 
-/// Candidate moves keyed by target *physical* channel; one flit per
-/// wire per cycle.
-#[derive(Clone, Copy)]
-enum Cand {
-    Transfer {
-        from_vid: u32,
-        to_vid: u32,
-        alloc: bool,
-    },
-    Inject {
+    /// Virtual channels per physical channel.
+    pub fn vcs(&self) -> u8 {
+        self.vcs
+    }
+
+    /// The VC the next hop rides. `next_pos` is the path index of
+    /// `next` (0 for injection), `cur` the physical channel the head
+    /// currently occupies (`None` for injection), `cur_vc` its VC.
+    pub fn vc_for(
+        &self,
         src: u32,
-        to_vid: u32,
-        alloc: bool,
-    },
-}
-
-/// Round-robin arbitration key: transfers by upstream vid, injections
-/// after all transfers, by source. Unique per candidate, so the
-/// post-collection sort is deterministic whatever order shards
-/// produced the candidates in.
-fn key_of(c: Cand) -> u32 {
-    match c {
-        Cand::Transfer { from_vid, .. } => from_vid,
-        Cand::Inject { src, .. } => u32::MAX / 2 + src,
-    }
-}
-
-/// One shard's scan output: `(ejects, transfer candidates)` from its
-/// vid range plus injection candidates from its source range.
-type ShardScan = ((Vec<u32>, Vec<(u32, Cand)>), Vec<(u32, Cand)>);
-
-/// The `Sync` slice of engine state the candidate scans read. The
-/// scans are pure — no RNG, no telemetry, no mutation — so they shard
-/// across scoped worker threads exactly like the main engine's
-/// decision phase ([`crate::engine`]'s `par` module); arbitration and
-/// the apply phase stay serial.
-struct VcScanView<'e> {
-    routes: &'e VcRouteSet,
-    vcs: usize,
-    chans: &'e [VChanState],
-    packets: &'e [VPacket],
-    queues: &'e [VecDeque<u32>],
-    buffer_depth: u8,
-}
-
-impl VcScanView<'_> {
-    fn vid(&self, hop: VcHop) -> usize {
-        hop.0.index() * self.vcs + hop.1 as usize
-    }
-
-    /// The oracle's per-vid scan over one range: ejection-ready vids
-    /// plus transfer candidates, in vid order.
-    fn scan_vids(&self, range: Range<usize>) -> (Vec<u32>, Vec<(u32, Cand)>) {
-        let b = self.buffer_depth;
-        let mut ejects: Vec<u32> = Vec::new();
-        let mut cands: Vec<(u32, Cand)> = Vec::new();
-        for vid in range {
-            let vid = vid as u32;
-            let st = &self.chans[vid as usize];
-            if st.occ == 0 {
-                continue;
-            }
-            let p = &self.packets[st.owner as usize];
-            let path = self.routes.path(p.src as usize, p.dst as usize);
-            if st.route_pos as usize == path.len() - 1 {
-                ejects.push(vid);
-                continue;
-            }
-            let next = path[st.route_pos as usize + 1];
-            let next_vid = self.vid(next) as u32;
-            let nst = &self.chans[next_vid as usize];
-            if st.front() == 0 {
-                if nst.owner == NO_PKT && nst.occ < b {
-                    cands.push((
-                        next.0.index() as u32,
-                        Cand::Transfer {
-                            from_vid: vid,
-                            to_vid: next_vid,
-                            alloc: true,
-                        },
-                    ));
+        dst: u32,
+        next_pos: u32,
+        cur_vc: u8,
+        cur: Option<ChannelId>,
+        next: ChannelId,
+    ) -> u8 {
+        let top = self.vcs - 1;
+        let vc = match &self.kind {
+            VcMapKind::PerHop { hops } => hops[src as usize][dst as usize][next_pos as usize],
+            VcMapKind::Dateline { promote, dim } => {
+                let nd = dim[next.index()];
+                let mut vc = if nd == DIM_KEEP {
+                    cur_vc
+                } else {
+                    match cur {
+                        Some(c) if dim[c.index()] == nd => cur_vc,
+                        _ => 0,
+                    }
+                };
+                if promote[next.index()] {
+                    vc = vc.max(1);
                 }
-            } else if nst.occ < b {
-                cands.push((
-                    next.0.index() as u32,
-                    Cand::Transfer {
-                        from_vid: vid,
-                        to_vid: next_vid,
-                        alloc: false,
-                    },
-                ));
+                vc
             }
-        }
-        (ejects, cands)
+            VcMapKind::Classes { class } => class[next.index()],
+        };
+        vc.min(top)
     }
 
-    /// The oracle's injection scan over one source range: each queue
-    /// front that can enter its first virtual channel this cycle.
-    fn scan_sources(&self, range: Range<usize>) -> Vec<(u32, Cand)> {
-        let b = self.buffer_depth;
-        let mut cands: Vec<(u32, Cand)> = Vec::new();
-        for s in range {
-            let Some(&pid) = self.queues[s].front() else {
-                continue;
-            };
-            let p = &self.packets[pid as usize];
-            let first = self.routes.path(p.src as usize, p.dst as usize)[0];
-            let vid = self.vid(first) as u32;
-            let st = &self.chans[vid as usize];
-            let alloc = p.sent == 0;
-            let ok = if alloc {
-                st.owner == NO_PKT && st.occ < b
-            } else {
-                st.occ < b
-            };
-            if ok {
-                cands.push((
-                    first.0.index() as u32,
-                    Cand::Inject {
-                        src: s as u32,
-                        to_vid: vid,
-                        alloc,
-                    },
-                ));
-            }
-        }
-        cands
+    /// Replays the discipline over a physical route set, producing the
+    /// `(channel, vc)` routes it induces — the bridge to the Dally &
+    /// Seitz extended-graph check for lint.
+    pub fn annotate(&self, routes: &RouteSet) -> VcRouteSet {
+        VcRouteSet::from_pairs(routes.len(), self.vcs, |s, d| {
+            let mut cur: Option<ChannelId> = None;
+            let mut vc = 0u8;
+            routes
+                .path(s, d)
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| {
+                    vc = self.vc_for(s as u32, d as u32, i as u32, vc, cur, c);
+                    cur = Some(c);
+                    (c, vc)
+                })
+                .collect()
+        })
     }
 }
 
-/// The virtual-channel wormhole engine. Physical links carry one flit
-/// per cycle regardless of VC count; each VC has its own `buffer_depth`
-/// FIFO.
+/// The dateline map for a ring: promote on the wrap cable in either
+/// direction (CW out of router n−1, CCW out of router 0), keep the VC
+/// everywhere else. On clockwise-only routing it induces exactly the
+/// assignments of [`dateline_ring_routes`] (those routes never use the
+/// CCW wrap); under minimal bidirectional routing both direction
+/// cycles get their own dateline, so the extended graph is acyclic
+/// with 2 VCs either way.
+pub fn dateline_ring_map(ring: &Ring, vcs: u8) -> VcMap {
+    let net = ring.net();
+    let nch = net.channel_count();
+    let mut promote = vec![false; nch];
+    let dim = vec![DIM_KEEP; nch];
+    if let Some(wrap) = net.channel_out(ring.router(ring.len() - 1), PORT_CW) {
+        promote[wrap.index()] = true;
+    }
+    if let Some(wrap) = net.channel_out(ring.router(0), fractanet_topo::ring::PORT_CCW) {
+        promote[wrap.index()] = true;
+    }
+    VcMap::dateline(vcs, promote, dim)
+}
+
+/// The per-dimension dateline map for a 2-D torus: X channels are
+/// dimension 0, Y channels dimension 1 (so entering Y resets to VC 0),
+/// and the four wrap directions promote. Induces exactly the
+/// assignments of [`dateline_torus_routes`].
+pub fn dateline_torus_map(t: &Torus2D, vcs: u8) -> VcMap {
+    let net = t.net();
+    let nch = net.channel_count();
+    let mut promote = vec![false; nch];
+    let mut dim = vec![DIM_KEEP; nch];
+    for c in 0..nch {
+        let ch = ChannelId(c as u32);
+        let Some((x, y)) = t.coords_of(net.channel_src(ch)) else {
+            continue; // injection channel: keep
+        };
+        let port = net.channel_src_port(ch);
+        if port == PORT_EAST {
+            dim[c] = 0;
+            promote[c] = x == t.cols() - 1;
+        } else if port == PORT_WEST {
+            dim[c] = 0;
+            promote[c] = x == 0;
+        } else if port == PORT_NORTH {
+            dim[c] = 1;
+            promote[c] = y == t.rows() - 1;
+        } else if port == PORT_SOUTH {
+            dim[c] = 1;
+            promote[c] = y == 0;
+        } // else: attach (ejection) channel — keep the current VC
+    }
+    VcMap::dateline(vcs, promote, dim)
+}
+
+/// The e-cube class map for a 2-D mesh: X channels class 0, Y channels
+/// class 1, attach channels class 0. XY routing visits classes
+/// monotonically, so the extended graph is acyclic at any `vcs`.
+pub fn ecube_mesh_map(m: &Mesh2D, vcs: u8) -> VcMap {
+    let net = m.net();
+    let nch = net.channel_count();
+    let mut class = vec![0u8; nch];
+    for (c, slot) in class.iter_mut().enumerate() {
+        let ch = ChannelId(c as u32);
+        if !net.is_router(net.channel_src(ch)) {
+            continue;
+        }
+        let port = net.channel_src_port(ch);
+        if port == PORT_NORTH || port == PORT_SOUTH {
+            *slot = 1;
+        }
+    }
+    VcMap::classes(vcs, class)
+}
+
+/// The e-cube class map for a hypercube: a dimension-`d` cube link is
+/// class `d mod vcs`, attach channels class 0. E-cube routing resolves
+/// dimensions in a fixed order, so class sequences are monotone
+/// whenever `vcs ≥ dim` (and load-spread, if not provably ordered,
+/// below that).
+pub fn ecube_hypercube_map(h: &Hypercube, vcs: u8) -> VcMap {
+    let net = h.net();
+    let nch = net.channel_count();
+    let mut class = vec![0u8; nch];
+    for (c, slot) in class.iter_mut().enumerate() {
+        let ch = ChannelId(c as u32);
+        let src = net.channel_src(ch);
+        if h.label_of(src).is_none() {
+            continue; // injection channel
+        }
+        let port = net.channel_src_port(ch);
+        if (port.0 as u32) < h.dim() {
+            *slot = port.0 % vcs.max(1);
+        }
+    }
+    VcMap::classes(vcs, class)
+}
+
+/// The virtual-channel wormhole engine: the shared [`Engine`] routing
+/// on the physical projection of a [`VcRouteSet`] with the matching
+/// per-hop [`VcMap`] installed. Physical links carry one flit per
+/// cycle regardless of VC count; each VC has its own `buffer_depth`
+/// FIFO and credit counter. Everything else — faults, retries,
+/// duplicate suppression, healing, telemetry, metrics, the sharded
+/// parallel step — is inherited from the core unchanged.
 pub struct VcEngine<'a> {
-    routes: &'a VcRouteSet,
-    cfg: SimConfig,
-    vcs: usize,
-    nch: usize,
-    chans: Vec<VChanState>, // indexed by vid = ch * vcs + vc
-    packets: Vec<VPacket>,
-    queues: Vec<VecDeque<u32>>,
-    rr: Vec<u32>, // per physical channel
-    busy: Vec<u64>,
-    in_flight: usize,
-    delivered: usize,
-    delivered_flits: u64,
-    latencies: Vec<u64>,
-    rng: StdRng,
-    tel: Option<Recorder>,
+    inner: Engine<'a>,
 }
 
 impl<'a> VcEngine<'a> {
     /// Creates the engine.
     pub fn new(net: &'a Network, routes: &'a VcRouteSet, cfg: SimConfig) -> Self {
-        let vcs = routes.vcs() as usize;
-        let nch = net.channel_count();
-        let tel = cfg.telemetry.recorder(nch);
-        VcEngine {
-            routes,
-            rng: StdRng::seed_from_u64(cfg.seed),
-            cfg,
-            vcs,
-            nch,
-            chans: vec![VChanState::free(); nch * vcs],
-            packets: Vec::new(),
-            queues: vec![VecDeque::new(); routes.len()],
-            rr: vec![0; nch],
-            busy: vec![0; nch],
-            in_flight: 0,
-            delivered: 0,
-            delivered_flits: 0,
-            latencies: Vec::new(),
-            tel,
-        }
+        let inner = Engine::with_owned_routes(net, routes.physical_routes(), cfg)
+            .with_vc_map(VcMap::from_vc_routes(routes));
+        VcEngine { inner }
     }
 
     /// Total input-buffer slots across the network — the hardware cost
     /// axis of the virtual-channel trade-off.
     pub fn total_buffer_slots(&self) -> usize {
-        self.nch * self.vcs * self.cfg.buffer_depth as usize
+        self.inner.total_buffer_slots()
     }
 
-    fn vid(&self, hop: VcHop) -> usize {
-        hop.0.index() * self.vcs + hop.1 as usize
-    }
-
-    /// Runs the workload; the semantics mirror
+    /// Runs the workload; the semantics are exactly
     /// [`crate::engine::Engine::run`].
-    pub fn run(mut self, mut workload: Workload) -> SimResult {
-        let n = self.routes.len();
-        let mut idle = 0u64;
-        let mut cycle = 0u64;
-        let mut generated = 0usize;
-        let mut deadlock = None;
-
-        while cycle < self.cfg.max_cycles {
-            for (s, d) in workload.generate(cycle, n, self.cfg.packet_flits, &mut self.rng) {
-                let id = self.packets.len() as u32;
-                self.packets.push(VPacket {
-                    src: s as u32,
-                    dst: d as u32,
-                    len: self.cfg.packet_flits,
-                    created: cycle,
-                    injected: u64::MAX,
-                    sent: 0,
-                });
-                self.queues[s].push_back(id);
-                generated += 1;
-            }
-            let moves = self.step(cycle);
-            let drained = self.in_flight == 0 && self.queues.iter().all(VecDeque::is_empty);
-            if workload.finished(cycle) && drained {
-                cycle += 1;
-                break;
-            }
-            if moves == 0 && !drained {
-                idle += 1;
-                if idle >= self.cfg.stall_threshold {
-                    deadlock = Some(self.diagnose(cycle));
-                    cycle += 1;
-                    break;
-                }
-            } else {
-                idle = 0;
-            }
-            cycle += 1;
-        }
-
-        let telemetry = self.tel.take().map(|r| r.finish(cycle, &self.busy));
-        let mut lats = self.latencies.clone();
-        lats.sort_unstable();
-        let avg = if lats.is_empty() {
-            0.0
-        } else {
-            lats.iter().sum::<u64>() as f64 / lats.len() as f64
-        };
-        SimResult {
-            cycles: cycle,
-            generated,
-            delivered: self.delivered,
-            avg_latency: avg,
-            avg_network_latency: avg,
-            p95_latency: lats
-                .get((lats.len().saturating_mul(95) / 100).min(lats.len().saturating_sub(1)))
-                .copied()
-                .unwrap_or(0),
-            max_latency: lats.last().copied().unwrap_or(0),
-            throughput: self.delivered_flits as f64 / cycle.max(1) as f64 / n.max(1) as f64,
-            channel_busy: self.busy,
-            deadlock,
-            recovery: crate::stats::RecoveryStats::default(),
-            telemetry,
-            metrics: None,
-        }
-    }
-
-    fn step(&mut self, cycle: u64) -> usize {
-        let view = VcScanView {
-            routes: self.routes,
-            vcs: self.vcs,
-            chans: &self.chans,
-            packets: &self.packets,
-            queues: &self.queues,
-            buffer_depth: self.cfg.buffer_depth,
-        };
-        let nvid = self.chans.len();
-        let nsrc = self.queues.len();
-        let shards = effective_shards(self.cfg.threads, self.nch);
-        // Pure candidate collection, sharded when asked. Shard outputs
-        // concatenate in shard order = vid/source order, so the merged
-        // vectors match the serial scans entry for entry.
-        let parts: Vec<ShardScan> = if shards == 1 {
-            vec![(view.scan_vids(0..nvid), view.scan_sources(0..nsrc))]
-        } else {
-            crossbeam::thread::scope(|scope| {
-                let view = &view;
-                let handles: Vec<_> = (0..shards)
-                    .map(|i| {
-                        scope.spawn(move |_| {
-                            (
-                                view.scan_vids(chunk(nvid, shards, i)),
-                                view.scan_sources(chunk(nsrc, shards, i)),
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("vc shard scan worker panicked"))
-                    .collect()
-            })
-            .expect("vc shard scan scope")
-        };
-        let mut ejects: Vec<u32> = Vec::new();
-        let mut cands: Vec<(u32, Cand)> = Vec::new(); // (physical target, cand)
-        for ((shard_ejects, shard_cands), _) in &parts {
-            ejects.extend_from_slice(shard_ejects);
-            cands.extend_from_slice(shard_cands);
-        }
-        for (_, src_cands) in &parts {
-            cands.extend_from_slice(src_cands);
-        }
-
-        // One grant per physical channel, round-robin over target vids.
-        cands.sort_unstable_by_key(|&(phys, c)| (phys, key_of(c)));
-        let mut moves = 0usize;
-        let mut i = 0;
-        let mut grants: Vec<Cand> = Vec::new();
-        while i < cands.len() {
-            let phys = cands[i].0;
-            let mut j = i;
-            while j < cands.len() && cands[j].0 == phys {
-                j += 1;
-            }
-            let group = &cands[i..j];
-            let last = self.rr[phys as usize];
-            let pick = group
-                .iter()
-                .find(|&&(_, c)| key_of(c) > last)
-                .or(group.first())
-                .copied()
-                .expect("non-empty group");
-            self.rr[phys as usize] = key_of(pick.1);
-            grants.push(pick.1);
-            i = j;
-        }
-
-        // Ejections (per physical channel, at most one — group them).
-        let mut ejected_phys: Vec<bool> = vec![false; self.nch];
-        for vid in ejects {
-            let phys = vid as usize / self.vcs;
-            if ejected_phys[phys] {
-                continue;
-            }
-            ejected_phys[phys] = true;
-            moves += 1;
-            let (owner, flit) = {
-                let st = &mut self.chans[vid as usize];
-                let f = st.front();
-                st.occ -= 1;
-                (st.owner, f)
-            };
-            self.delivered_flits += 1;
-            if let Some(t) = self.tel.as_mut() {
-                t.flit_forwarded(ChannelId((vid as usize / self.vcs) as u32));
-            }
-            let done = flit == self.packets[owner as usize].len - 1;
-            if done {
-                self.chans[vid as usize].owner = NO_PKT;
-                self.in_flight -= 1;
-                self.delivered += 1;
-                let p = &self.packets[owner as usize];
-                if p.created >= self.cfg.warmup_cycles {
-                    self.latencies.push(cycle + 1 - p.created);
-                }
-                if let Some(t) = self.tel.as_mut() {
-                    t.delivered(cycle, owner, cycle + 1 - p.created);
-                }
-            }
-        }
-
-        for g in grants {
-            moves += 1;
-            match g {
-                Cand::Transfer {
-                    from_vid,
-                    to_vid,
-                    alloc,
-                } => {
-                    let (owner, flit, pos) = {
-                        let st = &mut self.chans[from_vid as usize];
-                        let f = st.front();
-                        st.occ -= 1;
-                        (st.owner, f, st.route_pos)
-                    };
-                    if flit == self.packets[owner as usize].len - 1 {
-                        self.chans[from_vid as usize].owner = NO_PKT;
-                    }
-                    let nst = &mut self.chans[to_vid as usize];
-                    if alloc {
-                        nst.owner = owner;
-                        nst.entered = 0;
-                        nst.route_pos = pos + 1;
-                    }
-                    nst.entered += 1;
-                    nst.occ += 1;
-                    self.busy[to_vid as usize / self.vcs] += 1;
-                    if let Some(t) = self.tel.as_mut() {
-                        t.flit_forwarded(ChannelId((from_vid as usize / self.vcs) as u32));
-                        if alloc {
-                            t.vc_allocated(
-                                cycle,
-                                owner,
-                                ChannelId((to_vid as usize / self.vcs) as u32),
-                                (to_vid as usize % self.vcs) as u8,
-                            );
-                        }
-                    }
-                }
-                Cand::Inject { src, to_vid, alloc } => {
-                    let pid = *self.queues[src as usize].front().expect("validated");
-                    let (sent_after, len, psrc, pdst) = {
-                        let p = &mut self.packets[pid as usize];
-                        p.sent += 1;
-                        if p.sent == 1 {
-                            p.injected = cycle;
-                            self.in_flight += 1;
-                        }
-                        (p.sent, p.len, p.src, p.dst)
-                    };
-                    let st = &mut self.chans[to_vid as usize];
-                    if alloc {
-                        st.owner = pid;
-                        st.entered = 0;
-                        st.route_pos = 0;
-                    }
-                    st.entered += 1;
-                    st.occ += 1;
-                    self.busy[to_vid as usize / self.vcs] += 1;
-                    if sent_after == 1 {
-                        if let Some(t) = self.tel.as_mut() {
-                            t.packet_injected(cycle, pid, psrc, pdst, len);
-                        }
-                    }
-                    if sent_after == len {
-                        self.queues[src as usize].pop_front();
-                    }
-                }
-            }
-        }
-        moves
-    }
-
-    fn diagnose(&self, cycle: u64) -> DeadlockEvent {
-        let mut g = AdjList::new(self.chans.len());
-        for (vid, st) in self.chans.iter().enumerate() {
-            if st.occ == 0 || st.owner == NO_PKT {
-                continue;
-            }
-            let p = &self.packets[st.owner as usize];
-            let path = self.routes.path(p.src as usize, p.dst as usize);
-            if (st.route_pos as usize) < path.len() - 1 {
-                let next = path[st.route_pos as usize + 1];
-                g.add_edge(vid as u32, self.vid(next) as u32);
-            }
-        }
-        let cycle_channels = g
-            .find_cycle()
-            .map(|vs| {
-                vs.into_iter()
-                    .map(|vid| ChannelId(vid / self.vcs as u32))
-                    .collect()
-            })
-            .unwrap_or_default();
-        DeadlockEvent {
-            cycle,
-            cycle_channels,
-            stuck_packets: self.in_flight,
-        }
+    pub fn run(self, workload: Workload) -> SimResult {
+        self.inner.run(workload)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultEvent;
 
     fn fig1_cfg() -> SimConfig {
         SimConfig {
@@ -797,7 +593,7 @@ mod tests {
 
     #[test]
     fn torus_one_vc_is_cyclic_two_vcs_acyclic() {
-        let t = fractanet_topo::Torus2D::new(4, 4, 1, 6).unwrap();
+        let t = Torus2D::new(4, 4, 1, 6).unwrap();
         let one = dateline_torus_routes(&t, 1);
         assert!(
             !one.is_deadlock_free(t.net()),
@@ -813,7 +609,7 @@ mod tests {
     #[test]
     fn torus_routes_are_minimal_and_deliver() {
         use fractanet_graph::bfs;
-        let t = fractanet_topo::Torus2D::new(4, 3, 1, 6).unwrap();
+        let t = Torus2D::new(4, 3, 1, 6).unwrap();
         let routes = dateline_torus_routes(&t, 2);
         for s in 0..12usize {
             for d in 0..12usize {
@@ -835,7 +631,7 @@ mod tests {
 
     #[test]
     fn torus_all_to_all_completes_on_two_vcs() {
-        let t = fractanet_topo::Torus2D::new(3, 3, 1, 6).unwrap();
+        let t = Torus2D::new(3, 3, 1, 6).unwrap();
         let routes = dateline_torus_routes(&t, 2);
         let cfg = SimConfig {
             packet_flits: 8,
@@ -855,7 +651,7 @@ mod tests {
         // forms shards) under Bernoulli load with telemetry on: the
         // sharded candidate collection must be bit-identical to the
         // serial scan at every thread count.
-        let t = fractanet_topo::Torus2D::new(6, 6, 1, 6).unwrap();
+        let t = Torus2D::new(6, 6, 1, 6).unwrap();
         let routes = dateline_torus_routes(&t, 2);
         let run = |threads: usize| {
             let cfg = SimConfig {
@@ -901,5 +697,187 @@ mod tests {
                 assert_eq!(p.last().unwrap().1, u8::from(wraps), "{s}->{d}");
             }
         }
+    }
+
+    #[test]
+    fn dateline_maps_induce_the_route_assignments() {
+        // The generic disciplines must reproduce the frozen per-hop
+        // assignments exactly: annotate(physical routes) == vc routes.
+        let ring = Ring::new(5, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let map = dateline_ring_map(&ring, 2);
+        let induced = map.annotate(&routes.physical_routes());
+        for s in 0..5 {
+            for d in 0..5 {
+                assert_eq!(induced.path(s, d), routes.path(s, d), "ring {s}->{d}");
+            }
+        }
+        let t = Torus2D::new(4, 3, 1, 6).unwrap();
+        let routes = dateline_torus_routes(&t, 2);
+        let map = dateline_torus_map(&t, 2);
+        let induced = map.annotate(&routes.physical_routes());
+        for s in 0..12 {
+            for d in 0..12 {
+                assert_eq!(induced.path(s, d), routes.path(s, d), "torus {s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_ring_map_is_acyclic_on_shortest_routes() {
+        use fractanet_route::ringroute::ring_shortest_routes;
+        let ring = Ring::new(6, 1, 6).unwrap();
+        let rs = RouteSet::from_table(ring.net(), ring.end_nodes(), &ring_shortest_routes(&ring))
+            .unwrap();
+        assert!(
+            !dateline_ring_map(&ring, 1)
+                .annotate(&rs)
+                .is_deadlock_free(ring.net()),
+            "1 VC keeps both direction cycles"
+        );
+        assert!(
+            dateline_ring_map(&ring, 2)
+                .annotate(&rs)
+                .is_deadlock_free(ring.net()),
+            "each direction cycle gets its own dateline"
+        );
+    }
+
+    #[test]
+    fn ecube_mesh_map_is_acyclic_on_xy_routes() {
+        use fractanet_route::dor::mesh_xy_routes;
+        let m = Mesh2D::new(4, 4, 1, 6).unwrap();
+        let table = mesh_xy_routes(&m);
+        let rs = RouteSet::from_table(m.net(), m.end_nodes(), &table).unwrap();
+        let map = ecube_mesh_map(&m, 2);
+        let vcr = map.annotate(&rs);
+        assert!(vcr.is_deadlock_free(m.net()));
+        // X hops ride VC 0, Y hops VC 1.
+        let p = vcr.path(0, 15); // (0,0) -> (3,3): X then Y
+        assert!(p.iter().any(|&(_, vc)| vc == 0));
+        assert!(p.iter().any(|&(_, vc)| vc == 1));
+    }
+
+    #[test]
+    fn ecube_hypercube_map_is_acyclic_on_ecube_routes() {
+        use fractanet_route::dor::ecube_routes;
+        let h = Hypercube::new(3, 1, 6).unwrap();
+        let table = ecube_routes(&h);
+        let rs = RouteSet::from_table(h.net(), h.end_nodes(), &table).unwrap();
+        let map = ecube_hypercube_map(&h, 2);
+        assert!(map.annotate(&rs).is_deadlock_free(h.net()));
+    }
+
+    // --- Regression tests for drift between the old dedicated VC
+    // engine and the shared core (the old engine predated the fault,
+    // retry, metrics and measured-throughput work and silently lacked
+    // all of it).
+
+    #[test]
+    fn vc_engine_reports_real_network_latency() {
+        // Old drift: avg_network_latency was set equal to avg_latency.
+        // Under queueing, injection happens after creation, so the
+        // network component must be strictly smaller on average.
+        let ring = Ring::new(6, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 100_000,
+            stall_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::all_to_all_burst(6));
+        assert_eq!(res.delivered, 30);
+        assert!(
+            res.avg_network_latency < res.avg_latency,
+            "all-to-all bursts queue at sources: network {} vs e2e {}",
+            res.avg_network_latency,
+            res.avg_latency
+        );
+    }
+
+    #[test]
+    fn vc_engine_recovers_from_a_transient_fault() {
+        // Old drift: the dedicated VC engine had no fault machinery at
+        // all — a killed link silently wedged the run. The shared core
+        // tears the worm down, retries with backoff, and delivers once
+        // the outage clears.
+        let ring = Ring::new(4, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let hit = routes.path(0, 1)[1].0.link();
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 20_000,
+            stall_threshold: 2_000,
+            ..SimConfig::default()
+        }
+        .with_fault(FaultEvent::kill_link(hit, 5).transient(400));
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::all_to_all_burst(4));
+        assert!(res.recovery.faults_applied >= 1);
+        assert!(res.is_recovered(), "{:?}", res.recovery);
+        assert_eq!(res.delivered + res.recovery.abandoned.len(), 12);
+        assert!(res.recovery.retries >= 1, "the killed path must retry");
+    }
+
+    #[test]
+    fn vc_engine_throughput_counts_only_measured_cycles() {
+        // Old drift: throughput divided by the total cycle count even
+        // when a warm-up window excluded early deliveries.
+        let ring = Ring::new(4, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 10_000,
+            stall_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::all_to_all_burst(4));
+        let flits = 12.0 * 8.0; // 12 pairs × 8 flits, warmup 0
+        let want = flits / res.cycles as f64 / 4.0;
+        assert!(
+            (res.throughput - want).abs() < 1e-12,
+            "throughput {} vs {}",
+            res.throughput,
+            want
+        );
+    }
+
+    #[test]
+    fn vc_engine_supports_live_metrics() {
+        // Old drift: `metrics` was hardwired to `None`.
+        let ring = Ring::new(4, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let cfg = fig1_cfg().with_metrics(fractanet_telemetry::MetricsConfig::sampling(50));
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::fig1_ring(4));
+        let m = res.metrics.expect("metrics recorder must run");
+        assert_eq!(m.totals.delivered, 4);
+    }
+
+    #[test]
+    fn vc_credit_ledger_is_conserved_at_quiescence() {
+        let ring = Ring::new(6, 1, 6).unwrap();
+        let routes = dateline_ring_routes(&ring, 2);
+        let cfg = SimConfig {
+            packet_flits: 8,
+            buffer_depth: 2,
+            max_cycles: 100_000,
+            stall_threshold: 2_000,
+            ..SimConfig::default()
+        };
+        let res = VcEngine::new(ring.net(), &routes, cfg).run(Workload::all_to_all_burst(6));
+        assert!(res.credits.consumed > 0);
+        assert!(
+            res.credits.is_conserved(),
+            "consumed {} != returned {}",
+            res.credits.consumed,
+            res.credits.returned
+        );
+        assert!(
+            res.credits.stalls > 0,
+            "depth-2 FIFOs under 8-flit worms must stall on credits"
+        );
     }
 }

@@ -24,10 +24,18 @@ pub struct ChannelSummary {
     /// channel — it aggregates waiting across worms.
     pub blocked_cycles: u64,
     /// Deepest the input FIFO ever got, in flits.
-    pub peak_queue_depth: u8,
+    pub peak_queue_depth: u32,
     /// Peak per-cycle matching of concurrent contending transfers —
     /// the empirical `k` of `k:1`.
     pub peak_contention: u32,
+    /// Blocked cycles attributable to exhausted downstream credits
+    /// (full input FIFO), as opposed to a foreign worm holding the
+    /// channel or an arbitration loss. Always ≤ `blocked_cycles`.
+    pub credit_stalls: u64,
+    /// Sum of the FIFO depths observed at each flit arrival — an
+    /// arrival-weighted occupancy integral. Dividing by
+    /// `flits_forwarded` approximates the mean queue a flit joined.
+    pub occupancy_flits: u64,
 }
 
 /// Maximum bipartite matching over a (small) list of `(src, dst)`
@@ -78,12 +86,19 @@ impl ChannelCounters {
         self.summaries[channel].blocked_cycles += 1;
     }
 
-    /// Observes an input-FIFO depth.
-    pub fn observe_depth(&mut self, channel: usize, depth: u8) {
+    /// Observes an input-FIFO depth at a flit arrival.
+    pub fn observe_depth(&mut self, channel: usize, depth: u32) {
         let s = &mut self.summaries[channel];
         if depth > s.peak_queue_depth {
             s.peak_queue_depth = depth;
         }
+        s.occupancy_flits += depth as u64;
+    }
+
+    /// Books one credit-stalled transfer on `channel` (blocked on a
+    /// full downstream FIFO rather than channel ownership).
+    pub fn credit_stall(&mut self, channel: usize) {
+        self.summaries[channel].credit_stalls += 1;
     }
 
     /// Observes one cycle's contention (matching of active transfer
@@ -139,11 +154,14 @@ mod tests {
         c.observe_depth(1, 2);
         c.observe_contention(1, 4);
         c.observe_contention(1, 1);
+        c.credit_stall(1);
         let s = c.finish(&[7, 9]);
         assert_eq!(s[0].busy_cycles, 7);
         assert_eq!(s[0].flits_forwarded, 2);
         assert_eq!(s[1].blocked_cycles, 1);
         assert_eq!(s[1].peak_queue_depth, 3);
         assert_eq!(s[1].peak_contention, 4);
+        assert_eq!(s[1].credit_stalls, 1);
+        assert_eq!(s[1].occupancy_flits, 5, "3 + 2 observed depths");
     }
 }

@@ -211,6 +211,9 @@ pub struct MetricsTotals {
     pub faults: u64,
     /// Certified healed-table installs.
     pub heal_installs: u64,
+    /// Transfers stalled on exhausted downstream credits (full input
+    /// FIFOs). Zero whenever FIFOs are unbounded.
+    pub credit_stalls: u64,
     /// Cycle a deadlock verdict was reached, if any.
     pub deadlock_cycle: Option<u64>,
 }
@@ -451,6 +454,11 @@ impl MetricsRecorder {
     /// Records a destination CRC NACK.
     pub fn nacked(&mut self) {
         self.totals.nacks += 1;
+    }
+
+    /// Records `n` credit-stalled transfers committed this cycle.
+    pub fn credit_stalled(&mut self, n: u64) {
+        self.totals.credit_stalls += n;
     }
 
     /// Records a suppressed duplicate delivery.

@@ -128,6 +128,11 @@ pub fn to_prometheus(report: &MetricsReport) -> String {
         "Certified healed-table installs.",
         report.totals.heal_installs,
     );
+    w.counter(
+        "fractanet_credit_stalls_total",
+        "Transfers stalled on exhausted downstream credits.",
+        report.totals.credit_stalls,
+    );
     w.counter("fractanet_cycles_total", "Cycles simulated.", report.cycles);
     w.counter(
         "fractanet_anomalies_total",

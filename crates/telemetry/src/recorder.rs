@@ -215,8 +215,15 @@ impl Recorder {
     }
 
     /// Observes an input-FIFO depth on `channel`.
-    pub fn observe_depth(&mut self, channel: ChannelId, depth: u8) {
+    pub fn observe_depth(&mut self, channel: ChannelId, depth: u32) {
         self.counters.observe_depth(channel.index(), depth);
+    }
+
+    /// Books a credit stall on `channel` — a transfer blocked on a
+    /// full downstream FIFO. A counter, not a ring event, so enabling
+    /// it never perturbs the event stream.
+    pub fn credit_stalled(&mut self, channel: ChannelId) {
+        self.counters.credit_stall(channel.index());
     }
 
     /// Observes one cycle's concurrent contenders for `channel` as

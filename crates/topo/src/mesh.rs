@@ -273,6 +273,19 @@ impl Torus2D {
         let r = addr / self.nodes_per_router;
         (r % self.cols, r / self.cols, addr % self.nodes_per_router)
     }
+
+    /// End nodes attached to each router.
+    pub fn nodes_per_router(&self) -> usize {
+        self.nodes_per_router
+    }
+
+    /// Coordinates of a router id.
+    pub fn coords_of(&self, router: NodeId) -> Option<(usize, usize)> {
+        self.routers
+            .iter()
+            .position(|&r| r == router)
+            .map(|i| (i % self.cols, i / self.cols))
+    }
 }
 
 impl Topology for Torus2D {

@@ -83,6 +83,7 @@ fn main() {
         ends: sys.end_nodes(),
         cfg: cfg_x,
         heal: true, // regenerate + certify tables around the dead cable
+        vc: None,
     };
     let y = FabricSim {
         net: sys.net(),
@@ -94,6 +95,7 @@ fn main() {
             ..SimConfig::default()
         },
         heal: false,
+        vc: None,
     };
     let workload = Workload::Bernoulli {
         injection_rate: 0.2,

@@ -19,6 +19,7 @@ enum Config {
     FatTree(usize, usize, usize),
     Fractahedron(usize, bool, bool), // levels, fat?, fanout?
     BinaryTree(u32, usize),
+    VcSpec(&'static str),
 }
 
 impl Config {
@@ -31,6 +32,7 @@ impl Config {
             Config::Fractahedron(l, true, _) => System::fat_fractahedron(l),
             Config::Fractahedron(l, false, f) => System::thin_fractahedron(l, f),
             Config::BinaryTree(d, n) => System::binary_tree(d, n),
+            Config::VcSpec(s) => s.parse::<TopoSpec>().expect("grammar spec").build(),
         }
     }
 }
@@ -44,6 +46,27 @@ fn configs() -> impl Strategy<Value = Config> {
         (1usize..=2, any::<bool>(), any::<bool>())
             .prop_map(|(l, fat, fan)| Config::Fractahedron(l, fat, fan)),
         (2u32..=4, 1usize..=3).prop_map(|(d, n)| Config::BinaryTree(d, n)),
+    ]
+}
+
+/// The engine grammar: every `configs()` topology plus the
+/// virtual-channel specs, whose *physical* dependency graphs are
+/// intentionally cyclic on rings and tori — only the VC discipline
+/// keeps them live. Used by the engine-parity and delivery-set
+/// properties (the routing-invariant properties above assume acyclic
+/// physical CDGs and keep the base grammar).
+fn engine_configs() -> impl Strategy<Value = Config> {
+    const VC_SPECS: [&str; 6] = [
+        "ring:6:vc2",
+        "ring:5:vc3",
+        "torus:4x4:vc2",
+        "torus:3x3:vc2:dateline",
+        "mesh:4x4:vc2:ecube",
+        "hypercube:3:vc2",
+    ];
+    prop_oneof![
+        configs(),
+        (0usize..VC_SPECS.len()).prop_map(|i| Config::VcSpec(VC_SPECS[i])),
     ]
 }
 
@@ -113,9 +136,11 @@ proptest! {
     }
 
     /// Short random simulations on random configs never deadlock and
-    /// deliver something.
+    /// deliver something — including the VC configs, whose physical
+    /// dependency graphs are cyclic and only the Dally–Seitz split
+    /// keeps live.
     #[test]
-    fn random_sims_stay_clean(cfg in configs(), seed in 0u64..1000) {
+    fn random_sims_stay_clean(cfg in engine_configs(), seed in 0u64..1000) {
         let sys = cfg.build();
         let sim_cfg = SimConfig {
             packet_flits: 6,
@@ -253,19 +278,24 @@ proptest! {
     /// kill/repair/brownout/flaky schedules, healing epoch installs
     /// mid-run, and telemetry recording. Every field of the result
     /// (latencies, busy counts, recovery stats, the telemetry event
-    /// ring) must match at 2, 4, and 8 threads.
+    /// ring) must match at 2, 4, and 8 threads — at every FIFO depth
+    /// (including the unbounded sentinel) and credit delay, over the
+    /// engine grammar with its virtual-channel configs.
     #[test]
     fn parallel_and_serial_engines_agree(
-        cfg in configs(),
+        cfg in engine_configs(),
         seed in 0u64..1000,
         heal in any::<bool>(),
+        depth_pick in 0usize..3,
+        delay_pick in 0usize..3,
         schedule in prop::collection::vec((0usize..100_000, 0u8..4), 0usize..3),
     ) {
         let sys = cfg.build();
         let links: Vec<LinkId> = sys.net().links().collect();
         let mut sim_cfg = SimConfig {
             packet_flits: 6,
-            buffer_depth: 2,
+            buffer_depth: [2, 4, SimConfig::INFINITE_DEPTH][depth_pick],
+            credit_delay: [0u64, 1, 3][delay_pick],
             max_cycles: 2_500,
             stall_threshold: 1_200,
             seed,
@@ -312,7 +342,7 @@ proptest! {
     /// the report itself is bit-identical across widths.
     #[test]
     fn metrics_are_inert_at_every_width(
-        cfg in configs(),
+        cfg in engine_configs(),
         seed in 0u64..1000,
         heal in any::<bool>(),
         every_pick in 0usize..3,
@@ -393,5 +423,159 @@ proptest! {
         let full = repair_tables(net, sys.end_nodes(), &full_mask);
         prop_assert_eq!(inc_rep.connected_pairs, full.connected_pairs);
         prop_assert!(inc_rep.tables == full.tables, "incremental diverged from full rebuild");
+    }
+
+    /// The `INFINITE_DEPTH` sentinel is semantics-free: unbounded
+    /// FIFOs are bit-identical — full `Debug`, telemetry ring
+    /// included — to a finite depth too large to ever bind, at every
+    /// shard width. This pins the acceptance criterion that
+    /// `fifo depth = ∞, credit delay = 0` reproduces the pre-credit
+    /// engine exactly across the config grammar.
+    #[test]
+    fn infinite_depth_equals_unbinding_finite_depth(
+        cfg in engine_configs(),
+        seed in 0u64..1000,
+        threads_pick in 0usize..4,
+    ) {
+        let threads = [1usize, 2, 4, 8][threads_pick];
+        let sys = cfg.build();
+        let wl = Workload::Bernoulli {
+            injection_rate: 0.2,
+            pattern: DstPattern::Uniform,
+            until_cycle: 1_000,
+        };
+        let base = SimConfig {
+            packet_flits: 6,
+            max_cycles: 2_500,
+            stall_threshold: 1_200,
+            seed,
+            telemetry: Telemetry::recording(),
+            ..SimConfig::default()
+        }
+        .with_threads(threads);
+        let inf = sys.simulate(wl.clone(), base.clone().with_infinite_buffers());
+        let vast = sys.simulate(wl, base.with_buffer_depth(1 << 20));
+        prop_assert_eq!(
+            format!("{:?}", inf), format!("{:?}", vast),
+            "{:?} seed {} threads {}", cfg, seed, threads
+        );
+    }
+
+    /// With unbounded FIFOs the credit loop is inert: whatever the
+    /// round-trip delay, every behavioral field — deliveries,
+    /// latencies, per-channel busy counts — matches the delay-0 run.
+    /// Only the quiescence drain tail (`cycles`, and the throughput
+    /// divisor with it) may stretch while the last in-flight credits
+    /// land.
+    #[test]
+    fn credit_delay_is_inert_at_infinite_depth(
+        cfg in engine_configs(),
+        seed in 0u64..1000,
+        delay in 1u64..8,
+    ) {
+        let sys = cfg.build();
+        let wl = Workload::Bernoulli {
+            injection_rate: 0.2,
+            pattern: DstPattern::Uniform,
+            until_cycle: 1_000,
+        };
+        let base = SimConfig {
+            packet_flits: 6,
+            max_cycles: 2_500,
+            stall_threshold: 1_200,
+            seed,
+            ..SimConfig::default()
+        }
+        .with_infinite_buffers();
+        let a = sys.simulate(wl.clone(), base.clone().with_credit_delay(0));
+        let b = sys.simulate(wl, base.with_credit_delay(delay));
+        prop_assert_eq!(a.generated, b.generated, "{:?} seed {} delay {}", cfg, seed, delay);
+        prop_assert_eq!(a.delivered, b.delivered, "{:?} seed {} delay {}", cfg, seed, delay);
+        prop_assert_eq!(a.avg_latency, b.avg_latency);
+        prop_assert_eq!(a.avg_network_latency, b.avg_network_latency);
+        prop_assert_eq!(a.p95_latency, b.p95_latency);
+        prop_assert_eq!(a.max_latency, b.max_latency);
+        prop_assert_eq!(&a.channel_busy, &b.channel_busy);
+        prop_assert_eq!(a.deadlock.is_none(), b.deadlock.is_none());
+        prop_assert_eq!(a.credits.consumed, b.credits.consumed);
+        prop_assert_eq!(b.credits.stalls, 0u64, "unbounded FIFOs can never stall on credits");
+    }
+
+    /// Finite FIFOs and delayed credits change timing, never
+    /// delivery: under a transient mid-run link kill — with and
+    /// without healing — a scripted workload is delivered in full,
+    /// exactly once with no abandonments, at every FIFO depth and
+    /// credit delay, just as at infinite depth; and the finite run's
+    /// credit ledger balances at quiescence.
+    #[test]
+    fn finite_fifos_preserve_the_delivery_set(
+        cfg in engine_configs(),
+        seed in 0u64..500,
+        heal in any::<bool>(),
+        pkts in prop::collection::vec((0u64..400, 0usize..64, 1usize..64), 1usize..20),
+        link_pick in 0usize..100_000,
+        depth_pick in 0usize..3,
+        delay in 0u64..4,
+    ) {
+        let sys = cfg.build();
+        let n = sys.end_nodes().len();
+        let script: Vec<(u64, usize, usize)> = pkts
+            .iter()
+            .map(|&(at, s, hop)| (at, s % n, (s % n + hop) % n))
+            .filter(|&(_, s, d)| s != d)
+            .collect();
+        if script.is_empty() { return Ok(()); }
+        let links: Vec<LinkId> = sys.net().links().collect();
+        let victim = links[link_pick % links.len()];
+        let run = |depth: u32, delay: u64| {
+            let c = SimConfig {
+                packet_flits: 6,
+                max_cycles: 60_000,
+                stall_threshold: 4_000,
+                seed,
+                retry: RetryPolicy {
+                    ack_timeout: 64,
+                    max_retries: 20,
+                    backoff_base: 16,
+                    jitter_seed: 7,
+                },
+                ..SimConfig::default()
+            }
+            .with_buffer_depth(depth)
+            .with_credit_delay(delay)
+            .with_fault(FaultEvent::kill_link(victim, 150).transient(900));
+            let wl = Workload::Scripted(script.clone());
+            if heal {
+                sys.simulate_healing(wl, c)
+            } else {
+                sys.simulate(wl, c)
+            }
+        };
+        let depth = [1u32, 2, 4][depth_pick];
+        let inf = run(SimConfig::INFINITE_DEPTH, 0);
+        let fin = run(depth, delay);
+        for (name, r) in [("infinite", &inf), ("finite", &fin)] {
+            prop_assert!(
+                r.deadlock.is_none(),
+                "{} run deadlocked: {:?} depth {} delay {} heal {}",
+                name, cfg, depth, delay, heal
+            );
+            prop_assert!(
+                r.recovery.abandoned.is_empty(),
+                "{} run abandoned {:?}: {:?} depth {} delay {} heal {}",
+                name, r.recovery.abandoned, cfg, depth, delay, heal
+            );
+            prop_assert_eq!(
+                r.delivered, r.generated,
+                "{} run dropped packets: {:?} depth {} delay {} heal {}",
+                name, cfg, depth, delay, heal
+            );
+        }
+        prop_assert_eq!(fin.generated, inf.generated, "workload is depth-independent");
+        prop_assert!(
+            fin.credits.is_conserved(),
+            "credit leak at quiescence: consumed {} returned {}",
+            fin.credits.consumed, fin.credits.returned
+        );
     }
 }
